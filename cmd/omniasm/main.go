@@ -1,0 +1,51 @@
+// omniasm assembles OmniVM assembly into relocatable object files.
+//
+// Usage:
+//
+//	omniasm [-o out.omo] file.s...
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"omniware/internal/asm"
+)
+
+func main() {
+	out := flag.String("o", "", "output file (single input only)")
+	flag.Parse()
+	if flag.NArg() == 0 {
+		fmt.Fprintln(os.Stderr, "omniasm: no input files")
+		os.Exit(2)
+	}
+	if *out != "" && flag.NArg() > 1 {
+		fmt.Fprintln(os.Stderr, "omniasm: -o with multiple inputs")
+		os.Exit(2)
+	}
+	for _, path := range flag.Args() {
+		src, err := os.ReadFile(path)
+		if err != nil {
+			fail(err)
+		}
+		obj, err := asm.Assemble(filepath.Base(path), string(src))
+		if err != nil {
+			fail(err)
+		}
+		name := strings.TrimSuffix(path, filepath.Ext(path)) + ".omo"
+		if *out != "" {
+			name = *out
+		}
+		if err := os.WriteFile(name, obj.Encode(), 0o644); err != nil {
+			fail(err)
+		}
+	}
+}
+
+func fail(err error) {
+	fmt.Fprintf(os.Stderr, "omniasm: %v\n", err)
+	os.Exit(1)
+}

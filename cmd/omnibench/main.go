@@ -1,0 +1,92 @@
+// omnibench regenerates the tables and figures of the paper's
+// evaluation section (§4) using the simulated targets.
+//
+// Usage:
+//
+//	omnibench [-scale n] [-table 1|2|3|4|5|6|interp|sfiopt] [-figure 1|2] [-all]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"omniware/internal/bench"
+)
+
+const figure2 = `
+Figure 2: a universal substrate for mobile code.
+
+  C source   C++ source   Java source   ML source   Fortran source
+      \           \            |            /            /
+       +-----------+-----------+-----------+------------+
+                   |  compilers targeting OmniVM  |
+                   +-------------------------------+
+                                 |
+                        Mobile code (OMX module)
+                                 |
+              +---------+--------+--------+---------+
+              |         |                 |         |
+           MIPS       SPARC            PowerPC     x86
+         translator  translator      translator  translator
+         (SFI)       (SFI)           (SFI)       (SFI)
+              |         |                 |         |
+        loaded native executables, one per host processor
+`
+
+func main() {
+	scale := flag.Int("scale", 1, "workload scale factor (0 = built-in full size)")
+	table := flag.String("table", "", "table to regenerate: 1-6, interp, sfiopt")
+	figure := flag.String("figure", "", "figure to regenerate: 1 or 2")
+	all := flag.Bool("all", false, "regenerate everything")
+	flag.Parse()
+
+	if *figure == "2" && !*all {
+		fmt.Print(figure2)
+		return
+	}
+
+	fmt.Fprintf(os.Stderr, "building workloads (scale %d)...\n", *scale)
+	s, err := bench.NewSuite(*scale)
+	if err != nil {
+		fail(err)
+	}
+
+	type gen struct {
+		name string
+		f    func() (*bench.Table, error)
+	}
+	gens := []gen{
+		{"1", s.Table1}, {"2", s.Table2}, {"3", s.Table3}, {"4", s.Table4},
+		{"5", s.Table5}, {"6", s.Table6},
+		{"interp", s.InterpTable}, {"sfiopt", s.SFIHoistTable},
+		{"readsfi", s.ReadSFITable}, {"fig1", s.Figure1},
+	}
+	ran := false
+	for _, g := range gens {
+		want := *all || *table == g.name || (*figure == "1" && g.name == "fig1")
+		if !want {
+			continue
+		}
+		fmt.Fprintf(os.Stderr, "running %s...\n", g.name)
+		t, err := g.f()
+		if err != nil {
+			fail(err)
+		}
+		fmt.Println(t)
+		ran = true
+	}
+	if *all {
+		fmt.Print(figure2)
+		ran = true
+	}
+	if !ran {
+		fmt.Fprintln(os.Stderr, "omnibench: nothing selected (use -table, -figure or -all)")
+		os.Exit(2)
+	}
+}
+
+func fail(err error) {
+	fmt.Fprintf(os.Stderr, "omnibench: %v\n", err)
+	os.Exit(1)
+}

@@ -1,0 +1,79 @@
+// omnicc compiles OmniC source files to OmniVM assembly or object
+// files — the role the retargeted gcc/lcc played for Omniware.
+//
+// Usage:
+//
+//	omnicc [-S] [-O level] [-regs n] [-o out] file.c...
+//
+// With -S the output is OmniVM assembly; otherwise each input is
+// assembled into an OmniVM object file (.omo). With multiple inputs,
+// -o names a directory (or is ignored in favour of per-input names).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"omniware/internal/asm"
+	"omniware/internal/cc"
+)
+
+func main() {
+	emitAsm := flag.Bool("S", false, "emit OmniVM assembly instead of an object file")
+	optLevel := flag.Int("O", 2, "optimization level (0-2)")
+	regs := flag.Int("regs", 16, "OmniVM integer register file size (8-16)")
+	out := flag.String("o", "", "output file (single input only)")
+	flag.Parse()
+
+	if flag.NArg() == 0 {
+		fmt.Fprintln(os.Stderr, "omnicc: no input files")
+		os.Exit(2)
+	}
+	if *out != "" && flag.NArg() > 1 {
+		fmt.Fprintln(os.Stderr, "omnicc: -o with multiple inputs")
+		os.Exit(2)
+	}
+	for _, path := range flag.Args() {
+		src, err := os.ReadFile(path)
+		if err != nil {
+			fail(err)
+		}
+		res, err := cc.Compile(filepath.Base(path), string(src), cc.Options{
+			OptLevel:   *optLevel,
+			IntRegFile: *regs,
+		})
+		if err != nil {
+			fail(err)
+		}
+		base := strings.TrimSuffix(path, filepath.Ext(path))
+		if *emitAsm {
+			name := base + ".s"
+			if *out != "" {
+				name = *out
+			}
+			if err := os.WriteFile(name, []byte(res.Asm), 0o644); err != nil {
+				fail(err)
+			}
+			continue
+		}
+		obj, err := asm.Assemble(filepath.Base(path)+".s", res.Asm)
+		if err != nil {
+			fail(err)
+		}
+		name := base + ".omo"
+		if *out != "" {
+			name = *out
+		}
+		if err := os.WriteFile(name, obj.Encode(), 0o644); err != nil {
+			fail(err)
+		}
+	}
+}
+
+func fail(err error) {
+	fmt.Fprintf(os.Stderr, "omnicc: %v\n", err)
+	os.Exit(1)
+}

@@ -1,0 +1,45 @@
+// omnidis disassembles OmniVM modules and object files back to
+// assembler syntax.
+//
+// Usage:
+//
+//	omnidis file.omx|file.omo
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"omniware/internal/ovm"
+)
+
+func main() {
+	flag.Parse()
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: omnidis file.omx|file.omo")
+		os.Exit(2)
+	}
+	data, err := os.ReadFile(flag.Arg(0))
+	if err != nil {
+		fail(err)
+	}
+	if mod, err := ovm.DecodeModule(data); err == nil {
+		fmt.Printf("# module: %d instructions, %d data bytes, %d bss, entry %d, data base %#x\n",
+			len(mod.Text), len(mod.Data), mod.BSSSize, mod.Entry, mod.DataBase)
+		fmt.Print(ovm.Disassemble(mod.Text, mod.Symbols))
+		return
+	}
+	obj, err := ovm.DecodeObject(data)
+	if err != nil {
+		fail(fmt.Errorf("not a module or object: %w", err))
+	}
+	fmt.Printf("# object %s: %d instructions, %d data bytes, %d bss\n",
+		obj.Name, len(obj.Text), len(obj.Data), obj.BSSSize)
+	fmt.Print(ovm.Disassemble(obj.Text, obj.Symbols))
+}
+
+func fail(err error) {
+	fmt.Fprintf(os.Stderr, "omnidis: %v\n", err)
+	os.Exit(1)
+}

@@ -1,0 +1,60 @@
+// omnild links OmniVM object files into an executable module (.omx),
+// the unit of mobile code a host loads and translates.
+//
+// Usage:
+//
+//	omnild [-o out.omx] [-entry sym] [-nocrt0] file.omo...
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"omniware/internal/asm"
+	"omniware/internal/cc"
+	"omniware/internal/link"
+	"omniware/internal/ovm"
+)
+
+func main() {
+	out := flag.String("o", "a.omx", "output module")
+	entry := flag.String("entry", "", "entry symbol (default _start, then main)")
+	noCrt := flag.Bool("nocrt0", false, "do not link the startup stub")
+	flag.Parse()
+	if flag.NArg() == 0 {
+		fmt.Fprintln(os.Stderr, "omnild: no input files")
+		os.Exit(2)
+	}
+	var objs []*ovm.Object
+	if !*noCrt {
+		crt, err := asm.Assemble("crt0.s", cc.Crt0)
+		if err != nil {
+			fail(err)
+		}
+		objs = append(objs, crt)
+	}
+	for _, path := range flag.Args() {
+		data, err := os.ReadFile(path)
+		if err != nil {
+			fail(err)
+		}
+		obj, err := ovm.DecodeObject(data)
+		if err != nil {
+			fail(fmt.Errorf("%s: %w", path, err))
+		}
+		objs = append(objs, obj)
+	}
+	mod, err := link.Link(objs, link.Options{Entry: *entry})
+	if err != nil {
+		fail(err)
+	}
+	if err := os.WriteFile(*out, mod.Encode(), 0o644); err != nil {
+		fail(err)
+	}
+}
+
+func fail(err error) {
+	fmt.Fprintf(os.Stderr, "omnild: %v\n", err)
+	os.Exit(1)
+}

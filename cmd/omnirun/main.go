@@ -1,0 +1,91 @@
+// omnirun is the host program: it loads an OmniVM module into a
+// segmented address space and executes it — by abstract-machine
+// interpretation or by load-time translation (with SFI) to one of the
+// four simulated targets.
+//
+// Usage:
+//
+//	omnirun [-target interp|mips|sparc|ppc|x86] [-sfi] [-noopt] [-stats] module.omx
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"omniware"
+	"omniware/internal/target"
+	"omniware/internal/translate"
+)
+
+func main() {
+	tgt := flag.String("target", "interp", "execution target: interp, mips, sparc, ppc, x86")
+	sfi := flag.Bool("sfi", true, "enable software fault isolation (translated targets)")
+	noopt := flag.Bool("noopt", false, "disable translator optimizations")
+	stats := flag.Bool("stats", false, "print execution statistics")
+	maxSteps := flag.Uint64("max-steps", 0, "instruction budget (0 = default)")
+	flag.Parse()
+
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: omnirun [flags] module.omx")
+		os.Exit(2)
+	}
+	data, err := os.ReadFile(flag.Arg(0))
+	if err != nil {
+		fail(err)
+	}
+	mod, err := omniware.DecodeModule(data)
+	if err != nil {
+		fail(err)
+	}
+	host, err := omniware.NewHost(mod, omniware.RunConfig{Out: os.Stdout, MaxSteps: *maxSteps})
+	if err != nil {
+		fail(err)
+	}
+
+	if *tgt == "interp" {
+		res, err := host.RunInterp()
+		if err != nil {
+			fail(err)
+		}
+		if res.Faulted {
+			fmt.Fprintf(os.Stderr, "omnirun: module fault: %s\n", res.Fault)
+			os.Exit(3)
+		}
+		if *stats {
+			fmt.Fprintf(os.Stderr, "exit=%d instructions=%d cycles=%d\n", res.ExitCode, res.Steps, res.Cycles)
+		}
+		os.Exit(int(res.ExitCode & 0xff))
+	}
+
+	mach := omniware.MachineByName(*tgt)
+	if mach == nil {
+		fmt.Fprintf(os.Stderr, "omnirun: unknown target %q\n", *tgt)
+		os.Exit(2)
+	}
+	opts := omniware.PaperOptions(*sfi)
+	if *noopt {
+		opts = translate.Options{SFI: *sfi}
+	}
+	res, prog, err := host.RunTranslated(mach, opts)
+	if err != nil {
+		fail(err)
+	}
+	if res.Faulted {
+		fmt.Fprintf(os.Stderr, "omnirun: module fault: %s\n", res.Fault)
+		os.Exit(3)
+	}
+	if *stats {
+		fmt.Fprintf(os.Stderr, "exit=%d instructions=%d cycles=%d translated=%d native insts\n",
+			res.ExitCode, res.Insts, res.Cycles, len(prog.Code))
+		for c := target.ExpCat(0); c < target.NumCats; c++ {
+			fmt.Fprintf(os.Stderr, "  %-5s %d\n", c, res.Counts[c])
+		}
+	}
+	os.Exit(int(res.ExitCode & 0xff))
+}
+
+func fail(err error) {
+	fmt.Fprintf(os.Stderr, "omnirun: %v\n", err)
+	os.Exit(1)
+}

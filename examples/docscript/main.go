@@ -1,0 +1,93 @@
+// Executable document content: the paper's headline application.
+// A "document" arrives with an embedded mobile-code module that renders
+// a chart of the document's data into a buffer the viewer displays.
+// The viewer (host) never needs to know what language the chart code
+// was written in, and a buggy or hostile module cannot touch anything
+// but its own segment.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"omniware"
+)
+
+// The chart renderer shipped inside the document. It reads a table of
+// values the viewer deposits in its data segment and renders an ASCII
+// bar chart into an output buffer.
+const chartSrc = `
+int values[16];
+int nvalues;
+char canvas[16 * 34];
+
+void render(void) {
+	int row, col, width;
+	for (row = 0; row < nvalues; row++) {
+		char *line = canvas + row * 34;
+		width = values[row];
+		if (width > 30) width = 30;
+		if (width < 0) width = 0;
+		line[0] = '|';
+		for (col = 0; col < width; col++) line[1 + col] = '#';
+		line[1 + width] = 0;
+	}
+}
+
+int main(void) {
+	render();
+	return nvalues;
+}
+`
+
+func main() {
+	mod, err := omniware.BuildC(
+		[]omniware.SourceFile{{Name: "chart.c", Src: chartSrc}},
+		omniware.CompilerOptions{OptLevel: 2},
+	)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// The viewer loads the document's module...
+	host, err := omniware.NewHost(mod, omniware.RunConfig{})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// ...deposits the document data in the module's segment...
+	data := []uint32{3, 7, 12, 19, 27, 30, 22, 14, 6, 2}
+	valAddr := mustSym(mod, "values")
+	for i, v := range data {
+		host.Mem.StoreU32(valAddr+uint32(i*4), v)
+	}
+	host.Mem.StoreU32(mustSym(mod, "nvalues"), uint32(len(data)))
+
+	// ...and executes it, translated for the viewer's processor.
+	res, _, err := host.RunTranslated(omniware.MachineByName("sparc"), omniware.PaperOptions(true))
+	if err != nil {
+		log.Fatal(err)
+	}
+	if res.Faulted {
+		log.Fatalf("chart module faulted: %s", res.Fault)
+	}
+
+	// Display the rendered canvas.
+	canvas := mustSym(mod, "canvas")
+	fmt.Println("document chart (rendered by untrusted mobile code):")
+	for row := 0; row < len(data); row++ {
+		line, _ := host.Mem.ReadCString(canvas+uint32(row*34), 34)
+		fmt.Printf("  %2d %s\n", row, line)
+	}
+	fmt.Printf("\nrendered %d rows in %d simulated cycles\n", res.ExitCode, res.Cycles)
+}
+
+func mustSym(mod *omniware.Module, name string) uint32 {
+	for _, s := range mod.Symbols {
+		if s.Name == name {
+			return s.Value
+		}
+	}
+	log.Fatalf("symbol %q not found", name)
+	return 0
+}

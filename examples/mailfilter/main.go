@@ -1,0 +1,130 @@
+// Mail filter: the motivating scenario from §2 of the paper — "an
+// e-mail client can ship a mail-filtering function to a server to
+// reduce server bandwidth requirements."
+//
+// The "server" below receives a filter as a mobile-code module, loads
+// it next to its own (read-only, host-owned) message store, and runs
+// it once per message. A second, malicious filter tries to scribble
+// over the server's memory; SFI forces its stores back into the
+// module's own sandbox and the message store survives intact.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"omniware"
+)
+
+// The honest filter: scan the message (copied into the module's heap
+// by the server) for "URGENT" or too many '!'.
+const filterSrc = `
+int score(char *msg, int len) {
+	int i, bangs = 0, urgent = 0;
+	for (i = 0; i < len; i++) {
+		if (msg[i] == '!') bangs++;
+		if (msg[i] == 'U' && i + 5 < len &&
+		    msg[i+1] == 'R' && msg[i+2] == 'G' &&
+		    msg[i+3] == 'E' && msg[i+4] == 'N' && msg[i+5] == 'T')
+			urgent = 1;
+	}
+	return urgent * 10 + bangs;
+}
+
+char buf[512];
+int len;
+
+int main(void) {
+	/* The server stored the message at buf and its length in len. */
+	return score(buf, len);
+}
+`
+
+// The malicious filter: ignores the message and tries to overwrite the
+// host's message store at its well-known address.
+const evilSrc = `
+int main(void) {
+	int i;
+	int *host = (int *)0x40000000;
+	for (i = 0; i < 64; i++) host[i] = 0xdeadbeef;
+	return 0; /* "nothing suspicious here" */
+}
+`
+
+var messages = []string{
+	"Lunch on Thursday?",
+	"URGENT: wire funds now!!!",
+	"Quarterly report attached.",
+	"You won!!!!!!!! Claim today!!!!",
+}
+
+func runFilter(src string, msg string, hostStore []byte) (int32, error) {
+	mod, err := omniware.BuildC(
+		[]omniware.SourceFile{{Name: "filter.c", Src: src}},
+		omniware.CompilerOptions{OptLevel: 2},
+	)
+	if err != nil {
+		return 0, err
+	}
+	host, err := omniware.NewHost(mod, omniware.RunConfig{HostData: hostStore})
+	if err != nil {
+		return 0, err
+	}
+	// The server writes the message into the module's data segment
+	// (host-side access is not subject to the module's permissions).
+	if buf, ok := findSym(mod, "buf"); ok {
+		host.Mem.WriteBytes(buf, []byte(msg))
+	}
+	if lenAddr, ok := findSym(mod, "len"); ok {
+		host.Mem.StoreU32(lenAddr, uint32(len(msg)))
+	}
+	res, _, err := host.RunTranslated(omniware.MachineByName("ppc"), omniware.PaperOptions(true))
+	if err != nil {
+		return 0, err
+	}
+	if res.Faulted {
+		return 0, fmt.Errorf("filter faulted: %s", res.Fault)
+	}
+	return res.ExitCode, nil
+}
+
+func findSym(mod *omniware.Module, name string) (uint32, bool) {
+	for _, s := range mod.Symbols {
+		if s.Name == name {
+			return s.Value, true
+		}
+	}
+	return 0, false
+}
+
+func main() {
+	// The server's own data: a read-only segment the modules can see
+	// but must never modify.
+	store := make([]byte, 4096)
+	copy(store, "server message store v1")
+
+	fmt.Println("running shipped filter over the inbox:")
+	for _, m := range messages {
+		score, err := runFilter(filterSrc, m, store)
+		if err != nil {
+			log.Fatal(err)
+		}
+		verdict := "ok"
+		if score >= 4 {
+			verdict = "SPAM"
+		}
+		fmt.Printf("  %-35q score=%-3d %s\n", m, score, verdict)
+	}
+
+	fmt.Println("\nrunning a malicious filter (wild stores at the host segment):")
+	if _, err := runFilter(evilSrc, messages[0], store); err != nil {
+		fmt.Printf("  contained: %v\n", err)
+	} else {
+		fmt.Println("  module ran to completion — its stores were sandboxed")
+	}
+	if string(store[:23]) == "server message store v1" {
+		fmt.Println("  host message store intact: SFI held")
+	} else {
+		fmt.Println("  HOST STORE CORRUPTED (this should never happen)")
+	}
+}

@@ -1,0 +1,363 @@
+// Package asm implements the OmniVM assembler: it turns assembler
+// source text (the compiler's output, or the disassembler's) into a
+// relocatable ovm.Object. Symbol references are always emitted as
+// relocations; the linker resolves them, so one code path covers both
+// local labels and cross-module references.
+package asm
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+	"strconv"
+	"strings"
+
+	"omniware/internal/ovm"
+)
+
+// Error is an assembly diagnostic with source position.
+type Error struct {
+	File string
+	Line int
+	Msg  string
+}
+
+func (e *Error) Error() string { return fmt.Sprintf("%s:%d: %s", e.File, e.Line, e.Msg) }
+
+type section int
+
+const (
+	inText section = iota
+	inData
+	inBSS
+)
+
+type assembler struct {
+	file        string
+	obj         *ovm.Object
+	sec         section
+	globals     map[string]bool
+	defined     map[string]bool
+	line        int
+	pendingLine int32 // set by .line, attached to the next instruction
+}
+
+// Assemble translates source into an object file. name is used for
+// diagnostics and recorded in the object.
+func Assemble(name, source string) (*ovm.Object, error) {
+	a := &assembler{
+		file:    name,
+		obj:     &ovm.Object{Name: name},
+		globals: map[string]bool{},
+		defined: map[string]bool{},
+	}
+	for i, raw := range strings.Split(source, "\n") {
+		a.line = i + 1
+		if err := a.doLine(raw); err != nil {
+			return nil, err
+		}
+	}
+	// A .globl for an undefined name is an import declaration; nothing to
+	// record — references already carry relocations. Defined names get
+	// their Global flag set here.
+	for i := range a.obj.Symbols {
+		if a.globals[a.obj.Symbols[i].Name] {
+			a.obj.Symbols[i].Global = true
+		}
+	}
+	return a.obj, nil
+}
+
+func (a *assembler) errf(format string, args ...any) error {
+	return &Error{File: a.file, Line: a.line, Msg: fmt.Sprintf(format, args...)}
+}
+
+// stripComment removes # or ; comments, respecting string literals.
+func stripComment(s string) string {
+	inStr := false
+	for i := 0; i < len(s); i++ {
+		switch s[i] {
+		case '"':
+			if i == 0 || s[i-1] != '\\' {
+				inStr = !inStr
+			}
+		case '#', ';':
+			if !inStr {
+				return s[:i]
+			}
+		}
+	}
+	return s
+}
+
+func (a *assembler) doLine(raw string) error {
+	s := strings.TrimSpace(stripComment(raw))
+	for s != "" {
+		// Labels: one or more "name:" prefixes.
+		if idx := strings.IndexByte(s, ':'); idx > 0 && isIdent(s[:idx]) && !strings.ContainsAny(s[:idx], " \t") {
+			if err := a.defineLabel(s[:idx]); err != nil {
+				return err
+			}
+			s = strings.TrimSpace(s[idx+1:])
+			continue
+		}
+		break
+	}
+	if s == "" {
+		return nil
+	}
+	if s[0] == '.' {
+		return a.directive(s)
+	}
+	return a.instruction(s)
+}
+
+func isIdent(s string) bool {
+	if s == "" {
+		return false
+	}
+	for i, c := range s {
+		ok := c == '_' || c == '.' || c == '$' ||
+			(c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+			(i > 0 && c >= '0' && c <= '9')
+		if !ok {
+			return false
+		}
+	}
+	return true
+}
+
+func (a *assembler) defineLabel(name string) error {
+	if a.defined[name] {
+		return a.errf("symbol %q redefined", name)
+	}
+	a.defined[name] = true
+	sym := ovm.Symbol{Name: name}
+	switch a.sec {
+	case inText:
+		sym.Section = ovm.SecText
+		sym.Value = uint32(len(a.obj.Text))
+	case inData:
+		sym.Section = ovm.SecData
+		sym.Value = uint32(len(a.obj.Data))
+	case inBSS:
+		sym.Section = ovm.SecBSS
+		sym.Value = a.obj.BSSSize
+	}
+	a.obj.Symbols = append(a.obj.Symbols, sym)
+	return nil
+}
+
+func (a *assembler) directive(s string) error {
+	name, rest, _ := strings.Cut(s, " ")
+	rest = strings.TrimSpace(rest)
+	switch name {
+	case ".text":
+		a.sec = inText
+	case ".data":
+		a.sec = inData
+	case ".bss":
+		a.sec = inBSS
+	case ".globl", ".global":
+		for _, n := range splitOperands(rest) {
+			if !isIdent(n) {
+				return a.errf("bad symbol name %q", n)
+			}
+			a.globals[n] = true
+		}
+	case ".align":
+		n, err := strconv.Atoi(rest)
+		if err != nil || n <= 0 || n&(n-1) != 0 {
+			return a.errf("bad alignment %q", rest)
+		}
+		switch a.sec {
+		case inData:
+			for len(a.obj.Data)%n != 0 {
+				a.obj.Data = append(a.obj.Data, 0)
+			}
+		case inBSS:
+			a.obj.BSSSize = (a.obj.BSSSize + uint32(n) - 1) &^ (uint32(n) - 1)
+		}
+	case ".space", ".skip":
+		n, err := strconv.Atoi(rest)
+		if err != nil || n < 0 {
+			return a.errf("bad size %q", rest)
+		}
+		switch a.sec {
+		case inData:
+			a.obj.Data = append(a.obj.Data, make([]byte, n)...)
+		case inBSS:
+			a.obj.BSSSize += uint32(n)
+		default:
+			return a.errf(".space in text section")
+		}
+	case ".byte", ".half", ".word":
+		if a.sec != inData {
+			return a.errf("%s outside .data", name)
+		}
+		return a.emitData(name, rest)
+	case ".float":
+		if a.sec != inData {
+			return a.errf(".float outside .data")
+		}
+		for _, op := range splitOperands(rest) {
+			v, err := strconv.ParseFloat(op, 32)
+			if err != nil {
+				return a.errf("bad float %q", op)
+			}
+			var b [4]byte
+			binary.LittleEndian.PutUint32(b[:], math.Float32bits(float32(v)))
+			a.obj.Data = append(a.obj.Data, b[:]...)
+		}
+	case ".double":
+		if a.sec != inData {
+			return a.errf(".double outside .data")
+		}
+		for _, op := range splitOperands(rest) {
+			v, err := strconv.ParseFloat(op, 64)
+			if err != nil {
+				return a.errf("bad double %q", op)
+			}
+			var b [8]byte
+			binary.LittleEndian.PutUint64(b[:], math.Float64bits(v))
+			a.obj.Data = append(a.obj.Data, b[:]...)
+		}
+	case ".asciz", ".string":
+		if a.sec != inData {
+			return a.errf("%s outside .data", name)
+		}
+		str, err := strconv.Unquote(rest)
+		if err != nil {
+			return a.errf("bad string literal %s", rest)
+		}
+		a.obj.Data = append(a.obj.Data, str...)
+		a.obj.Data = append(a.obj.Data, 0)
+	case ".line":
+		// Optional source-line annotation for the next instruction.
+		// Recorded lazily in instruction().
+		n, err := strconv.Atoi(rest)
+		if err != nil {
+			return a.errf("bad .line %q", rest)
+		}
+		a.pendingLine = int32(n)
+	default:
+		return a.errf("unknown directive %s", name)
+	}
+	return nil
+}
+
+func (a *assembler) emitData(kind, rest string) error {
+	for _, op := range splitOperands(rest) {
+		if v, err := parseInt(op); err == nil {
+			switch kind {
+			case ".byte":
+				a.obj.Data = append(a.obj.Data, byte(v))
+			case ".half":
+				var b [2]byte
+				binary.LittleEndian.PutUint16(b[:], uint16(v))
+				a.obj.Data = append(a.obj.Data, b[:]...)
+			case ".word":
+				var b [4]byte
+				binary.LittleEndian.PutUint32(b[:], uint32(v))
+				a.obj.Data = append(a.obj.Data, b[:]...)
+			}
+			continue
+		}
+		// Symbolic word: emit a data relocation.
+		if kind != ".word" {
+			return a.errf("symbolic %s not supported", kind)
+		}
+		sym, add, err := parseSymRef(op)
+		if err != nil {
+			return a.errf("bad operand %q", op)
+		}
+		a.obj.DataRel = append(a.obj.DataRel, ovm.Reloc{
+			Offset: uint32(len(a.obj.Data)),
+			Kind:   ovm.RelAbs,
+			Symbol: sym,
+			Addend: add,
+		})
+		a.obj.Data = append(a.obj.Data, 0, 0, 0, 0)
+	}
+	return nil
+}
+
+// parseInt parses decimal, hex, and character literals.
+func parseInt(s string) (int64, error) {
+	s = strings.TrimSpace(s)
+	if len(s) >= 3 && s[0] == '\'' {
+		str, err := strconv.Unquote(s)
+		if err != nil || len(str) != 1 {
+			return 0, fmt.Errorf("bad char literal %q", s)
+		}
+		return int64(str[0]), nil
+	}
+	neg := false
+	if strings.HasPrefix(s, "-") {
+		neg = true
+		s = s[1:]
+	}
+	v, err := strconv.ParseUint(strings.TrimPrefix(s, "+"), 0, 33)
+	if err != nil {
+		return 0, err
+	}
+	if neg {
+		return -int64(v), nil
+	}
+	return int64(v), nil
+}
+
+// parseSymRef parses "sym", "sym+4", "sym-4".
+func parseSymRef(s string) (string, int32, error) {
+	s = strings.TrimSpace(s)
+	idx := strings.IndexAny(s, "+-")
+	if idx <= 0 {
+		if !isIdent(s) {
+			return "", 0, fmt.Errorf("bad symbol %q", s)
+		}
+		return s, 0, nil
+	}
+	name := strings.TrimSpace(s[:idx])
+	if !isIdent(name) {
+		return "", 0, fmt.Errorf("bad symbol %q", name)
+	}
+	add, err := parseInt(s[idx:])
+	if err != nil {
+		return "", 0, err
+	}
+	return name, int32(add), nil
+}
+
+// splitOperands splits on commas outside quotes and parentheses.
+func splitOperands(s string) []string {
+	var out []string
+	depth := 0
+	inStr := false
+	start := 0
+	for i := 0; i < len(s); i++ {
+		switch s[i] {
+		case '"':
+			if i == 0 || s[i-1] != '\\' {
+				inStr = !inStr
+			}
+		case '(':
+			if !inStr {
+				depth++
+			}
+		case ')':
+			if !inStr {
+				depth--
+			}
+		case ',':
+			if !inStr && depth == 0 {
+				out = append(out, strings.TrimSpace(s[start:i]))
+				start = i + 1
+			}
+		}
+	}
+	last := strings.TrimSpace(s[start:])
+	if last != "" || len(out) > 0 {
+		out = append(out, last)
+	}
+	return out
+}

@@ -1,0 +1,293 @@
+package asm
+
+import (
+	"strings"
+	"testing"
+
+	"omniware/internal/ovm"
+)
+
+func mustAsm(t *testing.T, src string) *ovm.Object {
+	t.Helper()
+	o, err := Assemble("test.s", src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return o
+}
+
+func TestBasicProgram(t *testing.T) {
+	o := mustAsm(t, `
+.text
+.globl main
+main:
+	addi r14, r14, -16
+	ldi r1, 42
+	stw r1, 8(r14)
+	ldw r2, 8(r14)
+	add r3, r1, r2
+	halt
+`)
+	if len(o.Text) != 6 {
+		t.Fatalf("got %d instructions", len(o.Text))
+	}
+	if o.Text[0].Op != ovm.ADDI || o.Text[0].Imm != -16 {
+		t.Errorf("inst 0: %v", o.Text[0])
+	}
+	if o.Text[2].Op != ovm.STW || o.Text[2].Rd != 1 || o.Text[2].Rs1 != 14 || o.Text[2].Imm != 8 {
+		t.Errorf("inst 2: %v", o.Text[2])
+	}
+	sym, ok := ovm.Lookup(o.Symbols, "main")
+	if !ok || !sym.Global || sym.Section != ovm.SecText || sym.Value != 0 {
+		t.Errorf("main symbol: %+v ok=%v", sym, ok)
+	}
+}
+
+func TestBranchesAndLabels(t *testing.T) {
+	o := mustAsm(t, `
+.text
+loop:
+	addi r1, r1, 1
+	blti r1, 10, loop
+	beq r1, r2, done
+	jmp loop
+done:
+	ret
+`)
+	// All label references become relocations.
+	if len(o.TextRel) != 3 {
+		t.Fatalf("got %d relocs: %+v", len(o.TextRel), o.TextRel)
+	}
+	for _, r := range o.TextRel {
+		if r.Field != ovm.FieldImm2 {
+			t.Errorf("branch reloc field: %+v", r)
+		}
+	}
+	if o.Text[1].Op != ovm.BLTI || o.Text[1].Imm != 10 {
+		t.Errorf("blti: %+v", o.Text[1])
+	}
+	if o.Text[4].Op != ovm.JR || o.Text[4].Rs1 != ovm.RRA {
+		t.Errorf("ret: %+v", o.Text[4])
+	}
+}
+
+func TestPseudoOps(t *testing.T) {
+	o := mustAsm(t, `
+.text
+	mov r3, r7
+	call foo
+	ret
+`)
+	if o.Text[0].Op != ovm.ADD || o.Text[0].Rd != 3 || o.Text[0].Rs1 != 7 || o.Text[0].Rs2 != 0 {
+		t.Errorf("mov: %+v", o.Text[0])
+	}
+	if o.Text[1].Op != ovm.JAL || o.Text[1].Rd != ovm.RRA {
+		t.Errorf("call: %+v", o.Text[1])
+	}
+	if len(o.TextRel) != 1 || o.TextRel[0].Symbol != "foo" {
+		t.Errorf("call reloc: %+v", o.TextRel)
+	}
+}
+
+func TestDataSection(t *testing.T) {
+	o := mustAsm(t, `
+.data
+.globl tab
+tab:
+	.word 1, 2, 3
+	.byte 'A', 0xff
+	.align 4
+	.half 258
+msg:
+	.asciz "hi\n"
+.double 1.5
+.float 0.5
+ptr:
+	.word tab+8
+.bss
+buf:
+	.space 100
+.align 8
+buf2:
+	.space 4
+`)
+	if len(o.Data) < 12+2+2 {
+		t.Fatalf("data too short: %d", len(o.Data))
+	}
+	if o.Data[0] != 1 || o.Data[4] != 2 || o.Data[8] != 3 {
+		t.Errorf("words: % x", o.Data[:12])
+	}
+	if o.Data[12] != 'A' || o.Data[13] != 0xff {
+		t.Errorf("bytes: % x", o.Data[12:14])
+	}
+	if o.Data[16] != 2 || o.Data[17] != 1 {
+		t.Errorf("half at 16: % x", o.Data[16:18])
+	}
+	msg, _ := ovm.Lookup(o.Symbols, "msg")
+	if string(o.Data[msg.Value:msg.Value+4]) != "hi\n\x00" {
+		t.Errorf("asciz: %q", o.Data[msg.Value:msg.Value+4])
+	}
+	if len(o.DataRel) != 1 || o.DataRel[0].Symbol != "tab" || o.DataRel[0].Addend != 8 {
+		t.Errorf("data reloc: %+v", o.DataRel)
+	}
+	if o.BSSSize != 108 {
+		t.Errorf("bss size %d, want 108", o.BSSSize)
+	}
+	b2, _ := ovm.Lookup(o.Symbols, "buf2")
+	if b2.Section != ovm.SecBSS || b2.Value != 104 {
+		t.Errorf("buf2: %+v", b2)
+	}
+}
+
+func TestGlobalDataAccess(t *testing.T) {
+	o := mustAsm(t, `
+.text
+	lda r5, tab
+	ldw r1, tab(r0)
+	ldw r2, tab+4(r0)
+.data
+tab:
+	.word 7
+`)
+	if len(o.TextRel) != 3 {
+		t.Fatalf("relocs: %+v", o.TextRel)
+	}
+	if o.TextRel[2].Addend != 4 {
+		t.Errorf("addend: %+v", o.TextRel[2])
+	}
+}
+
+func TestFPInstructions(t *testing.T) {
+	o := mustAsm(t, `
+.text
+	ldd f1, 0(r14)
+	faddd f2, f1, f1
+	cvtdw r1, f2
+	cvtwd f3, r1
+	fbeq f1, f2, 0
+	std f2, 8(r14)
+`)
+	if o.Text[0].Op != ovm.LDD || o.Text[0].Rd != 1 || o.Text[0].Rs1 != 14 {
+		t.Errorf("ldd: %+v", o.Text[0])
+	}
+	if o.Text[2].Op != ovm.CVTDW || o.Text[2].Rd != 1 || o.Text[2].Rs1 != 2 {
+		t.Errorf("cvtdw: %+v", o.Text[2])
+	}
+}
+
+func TestIndexedMem(t *testing.T) {
+	o := mustAsm(t, `
+.text
+	ldwx r1, (r2+r3)
+	stbx r4, (r5+r6)
+	lddx f1, (r2+r3)
+`)
+	if o.Text[0].Op != ovm.LDWX || o.Text[0].Rs1 != 2 || o.Text[0].Rs2 != 3 {
+		t.Errorf("ldwx: %+v", o.Text[0])
+	}
+	if o.Text[1].Op != ovm.STBX || o.Text[1].Rd != 4 {
+		t.Errorf("stbx: %+v", o.Text[1])
+	}
+}
+
+func TestComments(t *testing.T) {
+	o := mustAsm(t, `
+.text
+	ldi r1, 1  # a comment
+	ldi r2, 2  ; another
+.data
+s:	.asciz "has # and ; inside"
+`)
+	if len(o.Text) != 2 {
+		t.Errorf("%d insts", len(o.Text))
+	}
+	if !strings.Contains(string(o.Data), "has # and ; inside") {
+		t.Errorf("string comment stripped: %q", o.Data)
+	}
+}
+
+func TestErrors(t *testing.T) {
+	cases := []string{
+		"\tbogus r1, r2",
+		".text\n\tadd r1, r2",            // arity
+		".text\n\tadd r1, r2, r16",       // bad register
+		".text\n\tadd r1, r2, f3",        // FP reg in int slot
+		".text\nx:\nx:\n",                // duplicate label
+		".data\n\tadd r1, r2, r3\n",      // inst outside text
+		".text\n\tldw r1, 4(f2)\n",       // FP base
+		".quux 3\n",                      // unknown directive
+		".data\n.word \"x\"\n",           // bad word
+		".data\n.asciz unquoted\n",       // bad string
+		".text\n\tldi r1, 99999999999\n", // immediate overflow
+		".data\n.align 3\n",              // non-power-of-two
+	}
+	for _, src := range cases {
+		if _, err := Assemble("bad.s", src); err == nil {
+			t.Errorf("accepted: %q", src)
+		} else if _, ok := err.(*Error); !ok {
+			t.Errorf("error type for %q: %T", src, err)
+		}
+	}
+}
+
+func TestSrcLines(t *testing.T) {
+	o := mustAsm(t, `
+.text
+.line 12
+	ldi r1, 1
+	ldi r2, 2
+`)
+	if len(o.SrcLines) != 2 || o.SrcLines[0] != 12 || o.SrcLines[1] != 0 {
+		t.Errorf("src lines: %v", o.SrcLines)
+	}
+}
+
+// Disassembler output must assemble back to the same text section.
+func TestDisasmRoundTrip(t *testing.T) {
+	src := `
+.text
+.globl main
+main:
+	ldi r1, 0
+	ldi r2, 10
+loop:
+	addi r1, r1, 1
+	blt r1, r2, loop
+	syscall 1
+	halt
+`
+	o1 := mustAsm(t, src)
+	// Resolve intra-object labels the way the linker would for a single
+	// object with no external refs: all relocs are local here.
+	for _, r := range o1.TextRel {
+		sym, ok := ovm.Lookup(o1.Symbols, r.Symbol)
+		if !ok {
+			t.Fatalf("unresolved %q", r.Symbol)
+		}
+		if r.Field == ovm.FieldImm2 {
+			o1.Text[r.Offset].Imm2 = int32(sym.Value) + r.Addend
+		}
+	}
+	text := ovm.Disassemble(o1.Text, o1.Symbols)
+	o2, err := Assemble("rt.s", text)
+	if err != nil {
+		t.Fatalf("reassemble: %v\n%s", err, text)
+	}
+	for _, r := range o2.TextRel {
+		sym, ok := ovm.Lookup(o2.Symbols, r.Symbol)
+		if !ok {
+			t.Fatalf("unresolved %q in round trip", r.Symbol)
+		}
+		if r.Field == ovm.FieldImm2 {
+			o2.Text[r.Offset].Imm2 = int32(sym.Value) + r.Addend
+		}
+	}
+	if len(o1.Text) != len(o2.Text) {
+		t.Fatalf("length: %d vs %d", len(o1.Text), len(o2.Text))
+	}
+	for i := range o1.Text {
+		if o1.Text[i] != o2.Text[i] {
+			t.Errorf("inst %d: %v vs %v", i, o1.Text[i], o2.Text[i])
+		}
+	}
+}

@@ -1,0 +1,337 @@
+package asm
+
+import (
+	"strconv"
+	"strings"
+
+	"omniware/internal/ovm"
+)
+
+// pendingLine support: declared here to keep asm.go focused on layout.
+// (field lives on assembler; see asm.go)
+
+func parseIntReg(s string) (uint8, bool) {
+	if len(s) < 2 || (s[0] != 'r' && s[0] != 'R') {
+		return 0, false
+	}
+	n, err := strconv.Atoi(s[1:])
+	if err != nil || n < 0 || n >= ovm.NumIntRegs {
+		return 0, false
+	}
+	return uint8(n), true
+}
+
+func parseFPReg(s string) (uint8, bool) {
+	if len(s) < 2 || (s[0] != 'f' && s[0] != 'F') {
+		return 0, false
+	}
+	n, err := strconv.Atoi(s[1:])
+	if err != nil || n < 0 || n >= ovm.NumFPRegs {
+		return 0, false
+	}
+	return uint8(n), true
+}
+
+// regFields says which operand fields of an FP-flavored opcode hold
+// integer registers.
+func intFields(op ovm.Opcode) (rdInt, rs1Int, rs2Int bool) {
+	if !op.IsFP() {
+		return true, true, true
+	}
+	switch op {
+	case ovm.LDF, ovm.LDD, ovm.STF, ovm.STD:
+		return false, true, true
+	case ovm.LDFX, ovm.LDDX, ovm.STFX, ovm.STDX:
+		return false, true, true
+	case ovm.CVTWS, ovm.CVTWD, ovm.MOVWF:
+		return false, true, true
+	case ovm.CVTSW, ovm.CVTDW, ovm.MOVFW:
+		return true, false, false
+	case ovm.FBEQ, ovm.FBNE, ovm.FBLT, ovm.FBLE:
+		return true, false, false
+	default:
+		return false, false, false
+	}
+}
+
+func (a *assembler) parseReg(s string, wantInt bool) (uint8, error) {
+	if wantInt {
+		if r, ok := parseIntReg(s); ok {
+			return r, nil
+		}
+		return 0, a.errf("expected integer register, got %q", s)
+	}
+	if r, ok := parseFPReg(s); ok {
+		return r, nil
+	}
+	return 0, a.errf("expected FP register, got %q", s)
+}
+
+// immOrReloc parses an integer, or records a relocation for a symbol
+// reference into the given field of the instruction being emitted.
+func (a *assembler) immOrReloc(s string, field ovm.RelocField) (int32, error) {
+	if v, err := parseInt(s); err == nil {
+		if v < -1<<31 || v > 1<<32-1 {
+			return 0, a.errf("immediate %d out of 32-bit range", v)
+		}
+		return int32(v), nil
+	}
+	sym, add, err := parseSymRef(s)
+	if err != nil {
+		return 0, a.errf("bad operand %q", s)
+	}
+	a.obj.TextRel = append(a.obj.TextRel, ovm.Reloc{
+		Offset: uint32(len(a.obj.Text)),
+		Field:  field,
+		Kind:   ovm.RelAbs, // linker refines by target section
+		Symbol: sym,
+		Addend: add,
+	})
+	return 0, nil
+}
+
+// parseMem parses "imm(rN)" or "sym(rN)" or "sym+4(rN)".
+func (a *assembler) parseMem(s string) (base uint8, imm int32, err error) {
+	open := strings.LastIndexByte(s, '(')
+	if open < 0 || !strings.HasSuffix(s, ")") {
+		return 0, 0, a.errf("bad memory operand %q", s)
+	}
+	b, ok := parseIntReg(strings.TrimSpace(s[open+1 : len(s)-1]))
+	if !ok {
+		return 0, 0, a.errf("bad base register in %q", s)
+	}
+	off := strings.TrimSpace(s[:open])
+	if off == "" {
+		return b, 0, nil
+	}
+	v, err := a.immOrReloc(off, ovm.FieldImm)
+	if err != nil {
+		return 0, 0, err
+	}
+	return b, v, nil
+}
+
+// parseMemX parses "(rA+rB)".
+func (a *assembler) parseMemX(s string) (r1, r2 uint8, err error) {
+	if !strings.HasPrefix(s, "(") || !strings.HasSuffix(s, ")") {
+		return 0, 0, a.errf("bad indexed operand %q", s)
+	}
+	inner := s[1 : len(s)-1]
+	p1, p2, ok := strings.Cut(inner, "+")
+	if !ok {
+		return 0, 0, a.errf("bad indexed operand %q", s)
+	}
+	a1, ok1 := parseIntReg(strings.TrimSpace(p1))
+	a2, ok2 := parseIntReg(strings.TrimSpace(p2))
+	if !ok1 || !ok2 {
+		return 0, 0, a.errf("bad index registers in %q", s)
+	}
+	return a1, a2, nil
+}
+
+func (a *assembler) instruction(s string) error {
+	mn, rest, _ := strings.Cut(s, " ")
+	mn = strings.ToLower(mn)
+	ops := splitOperands(strings.TrimSpace(rest))
+
+	// Pseudo-instructions.
+	switch mn {
+	case "mov":
+		if len(ops) != 2 {
+			return a.errf("mov needs 2 operands")
+		}
+		rd, err := a.parseReg(ops[0], true)
+		if err != nil {
+			return err
+		}
+		rs, err := a.parseReg(ops[1], true)
+		if err != nil {
+			return err
+		}
+		return a.emit(ovm.Inst{Op: ovm.ADD, Rd: rd, Rs1: rs, Rs2: ovm.RZero})
+	case "call":
+		if len(ops) != 1 {
+			return a.errf("call needs 1 operand")
+		}
+		imm2, err := a.immOrReloc(ops[0], ovm.FieldImm2)
+		if err != nil {
+			return err
+		}
+		return a.emit(ovm.Inst{Op: ovm.JAL, Rd: ovm.RRA, Imm2: imm2})
+	case "ret":
+		if len(ops) != 0 {
+			return a.errf("ret takes no operands")
+		}
+		return a.emit(ovm.Inst{Op: ovm.JR, Rs1: ovm.RRA})
+	case "b":
+		mn = "jmp"
+	}
+
+	op, ok := ovm.OpcodeByName[mn]
+	if !ok {
+		return a.errf("unknown instruction %q", mn)
+	}
+	rdI, rs1I, _ := intFields(op)
+	in := ovm.Inst{Op: op}
+	var err error
+	need := func(n int) error {
+		if len(ops) != n {
+			return a.errf("%s needs %d operands, got %d", mn, n, len(ops))
+		}
+		return nil
+	}
+	switch op.Format() {
+	case ovm.FmtNone:
+		if err = need(0); err != nil {
+			return err
+		}
+	case ovm.FmtRRR:
+		if err = need(3); err != nil {
+			return err
+		}
+		if in.Rd, err = a.parseReg(ops[0], rdI); err != nil {
+			return err
+		}
+		if in.Rs1, err = a.parseReg(ops[1], rdI); err != nil {
+			return err
+		}
+		if in.Rs2, err = a.parseReg(ops[2], rdI); err != nil {
+			return err
+		}
+	case ovm.FmtRRI:
+		if err = need(3); err != nil {
+			return err
+		}
+		if in.Rd, err = a.parseReg(ops[0], true); err != nil {
+			return err
+		}
+		if in.Rs1, err = a.parseReg(ops[1], true); err != nil {
+			return err
+		}
+		if in.Imm, err = a.immOrReloc(ops[2], ovm.FieldImm); err != nil {
+			return err
+		}
+	case ovm.FmtRI:
+		if err = need(2); err != nil {
+			return err
+		}
+		if in.Rd, err = a.parseReg(ops[0], true); err != nil {
+			return err
+		}
+		if in.Imm, err = a.immOrReloc(ops[1], ovm.FieldImm); err != nil {
+			return err
+		}
+	case ovm.FmtRR:
+		if err = need(2); err != nil {
+			return err
+		}
+		if in.Rd, err = a.parseReg(ops[0], rdI); err != nil {
+			return err
+		}
+		if in.Rs1, err = a.parseReg(ops[1], rs1I); err != nil {
+			return err
+		}
+	case ovm.FmtLoad, ovm.FmtStore:
+		if err = need(2); err != nil {
+			return err
+		}
+		if in.Rd, err = a.parseReg(ops[0], rdI); err != nil {
+			return err
+		}
+		if in.Rs1, in.Imm, err = a.parseMem(ops[1]); err != nil {
+			return err
+		}
+	case ovm.FmtLoadX, ovm.FmtStoreX:
+		if err = need(2); err != nil {
+			return err
+		}
+		if in.Rd, err = a.parseReg(ops[0], rdI); err != nil {
+			return err
+		}
+		if in.Rs1, in.Rs2, err = a.parseMemX(ops[1]); err != nil {
+			return err
+		}
+	case ovm.FmtBrRR:
+		if err = need(3); err != nil {
+			return err
+		}
+		wantFP := op == ovm.FBEQ || op == ovm.FBNE || op == ovm.FBLT || op == ovm.FBLE
+		if in.Rs1, err = a.parseReg(ops[0], !wantFP); err != nil {
+			return err
+		}
+		if in.Rs2, err = a.parseReg(ops[1], !wantFP); err != nil {
+			return err
+		}
+		if in.Imm2, err = a.immOrReloc(ops[2], ovm.FieldImm2); err != nil {
+			return err
+		}
+	case ovm.FmtBrRI:
+		if err = need(3); err != nil {
+			return err
+		}
+		if in.Rs1, err = a.parseReg(ops[0], true); err != nil {
+			return err
+		}
+		if in.Imm, err = a.immOrReloc(ops[1], ovm.FieldImm); err != nil {
+			return err
+		}
+		if in.Imm2, err = a.immOrReloc(ops[2], ovm.FieldImm2); err != nil {
+			return err
+		}
+	case ovm.FmtJmp:
+		if err = need(1); err != nil {
+			return err
+		}
+		if in.Imm2, err = a.immOrReloc(ops[0], ovm.FieldImm2); err != nil {
+			return err
+		}
+	case ovm.FmtJal:
+		if err = need(2); err != nil {
+			return err
+		}
+		if in.Rd, err = a.parseReg(ops[0], true); err != nil {
+			return err
+		}
+		if in.Imm2, err = a.immOrReloc(ops[1], ovm.FieldImm2); err != nil {
+			return err
+		}
+	case ovm.FmtJalr:
+		if err = need(2); err != nil {
+			return err
+		}
+		if in.Rd, err = a.parseReg(ops[0], true); err != nil {
+			return err
+		}
+		if in.Rs1, err = a.parseReg(ops[1], true); err != nil {
+			return err
+		}
+	case ovm.FmtJr:
+		if err = need(1); err != nil {
+			return err
+		}
+		if in.Rs1, err = a.parseReg(ops[0], true); err != nil {
+			return err
+		}
+	case ovm.FmtSys:
+		if err = need(1); err != nil {
+			return err
+		}
+		if in.Imm, err = a.immOrReloc(ops[0], ovm.FieldImm); err != nil {
+			return err
+		}
+	}
+	return a.emit(in)
+}
+
+func (a *assembler) emit(in ovm.Inst) error {
+	if a.sec != inText {
+		return a.errf("instruction outside .text")
+	}
+	if err := in.Validate(); err != nil {
+		return a.errf("%v", err)
+	}
+	a.obj.Text = append(a.obj.Text, in)
+	a.obj.SrcLines = append(a.obj.SrcLines, a.pendingLine)
+	a.pendingLine = 0
+	return nil
+}

@@ -1,0 +1,209 @@
+// Package bench reproduces the paper's evaluation (§4): it builds the
+// four SPEC92-style workloads (li/xlisp, compress, alvinn, eqntott),
+// runs them through every execution path — OmniVM interpretation,
+// load-time translation with and without SFI and translator
+// optimizations, and the native cc/gcc baselines — and regenerates each
+// table and figure. Execution time is simulated cycles; every
+// measurement cross-checks the workload's exit code and output against
+// the interpreter, so a wrong number cannot silently masquerade as a
+// fast one.
+package bench
+
+import (
+	"embed"
+	"fmt"
+	"regexp"
+	"strconv"
+
+	"omniware/internal/cc"
+	"omniware/internal/cc/ir"
+	"omniware/internal/core"
+	"omniware/internal/native"
+	"omniware/internal/ovm"
+	"omniware/internal/target"
+	"omniware/internal/translate"
+)
+
+//go:embed progs/*.c
+var progsFS embed.FS
+
+// WorkloadNames lists the benchmark programs in the paper's row order.
+var WorkloadNames = []string{"li", "compress", "alvinn", "eqntott"}
+
+var progFile = map[string]string{
+	"li":       "progs/xlisp.c",
+	"compress": "progs/compress.c",
+	"alvinn":   "progs/alvinn.c",
+	"eqntott":  "progs/eqntott.c",
+}
+
+var scaleRe = regexp.MustCompile(`enum \{ SCALE = \d+ \};`)
+
+// Sources returns the translation units of a workload. scale <= 0
+// keeps each program's built-in size; otherwise the SCALE constant is
+// overridden (1 is used by the test suite for speed).
+func Sources(name string, scale int) ([]core.SourceFile, error) {
+	prog, ok := progFile[name]
+	if !ok {
+		return nil, fmt.Errorf("bench: unknown workload %q", name)
+	}
+	src, err := progsFS.ReadFile(prog)
+	if err != nil {
+		return nil, err
+	}
+	libc, err := progsFS.ReadFile("progs/libc.c")
+	if err != nil {
+		return nil, err
+	}
+	text := string(src)
+	if scale > 0 {
+		text = scaleRe.ReplaceAllString(text, "enum { SCALE = "+strconv.Itoa(scale)+" };")
+	}
+	return []core.SourceFile{
+		{Name: name + ".c", Src: text},
+		{Name: "libc.c", Src: string(libc)},
+	}, nil
+}
+
+// Built is a workload compiled once and ready to measure.
+type Built struct {
+	Name  string
+	Files []core.SourceFile
+	Mod   *ovm.Module
+	Funcs []*ir.Func
+
+	RefExit int32
+	RefOut  string
+	Interp  Measurement
+}
+
+// Measurement is one execution's cost.
+type Measurement struct {
+	Cycles uint64
+	Insts  uint64
+	Counts [target.NumCats]uint64
+}
+
+// Build compiles a workload at the given optimization level and
+// register-file size, and establishes the interpreter reference run.
+func Build(name string, scale int, opts cc.Options) (*Built, error) {
+	files, err := Sources(name, scale)
+	if err != nil {
+		return nil, err
+	}
+	mod, err := core.BuildC(files, opts)
+	if err != nil {
+		return nil, fmt.Errorf("bench: %s: %w", name, err)
+	}
+	funcs, err := core.BuildIRFuncs(files, opts)
+	if err != nil {
+		return nil, fmt.Errorf("bench: %s IR: %w", name, err)
+	}
+	b := &Built{Name: name, Files: files, Mod: mod, Funcs: funcs}
+
+	h, err := core.NewHost(mod, core.RunConfig{})
+	if err != nil {
+		return nil, err
+	}
+	res, err := h.RunInterp()
+	if err != nil {
+		return nil, fmt.Errorf("bench: %s interp: %w", name, err)
+	}
+	if res.Faulted {
+		return nil, fmt.Errorf("bench: %s interp faulted: %s", name, res.Fault)
+	}
+	b.RefExit = res.ExitCode
+	b.RefOut = h.Output()
+	b.Interp = Measurement{Cycles: res.Cycles, Insts: res.Steps}
+	return b, nil
+}
+
+func (b *Built) validate(kind string, exit int32, out string) error {
+	if exit != b.RefExit || out != b.RefOut {
+		return fmt.Errorf("bench: %s/%s: wrong answer (exit %d want %d, out %q want %q)",
+			b.Name, kind, exit, b.RefExit, out, b.RefOut)
+	}
+	return nil
+}
+
+// Translated measures the load-time-translated execution.
+func (b *Built) Translated(mach *target.Machine, opt translate.Options) (Measurement, error) {
+	h, err := core.NewHost(b.Mod, core.RunConfig{})
+	if err != nil {
+		return Measurement{}, err
+	}
+	res, _, err := h.RunTranslated(mach, opt)
+	if err != nil {
+		return Measurement{}, fmt.Errorf("bench: %s/%s translated: %w", b.Name, mach.Name, err)
+	}
+	if res.Faulted {
+		return Measurement{}, fmt.Errorf("bench: %s/%s translated faulted: %s", b.Name, mach.Name, res.Fault)
+	}
+	if err := b.validate("translated/"+mach.Name, res.ExitCode, h.Output()); err != nil {
+		return Measurement{}, err
+	}
+	return Measurement{Cycles: res.Cycles, Insts: res.Insts, Counts: res.Counts}, nil
+}
+
+// Native measures a baseline-compiler execution.
+func (b *Built) Native(mach *target.Machine, prof native.Profile) (Measurement, error) {
+	h, err := core.NewHost(b.Mod, core.RunConfig{})
+	if err != nil {
+		return Measurement{}, err
+	}
+	res, err := h.RunNative(mach, prof, b.Funcs)
+	if err != nil {
+		return Measurement{}, fmt.Errorf("bench: %s/%s native %s: %w", b.Name, mach.Name, prof, err)
+	}
+	if res.Faulted {
+		return Measurement{}, fmt.Errorf("bench: %s/%s native %s faulted: %s", b.Name, mach.Name, prof, res.Fault)
+	}
+	if err := b.validate("native-"+prof.String()+"/"+mach.Name, res.ExitCode, h.Output()); err != nil {
+		return Measurement{}, err
+	}
+	return Measurement{Cycles: res.Cycles, Insts: res.Insts, Counts: res.Counts}, nil
+}
+
+// Suite bundles the four built workloads plus memoized measurements.
+type Suite struct {
+	Scale    int
+	Workload []*Built
+	memo     map[string]Measurement
+}
+
+// NewSuite builds all four workloads.
+func NewSuite(scale int) (*Suite, error) {
+	s := &Suite{Scale: scale, memo: map[string]Measurement{}}
+	for _, name := range WorkloadNames {
+		b, err := Build(name, scale, cc.Options{OptLevel: 2})
+		if err != nil {
+			return nil, err
+		}
+		s.Workload = append(s.Workload, b)
+	}
+	return s, nil
+}
+
+func (s *Suite) get(key string, f func() (Measurement, error)) (Measurement, error) {
+	if m, ok := s.memo[key]; ok {
+		return m, nil
+	}
+	m, err := f()
+	if err != nil {
+		return m, err
+	}
+	s.memo[key] = m
+	return m, nil
+}
+
+// T returns the translated measurement for (workload, machine, config).
+func (s *Suite) T(b *Built, mach *target.Machine, opt translate.Options) (Measurement, error) {
+	key := fmt.Sprintf("t/%s/%s/%+v", b.Name, mach.Name, opt)
+	return s.get(key, func() (Measurement, error) { return b.Translated(mach, opt) })
+}
+
+// N returns the native measurement for (workload, machine, profile).
+func (s *Suite) N(b *Built, mach *target.Machine, prof native.Profile) (Measurement, error) {
+	key := fmt.Sprintf("n/%s/%s/%s", b.Name, mach.Name, prof)
+	return s.get(key, func() (Measurement, error) { return b.Native(mach, prof) })
+}

@@ -1,0 +1,53 @@
+package bench
+
+import (
+	"testing"
+
+	"omniware/internal/cc"
+	"omniware/internal/native"
+	"omniware/internal/target"
+	"omniware/internal/translate"
+)
+
+// The four workloads must build and agree across the interpreter, a
+// translated target, and a native baseline at the small test scale.
+func TestWorkloadsCrossAgree(t *testing.T) {
+	for _, name := range WorkloadNames {
+		b, err := Build(name, 1, cc.Options{OptLevel: 2})
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		t.Logf("%s: interp %d omni insts, exit %d, out %q", name, b.Interp.Insts, b.RefExit, b.RefOut)
+		if b.Interp.Insts < 50_000 {
+			t.Errorf("%s: workload too small (%d insts)", name, b.Interp.Insts)
+		}
+		for _, mach := range []*target.Machine{target.MIPSMachine(), target.X86Machine()} {
+			if _, err := b.Translated(mach, translate.Paper(true)); err != nil {
+				t.Errorf("%v", err)
+			}
+			if _, err := b.Native(mach, native.ProfCC); err != nil {
+				t.Errorf("%v", err)
+			}
+		}
+	}
+}
+
+func TestWorkloadsAtO0AgreeWithO2(t *testing.T) {
+	for _, name := range WorkloadNames {
+		b2, err := Build(name, 1, cc.Options{OptLevel: 2})
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		b0, err := Build(name, 1, cc.Options{OptLevel: 0})
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if b0.RefExit != b2.RefExit || b0.RefOut != b2.RefOut {
+			t.Errorf("%s: O0 (%d,%q) != O2 (%d,%q)", name, b0.RefExit, b0.RefOut, b2.RefExit, b2.RefOut)
+		}
+		if b0.Interp.Insts <= b2.Interp.Insts {
+			t.Errorf("%s: optimization did not reduce instruction count (O0 %d, O2 %d)",
+				name, b0.Interp.Insts, b2.Interp.Insts)
+		}
+	}
+}

@@ -1,0 +1,140 @@
+/*
+ * alvinn — a back-propagation neural network trained on synthetic
+ * "road images", floating-point loops over weight matrices, like SPEC92
+ * alvinn (which trained a steering network).
+ */
+
+unsigned rand_(void);
+void srand_(unsigned seed);
+
+enum { SCALE = 2 };
+
+enum { NIN = 96, NHID = 24, NOUT = 8, NPAT = 12 };
+
+double w1[NHID][NIN];    /* input -> hidden */
+double w2[NOUT][NHID];   /* hidden -> output */
+double b1[NHID];
+double b2[NOUT];
+
+double pat_in[NPAT][NIN];
+double pat_out[NPAT][NOUT];
+
+double hid[NHID];
+double out[NOUT];
+double dhid[NHID];
+double dout[NOUT];
+
+double frand(void) {
+	/* uniform in [-0.5, 0.5) */
+	return ((double)(int)(rand_() % 10000u) / 10000.0) - 0.5;
+}
+
+/* Rational approximation of the logistic squash (SPEC alvinn uses
+ * tanh-like squashing; a divide keeps the FP divide unit busy). */
+double squash(double x) {
+	double ax = x < 0.0 ? -x : x;
+	double v = x / (1.0 + ax);
+	return 0.5 + 0.5 * v;
+}
+
+void init(void) {
+	int i, j, p;
+	for (i = 0; i < NHID; i++) {
+		for (j = 0; j < NIN; j++) w1[i][j] = frand() * 0.3;
+		b1[i] = frand() * 0.1;
+	}
+	for (i = 0; i < NOUT; i++) {
+		for (j = 0; j < NHID; j++) w2[i][j] = frand() * 0.3;
+		b2[i] = frand() * 0.1;
+	}
+	/* Synthetic road patterns: a bright band whose position encodes the
+	 * desired steering output. */
+	for (p = 0; p < NPAT; p++) {
+		int center = (p * NIN) / NPAT;
+		for (j = 0; j < NIN; j++) {
+			int d = j - center;
+			if (d < 0) d = -d;
+			pat_in[p][j] = d < 6 ? 1.0 - (double)d * 0.15 : 0.05;
+		}
+		for (i = 0; i < NOUT; i++) pat_out[p][i] = 0.1;
+		pat_out[p][(p * NOUT) / NPAT] = 0.9;
+	}
+}
+
+void forward(double *in) {
+	int i, j;
+	double s;
+	for (i = 0; i < NHID; i++) {
+		s = b1[i];
+		for (j = 0; j < NIN; j++) s += w1[i][j] * in[j];
+		hid[i] = squash(s);
+	}
+	for (i = 0; i < NOUT; i++) {
+		s = b2[i];
+		for (j = 0; j < NHID; j++) s += w2[i][j] * hid[j];
+		out[i] = squash(s);
+	}
+}
+
+double train_epoch(double rate) {
+	int p, i, j;
+	double err, e, s;
+
+	err = 0.0;
+	for (p = 0; p < NPAT; p++) {
+		forward(pat_in[p]);
+		/* Output deltas. */
+		for (i = 0; i < NOUT; i++) {
+			e = pat_out[p][i] - out[i];
+			err += e * e;
+			dout[i] = e * out[i] * (1.0 - out[i]);
+		}
+		/* Hidden deltas. */
+		for (j = 0; j < NHID; j++) {
+			s = 0.0;
+			for (i = 0; i < NOUT; i++) s += dout[i] * w2[i][j];
+			dhid[j] = s * hid[j] * (1.0 - hid[j]);
+		}
+		/* Weight updates. */
+		for (i = 0; i < NOUT; i++) {
+			for (j = 0; j < NHID; j++) w2[i][j] += rate * dout[i] * hid[j];
+			b2[i] += rate * dout[i];
+		}
+		for (i = 0; i < NHID; i++) {
+			for (j = 0; j < NIN; j++) w1[i][j] += rate * dhid[i] * pat_in[p][j];
+			b1[i] += rate * dhid[i];
+		}
+	}
+	return err;
+}
+
+int main(void) {
+	int epoch, i, best;
+	double err, bestv;
+	int check;
+
+	srand_(7);
+	init();
+	err = 0.0;
+	for (epoch = 0; epoch < 12 * SCALE; epoch++) {
+		err = train_epoch(0.3);
+	}
+	/* Evaluate: classify each pattern by the strongest output. */
+	check = 0;
+	for (i = 0; i < NPAT; i++) {
+		int k;
+		forward(pat_in[i]);
+		best = 0;
+		bestv = out[0];
+		for (k = 1; k < NOUT; k++) {
+			if (out[k] > bestv) { bestv = out[k]; best = k; }
+		}
+		check = check * 10 + best;
+		check %= 100000000;
+	}
+	_print_int(check);
+	_putc(10);
+	_print_int((int)(err * 10000.0));
+	_putc(10);
+	return check & 0x7f;
+}

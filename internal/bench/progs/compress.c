@@ -1,0 +1,171 @@
+/*
+ * compress — LZW compression and decompression over a synthetic buffer
+ * with realistic repetition, 12-bit codes and an open-hash code table.
+ * Bit manipulation and table lookups dominated, like SPEC92 compress.
+ */
+
+unsigned rand_(void);
+void srand_(unsigned seed);
+
+enum { SCALE = 3 };
+
+enum {
+	NBITS = 12,
+	TABSIZE = 5003,          /* prime > 2^12 */
+	MAXCODE = 4096,
+	BUFLEN = 24000,
+	FIRST = 257,             /* first free code (256 = clear) */
+	CLEAR = 256
+};
+
+char input[BUFLEN];
+char output[BUFLEN * 2];
+char decoded[BUFLEN];
+
+int htab[TABSIZE];     /* packed (prefix<<8)|ch key, or -1 */
+int codetab[TABSIZE];  /* code for that key */
+
+/* Decompressor tables. */
+int dprefix[MAXCODE];
+char dsuffix[MAXCODE];
+char dstack[MAXCODE];
+
+int outbits;     /* bit position in output */
+
+void putcode(int code) {
+	int byte = outbits >> 3;
+	int off = outbits & 7;
+	output[byte] = (char)(output[byte] | (code << off));
+	output[byte + 1] = (char)(code >> (8 - off));
+	if (off > 4) output[byte + 2] = (char)(code >> (16 - off));
+	outbits += NBITS;
+}
+
+int inbits;
+
+int getcode(void) {
+	int byte = inbits >> 3;
+	int off = inbits & 7;
+	unsigned v;
+	v = (unsigned char)output[byte];
+	v |= (unsigned)(unsigned char)output[byte + 1] << 8;
+	v |= (unsigned)(unsigned char)output[byte + 2] << 16;
+	inbits += NBITS;
+	return (int)((v >> off) & (MAXCODE - 1));
+}
+
+void gen_input(int n) {
+	int i, j, runlen, start;
+	/* Mix of random bytes and copied earlier runs (compressible). */
+	i = 0;
+	while (i < n) {
+		if (i > 64 && (rand_() & 3) != 0) {
+			runlen = 4 + (int)(rand_() % 60);
+			start = (int)(rand_() % (unsigned)(i - runlen > 0 ? i - runlen : 1));
+			for (j = 0; j < runlen && i < n; j++) input[i++] = input[start + j];
+		} else {
+			input[i++] = (char)(rand_() % 37 + 'a' - 10);
+		}
+	}
+}
+
+int compress(int n) {
+	int i, c, fcode, h, disp, ent, freecode;
+
+	for (i = 0; i < TABSIZE; i++) htab[i] = -1;
+	outbits = 0;
+	freecode = FIRST;
+
+	ent = (unsigned char)input[0];
+	for (i = 1; i < n; i++) {
+		c = (unsigned char)input[i];
+		fcode = (ent << 8) | c;
+		h = ((c << 4) ^ ent) % TABSIZE;
+		disp = h == 0 ? 1 : TABSIZE - h;
+		for (;;) {
+			if (htab[h] == fcode) {
+				ent = codetab[h];
+				break;
+			}
+			if (htab[h] < 0) {
+				putcode(ent);
+				if (freecode < MAXCODE) {
+					htab[h] = fcode;
+					codetab[h] = freecode++;
+				}
+				ent = c;
+				break;
+			}
+			h -= disp;
+			if (h < 0) h += TABSIZE;
+		}
+	}
+	putcode(ent);
+	return (outbits + 7) / 8;
+}
+
+int decompress(int n) {
+	int code, oldcode, incode, finchar, freecode;
+	int sp, outn;
+
+	inbits = 0;
+	freecode = FIRST;
+	outn = 0;
+
+	oldcode = getcode();
+	finchar = oldcode;
+	decoded[outn++] = (char)finchar;
+
+	while (outn < n) {
+		code = getcode();
+		incode = code;
+		sp = 0;
+		if (code >= freecode) {
+			/* KwKwK case. */
+			dstack[sp++] = (char)finchar;
+			code = oldcode;
+		}
+		while (code >= 256) {
+			dstack[sp++] = dsuffix[code];
+			code = dprefix[code];
+		}
+		finchar = code;
+		dstack[sp++] = (char)finchar;
+		while (sp > 0) {
+			decoded[outn++] = dstack[--sp];
+			if (outn >= n) break;
+		}
+		if (freecode < MAXCODE) {
+			dprefix[freecode] = oldcode;
+			dsuffix[freecode] = (char)finchar;
+			freecode++;
+		}
+		oldcode = incode;
+	}
+	return outn;
+}
+
+int main(void) {
+	int round, i, n, packed, outn, check = 0;
+
+	srand_(42);
+	for (round = 0; round < SCALE; round++) {
+		n = BUFLEN - (round * 1000);
+		gen_input(n);
+		packed = compress(n);
+		outn = decompress(n);
+		if (outn != n) { _puts("length mismatch\n"); return 1; }
+		for (i = 0; i < n; i++) {
+			if (decoded[i] != input[i]) {
+				_puts("roundtrip mismatch at ");
+				_print_int(i);
+				_putc(10);
+				return 2;
+			}
+		}
+		check += packed;
+	}
+	_print_int(check);
+	_putc(10);
+	return check & 0x7f;
+}

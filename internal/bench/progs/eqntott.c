@@ -1,0 +1,148 @@
+/*
+ * eqntott — converts boolean equations (sum-of-products form) into a
+ * sorted truth table. Dominated by the row-comparison function inside
+ * the sort, exactly like SPEC92 eqntott (whose hot spot was cmppt).
+ */
+
+unsigned rand_(void);
+void srand_(unsigned seed);
+
+enum { SCALE = 2 };
+
+enum { NVARS = 11, NROWS = 2048, NTERMS = 24, NOUTS = 3 };
+
+/* A product term: for each variable, 0 = negated, 1 = plain, 2 = don't
+ * care; one term list per output. */
+char terms[NOUTS][NTERMS][NVARS];
+int nterms[NOUTS];
+
+/* Truth table rows: inputs packed in a word plus output bits; rows are
+ * stored as indices into value arrays and sorted with a comparison that
+ * walks the bits (SPEC eqntott represents bits per short). */
+short rowbits[NROWS][NVARS + NOUTS];
+int perm[NROWS];
+
+void gen_equations(void) {
+	int o, t, v;
+	for (o = 0; o < NOUTS; o++) {
+		nterms[o] = 4 + (int)(rand_() % (NTERMS - 4));
+		for (t = 0; t < nterms[o]; t++) {
+			for (v = 0; v < NVARS; v++) {
+				unsigned r = rand_() % 10;
+				if (r < 3) terms[o][t][v] = 0;
+				else if (r < 6) terms[o][t][v] = 1;
+				else terms[o][t][v] = 2;
+			}
+		}
+	}
+}
+
+int eval_output(int o, int assignment) {
+	int t, v, ok;
+	for (t = 0; t < nterms[o]; t++) {
+		ok = 1;
+		for (v = 0; v < NVARS; v++) {
+			int bit = (assignment >> v) & 1;
+			char want = terms[o][t][v];
+			if (want != 2 && (int)want != bit) { ok = 0; break; }
+		}
+		if (ok) return 1;
+	}
+	return 0;
+}
+
+void build_table(void) {
+	int row, v, o;
+	for (row = 0; row < NROWS; row++) {
+		for (v = 0; v < NVARS; v++) {
+			rowbits[row][v] = (short)((row >> v) & 1);
+		}
+		for (o = 0; o < NOUTS; o++) {
+			rowbits[row][NVARS + o] = (short)eval_output(o, row);
+		}
+		perm[row] = row;
+	}
+}
+
+/* cmppt: compare rows output-bits-first then inputs, walking shorts —
+ * the branchy hot loop of the benchmark. */
+int cmppt(int a, int b) {
+	int i;
+	short *pa = rowbits[a];
+	short *pb = rowbits[b];
+	for (i = NVARS + NOUTS - 1; i >= 0; i--) {
+		if (pa[i] != pb[i]) {
+			return pa[i] < pb[i] ? -1 : 1;
+		}
+	}
+	return 0;
+}
+
+/* Quicksort with insertion-sort finish over the permutation array. */
+void qsort_rows(int lo, int hi) {
+	int i, j, pivot, tmp;
+	while (hi - lo > 8) {
+		pivot = perm[(lo + hi) / 2];
+		i = lo;
+		j = hi;
+		while (i <= j) {
+			while (cmppt(perm[i], pivot) < 0) i++;
+			while (cmppt(perm[j], pivot) > 0) j--;
+			if (i <= j) {
+				tmp = perm[i]; perm[i] = perm[j]; perm[j] = tmp;
+				i++;
+				j--;
+			}
+		}
+		if (j - lo < hi - i) {
+			qsort_rows(lo, j);
+			lo = i;
+		} else {
+			qsort_rows(i, hi);
+			hi = j;
+		}
+	}
+	for (i = lo + 1; i <= hi; i++) {
+		tmp = perm[i];
+		for (j = i - 1; j >= lo && cmppt(perm[j], tmp) > 0; j--) {
+			perm[j + 1] = perm[j];
+		}
+		perm[j + 1] = tmp;
+	}
+}
+
+/* Merge adjacent identical-output rows (the "pt reduction" flavour). */
+int count_groups(void) {
+	int row, o, groups = 1, diff;
+	for (row = 1; row < NROWS; row++) {
+		diff = 0;
+		for (o = 0; o < NOUTS; o++) {
+			if (rowbits[perm[row]][NVARS + o] != rowbits[perm[row - 1]][NVARS + o]) {
+				diff = 1;
+				break;
+			}
+		}
+		if (diff) groups++;
+	}
+	return groups;
+}
+
+int main(void) {
+	int round, check = 0, row;
+
+	srand_(123);
+	for (round = 0; round < SCALE; round++) {
+		gen_equations();
+		build_table();
+		qsort_rows(0, NROWS - 1);
+		check += count_groups();
+		/* Checksum over sorted order. */
+		for (row = 0; row < NROWS; row += 97) {
+			check += perm[row] * (row + 1);
+			check %= 1000000007;
+		}
+	}
+	_print_int(check);
+	_putc(10);
+	return check & 0x7f;
+}

@@ -1,0 +1,89 @@
+/*
+ * Minimal OmniC runtime library shared by the benchmark workloads:
+ * a first-fit allocator over _sbrk, memory and string primitives, and
+ * a deterministic LCG so every run is reproducible.
+ */
+
+enum { HDRW = 2 }; /* header words: size, free flag */
+
+static unsigned *free_list = 0;
+
+char *malloc(int n) {
+	unsigned *p;
+	unsigned words;
+	unsigned *prev;
+
+	if (n <= 0) n = 4;
+	words = (unsigned)((n + 3) / 4) + HDRW;
+
+	/* First fit over the free list. */
+	prev = 0;
+	p = free_list;
+	while (p) {
+		if (p[0] >= words) {
+			if (prev) prev[1] = p[1];
+			else free_list = (unsigned *)p[1];
+			p[1] = 0; /* in use */
+			return (char *)(p + HDRW);
+		}
+		prev = p;
+		p = (unsigned *)p[1];
+	}
+	p = (unsigned *)_sbrk((int)(words * 4));
+	if ((int)p == -1) {
+		_puts("malloc: out of memory\n");
+		_exit(9);
+	}
+	p[0] = words;
+	p[1] = 0;
+	return (char *)(p + HDRW);
+}
+
+void free(char *q) {
+	unsigned *p;
+	if (!q) return;
+	p = (unsigned *)q - HDRW;
+	p[1] = (unsigned)free_list;
+	free_list = p;
+}
+
+void memset_(char *d, int c, int n) {
+	int i;
+	for (i = 0; i < n; i++) d[i] = (char)c;
+}
+
+void memcpy_(char *d, char *s, int n) {
+	int i;
+	for (i = 0; i < n; i++) d[i] = s[i];
+}
+
+int strlen_(char *s) {
+	int n = 0;
+	while (s[n]) n++;
+	return n;
+}
+
+int strcmp_(char *a, char *b) {
+	while (*a && *a == *b) { a++; b++; }
+	return (int)(unsigned char)*a - (int)(unsigned char)*b;
+}
+
+void strcpy_(char *d, char *s) {
+	while ((*d++ = *s++) != 0) ;
+}
+
+static unsigned lcg_state = 12345;
+
+void srand_(unsigned seed) {
+	lcg_state = seed;
+	if (lcg_state == 0) lcg_state = 1;
+}
+
+unsigned rand_(void) {
+	lcg_state = lcg_state * 1103515245u + 12345u;
+	return (lcg_state >> 8) & 0x7fffff;
+}
+
+int abs_(int x) {
+	return x < 0 ? -x : x;
+}

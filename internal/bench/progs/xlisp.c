@@ -1,0 +1,442 @@
+/*
+ * xlisp — the "li" workload: a small Lisp interpreter with cons cells,
+ * an association-list environment, a mark/sweep garbage collector and a
+ * recursive evaluator. Pointer-chasing and recursion dominated, like
+ * SPEC92 li.
+ */
+
+int strcmp_(char *a, char *b);
+int strlen_(char *s);
+
+enum { SCALE = 3 };
+
+enum { TINT = 1, TSYM = 2, TCONS = 3, TLAMBDA = 4 };
+
+enum { NCELLS = 6000, NSYMS = 64, NAMELEN = 12, NROOTS = 8192 };
+
+struct cell {
+	int tag;
+	int val;           /* TINT value or TSYM id */
+	struct cell *car;
+	struct cell *cdr;
+	int mark;
+};
+
+struct cell pool[NCELLS];
+struct cell *freep;
+int gc_count;
+int alloc_count;
+
+char symname[NSYMS][NAMELEN];
+int nsyms;
+
+/* Root stack for GC safety during evaluation. */
+struct cell *roots[NROOTS];
+int nroots;
+
+struct cell *global_env;
+
+void push_root(struct cell *c) {
+	if (nroots >= NROOTS) { _puts("root overflow\n"); _exit(2); }
+	roots[nroots++] = c;
+}
+
+void pop_roots(int n) { nroots -= n; }
+
+void mark(struct cell *c) {
+	while (c && !c->mark) {
+		c->mark = 1;
+		if (c->tag == TCONS || c->tag == TLAMBDA) {
+			mark(c->car);
+			c = c->cdr;
+		} else {
+			return;
+		}
+	}
+}
+
+void gc(void) {
+	int i;
+	gc_count++;
+	for (i = 0; i < NCELLS; i++) pool[i].mark = 0;
+	mark(global_env);
+	for (i = 0; i < nroots; i++) mark(roots[i]);
+	freep = 0;
+	for (i = 0; i < NCELLS; i++) {
+		if (!pool[i].mark) {
+			pool[i].tag = 0;
+			pool[i].cdr = freep;
+			freep = &pool[i];
+		}
+	}
+	if (!freep) { _puts("heap exhausted\n"); _exit(3); }
+}
+
+struct cell *alloc(void) {
+	struct cell *c;
+	if (!freep) gc();
+	c = freep;
+	freep = c->cdr;
+	c->car = 0;
+	c->cdr = 0;
+	alloc_count++;
+	return c;
+}
+
+struct cell *mkint(int v) {
+	struct cell *c = alloc();
+	c->tag = TINT;
+	c->val = v;
+	return c;
+}
+
+struct cell *cons(struct cell *a, struct cell *d) {
+	struct cell *c;
+	push_root(a);
+	push_root(d);
+	c = alloc();
+	c->tag = TCONS;
+	c->car = a;
+	c->cdr = d;
+	pop_roots(2);
+	return c;
+}
+
+int intern(char *name) {
+	int i, j;
+	for (i = 0; i < nsyms; i++) {
+		if (strcmp_(symname[i], name) == 0) return i;
+	}
+	if (nsyms >= NSYMS) { _puts("too many symbols\n"); _exit(4); }
+	for (j = 0; name[j] && j < NAMELEN - 1; j++) symname[nsyms][j] = name[j];
+	symname[nsyms][j] = 0;
+	return nsyms++;
+}
+
+struct cell *mksym(int id) {
+	struct cell *c = alloc();
+	c->tag = TSYM;
+	c->val = id;
+	return c;
+}
+
+/* ---- reader ---- */
+
+char *rdp; /* read position */
+
+void skipws(void) {
+	while (*rdp == ' ' || *rdp == '\n' || *rdp == '\t') rdp++;
+}
+
+struct cell *read_expr(void);
+
+struct cell *read_list(void) {
+	struct cell *head = 0, *tail = 0, *e;
+	skipws();
+	while (*rdp && *rdp != ')') {
+		/* The partial list must survive allocations inside read_expr. */
+		push_root(head);
+		e = read_expr();
+		e = cons(e, 0);
+		pop_roots(1);
+		if (!head) {
+			head = e;
+			tail = e;
+		} else {
+			tail->cdr = e;
+			tail = e;
+		}
+		skipws();
+	}
+	if (*rdp == ')') rdp++;
+	return head;
+}
+
+struct cell *read_expr(void) {
+	char buf[NAMELEN];
+	int n, neg, v;
+	skipws();
+	if (*rdp == '(') {
+		rdp++;
+		return read_list();
+	}
+	if ((*rdp >= '0' && *rdp <= '9') || (*rdp == '-' && rdp[1] >= '0' && rdp[1] <= '9')) {
+		neg = 0;
+		if (*rdp == '-') { neg = 1; rdp++; }
+		v = 0;
+		while (*rdp >= '0' && *rdp <= '9') v = v * 10 + (*rdp++ - '0');
+		return mkint(neg ? -v : v);
+	}
+	n = 0;
+	while (*rdp && *rdp != ' ' && *rdp != '\n' && *rdp != '\t' && *rdp != '(' && *rdp != ')' && n < NAMELEN - 1) {
+		buf[n++] = *rdp++;
+	}
+	buf[n] = 0;
+	return mksym(intern(buf));
+}
+
+/* ---- evaluator ---- */
+
+int s_quote, s_if, s_define, s_lambda, s_plus, s_minus, s_times;
+int s_lt, s_eq, s_cons, s_car, s_cdr, s_null, s_t, s_while, s_set;
+
+struct cell *assq(int sym, struct cell *env) {
+	while (env) {
+		if (env->car && env->car->car && env->car->car->val == sym) return env->car;
+		env = env->cdr;
+	}
+	return 0;
+}
+
+struct cell *eval(struct cell *e, struct cell *env);
+
+struct cell *evlist(struct cell *l, struct cell *env) {
+	struct cell *head = 0, *tail = 0, *v, *node;
+	push_root(l);
+	push_root(env);
+	while (l) {
+		push_root(head);
+		v = eval(l->car, env);
+		push_root(v);
+		node = cons(v, 0);
+		pop_roots(2);
+		if (!head) { head = node; tail = node; }
+		else { tail->cdr = node; tail = node; }
+		l = l->cdr;
+	}
+	pop_roots(2);
+	return head;
+}
+
+int require_int(struct cell *c) {
+	if (!c || c->tag != TINT) { _puts("type error: int\n"); _exit(5); }
+	return c->val;
+}
+
+struct cell *apply(struct cell *fn, struct cell *args, struct cell *env);
+
+struct cell *eval(struct cell *e, struct cell *env) {
+	struct cell *p, *fn, *args, *v;
+	int op;
+
+	if (!e) return 0;
+	if (e->tag == TINT) return e;
+	if (e->tag == TSYM) {
+		p = assq(e->val, env);
+		if (!p) p = assq(e->val, global_env);
+		if (!p) { _puts("unbound: "); _puts(symname[e->val]); _putc(10); _exit(6); }
+		return p->cdr;
+	}
+	/* A list: special forms first. */
+	if (e->car && e->car->tag == TSYM) {
+		op = e->car->val;
+		if (op == s_quote) return e->cdr->car;
+		if (op == s_if) {
+			push_root(e);
+			push_root(env);
+			v = eval(e->cdr->car, env);
+			pop_roots(2);
+			if (v && !(v->tag == TINT && v->val == 0)) {
+				return eval(e->cdr->cdr->car, env);
+			}
+			if (e->cdr->cdr->cdr) return eval(e->cdr->cdr->cdr->car, env);
+			return 0;
+		}
+		if (op == s_define) {
+			/* (define (name args...) body) or (define name expr) */
+			struct cell *sig = e->cdr->car;
+			push_root(e);
+			if (sig->tag == TCONS) {
+				struct cell *lam = alloc();
+				lam->tag = TLAMBDA;
+				lam->car = sig->cdr;        /* params */
+				lam->cdr = e->cdr->cdr->car; /* body */
+				push_root(lam);
+				global_env = cons(cons(mksym(sig->car->val), lam), global_env);
+				pop_roots(1);
+			} else {
+				v = eval(e->cdr->cdr->car, env);
+				push_root(v);
+				global_env = cons(cons(mksym(sig->val), v), global_env);
+				pop_roots(1);
+			}
+			pop_roots(1);
+			return 0;
+		}
+		if (op == s_lambda) {
+			struct cell *lam = alloc();
+			lam->tag = TLAMBDA;
+			lam->car = e->cdr->car;
+			lam->cdr = e->cdr->cdr->car;
+			return lam;
+		}
+	}
+	/* Application. */
+	push_root(e);
+	push_root(env);
+	fn = eval(e->car, env);
+	push_root(fn);
+	args = evlist(e->cdr, env);
+	push_root(args);
+	v = apply(fn, args, env);
+	pop_roots(4);
+	return v;
+}
+
+struct cell *apply(struct cell *fn, struct cell *args, struct cell *env) {
+	int op, a, b;
+	struct cell *newenv, *params;
+
+	if (fn && fn->tag == TSYM) {
+		op = fn->val;
+		if (op == s_cons) return cons(args->car, args->cdr->car);
+		if (op == s_car) return args->car ? args->car->car : 0;
+		if (op == s_cdr) return args->car ? args->car->cdr : 0;
+		if (op == s_null) return mkint(args->car == 0);
+		a = require_int(args->car);
+		if (args->cdr) {
+			b = require_int(args->cdr->car);
+		} else {
+			b = 0;
+		}
+		if (op == s_plus) return mkint(a + b);
+		if (op == s_minus) return mkint(a - b);
+		if (op == s_times) return mkint(a * b);
+		if (op == s_lt) return mkint(a < b);
+		if (op == s_eq) return mkint(a == b);
+		_puts("bad primitive\n");
+		_exit(7);
+	}
+	if (!fn || fn->tag != TLAMBDA) { _puts("not a function\n"); _exit(8); }
+	newenv = env;
+	params = fn->car;
+	push_root(fn);
+	push_root(args);
+	while (params && args) {
+		push_root(newenv);
+		newenv = cons(cons(mksym(params->car->val), args->car), newenv);
+		pop_roots(1);
+		params = params->cdr;
+		args = args->cdr;
+	}
+	push_root(newenv);
+	{
+		struct cell *v = eval(fn->cdr, newenv);
+		pop_roots(3);
+		return v;
+	}
+}
+
+/* Bind a primitive: the value is the symbol itself (tag dispatch). */
+void defprim(char *name) {
+	int id = intern(name);
+	global_env = cons(cons(mksym(id), mksym(id)), global_env);
+}
+
+char *program =
+	"(define (fib n) (if (< n 2) n (+ (fib (- n 1)) (fib (- n 2)))))"
+	"(define (tak x y z) (if (< y x)"
+	"  (tak (tak (- x 1) y z) (tak (- y 1) z x) (tak (- z 1) x y)) z))"
+	"(define (range n) (if (= n 0) (quote ()) (cons n (range (- n 1)))))"
+	"(define (len l) (if (null l) 0 (+ 1 (len (cdr l)))))"
+	"(define (append2 a b) (if (null a) b (cons (car a) (append2 (cdr a) b))))"
+	"(define (rev l) (if (null l) (quote ()) (append2 (rev (cdr l)) (cons (car l) (quote ())))))"
+	"(define (sum l) (if (null l) 0 (+ (car l) (sum (cdr l))))) ";
+
+int run_queries(int n) {
+	int check = 0;
+	char qbuf[64];
+	struct cell *e, *v;
+	int i;
+
+	/* (fib 11+k%3), (tak ...), list ops */
+	for (i = 0; i < n; i++) {
+		rdp = "(fib 11)";
+		e = read_expr();
+		push_root(e);
+		v = eval(e, 0);
+		pop_roots(1);
+		check += require_int(v);
+
+		rdp = "(tak 9 6 3)";
+		e = read_expr();
+		push_root(e);
+		v = eval(e, 0);
+		pop_roots(1);
+		check += require_int(v);
+
+		rdp = "(sum (rev (range 40)))";
+		e = read_expr();
+		push_root(e);
+		v = eval(e, 0);
+		pop_roots(1);
+		check += require_int(v);
+
+		rdp = "(len (append2 (range 25) (range 30)))";
+		e = read_expr();
+		push_root(e);
+		v = eval(e, 0);
+		pop_roots(1);
+		check += require_int(v);
+	}
+	(void)qbuf;
+	return check;
+}
+
+int main(void) {
+	int i;
+	struct cell *e;
+	int check;
+
+	/* Build the free list. */
+	freep = 0;
+	for (i = 0; i < NCELLS; i++) {
+		pool[i].cdr = freep;
+		freep = &pool[i];
+	}
+
+	s_quote = intern("quote");
+	s_if = intern("if");
+	s_define = intern("define");
+	s_lambda = intern("lambda");
+	s_plus = intern("+");
+	s_minus = intern("-");
+	s_times = intern("*");
+	s_lt = intern("<");
+	s_eq = intern("=");
+	s_cons = intern("cons");
+	s_car = intern("car");
+	s_cdr = intern("cdr");
+	s_null = intern("null");
+
+	defprim("+");
+	defprim("-");
+	defprim("*");
+	defprim("<");
+	defprim("=");
+	defprim("cons");
+	defprim("car");
+	defprim("cdr");
+	defprim("null");
+
+	/* Load the program. */
+	rdp = program;
+	for (;;) {
+		char *save = rdp;
+		skipws();
+		if (!*rdp) break;
+		rdp = save;
+		skipws();
+		e = read_expr();
+		push_root(e);
+		eval(e, 0);
+		pop_roots(1);
+	}
+
+	check = run_queries(SCALE);
+	_print_int(check);
+	_putc(10);
+	_print_int(gc_count);
+	_putc(10);
+	return check & 0x7f;
+}

@@ -1,0 +1,302 @@
+package ast
+
+import "omniware/internal/cc/token"
+
+// Node is implemented by all AST nodes.
+type Node interface {
+	Pos() token.Pos
+}
+
+// Expr is an expression node. After semantic analysis every expression
+// carries its type in T.
+type Expr interface {
+	Node
+	Type() *Type
+	SetType(*Type)
+}
+
+type ExprBase struct {
+	P token.Pos
+	T *Type
+}
+
+func (e *ExprBase) Pos() token.Pos  { return e.P }
+func (e *ExprBase) Type() *Type     { return e.T }
+func (e *ExprBase) SetType(t *Type) { e.T = t }
+
+// ScopeKind classifies what an identifier resolved to.
+type ScopeKind int
+
+const (
+	SymUnresolved ScopeKind = iota
+	SymLocal                // function-local variable or parameter
+	SymGlobal               // file-scope variable
+	SymFunc                 // function
+	SymEnumConst            // enumeration constant
+	SymBuiltin              // host-call builtin (_putc etc.)
+)
+
+// Ident is a name use.
+type Ident struct {
+	ExprBase
+	Name string
+	// Resolution (set by sem):
+	Kind    ScopeKind
+	LocalID int   // SymLocal: index into the function's Locals
+	EnumVal int64 // SymEnumConst
+	Builtin int   // SymBuiltin: syscall number
+	DeclTy  *Type // SymGlobal: declared (pre-decay) type
+}
+
+// IntLit is an integer (or character) literal.
+type IntLit struct {
+	ExprBase
+	Val int64
+}
+
+// FloatLit is a floating literal.
+type FloatLit struct {
+	ExprBase
+	Val float64
+}
+
+// StrLit is a string literal; sem assigns it a data label.
+type StrLit struct {
+	ExprBase
+	Val   string
+	Label string
+}
+
+// Unary is a prefix operator: - ~ ! & * ++ --.
+type Unary struct {
+	ExprBase
+	Op token.Kind
+	X  Expr
+}
+
+// Postfix is x++ or x--.
+type Postfix struct {
+	ExprBase
+	Op token.Kind
+	X  Expr
+}
+
+// Binary is a binary operator (arithmetic, relational, logical, comma).
+type Binary struct {
+	ExprBase
+	Op   token.Kind
+	X, Y Expr
+}
+
+// Assign is x = y or a compound assignment (Op is the compound
+// operator's base, e.g. Plus for +=; token.Assign for plain).
+type Assign struct {
+	ExprBase
+	Op   token.Kind
+	X, Y Expr
+}
+
+// Cond is x ? y : z.
+type Cond struct {
+	ExprBase
+	C, X, Y Expr
+}
+
+// Call is a function call; Fn is an Ident for direct calls or any
+// expression of function-pointer type.
+type Call struct {
+	ExprBase
+	Fn   Expr
+	Args []Expr
+}
+
+// Index is x[i].
+type Index struct {
+	ExprBase
+	X, I Expr
+}
+
+// Member is x.f (PtrDeref false) or x->f (PtrDeref true).
+type Member struct {
+	ExprBase
+	X        Expr
+	Name     string
+	PtrDeref bool
+	Field    *Field // set by sem
+}
+
+// Cast is (T)x.
+type Cast struct {
+	ExprBase
+	To *Type
+	X  Expr
+}
+
+// SizeofType is sizeof(T); sizeof expr is folded to this by the parser
+// after sem computes the operand type.
+type SizeofType struct {
+	ExprBase
+	Of *Type
+	X  Expr // non-nil for sizeof expr before sem resolves it
+}
+
+// Stmt is a statement node.
+type Stmt interface{ Node }
+
+type StmtBase struct{ P token.Pos }
+
+func (s *StmtBase) Pos() token.Pos { return s.P }
+
+// ExprStmt is an expression statement.
+type ExprStmt struct {
+	StmtBase
+	X Expr
+}
+
+// DeclStmt declares locals.
+type DeclStmt struct {
+	StmtBase
+	Decls []*LocalDecl
+}
+
+// LocalDecl is one declared local with optional initializer.
+type LocalDecl struct {
+	P       token.Pos
+	Name    string
+	Ty      *Type
+	Init    Expr
+	ArrInit []Expr // brace initializer for arrays (scalar elements)
+	LocalID int    // set by sem
+}
+
+func (d *LocalDecl) Pos() token.Pos { return d.P }
+
+// If statement.
+type If struct {
+	StmtBase
+	Cond Expr
+	Then Stmt
+	Else Stmt // may be nil
+}
+
+// While statement.
+type While struct {
+	StmtBase
+	Cond Expr
+	Body Stmt
+}
+
+// DoWhile statement.
+type DoWhile struct {
+	StmtBase
+	Body Stmt
+	Cond Expr
+}
+
+// For statement.
+type For struct {
+	StmtBase
+	Init Stmt // ExprStmt, DeclStmt or nil
+	Cond Expr // may be nil
+	Post Expr // may be nil
+	Body Stmt
+}
+
+// Switch statement. Cases are collected by sem.
+type Switch struct {
+	StmtBase
+	Tag  Expr
+	Body Stmt
+}
+
+// Case label inside a switch.
+type Case struct {
+	StmtBase
+	Val  Expr // nil for default
+	Int  int64
+	Body []Stmt // statements until next case (filled by parser)
+}
+
+// Break statement.
+type Break struct{ StmtBase }
+
+// Continue statement.
+type Continue struct{ StmtBase }
+
+// Return statement.
+type Return struct {
+	StmtBase
+	X Expr // may be nil
+}
+
+// Goto and Label support the benchmark sources' occasional jumps.
+type Goto struct {
+	StmtBase
+	Name string
+}
+
+// Label is name: stmt.
+type Label struct {
+	StmtBase
+	Name string
+	Stmt Stmt
+}
+
+// Block is { ... }.
+type Block struct {
+	StmtBase
+	List []Stmt
+}
+
+// Top-level declarations.
+
+// Local describes one local slot of a function (params first).
+type Local struct {
+	Name      string
+	Ty        *Type
+	IsParam   bool
+	AddrTaken bool
+}
+
+// FuncDecl is a function definition or prototype.
+type FuncDecl struct {
+	P      token.Pos
+	Name   string
+	Ty     *Type // TFunc
+	Body   *Block
+	Locals []*Local // set by sem; params first
+	Static bool
+}
+
+func (d *FuncDecl) Pos() token.Pos { return d.P }
+
+// VarDecl is a file-scope variable.
+type VarDecl struct {
+	P      token.Pos
+	Name   string
+	Ty     *Type
+	Init   Expr   // scalar initializer
+	List   []Expr // brace initializer elements (arrays/structs, flattened)
+	Extern bool
+	Static bool
+}
+
+func (d *VarDecl) Pos() token.Pos { return d.P }
+
+// File is a parsed translation unit.
+type File struct {
+	Name    string
+	Funcs   []*FuncDecl
+	Vars    []*VarDecl
+	Strings []*StrLit // interned string literals in appearance order
+}
+
+// NewIdent makes an identifier expression (used by tests and lowering).
+func NewIdent(pos token.Pos, name string) *Ident {
+	return &Ident{ExprBase: ExprBase{P: pos}, Name: name}
+}
+
+// NewInt makes an int literal with type int.
+func NewInt(pos token.Pos, v int64) *IntLit {
+	return &IntLit{ExprBase: ExprBase{P: pos, T: Int}, Val: v}
+}

@@ -1,0 +1,249 @@
+// Package ast defines the abstract syntax tree and type representation
+// for OmniC.
+package ast
+
+import (
+	"fmt"
+	"strings"
+)
+
+// TypeKind enumerates OmniC types. OmniVM defines the sizes of basic
+// types (8/16/32-bit integers, IEEE single and double), which lets the
+// compiler fix data layout and emit explicit address arithmetic — the
+// property §3.3 of the paper relies on for optimization.
+type TypeKind int
+
+const (
+	TVoid TypeKind = iota
+	TChar
+	TUChar
+	TShort
+	TUShort
+	TInt
+	TUInt
+	TFloat
+	TDouble
+	TPtr
+	TArray
+	TStruct
+	TFunc
+)
+
+// Type is an OmniC type. Types are interned only for basics; derived
+// types compare structurally via Same.
+type Type struct {
+	Kind   TypeKind
+	Elem   *Type    // Ptr, Array
+	Len    int      // Array length
+	Tag    string   // Struct tag
+	Fields []Field  // Struct (nil until defined)
+	Done   bool     // Struct definition completed
+	Ret    *Type    // Func
+	Params []*Type  // Func
+	PNames []string // Func parameter names (parallel to Params)
+	Old    bool     // Func declared with empty parameter list ()
+}
+
+// Field is a struct member.
+type Field struct {
+	Name   string
+	Type   *Type
+	Offset int
+}
+
+// Basic type singletons.
+var (
+	Void   = &Type{Kind: TVoid}
+	Char   = &Type{Kind: TChar}
+	UChar  = &Type{Kind: TUChar}
+	Short  = &Type{Kind: TShort}
+	UShort = &Type{Kind: TUShort}
+	Int    = &Type{Kind: TInt}
+	UInt   = &Type{Kind: TUInt}
+	Float  = &Type{Kind: TFloat}
+	Double = &Type{Kind: TDouble}
+)
+
+// PtrTo returns a pointer type to t.
+func PtrTo(t *Type) *Type { return &Type{Kind: TPtr, Elem: t} }
+
+// ArrayOf returns an array type.
+func ArrayOf(t *Type, n int) *Type { return &Type{Kind: TArray, Elem: t, Len: n} }
+
+// Size returns the size of t in bytes (0 for void, functions and
+// incomplete structs).
+func (t *Type) Size() int {
+	switch t.Kind {
+	case TChar, TUChar:
+		return 1
+	case TShort, TUShort:
+		return 2
+	case TInt, TUInt, TFloat, TPtr:
+		return 4
+	case TDouble:
+		return 8
+	case TArray:
+		return t.Elem.Size() * t.Len
+	case TStruct:
+		if !t.Done {
+			return 0
+		}
+		size := 0
+		align := t.Align()
+		if len(t.Fields) > 0 {
+			last := t.Fields[len(t.Fields)-1]
+			size = last.Offset + last.Type.Size()
+		}
+		if align > 0 {
+			size = (size + align - 1) &^ (align - 1)
+		}
+		return size
+	}
+	return 0
+}
+
+// Align returns the alignment of t in bytes.
+func (t *Type) Align() int {
+	switch t.Kind {
+	case TChar, TUChar:
+		return 1
+	case TShort, TUShort:
+		return 2
+	case TInt, TUInt, TFloat, TPtr:
+		return 4
+	case TDouble:
+		return 8
+	case TArray:
+		return t.Elem.Align()
+	case TStruct:
+		a := 1
+		for _, f := range t.Fields {
+			if fa := f.Type.Align(); fa > a {
+				a = fa
+			}
+		}
+		return a
+	}
+	return 1
+}
+
+// Layout assigns field offsets for a completed struct.
+func (t *Type) Layout() {
+	off := 0
+	for i := range t.Fields {
+		a := t.Fields[i].Type.Align()
+		off = (off + a - 1) &^ (a - 1)
+		t.Fields[i].Offset = off
+		off += t.Fields[i].Type.Size()
+	}
+	t.Done = true
+}
+
+// Field returns the named field, or nil.
+func (t *Type) Field(name string) *Field {
+	for i := range t.Fields {
+		if t.Fields[i].Name == name {
+			return &t.Fields[i]
+		}
+	}
+	return nil
+}
+
+// IsInteger reports whether t is an integer type.
+func (t *Type) IsInteger() bool {
+	switch t.Kind {
+	case TChar, TUChar, TShort, TUShort, TInt, TUInt:
+		return true
+	}
+	return false
+}
+
+// IsUnsigned reports whether t is an unsigned integer type (pointers
+// compare unsigned but are not included here).
+func (t *Type) IsUnsigned() bool {
+	switch t.Kind {
+	case TUChar, TUShort, TUInt:
+		return true
+	}
+	return false
+}
+
+// IsFloat reports whether t is float or double.
+func (t *Type) IsFloat() bool { return t.Kind == TFloat || t.Kind == TDouble }
+
+// IsArith reports whether t is arithmetic.
+func (t *Type) IsArith() bool { return t.IsInteger() || t.IsFloat() }
+
+// IsScalar reports whether t is arithmetic or a pointer.
+func (t *Type) IsScalar() bool { return t.IsArith() || t.Kind == TPtr }
+
+// Same reports structural type equality.
+func Same(a, b *Type) bool {
+	if a == b {
+		return true
+	}
+	if a == nil || b == nil || a.Kind != b.Kind {
+		return false
+	}
+	switch a.Kind {
+	case TPtr:
+		return Same(a.Elem, b.Elem)
+	case TArray:
+		return a.Len == b.Len && Same(a.Elem, b.Elem)
+	case TStruct:
+		return a.Tag != "" && a.Tag == b.Tag || a == b
+	case TFunc:
+		if !Same(a.Ret, b.Ret) || len(a.Params) != len(b.Params) {
+			return false
+		}
+		for i := range a.Params {
+			if !Same(a.Params[i], b.Params[i]) {
+				return false
+			}
+		}
+		return true
+	}
+	return true
+}
+
+func (t *Type) String() string {
+	if t == nil {
+		return "<nil>"
+	}
+	switch t.Kind {
+	case TVoid:
+		return "void"
+	case TChar:
+		return "char"
+	case TUChar:
+		return "unsigned char"
+	case TShort:
+		return "short"
+	case TUShort:
+		return "unsigned short"
+	case TInt:
+		return "int"
+	case TUInt:
+		return "unsigned int"
+	case TFloat:
+		return "float"
+	case TDouble:
+		return "double"
+	case TPtr:
+		return t.Elem.String() + "*"
+	case TArray:
+		return fmt.Sprintf("%s[%d]", t.Elem, t.Len)
+	case TStruct:
+		if t.Tag != "" {
+			return "struct " + t.Tag
+		}
+		return "struct {...}"
+	case TFunc:
+		var ps []string
+		for _, p := range t.Params {
+			ps = append(ps, p.String())
+		}
+		return fmt.Sprintf("%s(%s)", t.Ret, strings.Join(ps, ", "))
+	}
+	return "?"
+}

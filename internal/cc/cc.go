@@ -1,0 +1,110 @@
+// Package cc is the OmniC compiler driver: it ties together the
+// scanner, parser, semantic checker, IR builder, optimizer and OmniVM
+// code generator. This plays the role gcc and lcc played for the
+// original Omniware system — all machine-independent optimization
+// happens here, before load time (§3 of the paper).
+package cc
+
+import (
+	"fmt"
+
+	"omniware/internal/cc/gen"
+	"omniware/internal/cc/ir"
+	"omniware/internal/cc/opt"
+	"omniware/internal/cc/parse"
+	"omniware/internal/cc/sem"
+)
+
+// Options configures compilation.
+type Options struct {
+	// OptLevel 0 disables machine-independent optimization; 1 enables
+	// the standard pass pipeline (constant folding/propagation, CSE,
+	// DCE, strength reduction, loop-invariant code motion, addressing
+	// fusion). 2 additionally runs the pipeline to a fixed point.
+	OptLevel int
+	// IntRegFile / FPRegFile bound the OmniVM register file the
+	// compiler may use (Table 2); 0 means the full 16.
+	IntRegFile int
+	FPRegFile  int
+}
+
+// Result carries the products of compiling one translation unit.
+type Result struct {
+	Asm   string
+	Funcs []*ir.Func // post-optimization IR (for inspection/tests)
+}
+
+// Compile compiles OmniC source to OmniVM assembly.
+func Compile(filename, source string, opts Options) (*Result, error) {
+	file, err := parse.File(filename, source)
+	if err != nil {
+		return nil, err
+	}
+	info, err := sem.Check(file)
+	if err != nil {
+		return nil, err
+	}
+	var funcs []*ir.Func
+	for _, fd := range file.Funcs {
+		if fd.Body == nil {
+			continue
+		}
+		f, err := ir.BuildFunc(fd)
+		if err != nil {
+			return nil, err
+		}
+		opt.Run(f, opts.OptLevel)
+		funcs = append(funcs, f)
+	}
+	asm, err := gen.File(file, info, funcs, gen.Options{
+		IntRegFile: opts.IntRegFile,
+		FPRegFile:  opts.FPRegFile,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &Result{Asm: asm, Funcs: funcs}, nil
+}
+
+// BuildIR compiles source only as far as optimized IR, for the native
+// back ends (which select target instructions directly from IR rather
+// than going through OmniVM).
+func BuildIR(filename, source string, opts Options) ([]*ir.Func, *sem.Info, error) {
+	file, err := parse.File(filename, source)
+	if err != nil {
+		return nil, nil, err
+	}
+	info, err := sem.Check(file)
+	if err != nil {
+		return nil, nil, err
+	}
+	var funcs []*ir.Func
+	for _, fd := range file.Funcs {
+		if fd.Body == nil {
+			continue
+		}
+		f, err := ir.BuildFunc(fd)
+		if err != nil {
+			return nil, nil, err
+		}
+		opt.Run(f, opts.OptLevel)
+		funcs = append(funcs, f)
+	}
+	return funcs, info, nil
+}
+
+// Crt0 is the startup stub linked into every executable: it calls main
+// and passes the result to the exit host call.
+const Crt0 = `# crt0
+.text
+.globl _start
+_start:
+	jal r15, main
+	syscall 0
+	halt
+`
+
+// CompileError formats a compilation failure for tool output.
+func CompileError(file string, err error) error {
+	return fmt.Errorf("omnicc: %s: %w", file, err)
+}

@@ -1,0 +1,548 @@
+package cc
+
+import (
+	"strings"
+	"testing"
+
+	"omniware/internal/asm"
+	"omniware/internal/hostapi"
+	"omniware/internal/interp"
+	"omniware/internal/link"
+	"omniware/internal/ovm"
+	"omniware/internal/seg"
+)
+
+// runC compiles, assembles, links and interprets an OmniC program,
+// returning the exit code and captured output.
+func runC(t *testing.T, src string, opts Options) (int32, string) {
+	t.Helper()
+	res, err := Compile("test.c", src, opts)
+	if err != nil {
+		t.Fatalf("compile: %v", err)
+	}
+	obj, err := asm.Assemble("test.s", res.Asm)
+	if err != nil {
+		t.Fatalf("assemble: %v\n--- asm ---\n%s", err, res.Asm)
+	}
+	crt, err := asm.Assemble("crt0.s", Crt0)
+	if err != nil {
+		t.Fatalf("crt0: %v", err)
+	}
+	mod, err := link.Link([]*ovm.Object{crt, obj}, link.Options{})
+	if err != nil {
+		t.Fatalf("link: %v\n--- asm ---\n%s", err, res.Asm)
+	}
+	var mem seg.Memory
+	lay, err := hostapi.Load(&mem, mod, 1<<20, 1<<20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var out strings.Builder
+	env := hostapi.NewEnv(&mem, lay, &out)
+	mc := interp.New(mod, &mem, env)
+	mc.MaxSteps = 50_000_000
+	r, err := mc.Run()
+	if err != nil {
+		t.Fatalf("run: %v\n--- asm ---\n%s", err, res.Asm)
+	}
+	if r.Faulted {
+		t.Fatalf("faulted: %s\n--- asm ---\n%s", r.Fault, res.Asm)
+	}
+	return r.ExitCode, out.String()
+}
+
+// runBoth runs at -O0 and -O2 and checks both agree with want.
+func runBoth(t *testing.T, src string, want int32) {
+	t.Helper()
+	for _, lvl := range []int{0, 1, 2} {
+		got, _ := runC(t, src, Options{OptLevel: lvl})
+		if got != want {
+			t.Errorf("O%d: got %d, want %d", lvl, got, want)
+		}
+	}
+}
+
+func TestReturnConstant(t *testing.T) {
+	runBoth(t, "int main(void) { return 42; }", 42)
+}
+
+func TestArith(t *testing.T) {
+	runBoth(t, `
+int main(void) {
+	int a = 6, b = 7;
+	int c = a * b - 2;       /* 40 */
+	int d = c / 3;           /* 13 */
+	int e = c % 3;           /* 1 */
+	return d * 3 + e + 2;    /* 42 */
+}`, 42)
+}
+
+func TestUnsignedOps(t *testing.T) {
+	runBoth(t, `
+int main(void) {
+	unsigned a = 0x80000000u;
+	unsigned b = a >> 31;          /* 1 */
+	int c = (int)a >> 31;          /* -1 */
+	unsigned d = 4000000000u % 7u; /* 4000000000 % 7 = 3 */
+	unsigned e = 4000000000u / 1000000000u; /* 4 */
+	return (int)(b + d + e) + (c + 1); /* 1+3+4+0 = 8 */
+}`, 8)
+}
+
+func TestGlobalsAndArrays(t *testing.T) {
+	runBoth(t, `
+int tab[5] = {1, 2, 3, 4, 5};
+int sum;
+int main(void) {
+	int i;
+	for (i = 0; i < 5; i++) sum += tab[i];
+	return sum;
+}`, 15)
+}
+
+func TestPointers(t *testing.T) {
+	runBoth(t, `
+int swap(int *a, int *b) {
+	int t = *a;
+	*a = *b;
+	*b = t;
+	return *a - *b;
+}
+int main(void) {
+	int x = 3, y = 10;
+	swap(&x, &y);
+	return x * 10 + y;  /* 103 */
+}`, 103)
+}
+
+func TestPointerWalk(t *testing.T) {
+	runBoth(t, `
+int data[6] = {1, 2, 3, 4, 5, 6};
+int main(void) {
+	int *p = data;
+	int *end = data + 6;
+	int acc = 0;
+	while (p < end) acc += *p++;
+	return acc + (end - data);  /* 21 + 6 */
+}`, 27)
+}
+
+func TestStrings(t *testing.T) {
+	code, out := runC(t, `
+int len(char *s) {
+	int n = 0;
+	while (*s++) n++;
+	return n;
+}
+int main(void) {
+	char *msg = "hello";
+	_puts(msg);
+	return len(msg);
+}`, Options{OptLevel: 2})
+	if code != 5 || out != "hello" {
+		t.Errorf("code=%d out=%q", code, out)
+	}
+}
+
+func TestStructs(t *testing.T) {
+	runBoth(t, `
+struct point { int x; int y; };
+struct rect { struct point a; struct point b; };
+struct rect r = {{1, 2}, {10, 20}};
+int area(struct rect *p) {
+	return (p->b.x - p->a.x) * (p->b.y - p->a.y);
+}
+int main(void) {
+	struct rect local;
+	local = r;
+	local.b.y = 22;
+	return area(&local);  /* 9 * 20 = 180 */
+}`, 180)
+}
+
+func TestLinkedList(t *testing.T) {
+	runBoth(t, `
+struct node { int val; struct node *next; };
+struct node nodes[5];
+int main(void) {
+	int i;
+	struct node *head = 0;
+	for (i = 0; i < 5; i++) {
+		nodes[i].val = i + 1;
+		nodes[i].next = head;
+		head = &nodes[i];
+	}
+	int sum = 0;
+	while (head) {
+		sum = sum * 10 + head->val;
+		head = head->next;
+	}
+	return sum % 10000;  /* 54321 % 10000 = 4321 */
+}`, 4321)
+}
+
+func TestRecursion(t *testing.T) {
+	runBoth(t, `
+int fib(int n) {
+	if (n < 2) return n;
+	return fib(n - 1) + fib(n - 2);
+}
+int main(void) { return fib(15); }  /* 610 */
+`, 610)
+}
+
+func TestManyArgs(t *testing.T) {
+	runBoth(t, `
+int sum8(int a, int b, int c, int d, int e, int f, int g, int h) {
+	return a + 2*b + 3*c + 4*d + 5*e + 6*f + 7*g + 8*h;
+}
+int main(void) {
+	return sum8(1, 1, 1, 1, 1, 1, 1, 1);  /* 36 */
+}`, 36)
+}
+
+func TestDoubles(t *testing.T) {
+	runBoth(t, `
+double half(double x) { return x / 2.0; }
+int main(void) {
+	double a = 10.5;
+	double b = half(a) + 0.75;  /* 6.0 */
+	float f = 2.5f;
+	b = b * (double)f;          /* 15.0 */
+	return (int)b;
+}`, 15)
+}
+
+func TestFPCompareAndMixedArgs(t *testing.T) {
+	runBoth(t, `
+int classify(double x, int scale, double y) {
+	if (x * (double)scale > y) return 1;
+	if (x < 0.0) return -1;
+	return 0;
+}
+int main(void) {
+	return classify(1.5, 4, 5.0) + classify(-2.0, 1, 5.0) + 1; /* 1 + -1 + 1 */
+}`, 1)
+}
+
+func TestUnsignedDoubleConv(t *testing.T) {
+	runBoth(t, `
+int main(void) {
+	unsigned u = 3000000000u;
+	double d = (double)u;
+	unsigned v = (unsigned)d;
+	return v == u && d > 2.9e9;
+}`, 1)
+}
+
+func TestSwitch(t *testing.T) {
+	runBoth(t, `
+int pick(int x) {
+	switch (x) {
+	case 0: return 10;
+	case 1:
+	case 2: return 20;
+	case 5: return 50;
+	default: return -1;
+	}
+}
+int fall(int x) {
+	int acc = 0;
+	switch (x) {
+	case 1: acc += 1;
+	case 2: acc += 2;
+	case 3: acc += 3; break;
+	case 4: acc += 100;
+	}
+	return acc;
+}
+int main(void) {
+	return pick(0) + pick(2) + pick(5) + pick(9) + fall(1) + fall(3);
+	/* 10+20+50-1+6+3 = 88 */
+}`, 88)
+}
+
+func TestShortCircuit(t *testing.T) {
+	runBoth(t, `
+int calls;
+int bump(int v) { calls++; return v; }
+int main(void) {
+	calls = 0;
+	int a = bump(0) && bump(1);  /* 1 call */
+	int b = bump(1) || bump(1);  /* 1 call */
+	int c = bump(1) && bump(2);  /* 2 calls */
+	return calls * 100 + a * 10 + b + c;  /* 400 + 0 + 1 + 1 */
+}`, 402)
+}
+
+func TestTernaryAndComma(t *testing.T) {
+	runBoth(t, `
+int main(void) {
+	int i, acc = 0;
+	for (i = 0; i < 6; i++, acc += 2) {
+		acc += (i % 2 == 0) ? 10 : 1;
+	}
+	return acc;  /* 3*10 + 3*1 + 12 = 45 */
+}`, 45)
+}
+
+func TestCharShortTypes(t *testing.T) {
+	runBoth(t, `
+int main(void) {
+	char c = 200;        /* -56 */
+	unsigned char uc = 200;
+	short s = 40000;     /* -25536 */
+	unsigned short us = 40000;
+	int r = 0;
+	if (c < 0) r += 1;
+	if (uc == 200) r += 2;
+	if (s < 0) r += 4;
+	if (us == 40000) r += 8;
+	c = c + 100;         /* 44 */
+	if (c == 44) r += 16;
+	return r;
+}`, 31)
+}
+
+func TestGotoAndLabels(t *testing.T) {
+	runBoth(t, `
+int main(void) {
+	int i = 0, acc = 0;
+loop:
+	acc += i;
+	i++;
+	if (i < 10) goto loop;
+	return acc;  /* 45 */
+}`, 45)
+}
+
+func TestFunctionPointers(t *testing.T) {
+	runBoth(t, `
+int add(int a, int b) { return a + b; }
+int mul(int a, int b) { return a * b; }
+int (*ops[2])(int, int) = {add, mul};
+int apply(int (*f)(int, int), int a, int b) { return f(a, b); }
+int main(void) {
+	int r = apply(ops[0], 3, 4);   /* 7 */
+	r += apply(ops[1], 3, 4);      /* +12 */
+	int (*g)(int, int) = mul;
+	r += (*g)(2, 5);               /* +10 */
+	return r;
+}`, 29)
+}
+
+func TestSbrkMalloc(t *testing.T) {
+	runBoth(t, `
+char *alloc(int n) {
+	char *p = _sbrk(n);
+	return p;
+}
+int main(void) {
+	int *a = (int *)alloc(40);
+	int i;
+	for (i = 0; i < 10; i++) a[i] = i * i;
+	int sum = 0;
+	for (i = 0; i < 10; i++) sum += a[i];
+	return sum;  /* 285 */
+}`, 285)
+}
+
+func TestLocalArraysAndInit(t *testing.T) {
+	runBoth(t, `
+int main(void) {
+	int tab[4] = {10, 20, 30, 40};
+	char name[] = "abc";
+	int i, acc = 0;
+	for (i = 0; i < 4; i++) acc += tab[i];
+	for (i = 0; name[i]; i++) acc += name[i] - 'a';
+	return acc;  /* 100 + 0+1+2 */
+}`, 103)
+}
+
+func TestMultiDimArrays(t *testing.T) {
+	runBoth(t, `
+int m[3][4];
+int main(void) {
+	int i, j;
+	for (i = 0; i < 3; i++)
+		for (j = 0; j < 4; j++)
+			m[i][j] = i * 4 + j;
+	int acc = 0;
+	for (i = 0; i < 3; i++) acc += m[i][i];
+	return acc + m[2][3];  /* 0+5+10 + 11 = 26 */
+}`, 26)
+}
+
+func TestCompoundAssign(t *testing.T) {
+	runBoth(t, `
+int main(void) {
+	int a = 100;
+	a += 5; a -= 3; a *= 2; a /= 4; a %= 40;  /* 204/4=51 %40=11 */
+	a <<= 3; a >>= 1;  /* 44 */
+	a |= 3; a &= 0x3e; a ^= 2;  /* 47 & 0x3e = 46 ^2 = 44 */
+	unsigned u = 0x80000000u;
+	u >>= 4;
+	double d = 3.0;
+	d *= 2.0; d += 1.5;  /* 7.5 */
+	return a + (int)(u >> 24) + (int)d;  /* 44 + 8 + 7 */
+}`, 59)
+}
+
+func TestSideEffectsInConditions(t *testing.T) {
+	runBoth(t, `
+int main(void) {
+	int n = 0, acc = 0;
+	while (n++ < 5) acc += n;
+	/* n: 1..5 added -> 15 */
+	int i = 10;
+	do { acc += --i; } while (i > 7);
+	/* 9+8+7 = 24 */
+	return acc;  /* 39 */
+}`, 39)
+}
+
+func TestStaticsAndScope(t *testing.T) {
+	runBoth(t, `
+static int counter = 5;
+static int bump(void) { return ++counter; }
+int main(void) {
+	bump(); bump();
+	{ int counter = 100; counter++; }
+	return counter;  /* 7 */
+}`, 7)
+}
+
+func TestTypedefEnum(t *testing.T) {
+	runBoth(t, `
+typedef unsigned int uint;
+typedef struct pair { int a; int b; } Pair;
+enum { RED, GREEN = 5, BLUE };
+int main(void) {
+	Pair p;
+	uint x = 3;
+	p.a = RED; p.b = BLUE;
+	return p.a + p.b + (int)x + GREEN;  /* 0+6+3+5 */
+}`, 14)
+}
+
+func TestWriteAndClock(t *testing.T) {
+	code, out := runC(t, `
+int main(void) {
+	unsigned t0 = _clock();
+	_write("xyz", 3);
+	unsigned t1 = _clock();
+	return t1 >= t0;
+}`, Options{OptLevel: 2})
+	if code != 1 || out != "xyz" {
+		t.Errorf("code=%d out=%q", code, out)
+	}
+}
+
+func TestOptimizationPreservesOutput(t *testing.T) {
+	// A mixed workload with output; -O0 and -O2 must match exactly.
+	src := `
+int buf[64];
+int hash(int x) { return (x * 2654435761u) >> 24; }
+int main(void) {
+	int i;
+	for (i = 0; i < 64; i++) buf[i] = hash(i) ^ (i << 2);
+	int acc = 0;
+	for (i = 0; i < 64; i += 3) acc += buf[i];
+	_print_int(acc);
+	_putc('\n');
+	return acc & 0x7f;
+}`
+	c0, o0 := runC(t, src, Options{OptLevel: 0})
+	c2, o2 := runC(t, src, Options{OptLevel: 2})
+	if c0 != c2 || o0 != o2 {
+		t.Errorf("O0: %d %q, O2: %d %q", c0, o0, c2, o2)
+	}
+}
+
+func TestRegisterPressure(t *testing.T) {
+	// Many simultaneously live values force spills.
+	src := `
+int main(void) {
+	int a = 1, b = 2, c = 3, d = 4, e = 5, f = 6, g = 7, h = 8;
+	int i = 9, j = 10, k = 11, l = 12, m = 13, n = 14, o = 15, p = 16;
+	int q = a*b + c, r = d*e + f, s = g*h + i, t = j*k + l;
+	int u = m*n + o, v = p + q + r;
+	return a+b+c+d+e+f+g+h+i+j+k+l+m+n+o+p+q+r+s+t+u+v;
+}`
+	// sums: 1..16=136, q=5,r=26,s=65,t=122,u=197,v=47 => 136+5+26+65+122+197+47=598
+	runBoth(t, src, 598)
+}
+
+func TestSmallRegisterFile(t *testing.T) {
+	src := `
+int fib(int n) {
+	if (n < 2) return n;
+	return fib(n - 1) + fib(n - 2);
+}
+int main(void) {
+	int acc = fib(10);          /* 55 */
+	int i;
+	for (i = 0; i < 4; i++) acc += i * i;  /* +14 */
+	return acc;
+}`
+	for _, k := range []int{8, 10, 12, 14, 16} {
+		got, _ := runC(t, src, Options{OptLevel: 2, IntRegFile: k})
+		if got != 69 {
+			t.Errorf("K=%d: got %d, want 69", k, got)
+		}
+	}
+}
+
+func TestTwoUnitLink(t *testing.T) {
+	src1 := `
+extern int shared;
+int helper(int);
+int main(void) { shared = 3; return helper(4); }
+`
+	src2 := `
+int shared;
+int helper(int x) { return shared * 10 + x; }
+`
+	r1, err := Compile("a.c", src1, Options{OptLevel: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := Compile("b.c", src2, Options{OptLevel: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	o1, err := asm.Assemble("a.s", r1.Asm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	o2, err := asm.Assemble("b.s", r2.Asm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	crt, _ := asm.Assemble("crt0.s", Crt0)
+	mod, err := link.Link([]*ovm.Object{crt, o1, o2}, link.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var mem seg.Memory
+	lay, _ := hostapi.Load(&mem, mod, 1<<20, 1<<20)
+	env := hostapi.NewEnv(&mem, lay, &strings.Builder{})
+	mc := interp.New(mod, &mem, env)
+	mc.MaxSteps = 1_000_000
+	r, err := mc.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.ExitCode != 34 {
+		t.Errorf("exit %d", r.ExitCode)
+	}
+}
+
+func TestCompileErrors(t *testing.T) {
+	if _, err := Compile("bad.c", "int main(void) { return x; }", Options{}); err == nil {
+		t.Error("undefined identifier accepted")
+	}
+	if _, err := Compile("bad.c", "int main(void { return 0; }", Options{}); err == nil {
+		t.Error("syntax error accepted")
+	}
+}

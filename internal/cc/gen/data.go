@@ -1,0 +1,285 @@
+package gen
+
+import (
+	"fmt"
+	"math"
+	"strings"
+
+	"omniware/internal/cc/ast"
+	"omniware/internal/cc/token"
+)
+
+// initVal is one evaluated constant initializer element.
+type initVal struct {
+	isAddr bool
+	sym    string
+	addend int64
+	i      int64
+	f      float64
+	isF    bool
+}
+
+// evalInit evaluates a constant initializer expression (sem has already
+// validated constness).
+func evalInit(e ast.Expr) (initVal, error) {
+	switch n := e.(type) {
+	case *ast.IntLit:
+		return initVal{i: n.Val}, nil
+	case *ast.FloatLit:
+		return initVal{f: n.Val, isF: true}, nil
+	case *ast.StrLit:
+		return initVal{isAddr: true, sym: n.Label}, nil
+	case *ast.Ident:
+		return initVal{isAddr: true, sym: n.Name}, nil
+	case *ast.Unary:
+		switch n.Op {
+		case token.Amp:
+			if id, ok := n.X.(*ast.Ident); ok {
+				return initVal{isAddr: true, sym: id.Name}, nil
+			}
+		case token.Minus:
+			v, err := evalInit(n.X)
+			if err != nil {
+				return v, err
+			}
+			if v.isF {
+				v.f = -v.f
+			} else {
+				v.i = -v.i
+			}
+			return v, nil
+		}
+	case *ast.Cast:
+		v, err := evalInit(n.X)
+		if err != nil {
+			return v, err
+		}
+		// int<->float literal casts.
+		if n.To.IsFloat() && !v.isF && !v.isAddr {
+			return initVal{f: float64(v.i), isF: true}, nil
+		}
+		if n.To.IsInteger() && v.isF {
+			return initVal{i: int64(v.f)}, nil
+		}
+		return v, nil
+	case *ast.Binary:
+		a, err := evalInit(n.X)
+		if err != nil {
+			return a, err
+		}
+		b, err := evalInit(n.Y)
+		if err != nil {
+			return b, err
+		}
+		if a.isAddr && !b.isAddr && !b.isF {
+			switch n.Op {
+			case token.Plus:
+				a.addend += b.i
+				return a, nil
+			case token.Minus:
+				a.addend -= b.i
+				return a, nil
+			}
+		}
+		if !a.isAddr && !b.isAddr && !a.isF && !b.isF {
+			switch n.Op {
+			case token.Plus:
+				return initVal{i: a.i + b.i}, nil
+			case token.Minus:
+				return initVal{i: a.i - b.i}, nil
+			case token.Star:
+				return initVal{i: a.i * b.i}, nil
+			case token.Slash:
+				if b.i != 0 {
+					return initVal{i: a.i / b.i}, nil
+				}
+			case token.Shl:
+				return initVal{i: int64(int32(a.i) << (uint32(b.i) & 31))}, nil
+			case token.Pipe:
+				return initVal{i: a.i | b.i}, nil
+			case token.Amp:
+				return initVal{i: a.i & b.i}, nil
+			}
+		}
+	}
+	return initVal{}, fmt.Errorf("unsupported constant initializer %T", e)
+}
+
+// scalarDirective emits one scalar of type t with value v.
+func scalarDirective(b *strings.Builder, t *ast.Type, v initVal) error {
+	switch t.Kind {
+	case ast.TChar, ast.TUChar:
+		fmt.Fprintf(b, "\t.byte %d\n", uint8(v.i))
+	case ast.TShort, ast.TUShort:
+		fmt.Fprintf(b, "\t.half %d\n", uint16(v.i))
+	case ast.TFloat:
+		x := v.f
+		if !v.isF {
+			x = float64(v.i)
+		}
+		fmt.Fprintf(b, "\t.float %g\n", float32(x))
+	case ast.TDouble:
+		x := v.f
+		if !v.isF {
+			x = float64(v.i)
+		}
+		if x == math.Trunc(x) && math.Abs(x) < 1e15 {
+			fmt.Fprintf(b, "\t.double %.1f\n", x)
+		} else {
+			fmt.Fprintf(b, "\t.double %v\n", x)
+		}
+	default: // int, unsigned, pointers
+		if v.isAddr {
+			if v.addend != 0 {
+				fmt.Fprintf(b, "\t.word %s+%d\n", v.sym, v.addend)
+			} else {
+				fmt.Fprintf(b, "\t.word %s\n", v.sym)
+			}
+		} else {
+			fmt.Fprintf(b, "\t.word %d\n", uint32(v.i))
+		}
+	}
+	return nil
+}
+
+// flatFields returns the scalar element types of t in layout order with
+// their offsets.
+func flatFields(t *ast.Type) []struct {
+	off int
+	ty  *ast.Type
+} {
+	var out []struct {
+		off int
+		ty  *ast.Type
+	}
+	var walk func(off int, ty *ast.Type)
+	walk = func(off int, ty *ast.Type) {
+		switch ty.Kind {
+		case ast.TArray:
+			for i := 0; i < ty.Len; i++ {
+				walk(off+i*ty.Elem.Size(), ty.Elem)
+			}
+		case ast.TStruct:
+			for _, f := range ty.Fields {
+				walk(off+f.Offset, f.Type)
+			}
+		default:
+			out = append(out, struct {
+				off int
+				ty  *ast.Type
+			}{off, ty})
+		}
+	}
+	walk(0, t)
+	return out
+}
+
+func (g *generator) emitData(b *strings.Builder) {
+	wroteData := false
+	dataHeader := func() {
+		if !wroteData {
+			b.WriteString("\n.data\n")
+			wroteData = true
+		}
+	}
+
+	// String literals.
+	for _, s := range g.file.Strings {
+		dataHeader()
+		fmt.Fprintf(b, "%s:\n\t.asciz %q\n", s.Label, s.Val)
+	}
+
+	// Float constant pool.
+	if len(g.fconstSeq) > 0 {
+		dataHeader()
+		b.WriteString("\t.align 8\n")
+		for _, key := range g.fconstSeq {
+			lbl := g.fconsts[key]
+			var bits uint64
+			fmt.Sscanf(key[2:], "%x", &bits)
+			v := math.Float64frombits(bits)
+			if key[0] == 'd' {
+				if v == math.Trunc(v) && math.Abs(v) < 1e15 {
+					fmt.Fprintf(b, "%s:\n\t.double %.1f\n", lbl, v)
+				} else {
+					fmt.Fprintf(b, "%s:\n\t.double %v\n", lbl, v)
+				}
+			} else {
+				fmt.Fprintf(b, "%s:\n\t.float %v\n", lbl, v)
+			}
+		}
+	}
+
+	// Globals: initialized to .data, uninitialized to .bss. Extern
+	// declarations emit nothing.
+	var bssVars []*ast.VarDecl
+	for _, v := range g.file.Vars {
+		if v.Extern {
+			continue
+		}
+		if v.Init == nil && len(v.List) == 0 {
+			bssVars = append(bssVars, v)
+			continue
+		}
+		dataHeader()
+		fmt.Fprintf(b, "\t.align %d\n", max(v.Ty.Align(), 4))
+		if !v.Static {
+			fmt.Fprintf(b, ".globl %s\n", v.Name)
+		}
+		fmt.Fprintf(b, "%s:\n", v.Name)
+		g.emitInitialized(b, v)
+	}
+	if len(bssVars) > 0 {
+		b.WriteString("\n.bss\n")
+		for _, v := range bssVars {
+			fmt.Fprintf(b, "\t.align %d\n", max(v.Ty.Align(), 4))
+			if !v.Static {
+				fmt.Fprintf(b, ".globl %s\n", v.Name)
+			}
+			fmt.Fprintf(b, "%s:\n\t.space %d\n", v.Name, max(v.Ty.Size(), 4))
+		}
+	}
+}
+
+func (g *generator) emitInitialized(b *strings.Builder, v *ast.VarDecl) {
+	// char array initialized from a string literal.
+	if s, ok := v.Init.(*ast.StrLit); ok && v.Ty.Kind == ast.TArray {
+		fmt.Fprintf(b, "\t.asciz %q\n", s.Val)
+		if pad := v.Ty.Size() - (len(s.Val) + 1); pad > 0 {
+			fmt.Fprintf(b, "\t.space %d\n", pad)
+		}
+		return
+	}
+	if v.Init != nil {
+		val, err := evalInit(v.Init)
+		if err != nil {
+			fmt.Fprintf(b, "\t.word 0 # init error: %v\n", err)
+			return
+		}
+		scalarDirective(b, v.Ty, val)
+		return
+	}
+	// Brace list over the flattened scalar layout.
+	fields := flatFields(v.Ty)
+	emitted := 0
+	for i, e := range v.List {
+		if i >= len(fields) {
+			break
+		}
+		// Pad gap between previous element end and this offset.
+		if gap := fields[i].off - emitted; gap > 0 {
+			fmt.Fprintf(b, "\t.space %d\n", gap)
+			emitted += gap
+		}
+		val, err := evalInit(e)
+		if err != nil {
+			fmt.Fprintf(b, "\t.word 0 # init error: %v\n", err)
+		} else {
+			scalarDirective(b, fields[i].ty, val)
+		}
+		emitted += fields[i].ty.Size()
+	}
+	if rest := v.Ty.Size() - emitted; rest > 0 {
+		fmt.Fprintf(b, "\t.space %d\n", rest)
+	}
+}

@@ -1,0 +1,293 @@
+package gen
+
+import (
+	"fmt"
+	"strings"
+
+	"omniware/internal/cc/ir"
+	"omniware/internal/cc/regalloc"
+)
+
+// fctx is per-function emission state.
+type fctx struct {
+	g  *generator
+	fn *ir.Func
+	ra *regalloc.Result
+	fr *frame
+	b  *strings.Builder
+
+	retLabel string
+}
+
+func (g *generator) genFunc(b *strings.Builder, fn *ir.Func) error {
+	intRegs, intCallee := g.intRegConfig()
+	fpRegs, fpCallee := g.fpRegConfig()
+	ra, err := regalloc.Allocate(fn, regalloc.Config{
+		IntRegs:        intRegs,
+		FPRegs:         fpRegs,
+		IntCalleeSaved: intCallee,
+		FPCalleeSaved:  fpCallee,
+	})
+	if err != nil {
+		return fmt.Errorf("gen: %s: %w", fn.Name, err)
+	}
+	fr := buildFrame(fn, ra)
+	c := &fctx{g: g, fn: fn, ra: ra, fr: fr, b: b, retLabel: fmt.Sprintf(".Lret_%s", fn.Name)}
+
+	fmt.Fprintf(b, "\n.globl %s\n%s:\n", fn.Name, fn.Name)
+	// Prologue.
+	c.emitf("addi r14, r14, %d", -fr.size)
+	c.emitf("stw r15, %d(r14)", fr.raOff)
+	for _, s := range fr.intSaves {
+		c.emitf("stw r%d, %d(r14)", s.reg, s.off)
+	}
+	for _, s := range fr.fpSaves {
+		c.emitf("std f%d, %d(r14)", s.reg, s.off)
+	}
+	c.prologueParams()
+
+	for bi, blk := range fn.Blocks {
+		fmt.Fprintf(b, ".L%s_%d:\n", fn.Name, blk.ID)
+		for i := range blk.Insts {
+			if err := c.inst(&blk.Insts[i], bi); err != nil {
+				return fmt.Errorf("gen: %s: %w", fn.Name, err)
+			}
+		}
+	}
+
+	// Epilogue.
+	fmt.Fprintf(b, "%s:\n", c.retLabel)
+	for _, s := range fr.fpSaves {
+		c.emitf("ldd f%d, %d(r14)", s.reg, s.off)
+	}
+	for _, s := range fr.intSaves {
+		c.emitf("ldw r%d, %d(r14)", s.reg, s.off)
+	}
+	c.emitf("ldw r15, %d(r14)", fr.raOff)
+	c.emitf("addi r14, r14, %d", fr.size)
+	c.emitf("jr r15")
+	return nil
+}
+
+func (c *fctx) emitf(format string, args ...any) {
+	c.b.WriteByte('\t')
+	fmt.Fprintf(c.b, format, args...)
+	c.b.WriteByte('\n')
+}
+
+func (c *fctx) blockLabel(id int) string { return fmt.Sprintf(".L%s_%d", c.fn.Name, id) }
+
+// slotAddr returns the sp-relative offset of slot index s plus extra.
+func (c *fctx) slotAddr(s int, extra int64) int64 {
+	return int64(c.fr.slotOff[s]) + extra
+}
+
+// ---- value access ----
+
+func (c *fctx) loc(v ir.VReg) regalloc.Loc { return c.ra.Loc[v] }
+
+// intUse returns the register name holding integer vreg v, loading a
+// spilled value into scratch (0 or 1) if needed.
+func (c *fctx) intUse(v ir.VReg, scratch int) string {
+	l := c.loc(v)
+	if l.Kind == regalloc.InReg {
+		return fmt.Sprintf("r%d", l.Reg)
+	}
+	s := c.ra.ScratchInt[scratch]
+	c.emitf("ldw r%d, %d(r14)", s, c.slotAddr(l.Slot, 0))
+	return fmt.Sprintf("r%d", s)
+}
+
+// intDef returns the register name to compute integer vreg v into and a
+// flush function storing it back if spilled.
+func (c *fctx) intDef(v ir.VReg) (string, func()) {
+	l := c.loc(v)
+	if l.Kind == regalloc.InReg {
+		return fmt.Sprintf("r%d", l.Reg), func() {}
+	}
+	s := c.ra.ScratchInt[0]
+	return fmt.Sprintf("r%d", s), func() {
+		c.emitf("stw r%d, %d(r14)", s, c.slotAddr(l.Slot, 0))
+	}
+}
+
+func (c *fctx) fpUse(v ir.VReg, scratch int) string {
+	l := c.loc(v)
+	if l.Kind == regalloc.InReg {
+		return fmt.Sprintf("f%d", l.Reg)
+	}
+	s := c.ra.ScratchFP[scratch]
+	c.emitf("ldd f%d, %d(r14)", s, c.slotAddr(l.Slot, 0))
+	return fmt.Sprintf("f%d", s)
+}
+
+func (c *fctx) fpDef(v ir.VReg) (string, func()) {
+	l := c.loc(v)
+	if l.Kind == regalloc.InReg {
+		return fmt.Sprintf("f%d", l.Reg), func() {}
+	}
+	s := c.ra.ScratchFP[0]
+	return fmt.Sprintf("f%d", s), func() {
+		c.emitf("std f%d, %d(r14)", s, c.slotAddr(l.Slot, 0))
+	}
+}
+
+// ---- parallel moves ----
+
+// mv is one pending move for the resolver. Exactly one of the src
+// fields and one of the dst fields is active (reg >= 0 or slot >= 0).
+type mv struct {
+	fp              bool
+	srcReg, srcSlot int // srcSlot is an sp offset (already resolved)
+	dstReg, dstSlot int // dstSlot is an sp offset
+}
+
+// resolveMoves emits a set of parallel moves. scratchI/scratchF break
+// cycles.
+func (c *fctx) resolveMoves(moves []mv, scratchI, scratchF int) {
+	// Slot destinations never conflict; emit them first.
+	var regMoves []mv
+	for _, m := range moves {
+		if m.dstSlot >= 0 {
+			if m.fp {
+				src := m.srcReg
+				if m.srcSlot >= 0 {
+					c.emitf("ldd f%d, %d(r14)", scratchF, m.srcSlot)
+					src = scratchF
+				}
+				c.emitf("std f%d, %d(r14)", src, m.dstSlot)
+			} else {
+				src := m.srcReg
+				if m.srcSlot >= 0 {
+					c.emitf("ldw r%d, %d(r14)", scratchI, m.srcSlot)
+					src = scratchI
+				}
+				c.emitf("stw r%d, %d(r14)", src, m.dstSlot)
+			}
+			continue
+		}
+		if m.srcSlot < 0 && m.srcReg == m.dstReg {
+			continue // no-op
+		}
+		regMoves = append(regMoves, m)
+	}
+	for len(regMoves) > 0 {
+		progress := false
+		for i := 0; i < len(regMoves); i++ {
+			m := regMoves[i]
+			// Can we emit m? Its dst must not be the src of another
+			// pending move of the same class.
+			blocked := false
+			for j, o := range regMoves {
+				if j == i || o.fp != m.fp {
+					continue
+				}
+				if o.srcSlot < 0 && o.srcReg == m.dstReg {
+					blocked = true
+					break
+				}
+			}
+			if blocked {
+				continue
+			}
+			c.emitMv(m)
+			regMoves = append(regMoves[:i], regMoves[i+1:]...)
+			progress = true
+			i--
+		}
+		if progress {
+			continue
+		}
+		// Cycle: rotate through scratch. Pick the first reg-reg move,
+		// stash its source.
+		m := regMoves[0]
+		if m.fp {
+			c.emitf("fmov f%d, f%d", scratchF, m.srcReg)
+		} else {
+			c.emitf("mov r%d, r%d", scratchI, m.srcReg)
+		}
+		for i := range regMoves {
+			if regMoves[i].fp == m.fp && regMoves[i].srcSlot < 0 && regMoves[i].srcReg == m.srcReg {
+				if m.fp {
+					regMoves[i].srcReg = scratchF
+				} else {
+					regMoves[i].srcReg = scratchI
+				}
+			}
+		}
+	}
+}
+
+func (c *fctx) emitMv(m mv) {
+	if m.fp {
+		if m.srcSlot >= 0 {
+			c.emitf("ldd f%d, %d(r14)", m.dstReg, m.srcSlot)
+		} else if m.srcReg != m.dstReg {
+			c.emitf("fmov f%d, f%d", m.dstReg, m.srcReg)
+		}
+		return
+	}
+	if m.srcSlot >= 0 {
+		c.emitf("ldw r%d, %d(r14)", m.dstReg, m.srcSlot)
+	} else if m.srcReg != m.dstReg {
+		c.emitf("mov r%d, r%d", m.dstReg, m.srcReg)
+	}
+}
+
+// prologueParams moves incoming parameters (ABI regs / caller stack)
+// into their allocated homes.
+func (c *fctx) prologueParams() {
+	regs, stackOffs := paramHomes(c.fn)
+	var moves []mv
+	for i, p := range c.fn.Params {
+		l := c.loc(p)
+		fp := c.fn.PClasses[i].IsFP()
+		m := mv{fp: fp, srcReg: -1, srcSlot: -1, dstReg: -1, dstSlot: -1}
+		if regs[i] >= 0 {
+			m.srcReg = regs[i]
+		} else {
+			m.srcSlot = c.fr.size + stackOffs[i]
+		}
+		if l.Kind == regalloc.InReg {
+			m.dstReg = l.Reg
+		} else {
+			m.dstSlot = int(c.slotAddr(l.Slot, 0))
+		}
+		if m.srcReg >= 0 && m.dstReg == m.srcReg {
+			continue
+		}
+		moves = append(moves, m)
+	}
+	c.resolveMoves(moves, c.ra.ScratchInt[1], c.ra.ScratchFP[1])
+}
+
+// callSetup moves argument values into ABI registers / the outgoing
+// stack area, then returns.
+func (c *fctx) callSetup(in *ir.Inst) {
+	intMap, fpMap, _ := splitArgs(in)
+	var moves []mv
+	for i, a := range in.Args {
+		cls := ir.ClassW
+		if i < len(in.ACls) {
+			cls = in.ACls[i]
+		}
+		l := c.loc(a)
+		m := mv{fp: cls.IsFP(), srcReg: -1, srcSlot: -1, dstReg: -1, dstSlot: -1}
+		if l.Kind == regalloc.InReg {
+			m.srcReg = l.Reg
+		} else {
+			m.srcSlot = int(c.slotAddr(l.Slot, 0))
+		}
+		code := intMap[i]
+		if cls.IsFP() {
+			code = fpMap[i]
+		}
+		if code >= 0 {
+			m.dstReg = code
+		} else {
+			m.dstSlot = -2 - code // outgoing area is at sp+0
+		}
+		moves = append(moves, m)
+	}
+	c.resolveMoves(moves, c.ra.ScratchInt[1], c.ra.ScratchFP[1])
+}

@@ -1,0 +1,560 @@
+package gen
+
+import (
+	"fmt"
+
+	"omniware/internal/cc/ir"
+	"omniware/internal/cc/regalloc"
+)
+
+var aluNames = map[ir.Op]string{
+	ir.Add: "add", ir.Sub: "sub", ir.Mul: "mul", ir.Div: "div",
+	ir.DivU: "divu", ir.Rem: "rem", ir.RemU: "remu",
+	ir.And: "and", ir.Or: "or", ir.Xor: "xor",
+	ir.Shl: "sll", ir.Shr: "srl", ir.Sra: "sra",
+}
+
+var aluImmNames = map[ir.Op]string{
+	ir.AddI: "addi", ir.MulI: "muli", ir.AndI: "andi", ir.OrI: "ori",
+	ir.XorI: "xori", ir.ShlI: "slli", ir.ShrI: "srli", ir.SraI: "srai",
+}
+
+var fpNames = map[ir.Op][2]string{ // [ClassF, ClassD]
+	ir.FAdd: {"fadds", "faddd"},
+	ir.FSub: {"fsubs", "fsubd"},
+	ir.FMul: {"fmuls", "fmuld"},
+	ir.FDiv: {"fdivs", "fdivd"},
+	ir.FNeg: {"fnegs", "fnegd"},
+}
+
+var brNames = map[ir.CC]string{
+	ir.CCEq: "beq", ir.CCNe: "bne", ir.CCLt: "blt", ir.CCLe: "ble",
+	ir.CCGt: "bgt", ir.CCGe: "bge", ir.CCLtU: "bltu", ir.CCLeU: "bleu",
+	ir.CCGtU: "bgtu", ir.CCGeU: "bgeu",
+}
+
+// symOff renders sym+off / sym-off for the assembler.
+func symOff(sym string, off int64) string {
+	if off < 0 {
+		return fmt.Sprintf("%s-%d", sym, -off)
+	}
+	return fmt.Sprintf("%s+%d", sym, off)
+}
+
+var memLoadNames = map[ir.MemOp]string{
+	ir.MemB: "ldb", ir.MemBU: "ldbu", ir.MemH: "ldh", ir.MemHU: "ldhu",
+	ir.MemW: "ldw", ir.MemF: "ldf", ir.MemD: "ldd",
+}
+
+var memStoreNames = map[ir.MemOp]string{
+	ir.MemB: "stb", ir.MemBU: "stb", ir.MemH: "sth", ir.MemHU: "sth",
+	ir.MemW: "stw", ir.MemF: "stf", ir.MemD: "std",
+}
+
+// memOperand renders the address operand of a Load/Store/Addr and
+// returns (operandString, baseRegName). For indexed accesses it returns
+// the "(rA+rB)" form.
+func (c *fctx) memOperand(in *ir.Inst) string {
+	if in.HasIdx {
+		a := c.intUse(in.A, 0)
+		x := c.intUse(in.Idx, 1)
+		return fmt.Sprintf("(%s+%s)", a, x)
+	}
+	switch {
+	case in.Sym != "":
+		if in.Imm != 0 {
+			return fmt.Sprintf("%s(r0)", symOff(in.Sym, in.Imm))
+		}
+		return fmt.Sprintf("%s(r0)", in.Sym)
+	case in.Slot != ir.NoSlot:
+		return fmt.Sprintf("%d(r14)", c.slotAddr(in.Slot, in.Imm))
+	default:
+		base := c.intUse(in.A, 0)
+		return fmt.Sprintf("%d(%s)", in.Imm, base)
+	}
+}
+
+func (c *fctx) inst(in *ir.Inst, blockIdx int) error {
+	suffix := func(cls ir.Class) int {
+		if cls == ir.ClassD {
+			return 1
+		}
+		return 0
+	}
+	switch in.Op {
+	case ir.Nop:
+
+	case ir.Const:
+		if in.Class == ir.ClassW {
+			rd, flush := c.intDef(in.Dst)
+			c.emitf("ldi %s, %d", rd, int32(in.Imm))
+			flush()
+		} else {
+			fd, flush := c.fpDef(in.Dst)
+			lbl := c.g.fconst(in.Class, in.FImm)
+			if in.Class == ir.ClassD {
+				c.emitf("ldd %s, %s(r0)", fd, lbl)
+			} else {
+				c.emitf("ldf %s, %s(r0)", fd, lbl)
+			}
+			flush()
+		}
+
+	case ir.Copy:
+		if in.Class == ir.ClassW {
+			rs := c.intUse(in.A, 0)
+			rd, flush := c.intDef(in.Dst)
+			if rd != rs {
+				c.emitf("mov %s, %s", rd, rs)
+			}
+			flush()
+		} else {
+			fs := c.fpUse(in.A, 0)
+			fd, flush := c.fpDef(in.Dst)
+			if fd != fs {
+				c.emitf("fmov %s, %s", fd, fs)
+			}
+			flush()
+		}
+
+	case ir.Add, ir.Sub, ir.Mul, ir.Div, ir.DivU, ir.Rem, ir.RemU,
+		ir.And, ir.Or, ir.Xor, ir.Shl, ir.Shr, ir.Sra:
+		ra := c.intUse(in.A, 0)
+		rb := c.intUse(in.B, 1)
+		rd, flush := c.intDef(in.Dst)
+		c.emitf("%s %s, %s, %s", aluNames[in.Op], rd, ra, rb)
+		flush()
+
+	case ir.Neg:
+		ra := c.intUse(in.A, 0)
+		rd, flush := c.intDef(in.Dst)
+		c.emitf("sub %s, r0, %s", rd, ra)
+		flush()
+
+	case ir.AddI, ir.MulI, ir.AndI, ir.OrI, ir.XorI, ir.ShlI, ir.ShrI, ir.SraI:
+		ra := c.intUse(in.A, 0)
+		rd, flush := c.intDef(in.Dst)
+		c.emitf("%s %s, %s, %d", aluImmNames[in.Op], rd, ra, int32(in.Imm))
+		flush()
+
+	case ir.Set:
+		if in.Class == ir.ClassW {
+			c.setReg(in)
+		} else {
+			c.setFP(in)
+		}
+
+	case ir.SetI:
+		c.setImm(in)
+
+	case ir.FAdd, ir.FSub, ir.FMul, ir.FDiv:
+		fa := c.fpUse(in.A, 0)
+		fb := c.fpUse(in.B, 1)
+		fd, flush := c.fpDef(in.Dst)
+		c.emitf("%s %s, %s, %s", fpNames[in.Op][suffix(in.Class)], fd, fa, fb)
+		flush()
+
+	case ir.FNeg:
+		fa := c.fpUse(in.A, 0)
+		fd, flush := c.fpDef(in.Dst)
+		c.emitf("%s %s, %s", fpNames[in.Op][suffix(in.Class)], fd, fa)
+		flush()
+
+	case ir.Cvt:
+		c.cvt(in)
+
+	case ir.Load:
+		op := memLoadNames[in.Mem]
+		if in.HasIdx {
+			op += "x"
+		}
+		if in.Mem == ir.MemF || in.Mem == ir.MemD {
+			fd, flush := c.fpDef(in.Dst)
+			c.emitf("%s %s, %s", op, fd, c.memOperand(in))
+			flush()
+		} else {
+			rd, flush := c.intDef(in.Dst)
+			c.emitf("%s %s, %s", op, rd, c.memOperand(in))
+			flush()
+		}
+
+	case ir.Store:
+		op := memStoreNames[in.Mem]
+		if in.HasIdx {
+			op += "x"
+		}
+		// Value register uses scratch slot 1 if spilled? The address may
+		// already use scratch 0 (base) and 1 (index). An indexed store
+		// with a spilled value cannot happen: the fusion pass skips
+		// stores whose value is spilled... it cannot know. Use the
+		// second scratch for the value; indexed+spilled-value falls
+		// back to the non-indexed form.
+		if in.HasIdx && c.loc(in.B).Kind == regalloc.Spilled {
+			a := c.intUse(in.A, 0)
+			x := c.intUse(in.Idx, 1)
+			c.emitf("add r%d, %s, %s", c.ra.ScratchInt[0], a, x)
+			if in.Mem == ir.MemF || in.Mem == ir.MemD {
+				fv := c.fpUse(in.B, 0)
+				c.emitf("%s %s, 0(r%d)", memStoreNames[in.Mem], fv, c.ra.ScratchInt[0])
+			} else {
+				v := c.intUse(in.B, 1)
+				c.emitf("%s %s, 0(r%d)", memStoreNames[in.Mem], v, c.ra.ScratchInt[0])
+			}
+			return nil
+		}
+		if in.Mem == ir.MemF || in.Mem == ir.MemD {
+			fv := c.fpUse(in.B, 1)
+			c.emitf("%s %s, %s", op, fv, c.memOperand(in))
+		} else {
+			// Render the value first so the address can use scratch 0.
+			v := c.intUse(in.B, 1)
+			c.emitf("%s %s, %s", op, v, c.memOperand(in))
+		}
+
+	case ir.Addr:
+		rd, flush := c.intDef(in.Dst)
+		switch {
+		case in.Sym != "":
+			if in.Imm != 0 {
+				c.emitf("lda %s, %s", rd, symOff(in.Sym, in.Imm))
+			} else {
+				c.emitf("lda %s, %s", rd, in.Sym)
+			}
+		case in.Slot != ir.NoSlot:
+			c.emitf("addi %s, r14, %d", rd, c.slotAddr(in.Slot, in.Imm))
+		default:
+			ra := c.intUse(in.A, 1)
+			c.emitf("addi %s, %s, %d", rd, ra, in.Imm)
+		}
+		flush()
+
+	case ir.Call:
+		var fnReg string
+		if in.Sym == "" {
+			// Capture the target before argument moves clobber ABI regs.
+			src := c.intUse(in.A, 0)
+			fnReg = fmt.Sprintf("r%d", c.ra.ScratchInt[0])
+			if src != fnReg {
+				c.emitf("mov %s, %s", fnReg, src)
+			}
+		}
+		c.callSetup(in)
+		if in.Sym != "" {
+			c.emitf("call %s", in.Sym)
+		} else {
+			c.emitf("jalr r15, %s", fnReg)
+		}
+		c.moveResult(in)
+
+	case ir.Syscall:
+		c.callSetup(in)
+		c.emitf("syscall %d", in.Imm)
+		c.moveResult(in)
+
+	case ir.Ret:
+		if in.A != ir.NoReg {
+			if in.Class.IsFP() {
+				fs := c.fpUse(in.A, 0)
+				if fs != fmt.Sprintf("f%d", fpRet) {
+					c.emitf("fmov f%d, %s", fpRet, fs)
+				}
+			} else {
+				rs := c.intUse(in.A, 0)
+				if rs != fmt.Sprintf("r%d", regRet) {
+					c.emitf("mov r%d, %s", regRet, rs)
+				}
+			}
+		}
+		c.emitf("jmp %s", c.retLabel)
+
+	case ir.Br:
+		if in.Class == ir.ClassW {
+			ra := c.intUse(in.A, 0)
+			rb := c.intUse(in.B, 1)
+			c.branch(brNames[in.CC], ra, rb, in, blockIdx)
+		} else {
+			c.fpBranch(in, blockIdx)
+		}
+
+	case ir.BrI:
+		ra := c.intUse(in.A, 0)
+		c.branch(brNames[in.CC]+"i", ra, fmt.Sprintf("%d", int32(in.Imm)), in, blockIdx)
+
+	case ir.Jmp:
+		if !c.isNext(in.Then, blockIdx) {
+			c.emitf("jmp %s", c.blockLabel(in.Then))
+		}
+
+	default:
+		return fmt.Errorf("unhandled IR op %v", in.Op)
+	}
+	return nil
+}
+
+// isNext reports whether block id is laid out immediately after the
+// block at blockIdx.
+func (c *fctx) isNext(id, blockIdx int) bool {
+	return blockIdx+1 < len(c.fn.Blocks) && c.fn.Blocks[blockIdx+1].ID == id
+}
+
+// branch emits a conditional branch followed by a jump to the else
+// block when it does not fall through.
+func (c *fctx) branch(op, a, b string, in *ir.Inst, blockIdx int) {
+	if c.isNext(in.Then, blockIdx) && !c.isNext(in.Else, blockIdx) {
+		// Invert so the fall-through is the then-block.
+		inv := brNames[in.CC.Invert()]
+		if in.Op == ir.BrI {
+			inv = brNames[in.CC.Invert()] + "i"
+		}
+		c.emitf("%s %s, %s, %s", inv, a, b, c.blockLabel(in.Else))
+		return
+	}
+	c.emitf("%s %s, %s, %s", op, a, b, c.blockLabel(in.Then))
+	if !c.isNext(in.Else, blockIdx) {
+		c.emitf("jmp %s", c.blockLabel(in.Else))
+	}
+}
+
+// fpBranch emits FP compare-and-branch; OmniVM provides eq/ne/lt/le, so
+// gt/ge swap operands.
+func (c *fctx) fpBranch(in *ir.Inst, blockIdx int) {
+	fa := c.fpUse(in.A, 0)
+	fb := c.fpUse(in.B, 1)
+	cc := in.CC
+	a, b := fa, fb
+	switch cc {
+	case ir.CCGt:
+		cc, a, b = ir.CCLt, fb, fa
+	case ir.CCGe:
+		cc, a, b = ir.CCLe, fb, fa
+	}
+	var op string
+	switch cc {
+	case ir.CCEq:
+		op = "fbeq"
+	case ir.CCNe:
+		op = "fbne"
+	case ir.CCLt:
+		op = "fblt"
+	case ir.CCLe:
+		op = "fble"
+	default:
+		op = "fbne"
+	}
+	if c.isNext(in.Then, blockIdx) && !c.isNext(in.Else, blockIdx) {
+		// Invert: eq<->ne, lt -> ge (swap to le), le -> gt (swap to lt).
+		switch op {
+		case "fbeq":
+			op = "fbne"
+		case "fbne":
+			op = "fbeq"
+		case "fblt":
+			op, a, b = "fble", b, a
+		case "fble":
+			op, a, b = "fblt", b, a
+		}
+		c.emitf("%s %s, %s, %s", op, a, b, c.blockLabel(in.Else))
+		return
+	}
+	c.emitf("%s %s, %s, %s", op, a, b, c.blockLabel(in.Then))
+	if !c.isNext(in.Else, blockIdx) {
+		c.emitf("jmp %s", c.blockLabel(in.Else))
+	}
+}
+
+// moveResult moves r1/f1 into the call's destination.
+func (c *fctx) moveResult(in *ir.Inst) {
+	if !in.HasDst() {
+		return
+	}
+	if in.Class.IsFP() {
+		fd, flush := c.fpDef(in.Dst)
+		if fd != fmt.Sprintf("f%d", fpRet) {
+			c.emitf("fmov %s, f%d", fd, fpRet)
+		}
+		flush()
+	} else {
+		rd, flush := c.intDef(in.Dst)
+		if rd != fmt.Sprintf("r%d", regRet) {
+			c.emitf("mov %s, r%d", rd, regRet)
+		}
+		flush()
+	}
+}
+
+// setReg materializes an integer comparison result.
+func (c *fctx) setReg(in *ir.Inst) {
+	ra := c.intUse(in.A, 0)
+	rb := c.intUse(in.B, 1)
+	rd, flush := c.intDef(in.Dst)
+	switch in.CC {
+	case ir.CCEq:
+		c.emitf("xor %s, %s, %s", rd, ra, rb)
+		c.emitf("sltiu %s, %s, 1", rd, rd)
+	case ir.CCNe:
+		c.emitf("xor %s, %s, %s", rd, ra, rb)
+		c.emitf("sltu %s, r0, %s", rd, rd)
+	case ir.CCLt:
+		c.emitf("slt %s, %s, %s", rd, ra, rb)
+	case ir.CCLtU:
+		c.emitf("sltu %s, %s, %s", rd, ra, rb)
+	case ir.CCGt:
+		c.emitf("slt %s, %s, %s", rd, rb, ra)
+	case ir.CCGtU:
+		c.emitf("sltu %s, %s, %s", rd, rb, ra)
+	case ir.CCLe:
+		c.emitf("slt %s, %s, %s", rd, rb, ra)
+		c.emitf("xori %s, %s, 1", rd, rd)
+	case ir.CCLeU:
+		c.emitf("sltu %s, %s, %s", rd, rb, ra)
+		c.emitf("xori %s, %s, 1", rd, rd)
+	case ir.CCGe:
+		c.emitf("slt %s, %s, %s", rd, ra, rb)
+		c.emitf("xori %s, %s, 1", rd, rd)
+	case ir.CCGeU:
+		c.emitf("sltu %s, %s, %s", rd, ra, rb)
+		c.emitf("xori %s, %s, 1", rd, rd)
+	}
+	flush()
+}
+
+// setImm materializes comparison-with-immediate.
+func (c *fctx) setImm(in *ir.Inst) {
+	ra := c.intUse(in.A, 0)
+	rd, flush := c.intDef(in.Dst)
+	imm := int32(in.Imm)
+	switch in.CC {
+	case ir.CCEq:
+		c.emitf("xori %s, %s, %d", rd, ra, imm)
+		c.emitf("sltiu %s, %s, 1", rd, rd)
+	case ir.CCNe:
+		c.emitf("xori %s, %s, %d", rd, ra, imm)
+		c.emitf("sltu %s, r0, %s", rd, rd)
+	case ir.CCLt:
+		c.emitf("slti %s, %s, %d", rd, ra, imm)
+	case ir.CCLtU:
+		c.emitf("sltiu %s, %s, %d", rd, ra, imm)
+	case ir.CCGe:
+		c.emitf("slti %s, %s, %d", rd, ra, imm)
+		c.emitf("xori %s, %s, 1", rd, rd)
+	case ir.CCGeU:
+		c.emitf("sltiu %s, %s, %d", rd, ra, imm)
+		c.emitf("xori %s, %s, 1", rd, rd)
+	case ir.CCLe:
+		if imm == 0x7fffffff {
+			c.emitf("ldi %s, 1", rd)
+		} else {
+			c.emitf("slti %s, %s, %d", rd, ra, imm+1)
+		}
+	case ir.CCLeU:
+		if uint32(imm) == 0xffffffff {
+			c.emitf("ldi %s, 1", rd)
+		} else {
+			c.emitf("sltiu %s, %s, %d", rd, ra, imm+1)
+		}
+	case ir.CCGt:
+		if imm == 0x7fffffff {
+			c.emitf("ldi %s, 0", rd)
+		} else {
+			c.emitf("slti %s, %s, %d", rd, ra, imm+1)
+			c.emitf("xori %s, %s, 1", rd, rd)
+		}
+	case ir.CCGtU:
+		if uint32(imm) == 0xffffffff {
+			c.emitf("ldi %s, 0", rd)
+		} else {
+			c.emitf("sltiu %s, %s, %d", rd, ra, imm+1)
+			c.emitf("xori %s, %s, 1", rd, rd)
+		}
+	}
+	flush()
+}
+
+// setFP materializes an FP comparison via a short branch.
+func (c *fctx) setFP(in *ir.Inst) {
+	fa := c.fpUse(in.A, 0)
+	fb := c.fpUse(in.B, 1)
+	rd, flush := c.intDef(in.Dst)
+	lbl := c.g.newLabel(c.fn.Name)
+	cc := in.CC
+	a, b := fa, fb
+	switch cc {
+	case ir.CCGt:
+		cc, a, b = ir.CCLt, fb, fa
+	case ir.CCGe:
+		cc, a, b = ir.CCLe, fb, fa
+	}
+	op := map[ir.CC]string{ir.CCEq: "fbeq", ir.CCNe: "fbne", ir.CCLt: "fblt", ir.CCLe: "fble"}[cc]
+	c.emitf("ldi %s, 1", rd)
+	c.emitf("%s %s, %s, %s", op, a, b, lbl)
+	c.emitf("ldi %s, 0", rd)
+	fmt.Fprintf(c.b, "%s:\n", lbl)
+	flush()
+}
+
+// cvt emits conversions. Unsigned<->double conversions need short
+// branchy sequences since OmniVM converts signed words only.
+func (c *fctx) cvt(in *ir.Inst) {
+	switch in.Cvt {
+	case ir.CvtWtoD:
+		ra := c.intUse(in.A, 0)
+		fd, flush := c.fpDef(in.Dst)
+		c.emitf("cvtwd %s, %s", fd, ra)
+		flush()
+	case ir.CvtWtoF:
+		ra := c.intUse(in.A, 0)
+		fd, flush := c.fpDef(in.Dst)
+		c.emitf("cvtws %s, %s", fd, ra)
+		flush()
+	case ir.CvtDtoW:
+		fa := c.fpUse(in.A, 0)
+		rd, flush := c.intDef(in.Dst)
+		c.emitf("cvtdw %s, %s", rd, fa)
+		flush()
+	case ir.CvtFtoW:
+		fa := c.fpUse(in.A, 0)
+		rd, flush := c.intDef(in.Dst)
+		c.emitf("cvtsw %s, %s", rd, fa)
+		flush()
+	case ir.CvtDtoF:
+		fa := c.fpUse(in.A, 0)
+		fd, flush := c.fpDef(in.Dst)
+		c.emitf("cvtds %s, %s", fd, fa)
+		flush()
+	case ir.CvtFtoD:
+		fa := c.fpUse(in.A, 0)
+		fd, flush := c.fpDef(in.Dst)
+		c.emitf("cvtsd %s, %s", fd, fa)
+		flush()
+	case ir.CvtUtoD:
+		// double(u) = double(int(u)) + (u < 0 signed ? 2^32 : 0).
+		ra := c.intUse(in.A, 0)
+		fd, flush := c.fpDef(in.Dst)
+		ft := fmt.Sprintf("f%d", c.ra.ScratchFP[1])
+		lbl := c.g.newLabel(c.fn.Name)
+		c.emitf("cvtwd %s, %s", fd, ra)
+		c.emitf("bgei %s, 0, %s", ra, lbl)
+		c.emitf("ldd %s, %s(r0)", ft, c.g.fconst(ir.ClassD, 4294967296.0))
+		c.emitf("faddd %s, %s, %s", fd, fd, ft)
+		fmt.Fprintf(c.b, "%s:\n", lbl)
+		flush()
+	case ir.CvtDtoU:
+		// u = d < 2^31 ? int(d) : int(d - 2^31) + 0x80000000.
+		fa := c.fpUse(in.A, 0)
+		rd, flush := c.intDef(in.Dst)
+		ft := fmt.Sprintf("f%d", c.ra.ScratchFP[1])
+		big := c.g.fconst(ir.ClassD, 2147483648.0)
+		l1 := c.g.newLabel(c.fn.Name)
+		l2 := c.g.newLabel(c.fn.Name)
+		c.emitf("ldd %s, %s(r0)", ft, big)
+		c.emitf("fble %s, %s, %s", ft, fa, l1)
+		c.emitf("cvtdw %s, %s", rd, fa)
+		c.emitf("jmp %s", l2)
+		fmt.Fprintf(c.b, "%s:\n", l1)
+		c.emitf("fsubd %s, %s, %s", ft, fa, ft)
+		c.emitf("cvtdw %s, %s", rd, ft)
+		c.emitf("xori %s, %s, %d", rd, rd, -2147483648)
+		fmt.Fprintf(c.b, "%s:\n", l2)
+		flush()
+	}
+}

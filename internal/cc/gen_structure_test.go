@@ -1,0 +1,127 @@
+package cc
+
+import (
+	"strings"
+	"testing"
+)
+
+// asmFor compiles and returns the generated OmniVM assembly.
+func asmFor(t *testing.T, src string, opts Options) string {
+	t.Helper()
+	res, err := Compile("t.c", src, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res.Asm
+}
+
+func TestAsmUses32BitOffsets(t *testing.T) {
+	// §3.4: a memory access instruction carries a full 32-bit offset —
+	// global accesses must be single instructions with symbol+offset,
+	// not address-computation sequences.
+	asm := asmFor(t, `
+struct s { int pad[1000]; int field; };
+struct s g;
+int main(void) { g.field = 7; return g.field; }
+`, Options{OptLevel: 2})
+	if !strings.Contains(asm, "g+4000(r0)") {
+		t.Errorf("field access not folded into a 32-bit offset:\n%s", asm)
+	}
+}
+
+func TestAsmUsesIndexedMode(t *testing.T) {
+	asm := asmFor(t, `
+int tab[100];
+int sum(int *p, int n) {
+	int i, acc = 0;
+	for (i = 0; i < n; i++) acc += p[i];
+	return acc;
+}
+int main(void) { return sum(tab, 100); }
+`, Options{OptLevel: 2})
+	if !strings.Contains(asm, "ldwx") {
+		t.Errorf("no indexed load generated:\n%s", asm)
+	}
+}
+
+func TestAsmCompareAndBranch(t *testing.T) {
+	// §3.4: general compare-and-branch instructions — conditions should
+	// compile to single branch instructions, not slt+branch pairs.
+	asm := asmFor(t, `
+int main(void) {
+	int i, acc = 0;
+	for (i = 0; i < 100; i++) {
+		if (acc > 50) acc -= 3;
+		acc += i;
+	}
+	return acc;
+}
+`, Options{OptLevel: 2})
+	for _, op := range []string{"slt"} {
+		for _, line := range strings.Split(asm, "\n") {
+			trimmed := strings.TrimSpace(line)
+			if strings.HasPrefix(trimmed, op+" ") {
+				t.Errorf("compare materialized instead of fused into a branch: %q", trimmed)
+			}
+		}
+	}
+	if !strings.Contains(asm, "blti") && !strings.Contains(asm, "bgei") {
+		t.Errorf("no immediate compare-and-branch:\n%s", asm)
+	}
+}
+
+func TestRegisterFileKnobChangesCode(t *testing.T) {
+	src := `
+int work(int a, int b, int c, int d) {
+	int e = a*b, f = c*d, g = a+c, h = b+d;
+	int i = e+f, j = g+h, k = e-g, l = f-h;
+	return i*j + k*l + e + f + g + h;
+}
+int main(void) { return work(1, 2, 3, 4); }
+`
+	full := asmFor(t, src, Options{OptLevel: 2, IntRegFile: 16})
+	tiny := asmFor(t, src, Options{OptLevel: 2, IntRegFile: 8})
+	// The restricted file must spill: more stack traffic.
+	count := func(s, op string) int { return strings.Count(s, "\t"+op+" ") }
+	fullMem := count(full, "ldw") + count(full, "stw")
+	tinyMem := count(tiny, "ldw") + count(tiny, "stw")
+	if tinyMem <= fullMem {
+		t.Errorf("8-register file did not increase memory traffic (%d vs %d)", tinyMem, fullMem)
+	}
+	// And must not use registers beyond r5 + sp/ra... r(8-3)=r5 is the
+	// highest allocatable; r6..r13 must not appear as operands.
+	for _, bad := range []string{"r6,", "r7,", "r8,", "r9,", "r10,", "r11,", "r12,", "r13,"} {
+		for _, line := range strings.Split(tiny, "\n") {
+			if strings.Contains(line, bad) && !strings.Contains(line, "#") {
+				t.Errorf("restricted build uses %s: %q", strings.TrimSuffix(bad, ","), line)
+			}
+		}
+	}
+}
+
+func TestAsmAssemblesCleanly(t *testing.T) {
+	// The generated text must be accepted by the assembler for a
+	// feature-covering program (regression net for emission syntax).
+	src := `
+struct pt { double x; double y; };
+struct pt pts[4];
+double dot(struct pt *a, struct pt *b) { return a->x*b->x + a->y*b->y; }
+int main(void) {
+	int i;
+	for (i = 0; i < 4; i++) { pts[i].x = (double)i; pts[i].y = (double)(i*i); }
+	double acc = 0.0;
+	for (i = 1; i < 4; i++) acc += dot(&pts[i-1], &pts[i]);
+	unsigned u = (unsigned)acc;
+	return (int)(u % 251u);
+}
+`
+	for _, lvl := range []int{0, 1, 2} {
+		res, err := Compile("t.c", src, Options{OptLevel: lvl})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Asm == "" || len(res.Funcs) != 2 {
+			t.Errorf("level %d: unexpected result shape", lvl)
+		}
+	}
+}

@@ -1,0 +1,435 @@
+package ir
+
+import (
+	"fmt"
+
+	"omniware/internal/cc/ast"
+	"omniware/internal/cc/token"
+)
+
+// BuildError is an IR construction diagnostic (internal errors or
+// constructs sem lets through that the builder rejects structurally,
+// like break outside a loop).
+type BuildError struct {
+	Pos token.Pos
+	Msg string
+}
+
+func (e *BuildError) Error() string { return fmt.Sprintf("%s: %s", e.Pos, e.Msg) }
+
+// BuildFunc lowers one checked function to IR.
+func BuildFunc(fd *ast.FuncDecl) (f *Func, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			if be, ok := r.(*BuildError); ok {
+				f, err = nil, be
+				return
+			}
+			panic(r)
+		}
+	}()
+	b := &builder{
+		astFn:     fd,
+		localVReg: map[int]VReg{},
+		localSlot: map[int]int{},
+		labels:    map[string]*Block{},
+	}
+	b.fn = &Func{Name: fd.Name}
+	if fd.Ty.Ret.Kind != ast.TVoid {
+		b.fn.HasRet = true
+		b.fn.RetClass = classOf(fd.Ty.Ret)
+	}
+	b.cur = b.fn.NewBlock()
+
+	// Parameters: scalars that never escape live in vregs; the rest get
+	// slots with an entry-time store.
+	for i, l := range fd.Locals {
+		if !l.IsParam {
+			continue
+		}
+		cls := classOf(l.Ty)
+		v := b.fn.NewVReg(cls)
+		b.fn.Params = append(b.fn.Params, v)
+		b.fn.PClasses = append(b.fn.PClasses, cls)
+		if l.AddrTaken || !isVRegType(l.Ty) {
+			slot := b.fn.NewSlot(l.Name, max(l.Ty.Size(), 4), max(l.Ty.Align(), 4))
+			b.localSlot[i] = slot
+			b.emit(Inst{Op: Store, Class: cls, Mem: memOf(l.Ty), Slot: slot, A: NoReg, B: v, Dst: NoReg})
+		} else {
+			b.localVReg[i] = v
+		}
+	}
+
+	b.stmt(fd.Body)
+	// Fall-off-the-end: synthesize a return.
+	if b.cur != nil && b.cur.Term() == nil {
+		if b.fn.HasRet {
+			z := b.newTmp(b.fn.RetClass)
+			b.emit(Inst{Op: Const, Class: b.fn.RetClass, Dst: z, A: NoReg, B: NoReg, Slot: NoSlot})
+			b.emit(Inst{Op: Ret, Class: b.fn.RetClass, A: z, Dst: NoReg, B: NoReg, Slot: NoSlot})
+		} else {
+			b.emit(Inst{Op: Ret, A: NoReg, Dst: NoReg, B: NoReg, Slot: NoSlot})
+		}
+	}
+	b.fn.Recompute()
+	return b.fn, nil
+}
+
+type loopCtx struct {
+	brk, cont int
+}
+
+type builder struct {
+	fn    *Func
+	cur   *Block // nil after a terminator until a new block starts
+	astFn *ast.FuncDecl
+
+	localVReg map[int]VReg
+	localSlot map[int]int
+	loops     []loopCtx
+	labels    map[string]*Block
+
+	switchDepth int
+}
+
+func (b *builder) fail(pos token.Pos, format string, args ...any) {
+	panic(&BuildError{Pos: pos, Msg: fmt.Sprintf(format, args...)})
+}
+
+func classOf(t *ast.Type) Class {
+	switch t.Kind {
+	case ast.TFloat:
+		return ClassF
+	case ast.TDouble:
+		return ClassD
+	default:
+		return ClassW
+	}
+}
+
+func memOf(t *ast.Type) MemOp {
+	switch t.Kind {
+	case ast.TChar:
+		return MemB
+	case ast.TUChar:
+		return MemBU
+	case ast.TShort:
+		return MemH
+	case ast.TUShort:
+		return MemHU
+	case ast.TFloat:
+		return MemF
+	case ast.TDouble:
+		return MemD
+	default:
+		return MemW
+	}
+}
+
+// isVRegType reports whether a local of type t can live in a register.
+func isVRegType(t *ast.Type) bool { return t.IsScalar() }
+
+func (b *builder) emit(in Inst) *Inst {
+	if in.Slot == 0 && in.Op != Load && in.Op != Store && in.Op != Addr {
+		in.Slot = NoSlot
+	}
+	if b.cur == nil {
+		// Unreachable code after a terminator: drop it into a fresh
+		// block so builds stay well formed; cleanup removes it.
+		b.cur = b.fn.NewBlock()
+	}
+	b.cur.Insts = append(b.cur.Insts, in)
+	if in.Op.IsTerm() {
+		b.cur = nil
+	}
+	if b.cur == nil {
+		return nil
+	}
+	return &b.cur.Insts[len(b.cur.Insts)-1]
+}
+
+func (b *builder) newTmp(c Class) VReg { return b.fn.NewVReg(c) }
+
+// start begins (or continues into) the given block.
+func (b *builder) start(blk *Block) {
+	if b.cur != nil && b.cur.Term() == nil {
+		b.emit(Inst{Op: Jmp, Then: blk.ID, Dst: NoReg, A: NoReg, B: NoReg, Slot: NoSlot})
+	}
+	b.cur = blk
+}
+
+// jumpTo emits a jump to blk if the current block is open.
+func (b *builder) jumpTo(blk *Block) {
+	if b.cur != nil && b.cur.Term() == nil {
+		b.emit(Inst{Op: Jmp, Then: blk.ID, Dst: NoReg, A: NoReg, B: NoReg, Slot: NoSlot})
+	}
+	b.cur = nil
+}
+
+func (b *builder) constW(v int64) VReg {
+	t := b.newTmp(ClassW)
+	b.emit(Inst{Op: Const, Class: ClassW, Dst: t, Imm: int64(int32(v)), A: NoReg, B: NoReg, Slot: NoSlot})
+	return t
+}
+
+// ---- statements ----
+
+func (b *builder) stmt(s ast.Stmt) {
+	switch n := s.(type) {
+	case *ast.Block:
+		for _, x := range n.List {
+			b.stmt(x)
+		}
+	case *ast.ExprStmt:
+		b.expr(n.X)
+	case *ast.DeclStmt:
+		for _, d := range n.Decls {
+			b.localDecl(d)
+		}
+	case *ast.If:
+		thenB := b.fn.NewBlock()
+		var elseB *Block
+		joinB := b.fn.NewBlock()
+		if n.Else != nil {
+			elseB = b.fn.NewBlock()
+			b.cond(n.Cond, thenB.ID, elseB.ID)
+		} else {
+			b.cond(n.Cond, thenB.ID, joinB.ID)
+		}
+		b.cur = thenB
+		b.stmt(n.Then)
+		b.jumpTo(joinB)
+		if n.Else != nil {
+			b.cur = elseB
+			b.stmt(n.Else)
+			b.jumpTo(joinB)
+		}
+		b.cur = joinB
+	case *ast.While:
+		head := b.fn.NewBlock()
+		body := b.fn.NewBlock()
+		exit := b.fn.NewBlock()
+		b.start(head)
+		b.cond(n.Cond, body.ID, exit.ID)
+		b.cur = body
+		b.loops = append(b.loops, loopCtx{brk: exit.ID, cont: head.ID})
+		b.stmt(n.Body)
+		b.loops = b.loops[:len(b.loops)-1]
+		b.jumpTo(head)
+		b.cur = exit
+	case *ast.DoWhile:
+		body := b.fn.NewBlock()
+		check := b.fn.NewBlock()
+		exit := b.fn.NewBlock()
+		b.start(body)
+		b.loops = append(b.loops, loopCtx{brk: exit.ID, cont: check.ID})
+		b.stmt(n.Body)
+		b.loops = b.loops[:len(b.loops)-1]
+		b.start(check)
+		b.cond(n.Cond, body.ID, exit.ID)
+		b.cur = exit
+	case *ast.For:
+		if n.Init != nil {
+			b.stmt(n.Init)
+		}
+		head := b.fn.NewBlock()
+		body := b.fn.NewBlock()
+		post := b.fn.NewBlock()
+		exit := b.fn.NewBlock()
+		b.start(head)
+		if n.Cond != nil {
+			b.cond(n.Cond, body.ID, exit.ID)
+		} else {
+			b.jumpTo(body)
+		}
+		b.cur = body
+		b.loops = append(b.loops, loopCtx{brk: exit.ID, cont: post.ID})
+		b.stmt(n.Body)
+		b.loops = b.loops[:len(b.loops)-1]
+		b.start(post)
+		if n.Post != nil {
+			b.expr(n.Post)
+		}
+		b.jumpTo(head)
+		b.cur = exit
+	case *ast.Switch:
+		b.switchStmt(n)
+	case *ast.Break:
+		if len(b.loops) == 0 {
+			b.fail(n.Pos(), "break outside loop or switch")
+		}
+		b.emit(Inst{Op: Jmp, Then: b.loops[len(b.loops)-1].brk, Dst: NoReg, A: NoReg, B: NoReg, Slot: NoSlot})
+	case *ast.Continue:
+		// continue skips switch contexts.
+		for i := len(b.loops) - 1; i >= 0; i-- {
+			if b.loops[i].cont >= 0 {
+				b.emit(Inst{Op: Jmp, Then: b.loops[i].cont, Dst: NoReg, A: NoReg, B: NoReg, Slot: NoSlot})
+				return
+			}
+		}
+		b.fail(n.Pos(), "continue outside loop")
+	case *ast.Return:
+		if n.X == nil {
+			b.emit(Inst{Op: Ret, A: NoReg, Dst: NoReg, B: NoReg, Slot: NoSlot})
+			return
+		}
+		v, cls := b.expr(n.X)
+		b.emit(Inst{Op: Ret, Class: cls, A: v, Dst: NoReg, B: NoReg, Slot: NoSlot})
+	case *ast.Goto:
+		b.emit(Inst{Op: Jmp, Then: b.labelBlock(n.Name).ID, Dst: NoReg, A: NoReg, B: NoReg, Slot: NoSlot})
+	case *ast.Label:
+		blk := b.labelBlock(n.Name)
+		b.start(blk)
+		b.stmt(n.Stmt)
+	case *ast.Case:
+		b.fail(n.Pos(), "case label outside switch")
+	default:
+		b.fail(s.Pos(), "unsupported statement %T", s)
+	}
+}
+
+func (b *builder) labelBlock(name string) *Block {
+	if blk, ok := b.labels[name]; ok {
+		return blk
+	}
+	blk := b.fn.NewBlock()
+	b.labels[name] = blk
+	return blk
+}
+
+func (b *builder) localDecl(d *ast.LocalDecl) {
+	l := b.astFn.Locals[d.LocalID]
+	if l.AddrTaken || !isVRegType(l.Ty) {
+		slot, ok := b.localSlot[d.LocalID]
+		if !ok {
+			slot = b.fn.NewSlot(l.Name, max(l.Ty.Size(), 4), max(l.Ty.Align(), 4))
+			b.localSlot[d.LocalID] = slot
+		}
+		if d.Init != nil {
+			if s, ok := d.Init.(*ast.StrLit); ok && l.Ty.Kind == ast.TArray {
+				// char a[] = "str": copy bytes including NUL.
+				for i := 0; i <= len(s.Val); i++ {
+					var ch int64
+					if i < len(s.Val) {
+						ch = int64(s.Val[i])
+					}
+					cv := b.constW(ch)
+					b.emit(Inst{Op: Store, Class: ClassW, Mem: MemB, Slot: slot, Imm: int64(i), A: NoReg, B: cv, Dst: NoReg})
+				}
+				return
+			}
+			v, _ := b.expr(d.Init)
+			b.emit(Inst{Op: Store, Class: classOf(l.Ty), Mem: memOf(l.Ty), Slot: slot, A: NoReg, B: v, Dst: NoReg})
+			return
+		}
+		if len(d.ArrInit) > 0 {
+			b.initAggregate(slot, l.Ty, d.ArrInit)
+		}
+		return
+	}
+	// Register-resident scalar.
+	v, ok := b.localVReg[d.LocalID]
+	if !ok {
+		v = b.fn.NewVReg(classOf(l.Ty))
+		b.localVReg[d.LocalID] = v
+	}
+	if d.Init != nil {
+		rv, _ := b.expr(d.Init)
+		rv = b.truncateFor(rv, l.Ty)
+		b.emit(Inst{Op: Copy, Class: classOf(l.Ty), Dst: v, A: rv, B: NoReg, Slot: NoSlot})
+	}
+}
+
+// initAggregate stores flattened initializer elements into slot.
+func (b *builder) initAggregate(slot int, t *ast.Type, elems []ast.Expr) {
+	// Determine element layout positions by walking the type.
+	type fieldPos struct {
+		off int
+		ty  *ast.Type
+	}
+	var flat []fieldPos
+	var walk func(off int, ty *ast.Type)
+	walk = func(off int, ty *ast.Type) {
+		switch ty.Kind {
+		case ast.TArray:
+			esz := ty.Elem.Size()
+			for i := 0; i < ty.Len; i++ {
+				walk(off+i*esz, ty.Elem)
+			}
+		case ast.TStruct:
+			for _, f := range ty.Fields {
+				walk(off+f.Offset, f.Type)
+			}
+		default:
+			flat = append(flat, fieldPos{off, ty})
+		}
+	}
+	walk(0, t)
+	for i, e := range elems {
+		if i >= len(flat) {
+			b.fail(e.Pos(), "too many initializers")
+		}
+		v, _ := b.expr(e)
+		fp := flat[i]
+		b.emit(Inst{Op: Store, Class: classOf(fp.ty), Mem: memOf(fp.ty), Slot: slot, Imm: int64(fp.off), A: NoReg, B: v, Dst: NoReg})
+	}
+}
+
+func (b *builder) switchStmt(n *ast.Switch) {
+	tag, _ := b.expr(n.Tag)
+	body, ok := n.Body.(*ast.Block)
+	if !ok {
+		b.fail(n.Pos(), "switch body must be a block")
+	}
+	exit := b.fn.NewBlock()
+
+	// Collect case labels and create a block for each.
+	type caseEnt struct {
+		val   int64
+		blk   *Block
+		isDef bool
+	}
+	var cases []caseEnt
+	caseBlocks := map[int]*Block{} // index in body.List -> block
+	for i, s := range body.List {
+		if c, ok := s.(*ast.Case); ok {
+			blk := b.fn.NewBlock()
+			caseBlocks[i] = blk
+			cases = append(cases, caseEnt{val: c.Int, blk: blk, isDef: c.Val == nil})
+		}
+	}
+	// Dispatch chain.
+	defTarget := exit.ID
+	for _, c := range cases {
+		if c.isDef {
+			defTarget = c.blk.ID
+		}
+	}
+	for _, c := range cases {
+		if c.isDef {
+			continue
+		}
+		nextTest := b.fn.NewBlock()
+		b.emit(Inst{Op: BrI, Class: ClassW, A: tag, CC: CCEq, Imm: c.val, Then: c.blk.ID, Else: nextTest.ID, Dst: NoReg, B: NoReg, Slot: NoSlot})
+		b.cur = nextTest
+	}
+	b.jumpTo(b.fn.Blocks[defTarget])
+
+	// Body with fallthrough.
+	b.loops = append(b.loops, loopCtx{brk: exit.ID, cont: -1})
+	b.cur = nil
+	for i, s := range body.List {
+		if blk, ok := caseBlocks[i]; ok {
+			b.start(blk)
+			continue
+		}
+		if b.cur == nil {
+			// Statements before any case label are unreachable.
+			b.cur = b.fn.NewBlock()
+		}
+		b.stmt(s)
+	}
+	b.loops = b.loops[:len(b.loops)-1]
+	b.jumpTo(exit)
+	b.cur = exit
+}

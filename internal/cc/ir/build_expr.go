@@ -1,0 +1,386 @@
+package ir
+
+import (
+	"omniware/internal/cc/ast"
+	"omniware/internal/cc/token"
+)
+
+// aref is an address expression: base register (or NoReg) + symbol +
+// stack slot + constant offset. At most one of sym/slot is set.
+type aref struct {
+	base VReg
+	sym  string
+	slot int
+	off  int64
+}
+
+func (b *builder) loadFrom(a aref, t *ast.Type) VReg {
+	dst := b.newTmp(classOf(t))
+	b.emit(Inst{Op: Load, Class: classOf(t), Mem: memOf(t), Dst: dst,
+		A: a.base, B: NoReg, Sym: a.sym, Slot: a.slot, Imm: a.off})
+	return dst
+}
+
+func (b *builder) storeTo(a aref, t *ast.Type, v VReg) {
+	b.emit(Inst{Op: Store, Class: classOf(t), Mem: memOf(t),
+		A: a.base, B: v, Dst: NoReg, Sym: a.sym, Slot: a.slot, Imm: a.off})
+}
+
+// materialize turns an aref into a register holding the address.
+func (b *builder) materialize(a aref) VReg {
+	if a.base != NoReg && a.sym == "" && a.slot == NoSlot && a.off == 0 {
+		return a.base
+	}
+	dst := b.newTmp(ClassW)
+	b.emit(Inst{Op: Addr, Class: ClassW, Dst: dst, A: a.base, B: NoReg,
+		Sym: a.sym, Slot: a.slot, Imm: a.off})
+	return dst
+}
+
+// expr evaluates e for its value.
+func (b *builder) expr(e ast.Expr) (VReg, Class) {
+	switch n := e.(type) {
+	case *ast.IntLit:
+		cls := classOf(n.Type())
+		dst := b.newTmp(cls)
+		if cls == ClassW {
+			b.emit(Inst{Op: Const, Class: cls, Dst: dst, Imm: int64(int32(n.Val)), A: NoReg, B: NoReg, Slot: NoSlot})
+		} else {
+			b.emit(Inst{Op: Const, Class: cls, Dst: dst, FImm: float64(n.Val), A: NoReg, B: NoReg, Slot: NoSlot})
+		}
+		return dst, cls
+
+	case *ast.FloatLit:
+		cls := classOf(n.Type())
+		dst := b.newTmp(cls)
+		b.emit(Inst{Op: Const, Class: cls, Dst: dst, FImm: n.Val, A: NoReg, B: NoReg, Slot: NoSlot})
+		return dst, cls
+
+	case *ast.StrLit:
+		return b.materialize(aref{base: NoReg, sym: n.Label, slot: NoSlot}), ClassW
+
+	case *ast.Ident:
+		switch n.Kind {
+		case ast.SymLocal:
+			if v, ok := b.localVReg[n.LocalID]; ok {
+				return v, b.fn.VClass[v]
+			}
+			slot := b.slotOf(n)
+			l := b.astFn.Locals[n.LocalID]
+			if l.Ty.Kind == ast.TArray || l.Ty.Kind == ast.TStruct {
+				// Decayed: the value is the address.
+				return b.materialize(aref{base: NoReg, sym: "", slot: slot}), ClassW
+			}
+			return b.loadFrom(aref{base: NoReg, slot: slot}, l.Ty), classOf(l.Ty)
+		case ast.SymGlobal:
+			dt := b.declaredType(n)
+			if dt.Kind == ast.TArray || dt.Kind == ast.TStruct {
+				// Arrays decay to their address; structs evaluate to
+				// their address for member access and copies.
+				return b.materialize(aref{base: NoReg, sym: n.Name, slot: NoSlot}), ClassW
+			}
+			return b.loadFrom(aref{base: NoReg, sym: n.Name, slot: NoSlot}, dt), classOf(dt)
+		case ast.SymFunc:
+			return b.materialize(aref{base: NoReg, sym: n.Name, slot: NoSlot}), ClassW
+		default:
+			b.fail(n.Pos(), "cannot evaluate identifier %q (builtin used as value?)", n.Name)
+		}
+
+	case *ast.Unary:
+		return b.unary(n)
+
+	case *ast.Postfix:
+		return b.incDec(n.X, n.Op == token.Inc, true)
+
+	case *ast.Binary:
+		return b.binary(n)
+
+	case *ast.Assign:
+		return b.assign(n)
+
+	case *ast.Cond:
+		cls := classOf(n.Type())
+		tmp := b.newTmp(cls)
+		tB := b.fn.NewBlock()
+		fB := b.fn.NewBlock()
+		join := b.fn.NewBlock()
+		b.cond(n.C, tB.ID, fB.ID)
+		b.cur = tB
+		xv, _ := b.expr(n.X)
+		b.emit(Inst{Op: Copy, Class: cls, Dst: tmp, A: xv, B: NoReg, Slot: NoSlot})
+		b.jumpTo(join)
+		b.cur = fB
+		yv, _ := b.expr(n.Y)
+		b.emit(Inst{Op: Copy, Class: cls, Dst: tmp, A: yv, B: NoReg, Slot: NoSlot})
+		b.jumpTo(join)
+		b.cur = join
+		return tmp, cls
+
+	case *ast.Call:
+		return b.call(n)
+
+	case *ast.Index, *ast.Member:
+		a, t := b.addr(e)
+		if t.Kind == ast.TArray || t.Kind == ast.TStruct {
+			return b.materialize(a), ClassW
+		}
+		return b.loadFrom(a, t), classOf(t)
+
+	case *ast.Cast:
+		return b.cast(n)
+	}
+	b.fail(e.Pos(), "unsupported expression %T", e)
+	return NoReg, ClassW
+}
+
+func (b *builder) slotOf(n *ast.Ident) int {
+	slot, ok := b.localSlot[n.LocalID]
+	if !ok {
+		l := b.astFn.Locals[n.LocalID]
+		slot = b.fn.NewSlot(l.Name, max(l.Ty.Size(), 4), max(l.Ty.Align(), 4))
+		b.localSlot[n.LocalID] = slot
+	}
+	return slot
+}
+
+// addr computes the address of an lvalue; returns the aref and the
+// *unqualified* object type at that address.
+func (b *builder) addr(e ast.Expr) (aref, *ast.Type) {
+	switch n := e.(type) {
+	case *ast.Ident:
+		switch n.Kind {
+		case ast.SymLocal:
+			l := b.astFn.Locals[n.LocalID]
+			if _, inReg := b.localVReg[n.LocalID]; inReg {
+				b.fail(n.Pos(), "internal: address of register-resident %q", n.Name)
+			}
+			return aref{base: NoReg, slot: b.slotOf(n)}, l.Ty
+		case ast.SymGlobal:
+			return aref{base: NoReg, sym: n.Name, slot: NoSlot}, b.declaredType(n)
+		case ast.SymFunc:
+			return aref{base: NoReg, sym: n.Name, slot: NoSlot}, n.Type()
+		}
+	case *ast.StrLit:
+		return aref{base: NoReg, sym: n.Label, slot: NoSlot}, ast.ArrayOf(ast.Char, len(n.Val)+1)
+	case *ast.Unary:
+		if n.Op == token.Star {
+			v, _ := b.expr(n.X)
+			// The object type is the pointee of the (decayed) operand
+			// type; n.Type() may itself have decayed if the pointee is
+			// an array.
+			return aref{base: v, slot: NoSlot}, n.X.Type().Elem
+		}
+	case *ast.Index:
+		base, _ := b.expr(n.X) // pointer value
+		// Element type comes from the pointer operand, not n.Type(),
+		// which sem decays for arrays (e.g. m[i] of int[3][4] has
+		// decayed type int* but the element is int[4]).
+		elem := n.X.Type().Elem
+		size := int64(elem.Size())
+		if lit, ok := constIntExpr(n.I); ok {
+			return aref{base: base, slot: NoSlot, off: lit * size}, elem
+		}
+		iv, _ := b.expr(n.I)
+		scaled := b.scale(iv, size)
+		sum := b.newTmp(ClassW)
+		b.emit(Inst{Op: Add, Class: ClassW, Dst: sum, A: base, B: scaled, Slot: NoSlot})
+		return aref{base: sum, slot: NoSlot}, elem
+	case *ast.Member:
+		if n.PtrDeref {
+			base, _ := b.expr(n.X)
+			return aref{base: base, slot: NoSlot, off: int64(n.Field.Offset)}, n.Field.Type
+		}
+		a, _ := b.addr(n.X)
+		a.off += int64(n.Field.Offset)
+		return a, n.Field.Type
+	}
+	b.fail(e.Pos(), "expression is not addressable (%T)", e)
+	return aref{}, nil
+}
+
+// declaredType returns the declared (pre-decay) type of a global.
+func (b *builder) declaredType(n *ast.Ident) *ast.Type {
+	if n.DeclTy != nil {
+		return n.DeclTy
+	}
+	return n.Type()
+}
+
+// scale multiplies an index by an element size.
+func (b *builder) scale(v VReg, size int64) VReg {
+	if size == 1 {
+		return v
+	}
+	dst := b.newTmp(ClassW)
+	if sh := log2(size); sh >= 0 {
+		b.emit(Inst{Op: ShlI, Class: ClassW, Dst: dst, A: v, Imm: int64(sh), B: NoReg, Slot: NoSlot})
+	} else {
+		b.emit(Inst{Op: MulI, Class: ClassW, Dst: dst, A: v, Imm: size, B: NoReg, Slot: NoSlot})
+	}
+	return dst
+}
+
+func log2(v int64) int {
+	for i := 0; i < 31; i++ {
+		if v == 1<<i {
+			return i
+		}
+	}
+	return -1
+}
+
+func constIntExpr(e ast.Expr) (int64, bool) {
+	if lit, ok := e.(*ast.IntLit); ok {
+		return lit.Val, true
+	}
+	if c, ok := e.(*ast.Cast); ok {
+		if lit, ok := c.X.(*ast.IntLit); ok && c.To.IsInteger() {
+			return lit.Val, true
+		}
+	}
+	return 0, false
+}
+
+func (b *builder) unary(n *ast.Unary) (VReg, Class) {
+	switch n.Op {
+	case token.Minus:
+		v, cls := b.expr(n.X)
+		dst := b.newTmp(cls)
+		if cls == ClassW {
+			b.emit(Inst{Op: Neg, Class: cls, Dst: dst, A: v, B: NoReg, Slot: NoSlot})
+		} else {
+			b.emit(Inst{Op: FNeg, Class: cls, Dst: dst, A: v, B: NoReg, Slot: NoSlot})
+		}
+		return dst, cls
+	case token.Tilde:
+		v, _ := b.expr(n.X)
+		dst := b.newTmp(ClassW)
+		b.emit(Inst{Op: XorI, Class: ClassW, Dst: dst, A: v, Imm: -1, B: NoReg, Slot: NoSlot})
+		return dst, ClassW
+	case token.Not:
+		// !x as a value: materialize via SetI eq 0 for ints; floats need
+		// a comparison against 0.0.
+		v, cls := b.expr(n.X)
+		dst := b.newTmp(ClassW)
+		if cls == ClassW {
+			b.emit(Inst{Op: SetI, Class: ClassW, Dst: dst, A: v, CC: CCEq, Imm: 0, B: NoReg, Slot: NoSlot})
+			return dst, ClassW
+		}
+		z := b.newTmp(cls)
+		b.emit(Inst{Op: Const, Class: cls, Dst: z, FImm: 0, A: NoReg, B: NoReg, Slot: NoSlot})
+		b.emit(Inst{Op: Set, Class: cls, Dst: dst, A: v, B: z, CC: CCEq, Slot: NoSlot})
+		return dst, ClassW
+	case token.Star:
+		a, t := b.addr(n)
+		if t.Kind == ast.TArray || t.Kind == ast.TStruct || t.Kind == ast.TFunc {
+			return b.materialize(a), ClassW
+		}
+		return b.loadFrom(a, t), classOf(t)
+	case token.Amp:
+		if id, ok := n.X.(*ast.Ident); ok && id.Kind == ast.SymFunc {
+			return b.materialize(aref{base: NoReg, sym: id.Name, slot: NoSlot}), ClassW
+		}
+		a, _ := b.addr(n.X)
+		return b.materialize(a), ClassW
+	case token.Inc, token.Dec:
+		return b.incDec(n.X, n.Op == token.Inc, false)
+	}
+	b.fail(n.Pos(), "unsupported unary %v", n.Op)
+	return NoReg, ClassW
+}
+
+// incDec implements ++/-- (pre and post) on scalars and pointers.
+func (b *builder) incDec(lhs ast.Expr, inc, post bool) (VReg, Class) {
+	t := lhs.Type()
+	delta := int64(1)
+	if t.Kind == ast.TPtr {
+		delta = int64(t.Elem.Size())
+	}
+	if !inc {
+		delta = -delta
+	}
+	cls := classOf(t)
+
+	// Register-resident local: operate in place.
+	if id, ok := lhs.(*ast.Ident); ok && id.Kind == ast.SymLocal {
+		if v, inReg := b.localVReg[id.LocalID]; inReg {
+			var old VReg
+			if post {
+				old = b.newTmp(cls)
+				b.emit(Inst{Op: Copy, Class: cls, Dst: old, A: v, B: NoReg, Slot: NoSlot})
+			}
+			if cls == ClassW {
+				b.emit(Inst{Op: AddI, Class: cls, Dst: v, A: v, Imm: delta, B: NoReg, Slot: NoSlot})
+				b.truncateInPlace(v, t)
+			} else {
+				one := b.newTmp(cls)
+				b.emit(Inst{Op: Const, Class: cls, Dst: one, FImm: float64(delta), A: NoReg, B: NoReg, Slot: NoSlot})
+				b.emit(Inst{Op: FAdd, Class: cls, Dst: v, A: v, B: one, Slot: NoSlot})
+			}
+			if post {
+				return old, cls
+			}
+			return v, cls
+		}
+	}
+	a, at := b.addr(lhs)
+	old := b.loadFrom(a, at)
+	nw := b.newTmp(cls)
+	if cls == ClassW {
+		b.emit(Inst{Op: AddI, Class: cls, Dst: nw, A: old, Imm: delta, B: NoReg, Slot: NoSlot})
+	} else {
+		one := b.newTmp(cls)
+		b.emit(Inst{Op: Const, Class: cls, Dst: one, FImm: float64(delta), A: NoReg, B: NoReg, Slot: NoSlot})
+		b.emit(Inst{Op: FAdd, Class: cls, Dst: nw, A: old, B: one, Slot: NoSlot})
+	}
+	b.storeTo(a, at, nw)
+	if post {
+		return old, cls
+	}
+	return nw, cls
+}
+
+// truncateFor narrows v to fit type t when t is a sub-word integer and
+// returns the truncated register (or v unchanged).
+func (b *builder) truncateFor(v VReg, t *ast.Type) VReg {
+	switch t.Kind {
+	case ast.TChar:
+		s1 := b.newTmp(ClassW)
+		b.emit(Inst{Op: ShlI, Class: ClassW, Dst: s1, A: v, Imm: 24, B: NoReg, Slot: NoSlot})
+		s2 := b.newTmp(ClassW)
+		b.emit(Inst{Op: SraI, Class: ClassW, Dst: s2, A: s1, Imm: 24, B: NoReg, Slot: NoSlot})
+		return s2
+	case ast.TUChar:
+		s := b.newTmp(ClassW)
+		b.emit(Inst{Op: AndI, Class: ClassW, Dst: s, A: v, Imm: 0xff, B: NoReg, Slot: NoSlot})
+		return s
+	case ast.TShort:
+		s1 := b.newTmp(ClassW)
+		b.emit(Inst{Op: ShlI, Class: ClassW, Dst: s1, A: v, Imm: 16, B: NoReg, Slot: NoSlot})
+		s2 := b.newTmp(ClassW)
+		b.emit(Inst{Op: SraI, Class: ClassW, Dst: s2, A: s1, Imm: 16, B: NoReg, Slot: NoSlot})
+		return s2
+	case ast.TUShort:
+		s := b.newTmp(ClassW)
+		b.emit(Inst{Op: AndI, Class: ClassW, Dst: s, A: v, Imm: 0xffff, B: NoReg, Slot: NoSlot})
+		return s
+	}
+	return v
+}
+
+// truncateInPlace narrows a register-resident sub-word local after
+// arithmetic.
+func (b *builder) truncateInPlace(v VReg, t *ast.Type) {
+	switch t.Kind {
+	case ast.TChar:
+		b.emit(Inst{Op: ShlI, Class: ClassW, Dst: v, A: v, Imm: 24, B: NoReg, Slot: NoSlot})
+		b.emit(Inst{Op: SraI, Class: ClassW, Dst: v, A: v, Imm: 24, B: NoReg, Slot: NoSlot})
+	case ast.TUChar:
+		b.emit(Inst{Op: AndI, Class: ClassW, Dst: v, A: v, Imm: 0xff, B: NoReg, Slot: NoSlot})
+	case ast.TShort:
+		b.emit(Inst{Op: ShlI, Class: ClassW, Dst: v, A: v, Imm: 16, B: NoReg, Slot: NoSlot})
+		b.emit(Inst{Op: SraI, Class: ClassW, Dst: v, A: v, Imm: 16, B: NoReg, Slot: NoSlot})
+	case ast.TUShort:
+		b.emit(Inst{Op: AndI, Class: ClassW, Dst: v, A: v, Imm: 0xffff, B: NoReg, Slot: NoSlot})
+	}
+}

@@ -1,0 +1,550 @@
+package ir
+
+import (
+	"omniware/internal/cc/ast"
+	"omniware/internal/cc/token"
+)
+
+// ccOf maps a comparison token to a condition code, using unsigned
+// codes when the operand type is unsigned or a pointer.
+func ccOf(op token.Kind, t *ast.Type) CC {
+	uns := t.IsUnsigned() || t.Kind == ast.TPtr
+	switch op {
+	case token.EqEq:
+		return CCEq
+	case token.NotEq:
+		return CCNe
+	case token.Lt:
+		if uns {
+			return CCLtU
+		}
+		return CCLt
+	case token.Le:
+		if uns {
+			return CCLeU
+		}
+		return CCLe
+	case token.Gt:
+		if uns {
+			return CCGtU
+		}
+		return CCGt
+	default:
+		if uns {
+			return CCGeU
+		}
+		return CCGe
+	}
+}
+
+func isCmp(op token.Kind) bool {
+	switch op {
+	case token.EqEq, token.NotEq, token.Lt, token.Le, token.Gt, token.Ge:
+		return true
+	}
+	return false
+}
+
+// cond emits control flow for a boolean expression.
+func (b *builder) cond(e ast.Expr, tID, fID int) {
+	switch n := e.(type) {
+	case *ast.IntLit:
+		if n.Val != 0 {
+			b.emit(Inst{Op: Jmp, Then: tID, Dst: NoReg, A: NoReg, B: NoReg, Slot: NoSlot})
+		} else {
+			b.emit(Inst{Op: Jmp, Then: fID, Dst: NoReg, A: NoReg, B: NoReg, Slot: NoSlot})
+		}
+		return
+	case *ast.Unary:
+		if n.Op == token.Not {
+			b.cond(n.X, fID, tID)
+			return
+		}
+	case *ast.Binary:
+		switch n.Op {
+		case token.AndAnd:
+			mid := b.fn.NewBlock()
+			b.cond(n.X, mid.ID, fID)
+			b.cur = mid
+			b.cond(n.Y, tID, fID)
+			return
+		case token.OrOr:
+			mid := b.fn.NewBlock()
+			b.cond(n.X, tID, mid.ID)
+			b.cur = mid
+			b.cond(n.Y, tID, fID)
+			return
+		}
+		if isCmp(n.Op) {
+			opT := n.X.Type()
+			cc := ccOf(n.Op, opT)
+			cls := classOf(opT)
+			xv, _ := b.expr(n.X)
+			if cls == ClassW {
+				if imm, ok := constIntExpr(n.Y); ok {
+					b.emit(Inst{Op: BrI, Class: cls, A: xv, CC: cc, Imm: int64(int32(imm)), Then: tID, Else: fID, Dst: NoReg, B: NoReg, Slot: NoSlot})
+					return
+				}
+			}
+			yv, _ := b.expr(n.Y)
+			b.emit(Inst{Op: Br, Class: cls, A: xv, B: yv, CC: cc, Then: tID, Else: fID, Dst: NoReg, Slot: NoSlot})
+			return
+		}
+	}
+	// Generic scalar: compare against zero.
+	v, cls := b.expr(e)
+	if cls == ClassW {
+		b.emit(Inst{Op: BrI, Class: ClassW, A: v, CC: CCNe, Imm: 0, Then: tID, Else: fID, Dst: NoReg, B: NoReg, Slot: NoSlot})
+		return
+	}
+	z := b.newTmp(cls)
+	b.emit(Inst{Op: Const, Class: cls, Dst: z, FImm: 0, A: NoReg, B: NoReg, Slot: NoSlot})
+	b.emit(Inst{Op: Br, Class: cls, A: v, B: z, CC: CCNe, Then: tID, Else: fID, Dst: NoReg, Slot: NoSlot})
+}
+
+var binOpW = map[token.Kind]Op{
+	token.Plus: Add, token.Minus: Sub, token.Star: Mul,
+	token.Amp: And, token.Pipe: Or, token.Caret: Xor,
+	token.Shl: Shl,
+}
+
+var binOpImmW = map[token.Kind]Op{
+	token.Plus: AddI, token.Star: MulI,
+	token.Amp: AndI, token.Pipe: OrI, token.Caret: XorI,
+	token.Shl: ShlI,
+}
+
+var binOpF = map[token.Kind]Op{
+	token.Plus: FAdd, token.Minus: FSub, token.Star: FMul, token.Slash: FDiv,
+}
+
+func (b *builder) binary(n *ast.Binary) (VReg, Class) {
+	switch n.Op {
+	case token.Comma:
+		b.expr(n.X)
+		return b.expr(n.Y)
+	case token.AndAnd, token.OrOr:
+		tmp := b.newTmp(ClassW)
+		tB := b.fn.NewBlock()
+		fB := b.fn.NewBlock()
+		join := b.fn.NewBlock()
+		b.cond(n, tB.ID, fB.ID)
+		b.cur = tB
+		b.emit(Inst{Op: Const, Class: ClassW, Dst: tmp, Imm: 1, A: NoReg, B: NoReg, Slot: NoSlot})
+		b.jumpTo(join)
+		b.cur = fB
+		b.emit(Inst{Op: Const, Class: ClassW, Dst: tmp, Imm: 0, A: NoReg, B: NoReg, Slot: NoSlot})
+		b.jumpTo(join)
+		b.cur = join
+		return tmp, ClassW
+	}
+
+	if isCmp(n.Op) {
+		opT := n.X.Type()
+		cc := ccOf(n.Op, opT)
+		cls := classOf(opT)
+		xv, _ := b.expr(n.X)
+		dst := b.newTmp(ClassW)
+		if cls == ClassW {
+			if imm, ok := constIntExpr(n.Y); ok {
+				b.emit(Inst{Op: SetI, Class: cls, Dst: dst, A: xv, CC: cc, Imm: int64(int32(imm)), B: NoReg, Slot: NoSlot})
+				return dst, ClassW
+			}
+		}
+		yv, _ := b.expr(n.Y)
+		b.emit(Inst{Op: Set, Class: cls, Dst: dst, A: xv, B: yv, CC: cc, Slot: NoSlot})
+		return dst, ClassW
+	}
+
+	tx, ty := n.X.Type(), n.Y.Type()
+
+	// Pointer arithmetic.
+	if tx.Kind == ast.TPtr && n.Op == token.Plus {
+		base, _ := b.expr(n.X)
+		size := int64(tx.Elem.Size())
+		if imm, ok := constIntExpr(n.Y); ok {
+			dst := b.newTmp(ClassW)
+			b.emit(Inst{Op: AddI, Class: ClassW, Dst: dst, A: base, Imm: imm * size, B: NoReg, Slot: NoSlot})
+			return dst, ClassW
+		}
+		iv, _ := b.expr(n.Y)
+		scaled := b.scale(iv, size)
+		dst := b.newTmp(ClassW)
+		b.emit(Inst{Op: Add, Class: ClassW, Dst: dst, A: base, B: scaled, Slot: NoSlot})
+		return dst, ClassW
+	}
+	if tx.Kind == ast.TPtr && n.Op == token.Minus {
+		if ty.Kind == ast.TPtr {
+			xv, _ := b.expr(n.X)
+			yv, _ := b.expr(n.Y)
+			diff := b.newTmp(ClassW)
+			b.emit(Inst{Op: Sub, Class: ClassW, Dst: diff, A: xv, B: yv, Slot: NoSlot})
+			size := int64(tx.Elem.Size())
+			if size == 1 {
+				return diff, ClassW
+			}
+			dst := b.newTmp(ClassW)
+			if sh := log2(size); sh >= 0 {
+				b.emit(Inst{Op: SraI, Class: ClassW, Dst: dst, A: diff, Imm: int64(sh), B: NoReg, Slot: NoSlot})
+			} else {
+				sz := b.constW(size)
+				b.emit(Inst{Op: Div, Class: ClassW, Dst: dst, A: diff, B: sz, Slot: NoSlot})
+			}
+			return dst, ClassW
+		}
+		base, _ := b.expr(n.X)
+		size := int64(tx.Elem.Size())
+		if imm, ok := constIntExpr(n.Y); ok {
+			dst := b.newTmp(ClassW)
+			b.emit(Inst{Op: AddI, Class: ClassW, Dst: dst, A: base, Imm: -imm * size, B: NoReg, Slot: NoSlot})
+			return dst, ClassW
+		}
+		iv, _ := b.expr(n.Y)
+		scaled := b.scale(iv, size)
+		dst := b.newTmp(ClassW)
+		b.emit(Inst{Op: Sub, Class: ClassW, Dst: dst, A: base, B: scaled, Slot: NoSlot})
+		return dst, ClassW
+	}
+
+	cls := classOf(n.Type())
+	if cls != ClassW {
+		op, ok := binOpF[n.Op]
+		if !ok {
+			b.fail(n.Pos(), "invalid FP operator %v", n.Op)
+		}
+		xv, _ := b.expr(n.X)
+		yv, _ := b.expr(n.Y)
+		dst := b.newTmp(cls)
+		b.emit(Inst{Op: op, Class: cls, Dst: dst, A: xv, B: yv, Slot: NoSlot})
+		return dst, cls
+	}
+
+	uns := n.Type().IsUnsigned()
+	xv, _ := b.expr(n.X)
+
+	// Immediate forms for commutative/shift ops.
+	if imm, ok := constIntExpr(n.Y); ok {
+		if op, ok2 := binOpImmW[n.Op]; ok2 {
+			dst := b.newTmp(ClassW)
+			b.emit(Inst{Op: op, Class: ClassW, Dst: dst, A: xv, Imm: int64(int32(imm)), B: NoReg, Slot: NoSlot})
+			return dst, ClassW
+		}
+		switch n.Op {
+		case token.Minus:
+			dst := b.newTmp(ClassW)
+			b.emit(Inst{Op: AddI, Class: ClassW, Dst: dst, A: xv, Imm: int64(int32(-imm)), B: NoReg, Slot: NoSlot})
+			return dst, ClassW
+		case token.Shr:
+			dst := b.newTmp(ClassW)
+			op := SraI
+			if uns {
+				op = ShrI
+			}
+			b.emit(Inst{Op: op, Class: ClassW, Dst: dst, A: xv, Imm: imm & 31, B: NoReg, Slot: NoSlot})
+			return dst, ClassW
+		}
+	}
+
+	yv, _ := b.expr(n.Y)
+	var op Op
+	switch n.Op {
+	case token.Slash:
+		op = Div
+		if uns {
+			op = DivU
+		}
+	case token.Percent:
+		op = Rem
+		if uns {
+			op = RemU
+		}
+	case token.Shr:
+		op = Sra
+		if uns {
+			op = Shr
+		}
+	default:
+		var ok bool
+		op, ok = binOpW[n.Op]
+		if !ok {
+			b.fail(n.Pos(), "unsupported binary operator %v", n.Op)
+		}
+	}
+	dst := b.newTmp(ClassW)
+	b.emit(Inst{Op: op, Class: ClassW, Dst: dst, A: xv, B: yv, Slot: NoSlot})
+	return dst, ClassW
+}
+
+// cvtVal converts a value between C types, emitting Cvt or truncation
+// instructions as needed.
+func (b *builder) cvtVal(v VReg, from, to *ast.Type) VReg {
+	fc, tc := classOf(from), classOf(to)
+	switch {
+	case fc == ClassW && tc == ClassW:
+		// Integer/pointer to integer/pointer: only narrowing matters.
+		if to.IsInteger() && to.Size() < 4 {
+			return b.truncateFor(v, to)
+		}
+		return v
+	case fc == ClassW && tc == ClassD:
+		dst := b.newTmp(ClassD)
+		k := CvtWtoD
+		if from.IsUnsigned() {
+			k = CvtUtoD
+		}
+		b.emit(Inst{Op: Cvt, Class: ClassD, Cvt: k, Dst: dst, A: v, B: NoReg, Slot: NoSlot})
+		return dst
+	case fc == ClassW && tc == ClassF:
+		if from.IsUnsigned() {
+			d := b.newTmp(ClassD)
+			b.emit(Inst{Op: Cvt, Class: ClassD, Cvt: CvtUtoD, Dst: d, A: v, B: NoReg, Slot: NoSlot})
+			dst := b.newTmp(ClassF)
+			b.emit(Inst{Op: Cvt, Class: ClassF, Cvt: CvtDtoF, Dst: dst, A: d, B: NoReg, Slot: NoSlot})
+			return dst
+		}
+		dst := b.newTmp(ClassF)
+		b.emit(Inst{Op: Cvt, Class: ClassF, Cvt: CvtWtoF, Dst: dst, A: v, B: NoReg, Slot: NoSlot})
+		return dst
+	case fc == ClassD && tc == ClassW:
+		dst := b.newTmp(ClassW)
+		k := CvtDtoW
+		if to.IsUnsigned() && to.Size() == 4 {
+			k = CvtDtoU
+		}
+		b.emit(Inst{Op: Cvt, Class: ClassW, Cvt: k, Dst: dst, A: v, B: NoReg, Slot: NoSlot})
+		if to.IsInteger() && to.Size() < 4 {
+			return b.truncateFor(dst, to)
+		}
+		return dst
+	case fc == ClassF && tc == ClassW:
+		dst := b.newTmp(ClassW)
+		b.emit(Inst{Op: Cvt, Class: ClassW, Cvt: CvtFtoW, Dst: dst, A: v, B: NoReg, Slot: NoSlot})
+		if to.IsInteger() && to.Size() < 4 {
+			return b.truncateFor(dst, to)
+		}
+		return dst
+	case fc == ClassF && tc == ClassD:
+		dst := b.newTmp(ClassD)
+		b.emit(Inst{Op: Cvt, Class: ClassD, Cvt: CvtFtoD, Dst: dst, A: v, B: NoReg, Slot: NoSlot})
+		return dst
+	case fc == ClassD && tc == ClassF:
+		dst := b.newTmp(ClassF)
+		b.emit(Inst{Op: Cvt, Class: ClassF, Cvt: CvtDtoF, Dst: dst, A: v, B: NoReg, Slot: NoSlot})
+		return dst
+	}
+	return v
+}
+
+func (b *builder) cast(n *ast.Cast) (VReg, Class) {
+	v, _ := b.expr(n.X)
+	out := b.cvtVal(v, n.X.Type(), n.To)
+	return out, classOf(n.To)
+}
+
+func (b *builder) assign(n *ast.Assign) (VReg, Class) {
+	tx := n.X.Type()
+
+	// Struct assignment: block copy.
+	if tx.Kind == ast.TStruct && n.Op == token.Assign {
+		dst, _ := b.addr(n.X)
+		srcReg, _ := b.expr(n.Y) // struct value = its address
+		b.blockCopy(dst, srcReg, tx.Size())
+		return b.materialize(dst), ClassW
+	}
+
+	if n.Op == token.Assign {
+		v, _ := b.expr(n.Y)
+		return b.storeLHS(n.X, v), classOf(tx)
+	}
+
+	// Compound assignment: x op= y  =>  x = (T)(op(conv(x), conv(y))).
+	ty := n.Y.Type()
+	var opT *ast.Type
+	if tx.Kind == ast.TPtr {
+		opT = tx
+	} else {
+		opT = arithResult(tx, ty)
+	}
+
+	// Read old value.
+	var old VReg
+	var lhsA aref
+	var lhsT *ast.Type
+	var inReg bool
+	var regV VReg
+	if id, ok := n.X.(*ast.Ident); ok && id.Kind == ast.SymLocal {
+		if v, r := b.localVReg[id.LocalID]; r {
+			inReg, regV = true, v
+			old = v
+			lhsT = b.astFn.Locals[id.LocalID].Ty
+		}
+	}
+	if !inReg {
+		lhsA, lhsT = b.addr(n.X)
+		old = b.loadFrom(lhsA, lhsT)
+	}
+
+	var res VReg
+	if tx.Kind == ast.TPtr {
+		size := int64(tx.Elem.Size())
+		neg := n.Op == token.Minus
+		if imm, ok := constIntExpr(n.Y); ok {
+			d := imm * size
+			if neg {
+				d = -d
+			}
+			res = b.newTmp(ClassW)
+			b.emit(Inst{Op: AddI, Class: ClassW, Dst: res, A: old, Imm: d, B: NoReg, Slot: NoSlot})
+		} else {
+			iv, _ := b.expr(n.Y)
+			scaled := b.scale(iv, size)
+			res = b.newTmp(ClassW)
+			op := Add
+			if neg {
+				op = Sub
+			}
+			b.emit(Inst{Op: op, Class: ClassW, Dst: res, A: old, B: scaled, Slot: NoSlot})
+		}
+	} else {
+		oldC := b.cvtVal(old, lhsT, opT)
+		yv, _ := b.expr(n.Y)
+		yc := b.cvtVal(yv, ty, opT)
+		cls := classOf(opT)
+		res = b.newTmp(cls)
+		if cls == ClassW {
+			uns := opT.IsUnsigned()
+			var op Op
+			switch n.Op {
+			case token.Plus:
+				op = Add
+			case token.Minus:
+				op = Sub
+			case token.Star:
+				op = Mul
+			case token.Slash:
+				op = Div
+				if uns {
+					op = DivU
+				}
+			case token.Percent:
+				op = Rem
+				if uns {
+					op = RemU
+				}
+			case token.Amp:
+				op = And
+			case token.Pipe:
+				op = Or
+			case token.Caret:
+				op = Xor
+			case token.Shl:
+				op = Shl
+			case token.Shr:
+				op = Sra
+				if tx.IsUnsigned() {
+					op = Shr
+				}
+			default:
+				b.fail(n.Pos(), "unsupported compound operator %v", n.Op)
+			}
+			b.emit(Inst{Op: op, Class: cls, Dst: res, A: oldC, B: yc, Slot: NoSlot})
+		} else {
+			op, ok := binOpF[n.Op]
+			if !ok {
+				b.fail(n.Pos(), "invalid FP compound operator %v", n.Op)
+			}
+			b.emit(Inst{Op: op, Class: cls, Dst: res, A: oldC, B: yc, Slot: NoSlot})
+		}
+		res = b.cvtVal(res, opT, lhsT)
+	}
+
+	if inReg {
+		b.emit(Inst{Op: Copy, Class: classOf(lhsT), Dst: regV, A: res, B: NoReg, Slot: NoSlot})
+		return regV, classOf(lhsT)
+	}
+	b.storeTo(lhsA, lhsT, res)
+	return res, classOf(lhsT)
+}
+
+// arithResult mirrors sem's usual arithmetic conversions for compound
+// assignments.
+func arithResult(a, bt *ast.Type) *ast.Type {
+	if a.Kind == ast.TDouble || bt.Kind == ast.TDouble {
+		return ast.Double
+	}
+	if a.Kind == ast.TFloat || bt.Kind == ast.TFloat {
+		return ast.Float
+	}
+	if a.Kind == ast.TUInt || bt.Kind == ast.TUInt {
+		return ast.UInt
+	}
+	return ast.Int
+}
+
+// storeLHS stores v into the lvalue lhs, returning the stored value
+// register.
+func (b *builder) storeLHS(lhs ast.Expr, v VReg) VReg {
+	t := lhs.Type()
+	if id, ok := lhs.(*ast.Ident); ok && id.Kind == ast.SymLocal {
+		if dst, inReg := b.localVReg[id.LocalID]; inReg {
+			lt := b.astFn.Locals[id.LocalID].Ty
+			v = b.truncateFor(v, lt)
+			b.emit(Inst{Op: Copy, Class: classOf(lt), Dst: dst, A: v, B: NoReg, Slot: NoSlot})
+			return dst
+		}
+	}
+	a, at := b.addr(lhs)
+	_ = t
+	b.storeTo(a, at, v)
+	return v
+}
+
+// blockCopy copies size bytes from the address in src to dst.
+func (b *builder) blockCopy(dst aref, src VReg, size int) {
+	off := 0
+	copyN := func(n int, mem MemOp) {
+		for size-off >= n {
+			t := b.newTmp(mem.Class())
+			b.emit(Inst{Op: Load, Class: mem.Class(), Mem: mem, Dst: t, A: src, Imm: int64(off), B: NoReg, Slot: NoSlot})
+			d := dst
+			d.off += int64(off)
+			b.emit(Inst{Op: Store, Class: mem.Class(), Mem: mem, A: d.base, B: t, Sym: d.sym, Slot: d.slot, Imm: d.off, Dst: NoReg})
+			off += n
+		}
+	}
+	copyN(4, MemW)
+	copyN(2, MemHU)
+	copyN(1, MemBU)
+}
+
+func (b *builder) call(n *ast.Call) (VReg, Class) {
+	// Arguments first.
+	var args []VReg
+	var acls []Class
+	for _, a := range n.Args {
+		v, c := b.expr(a)
+		args = append(args, v)
+		acls = append(acls, c)
+	}
+	retT := n.Type()
+	hasRet := retT.Kind != ast.TVoid
+	var dst VReg = NoReg
+	var cls Class = ClassW
+	if hasRet {
+		cls = classOf(retT)
+		dst = b.newTmp(cls)
+	}
+	if id, ok := n.Fn.(*ast.Ident); ok {
+		switch id.Kind {
+		case ast.SymBuiltin:
+			b.emit(Inst{Op: Syscall, Class: cls, Imm: int64(id.Builtin), Dst: dst, Args: args, ACls: acls, A: NoReg, B: NoReg, Slot: NoSlot})
+			return dst, cls
+		case ast.SymFunc:
+			b.emit(Inst{Op: Call, Class: cls, Sym: id.Name, Dst: dst, Args: args, ACls: acls, A: NoReg, B: NoReg, Slot: NoSlot})
+			return dst, cls
+		}
+	}
+	fv, _ := b.expr(n.Fn)
+	b.emit(Inst{Op: Call, Class: cls, A: fv, Dst: dst, Args: args, ACls: acls, B: NoReg, Slot: NoSlot})
+	return dst, cls
+}

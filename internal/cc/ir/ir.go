@@ -1,0 +1,513 @@
+// Package ir defines the OmniC compiler's intermediate representation:
+// a typed three-address form over virtual registers, organized into
+// basic blocks with explicit control-flow edges. Compare-and-branch is
+// a single instruction, mirroring OmniVM (§3.4), and memory operands
+// carry symbol+offset so full 32-bit address immediates survive to code
+// generation.
+package ir
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Class is a value class.
+type Class uint8
+
+const (
+	ClassW Class = iota // 32-bit integer or pointer
+	ClassF              // IEEE single
+	ClassD              // IEEE double
+)
+
+func (c Class) String() string {
+	switch c {
+	case ClassW:
+		return "w"
+	case ClassF:
+		return "f"
+	default:
+		return "d"
+	}
+}
+
+// IsFP reports whether the class lives in the FP register file.
+func (c Class) IsFP() bool { return c != ClassW }
+
+// VReg is a virtual register id; NoReg means absent.
+type VReg int32
+
+// NoReg marks an unused register operand.
+const NoReg VReg = -1
+
+// Op enumerates IR operations.
+type Op uint8
+
+const (
+	Nop Op = iota
+
+	Const // Dst = Imm (ClassW) or FImm (ClassF/D)
+	Copy  // Dst = A
+
+	// Integer ALU, register-register.
+	Add
+	Sub
+	Mul
+	Div
+	DivU
+	Rem
+	RemU
+	And
+	Or
+	Xor
+	Shl
+	Shr // logical
+	Sra // arithmetic
+	Neg
+
+	// Integer ALU, register-immediate.
+	AddI
+	MulI
+	AndI
+	OrI
+	XorI
+	ShlI
+	ShrI
+	SraI
+
+	// Comparisons producing 0/1.
+	Set  // Dst = A cc B (operand class in Class)
+	SetI // Dst = A cc Imm (integer only)
+
+	// Floating point (Class F or D).
+	FAdd
+	FSub
+	FMul
+	FDiv
+	FNeg
+
+	Cvt // Dst = convert(A), kind in CvtKind
+
+	Load  // Dst = mem[addr]; addr = A + Sym + Slot + Imm (see AddrOf)
+	Store // mem[addr] = B
+	Addr  // Dst = addr (materialize an address)
+
+	Call    // call Sym (direct) or A (indirect), Args, optional Dst
+	Syscall // host call Imm, Args, optional Dst
+
+	// Terminators.
+	Ret // return optional A
+	Br  // if A cc B then Then else Else
+	BrI // if A cc Imm then Then else Else
+	Jmp // goto Then
+)
+
+var opNames = [...]string{
+	Nop: "nop", Const: "const", Copy: "copy",
+	Add: "add", Sub: "sub", Mul: "mul", Div: "div", DivU: "divu",
+	Rem: "rem", RemU: "remu", And: "and", Or: "or", Xor: "xor",
+	Shl: "shl", Shr: "shr", Sra: "sra", Neg: "neg",
+	AddI: "addi", MulI: "muli", AndI: "andi", OrI: "ori", XorI: "xori",
+	ShlI: "shli", ShrI: "shri", SraI: "srai",
+	Set: "set", SetI: "seti",
+	FAdd: "fadd", FSub: "fsub", FMul: "fmul", FDiv: "fdiv", FNeg: "fneg",
+	Cvt: "cvt", Load: "load", Store: "store", Addr: "addr",
+	Call: "call", Syscall: "syscall",
+	Ret: "ret", Br: "br", BrI: "bri", Jmp: "jmp",
+}
+
+func (o Op) String() string { return opNames[o] }
+
+// IsTerm reports whether o terminates a block.
+func (o Op) IsTerm() bool { return o == Ret || o == Br || o == BrI || o == Jmp }
+
+// CC is a comparison condition.
+type CC uint8
+
+const (
+	CCEq CC = iota
+	CCNe
+	CCLt
+	CCLe
+	CCGt
+	CCGe
+	CCLtU
+	CCLeU
+	CCGtU
+	CCGeU
+)
+
+var ccNames = [...]string{"eq", "ne", "lt", "le", "gt", "ge", "ltu", "leu", "gtu", "geu"}
+
+func (c CC) String() string { return ccNames[c] }
+
+// Invert returns the negated condition.
+func (c CC) Invert() CC {
+	switch c {
+	case CCEq:
+		return CCNe
+	case CCNe:
+		return CCEq
+	case CCLt:
+		return CCGe
+	case CCLe:
+		return CCGt
+	case CCGt:
+		return CCLe
+	case CCGe:
+		return CCLt
+	case CCLtU:
+		return CCGeU
+	case CCLeU:
+		return CCGtU
+	case CCGtU:
+		return CCLeU
+	default:
+		return CCLtU
+	}
+}
+
+// Swap returns the condition with operands exchanged.
+func (c CC) Swap() CC {
+	switch c {
+	case CCLt:
+		return CCGt
+	case CCLe:
+		return CCGe
+	case CCGt:
+		return CCLt
+	case CCGe:
+		return CCLe
+	case CCLtU:
+		return CCGtU
+	case CCLeU:
+		return CCGeU
+	case CCGtU:
+		return CCLtU
+	case CCGeU:
+		return CCLeU
+	}
+	return c
+}
+
+// MemOp describes a memory access width and extension.
+type MemOp uint8
+
+const (
+	MemB MemOp = iota // signed byte
+	MemBU
+	MemH // signed halfword
+	MemHU
+	MemW
+	MemF // single
+	MemD // double
+)
+
+var memNames = [...]string{"b", "bu", "h", "hu", "w", "f", "d"}
+
+func (m MemOp) String() string { return memNames[m] }
+
+// Size returns the access width in bytes.
+func (m MemOp) Size() int {
+	switch m {
+	case MemB, MemBU:
+		return 1
+	case MemH, MemHU:
+		return 2
+	case MemD:
+		return 8
+	default:
+		return 4
+	}
+}
+
+// Class returns the value class loaded/stored.
+func (m MemOp) Class() Class {
+	switch m {
+	case MemF:
+		return ClassF
+	case MemD:
+		return ClassD
+	default:
+		return ClassW
+	}
+}
+
+// CvtKind enumerates conversions.
+type CvtKind uint8
+
+const (
+	CvtWtoD CvtKind = iota // signed int -> double
+	CvtWtoF
+	CvtDtoW // double -> int (truncate)
+	CvtFtoW
+	CvtDtoF
+	CvtFtoD
+	CvtUtoD // unsigned int -> double (via 64-bit intermediate)
+	CvtDtoU
+)
+
+var cvtNames = [...]string{"w2d", "w2f", "d2w", "f2w", "d2f", "f2d", "u2d", "d2u"}
+
+func (k CvtKind) String() string { return cvtNames[k] }
+
+// NoSlot marks an instruction with no stack-slot operand.
+const NoSlot = -1
+
+// Inst is one IR instruction. Which fields are meaningful depends on Op.
+type Inst struct {
+	Op     Op
+	Class  Class // result class; for Set/Br: operand class
+	Dst    VReg
+	A, B   VReg
+	Imm    int64   // integer immediate / syscall number
+	FImm   float64 // Const F/D
+	Sym    string  // global symbol (Load/Store/Addr/Call)
+	Slot   int     // stack slot (Load/Store/Addr), NoSlot if none
+	CC     CC
+	Mem    MemOp
+	Cvt    CvtKind
+	HasIdx bool // indexed addressing mem[A + Idx] (set by the fusion pass)
+	Idx    VReg
+	Args   []VReg
+	ACls   []Class
+	Then   int // target block id
+	Else   int
+	Line   int32 // source line, for debug output
+}
+
+// Uses appends the vregs read by the instruction.
+func (in *Inst) Uses(dst []VReg) []VReg {
+	if in.A != NoReg {
+		dst = append(dst, in.A)
+	}
+	if in.B != NoReg {
+		dst = append(dst, in.B)
+	}
+	if in.HasIdx {
+		dst = append(dst, in.Idx)
+	}
+	for _, a := range in.Args {
+		dst = append(dst, a)
+	}
+	return dst
+}
+
+// HasDst reports whether the instruction defines Dst.
+func (in *Inst) HasDst() bool { return in.Dst != NoReg }
+
+// Pure reports whether the instruction has no side effects and can be
+// removed if its result is unused (loads are impure: a module may read
+// a protected page deliberately to trigger an exception).
+func (in *Inst) Pure() bool {
+	switch in.Op {
+	case Const, Copy, Add, Sub, Mul, And, Or, Xor, Shl, Shr, Sra, Neg,
+		AddI, MulI, AndI, OrI, XorI, ShlI, ShrI, SraI,
+		Set, SetI, FAdd, FSub, FMul, FNeg, Cvt, Addr:
+		return true
+	case Div, DivU, Rem, RemU, FDiv:
+		// Integer division can trap; float division cannot but keep it
+		// symmetric and conservative only for the integer forms.
+		return in.Op == FDiv
+	}
+	return false
+}
+
+// Block is a basic block.
+type Block struct {
+	ID    int
+	Insts []Inst
+	// Preds/Succs are recomputed by Func.Renumber.
+	Preds, Succs []int
+}
+
+// Term returns the terminator (last instruction), or nil.
+func (b *Block) Term() *Inst {
+	if len(b.Insts) == 0 {
+		return nil
+	}
+	t := &b.Insts[len(b.Insts)-1]
+	if !t.Op.IsTerm() {
+		return nil
+	}
+	return t
+}
+
+// SlotInfo describes one stack slot.
+type SlotInfo struct {
+	Name  string
+	Size  int
+	Align int
+}
+
+// Func is an IR function.
+type Func struct {
+	Name     string
+	Blocks   []*Block
+	NVReg    int
+	VClass   []Class // class per vreg
+	Slots    []SlotInfo
+	Params   []VReg  // parameter vregs in order
+	PClasses []Class // parameter classes
+	RetClass Class
+	HasRet   bool // returns a value
+}
+
+// NewVReg allocates a virtual register of class c.
+func (f *Func) NewVReg(c Class) VReg {
+	v := VReg(f.NVReg)
+	f.NVReg++
+	f.VClass = append(f.VClass, c)
+	return v
+}
+
+// NewSlot allocates a stack slot.
+func (f *Func) NewSlot(name string, size, align int) int {
+	f.Slots = append(f.Slots, SlotInfo{Name: name, Size: size, Align: align})
+	return len(f.Slots) - 1
+}
+
+// NewBlock appends a new empty block.
+func (f *Func) NewBlock() *Block {
+	b := &Block{ID: len(f.Blocks)}
+	f.Blocks = append(f.Blocks, b)
+	return b
+}
+
+// Recompute rebuilds predecessor/successor lists.
+func (f *Func) Recompute() {
+	for _, b := range f.Blocks {
+		b.Preds = b.Preds[:0]
+		b.Succs = b.Succs[:0]
+	}
+	for _, b := range f.Blocks {
+		t := b.Term()
+		if t == nil {
+			continue
+		}
+		add := func(id int) {
+			b.Succs = append(b.Succs, id)
+			f.Blocks[id].Preds = append(f.Blocks[id].Preds, b.ID)
+		}
+		switch t.Op {
+		case Jmp:
+			add(t.Then)
+		case Br, BrI:
+			add(t.Then)
+			if t.Else != t.Then {
+				add(t.Else)
+			}
+		}
+	}
+}
+
+// String renders the function for debugging and golden tests.
+func (f *Func) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "func %s(", f.Name)
+	for i, p := range f.Params {
+		if i > 0 {
+			b.WriteString(", ")
+		}
+		fmt.Fprintf(&b, "v%d:%s", p, f.PClasses[i])
+	}
+	b.WriteString(")\n")
+	for _, blk := range f.Blocks {
+		fmt.Fprintf(&b, "b%d:\n", blk.ID)
+		for i := range blk.Insts {
+			fmt.Fprintf(&b, "\t%s\n", instString(&blk.Insts[i]))
+		}
+	}
+	return b.String()
+}
+
+func instString(in *Inst) string {
+	var b strings.Builder
+	if in.HasDst() {
+		fmt.Fprintf(&b, "v%d = ", in.Dst)
+	}
+	fmt.Fprintf(&b, "%s.%s", in.Op, in.Class)
+	switch in.Op {
+	case Const:
+		if in.Class == ClassW {
+			fmt.Fprintf(&b, " %d", in.Imm)
+		} else {
+			fmt.Fprintf(&b, " %g", in.FImm)
+		}
+	case Load, Store, Addr:
+		fmt.Fprintf(&b, ".%s [", in.Mem)
+		sep := ""
+		if in.A != NoReg {
+			fmt.Fprintf(&b, "v%d", in.A)
+			sep = "+"
+		}
+		if in.Sym != "" {
+			fmt.Fprintf(&b, "%s%s", sep, in.Sym)
+			sep = "+"
+		}
+		if in.Slot != NoSlot {
+			fmt.Fprintf(&b, "%sslot%d", sep, in.Slot)
+			sep = "+"
+		}
+		if in.Imm != 0 || sep == "" {
+			fmt.Fprintf(&b, "%s%d", sep, in.Imm)
+		}
+		b.WriteString("]")
+		if in.Op == Store {
+			fmt.Fprintf(&b, " v%d", in.B)
+		}
+	case Set, Br:
+		fmt.Fprintf(&b, " v%d %s v%d", in.A, in.CC, in.B)
+		if in.Op == Br {
+			fmt.Fprintf(&b, " -> b%d b%d", in.Then, in.Else)
+		}
+	case SetI, BrI:
+		fmt.Fprintf(&b, " v%d %s %d", in.A, in.CC, in.Imm)
+		if in.Op == BrI {
+			fmt.Fprintf(&b, " -> b%d b%d", in.Then, in.Else)
+		}
+	case Jmp:
+		fmt.Fprintf(&b, " -> b%d", in.Then)
+	case Call:
+		if in.Sym != "" {
+			fmt.Fprintf(&b, " %s", in.Sym)
+		} else {
+			fmt.Fprintf(&b, " *v%d", in.A)
+		}
+		b.WriteString("(")
+		for i, a := range in.Args {
+			if i > 0 {
+				b.WriteString(", ")
+			}
+			fmt.Fprintf(&b, "v%d", a)
+		}
+		b.WriteString(")")
+	case Syscall:
+		fmt.Fprintf(&b, " %d(", in.Imm)
+		for i, a := range in.Args {
+			if i > 0 {
+				b.WriteString(", ")
+			}
+			fmt.Fprintf(&b, "v%d", a)
+		}
+		b.WriteString(")")
+	case Cvt:
+		fmt.Fprintf(&b, ".%s v%d", in.Cvt, in.A)
+	case Ret:
+		if in.A != NoReg {
+			fmt.Fprintf(&b, " v%d", in.A)
+		}
+	default:
+		if in.A != NoReg {
+			fmt.Fprintf(&b, " v%d", in.A)
+		}
+		if in.B != NoReg {
+			fmt.Fprintf(&b, ", v%d", in.B)
+		}
+		switch in.Op {
+		case AddI, MulI, AndI, OrI, XorI, ShlI, ShrI, SraI:
+			fmt.Fprintf(&b, ", %d", in.Imm)
+		}
+	}
+	return b.String()
+}

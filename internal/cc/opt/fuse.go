@@ -1,0 +1,177 @@
+package opt
+
+import "omniware/internal/cc/ir"
+
+// strengthReduce rewrites expensive operations into cheaper ones:
+// multiplications by powers of two (and small shift-add patterns),
+// unsigned division and remainder by powers of two.
+func strengthReduce(f *ir.Func) bool {
+	changed := false
+	for _, b := range f.Blocks {
+		var out []ir.Inst
+		for i := range b.Insts {
+			in := b.Insts[i]
+			switch in.Op {
+			case ir.MulI:
+				if sh := log2(in.Imm); sh > 0 {
+					in.Op = ir.ShlI
+					in.Imm = int64(sh)
+					changed = true
+				} else if in.Imm == 3 || in.Imm == 5 || in.Imm == 9 {
+					// x*3 = (x<<1)+x etc. The shift and add are emitted
+					// adjacently, so the operand cannot change between
+					// them even when it is multiply-defined. The shift
+					// must not clobber the operand, hence a fresh temp.
+					if in.A != ir.NoReg {
+						t := f.NewVReg(ir.ClassW)
+						sh := int64(1)
+						if in.Imm == 5 {
+							sh = 2
+						} else if in.Imm == 9 {
+							sh = 3
+						}
+						out = append(out, ir.Inst{Op: ir.ShlI, Class: ir.ClassW, Dst: t, A: in.A, Imm: sh, B: ir.NoReg, Slot: ir.NoSlot})
+						in = ir.Inst{Op: ir.Add, Class: ir.ClassW, Dst: in.Dst, A: t, B: in.A, Slot: ir.NoSlot}
+						changed = true
+					}
+				}
+			case ir.DivU:
+				// handled only for immediate divisors via propagate+fold
+			}
+			out = append(out, in)
+		}
+		b.Insts = out
+	}
+	// Immediate-form unsigned div/rem: DivU/RemU with const B was not
+	// converted by propagate (no imm op exists); catch the pattern
+	// B = Const 2^k here.
+	defs2, _ := defUseCounts(f)
+	defInst := make([]*ir.Inst, f.NVReg)
+	for _, b := range f.Blocks {
+		for i := range b.Insts {
+			in := &b.Insts[i]
+			if in.HasDst() && defs2[in.Dst] == 1 {
+				defInst[in.Dst] = in
+			}
+		}
+	}
+	for _, b := range f.Blocks {
+		for i := range b.Insts {
+			in := &b.Insts[i]
+			if in.B == ir.NoReg {
+				continue
+			}
+			d := defInst[in.B]
+			if d == nil || d.Op != ir.Const || d.Class != ir.ClassW {
+				continue
+			}
+			switch in.Op {
+			case ir.DivU:
+				if sh := log2(d.Imm); sh >= 0 {
+					*in = ir.Inst{Op: ir.ShrI, Class: ir.ClassW, Dst: in.Dst, A: in.A, Imm: int64(sh), B: ir.NoReg, Slot: ir.NoSlot}
+					changed = true
+				}
+			case ir.RemU:
+				if sh := log2(d.Imm); sh >= 0 {
+					*in = ir.Inst{Op: ir.AndI, Class: ir.ClassW, Dst: in.Dst, A: in.A, Imm: d.Imm - 1, B: ir.NoReg, Slot: ir.NoSlot}
+					changed = true
+				}
+			}
+		}
+	}
+	return changed
+}
+
+func log2(v int64) int {
+	for i := 0; i < 31; i++ {
+		if v == 1<<i {
+			return i
+		}
+	}
+	return -1
+}
+
+// fuseAddressing folds address arithmetic into memory instructions:
+//
+//	t = AddI x, c ; load [t+d]      -> load [x + (c+d)]
+//	t = Addr sym/slot, c ; load [t+d] -> load [sym/slot + (c+d)]
+//	t = Add x, y ; load [t+0]       -> load [x + y] (indexed mode)
+//
+// This is what gives OmniVM code its 32-bit-offset and indexed-mode
+// character (§3.4, Figure 1 "addr" category).
+func fuseAddressing(f *ir.Func) bool {
+	changed := false
+	defs, _ := defUseCounts(f)
+	for _, b := range f.Blocks {
+		// version tracks redefinitions within the block so a fused
+		// operand is still live at the memory op.
+		version := map[ir.VReg]int{}
+		type defRec struct {
+			inst ir.Inst
+			aVer int
+			bVer int
+		}
+		defd := map[ir.VReg]defRec{}
+		for i := range b.Insts {
+			in := &b.Insts[i]
+			if in.Op == ir.Load || in.Op == ir.Store {
+				for in.A != ir.NoReg && !in.HasIdx && in.Sym == "" && in.Slot == ir.NoSlot {
+					d, ok := defd[in.A]
+					if !ok || defs[in.A] != 1 {
+						break
+					}
+					di := d.inst
+					switch di.Op {
+					case ir.AddI:
+						if di.A == ir.NoReg || version[di.A] != d.aVer {
+							break
+						}
+						in.A = di.A
+						in.Imm += di.Imm
+						changed = true
+						continue
+					case ir.Addr:
+						if di.A != ir.NoReg {
+							break
+						}
+						in.A = ir.NoReg
+						in.Sym = di.Sym
+						in.Slot = di.Slot
+						in.Imm += di.Imm
+						changed = true
+						continue
+					case ir.Add:
+						if in.Imm != 0 || di.Class != ir.ClassW {
+							break
+						}
+						if version[di.A] != d.aVer || version[di.B] != d.bVer {
+							break
+						}
+						in.HasIdx = true
+						in.A = di.A
+						in.Idx = di.B
+						changed = true
+					}
+					break
+				}
+			}
+			if in.HasDst() {
+				version[in.Dst]++
+				switch in.Op {
+				case ir.AddI, ir.Addr, ir.Add:
+					rec := defRec{inst: *in}
+					if in.A != ir.NoReg {
+						rec.aVer = version[in.A]
+					}
+					if in.B != ir.NoReg {
+						rec.bVer = version[in.B]
+					}
+					defd[in.Dst] = rec
+				default:
+					delete(defd, in.Dst)
+				}
+			}
+		}
+	}
+	return changed
+}

@@ -1,0 +1,258 @@
+package opt
+
+import "omniware/internal/cc/ir"
+
+// licm hoists loop-invariant pure computations into the block that
+// enters the loop. It identifies natural loops via dominators and
+// hoists into the unique out-of-loop predecessor of the header when one
+// exists (the IR builder's loop shapes always produce one).
+func licm(f *ir.Func) bool {
+	f.Recompute()
+	idom := dominators(f)
+	defs, _ := defUseCounts(f)
+
+	// Definition sites for single-def vregs: block id.
+	defBlock := make([]int, f.NVReg)
+	for i := range defBlock {
+		defBlock[i] = -1
+	}
+	for _, b := range f.Blocks {
+		for i := range b.Insts {
+			in := &b.Insts[i]
+			if in.HasDst() && defs[in.Dst] == 1 {
+				defBlock[in.Dst] = b.ID
+			}
+		}
+	}
+
+	changed := false
+	for _, b := range f.Blocks {
+		for _, s := range b.Succs {
+			if !dominates(idom, s, b.ID) {
+				continue
+			}
+			// Back edge b -> s: natural loop with header s.
+			body := naturalLoop(f, s, b.ID)
+			changed = hoistLoop(f, s, body, defs, defBlock) || changed
+		}
+	}
+	return changed
+}
+
+// naturalLoop returns the set of blocks in the loop with header h and
+// back-edge source tail.
+func naturalLoop(f *ir.Func, h, tail int) map[int]bool {
+	body := map[int]bool{h: true}
+	stack := []int{tail}
+	for len(stack) > 0 {
+		n := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		if body[n] {
+			continue
+		}
+		body[n] = true
+		for _, p := range f.Blocks[n].Preds {
+			stack = append(stack, p)
+		}
+	}
+	return body
+}
+
+func hoistLoop(f *ir.Func, header int, body map[int]bool, defs []int, defBlock []int) bool {
+	// Find the unique predecessor of the header outside the loop.
+	pre := -1
+	for _, p := range f.Blocks[header].Preds {
+		if body[p] {
+			continue
+		}
+		if pre >= 0 {
+			return false // multiple entries; skip
+		}
+		pre = p
+	}
+	if pre < 0 {
+		return false
+	}
+	preB := f.Blocks[pre]
+	t := preB.Term()
+	if t == nil || t.Op != ir.Jmp || t.Then != header {
+		// Only hoist into a block that unconditionally enters the loop.
+		return false
+	}
+
+	hoisted := map[ir.VReg]bool{}
+	invariant := func(v ir.VReg) bool {
+		if v == ir.NoReg {
+			return true
+		}
+		if hoisted[v] {
+			return true
+		}
+		if defs[v] != 1 || defBlock[v] < 0 {
+			return false
+		}
+		return !body[defBlock[v]]
+	}
+
+	changed := false
+	var moved []ir.Inst
+	for id := range body {
+		blk := f.Blocks[id]
+		out := blk.Insts[:0]
+		for i := range blk.Insts {
+			in := blk.Insts[i]
+			ok := in.Pure() && in.HasDst() && defs[in.Dst] == 1 &&
+				invariant(in.A) && invariant(in.B) &&
+				(!in.HasIdx || invariant(in.Idx))
+			// FP constants and address materializations are the common
+			// profitable cases; all pure single-def ops qualify.
+			if ok {
+				moved = append(moved, in)
+				hoisted[in.Dst] = true
+				changed = true
+				continue
+			}
+			out = append(out, in)
+		}
+		blk.Insts = out
+	}
+	if len(moved) == 0 {
+		return false
+	}
+	// Order moved instructions so operands precede uses.
+	ordered := orderByDeps(moved)
+	// Insert before the preheader's terminator.
+	term := preB.Insts[len(preB.Insts)-1]
+	preB.Insts = append(preB.Insts[:len(preB.Insts)-1], ordered...)
+	preB.Insts = append(preB.Insts, term)
+	return changed
+}
+
+// orderByDeps topologically sorts hoisted instructions by operand
+// dependence.
+func orderByDeps(insts []ir.Inst) []ir.Inst {
+	defIdx := map[ir.VReg]int{}
+	for i := range insts {
+		defIdx[insts[i].Dst] = i
+	}
+	state := make([]int, len(insts)) // 0 unvisited, 1 visiting, 2 done
+	var out []ir.Inst
+	var visit func(i int)
+	visit = func(i int) {
+		if state[i] != 0 {
+			return
+		}
+		state[i] = 1
+		deps := []ir.VReg{insts[i].A, insts[i].B}
+		if insts[i].HasIdx {
+			deps = append(deps, insts[i].Idx)
+		}
+		for _, d := range deps {
+			if d == ir.NoReg {
+				continue
+			}
+			if j, ok := defIdx[d]; ok && state[j] == 0 {
+				visit(j)
+			}
+		}
+		state[i] = 2
+		out = append(out, insts[i])
+	}
+	for i := range insts {
+		visit(i)
+	}
+	return out
+}
+
+// dominators computes immediate dominators with the iterative
+// algorithm (Cooper/Harvey/Kennedy), using reverse-postorder.
+func dominators(f *ir.Func) []int {
+	n := len(f.Blocks)
+	idom := make([]int, n)
+	for i := range idom {
+		idom[i] = -1
+	}
+	if n == 0 {
+		return idom
+	}
+	// Reverse postorder.
+	order := make([]int, 0, n)
+	mark := make([]bool, n)
+	var dfs func(int)
+	dfs = func(id int) {
+		mark[id] = true
+		for _, s := range f.Blocks[id].Succs {
+			if !mark[s] {
+				dfs(s)
+			}
+		}
+		order = append(order, id)
+	}
+	dfs(0)
+	rpo := make([]int, 0, len(order))
+	for i := len(order) - 1; i >= 0; i-- {
+		rpo = append(rpo, order[i])
+	}
+	rpoNum := make([]int, n)
+	for i := range rpoNum {
+		rpoNum[i] = -1
+	}
+	for i, id := range rpo {
+		rpoNum[id] = i
+	}
+
+	idom[0] = 0
+	for changed := true; changed; {
+		changed = false
+		for _, id := range rpo {
+			if id == 0 {
+				continue
+			}
+			newIdom := -1
+			for _, p := range f.Blocks[id].Preds {
+				if rpoNum[p] < 0 || idom[p] < 0 {
+					continue
+				}
+				if newIdom < 0 {
+					newIdom = p
+				} else {
+					newIdom = intersect(idom, rpoNum, p, newIdom)
+				}
+			}
+			if newIdom >= 0 && idom[id] != newIdom {
+				idom[id] = newIdom
+				changed = true
+			}
+		}
+	}
+	return idom
+}
+
+func intersect(idom, rpoNum []int, a, b int) int {
+	for a != b {
+		for rpoNum[a] > rpoNum[b] {
+			a = idom[a]
+		}
+		for rpoNum[b] > rpoNum[a] {
+			b = idom[b]
+		}
+	}
+	return a
+}
+
+// dominates reports whether a dominates b.
+func dominates(idom []int, a, b int) bool {
+	for {
+		if a == b {
+			return true
+		}
+		if b == 0 || idom[b] < 0 {
+			return false
+		}
+		nb := idom[b]
+		if nb == b {
+			return false
+		}
+		b = nb
+	}
+}

@@ -1,0 +1,75 @@
+// Package opt implements the machine-independent optimizations the
+// paper's §3.1 delegates to the compiler: constant folding and
+// propagation, copy propagation, local common-subexpression
+// elimination, dead-code elimination, strength reduction,
+// loop-invariant code motion, and addressing-mode fusion (folding
+// adds into the 32-bit offsets and indexed modes of OmniVM memory
+// instructions).
+package opt
+
+import "omniware/internal/cc/ir"
+
+// Run applies the pass pipeline at the given level (0 = nothing, 1 =
+// one pipeline pass, 2 = iterate to a fixed point).
+func Run(f *ir.Func, level int) {
+	if level <= 0 {
+		terminate(f)
+		return
+	}
+	rounds := 1
+	if level >= 2 {
+		rounds = 4
+	}
+	for i := 0; i < rounds; i++ {
+		changed := false
+		changed = propagate(f) || changed
+		changed = localValueNumber(f) || changed
+		changed = strengthReduce(f) || changed
+		changed = deadCode(f) || changed
+		if !changed {
+			break
+		}
+	}
+	if level >= 1 {
+		licm(f)
+		deadCode(f)
+		fuseAddressing(f)
+		deadCode(f)
+	}
+	terminate(f)
+}
+
+// terminate gives every block a terminator (unreachable empties get a
+// void return) so downstream consumers can rely on well-formed blocks.
+func terminate(f *ir.Func) {
+	for _, b := range f.Blocks {
+		if b.Term() == nil {
+			b.Insts = append(b.Insts, ir.Inst{Op: ir.Ret, A: ir.NoReg, B: ir.NoReg, Dst: ir.NoReg, Slot: ir.NoSlot})
+		}
+	}
+	f.Recompute()
+}
+
+// defCount returns per-vreg definition and use counts.
+func defUseCounts(f *ir.Func) (defs, uses []int) {
+	defs = make([]int, f.NVReg)
+	uses = make([]int, f.NVReg)
+	var ubuf []ir.VReg
+	for _, b := range f.Blocks {
+		for i := range b.Insts {
+			in := &b.Insts[i]
+			if in.HasDst() {
+				defs[in.Dst]++
+			}
+			ubuf = in.Uses(ubuf[:0])
+			for _, u := range ubuf {
+				uses[u]++
+			}
+		}
+	}
+	// Parameters count as definitions.
+	for _, p := range f.Params {
+		defs[p]++
+	}
+	return defs, uses
+}

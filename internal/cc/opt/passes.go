@@ -1,0 +1,559 @@
+package opt
+
+import (
+	"math"
+
+	"omniware/internal/cc/ir"
+)
+
+// propagate performs global constant and copy propagation over
+// single-definition vregs (expression temporaries are single-def by
+// construction, so this catches most of what SSA-based SCCP would).
+func propagate(f *ir.Func) bool {
+	defs, _ := defUseCounts(f)
+	defInst := make([]*ir.Inst, f.NVReg)
+	for _, b := range f.Blocks {
+		for i := range b.Insts {
+			in := &b.Insts[i]
+			if in.HasDst() && defs[in.Dst] == 1 {
+				defInst[in.Dst] = in
+			}
+		}
+	}
+	constOf := func(v ir.VReg) (int64, bool) {
+		if v == ir.NoReg {
+			return 0, false
+		}
+		d := defInst[v]
+		if d != nil && d.Op == ir.Const && d.Class == ir.ClassW {
+			return d.Imm, true
+		}
+		return 0, false
+	}
+	// copyOf resolves chains of single-def copies.
+	copyOf := func(v ir.VReg) ir.VReg {
+		for i := 0; i < 8; i++ {
+			d := defInst[v]
+			if d == nil || d.Op != ir.Copy {
+				return v
+			}
+			src := d.A
+			if defs[src] != 1 {
+				return v
+			}
+			v = src
+		}
+		return v
+	}
+
+	changed := false
+	immOp := map[ir.Op]ir.Op{
+		ir.Add: ir.AddI, ir.Mul: ir.MulI, ir.And: ir.AndI,
+		ir.Or: ir.OrI, ir.Xor: ir.XorI, ir.Shl: ir.ShlI,
+		ir.Shr: ir.ShrI, ir.Sra: ir.SraI,
+	}
+	for _, b := range f.Blocks {
+		for i := range b.Insts {
+			in := &b.Insts[i]
+			// Copy propagation on all operands.
+			rw := func(v *ir.VReg) {
+				if *v == ir.NoReg {
+					return
+				}
+				if nv := copyOf(*v); nv != *v {
+					*v = nv
+					changed = true
+				}
+			}
+			rw(&in.A)
+			rw(&in.B)
+			if in.HasIdx {
+				rw(&in.Idx)
+			}
+			for j := range in.Args {
+				rw(&in.Args[j])
+			}
+
+			// Constant forms.
+			switch in.Op {
+			case ir.Add, ir.Mul, ir.And, ir.Or, ir.Xor:
+				if imm, ok := constOf(in.B); ok {
+					in.Op = immOp[in.Op]
+					in.Imm = int64(int32(imm))
+					in.B = ir.NoReg
+					changed = true
+				} else if imm, ok := constOf(in.A); ok {
+					in.A = in.B
+					in.B = ir.NoReg
+					in.Op = immOp[in.Op]
+					in.Imm = int64(int32(imm))
+					changed = true
+				}
+			case ir.Sub:
+				if imm, ok := constOf(in.B); ok {
+					in.Op = ir.AddI
+					in.Imm = int64(int32(-imm))
+					in.B = ir.NoReg
+					changed = true
+				}
+			case ir.Shl, ir.Shr, ir.Sra:
+				if imm, ok := constOf(in.B); ok {
+					in.Op = immOp[in.Op]
+					in.Imm = imm & 31
+					in.B = ir.NoReg
+					changed = true
+				}
+			case ir.Set:
+				if in.Class == ir.ClassW {
+					if imm, ok := constOf(in.B); ok {
+						in.Op = ir.SetI
+						in.Imm = int64(int32(imm))
+						in.B = ir.NoReg
+						changed = true
+					} else if imm, ok := constOf(in.A); ok {
+						in.Op = ir.SetI
+						in.A = in.B
+						in.B = ir.NoReg
+						in.CC = in.CC.Swap()
+						in.Imm = int64(int32(imm))
+						changed = true
+					}
+				}
+			case ir.Br:
+				if in.Class == ir.ClassW {
+					if imm, ok := constOf(in.B); ok {
+						in.Op = ir.BrI
+						in.Imm = int64(int32(imm))
+						in.B = ir.NoReg
+						changed = true
+					} else if imm, ok := constOf(in.A); ok {
+						in.Op = ir.BrI
+						in.A = in.B
+						in.B = ir.NoReg
+						in.CC = in.CC.Swap()
+						in.Imm = int64(int32(imm))
+						changed = true
+					}
+				}
+			case ir.AddI:
+				// Fold AddI chains: AddI(AddI(x, a), b) -> AddI(x, a+b).
+				// Both links must be single-def so the inner operand
+				// cannot change between the two adds.
+				if in.A != ir.NoReg {
+					if d := defInst[in.A]; d != nil && d.Op == ir.AddI && d.A != ir.NoReg && defs[d.A] == 1 {
+						in.A = d.A
+						in.Imm = int64(int32(in.Imm + d.Imm))
+						changed = true
+					}
+				}
+			case ir.Copy:
+				if in.Class == ir.ClassW {
+					if imm, ok := constOf(in.A); ok {
+						in.Op = ir.Const
+						in.Imm = imm
+						in.A = ir.NoReg
+						changed = true
+					}
+				}
+			}
+
+			// Global constant folding: immediate-form ALU over a
+			// known-constant operand collapses to a constant even when
+			// the definition lives in another block (LVN only sees one
+			// block at a time).
+			switch in.Op {
+			case ir.AddI, ir.MulI, ir.AndI, ir.OrI, ir.XorI,
+				ir.ShlI, ir.ShrI, ir.SraI, ir.Neg, ir.SetI:
+				if av, ok := constOf(in.A); ok {
+					if folded, ok2 := foldConst(in, av, true, 0, false); ok2 {
+						*in = ir.Inst{Op: ir.Const, Class: ir.ClassW, Dst: in.Dst, Imm: folded, A: ir.NoReg, B: ir.NoReg, Slot: ir.NoSlot}
+						changed = true
+					}
+				}
+			}
+		}
+	}
+	return changed
+}
+
+// localValueNumber performs per-block value numbering: constant
+// folding, algebraic identities, common subexpression elimination, and
+// redundant-load elimination within a block.
+func localValueNumber(f *ir.Func) bool {
+	changed := false
+	for _, b := range f.Blocks {
+		changed = lvnBlock(f, b) || changed
+	}
+	return changed
+}
+
+type vnKey struct {
+	op    ir.Op
+	class ir.Class
+	a, bb int
+	imm   int64
+	fbits uint64
+	cc    ir.CC
+	mem   ir.MemOp
+	cvt   ir.CvtKind
+	sym   string
+	slot  int
+	epoch int
+}
+
+func lvnBlock(f *ir.Func, b *ir.Block) bool {
+	changed := false
+	vn := map[ir.VReg]int{} // register -> value number
+	nextVN := 1
+	constVal := map[int]int64{} // value number -> known W constant
+	type tabEnt struct {
+		reg ir.VReg
+		n   int
+	}
+	table := map[vnKey]tabEnt{}
+	epoch := 0
+
+	num := func(v ir.VReg) int {
+		if v == ir.NoReg {
+			return 0
+		}
+		if n, ok := vn[v]; ok {
+			return n
+		}
+		nextVN++
+		vn[v] = nextVN
+		return nextVN
+	}
+	newVal := func(v ir.VReg) int {
+		nextVN++
+		vn[v] = nextVN
+		return nextVN
+	}
+
+	for i := range b.Insts {
+		in := &b.Insts[i]
+		switch in.Op {
+		case ir.Call, ir.Syscall:
+			epoch++ // calls may write memory
+			if in.HasDst() {
+				newVal(in.Dst)
+			}
+			continue
+		case ir.Store:
+			epoch++
+			continue
+		}
+		if !in.HasDst() {
+			continue
+		}
+
+		// Constant folding.
+		aN := num(in.A)
+		bN := num(in.B)
+		if in.Class == ir.ClassW {
+			av, aOK := constVal[aN]
+			bv, bOK := constVal[bN]
+			if folded, ok := foldConst(in, av, aOK, bv, bOK); ok {
+				*in = ir.Inst{Op: ir.Const, Class: ir.ClassW, Dst: in.Dst, Imm: folded, A: ir.NoReg, B: ir.NoReg, Slot: ir.NoSlot}
+				n := newVal(in.Dst)
+				constVal[n] = folded
+				changed = true
+				continue
+			}
+			if simplified := algebraic(in, av, aOK, bv, bOK); simplified {
+				changed = true
+				// fallthrough to CSE with the rewritten form
+				aN = num(in.A)
+				bN = num(in.B)
+			}
+		}
+
+		if in.Op == ir.Const && in.Class == ir.ClassW {
+			key := vnKey{op: ir.Const, class: in.Class, imm: in.Imm}
+			if prev, ok := table[key]; ok && vn[prev.reg] == prev.n {
+				// Reuse: rewrite to copy (propagate pass will clean up).
+				*in = ir.Inst{Op: ir.Copy, Class: in.Class, Dst: in.Dst, A: prev.reg, B: ir.NoReg, Slot: ir.NoSlot}
+				vn[in.Dst] = prev.n
+				changed = true
+				continue
+			}
+			n := newVal(in.Dst)
+			constVal[n] = in.Imm
+			table[key] = tabEnt{reg: in.Dst, n: n}
+			continue
+		}
+
+		if !in.Pure() && in.Op != ir.Load {
+			newVal(in.Dst)
+			continue
+		}
+		key := vnKey{
+			op: in.Op, class: in.Class, a: aN, bb: bN, imm: in.Imm,
+			fbits: math.Float64bits(in.FImm),
+			cc:    in.CC, mem: in.Mem, cvt: in.Cvt, sym: in.Sym, slot: in.Slot,
+		}
+		if in.HasIdx {
+			key.imm = key.imm ^ int64(num(in.Idx))<<32
+		}
+		if in.Op == ir.Load {
+			key.epoch = epoch
+		}
+		if in.Op == ir.Copy {
+			vn[in.Dst] = aN
+			continue
+		}
+		if prev, ok := table[key]; ok && vn[prev.reg] == prev.n {
+			*in = ir.Inst{Op: ir.Copy, Class: in.Class, Dst: in.Dst, A: prev.reg, B: ir.NoReg, Slot: ir.NoSlot}
+			vn[in.Dst] = prev.n
+			changed = true
+			continue
+		}
+		n := newVal(in.Dst)
+		table[key] = tabEnt{reg: in.Dst, n: n}
+	}
+	return changed
+}
+
+// foldConst evaluates an ALU op when enough operands are constant.
+func foldConst(in *ir.Inst, av int64, aOK bool, bv int64, bOK bool) (int64, bool) {
+	w := func(x int64) int64 { return int64(int32(x)) }
+	u := func(x int64) uint32 { return uint32(int32(x)) }
+	switch in.Op {
+	case ir.AddI:
+		if aOK {
+			return w(av + in.Imm), true
+		}
+	case ir.MulI:
+		if aOK {
+			return w(av * in.Imm), true
+		}
+	case ir.AndI:
+		if aOK {
+			return w(av & in.Imm), true
+		}
+	case ir.OrI:
+		if aOK {
+			return w(av | in.Imm), true
+		}
+	case ir.XorI:
+		if aOK {
+			return w(av ^ in.Imm), true
+		}
+	case ir.ShlI:
+		if aOK {
+			return w(int64(u(av) << uint(in.Imm&31))), true
+		}
+	case ir.ShrI:
+		if aOK {
+			return w(int64(u(av) >> uint(in.Imm&31))), true
+		}
+	case ir.SraI:
+		if aOK {
+			return w(int64(int32(av) >> uint(in.Imm&31))), true
+		}
+	case ir.Neg:
+		if aOK {
+			return w(-av), true
+		}
+	case ir.SetI:
+		if aOK {
+			return b2i(evalCC(in.CC, int32(av), int32(in.Imm))), true
+		}
+	}
+	if !aOK || !bOK {
+		return 0, false
+	}
+	switch in.Op {
+	case ir.Add:
+		return w(av + bv), true
+	case ir.Sub:
+		return w(av - bv), true
+	case ir.Mul:
+		return w(av * bv), true
+	case ir.Div:
+		if bv != 0 && !(int32(av) == -1<<31 && int32(bv) == -1) {
+			return w(int64(int32(av) / int32(bv))), true
+		}
+	case ir.DivU:
+		if bv != 0 {
+			return w(int64(u(av) / u(bv))), true
+		}
+	case ir.Rem:
+		if bv != 0 && !(int32(av) == -1<<31 && int32(bv) == -1) {
+			return w(int64(int32(av) % int32(bv))), true
+		}
+	case ir.RemU:
+		if bv != 0 {
+			return w(int64(u(av) % u(bv))), true
+		}
+	case ir.And:
+		return w(av & bv), true
+	case ir.Or:
+		return w(av | bv), true
+	case ir.Xor:
+		return w(av ^ bv), true
+	case ir.Shl:
+		return w(int64(u(av) << (u(bv) & 31))), true
+	case ir.Shr:
+		return w(int64(u(av) >> (u(bv) & 31))), true
+	case ir.Sra:
+		return w(int64(int32(av) >> (u(bv) & 31))), true
+	case ir.Set:
+		return b2i(evalCC(in.CC, int32(av), int32(bv))), true
+	}
+	return 0, false
+}
+
+func evalCC(cc ir.CC, a, b int32) bool {
+	ua, ub := uint32(a), uint32(b)
+	switch cc {
+	case ir.CCEq:
+		return a == b
+	case ir.CCNe:
+		return a != b
+	case ir.CCLt:
+		return a < b
+	case ir.CCLe:
+		return a <= b
+	case ir.CCGt:
+		return a > b
+	case ir.CCGe:
+		return a >= b
+	case ir.CCLtU:
+		return ua < ub
+	case ir.CCLeU:
+		return ua <= ub
+	case ir.CCGtU:
+		return ua > ub
+	default:
+		return ua >= ub
+	}
+}
+
+func b2i(b bool) int64 {
+	if b {
+		return 1
+	}
+	return 0
+}
+
+// algebraic applies identities: x+0, x*1, x*0, x&0, x|0, x^0, shifts
+// by 0. Returns true if the instruction was rewritten.
+func algebraic(in *ir.Inst, av int64, aOK bool, bv int64, bOK bool) bool {
+	_ = av
+	_ = aOK
+	_ = bv
+	_ = bOK
+	toCopy := func() {
+		*in = ir.Inst{Op: ir.Copy, Class: in.Class, Dst: in.Dst, A: in.A, B: ir.NoReg, Slot: ir.NoSlot}
+	}
+	toConst := func(v int64) {
+		*in = ir.Inst{Op: ir.Const, Class: in.Class, Dst: in.Dst, Imm: v, A: ir.NoReg, B: ir.NoReg, Slot: ir.NoSlot}
+	}
+	switch in.Op {
+	case ir.AddI, ir.OrI, ir.XorI, ir.ShlI, ir.ShrI, ir.SraI:
+		if in.Imm == 0 {
+			toCopy()
+			return true
+		}
+	case ir.MulI:
+		switch in.Imm {
+		case 0:
+			toConst(0)
+			return true
+		case 1:
+			toCopy()
+			return true
+		}
+	case ir.AndI:
+		if in.Imm == 0 {
+			toConst(0)
+			return true
+		}
+		if in.Imm == -1 {
+			toCopy()
+			return true
+		}
+	}
+	return false
+}
+
+// deadCode removes pure instructions with unused results and
+// unreachable blocks, iterating to a fixed point.
+func deadCode(f *ir.Func) bool {
+	changed := false
+	for {
+		_, uses := defUseCounts(f)
+		removed := false
+		for _, b := range f.Blocks {
+			out := b.Insts[:0]
+			for i := range b.Insts {
+				in := b.Insts[i]
+				if in.HasDst() && uses[in.Dst] == 0 && (in.Pure() || in.Op == ir.Load) {
+					removed = true
+					continue
+				}
+				out = append(out, in)
+			}
+			b.Insts = out
+		}
+		if !removed {
+			break
+		}
+		changed = true
+	}
+	changed = removeUnreachable(f) || changed
+	return changed
+}
+
+// removeUnreachable drops blocks not reachable from the entry and
+// renumbers the rest.
+func removeUnreachable(f *ir.Func) bool {
+	f.Recompute()
+	seen := make([]bool, len(f.Blocks))
+	stack := []int{0}
+	seen[0] = true
+	for len(stack) > 0 {
+		id := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for _, s := range f.Blocks[id].Succs {
+			if !seen[s] {
+				seen[s] = true
+				stack = append(stack, s)
+			}
+		}
+	}
+	all := true
+	for _, s := range seen {
+		if !s {
+			all = false
+			break
+		}
+	}
+	if all {
+		return false
+	}
+	remap := make([]int, len(f.Blocks))
+	var kept []*ir.Block
+	for i, b := range f.Blocks {
+		if seen[i] {
+			remap[i] = len(kept)
+			b.ID = len(kept)
+			kept = append(kept, b)
+		}
+	}
+	for _, b := range kept {
+		if t := b.Term(); t != nil {
+			switch t.Op {
+			case ir.Jmp:
+				t.Then = remap[t.Then]
+			case ir.Br, ir.BrI:
+				t.Then = remap[t.Then]
+				t.Else = remap[t.Else]
+			}
+		}
+	}
+	f.Blocks = kept
+	f.Recompute()
+	return true
+}

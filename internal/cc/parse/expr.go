@@ -1,0 +1,391 @@
+package parse
+
+import (
+	"fmt"
+
+	"omniware/internal/cc/ast"
+	"omniware/internal/cc/token"
+)
+
+// expr parses a full expression including the comma operator.
+func (p *parser) expr() (ast.Expr, error) {
+	e, err := p.assignExpr()
+	if err != nil {
+		return nil, err
+	}
+	for p.at(token.Comma) {
+		pos := p.next().Pos
+		r, err := p.assignExpr()
+		if err != nil {
+			return nil, err
+		}
+		e = &ast.Binary{ExprBase: ast.ExprBase{P: pos}, Op: token.Comma, X: e, Y: r}
+	}
+	return e, nil
+}
+
+var assignBase = map[token.Kind]token.Kind{
+	token.Assign:        token.Assign,
+	token.PlusAssign:    token.Plus,
+	token.MinusAssign:   token.Minus,
+	token.StarAssign:    token.Star,
+	token.SlashAssign:   token.Slash,
+	token.PercentAssign: token.Percent,
+	token.AmpAssign:     token.Amp,
+	token.PipeAssign:    token.Pipe,
+	token.CaretAssign:   token.Caret,
+	token.ShlAssign:     token.Shl,
+	token.ShrAssign:     token.Shr,
+}
+
+func (p *parser) assignExpr() (ast.Expr, error) {
+	lhs, err := p.condExpr()
+	if err != nil {
+		return nil, err
+	}
+	if base, ok := assignBase[p.kind()]; ok {
+		pos := p.next().Pos
+		rhs, err := p.assignExpr()
+		if err != nil {
+			return nil, err
+		}
+		return &ast.Assign{ExprBase: ast.ExprBase{P: pos}, Op: base, X: lhs, Y: rhs}, nil
+	}
+	return lhs, nil
+}
+
+func (p *parser) condExpr() (ast.Expr, error) {
+	c, err := p.binExpr(0)
+	if err != nil {
+		return nil, err
+	}
+	if !p.at(token.Question) {
+		return c, nil
+	}
+	pos := p.next().Pos
+	x, err := p.expr()
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(token.Colon); err != nil {
+		return nil, err
+	}
+	y, err := p.condExpr()
+	if err != nil {
+		return nil, err
+	}
+	return &ast.Cond{ExprBase: ast.ExprBase{P: pos}, C: c, X: x, Y: y}, nil
+}
+
+// Binary operator precedence (C levels, || lowest here).
+var binPrec = map[token.Kind]int{
+	token.OrOr:   1,
+	token.AndAnd: 2,
+	token.Pipe:   3,
+	token.Caret:  4,
+	token.Amp:    5,
+	token.EqEq:   6, token.NotEq: 6,
+	token.Lt: 7, token.Gt: 7, token.Le: 7, token.Ge: 7,
+	token.Shl: 8, token.Shr: 8,
+	token.Plus: 9, token.Minus: 9,
+	token.Star: 10, token.Slash: 10, token.Percent: 10,
+}
+
+func (p *parser) binExpr(minPrec int) (ast.Expr, error) {
+	lhs, err := p.unaryExpr()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		prec, ok := binPrec[p.kind()]
+		if !ok || prec < minPrec {
+			return lhs, nil
+		}
+		op := p.next()
+		rhs, err := p.binExpr(prec + 1)
+		if err != nil {
+			return nil, err
+		}
+		lhs = &ast.Binary{ExprBase: ast.ExprBase{P: op.Pos}, Op: op.Kind, X: lhs, Y: rhs}
+	}
+}
+
+// isCastStart reports whether "(" begins a cast, looking one token in.
+func (p *parser) isCastStart() bool {
+	if !p.at(token.LParen) {
+		return false
+	}
+	switch p.peekKind(1) {
+	case token.KwVoid, token.KwChar, token.KwShort, token.KwInt, token.KwLong,
+		token.KwUnsigned, token.KwSigned, token.KwFloat, token.KwDouble,
+		token.KwStruct, token.KwEnum, token.KwConst:
+		return true
+	case token.Ident:
+		if p.pos+1 < len(p.toks) {
+			_, ok := p.typedefs[p.toks[p.pos+1].Text]
+			return ok
+		}
+	}
+	return false
+}
+
+func (p *parser) unaryExpr() (ast.Expr, error) {
+	pos := p.tok().Pos
+	switch p.kind() {
+	case token.Plus:
+		p.next()
+		return p.unaryExpr()
+	case token.Minus, token.Tilde, token.Not, token.Star, token.Amp:
+		op := p.next().Kind
+		x, err := p.unaryExpr()
+		if err != nil {
+			return nil, err
+		}
+		return &ast.Unary{ExprBase: ast.ExprBase{P: pos}, Op: op, X: x}, nil
+	case token.Inc, token.Dec:
+		op := p.next().Kind
+		x, err := p.unaryExpr()
+		if err != nil {
+			return nil, err
+		}
+		return &ast.Unary{ExprBase: ast.ExprBase{P: pos}, Op: op, X: x}, nil
+	case token.KwSizeof:
+		p.next()
+		if p.isCastStart() {
+			p.next() // (
+			ty, err := p.typeName()
+			if err != nil {
+				return nil, err
+			}
+			if _, err := p.expect(token.RParen); err != nil {
+				return nil, err
+			}
+			return &ast.SizeofType{ExprBase: ast.ExprBase{P: pos}, Of: ty}, nil
+		}
+		x, err := p.unaryExpr()
+		if err != nil {
+			return nil, err
+		}
+		return &ast.SizeofType{ExprBase: ast.ExprBase{P: pos}, X: x}, nil
+	}
+	if p.isCastStart() {
+		p.next() // (
+		ty, err := p.typeName()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(token.RParen); err != nil {
+			return nil, err
+		}
+		x, err := p.unaryExpr()
+		if err != nil {
+			return nil, err
+		}
+		return &ast.Cast{ExprBase: ast.ExprBase{P: pos}, To: ty, X: x}, nil
+	}
+	return p.postfixExpr()
+}
+
+func (p *parser) postfixExpr() (ast.Expr, error) {
+	x, err := p.primaryExpr()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		pos := p.tok().Pos
+		switch p.kind() {
+		case token.LBrack:
+			p.next()
+			i, err := p.expr()
+			if err != nil {
+				return nil, err
+			}
+			if _, err := p.expect(token.RBrack); err != nil {
+				return nil, err
+			}
+			x = &ast.Index{ExprBase: ast.ExprBase{P: pos}, X: x, I: i}
+		case token.LParen:
+			p.next()
+			call := &ast.Call{ExprBase: ast.ExprBase{P: pos}, Fn: x}
+			for !p.at(token.RParen) {
+				a, err := p.assignExpr()
+				if err != nil {
+					return nil, err
+				}
+				call.Args = append(call.Args, a)
+				if p.at(token.Comma) {
+					p.next()
+					continue
+				}
+				break
+			}
+			if _, err := p.expect(token.RParen); err != nil {
+				return nil, err
+			}
+			x = call
+		case token.Dot, token.Arrow:
+			ptr := p.next().Kind == token.Arrow
+			name, err := p.expect(token.Ident)
+			if err != nil {
+				return nil, err
+			}
+			x = &ast.Member{ExprBase: ast.ExprBase{P: pos}, X: x, Name: name.Text, PtrDeref: ptr}
+		case token.Inc, token.Dec:
+			op := p.next().Kind
+			x = &ast.Postfix{ExprBase: ast.ExprBase{P: pos}, Op: op, X: x}
+		default:
+			return x, nil
+		}
+	}
+}
+
+func (p *parser) primaryExpr() (ast.Expr, error) {
+	t := p.tok()
+	switch t.Kind {
+	case token.Ident:
+		p.next()
+		if v, ok := p.enums[t.Text]; ok {
+			lit := &ast.IntLit{ExprBase: ast.ExprBase{P: t.Pos}, Val: v}
+			return lit, nil
+		}
+		return &ast.Ident{ExprBase: ast.ExprBase{P: t.Pos}, Name: t.Text}, nil
+	case token.IntLit, token.CharLit:
+		p.next()
+		lit := &ast.IntLit{ExprBase: ast.ExprBase{P: t.Pos}, Val: t.Int}
+		if t.Uns {
+			lit.SetType(ast.UInt)
+		}
+		return lit, nil
+	case token.FloatLit:
+		p.next()
+		return &ast.FloatLit{ExprBase: ast.ExprBase{P: t.Pos}, Val: t.Float}, nil
+	case token.StrLit:
+		p.next()
+		s := &ast.StrLit{ExprBase: ast.ExprBase{P: t.Pos}, Val: t.Str}
+		p.file.Strings = append(p.file.Strings, s)
+		return s, nil
+	case token.LParen:
+		p.next()
+		e, err := p.expr()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(token.RParen); err != nil {
+			return nil, err
+		}
+		return e, nil
+	}
+	return nil, p.errf("expected expression, found %v", t)
+}
+
+// constEval evaluates an integer constant expression (literals, enum
+// constants folded by primaryExpr, sizeof, unary and binary operators,
+// ?:). Used for array sizes, enum values and case labels.
+func (p *parser) constEval(e ast.Expr) (int64, error) {
+	v, err := constEval(e)
+	if err != nil {
+		return 0, &Error{Pos: e.Pos(), Msg: err.Error()}
+	}
+	return v, nil
+}
+
+func constEval(e ast.Expr) (int64, error) {
+	switch n := e.(type) {
+	case *ast.IntLit:
+		return n.Val, nil
+	case *ast.SizeofType:
+		if n.Of != nil {
+			return int64(n.Of.Size()), nil
+		}
+		return 0, fmt.Errorf("sizeof expr is not constant here")
+	case *ast.Unary:
+		x, err := constEval(n.X)
+		if err != nil {
+			return 0, err
+		}
+		switch n.Op {
+		case token.Minus:
+			return -x, nil
+		case token.Tilde:
+			return int64(int32(^uint32(x))), nil
+		case token.Not:
+			if x == 0 {
+				return 1, nil
+			}
+			return 0, nil
+		}
+		return 0, fmt.Errorf("operator not allowed in constant expression")
+	case *ast.Cast:
+		return constEval(n.X)
+	case *ast.Cond:
+		c, err := constEval(n.C)
+		if err != nil {
+			return 0, err
+		}
+		if c != 0 {
+			return constEval(n.X)
+		}
+		return constEval(n.Y)
+	case *ast.Binary:
+		a, err := constEval(n.X)
+		if err != nil {
+			return 0, err
+		}
+		b, err := constEval(n.Y)
+		if err != nil {
+			return 0, err
+		}
+		switch n.Op {
+		case token.Plus:
+			return int64(int32(a + b)), nil
+		case token.Minus:
+			return int64(int32(a - b)), nil
+		case token.Star:
+			return int64(int32(a * b)), nil
+		case token.Slash:
+			if b == 0 {
+				return 0, fmt.Errorf("division by zero in constant expression")
+			}
+			return a / b, nil
+		case token.Percent:
+			if b == 0 {
+				return 0, fmt.Errorf("division by zero in constant expression")
+			}
+			return a % b, nil
+		case token.Shl:
+			return int64(int32(uint32(a) << (uint32(b) & 31))), nil
+		case token.Shr:
+			return int64(int32(a) >> (uint32(b) & 31)), nil
+		case token.Amp:
+			return a & b, nil
+		case token.Pipe:
+			return a | b, nil
+		case token.Caret:
+			return a ^ b, nil
+		case token.EqEq:
+			return b2i(a == b), nil
+		case token.NotEq:
+			return b2i(a != b), nil
+		case token.Lt:
+			return b2i(a < b), nil
+		case token.Gt:
+			return b2i(a > b), nil
+		case token.Le:
+			return b2i(a <= b), nil
+		case token.Ge:
+			return b2i(a >= b), nil
+		case token.AndAnd:
+			return b2i(a != 0 && b != 0), nil
+		case token.OrOr:
+			return b2i(a != 0 || b != 0), nil
+		}
+	}
+	return 0, fmt.Errorf("expression is not constant")
+}
+
+func b2i(b bool) int64 {
+	if b {
+		return 1
+	}
+	return 0
+}

@@ -1,0 +1,634 @@
+// Package parse implements the OmniC recursive-descent parser. It
+// produces an ast.File; name resolution and type checking happen in
+// internal/cc/sem. The parser evaluates the constant expressions that
+// the grammar itself needs (array sizes, enum values, case labels).
+package parse
+
+import (
+	"fmt"
+
+	"omniware/internal/cc/ast"
+	"omniware/internal/cc/scan"
+	"omniware/internal/cc/token"
+)
+
+// Error is a parse diagnostic.
+type Error struct {
+	Pos token.Pos
+	Msg string
+}
+
+func (e *Error) Error() string { return fmt.Sprintf("%s: %s", e.Pos, e.Msg) }
+
+type parser struct {
+	toks []token.Token
+	pos  int
+
+	typedefs map[string]*ast.Type
+	tags     map[string]*ast.Type
+	enums    map[string]int64
+
+	file *ast.File
+}
+
+// File parses a translation unit.
+func File(name, src string) (*ast.File, error) {
+	toks, err := scan.All(name, src)
+	if err != nil {
+		return nil, err
+	}
+	p := &parser{
+		toks:     toks,
+		typedefs: map[string]*ast.Type{},
+		tags:     map[string]*ast.Type{},
+		enums:    map[string]int64{},
+		file:     &ast.File{Name: name},
+	}
+	if err := p.unit(); err != nil {
+		return nil, err
+	}
+	return p.file, nil
+}
+
+func (p *parser) tok() token.Token     { return p.toks[p.pos] }
+func (p *parser) kind() token.Kind     { return p.toks[p.pos].Kind }
+func (p *parser) at(k token.Kind) bool { return p.kind() == k }
+
+func (p *parser) peekKind(n int) token.Kind {
+	if p.pos+n >= len(p.toks) {
+		return token.EOF
+	}
+	return p.toks[p.pos+n].Kind
+}
+
+func (p *parser) next() token.Token {
+	t := p.toks[p.pos]
+	if t.Kind != token.EOF {
+		p.pos++
+	}
+	return t
+}
+
+func (p *parser) errf(format string, args ...any) error {
+	return &Error{Pos: p.tok().Pos, Msg: fmt.Sprintf(format, args...)}
+}
+
+func (p *parser) expect(k token.Kind) (token.Token, error) {
+	if p.kind() != k {
+		return token.Token{}, p.errf("expected %v, found %v", k, p.tok())
+	}
+	return p.next(), nil
+}
+
+// ---- declarations ----
+
+func (p *parser) unit() error {
+	for !p.at(token.EOF) {
+		if err := p.topDecl(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+type storage struct {
+	typedef bool
+	static  bool
+	extern  bool
+}
+
+// isTypeStart reports whether the current token can begin declaration
+// specifiers.
+func (p *parser) isTypeStart() bool {
+	switch p.kind() {
+	case token.KwVoid, token.KwChar, token.KwShort, token.KwInt, token.KwLong,
+		token.KwUnsigned, token.KwSigned, token.KwFloat, token.KwDouble,
+		token.KwStruct, token.KwUnion, token.KwEnum, token.KwConst,
+		token.KwStatic, token.KwExtern, token.KwTypedef, token.KwRegister:
+		return true
+	case token.Ident:
+		_, ok := p.typedefs[p.tok().Text]
+		return ok
+	}
+	return false
+}
+
+func (p *parser) topDecl() error {
+	base, sto, err := p.declSpecifiers()
+	if err != nil {
+		return err
+	}
+	// "struct S { ... };" or "enum {...};" alone.
+	if p.at(token.Semi) {
+		p.next()
+		return nil
+	}
+	first := true
+	for {
+		pos := p.tok().Pos
+		name, ty, err := p.declarator(base)
+		if err != nil {
+			return err
+		}
+		if name == "" {
+			return &Error{Pos: pos, Msg: "declarator requires a name"}
+		}
+		if sto.typedef {
+			p.typedefs[name] = ty
+			if !p.at(token.Semi) {
+				if _, err := p.expect(token.Comma); err != nil {
+					return err
+				}
+				continue
+			}
+			p.next()
+			return nil
+		}
+		if ty.Kind == ast.TFunc {
+			if first && p.at(token.LBrace) {
+				body, err := p.block()
+				if err != nil {
+					return err
+				}
+				p.file.Funcs = append(p.file.Funcs, &ast.FuncDecl{
+					P: pos, Name: name, Ty: ty, Body: body, Static: sto.static,
+				})
+				return nil
+			}
+			// Prototype.
+			p.file.Funcs = append(p.file.Funcs, &ast.FuncDecl{
+				P: pos, Name: name, Ty: ty, Static: sto.static,
+			})
+		} else {
+			vd := &ast.VarDecl{P: pos, Name: name, Ty: ty, Extern: sto.extern, Static: sto.static}
+			if p.at(token.Assign) {
+				p.next()
+				if err := p.initializer(vd, ty); err != nil {
+					return err
+				}
+			}
+			p.file.Vars = append(p.file.Vars, vd)
+		}
+		first = false
+		if p.at(token.Comma) {
+			p.next()
+			continue
+		}
+		if _, err := p.expect(token.Semi); err != nil {
+			return err
+		}
+		return nil
+	}
+}
+
+// initializer parses a variable initializer into vd. Brace lists are
+// flattened; char arrays accept string literals. If ty is an array of
+// unknown length, the length is set from the initializer.
+func (p *parser) initializer(vd *ast.VarDecl, ty *ast.Type) error {
+	if p.at(token.LBrace) {
+		p.next()
+		var list []ast.Expr
+		for !p.at(token.RBrace) {
+			if p.at(token.LBrace) {
+				// Nested braces (struct elements or rows): flatten.
+				sub := &ast.VarDecl{}
+				if err := p.initializer(sub, nil); err != nil {
+					return err
+				}
+				list = append(list, sub.List...)
+			} else {
+				e, err := p.assignExpr()
+				if err != nil {
+					return err
+				}
+				list = append(list, e)
+			}
+			if p.at(token.Comma) {
+				p.next()
+				continue
+			}
+			break
+		}
+		if _, err := p.expect(token.RBrace); err != nil {
+			return err
+		}
+		vd.List = list
+		if ty != nil && ty.Kind == ast.TArray && ty.Len == 0 {
+			n := len(list)
+			elems := 1
+			if ty.Elem.Kind == ast.TArray && ty.Elem.Len > 0 {
+				elems = ty.Elem.Len
+			}
+			ty.Len = (n + elems - 1) / elems
+		}
+		return nil
+	}
+	e, err := p.assignExpr()
+	if err != nil {
+		return err
+	}
+	if s, ok := e.(*ast.StrLit); ok && ty != nil && ty.Kind == ast.TArray {
+		if ty.Len == 0 {
+			ty.Len = len(s.Val) + 1
+		}
+	}
+	vd.Init = e
+	return nil
+}
+
+// declSpecifiers parses storage class + type specifiers.
+func (p *parser) declSpecifiers() (*ast.Type, storage, error) {
+	var sto storage
+	var (
+		seenUnsigned, seenSigned bool
+		base                     *ast.Type
+		nLong                    int
+	)
+	for {
+		switch p.kind() {
+		case token.KwTypedef:
+			sto.typedef = true
+			p.next()
+		case token.KwStatic:
+			sto.static = true
+			p.next()
+		case token.KwExtern:
+			sto.extern = true
+			p.next()
+		case token.KwConst, token.KwRegister:
+			p.next() // accepted, ignored
+		case token.KwVoid:
+			base = ast.Void
+			p.next()
+		case token.KwChar:
+			base = ast.Char
+			p.next()
+		case token.KwShort:
+			base = ast.Short
+			p.next()
+		case token.KwInt:
+			if base == nil || base == ast.Int {
+				base = ast.Int
+			} // "short int", "long int", "unsigned int" keep the modifier
+			p.next()
+		case token.KwLong:
+			nLong++
+			p.next()
+		case token.KwFloat:
+			base = ast.Float
+			p.next()
+		case token.KwDouble:
+			base = ast.Double
+			p.next()
+		case token.KwUnsigned:
+			seenUnsigned = true
+			p.next()
+		case token.KwSigned:
+			seenSigned = true
+			p.next()
+		case token.KwStruct, token.KwUnion:
+			if base != nil {
+				return nil, sto, p.errf("multiple type specifiers")
+			}
+			t, err := p.structSpecifier()
+			if err != nil {
+				return nil, sto, err
+			}
+			base = t
+		case token.KwEnum:
+			if base != nil {
+				return nil, sto, p.errf("multiple type specifiers")
+			}
+			if err := p.enumSpecifier(); err != nil {
+				return nil, sto, err
+			}
+			base = ast.Int
+		case token.Ident:
+			if t, ok := p.typedefs[p.tok().Text]; ok && base == nil && !seenUnsigned && !seenSigned && nLong == 0 {
+				base = t
+				p.next()
+				continue
+			}
+			goto done
+		default:
+			goto done
+		}
+	}
+done:
+	if base == nil {
+		if seenUnsigned || seenSigned || nLong > 0 {
+			base = ast.Int
+		} else {
+			return nil, sto, p.errf("expected type specifier, found %v", p.tok())
+		}
+	}
+	if nLong > 1 {
+		return nil, sto, p.errf("long long is not supported (OmniVM is 32-bit)")
+	}
+	_ = seenSigned
+	if seenUnsigned {
+		switch base.Kind {
+		case ast.TChar:
+			base = ast.UChar
+		case ast.TShort:
+			base = ast.UShort
+		case ast.TInt:
+			base = ast.UInt
+		default:
+			return nil, sto, p.errf("unsigned %v not supported", base)
+		}
+	}
+	return base, sto, nil
+}
+
+func (p *parser) structSpecifier() (*ast.Type, error) {
+	isUnion := p.kind() == token.KwUnion
+	if isUnion {
+		return nil, p.errf("union is not supported in OmniC")
+	}
+	p.next() // struct
+	tag := ""
+	if p.at(token.Ident) {
+		tag = p.next().Text
+	}
+	var t *ast.Type
+	if tag != "" {
+		if prev, ok := p.tags[tag]; ok {
+			t = prev
+		} else {
+			t = &ast.Type{Kind: ast.TStruct, Tag: tag}
+			p.tags[tag] = t
+		}
+	} else {
+		t = &ast.Type{Kind: ast.TStruct}
+	}
+	if !p.at(token.LBrace) {
+		return t, nil
+	}
+	if t.Done {
+		return nil, p.errf("struct %s redefined", tag)
+	}
+	p.next()
+	for !p.at(token.RBrace) {
+		base, sto, err := p.declSpecifiers()
+		if err != nil {
+			return nil, err
+		}
+		if sto.typedef || sto.static || sto.extern {
+			return nil, p.errf("storage class in struct member")
+		}
+		for {
+			name, fty, err := p.declarator(base)
+			if err != nil {
+				return nil, err
+			}
+			if name == "" {
+				return nil, p.errf("unnamed struct member")
+			}
+			if fty.Kind == ast.TStruct && !fty.Done {
+				return nil, p.errf("member %q has incomplete type", name)
+			}
+			t.Fields = append(t.Fields, ast.Field{Name: name, Type: fty})
+			if p.at(token.Comma) {
+				p.next()
+				continue
+			}
+			break
+		}
+		if _, err := p.expect(token.Semi); err != nil {
+			return nil, err
+		}
+	}
+	p.next() // }
+	t.Layout()
+	return t, nil
+}
+
+func (p *parser) enumSpecifier() error {
+	p.next() // enum
+	if p.at(token.Ident) {
+		p.next() // tag, unused
+	}
+	if !p.at(token.LBrace) {
+		return nil
+	}
+	p.next()
+	var val int64
+	for !p.at(token.RBrace) {
+		name, err := p.expect(token.Ident)
+		if err != nil {
+			return err
+		}
+		if p.at(token.Assign) {
+			p.next()
+			e, err := p.condExpr()
+			if err != nil {
+				return err
+			}
+			v, err := p.constEval(e)
+			if err != nil {
+				return err
+			}
+			val = v
+		}
+		p.enums[name.Text] = val
+		val++
+		if p.at(token.Comma) {
+			p.next()
+			continue
+		}
+		break
+	}
+	_, err := p.expect(token.RBrace)
+	return err
+}
+
+// declarator parses pointers, the direct declarator, and suffixes.
+// Returns the declared name ("" for abstract declarators) and full type.
+func (p *parser) declarator(base *ast.Type) (string, *ast.Type, error) {
+	ty := base
+	for p.at(token.Star) {
+		p.next()
+		for p.kind() == token.KwConst {
+			p.next()
+		}
+		ty = ast.PtrTo(ty)
+	}
+	return p.directDeclarator(ty)
+}
+
+func (p *parser) directDeclarator(ty *ast.Type) (string, *ast.Type, error) {
+	name := ""
+	// Parenthesized declarator: we support the function-pointer idiom
+	// (*name)(params) and (*name[n])(params).
+	if p.at(token.LParen) && (p.peekKind(1) == token.Star) {
+		p.next() // (
+		p.next() // *
+		inner := "p"
+		if p.at(token.Ident) {
+			inner = p.next().Text
+		}
+		name = inner
+		// Optional array suffix inside the parens: (*f[4]).
+		var arrLens []int
+		for p.at(token.LBrack) {
+			p.next()
+			n := 0
+			if !p.at(token.RBrack) {
+				e, err := p.condExpr()
+				if err != nil {
+					return "", nil, err
+				}
+				v, err := p.constEval(e)
+				if err != nil {
+					return "", nil, err
+				}
+				n = int(v)
+			}
+			if _, err := p.expect(token.RBrack); err != nil {
+				return "", nil, err
+			}
+			arrLens = append(arrLens, n)
+		}
+		if _, err := p.expect(token.RParen); err != nil {
+			return "", nil, err
+		}
+		// Now the suffix applies to the *inner* pointer: (*f)(params)
+		// declares f as pointer-to-function-returning-ty.
+		suffixed, err := p.declSuffix(ty)
+		if err != nil {
+			return "", nil, err
+		}
+		res := ast.PtrTo(suffixed)
+		for i := len(arrLens) - 1; i >= 0; i-- {
+			res = ast.ArrayOf(res, arrLens[i])
+		}
+		return name, res, nil
+	}
+	if p.at(token.Ident) {
+		name = p.next().Text
+	}
+	ty, err := p.declSuffix(ty)
+	return name, ty, err
+}
+
+// declSuffix parses [n]... and (params).
+func (p *parser) declSuffix(ty *ast.Type) (*ast.Type, error) {
+	if p.at(token.LParen) {
+		p.next()
+		ft := &ast.Type{Kind: ast.TFunc, Ret: ty}
+		if p.at(token.RParen) {
+			ft.Old = true
+			p.next()
+		} else if p.kind() == token.KwVoid && p.peekKind(1) == token.RParen {
+			p.next()
+			p.next()
+		} else {
+			for {
+				pbase, psto, err := p.declSpecifiers()
+				if err != nil {
+					return nil, err
+				}
+				if psto.typedef || psto.static || psto.extern {
+					return nil, p.errf("storage class in parameter")
+				}
+				pname, pty, err := p.declarator(pbase)
+				if err != nil {
+					return nil, err
+				}
+				// Array parameters decay to pointers.
+				if pty.Kind == ast.TArray {
+					pty = ast.PtrTo(pty.Elem)
+				}
+				if pty.Kind == ast.TFunc {
+					pty = ast.PtrTo(pty)
+				}
+				ft.Params = append(ft.Params, pty)
+				ft.PNames = append(ft.PNames, pname)
+				if p.at(token.Comma) {
+					p.next()
+					if p.at(token.Ellipsis) {
+						return nil, p.errf("varargs are not supported in OmniC")
+					}
+					continue
+				}
+				break
+			}
+			if _, err := p.expect(token.RParen); err != nil {
+				return nil, err
+			}
+		}
+		return ft, nil
+	}
+	// Arrays (possibly multidimensional).
+	if p.at(token.LBrack) {
+		p.next()
+		n := 0
+		if !p.at(token.RBrack) {
+			e, err := p.condExpr()
+			if err != nil {
+				return nil, err
+			}
+			v, err := p.constEval(e)
+			if err != nil {
+				return nil, err
+			}
+			if v <= 0 {
+				return nil, p.errf("array size %d must be positive", v)
+			}
+			n = int(v)
+		}
+		if _, err := p.expect(token.RBrack); err != nil {
+			return nil, err
+		}
+		inner, err := p.declSuffix(ty)
+		if err != nil {
+			return nil, err
+		}
+		return ast.ArrayOf(inner, n), nil
+	}
+	return ty, nil
+}
+
+// typeName parses a type-name (for casts and sizeof).
+func (p *parser) typeName() (*ast.Type, error) {
+	base, sto, err := p.declSpecifiers()
+	if err != nil {
+		return nil, err
+	}
+	if sto.typedef || sto.static || sto.extern {
+		return nil, p.errf("storage class in type name")
+	}
+	ty := base
+	for p.at(token.Star) {
+		p.next()
+		ty = ast.PtrTo(ty)
+	}
+	// Abstract function-pointer type: T (*)(params).
+	if p.at(token.LParen) && p.peekKind(1) == token.Star && p.peekKind(2) == token.RParen {
+		p.next()
+		p.next()
+		p.next()
+		ft, err := p.declSuffix(ty)
+		if err != nil {
+			return nil, err
+		}
+		return ast.PtrTo(ft), nil
+	}
+	for p.at(token.LBrack) {
+		p.next()
+		e, err := p.condExpr()
+		if err != nil {
+			return nil, err
+		}
+		v, err := p.constEval(e)
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(token.RBrack); err != nil {
+			return nil, err
+		}
+		ty = ast.ArrayOf(ty, int(v))
+	}
+	return ty, nil
+}

@@ -1,0 +1,327 @@
+package parse
+
+import (
+	"strings"
+	"testing"
+
+	"omniware/internal/cc/ast"
+	"omniware/internal/cc/token"
+)
+
+func mustParse(t *testing.T, src string) *ast.File {
+	t.Helper()
+	f, err := File("t.c", src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return f
+}
+
+func TestFunctionAndVars(t *testing.T) {
+	f := mustParse(t, `
+int g;
+int arr[10];
+char *msg = "hi";
+static unsigned counter = 5;
+
+int add(int a, int b) {
+	return a + b;
+}
+`)
+	if len(f.Funcs) != 1 || f.Funcs[0].Name != "add" {
+		t.Fatalf("funcs: %+v", f.Funcs)
+	}
+	fd := f.Funcs[0]
+	if fd.Ty.Ret != ast.Int || len(fd.Ty.Params) != 2 {
+		t.Errorf("type: %v", fd.Ty)
+	}
+	if fd.Ty.PNames[0] != "a" || fd.Ty.PNames[1] != "b" {
+		t.Errorf("pnames: %v", fd.Ty.PNames)
+	}
+	if len(f.Vars) != 4 {
+		t.Fatalf("vars: %d", len(f.Vars))
+	}
+	if f.Vars[1].Ty.Kind != ast.TArray || f.Vars[1].Ty.Len != 10 {
+		t.Errorf("arr: %v", f.Vars[1].Ty)
+	}
+	if f.Vars[2].Ty.Kind != ast.TPtr || f.Vars[2].Init == nil {
+		t.Errorf("msg: %+v", f.Vars[2])
+	}
+	if !f.Vars[3].Static || f.Vars[3].Ty != ast.UInt {
+		t.Errorf("counter: %+v", f.Vars[3])
+	}
+}
+
+func TestStructAndTypedef(t *testing.T) {
+	f := mustParse(t, `
+typedef struct node Node;
+struct node {
+	int val;
+	double d;
+	struct node *next;
+};
+Node *head;
+
+int use(Node *n) { return n->val + n->next->val; }
+`)
+	head := f.Vars[0]
+	st := head.Ty.Elem
+	if st.Kind != ast.TStruct || st.Tag != "node" || !st.Done {
+		t.Fatalf("struct: %v done=%v", st, st.Done)
+	}
+	if len(st.Fields) != 3 {
+		t.Fatalf("fields: %d", len(st.Fields))
+	}
+	// Layout: val@0, d@8 (align), next@16, size 24.
+	if st.Fields[1].Offset != 8 || st.Fields[2].Offset != 16 {
+		t.Errorf("offsets: %+v", st.Fields)
+	}
+	if st.Size() != 24 || st.Align() != 8 {
+		t.Errorf("size %d align %d", st.Size(), st.Align())
+	}
+}
+
+func TestEnumsAndConstExpr(t *testing.T) {
+	f := mustParse(t, `
+enum { A, B, C = 10, D };
+int arr[C + 2];
+int pick(int x) {
+	switch (x) {
+	case A: return 1;
+	case D: return 2;
+	default: return 3;
+	}
+}
+`)
+	if f.Vars[0].Ty.Len != 12 {
+		t.Errorf("array size: %d", f.Vars[0].Ty.Len)
+	}
+	fn := f.Funcs[0]
+	sw := fn.Body.List[0].(*ast.Switch)
+	blk := sw.Body.(*ast.Block)
+	c1 := blk.List[0].(*ast.Case)
+	if c1.Int != 0 {
+		t.Errorf("case A: %d", c1.Int)
+	}
+	c2 := blk.List[2].(*ast.Case)
+	if c2.Int != 11 {
+		t.Errorf("case D: %d", c2.Int)
+	}
+}
+
+func TestExpressions(t *testing.T) {
+	f := mustParse(t, `
+int f(int a, int b) {
+	int c = a * b + 3;
+	c += a << 2;
+	c = a ? b : c;
+	c = (a + b) % 7;
+	c++;
+	--c;
+	return c == 0 ? -1 : ~c;
+}
+`)
+	body := f.Funcs[0].Body
+	if len(body.List) != 7 {
+		t.Fatalf("stmts: %d", len(body.List))
+	}
+	// a * b + 3 parses as (a*b)+3
+	ds := body.List[0].(*ast.DeclStmt)
+	bin := ds.Decls[0].Init.(*ast.Binary)
+	if bin.Op != token.Plus {
+		t.Errorf("prec: %v", bin.Op)
+	}
+	if inner, ok := bin.X.(*ast.Binary); !ok || inner.Op != token.Star {
+		t.Errorf("prec inner")
+	}
+}
+
+func TestPointerOps(t *testing.T) {
+	f := mustParse(t, `
+int f(int *p, int n) {
+	int sum = 0;
+	int *q = p + n;
+	while (p < q) {
+		sum += *p++;
+	}
+	return sum;
+}
+`)
+	_ = f.Funcs[0]
+}
+
+func TestFunctionPointers(t *testing.T) {
+	f := mustParse(t, `
+typedef int (*binop)(int, int);
+int apply(binop f, int a, int b) { return f(a, b); }
+int add(int a, int b) { return a + b; }
+int (*table[2])(int, int);
+int main(void) {
+	binop f;
+	f = add;
+	table[0] = add;
+	return apply(f, 2, 3) + table[0](1, 1);
+}
+`)
+	tab := f.Vars[0]
+	if tab.Ty.Kind != ast.TArray || tab.Ty.Len != 2 {
+		t.Fatalf("table type: %v", tab.Ty)
+	}
+	if tab.Ty.Elem.Kind != ast.TPtr || tab.Ty.Elem.Elem.Kind != ast.TFunc {
+		t.Fatalf("table elem: %v", tab.Ty.Elem)
+	}
+}
+
+func TestCasts(t *testing.T) {
+	f := mustParse(t, `
+double g(int n) {
+	char c = (char)n;
+	unsigned u = (unsigned)c;
+	double d = (double)n / 2.0;
+	int *p = (int *)0;
+	void *v = (void *)p;
+	return d + (double)(long)u;
+}
+`)
+	body := f.Funcs[0].Body
+	if len(body.List) != 6 {
+		t.Fatalf("stmts: %d", len(body.List))
+	}
+}
+
+func TestArrayInitializers(t *testing.T) {
+	f := mustParse(t, `
+int tab[] = {1, 2, 3, 4};
+int mat[2][2] = {{1, 2}, {3, 4}};
+char s[] = "abc";
+double w[3] = {1.0, 2.5};
+`)
+	if f.Vars[0].Ty.Len != 4 {
+		t.Errorf("tab len %d", f.Vars[0].Ty.Len)
+	}
+	if len(f.Vars[1].List) != 4 {
+		t.Errorf("mat flattened: %d", len(f.Vars[1].List))
+	}
+	if f.Vars[2].Ty.Len != 4 { // "abc" + NUL
+		t.Errorf("s len %d", f.Vars[2].Ty.Len)
+	}
+}
+
+func TestControlFlow(t *testing.T) {
+	mustParse(t, `
+int f(int n) {
+	int i, acc = 0;
+	for (i = 0; i < n; i++) {
+		if (i % 2 == 0) continue;
+		acc += i;
+		if (acc > 100) break;
+	}
+	do { acc--; } while (acc > 50);
+	goto out;
+	acc = -1;
+out:
+	return acc;
+}
+`)
+}
+
+func TestForWithDecl(t *testing.T) {
+	f := mustParse(t, `
+int f(int n) {
+	int acc = 0;
+	for (int i = 0; i < n; i++) acc += i;
+	return acc;
+}
+`)
+	forStmt := f.Funcs[0].Body.List[1].(*ast.For)
+	if _, ok := forStmt.Init.(*ast.DeclStmt); !ok {
+		t.Errorf("for init: %T", forStmt.Init)
+	}
+}
+
+func TestSizeof(t *testing.T) {
+	f := mustParse(t, `
+struct pair { int a; double b; };
+int s1 = sizeof(int);
+int s2 = sizeof(struct pair);
+int s3 = sizeof(int *);
+int arr[sizeof(struct pair)];
+`)
+	if f.Vars[3].Ty.Len != 16 {
+		t.Errorf("sizeof(struct pair) = %d", f.Vars[3].Ty.Len)
+	}
+}
+
+func TestStringConcat(t *testing.T) {
+	f := mustParse(t, `char *s = "a" "b" "c";`)
+	lit := f.Vars[0].Init.(*ast.StrLit)
+	if lit.Val != "abc" {
+		t.Errorf("concat: %q", lit.Val)
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	cases := []string{
+		"int f( {",
+		"int f(int a,) { return a; }",
+		"int x = ;",
+		"int f(void) { return 1 }",
+		"struct s { struct s inner; };", // incomplete member
+		"union u { int a; };",
+		"int f(int a, ...) { return a; }",
+		"long long x;",
+		"int a[-3];",
+		"int $bad;",
+		"int f(void) { int x = 07779; }",
+	}
+	for _, src := range cases {
+		if _, err := File("bad.c", src); err == nil {
+			t.Errorf("accepted: %q", src)
+		}
+	}
+}
+
+func TestCommentsAndDirectives(t *testing.T) {
+	mustParse(t, `
+// line comment
+/* block
+   comment */
+#include <ignored.h>
+#define ALSO_IGNORED 1
+int x = 3; // trailing
+`)
+}
+
+func TestConstEvalOperators(t *testing.T) {
+	f := mustParse(t, `
+int a[(4 + 4) * 2];
+int b[1 << 4];
+int c[100 / 10 % 7];
+int d[~0 & 7];
+int e[(2 > 1) ? 5 : 9];
+int g[-(-6)];
+`)
+	want := []int{16, 16, 3, 7, 5, 6}
+	for i, w := range want {
+		if f.Vars[i].Ty.Len != w {
+			t.Errorf("var %d: len %d want %d", i, f.Vars[i].Ty.Len, w)
+		}
+	}
+}
+
+func TestCaseInsensitiveKeywordsNot(t *testing.T) {
+	// "Int" is an identifier, not a keyword; with no typedef it fails.
+	if _, err := File("t.c", "Int x;"); err == nil {
+		t.Error("accepted 'Int x;' without typedef")
+	}
+}
+
+func TestErrorHasPosition(t *testing.T) {
+	_, err := File("pos.c", "int x;\nint y = @;")
+	if err == nil {
+		t.Fatal("no error")
+	}
+	if !strings.Contains(err.Error(), "pos.c:2") {
+		t.Errorf("error position: %v", err)
+	}
+}

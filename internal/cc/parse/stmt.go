@@ -1,0 +1,319 @@
+package parse
+
+import (
+	"omniware/internal/cc/ast"
+	"omniware/internal/cc/token"
+)
+
+func (p *parser) block() (*ast.Block, error) {
+	pos := p.tok().Pos
+	if _, err := p.expect(token.LBrace); err != nil {
+		return nil, err
+	}
+	b := &ast.Block{StmtBase: ast.StmtBase{P: pos}}
+	for !p.at(token.RBrace) {
+		if p.at(token.EOF) {
+			return nil, p.errf("unexpected EOF in block")
+		}
+		s, err := p.stmt()
+		if err != nil {
+			return nil, err
+		}
+		b.List = append(b.List, s)
+	}
+	p.next()
+	return b, nil
+}
+
+func (p *parser) stmt() (ast.Stmt, error) {
+	pos := p.tok().Pos
+	switch p.kind() {
+	case token.LBrace:
+		return p.block()
+
+	case token.Semi:
+		p.next()
+		return &ast.Block{StmtBase: ast.StmtBase{P: pos}}, nil
+
+	case token.KwIf:
+		p.next()
+		if _, err := p.expect(token.LParen); err != nil {
+			return nil, err
+		}
+		cond, err := p.expr()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(token.RParen); err != nil {
+			return nil, err
+		}
+		then, err := p.stmt()
+		if err != nil {
+			return nil, err
+		}
+		var els ast.Stmt
+		if p.at(token.KwElse) {
+			p.next()
+			if els, err = p.stmt(); err != nil {
+				return nil, err
+			}
+		}
+		return &ast.If{StmtBase: ast.StmtBase{P: pos}, Cond: cond, Then: then, Else: els}, nil
+
+	case token.KwWhile:
+		p.next()
+		if _, err := p.expect(token.LParen); err != nil {
+			return nil, err
+		}
+		cond, err := p.expr()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(token.RParen); err != nil {
+			return nil, err
+		}
+		body, err := p.stmt()
+		if err != nil {
+			return nil, err
+		}
+		return &ast.While{StmtBase: ast.StmtBase{P: pos}, Cond: cond, Body: body}, nil
+
+	case token.KwDo:
+		p.next()
+		body, err := p.stmt()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(token.KwWhile); err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(token.LParen); err != nil {
+			return nil, err
+		}
+		cond, err := p.expr()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(token.RParen); err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(token.Semi); err != nil {
+			return nil, err
+		}
+		return &ast.DoWhile{StmtBase: ast.StmtBase{P: pos}, Body: body, Cond: cond}, nil
+
+	case token.KwFor:
+		p.next()
+		if _, err := p.expect(token.LParen); err != nil {
+			return nil, err
+		}
+		var init ast.Stmt
+		if !p.at(token.Semi) {
+			if p.isTypeStart() {
+				d, err := p.declStmt()
+				if err != nil {
+					return nil, err
+				}
+				init = d
+			} else {
+				e, err := p.expr()
+				if err != nil {
+					return nil, err
+				}
+				init = &ast.ExprStmt{StmtBase: ast.StmtBase{P: pos}, X: e}
+				if _, err := p.expect(token.Semi); err != nil {
+					return nil, err
+				}
+			}
+		} else {
+			p.next()
+		}
+		var cond ast.Expr
+		var err error
+		if !p.at(token.Semi) {
+			if cond, err = p.expr(); err != nil {
+				return nil, err
+			}
+		}
+		if _, err := p.expect(token.Semi); err != nil {
+			return nil, err
+		}
+		var post ast.Expr
+		if !p.at(token.RParen) {
+			if post, err = p.expr(); err != nil {
+				return nil, err
+			}
+		}
+		if _, err := p.expect(token.RParen); err != nil {
+			return nil, err
+		}
+		body, err := p.stmt()
+		if err != nil {
+			return nil, err
+		}
+		return &ast.For{StmtBase: ast.StmtBase{P: pos}, Init: init, Cond: cond, Post: post, Body: body}, nil
+
+	case token.KwSwitch:
+		p.next()
+		if _, err := p.expect(token.LParen); err != nil {
+			return nil, err
+		}
+		tag, err := p.expr()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(token.RParen); err != nil {
+			return nil, err
+		}
+		body, err := p.stmt()
+		if err != nil {
+			return nil, err
+		}
+		return &ast.Switch{StmtBase: ast.StmtBase{P: pos}, Tag: tag, Body: body}, nil
+
+	case token.KwCase:
+		p.next()
+		e, err := p.condExpr()
+		if err != nil {
+			return nil, err
+		}
+		v, err := p.constEval(e)
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(token.Colon); err != nil {
+			return nil, err
+		}
+		return &ast.Case{StmtBase: ast.StmtBase{P: pos}, Val: e, Int: v}, nil
+
+	case token.KwDefault:
+		p.next()
+		if _, err := p.expect(token.Colon); err != nil {
+			return nil, err
+		}
+		return &ast.Case{StmtBase: ast.StmtBase{P: pos}}, nil
+
+	case token.KwBreak:
+		p.next()
+		if _, err := p.expect(token.Semi); err != nil {
+			return nil, err
+		}
+		return &ast.Break{StmtBase: ast.StmtBase{P: pos}}, nil
+
+	case token.KwContinue:
+		p.next()
+		if _, err := p.expect(token.Semi); err != nil {
+			return nil, err
+		}
+		return &ast.Continue{StmtBase: ast.StmtBase{P: pos}}, nil
+
+	case token.KwReturn:
+		p.next()
+		var x ast.Expr
+		var err error
+		if !p.at(token.Semi) {
+			if x, err = p.expr(); err != nil {
+				return nil, err
+			}
+		}
+		if _, err := p.expect(token.Semi); err != nil {
+			return nil, err
+		}
+		return &ast.Return{StmtBase: ast.StmtBase{P: pos}, X: x}, nil
+
+	case token.KwGoto:
+		p.next()
+		name, err := p.expect(token.Ident)
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(token.Semi); err != nil {
+			return nil, err
+		}
+		return &ast.Goto{StmtBase: ast.StmtBase{P: pos}, Name: name.Text}, nil
+
+	case token.Ident:
+		// Label?
+		if p.peekKind(1) == token.Colon {
+			name := p.next().Text
+			p.next() // :
+			s, err := p.stmt()
+			if err != nil {
+				return nil, err
+			}
+			return &ast.Label{StmtBase: ast.StmtBase{P: pos}, Name: name, Stmt: s}, nil
+		}
+	}
+
+	if p.isTypeStart() {
+		return p.declStmt()
+	}
+
+	e, err := p.expr()
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(token.Semi); err != nil {
+		return nil, err
+	}
+	return &ast.ExprStmt{StmtBase: ast.StmtBase{P: pos}, X: e}, nil
+}
+
+// declStmt parses a local declaration list, consuming the semicolon.
+func (p *parser) declStmt() (*ast.DeclStmt, error) {
+	pos := p.tok().Pos
+	base, sto, err := p.declSpecifiers()
+	if err != nil {
+		return nil, err
+	}
+	if sto.typedef || sto.extern {
+		return nil, p.errf("typedef/extern not supported at block scope")
+	}
+	ds := &ast.DeclStmt{StmtBase: ast.StmtBase{P: pos}}
+	for {
+		dpos := p.tok().Pos
+		name, ty, err := p.declarator(base)
+		if err != nil {
+			return nil, err
+		}
+		if name == "" {
+			return nil, p.errf("declarator requires a name")
+		}
+		if ty.Kind == ast.TFunc {
+			return nil, p.errf("local function declarations not supported")
+		}
+		ld := &ast.LocalDecl{P: dpos, Name: name, Ty: ty}
+		if p.at(token.Assign) {
+			p.next()
+			if p.at(token.LBrace) {
+				vd := &ast.VarDecl{}
+				if err := p.initializer(vd, ty); err != nil {
+					return nil, err
+				}
+				ld.ArrInit = vd.List
+			} else {
+				e, err := p.assignExpr()
+				if err != nil {
+					return nil, err
+				}
+				if s, ok := e.(*ast.StrLit); ok && ty.Kind == ast.TArray && ty.Len == 0 {
+					ty.Len = len(s.Val) + 1
+				}
+				ld.Init = e
+			}
+		}
+		if ty.Kind == ast.TArray && ty.Len == 0 {
+			return nil, p.errf("array %q has unknown size", name)
+		}
+		ds.Decls = append(ds.Decls, ld)
+		if p.at(token.Comma) {
+			p.next()
+			continue
+		}
+		break
+	}
+	if _, err := p.expect(token.Semi); err != nil {
+		return nil, err
+	}
+	return ds, nil
+}

@@ -1,0 +1,345 @@
+// Package regalloc implements a linear-scan register allocator over the
+// OmniC IR. The allocatable register set is a parameter, which is how
+// the repository reproduces Table 2 of the paper (OmniVM register-file
+// sizes of 8..16) and how the native back ends get larger files than
+// the 16-register OmniVM mapping.
+package regalloc
+
+import (
+	"fmt"
+	"sort"
+
+	"omniware/internal/cc/ir"
+)
+
+// Config selects the physical register set.
+type Config struct {
+	// IntRegs and FPRegs list allocatable physical registers in
+	// preference order. Registers listed in CalleeSaved survive calls.
+	IntRegs []int
+	FPRegs  []int
+
+	IntCalleeSaved map[int]bool
+	FPCalleeSaved  map[int]bool
+}
+
+// LocKind distinguishes where a vreg lives.
+type LocKind uint8
+
+const (
+	InReg LocKind = iota
+	Spilled
+)
+
+// Loc is a vreg's assigned location.
+type Loc struct {
+	Kind LocKind
+	Reg  int // physical register (InReg)
+	Slot int // spill slot index into Func.Slots (Spilled)
+}
+
+// Result reports the allocation.
+type Result struct {
+	Loc           []Loc // per vreg
+	UsedIntCallee []int // callee-saved int regs the function must save
+	UsedFPCallee  []int
+	SpillSlots    int
+	ScratchInt    [2]int // reserved scratch registers for spill traffic
+	ScratchFP     [2]int
+	HasCalls      bool
+	NumInsts      int
+}
+
+type interval struct {
+	v          ir.VReg
+	start, end int
+	crossCall  bool
+	fp         bool
+	weight     int // spill priority: uses count (higher = keep)
+}
+
+// Allocate assigns locations to every vreg of f. It may add spill slots
+// to f.Slots. The caller rewrites instructions using Result.Loc.
+func Allocate(f *ir.Func, cfg Config) (*Result, error) {
+	if len(cfg.IntRegs) < 4 || len(cfg.FPRegs) < 3 {
+		return nil, fmt.Errorf("regalloc: register file too small (%d int, %d fp)", len(cfg.IntRegs), len(cfg.FPRegs))
+	}
+	res := &Result{Loc: make([]Loc, f.NVReg)}
+
+	// Reserve the last two registers of each class as spill scratch.
+	intRegs := append([]int(nil), cfg.IntRegs...)
+	fpRegs := append([]int(nil), cfg.FPRegs...)
+	res.ScratchInt = [2]int{intRegs[len(intRegs)-1], intRegs[len(intRegs)-2]}
+	res.ScratchFP = [2]int{fpRegs[len(fpRegs)-1], fpRegs[len(fpRegs)-2]}
+	intRegs = intRegs[:len(intRegs)-2]
+	fpRegs = fpRegs[:len(fpRegs)-2]
+
+	// Number instructions in block order; record call positions.
+	pos := 0
+	type blkRange struct{ start, end int }
+	ranges := make([]blkRange, len(f.Blocks))
+	var callPos []int
+	for _, b := range f.Blocks {
+		ranges[b.ID] = blkRange{start: pos, end: pos + len(b.Insts)}
+		for i := range b.Insts {
+			op := b.Insts[i].Op
+			if op == ir.Call || op == ir.Syscall {
+				callPos = append(callPos, pos+i)
+				res.HasCalls = true
+			}
+		}
+		pos += len(b.Insts)
+	}
+	res.NumInsts = pos
+
+	// Liveness.
+	liveIn, liveOut := liveness(f)
+
+	// Intervals: coarse [min position, max position] across live ranges.
+	starts := make([]int, f.NVReg)
+	ends := make([]int, f.NVReg)
+	weight := make([]int, f.NVReg)
+	for i := range starts {
+		starts[i] = 1 << 30
+		ends[i] = -1
+	}
+	touch := func(v ir.VReg, p int) {
+		if int(v) < 0 {
+			return
+		}
+		if p < starts[v] {
+			starts[v] = p
+		}
+		if p > ends[v] {
+			ends[v] = p
+		}
+	}
+	// Parameters are defined at entry, before the first instruction.
+	// Using -1 (not 0) matters: if the first instruction is a call, a
+	// parameter live across it must be seen as call-crossing.
+	for _, p := range f.Params {
+		touch(p, -1)
+	}
+	var usebuf []ir.VReg
+	for _, b := range f.Blocks {
+		r := ranges[b.ID]
+		for v := range liveIn[b.ID] {
+			touch(v, r.start)
+		}
+		for v := range liveOut[b.ID] {
+			// Live-out extends to the end of the block.
+			touch(v, r.end)
+		}
+		for i := range b.Insts {
+			in := &b.Insts[i]
+			p := r.start + i
+			if in.HasDst() {
+				touch(in.Dst, p)
+				weight[in.Dst]++
+			}
+			usebuf = in.Uses(usebuf[:0])
+			for _, u := range usebuf {
+				touch(u, p)
+				weight[u] += 2
+			}
+		}
+	}
+
+	var ivs []interval
+	for v := 0; v < f.NVReg; v++ {
+		if ends[v] < 0 {
+			continue // never used
+		}
+		iv := interval{
+			v: ir.VReg(v), start: starts[v], end: ends[v],
+			fp: f.VClass[v].IsFP(), weight: weight[v],
+		}
+		for _, cp := range callPos {
+			if iv.start < cp && cp < iv.end {
+				iv.crossCall = true
+				break
+			}
+		}
+		ivs = append(ivs, iv)
+	}
+	sort.Slice(ivs, func(i, j int) bool { return ivs[i].start < ivs[j].start })
+
+	// Two independent scans, one per class.
+	usedCallee := map[int]bool{}
+	scan := func(regs []int, calleeSaved map[int]bool, fp bool) {
+		type active struct {
+			iv  interval
+			reg int
+		}
+		var act []active
+		free := map[int]bool{}
+		for _, r := range regs {
+			free[r] = true
+		}
+		expire := func(p int) {
+			out := act[:0]
+			for _, a := range act {
+				if a.iv.end < p {
+					free[a.reg] = true
+				} else {
+					out = append(out, a)
+				}
+			}
+			act = out
+		}
+		for _, iv := range ivs {
+			if iv.fp != fp {
+				continue
+			}
+			expire(iv.start)
+			// Pick a register honoring call-crossing constraints.
+			pick := -1
+			for _, r := range regs {
+				if !free[r] {
+					continue
+				}
+				if iv.crossCall && !calleeSaved[r] {
+					continue
+				}
+				pick = r
+				break
+			}
+			if pick < 0 && !iv.crossCall {
+				// Any free register will do for a call-free interval.
+				for _, r := range regs {
+					if free[r] {
+						pick = r
+						break
+					}
+				}
+			}
+			if pick >= 0 {
+				free[pick] = false
+				act = append(act, active{iv: iv, reg: pick})
+				res.Loc[iv.v] = Loc{Kind: InReg, Reg: pick}
+				if calleeSaved[pick] {
+					usedCallee[encode(fp, pick)] = true
+				}
+				continue
+			}
+			// Spill: choose between this interval and the active one
+			// with the lowest weight among compatible candidates.
+			victim := -1
+			for i, a := range act {
+				if iv.crossCall && !calleeSaved[a.reg] {
+					continue
+				}
+				if victim < 0 || a.iv.weight < act[victim].iv.weight {
+					victim = i
+				}
+			}
+			if victim >= 0 && act[victim].iv.weight < iv.weight {
+				// Steal the victim's register.
+				a := act[victim]
+				slot := spillSlot(f, a.iv.v)
+				res.Loc[a.iv.v] = Loc{Kind: Spilled, Slot: slot}
+				res.SpillSlots++
+				res.Loc[iv.v] = Loc{Kind: InReg, Reg: a.reg}
+				act[victim] = active{iv: iv, reg: a.reg}
+				if calleeSaved[a.reg] {
+					usedCallee[encode(fp, a.reg)] = true
+				}
+			} else {
+				slot := spillSlot(f, iv.v)
+				res.Loc[iv.v] = Loc{Kind: Spilled, Slot: slot}
+				res.SpillSlots++
+			}
+		}
+	}
+	scan(intRegs, cfg.IntCalleeSaved, false)
+	scan(fpRegs, cfg.FPCalleeSaved, true)
+
+	for k := range usedCallee {
+		fp, r := decode(k)
+		if fp {
+			res.UsedFPCallee = append(res.UsedFPCallee, r)
+		} else {
+			res.UsedIntCallee = append(res.UsedIntCallee, r)
+		}
+	}
+	sort.Ints(res.UsedIntCallee)
+	sort.Ints(res.UsedFPCallee)
+	return res, nil
+}
+
+func encode(fp bool, r int) int {
+	if fp {
+		return r | 1<<16
+	}
+	return r
+}
+
+func decode(k int) (bool, int) { return k&(1<<16) != 0, k &^ (1 << 16) }
+
+func spillSlot(f *ir.Func, v ir.VReg) int {
+	size := 4
+	if f.VClass[v].IsFP() {
+		size = 8
+	}
+	return f.NewSlot(fmt.Sprintf(".spill%d", v), size, size)
+}
+
+// liveness computes per-block live-in/out sets.
+func liveness(f *ir.Func) (liveIn, liveOut []map[ir.VReg]bool) {
+	n := len(f.Blocks)
+	liveIn = make([]map[ir.VReg]bool, n)
+	liveOut = make([]map[ir.VReg]bool, n)
+	use := make([]map[ir.VReg]bool, n)
+	def := make([]map[ir.VReg]bool, n)
+	var ubuf []ir.VReg
+	for _, b := range f.Blocks {
+		u := map[ir.VReg]bool{}
+		d := map[ir.VReg]bool{}
+		for i := range b.Insts {
+			in := &b.Insts[i]
+			ubuf = in.Uses(ubuf[:0])
+			for _, v := range ubuf {
+				if !d[v] {
+					u[v] = true
+				}
+			}
+			if in.HasDst() {
+				d[in.Dst] = true
+			}
+		}
+		use[b.ID] = u
+		def[b.ID] = d
+		liveIn[b.ID] = map[ir.VReg]bool{}
+		liveOut[b.ID] = map[ir.VReg]bool{}
+	}
+	f.Recompute()
+	for changed := true; changed; {
+		changed = false
+		for i := n - 1; i >= 0; i-- {
+			b := f.Blocks[i]
+			out := liveOut[b.ID]
+			for _, s := range b.Succs {
+				for v := range liveIn[s] {
+					if !out[v] {
+						out[v] = true
+						changed = true
+					}
+				}
+			}
+			in := liveIn[b.ID]
+			for v := range use[b.ID] {
+				if !in[v] {
+					in[v] = true
+					changed = true
+				}
+			}
+			for v := range out {
+				if !def[b.ID][v] && !in[v] {
+					in[v] = true
+					changed = true
+				}
+			}
+		}
+	}
+	return liveIn, liveOut
+}

@@ -1,0 +1,129 @@
+package regalloc
+
+import (
+	"testing"
+
+	"omniware/internal/cc/ir"
+)
+
+// tiny builds a one-block function: dst vregs computed from params.
+func cfg(k int) Config {
+	var regs []int
+	for r := 1; r <= k; r++ {
+		regs = append(regs, r)
+	}
+	return Config{
+		IntRegs:        regs,
+		FPRegs:         []int{1, 2, 3, 4, 5},
+		IntCalleeSaved: map[int]bool{k: true, k - 1: true},
+		FPCalleeSaved:  map[int]bool{},
+	}
+}
+
+func TestDistinctLiveValuesGetDistinctRegs(t *testing.T) {
+	f := &ir.Func{Name: "t"}
+	b := f.NewBlock()
+	v1 := f.NewVReg(ir.ClassW)
+	v2 := f.NewVReg(ir.ClassW)
+	v3 := f.NewVReg(ir.ClassW)
+	b.Insts = append(b.Insts,
+		ir.Inst{Op: ir.Const, Class: ir.ClassW, Dst: v1, Imm: 1, A: ir.NoReg, B: ir.NoReg, Slot: ir.NoSlot},
+		ir.Inst{Op: ir.Const, Class: ir.ClassW, Dst: v2, Imm: 2, A: ir.NoReg, B: ir.NoReg, Slot: ir.NoSlot},
+		ir.Inst{Op: ir.Add, Class: ir.ClassW, Dst: v3, A: v1, B: v2, Slot: ir.NoSlot},
+		ir.Inst{Op: ir.Ret, Class: ir.ClassW, A: v3, Dst: ir.NoReg, B: ir.NoReg, Slot: ir.NoSlot},
+	)
+	res, err := Allocate(f, cfg(8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	l1, l2 := res.Loc[v1], res.Loc[v2]
+	if l1.Kind != InReg || l2.Kind != InReg {
+		t.Fatalf("spilled with plenty of registers: %+v", res.Loc)
+	}
+	if l1.Reg == l2.Reg {
+		t.Errorf("overlapping values share register %d", l1.Reg)
+	}
+}
+
+func TestParamLiveAcrossLeadingCall(t *testing.T) {
+	// The regression behind the xlisp bug: a parameter used after a
+	// call that is the very first instruction must not be assigned a
+	// caller-saved register.
+	f := &ir.Func{Name: "t"}
+	b := f.NewBlock()
+	p := f.NewVReg(ir.ClassW)
+	f.Params = []ir.VReg{p}
+	f.PClasses = []ir.Class{ir.ClassW}
+	ret := f.NewVReg(ir.ClassW)
+	sum := f.NewVReg(ir.ClassW)
+	b.Insts = append(b.Insts,
+		ir.Inst{Op: ir.Call, Class: ir.ClassW, Sym: "g", Dst: ret, A: ir.NoReg, B: ir.NoReg, Slot: ir.NoSlot},
+		ir.Inst{Op: ir.Add, Class: ir.ClassW, Dst: sum, A: p, B: ret, Slot: ir.NoSlot},
+		ir.Inst{Op: ir.Ret, Class: ir.ClassW, A: sum, Dst: ir.NoReg, B: ir.NoReg, Slot: ir.NoSlot},
+	)
+	c := cfg(8)
+	res, err := Allocate(f, c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lp := res.Loc[p]
+	if lp.Kind == InReg && !c.IntCalleeSaved[lp.Reg] {
+		t.Errorf("call-crossing parameter in caller-saved register r%d", lp.Reg)
+	}
+}
+
+func TestSpillUnderPressure(t *testing.T) {
+	f := &ir.Func{Name: "t"}
+	b := f.NewBlock()
+	// 10 simultaneously live values with only 6 allocatable (8 minus 2
+	// scratch): some must spill, and slots must be allocated.
+	var vs []ir.VReg
+	for i := 0; i < 10; i++ {
+		v := f.NewVReg(ir.ClassW)
+		vs = append(vs, v)
+		b.Insts = append(b.Insts, ir.Inst{Op: ir.Const, Class: ir.ClassW, Dst: v, Imm: int64(i), A: ir.NoReg, B: ir.NoReg, Slot: ir.NoSlot})
+	}
+	acc := f.NewVReg(ir.ClassW)
+	b.Insts = append(b.Insts, ir.Inst{Op: ir.Const, Class: ir.ClassW, Dst: acc, A: ir.NoReg, B: ir.NoReg, Slot: ir.NoSlot})
+	for _, v := range vs {
+		nacc := f.NewVReg(ir.ClassW)
+		b.Insts = append(b.Insts, ir.Inst{Op: ir.Add, Class: ir.ClassW, Dst: nacc, A: acc, B: v, Slot: ir.NoSlot})
+		acc = nacc
+	}
+	b.Insts = append(b.Insts, ir.Inst{Op: ir.Ret, Class: ir.ClassW, A: acc, Dst: ir.NoReg, B: ir.NoReg, Slot: ir.NoSlot})
+
+	res, err := Allocate(f, cfg(8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.SpillSlots == 0 {
+		t.Error("no spills under heavy pressure")
+	}
+	if len(f.Slots) < res.SpillSlots {
+		t.Error("spill slots not allocated in the function frame")
+	}
+	// No two InReg locations with overlapping lifetimes may collide:
+	// check pairwise among the first 10 (all live simultaneously).
+	used := map[int][]ir.VReg{}
+	for _, v := range vs {
+		l := res.Loc[v]
+		if l.Kind == InReg {
+			used[l.Reg] = append(used[l.Reg], v)
+		}
+	}
+	for r, shared := range used {
+		if len(shared) > 1 {
+			t.Errorf("register %d shared by concurrently live %v", r, shared)
+		}
+	}
+}
+
+func TestTooSmallFileRejected(t *testing.T) {
+	f := &ir.Func{Name: "t"}
+	b := f.NewBlock()
+	b.Insts = append(b.Insts, ir.Inst{Op: ir.Ret, A: ir.NoReg, Dst: ir.NoReg, B: ir.NoReg, Slot: ir.NoSlot})
+	_, err := Allocate(f, Config{IntRegs: []int{1, 2}, FPRegs: []int{1, 2, 3}})
+	if err == nil {
+		t.Error("accepted a 2-register file")
+	}
+}

@@ -1,0 +1,461 @@
+// Package scan implements the OmniC lexical scanner. OmniC has no
+// preprocessor; // and /* */ comments are skipped, and a tiny subset of
+// directives (#line markers emitted by tools) are tolerated and ignored.
+package scan
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"omniware/internal/cc/token"
+)
+
+// Error is a scan diagnostic.
+type Error struct {
+	Pos token.Pos
+	Msg string
+}
+
+func (e *Error) Error() string { return fmt.Sprintf("%s: %s", e.Pos, e.Msg) }
+
+// Scanner produces tokens from source text.
+type Scanner struct {
+	src  string
+	file string
+	off  int
+	line int
+	col  int
+}
+
+// New creates a scanner for src; file is used in positions.
+func New(file, src string) *Scanner {
+	return &Scanner{src: src, file: file, line: 1, col: 1}
+}
+
+func (s *Scanner) pos() token.Pos { return token.Pos{File: s.file, Line: s.line, Col: s.col} }
+
+func (s *Scanner) errf(format string, args ...any) error {
+	return &Error{Pos: s.pos(), Msg: fmt.Sprintf(format, args...)}
+}
+
+func (s *Scanner) peek() byte {
+	if s.off >= len(s.src) {
+		return 0
+	}
+	return s.src[s.off]
+}
+
+func (s *Scanner) peek2() byte {
+	if s.off+1 >= len(s.src) {
+		return 0
+	}
+	return s.src[s.off+1]
+}
+
+func (s *Scanner) advance() byte {
+	c := s.src[s.off]
+	s.off++
+	if c == '\n' {
+		s.line++
+		s.col = 1
+	} else {
+		s.col++
+	}
+	return c
+}
+
+func (s *Scanner) skipSpace() error {
+	for s.off < len(s.src) {
+		c := s.peek()
+		switch {
+		case c == ' ' || c == '\t' || c == '\r' || c == '\n':
+			s.advance()
+		case c == '/' && s.peek2() == '/':
+			for s.off < len(s.src) && s.peek() != '\n' {
+				s.advance()
+			}
+		case c == '/' && s.peek2() == '*':
+			s.advance()
+			s.advance()
+			closed := false
+			for s.off < len(s.src) {
+				if s.peek() == '*' && s.peek2() == '/' {
+					s.advance()
+					s.advance()
+					closed = true
+					break
+				}
+				s.advance()
+			}
+			if !closed {
+				return s.errf("unterminated comment")
+			}
+		case c == '#':
+			// Tolerate and skip line-oriented directives.
+			for s.off < len(s.src) && s.peek() != '\n' {
+				s.advance()
+			}
+		default:
+			return nil
+		}
+	}
+	return nil
+}
+
+func isIdentStart(c byte) bool {
+	return c == '_' || (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z')
+}
+
+func isDigit(c byte) bool { return c >= '0' && c <= '9' }
+
+func isIdentCont(c byte) bool { return isIdentStart(c) || isDigit(c) }
+
+// Next returns the next token.
+func (s *Scanner) Next() (token.Token, error) {
+	if err := s.skipSpace(); err != nil {
+		return token.Token{}, err
+	}
+	pos := s.pos()
+	if s.off >= len(s.src) {
+		return token.Token{Kind: token.EOF, Pos: pos}, nil
+	}
+	c := s.peek()
+	switch {
+	case isIdentStart(c):
+		start := s.off
+		for s.off < len(s.src) && isIdentCont(s.peek()) {
+			s.advance()
+		}
+		text := s.src[start:s.off]
+		if k, ok := token.Keywords[text]; ok {
+			return token.Token{Kind: k, Pos: pos, Text: text}, nil
+		}
+		return token.Token{Kind: token.Ident, Pos: pos, Text: text}, nil
+
+	case isDigit(c) || (c == '.' && isDigit(s.peek2())):
+		return s.number(pos)
+
+	case c == '\'':
+		return s.charLit(pos)
+
+	case c == '"':
+		return s.strLit(pos)
+	}
+
+	// Operators and punctuation (longest match).
+	two := ""
+	if s.off+1 < len(s.src) {
+		two = s.src[s.off : s.off+2]
+	}
+	three := ""
+	if s.off+2 < len(s.src) {
+		three = s.src[s.off : s.off+3]
+	}
+	mk := func(k token.Kind, n int) (token.Token, error) {
+		for i := 0; i < n; i++ {
+			s.advance()
+		}
+		return token.Token{Kind: k, Pos: pos}, nil
+	}
+	switch three {
+	case "<<=":
+		return mk(token.ShlAssign, 3)
+	case ">>=":
+		return mk(token.ShrAssign, 3)
+	case "...":
+		return mk(token.Ellipsis, 3)
+	}
+	switch two {
+	case "->":
+		return mk(token.Arrow, 2)
+	case "++":
+		return mk(token.Inc, 2)
+	case "--":
+		return mk(token.Dec, 2)
+	case "<<":
+		return mk(token.Shl, 2)
+	case ">>":
+		return mk(token.Shr, 2)
+	case "<=":
+		return mk(token.Le, 2)
+	case ">=":
+		return mk(token.Ge, 2)
+	case "==":
+		return mk(token.EqEq, 2)
+	case "!=":
+		return mk(token.NotEq, 2)
+	case "&&":
+		return mk(token.AndAnd, 2)
+	case "||":
+		return mk(token.OrOr, 2)
+	case "+=":
+		return mk(token.PlusAssign, 2)
+	case "-=":
+		return mk(token.MinusAssign, 2)
+	case "*=":
+		return mk(token.StarAssign, 2)
+	case "/=":
+		return mk(token.SlashAssign, 2)
+	case "%=":
+		return mk(token.PercentAssign, 2)
+	case "&=":
+		return mk(token.AmpAssign, 2)
+	case "|=":
+		return mk(token.PipeAssign, 2)
+	case "^=":
+		return mk(token.CaretAssign, 2)
+	}
+	switch c {
+	case '(':
+		return mk(token.LParen, 1)
+	case ')':
+		return mk(token.RParen, 1)
+	case '{':
+		return mk(token.LBrace, 1)
+	case '}':
+		return mk(token.RBrace, 1)
+	case '[':
+		return mk(token.LBrack, 1)
+	case ']':
+		return mk(token.RBrack, 1)
+	case ';':
+		return mk(token.Semi, 1)
+	case ',':
+		return mk(token.Comma, 1)
+	case ':':
+		return mk(token.Colon, 1)
+	case '?':
+		return mk(token.Question, 1)
+	case '.':
+		return mk(token.Dot, 1)
+	case '+':
+		return mk(token.Plus, 1)
+	case '-':
+		return mk(token.Minus, 1)
+	case '*':
+		return mk(token.Star, 1)
+	case '/':
+		return mk(token.Slash, 1)
+	case '%':
+		return mk(token.Percent, 1)
+	case '&':
+		return mk(token.Amp, 1)
+	case '|':
+		return mk(token.Pipe, 1)
+	case '^':
+		return mk(token.Caret, 1)
+	case '~':
+		return mk(token.Tilde, 1)
+	case '!':
+		return mk(token.Not, 1)
+	case '<':
+		return mk(token.Lt, 1)
+	case '>':
+		return mk(token.Gt, 1)
+	case '=':
+		return mk(token.Assign, 1)
+	}
+	return token.Token{}, s.errf("unexpected character %q", c)
+}
+
+func (s *Scanner) number(pos token.Pos) (token.Token, error) {
+	start := s.off
+	isHex := false
+	if s.peek() == '0' && (s.peek2() == 'x' || s.peek2() == 'X') {
+		isHex = true
+		s.advance()
+		s.advance()
+		for s.off < len(s.src) && isHexDigit(s.peek()) {
+			s.advance()
+		}
+	} else {
+		for s.off < len(s.src) && isDigit(s.peek()) {
+			s.advance()
+		}
+	}
+	isFloat := false
+	if !isHex && s.off < len(s.src) && s.peek() == '.' {
+		isFloat = true
+		s.advance()
+		for s.off < len(s.src) && isDigit(s.peek()) {
+			s.advance()
+		}
+	}
+	if !isHex && s.off < len(s.src) && (s.peek() == 'e' || s.peek() == 'E') {
+		save := s.off
+		s.advance()
+		if s.peek() == '+' || s.peek() == '-' {
+			s.advance()
+		}
+		if isDigit(s.peek()) {
+			isFloat = true
+			for s.off < len(s.src) && isDigit(s.peek()) {
+				s.advance()
+			}
+		} else {
+			s.off = save // not an exponent
+		}
+	}
+	text := s.src[start:s.off]
+	if isFloat {
+		isF32 := false
+		if s.off < len(s.src) && (s.peek() == 'f' || s.peek() == 'F') {
+			s.advance()
+			isF32 = true
+		}
+		v, err := strconv.ParseFloat(text, 64)
+		if err != nil {
+			return token.Token{}, s.errf("bad float literal %q", text)
+		}
+		return token.Token{Kind: token.FloatLit, Pos: pos, Float: v, IsF32: isF32}, nil
+	}
+	uns := false
+	for s.off < len(s.src) {
+		switch s.peek() {
+		case 'u', 'U':
+			uns = true
+			s.advance()
+			continue
+		case 'l', 'L':
+			s.advance()
+			continue
+		}
+		break
+	}
+	v, err := strconv.ParseUint(text, 0, 64)
+	if err != nil || v > 0xffffffff {
+		return token.Token{}, s.errf("integer literal %q out of 32-bit range", text)
+	}
+	if v > 0x7fffffff {
+		uns = true
+	}
+	return token.Token{Kind: token.IntLit, Pos: pos, Int: int64(v), Uns: uns}, nil
+}
+
+func isHexDigit(c byte) bool {
+	return isDigit(c) || (c >= 'a' && c <= 'f') || (c >= 'A' && c <= 'F')
+}
+
+func (s *Scanner) charLit(pos token.Pos) (token.Token, error) {
+	s.advance() // '
+	if s.off >= len(s.src) {
+		return token.Token{}, s.errf("unterminated char literal")
+	}
+	var v int64
+	c := s.advance()
+	if c == '\\' {
+		e, err := s.escape()
+		if err != nil {
+			return token.Token{}, err
+		}
+		v = int64(e)
+	} else if c == '\'' {
+		return token.Token{}, s.errf("empty char literal")
+	} else {
+		v = int64(c)
+	}
+	if s.off >= len(s.src) || s.advance() != '\'' {
+		return token.Token{}, s.errf("unterminated char literal")
+	}
+	return token.Token{Kind: token.CharLit, Pos: pos, Int: v}, nil
+}
+
+func (s *Scanner) escape() (byte, error) {
+	if s.off >= len(s.src) {
+		return 0, s.errf("unterminated escape")
+	}
+	c := s.advance()
+	switch c {
+	case 'n':
+		return '\n', nil
+	case 't':
+		return '\t', nil
+	case 'r':
+		return '\r', nil
+	case '0':
+		return 0, nil
+	case 'a':
+		return 7, nil
+	case 'b':
+		return 8, nil
+	case 'f':
+		return 12, nil
+	case 'v':
+		return 11, nil
+	case '\\', '\'', '"':
+		return c, nil
+	case 'x':
+		var v int
+		n := 0
+		for s.off < len(s.src) && isHexDigit(s.peek()) && n < 2 {
+			d := s.advance()
+			v = v*16 + hexVal(d)
+			n++
+		}
+		if n == 0 {
+			return 0, s.errf("bad hex escape")
+		}
+		return byte(v), nil
+	}
+	return 0, s.errf("unknown escape \\%c", c)
+}
+
+func hexVal(c byte) int {
+	switch {
+	case c >= '0' && c <= '9':
+		return int(c - '0')
+	case c >= 'a' && c <= 'f':
+		return int(c-'a') + 10
+	default:
+		return int(c-'A') + 10
+	}
+}
+
+func (s *Scanner) strLit(pos token.Pos) (token.Token, error) {
+	s.advance() // "
+	var b strings.Builder
+	for {
+		if s.off >= len(s.src) {
+			return token.Token{}, s.errf("unterminated string literal")
+		}
+		c := s.advance()
+		if c == '"' {
+			break
+		}
+		if c == '\n' {
+			return token.Token{}, s.errf("newline in string literal")
+		}
+		if c == '\\' {
+			e, err := s.escape()
+			if err != nil {
+				return token.Token{}, err
+			}
+			b.WriteByte(e)
+			continue
+		}
+		b.WriteByte(c)
+	}
+	return token.Token{Kind: token.StrLit, Pos: pos, Str: b.String()}, nil
+}
+
+// All scans the entire source, concatenating adjacent string literals
+// (the one piece of token-level C semantics OmniC keeps).
+func All(file, src string) ([]token.Token, error) {
+	s := New(file, src)
+	var out []token.Token
+	for {
+		t, err := s.Next()
+		if err != nil {
+			return nil, err
+		}
+		if t.Kind == token.StrLit && len(out) > 0 && out[len(out)-1].Kind == token.StrLit {
+			out[len(out)-1].Str += t.Str
+			continue
+		}
+		out = append(out, t)
+		if t.Kind == token.EOF {
+			return out, nil
+		}
+	}
+}

@@ -1,0 +1,137 @@
+package scan
+
+import (
+	"testing"
+
+	"omniware/internal/cc/token"
+)
+
+func kinds(t *testing.T, src string) []token.Kind {
+	t.Helper()
+	toks, err := All("t.c", src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var out []token.Kind
+	for _, tk := range toks {
+		out = append(out, tk.Kind)
+	}
+	return out
+}
+
+func TestOperators(t *testing.T) {
+	got := kinds(t, "a <<= b >> c <= d ... -> ++ -- && || != ==")
+	want := []token.Kind{
+		token.Ident, token.ShlAssign, token.Ident, token.Shr, token.Ident,
+		token.Le, token.Ident, token.Ellipsis, token.Arrow, token.Inc,
+		token.Dec, token.AndAnd, token.OrOr, token.NotEq, token.EqEq,
+		token.EOF,
+	}
+	if len(got) != len(want) {
+		t.Fatalf("got %v", got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("tok %d: %v want %v", i, got[i], want[i])
+		}
+	}
+}
+
+func TestNumbers(t *testing.T) {
+	toks, err := All("t.c", "0 42 0x7fffffff 0xff 3000000000u 2147483648 1.5 2.5e3 1e-2 7.f 3f")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if toks[0].Int != 0 || toks[1].Int != 42 || toks[2].Int != 0x7fffffff || toks[3].Int != 255 {
+		t.Errorf("ints: %v", toks[:4])
+	}
+	if !toks[4].Uns {
+		t.Error("u suffix lost")
+	}
+	if !toks[5].Uns {
+		t.Error("2147483648 should be unsigned")
+	}
+	if toks[6].Kind != token.FloatLit || toks[6].Float != 1.5 {
+		t.Errorf("float: %+v", toks[6])
+	}
+	if toks[7].Float != 2500 {
+		t.Errorf("exponent: %+v", toks[7])
+	}
+	if toks[8].Float != 0.01 {
+		t.Errorf("negative exponent: %+v", toks[8])
+	}
+	if !toks[9].IsF32 {
+		t.Errorf("f suffix: %+v", toks[9])
+	}
+}
+
+func TestCharAndString(t *testing.T) {
+	toks, err := All("t.c", `'a' '\n' '\0' '\xff' "hi\tthere" , "a" "b"`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if toks[0].Int != 'a' || toks[1].Int != 10 || toks[2].Int != 0 || toks[3].Int != 255 {
+		t.Errorf("chars: %+v", toks[:4])
+	}
+	if toks[4].Str != "hi\tthere" {
+		t.Errorf("string: %q", toks[4].Str)
+	}
+	// Adjacent literals concatenate (toks[5] is the comma).
+	if toks[6].Str != "ab" {
+		t.Errorf("concat: %q", toks[6].Str)
+	}
+}
+
+func TestCommentsAndDirectives(t *testing.T) {
+	got := kinds(t, `
+// line comment
+x /* block
+comment */ y
+#include <foo.h>
+z`)
+	want := []token.Kind{token.Ident, token.Ident, token.Ident, token.EOF}
+	if len(got) != len(want) {
+		t.Fatalf("got %v", got)
+	}
+}
+
+func TestScanErrors(t *testing.T) {
+	bad := []string{
+		"'",             // unterminated char
+		"''",            // empty char
+		`"abc`,          // unterminated string
+		"\"a\nb\"",      // newline in string
+		"/* open",       // unterminated comment
+		"'\\q'",         // unknown escape
+		"9999999999999", // out of range
+		"@",             // stray byte
+	}
+	for _, src := range bad {
+		if _, err := All("t.c", src); err == nil {
+			t.Errorf("accepted %q", src)
+		}
+	}
+}
+
+func TestPositions(t *testing.T) {
+	toks, err := All("f.c", "a\n  b")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if toks[0].Pos.Line != 1 || toks[0].Pos.Col != 1 {
+		t.Errorf("a at %v", toks[0].Pos)
+	}
+	if toks[1].Pos.Line != 2 || toks[1].Pos.Col != 3 {
+		t.Errorf("b at %v", toks[1].Pos)
+	}
+}
+
+func TestKeywords(t *testing.T) {
+	toks, _ := All("t.c", "while whiles")
+	if toks[0].Kind != token.KwWhile {
+		t.Error("while not a keyword")
+	}
+	if toks[1].Kind != token.Ident {
+		t.Error("whiles wrongly a keyword")
+	}
+}

@@ -1,0 +1,598 @@
+package sem
+
+import (
+	"omniware/internal/cc/ast"
+	"omniware/internal/cc/token"
+)
+
+// expr type-checks e and returns the (possibly rewritten) expression
+// with its type set. Array- and function-typed values decay to
+// pointers.
+func (c *checker) expr(e ast.Expr) ast.Expr {
+	e = c.exprNoDecay(e)
+	return c.decay(e)
+}
+
+// decay converts array values to pointers to their first element, and
+// function designators to function pointers.
+func (c *checker) decay(e ast.Expr) ast.Expr {
+	t := e.Type()
+	if t == nil {
+		return e
+	}
+	switch t.Kind {
+	case ast.TArray:
+		e.SetType(ast.PtrTo(t.Elem))
+	case ast.TFunc:
+		e.SetType(ast.PtrTo(t))
+	}
+	return e
+}
+
+func (c *checker) exprNoDecay(e ast.Expr) ast.Expr {
+	switch n := e.(type) {
+	case *ast.IntLit:
+		if n.Type() == nil {
+			n.SetType(ast.Int)
+		}
+		return n
+	case *ast.FloatLit:
+		if n.Type() == nil {
+			n.SetType(ast.Double)
+		}
+		return n
+	case *ast.StrLit:
+		n.SetType(ast.PtrTo(ast.Char))
+		return n
+	case *ast.Ident:
+		return c.ident(n)
+	case *ast.Unary:
+		return c.unary(n)
+	case *ast.Postfix:
+		n.X = c.expr(n.X)
+		if !c.isLvalue(n.X) || !n.X.Type().IsScalar() {
+			c.errf(n.Pos(), "operand of %v must be a scalar lvalue", n.Op)
+		}
+		n.SetType(n.X.Type())
+		return n
+	case *ast.Binary:
+		return c.binary(n)
+	case *ast.Assign:
+		return c.assign(n)
+	case *ast.Cond:
+		n.C = c.condition(n.C)
+		n.X = c.expr(n.X)
+		n.Y = c.expr(n.Y)
+		tx, ty := n.X.Type(), n.Y.Type()
+		switch {
+		case tx.IsArith() && ty.IsArith():
+			t := usualArith(tx, ty)
+			n.X = c.convert(n.X, t, "conditional")
+			n.Y = c.convert(n.Y, t, "conditional")
+			n.SetType(t)
+		case tx.Kind == ast.TPtr && ty.Kind == ast.TPtr:
+			n.SetType(tx)
+		case tx.Kind == ast.TPtr && isNullConst(n.Y):
+			n.Y = c.convert(n.Y, tx, "conditional")
+			n.SetType(tx)
+		case ty.Kind == ast.TPtr && isNullConst(n.X):
+			n.X = c.convert(n.X, ty, "conditional")
+			n.SetType(ty)
+		case tx.Kind == ast.TVoid && ty.Kind == ast.TVoid:
+			n.SetType(ast.Void)
+		default:
+			c.errf(n.Pos(), "incompatible conditional types %v and %v", tx, ty)
+			n.SetType(tx)
+		}
+		return n
+	case *ast.Call:
+		return c.call(n)
+	case *ast.Index:
+		n.X = c.expr(n.X)
+		n.I = c.expr(n.I)
+		if n.X.Type().Kind != ast.TPtr {
+			// Allow i[p] just like C.
+			if n.I.Type().Kind == ast.TPtr {
+				n.X, n.I = n.I, n.X
+			} else {
+				c.errf(n.Pos(), "indexed expression is not a pointer (type %v)", n.X.Type())
+				n.SetType(ast.Int)
+				return n
+			}
+		}
+		if !n.I.Type().IsInteger() {
+			c.errf(n.Pos(), "array index must be integer, got %v", n.I.Type())
+		}
+		n.I = c.promote(n.I)
+		elem := n.X.Type().Elem
+		if elem.Kind == ast.TVoid {
+			c.errf(n.Pos(), "cannot index void pointer")
+		}
+		n.SetType(elem)
+		return n
+	case *ast.Member:
+		n.X = c.exprNoDecay(n.X)
+		st := n.X.Type()
+		if n.PtrDeref {
+			n.X = c.decay(n.X)
+			st = n.X.Type()
+			if st.Kind != ast.TPtr || st.Elem.Kind != ast.TStruct {
+				c.errf(n.Pos(), "-> on non-struct-pointer type %v", st)
+				n.SetType(ast.Int)
+				return n
+			}
+			st = st.Elem
+		} else if st.Kind != ast.TStruct {
+			c.errf(n.Pos(), ". on non-struct type %v", st)
+			n.SetType(ast.Int)
+			return n
+		}
+		f := st.Field(n.Name)
+		if f == nil {
+			c.errf(n.Pos(), "struct %s has no member %q", st.Tag, n.Name)
+			n.SetType(ast.Int)
+			return n
+		}
+		n.Field = f
+		n.SetType(f.Type)
+		return n
+	case *ast.Cast:
+		n.X = c.expr(n.X)
+		from, to := n.X.Type(), n.To
+		if to.Kind == ast.TVoid {
+			n.SetType(to)
+			return n
+		}
+		okFrom := from.IsScalar()
+		okTo := to.IsScalar()
+		if !okFrom || !okTo {
+			c.errf(n.Pos(), "invalid cast from %v to %v", from, to)
+		}
+		if to.Kind == ast.TPtr && from.IsFloat() || from.Kind == ast.TPtr && to.IsFloat() {
+			c.errf(n.Pos(), "cannot cast between pointer and floating type")
+		}
+		n.SetType(to)
+		return n
+	case *ast.SizeofType:
+		if n.X != nil {
+			x := c.exprNoDecay(n.X)
+			n.Of = x.Type()
+			n.X = nil
+		}
+		sz := n.Of.Size()
+		if sz == 0 && n.Of.Kind != ast.TVoid {
+			c.errf(n.Pos(), "sizeof incomplete type %v", n.Of)
+		}
+		lit := &ast.IntLit{Val: int64(sz)}
+		lit.P = n.Pos()
+		lit.SetType(ast.UInt)
+		return lit
+	}
+	c.errf(e.Pos(), "unsupported expression %T", e)
+	e.SetType(ast.Int)
+	return e
+}
+
+func (c *checker) ident(n *ast.Ident) ast.Expr {
+	if id, ok := c.lookupLocal(n.Name); ok {
+		n.Kind = ast.SymLocal
+		n.LocalID = id
+		n.SetType(c.fn.Locals[id].Ty)
+		return n
+	}
+	if g, ok := c.info.Globals[n.Name]; ok {
+		n.Kind = ast.SymGlobal
+		n.DeclTy = g.Ty
+		n.SetType(g.Ty)
+		return n
+	}
+	if fn, ok := c.info.Funcs[n.Name]; ok {
+		n.Kind = ast.SymFunc
+		n.SetType(fn.Ty)
+		return n
+	}
+	if b, ok := Builtins[n.Name]; ok {
+		n.Kind = ast.SymBuiltin
+		n.Builtin = b.Num
+		n.SetType(b.Ty)
+		return n
+	}
+	c.errf(n.Pos(), "undefined identifier %q", n.Name)
+	n.SetType(ast.Int)
+	return n
+}
+
+func (c *checker) unary(n *ast.Unary) ast.Expr {
+	switch n.Op {
+	case token.Minus:
+		n.X = c.expr(n.X)
+		if !n.X.Type().IsArith() {
+			c.errf(n.Pos(), "unary - on non-arithmetic type %v", n.X.Type())
+		}
+		n.X = c.promote(n.X)
+		n.SetType(n.X.Type())
+	case token.Tilde:
+		n.X = c.expr(n.X)
+		if !n.X.Type().IsInteger() {
+			c.errf(n.Pos(), "~ on non-integer type %v", n.X.Type())
+		}
+		n.X = c.promote(n.X)
+		n.SetType(n.X.Type())
+	case token.Not:
+		n.X = c.expr(n.X)
+		if !n.X.Type().IsScalar() {
+			c.errf(n.Pos(), "! on non-scalar type %v", n.X.Type())
+		}
+		n.SetType(ast.Int)
+	case token.Star:
+		n.X = c.expr(n.X)
+		t := n.X.Type()
+		if t.Kind != ast.TPtr {
+			c.errf(n.Pos(), "dereference of non-pointer type %v", t)
+			n.SetType(ast.Int)
+			return n
+		}
+		if t.Elem.Kind == ast.TVoid {
+			c.errf(n.Pos(), "dereference of void pointer")
+			n.SetType(ast.Int)
+			return n
+		}
+		n.SetType(t.Elem)
+	case token.Amp:
+		n.X = c.exprNoDecay(n.X)
+		t := n.X.Type()
+		if t.Kind == ast.TFunc {
+			n.SetType(ast.PtrTo(t))
+			return n
+		}
+		if !c.isLvalue(n.X) {
+			c.errf(n.Pos(), "& requires an lvalue")
+			n.SetType(ast.PtrTo(ast.Int))
+			return n
+		}
+		c.markAddrTaken(n.X)
+		n.SetType(ast.PtrTo(t))
+	case token.Inc, token.Dec:
+		n.X = c.expr(n.X)
+		if !c.isLvalue(n.X) || !n.X.Type().IsScalar() {
+			c.errf(n.Pos(), "operand of %v must be a scalar lvalue", n.Op)
+		}
+		n.SetType(n.X.Type())
+	}
+	return n
+}
+
+// markAddrTaken records that a local's address escapes, forcing it to a
+// stack slot instead of a virtual register.
+func (c *checker) markAddrTaken(e ast.Expr) {
+	for {
+		switch n := e.(type) {
+		case *ast.Ident:
+			if n.Kind == ast.SymLocal {
+				c.fn.Locals[n.LocalID].AddrTaken = true
+			}
+			return
+		case *ast.Member:
+			if n.PtrDeref {
+				return
+			}
+			e = n.X
+		default:
+			return
+		}
+	}
+}
+
+func (c *checker) isLvalue(e ast.Expr) bool {
+	switch n := e.(type) {
+	case *ast.Ident:
+		return n.Kind == ast.SymLocal || n.Kind == ast.SymGlobal
+	case *ast.Unary:
+		return n.Op == token.Star
+	case *ast.Index:
+		return true
+	case *ast.Member:
+		if n.PtrDeref {
+			return true
+		}
+		return c.isLvalue(n.X)
+	}
+	return false
+}
+
+func isNullConst(e ast.Expr) bool {
+	lit, ok := e.(*ast.IntLit)
+	return ok && lit.Val == 0
+}
+
+// promote applies integer promotion (char/short -> int).
+func (c *checker) promote(e ast.Expr) ast.Expr {
+	t := e.Type()
+	switch t.Kind {
+	case ast.TChar, ast.TShort:
+		return c.convert(e, ast.Int, "promotion")
+	case ast.TUChar, ast.TUShort:
+		// Both fit in int, which C prescribes.
+		return c.convert(e, ast.Int, "promotion")
+	}
+	return e
+}
+
+// usualArith computes the usual arithmetic conversion result type.
+func usualArith(a, b *ast.Type) *ast.Type {
+	if a.Kind == ast.TDouble || b.Kind == ast.TDouble {
+		return ast.Double
+	}
+	if a.Kind == ast.TFloat || b.Kind == ast.TFloat {
+		return ast.Float
+	}
+	// After promotion everything is int or unsigned.
+	if a.Kind == ast.TUInt || b.Kind == ast.TUInt {
+		return ast.UInt
+	}
+	return ast.Int
+}
+
+// convert inserts a cast of e to type to if needed; reports an error if
+// the implicit conversion is not allowed.
+func (c *checker) convert(e ast.Expr, to *ast.Type, what string) ast.Expr {
+	from := e.Type()
+	if ast.Same(from, to) {
+		return e
+	}
+	ok := false
+	switch {
+	case from.IsArith() && to.IsArith():
+		ok = true
+	case from.Kind == ast.TPtr && to.Kind == ast.TPtr:
+		// Identical, via void*, or char*-to-anything (OmniC relaxation
+		// so a char*-returning allocator works without casts at every
+		// call site; real C would warn).
+		ok = ast.Same(from.Elem, to.Elem) ||
+			from.Elem.Kind == ast.TVoid || to.Elem.Kind == ast.TVoid ||
+			from.Elem.Kind == ast.TChar || to.Elem.Kind == ast.TChar
+	case to.Kind == ast.TPtr && isNullConst(e):
+		ok = true
+	case to.Kind == ast.TPtr && from.IsInteger():
+		// Integer to pointer requires an explicit cast in C; OmniC
+		// refuses it implicitly except the null constant above.
+		ok = false
+	case to.IsInteger() && from.Kind == ast.TPtr:
+		ok = false
+	}
+	if !ok {
+		c.errf(e.Pos(), "cannot convert %v to %v in %s", from, to, what)
+		e.SetType(to)
+		return e
+	}
+	// Fold literal conversions immediately.
+	if lit, isInt := e.(*ast.IntLit); isInt && to.IsArith() {
+		if to.IsFloat() {
+			fl := &ast.FloatLit{Val: float64(lit.Val)}
+			fl.P = lit.P
+			fl.SetType(to)
+			return fl
+		}
+		nl := &ast.IntLit{Val: truncInt(lit.Val, to)}
+		nl.P = lit.P
+		nl.SetType(to)
+		return nl
+	}
+	cast := &ast.Cast{To: to, X: e}
+	cast.P = e.Pos()
+	cast.SetType(to)
+	return cast
+}
+
+func truncInt(v int64, t *ast.Type) int64 {
+	switch t.Kind {
+	case ast.TChar:
+		return int64(int8(v))
+	case ast.TUChar:
+		return int64(uint8(v))
+	case ast.TShort:
+		return int64(int16(v))
+	case ast.TUShort:
+		return int64(uint16(v))
+	case ast.TUInt:
+		return int64(uint32(v))
+	default:
+		return int64(int32(v))
+	}
+}
+
+func (c *checker) binary(n *ast.Binary) ast.Expr {
+	if n.Op == token.Comma {
+		n.X = c.expr(n.X)
+		n.Y = c.expr(n.Y)
+		n.SetType(n.Y.Type())
+		return n
+	}
+	if n.Op == token.AndAnd || n.Op == token.OrOr {
+		n.X = c.condition(n.X)
+		n.Y = c.condition(n.Y)
+		n.SetType(ast.Int)
+		return n
+	}
+	n.X = c.expr(n.X)
+	n.Y = c.expr(n.Y)
+	tx, ty := n.X.Type(), n.Y.Type()
+
+	switch n.Op {
+	case token.Plus:
+		switch {
+		case tx.Kind == ast.TPtr && ty.IsInteger():
+			n.Y = c.promote(n.Y)
+			n.SetType(tx)
+			return n
+		case ty.Kind == ast.TPtr && tx.IsInteger():
+			n.X, n.Y = n.Y, n.X
+			n.Y = c.promote(n.Y)
+			n.SetType(n.X.Type())
+			return n
+		}
+	case token.Minus:
+		switch {
+		case tx.Kind == ast.TPtr && ty.IsInteger():
+			n.Y = c.promote(n.Y)
+			n.SetType(tx)
+			return n
+		case tx.Kind == ast.TPtr && ty.Kind == ast.TPtr:
+			if !ast.Same(tx.Elem, ty.Elem) {
+				c.errf(n.Pos(), "pointer subtraction of incompatible types %v and %v", tx, ty)
+			}
+			n.SetType(ast.Int)
+			return n
+		}
+	case token.EqEq, token.NotEq, token.Lt, token.Gt, token.Le, token.Ge:
+		if tx.Kind == ast.TPtr || ty.Kind == ast.TPtr {
+			okPtr := tx.Kind == ast.TPtr && ty.Kind == ast.TPtr ||
+				tx.Kind == ast.TPtr && isNullConst(n.Y) ||
+				ty.Kind == ast.TPtr && isNullConst(n.X)
+			if !okPtr {
+				c.errf(n.Pos(), "comparison of %v with %v", tx, ty)
+			}
+			n.SetType(ast.Int)
+			return n
+		}
+	}
+
+	// Arithmetic and bitwise operators.
+	if !tx.IsArith() || !ty.IsArith() {
+		c.errf(n.Pos(), "invalid operands to %v: %v and %v", n.Op, tx, ty)
+		n.SetType(ast.Int)
+		return n
+	}
+	switch n.Op {
+	case token.Percent, token.Amp, token.Pipe, token.Caret, token.Shl, token.Shr:
+		if !tx.IsInteger() || !ty.IsInteger() {
+			c.errf(n.Pos(), "%v requires integer operands", n.Op)
+		}
+	}
+	if n.Op == token.Shl || n.Op == token.Shr {
+		// Shifts do not balance types; the result has the promoted
+		// left-operand type.
+		n.X = c.promote(n.X)
+		n.Y = c.promote(n.Y)
+		n.SetType(n.X.Type())
+		return n
+	}
+	t := usualArith(promotedType(tx), promotedType(ty))
+	n.X = c.convert(c.promote(n.X), t, "arithmetic")
+	n.Y = c.convert(c.promote(n.Y), t, "arithmetic")
+	switch n.Op {
+	case token.EqEq, token.NotEq, token.Lt, token.Gt, token.Le, token.Ge:
+		n.SetType(ast.Int)
+	default:
+		n.SetType(t)
+	}
+	return n
+}
+
+func promotedType(t *ast.Type) *ast.Type {
+	switch t.Kind {
+	case ast.TChar, ast.TUChar, ast.TShort, ast.TUShort:
+		return ast.Int
+	}
+	return t
+}
+
+func (c *checker) assign(n *ast.Assign) ast.Expr {
+	n.X = c.exprNoDecay(n.X)
+	n.Y = c.expr(n.Y)
+	tx := n.X.Type()
+	if tx.Kind == ast.TArray {
+		c.errf(n.Pos(), "cannot assign to an array")
+		n.SetType(tx)
+		return n
+	}
+	if !c.isLvalue(n.X) {
+		c.errf(n.Pos(), "assignment target is not an lvalue")
+	}
+	if n.Op == token.Assign {
+		if tx.Kind == ast.TStruct {
+			if !ast.Same(tx, n.Y.Type()) {
+				c.errf(n.Pos(), "struct assignment of incompatible types %v and %v", tx, n.Y.Type())
+			}
+			n.SetType(tx)
+			return n
+		}
+		n.Y = c.convert(n.Y, tx, "assignment")
+		n.SetType(tx)
+		return n
+	}
+	// Compound assignment: x op= y behaves like x = x op y.
+	if tx.Kind == ast.TPtr {
+		if n.Op != token.Plus && n.Op != token.Minus || !n.Y.Type().IsInteger() {
+			c.errf(n.Pos(), "invalid compound assignment to pointer")
+		}
+		n.SetType(tx)
+		return n
+	}
+	if !tx.IsArith() || !n.Y.Type().IsArith() {
+		c.errf(n.Pos(), "invalid operands to compound assignment: %v and %v", tx, n.Y.Type())
+	}
+	switch n.Op {
+	case token.Percent, token.Amp, token.Pipe, token.Caret, token.Shl, token.Shr:
+		if !tx.IsInteger() || !n.Y.Type().IsInteger() {
+			c.errf(n.Pos(), "compound %v requires integer operands", n.Op)
+		}
+	}
+	n.SetType(tx)
+	return n
+}
+
+func (c *checker) call(n *ast.Call) ast.Expr {
+	// Resolve the callee without decaying a direct function name.
+	var fnType *ast.Type
+	if id, ok := n.Fn.(*ast.Ident); ok {
+		c.ident(id)
+		switch id.Kind {
+		case ast.SymFunc, ast.SymBuiltin:
+			fnType = id.Type()
+		default:
+			id2 := c.decay(id)
+			n.Fn = id2
+			t := id2.Type()
+			if t.Kind == ast.TPtr && t.Elem.Kind == ast.TFunc {
+				fnType = t.Elem
+			}
+		}
+	} else {
+		n.Fn = c.expr(n.Fn)
+		t := n.Fn.Type()
+		if t.Kind == ast.TPtr && t.Elem.Kind == ast.TFunc {
+			fnType = t.Elem
+		} else if t.Kind == ast.TFunc {
+			fnType = t
+		}
+	}
+	if fnType == nil {
+		c.errf(n.Pos(), "called object is not a function")
+		n.SetType(ast.Int)
+		return n
+	}
+	if !fnType.Old {
+		if len(n.Args) != len(fnType.Params) {
+			c.errf(n.Pos(), "call has %d arguments, want %d", len(n.Args), len(fnType.Params))
+		}
+	}
+	for i, a := range n.Args {
+		a = c.expr(a)
+		if !fnType.Old && i < len(fnType.Params) {
+			a = c.convert(a, fnType.Params[i], "argument")
+		} else {
+			// Default argument promotions for old-style calls.
+			a = c.promote(a)
+			if a.Type().Kind == ast.TFloat {
+				a = c.convert(a, ast.Double, "argument")
+			}
+		}
+		n.Args[i] = a
+	}
+	if fnType.Ret.Kind == ast.TStruct {
+		c.errf(n.Pos(), "struct return values are not supported in OmniC")
+	}
+	n.SetType(fnType.Ret)
+	return n
+}

@@ -1,0 +1,386 @@
+// Package sem implements OmniC semantic analysis: name resolution,
+// type checking, implicit-conversion insertion, and lvalue/constant
+// validation. It rewrites the AST in place (inserting ast.Cast nodes
+// where conversions occur) so the IR builder can be purely mechanical.
+package sem
+
+import (
+	"fmt"
+
+	"omniware/internal/cc/ast"
+	"omniware/internal/cc/token"
+	"omniware/internal/hostapi"
+)
+
+// Error is a semantic diagnostic.
+type Error struct {
+	Pos token.Pos
+	Msg string
+}
+
+func (e *Error) Error() string { return fmt.Sprintf("%s: %s", e.Pos, e.Msg) }
+
+// Builtin host calls available to every translation unit, keyed by
+// name. These compile to single SYSCALL instructions.
+var Builtins = map[string]struct {
+	Num int
+	Ty  *ast.Type
+}{
+	"_exit":         {hostapi.SysExit, fnType(ast.Void, ast.Int)},
+	"_putc":         {hostapi.SysPutc, fnType(ast.Void, ast.Int)},
+	"_puts":         {hostapi.SysPuts, fnType(ast.Void, ast.PtrTo(ast.Char))},
+	"_print_int":    {hostapi.SysPrintInt, fnType(ast.Void, ast.Int)},
+	"_print_uint":   {hostapi.SysPrintUint, fnType(ast.Void, ast.UInt)},
+	"_sbrk":         {hostapi.SysSbrk, fnType(ast.PtrTo(ast.Char), ast.Int)},
+	"_clock":        {hostapi.SysClock, fnType(ast.UInt)},
+	"_print_double": {hostapi.SysPrintFlt, fnType(ast.Void, ast.Double)},
+	"_write":        {hostapi.SysWrite, fnType(ast.Int, ast.PtrTo(ast.Char), ast.Int)},
+	"_set_handler":  {hostapi.SysSetHandler, fnType(ast.Void, ast.Int)},
+}
+
+func fnType(ret *ast.Type, params ...*ast.Type) *ast.Type {
+	return &ast.Type{Kind: ast.TFunc, Ret: ret, Params: params}
+}
+
+// Sanitize turns a file name into a label-safe identifier fragment.
+func Sanitize(name string) string {
+	out := make([]byte, 0, len(name))
+	for i := 0; i < len(name); i++ {
+		c := name[i]
+		if c == '_' || (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || (c >= '0' && c <= '9') {
+			out = append(out, c)
+		} else {
+			out = append(out, '_')
+		}
+	}
+	return string(out)
+}
+
+// Info is the result of checking a file: the global symbol tables the
+// code generator needs.
+type Info struct {
+	Globals map[string]*ast.VarDecl
+	Funcs   map[string]*ast.FuncDecl // definitions and prototypes
+}
+
+type checker struct {
+	info *Info
+	file *ast.File
+
+	fn     *ast.FuncDecl
+	scopes []map[string]int // name -> LocalID
+	labels map[string]bool
+
+	strCount int
+	errs     []error
+}
+
+// Check analyzes f, mutating it. On success it returns symbol info.
+func Check(f *ast.File) (*Info, error) {
+	c := &checker{
+		info: &Info{
+			Globals: map[string]*ast.VarDecl{},
+			Funcs:   map[string]*ast.FuncDecl{},
+		},
+		file: f,
+	}
+	// Register file-scope names first (C requires declaration before
+	// use; registering per-declaration order enforces that, but mutual
+	// recursion with prototypes works because prototypes appear first).
+	// We do a single pre-pass to keep diagnostics simple.
+	for _, v := range f.Vars {
+		if prev, ok := c.info.Globals[v.Name]; ok {
+			if !prev.Extern && !v.Extern && (prev.Init != nil || prev.List != nil) && (v.Init != nil || v.List != nil) {
+				c.errf(v.Pos(), "global %q redefined", v.Name)
+			}
+			if !ast.Same(prev.Ty, v.Ty) && !(prev.Ty.Kind == ast.TArray && v.Ty.Kind == ast.TArray && ast.Same(prev.Ty.Elem, v.Ty.Elem)) {
+				c.errf(v.Pos(), "global %q redeclared with different type", v.Name)
+			}
+			if prev.Extern && !v.Extern {
+				*prev = *v // definition supersedes extern declaration
+			}
+			continue
+		}
+		c.info.Globals[v.Name] = v
+	}
+	for _, fn := range f.Funcs {
+		if prev, ok := c.info.Funcs[fn.Name]; ok {
+			if prev.Body != nil && fn.Body != nil {
+				c.errf(fn.Pos(), "function %q redefined", fn.Name)
+			}
+			if !ast.Same(prev.Ty, fn.Ty) && !prev.Ty.Old && !fn.Ty.Old {
+				c.errf(fn.Pos(), "function %q redeclared with different type", fn.Name)
+			}
+			if fn.Body != nil {
+				c.info.Funcs[fn.Name] = fn
+			}
+			continue
+		}
+		c.info.Funcs[fn.Name] = fn
+	}
+	// Assign string literal labels, unique across translation units so
+	// whole-program consumers (the native back ends) can resolve them
+	// from the linked symbol table.
+	for i, s := range f.Strings {
+		s.Label = fmt.Sprintf(".Lstr_%s_%d", Sanitize(f.Name), i)
+		s.SetType(ast.PtrTo(ast.Char))
+	}
+	// Validate global initializers.
+	for _, v := range f.Vars {
+		c.checkGlobalInit(v)
+	}
+	// Check function bodies.
+	for _, fn := range f.Funcs {
+		if fn.Body != nil {
+			c.checkFunc(fn)
+		}
+	}
+	if len(c.errs) > 0 {
+		return nil, c.errs[0]
+	}
+	return c.info, nil
+}
+
+func (c *checker) errf(pos token.Pos, format string, args ...any) {
+	c.errs = append(c.errs, &Error{Pos: pos, Msg: fmt.Sprintf(format, args...)})
+}
+
+// ---- globals ----
+
+func (c *checker) checkGlobalInit(v *ast.VarDecl) {
+	if v.Ty.Kind == ast.TFunc {
+		c.errf(v.Pos(), "%q declared as variable of function type", v.Name)
+		return
+	}
+	if v.Ty.Kind == ast.TStruct && !v.Ty.Done {
+		c.errf(v.Pos(), "%q has incomplete struct type", v.Name)
+		return
+	}
+	check := func(e ast.Expr) {
+		if !c.isConstInit(e) {
+			c.errf(e.Pos(), "initializer for %q is not constant", v.Name)
+		}
+	}
+	if v.Init != nil {
+		check(v.Init)
+	}
+	for _, e := range v.List {
+		check(e)
+	}
+}
+
+// isConstInit reports whether e is a link-time constant initializer.
+func (c *checker) isConstInit(e ast.Expr) bool {
+	switch n := e.(type) {
+	case *ast.IntLit, *ast.FloatLit, *ast.StrLit:
+		return true
+	case *ast.Ident:
+		// Address of a function or global array.
+		if _, ok := c.info.Funcs[n.Name]; ok {
+			return true
+		}
+		if g, ok := c.info.Globals[n.Name]; ok && g.Ty.Kind == ast.TArray {
+			return true
+		}
+		return false
+	case *ast.Unary:
+		if n.Op == token.Amp {
+			if id, ok := n.X.(*ast.Ident); ok {
+				_, isG := c.info.Globals[id.Name]
+				return isG
+			}
+		}
+		if n.Op == token.Minus {
+			return c.isConstInit(n.X)
+		}
+		return false
+	case *ast.Cast:
+		return c.isConstInit(n.X)
+	case *ast.Binary:
+		return c.isConstInit(n.X) && c.isConstInit(n.Y)
+	}
+	return false
+}
+
+// ---- functions ----
+
+func (c *checker) checkFunc(fn *ast.FuncDecl) {
+	c.fn = fn
+	c.scopes = []map[string]int{{}}
+	c.labels = map[string]bool{}
+	fn.Locals = nil
+	for i, pt := range fn.Ty.Params {
+		name := fn.Ty.PNames[i]
+		if name == "" {
+			c.errf(fn.Pos(), "parameter %d of %q is unnamed", i, fn.Name)
+			name = fmt.Sprintf(".p%d", i)
+		}
+		id := c.addLocal(name, pt, true)
+		_ = id
+	}
+	c.collectLabels(fn.Body)
+	c.stmt(fn.Body)
+	c.fn = nil
+}
+
+func (c *checker) collectLabels(s ast.Stmt) {
+	switch n := s.(type) {
+	case *ast.Block:
+		for _, x := range n.List {
+			c.collectLabels(x)
+		}
+	case *ast.Label:
+		c.labels[n.Name] = true
+		c.collectLabels(n.Stmt)
+	case *ast.If:
+		c.collectLabels(n.Then)
+		if n.Else != nil {
+			c.collectLabels(n.Else)
+		}
+	case *ast.While:
+		c.collectLabels(n.Body)
+	case *ast.DoWhile:
+		c.collectLabels(n.Body)
+	case *ast.For:
+		c.collectLabels(n.Body)
+	case *ast.Switch:
+		c.collectLabels(n.Body)
+	}
+}
+
+func (c *checker) addLocal(name string, ty *ast.Type, isParam bool) int {
+	id := len(c.fn.Locals)
+	c.fn.Locals = append(c.fn.Locals, &ast.Local{Name: name, Ty: ty, IsParam: isParam})
+	scope := c.scopes[len(c.scopes)-1]
+	scope[name] = id
+	return id
+}
+
+func (c *checker) lookupLocal(name string) (int, bool) {
+	for i := len(c.scopes) - 1; i >= 0; i-- {
+		if id, ok := c.scopes[i][name]; ok {
+			return id, true
+		}
+	}
+	return 0, false
+}
+
+func (c *checker) push() { c.scopes = append(c.scopes, map[string]int{}) }
+func (c *checker) pop()  { c.scopes = c.scopes[:len(c.scopes)-1] }
+
+func (c *checker) stmt(s ast.Stmt) {
+	switch n := s.(type) {
+	case *ast.Block:
+		c.push()
+		for _, x := range n.List {
+			c.stmt(x)
+		}
+		c.pop()
+	case *ast.ExprStmt:
+		n.X = c.expr(n.X)
+	case *ast.DeclStmt:
+		for _, d := range n.Decls {
+			if d.Ty.Kind == ast.TVoid {
+				c.errf(d.Pos(), "variable %q has void type", d.Name)
+				continue
+			}
+			if d.Ty.Kind == ast.TStruct && !d.Ty.Done {
+				c.errf(d.Pos(), "variable %q has incomplete type", d.Name)
+				continue
+			}
+			if cur, ok := c.scopes[len(c.scopes)-1][d.Name]; ok {
+				_ = cur
+				c.errf(d.Pos(), "%q redeclared in this scope", d.Name)
+			}
+			d.LocalID = c.addLocal(d.Name, d.Ty, false)
+			if d.Init != nil {
+				d.Init = c.expr(d.Init)
+				if d.Ty.Kind == ast.TArray {
+					if _, ok := d.Init.(*ast.StrLit); !ok {
+						c.errf(d.Pos(), "array initializer must be a brace list or string")
+					}
+				} else {
+					d.Init = c.convert(d.Init, d.Ty, "initialization")
+				}
+			}
+			for i, e := range d.ArrInit {
+				e = c.expr(e)
+				elem := d.Ty
+				for elem.Kind == ast.TArray {
+					elem = elem.Elem
+				}
+				if d.Ty.Kind == ast.TStruct {
+					// Flattened struct init: match field i.
+					if i < len(d.Ty.Fields) {
+						elem = d.Ty.Fields[i].Type
+					}
+				}
+				d.ArrInit[i] = c.convert(e, elem, "initialization")
+			}
+		}
+	case *ast.If:
+		n.Cond = c.condition(n.Cond)
+		c.stmt(n.Then)
+		if n.Else != nil {
+			c.stmt(n.Else)
+		}
+	case *ast.While:
+		n.Cond = c.condition(n.Cond)
+		c.stmt(n.Body)
+	case *ast.DoWhile:
+		c.stmt(n.Body)
+		n.Cond = c.condition(n.Cond)
+	case *ast.For:
+		c.push()
+		if n.Init != nil {
+			c.stmt(n.Init)
+		}
+		if n.Cond != nil {
+			n.Cond = c.condition(n.Cond)
+		}
+		if n.Post != nil {
+			n.Post = c.expr(n.Post)
+		}
+		c.stmt(n.Body)
+		c.pop()
+	case *ast.Switch:
+		n.Tag = c.expr(n.Tag)
+		if !n.Tag.Type().IsInteger() {
+			c.errf(n.Pos(), "switch expression must be integer, got %v", n.Tag.Type())
+		}
+		n.Tag = c.promote(n.Tag)
+		c.stmt(n.Body)
+	case *ast.Case:
+		// Structural validation happens in the IR builder, which knows
+		// whether it is inside a switch.
+	case *ast.Break, *ast.Continue:
+	case *ast.Return:
+		ret := c.fn.Ty.Ret
+		if n.X == nil {
+			if ret.Kind != ast.TVoid {
+				c.errf(n.Pos(), "missing return value in %q", c.fn.Name)
+			}
+			return
+		}
+		if ret.Kind == ast.TVoid {
+			c.errf(n.Pos(), "return with value in void function %q", c.fn.Name)
+			return
+		}
+		n.X = c.convert(c.expr(n.X), ret, "return")
+	case *ast.Goto:
+		if !c.labels[n.Name] {
+			c.errf(n.Pos(), "goto undefined label %q", n.Name)
+		}
+	case *ast.Label:
+		c.stmt(n.Stmt)
+	}
+}
+
+// condition checks a scalar condition expression.
+func (c *checker) condition(e ast.Expr) ast.Expr {
+	e = c.expr(e)
+	if t := e.Type(); t != nil && !t.IsScalar() {
+		c.errf(e.Pos(), "condition must be scalar, got %v", t)
+	}
+	return e
+}

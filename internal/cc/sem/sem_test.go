@@ -1,0 +1,263 @@
+package sem
+
+import (
+	"strings"
+	"testing"
+
+	"omniware/internal/cc/ast"
+	"omniware/internal/cc/parse"
+)
+
+func check(t *testing.T, src string) (*ast.File, *Info) {
+	t.Helper()
+	f, err := parse.File("t.c", src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	info, err := Check(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return f, info
+}
+
+func checkErr(t *testing.T, src, want string) {
+	t.Helper()
+	f, err := parse.File("t.c", src)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	_, err = Check(f)
+	if err == nil {
+		t.Fatalf("accepted: %s", src)
+	}
+	if !strings.Contains(err.Error(), want) {
+		t.Errorf("error %q does not mention %q", err, want)
+	}
+}
+
+func TestResolveLocalsAndGlobals(t *testing.T) {
+	f, info := check(t, `
+int g = 3;
+int f(int a) {
+	int b = a + g;
+	{
+		int b = 2; /* shadows */
+		a = b;
+	}
+	return b;
+}
+`)
+	fn := f.Funcs[0]
+	if len(fn.Locals) != 3 {
+		t.Fatalf("locals: %d", len(fn.Locals))
+	}
+	if !fn.Locals[0].IsParam {
+		t.Error("param flag")
+	}
+	if _, ok := info.Globals["g"]; !ok {
+		t.Error("global g missing")
+	}
+}
+
+func TestImplicitConversions(t *testing.T) {
+	f, _ := check(t, `
+double d;
+int f(char c, int i) {
+	d = i;        /* int -> double cast inserted */
+	return c + i; /* char promoted */
+}
+`)
+	fn := f.Funcs[0]
+	es := fn.Body.List[0].(*ast.ExprStmt)
+	as := es.X.(*ast.Assign)
+	if _, ok := as.Y.(*ast.Cast); !ok {
+		t.Errorf("no cast inserted: %T", as.Y)
+	}
+	ret := fn.Body.List[1].(*ast.Return)
+	bin := ret.X.(*ast.Binary)
+	if bin.X.Type() != ast.Int {
+		t.Errorf("char not promoted: %v", bin.X.Type())
+	}
+}
+
+func TestPointerArith(t *testing.T) {
+	check(t, `
+int f(int *p, int n) {
+	int *q = p + n;
+	int d = q - p;
+	return d + *q + p[n];
+}
+`)
+	checkErr(t, "int f(int *p, double d) { return *(p + d); }", "")
+}
+
+func TestArrayDecay(t *testing.T) {
+	f, _ := check(t, `
+int tab[8];
+int *f(void) { return tab; }
+`)
+	ret := f.Funcs[0].Body.List[0].(*ast.Return)
+	if ret.X.Type().Kind != ast.TPtr {
+		t.Errorf("array did not decay: %v", ret.X.Type())
+	}
+}
+
+func TestStructMembers(t *testing.T) {
+	f, _ := check(t, `
+struct point { int x; int y; };
+struct point p;
+int f(struct point *q) {
+	p.x = 1;
+	return q->y + p.x;
+}
+`)
+	fn := f.Funcs[0]
+	es := fn.Body.List[0].(*ast.ExprStmt)
+	as := es.X.(*ast.Assign)
+	mem := as.X.(*ast.Member)
+	if mem.Field == nil || mem.Field.Name != "x" {
+		t.Errorf("field not resolved: %+v", mem.Field)
+	}
+}
+
+func TestFunctionPointerCalls(t *testing.T) {
+	check(t, `
+int add(int a, int b) { return a + b; }
+int apply(int (*f)(int, int), int a, int b) { return f(a, b); }
+int main(void) {
+	int (*g)(int, int);
+	g = add;
+	return apply(g, 1, 2) + (*g)(3, 4);
+}
+`)
+}
+
+func TestBuiltins(t *testing.T) {
+	f, _ := check(t, `
+int main(void) {
+	_putc(65);
+	_print_int(42);
+	_puts("hi");
+	return 0;
+}
+`)
+	es := f.Funcs[0].Body.List[0].(*ast.ExprStmt)
+	call := es.X.(*ast.Call)
+	id := call.Fn.(*ast.Ident)
+	if id.Kind != ast.SymBuiltin {
+		t.Errorf("builtin not resolved: %v", id.Kind)
+	}
+}
+
+func TestAddrTaken(t *testing.T) {
+	f, _ := check(t, `
+void g(int *p) {}
+int f(void) {
+	int a = 1;
+	int b = 2;
+	g(&a);
+	return a + b;
+}
+`)
+	fn := f.Funcs[1]
+	var la, lb *ast.Local
+	for _, l := range fn.Locals {
+		switch l.Name {
+		case "a":
+			la = l
+		case "b":
+			lb = l
+		}
+	}
+	if !la.AddrTaken {
+		t.Error("a should be address-taken")
+	}
+	if lb.AddrTaken {
+		t.Error("b should not be address-taken")
+	}
+}
+
+func TestSizeofFolded(t *testing.T) {
+	f, _ := check(t, `
+struct s { double d; char c; };
+int f(void) { return sizeof(struct s) + sizeof(int); }
+`)
+	ret := f.Funcs[0].Body.List[0].(*ast.Return)
+	// sizeof is unsigned, so the sum converts back to int via a cast.
+	inner := ret.X
+	if cast, ok := inner.(*ast.Cast); ok {
+		inner = cast.X
+	}
+	bin := inner.(*ast.Binary)
+	x := bin.X.(*ast.IntLit)
+	if x.Val != 16 {
+		t.Errorf("sizeof(struct s) = %d", x.Val)
+	}
+}
+
+func TestStringLabels(t *testing.T) {
+	f, _ := check(t, `char *a = "x"; char *b = "y";`)
+	if f.Strings[0].Label == "" || f.Strings[0].Label == f.Strings[1].Label {
+		t.Errorf("labels: %q %q", f.Strings[0].Label, f.Strings[1].Label)
+	}
+}
+
+func TestErrors(t *testing.T) {
+	cases := []struct{ src, want string }{
+		{"int f(void) { return x; }", "undefined"},
+		{"int f(void) { int a; int a; return 0; }", "redeclared"},
+		{"int f(int a) { return a(); }", "not a function"},
+		{"int g(int a) { return 0; } int f(void) { return g(1, 2); }", "arguments"},
+		{"void f(void) { return 3; }", "void function"},
+		{"int f(void) { return; }", "missing return"},
+		{"int f(void) { 3 = 4; return 0; }", "lvalue"},
+		{"int f(double d) { int *p; return *(p + d); }", "invalid operands"},
+		{"struct s { int x; }; int f(struct s v) { return v.y; }", "no member"},
+		{"int f(void) { goto nowhere; return 0; }", "undefined label"},
+		{"int x = 3; double x;", "redeclared with different type"},
+		{"int f(void) { return 0; } int f(void) { return 1; }", "redefined"},
+		{"int f(int *p) { double d; d = p; return 0; }", "convert"},
+		{"int a[3]; int f(void) { a = 0; return 0; }", "array"},
+		{"int f(void) { switch (1.5) { } return 0; }", "integer"},
+	}
+	for _, c := range cases {
+		checkErr(t, c.src, c.want)
+	}
+}
+
+func TestExternAndProto(t *testing.T) {
+	_, info := check(t, `
+extern int shared;
+int helper(int);
+int f(void) { return helper(shared); }
+int helper(int x) { return x * 2; }
+`)
+	if info.Funcs["helper"].Body == nil {
+		t.Error("definition did not supersede prototype")
+	}
+}
+
+func TestGlobalInitConst(t *testing.T) {
+	check(t, `
+int a = 3 + 4;
+int tab[2] = {1, 2};
+char *s = "hi";
+int *p = &a;
+int (*fp)(void);
+int get(void) { return 1; }
+int b[2];
+int *q = b;
+`)
+	checkErr(t, "int g(void) { return 1; } int x = g();", "not constant")
+}
+
+func TestVoidPointer(t *testing.T) {
+	check(t, `
+int f(void *v) {
+	int *p = v;
+	return *p;
+}
+`)
+	checkErr(t, "int f(void *v) { return *v; }", "void pointer")
+}

@@ -1,0 +1,174 @@
+// Package token defines the lexical tokens of OmniC, the C subset the
+// Omniware compiler accepts (the role gcc/lcc played for the original
+// system).
+package token
+
+import "fmt"
+
+// Kind enumerates token kinds.
+type Kind int
+
+const (
+	EOF Kind = iota
+	Ident
+	IntLit   // integer literal (value in Token.Int)
+	FloatLit // floating literal (value in Token.Float)
+	CharLit  // character constant (value in Token.Int)
+	StrLit   // string literal (value in Token.Str)
+
+	// Punctuation and operators.
+	LParen
+	RParen
+	LBrace
+	RBrace
+	LBrack
+	RBrack
+	Semi
+	Comma
+	Colon
+	Question
+	Dot
+	Arrow
+	Ellipsis
+
+	Plus
+	Minus
+	Star
+	Slash
+	Percent
+	Amp
+	Pipe
+	Caret
+	Tilde
+	Not
+	Shl
+	Shr
+	Lt
+	Gt
+	Le
+	Ge
+	EqEq
+	NotEq
+	AndAnd
+	OrOr
+	Inc
+	Dec
+
+	Assign
+	PlusAssign
+	MinusAssign
+	StarAssign
+	SlashAssign
+	PercentAssign
+	AmpAssign
+	PipeAssign
+	CaretAssign
+	ShlAssign
+	ShrAssign
+
+	// Keywords.
+	KwVoid
+	KwChar
+	KwShort
+	KwInt
+	KwLong
+	KwUnsigned
+	KwSigned
+	KwFloat
+	KwDouble
+	KwStruct
+	KwUnion
+	KwEnum
+	KwTypedef
+	KwIf
+	KwElse
+	KwWhile
+	KwDo
+	KwFor
+	KwSwitch
+	KwCase
+	KwDefault
+	KwBreak
+	KwContinue
+	KwReturn
+	KwGoto
+	KwSizeof
+	KwStatic
+	KwExtern
+	KwConst
+	KwRegister
+)
+
+var kindNames = map[Kind]string{
+	EOF: "EOF", Ident: "identifier", IntLit: "integer literal",
+	FloatLit: "float literal", CharLit: "char literal", StrLit: "string literal",
+	LParen: "(", RParen: ")", LBrace: "{", RBrace: "}", LBrack: "[", RBrack: "]",
+	Semi: ";", Comma: ",", Colon: ":", Question: "?", Dot: ".", Arrow: "->", Ellipsis: "...",
+	Plus: "+", Minus: "-", Star: "*", Slash: "/", Percent: "%", Amp: "&", Pipe: "|",
+	Caret: "^", Tilde: "~", Not: "!", Shl: "<<", Shr: ">>", Lt: "<", Gt: ">",
+	Le: "<=", Ge: ">=", EqEq: "==", NotEq: "!=", AndAnd: "&&", OrOr: "||",
+	Inc: "++", Dec: "--",
+	Assign: "=", PlusAssign: "+=", MinusAssign: "-=", StarAssign: "*=",
+	SlashAssign: "/=", PercentAssign: "%=", AmpAssign: "&=", PipeAssign: "|=",
+	CaretAssign: "^=", ShlAssign: "<<=", ShrAssign: ">>=",
+	KwVoid: "void", KwChar: "char", KwShort: "short", KwInt: "int", KwLong: "long",
+	KwUnsigned: "unsigned", KwSigned: "signed", KwFloat: "float", KwDouble: "double",
+	KwStruct: "struct", KwUnion: "union", KwEnum: "enum", KwTypedef: "typedef",
+	KwIf: "if", KwElse: "else", KwWhile: "while", KwDo: "do", KwFor: "for",
+	KwSwitch: "switch", KwCase: "case", KwDefault: "default", KwBreak: "break",
+	KwContinue: "continue", KwReturn: "return", KwGoto: "goto", KwSizeof: "sizeof",
+	KwStatic: "static", KwExtern: "extern", KwConst: "const", KwRegister: "register",
+}
+
+func (k Kind) String() string {
+	if s, ok := kindNames[k]; ok {
+		return s
+	}
+	return fmt.Sprintf("token(%d)", int(k))
+}
+
+// Keywords maps keyword spellings to kinds.
+var Keywords = map[string]Kind{
+	"void": KwVoid, "char": KwChar, "short": KwShort, "int": KwInt, "long": KwLong,
+	"unsigned": KwUnsigned, "signed": KwSigned, "float": KwFloat, "double": KwDouble,
+	"struct": KwStruct, "union": KwUnion, "enum": KwEnum, "typedef": KwTypedef,
+	"if": KwIf, "else": KwElse, "while": KwWhile, "do": KwDo, "for": KwFor,
+	"switch": KwSwitch, "case": KwCase, "default": KwDefault, "break": KwBreak,
+	"continue": KwContinue, "return": KwReturn, "goto": KwGoto, "sizeof": KwSizeof,
+	"static": KwStatic, "extern": KwExtern, "const": KwConst, "register": KwRegister,
+}
+
+// Pos is a source position.
+type Pos struct {
+	File string
+	Line int
+	Col  int
+}
+
+func (p Pos) String() string { return fmt.Sprintf("%s:%d:%d", p.File, p.Line, p.Col) }
+
+// Token is one lexical token.
+type Token struct {
+	Kind  Kind
+	Pos   Pos
+	Text  string  // identifier spelling
+	Int   int64   // IntLit/CharLit value
+	Uns   bool    // IntLit had a U suffix or is hex > MaxInt32
+	Float float64 // FloatLit value
+	IsF32 bool    // FloatLit had an f suffix
+	Str   string  // StrLit decoded contents
+}
+
+func (t Token) String() string {
+	switch t.Kind {
+	case Ident:
+		return t.Text
+	case IntLit:
+		return fmt.Sprintf("%d", t.Int)
+	case FloatLit:
+		return fmt.Sprintf("%g", t.Float)
+	case StrLit:
+		return fmt.Sprintf("%q", t.Str)
+	}
+	return t.Kind.String()
+}

@@ -1,0 +1,152 @@
+package core
+
+import (
+	"strings"
+	"testing"
+
+	"omniware/internal/cc"
+	"omniware/internal/native"
+	"omniware/internal/target"
+	"omniware/internal/translate"
+)
+
+const prog = `
+int square(int x) { return x * x; }
+int main(void) {
+	int i, acc = 0;
+	for (i = 0; i < 10; i++) acc += square(i);
+	_print_int(acc);
+	return acc & 0xff;
+}`
+
+func build(t *testing.T) *Host {
+	t.Helper()
+	mod, err := BuildC([]SourceFile{{Name: "p.c", Src: prog}}, cc.Options{OptLevel: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	h, err := NewHost(mod, RunConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return h
+}
+
+func TestAllPathsAgree(t *testing.T) {
+	h := build(t)
+	ires, err := h.RunInterp()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ires.ExitCode != 285&0xff || h.Output() != "285" {
+		t.Fatalf("interp: %d %q", ires.ExitCode, h.Output())
+	}
+	funcs, err := BuildIRFuncs([]SourceFile{{Name: "p.c", Src: prog}}, cc.Options{OptLevel: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, m := range target.Machines() {
+		ht := build(t)
+		tres, _, err := ht.RunTranslated(m, translate.Paper(true))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if tres.ExitCode != ires.ExitCode || ht.Output() != "285" {
+			t.Errorf("%s translated: %d %q", m.Name, tres.ExitCode, ht.Output())
+		}
+		hn := build(t)
+		nres, err := hn.RunNative(m, native.ProfCC, funcs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if nres.ExitCode != ires.ExitCode || hn.Output() != "285" {
+			t.Errorf("%s native: %d %q", m.Name, nres.ExitCode, hn.Output())
+		}
+	}
+}
+
+func TestBuildAsm(t *testing.T) {
+	mod, err := BuildAsm([]SourceFile{{Name: "m.s", Src: `
+.text
+.globl main
+main:
+	ldi r1, 5
+	ret
+`}}, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h, err := NewHost(mod, RunConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := h.RunInterp()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.ExitCode != 5 {
+		t.Errorf("exit %d", res.ExitCode)
+	}
+}
+
+func TestHostSegmentIsReadOnly(t *testing.T) {
+	mod, err := BuildC([]SourceFile{{Name: "p.c", Src: `
+int main(void) {
+	int *p = (int *)0x40000000;
+	return *p; /* reads are allowed in this policy */
+}`}}, cc.Options{OptLevel: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	data := make([]byte, 4096)
+	data[0] = 77
+	h, err := NewHost(mod, RunConfig{HostData: data})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := h.RunInterp()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Faulted || res.ExitCode != 77 {
+		t.Errorf("read of host segment: %+v", res)
+	}
+}
+
+func TestRunConfigBudget(t *testing.T) {
+	mod, err := BuildC([]SourceFile{{Name: "p.c", Src: "int main(void){ for(;;); return 0; }"}}, cc.Options{OptLevel: 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	h, err := NewHost(mod, RunConfig{MaxSteps: 1000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := h.RunInterp(); err == nil || !strings.Contains(err.Error(), "budget") {
+		t.Errorf("expected budget exhaustion, got %v", err)
+	}
+}
+
+func TestSegInfo(t *testing.T) {
+	h := build(t)
+	si := h.SegInfo()
+	if si.DataBase != h.Mod.DataBase {
+		t.Errorf("base %#x", si.DataBase)
+	}
+	if (si.DataMask+1)&si.DataMask != 0 {
+		t.Errorf("mask %#x not 2^k-1", si.DataMask)
+	}
+	if si.RegSave <= si.DataBase || si.RegSave >= si.DataBase+si.DataMask {
+		t.Errorf("regsave %#x outside segment", si.RegSave)
+	}
+}
+
+func TestDuplicateFunctionAcrossUnits(t *testing.T) {
+	_, err := BuildIRFuncs([]SourceFile{
+		{Name: "a.c", Src: "int f(void){return 1;} int main(void){return f();}"},
+		{Name: "b.c", Src: "int f(void){return 2;}"},
+	}, cc.Options{})
+	if err == nil {
+		t.Error("duplicate function across units accepted")
+	}
+}

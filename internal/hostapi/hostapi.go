@@ -1,0 +1,188 @@
+// Package hostapi defines the host side of the Omniware runtime: the
+// set of library functions a host program safely exports to dynamically
+// loaded modules (memory management, console I/O, timing), the module
+// memory layout, and the exception-delivery contract. Both the
+// abstract-machine interpreter and the translated-code simulators call
+// into this package through the SYSCALL gateway.
+package hostapi
+
+import (
+	"fmt"
+	"io"
+
+	"omniware/internal/ovm"
+	"omniware/internal/seg"
+)
+
+// Syscall numbers. Arguments are passed in r1..r4 (doubles in f1) and
+// results return in r1 (f1 for doubles), matching the OmniVM calling
+// convention.
+const (
+	SysExit       = 0 // exit(status r1)
+	SysPutc       = 1 // putc(char r1)
+	SysPuts       = 2 // puts(addr r1): NUL-terminated
+	SysPrintInt   = 3 // print_int(v r1): signed decimal
+	SysPrintUint  = 4 // print_uint(v r1)
+	SysSbrk       = 5 // sbrk(incr r1) -> old break, or -1 on exhaustion
+	SysClock      = 6 // clock() -> elapsed virtual cycles (low 32 bits)
+	SysPrintFlt   = 7 // print_double(f1)
+	SysWrite      = 8 // write(addr r1, len r2) -> bytes written
+	SysSetHandler = 9 // set_handler(code index r1): access-violation hook
+	NumSyscalls   = 10
+)
+
+// CPU is the register-file view a syscall needs, implemented by the
+// interpreter and by each target simulator (which maps OmniVM register
+// numbers to its own state).
+type CPU interface {
+	IntReg(i int) uint32
+	SetIntReg(i int, v uint32)
+	FPReg(i int) float64
+	SetFPReg(i int, v float64)
+	Cycles() uint64
+}
+
+// Layout records where the loader placed the pieces of a module's data
+// segment: [data | bss | heap ... | guard | stack].
+type Layout struct {
+	Seg       *seg.Segment
+	HeapBase  uint32
+	Brk       uint32 // current program break (moved by sbrk)
+	HeapLimit uint32
+	StackTop  uint32 // initial stack pointer
+	// RegSave is a 256-byte area at the top of the data segment used by
+	// targets that keep some OmniVM registers in memory (x86) and by
+	// the simulators' syscall bridge.
+	RegSave uint32
+}
+
+// DefaultHeapSize and DefaultStackSize size a module's data segment.
+const (
+	DefaultHeapSize  = 8 << 20
+	DefaultStackSize = 1 << 20
+	guardSize        = seg.PageSize
+)
+
+// Load maps a module's data image into mem at the module's linked base
+// and returns the layout. The code itself is not placed in data memory:
+// OmniVM code addresses are instruction indices into the text section,
+// and the (virtual or translated) code segment is execute-only by
+// construction.
+func Load(mem *seg.Memory, m *ovm.Module, heapSize, stackSize uint32) (*Layout, error) {
+	if heapSize == 0 {
+		heapSize = DefaultHeapSize
+	}
+	if stackSize == 0 {
+		stackSize = DefaultStackSize
+	}
+	static := uint32(len(m.Data)) + m.BSSSize
+	total := static + heapSize + guardSize + stackSize
+	// Round the segment to a power of two so SFI sandboxing can mask
+	// addresses into it; the slack goes to the heap.
+	p := uint32(seg.PageSize)
+	for p < total {
+		p <<= 1
+	}
+	heapSize += p - total
+	total = p
+	s, err := mem.Map("module-data", m.DataBase, total, seg.Read|seg.Write)
+	if err != nil {
+		return nil, fmt.Errorf("hostapi: mapping module data: %w", err)
+	}
+	copy(s.Bytes(), m.Data)
+	heapBase := (m.DataBase + static + 7) &^ 7
+	const regSaveSize = 256
+	regSave := s.End() - regSaveSize
+	stackTop := regSave - 16
+	lay := &Layout{
+		Seg:       s,
+		HeapBase:  heapBase,
+		Brk:       heapBase,
+		HeapLimit: s.End() - stackSize - guardSize,
+		StackTop:  stackTop,
+		RegSave:   regSave,
+	}
+	// The guard page between heap and stack stays unmapped in spirit:
+	// revoke all access so runaway heap writes fault.
+	if err := mem.Protect(lay.HeapLimit&^uint32(seg.PageSize-1), guardSize, 0); err != nil {
+		return nil, fmt.Errorf("hostapi: guard page: %w", err)
+	}
+	return lay, nil
+}
+
+// Env is the per-module host environment.
+type Env struct {
+	Mem    *seg.Memory
+	Out    io.Writer
+	Layout *Layout
+
+	Exited   bool
+	ExitCode int32
+
+	// Handler is the module-registered access-violation handler
+	// (instruction index), or -1.
+	Handler int32
+
+	// Stats
+	SyscallCount [NumSyscalls]uint64
+}
+
+// NewEnv creates an environment writing module output to out.
+func NewEnv(mem *seg.Memory, lay *Layout, out io.Writer) *Env {
+	return &Env{Mem: mem, Out: out, Layout: lay, Handler: -1}
+}
+
+// Syscall dispatches host call num. It returns an error only for
+// malformed requests that the host refuses (bad syscall number, bad
+// buffer); module-visible failures are returned in r1 per the ABI.
+func (e *Env) Syscall(num int32, cpu CPU) error {
+	if num < 0 || num >= NumSyscalls {
+		return fmt.Errorf("hostapi: bad syscall %d", num)
+	}
+	e.SyscallCount[num]++
+	switch num {
+	case SysExit:
+		e.Exited = true
+		e.ExitCode = int32(cpu.IntReg(ovm.RArg0))
+	case SysPutc:
+		fmt.Fprintf(e.Out, "%c", byte(cpu.IntReg(ovm.RArg0)))
+	case SysPuts:
+		s, f := e.Mem.ReadCString(cpu.IntReg(ovm.RArg0), 1<<20)
+		if f != nil {
+			return f
+		}
+		io.WriteString(e.Out, s)
+	case SysPrintInt:
+		fmt.Fprintf(e.Out, "%d", int32(cpu.IntReg(ovm.RArg0)))
+	case SysPrintUint:
+		fmt.Fprintf(e.Out, "%d", cpu.IntReg(ovm.RArg0))
+	case SysSbrk:
+		incr := int32(cpu.IntReg(ovm.RArg0))
+		old := e.Layout.Brk
+		nw := uint32(int64(old) + int64(incr))
+		if nw < e.Layout.HeapBase || nw > e.Layout.HeapLimit {
+			cpu.SetIntReg(ovm.RRet, 0xffffffff)
+			return nil
+		}
+		e.Layout.Brk = nw
+		cpu.SetIntReg(ovm.RRet, old)
+	case SysClock:
+		cpu.SetIntReg(ovm.RRet, uint32(cpu.Cycles()))
+	case SysPrintFlt:
+		fmt.Fprintf(e.Out, "%g", cpu.FPReg(1))
+	case SysWrite:
+		addr, n := cpu.IntReg(ovm.RArg0), cpu.IntReg(ovm.RArg1)
+		if n > 1<<20 {
+			return fmt.Errorf("hostapi: write length %d too large", n)
+		}
+		b, f := e.Mem.ReadBytes(addr, int(n))
+		if f != nil {
+			return f
+		}
+		e.Out.Write(b)
+		cpu.SetIntReg(ovm.RRet, n)
+	case SysSetHandler:
+		e.Handler = int32(cpu.IntReg(ovm.RArg0))
+	}
+	return nil
+}

@@ -1,0 +1,180 @@
+package hostapi
+
+import (
+	"strings"
+	"testing"
+
+	"omniware/internal/ovm"
+	"omniware/internal/seg"
+)
+
+type fakeCPU struct {
+	r [16]uint32
+	f [16]float64
+}
+
+func (c *fakeCPU) IntReg(i int) uint32       { return c.r[i] }
+func (c *fakeCPU) SetIntReg(i int, v uint32) { c.r[i] = v }
+func (c *fakeCPU) FPReg(i int) float64       { return c.f[i] }
+func (c *fakeCPU) SetFPReg(i int, v float64) { c.f[i] = v }
+func (c *fakeCPU) Cycles() uint64            { return 1234 }
+
+func newEnv(t *testing.T) (*Env, *seg.Memory, *fakeCPU) {
+	t.Helper()
+	var mem seg.Memory
+	mod := &ovm.Module{
+		Text:     []ovm.Inst{{Op: ovm.HALT}},
+		Data:     []byte("hello\x00"),
+		BSSSize:  64,
+		DataBase: 0x20000000,
+	}
+	lay, err := Load(&mem, mod, 1<<16, 1<<16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var out strings.Builder
+	env := NewEnv(&mem, lay, &out)
+	return env, &mem, &fakeCPU{}
+}
+
+func output(e *Env) string { return e.Out.(*strings.Builder).String() }
+
+func TestLoadLayout(t *testing.T) {
+	env, mem, _ := newEnv(t)
+	lay := env.Layout
+	if lay.Seg.Base != 0x20000000 {
+		t.Errorf("base %#x", lay.Seg.Base)
+	}
+	// Power-of-two segment (needed by SFI masks).
+	if s := lay.Seg.Size(); s&(s-1) != 0 {
+		t.Errorf("segment size %#x not a power of two", s)
+	}
+	if lay.StackTop <= lay.HeapBase || lay.StackTop >= lay.Seg.End() {
+		t.Errorf("stack top %#x out of place", lay.StackTop)
+	}
+	if lay.RegSave != lay.Seg.End()-256 {
+		t.Errorf("regsave %#x", lay.RegSave)
+	}
+	// Data image copied in.
+	b, f := mem.ReadCString(0x20000000, 16)
+	if f != nil || b != "hello" {
+		t.Errorf("data image: %q %v", b, f)
+	}
+	// Guard page between heap and stack rejects access.
+	if fault := mem.StoreU8(lay.HeapLimit, 1); fault == nil {
+		t.Error("guard page writable")
+	}
+}
+
+func TestSyscallOutput(t *testing.T) {
+	env, _, cpu := newEnv(t)
+	cpu.SetIntReg(ovm.RArg0, 'A')
+	if err := env.Syscall(SysPutc, cpu); err != nil {
+		t.Fatal(err)
+	}
+	cpu.SetIntReg(ovm.RArg0, 0x20000000) // "hello"
+	if err := env.Syscall(SysPuts, cpu); err != nil {
+		t.Fatal(err)
+	}
+	neg42 := int32(-42)
+	cpu.SetIntReg(ovm.RArg0, uint32(neg42))
+	if err := env.Syscall(SysPrintInt, cpu); err != nil {
+		t.Fatal(err)
+	}
+	cpu.SetIntReg(ovm.RArg0, 4000000000)
+	if err := env.Syscall(SysPrintUint, cpu); err != nil {
+		t.Fatal(err)
+	}
+	cpu.SetFPReg(1, 2.5)
+	if err := env.Syscall(SysPrintFlt, cpu); err != nil {
+		t.Fatal(err)
+	}
+	want := "Ahello-4240000000002.5"
+	if got := output(env); got != want {
+		t.Errorf("output %q, want %q", got, want)
+	}
+}
+
+func TestSyscallSbrk(t *testing.T) {
+	env, _, cpu := newEnv(t)
+	start := env.Layout.Brk
+	cpu.SetIntReg(ovm.RArg0, 128)
+	env.Syscall(SysSbrk, cpu)
+	if cpu.IntReg(ovm.RRet) != start {
+		t.Errorf("first sbrk returned %#x, want %#x", cpu.IntReg(ovm.RRet), start)
+	}
+	cpu.SetIntReg(ovm.RArg0, 0)
+	env.Syscall(SysSbrk, cpu)
+	if cpu.IntReg(ovm.RRet) != start+128 {
+		t.Errorf("brk did not advance")
+	}
+	// Exhaustion returns -1 and does not move the break.
+	cpu.SetIntReg(ovm.RArg0, 0x7fffffff)
+	env.Syscall(SysSbrk, cpu)
+	if cpu.IntReg(ovm.RRet) != 0xffffffff {
+		t.Errorf("exhaustion returned %#x", cpu.IntReg(ovm.RRet))
+	}
+	if env.Layout.Brk != start+128 {
+		t.Errorf("break moved on failure")
+	}
+}
+
+func TestSyscallClockAndHandler(t *testing.T) {
+	env, _, cpu := newEnv(t)
+	env.Syscall(SysClock, cpu)
+	if cpu.IntReg(ovm.RRet) != 1234 {
+		t.Errorf("clock %d", cpu.IntReg(ovm.RRet))
+	}
+	if env.Handler != -1 {
+		t.Errorf("default handler %d", env.Handler)
+	}
+	cpu.SetIntReg(ovm.RArg0, 7)
+	env.Syscall(SysSetHandler, cpu)
+	if env.Handler != 7 {
+		t.Errorf("handler %d", env.Handler)
+	}
+}
+
+func TestSyscallWriteAndExit(t *testing.T) {
+	env, _, cpu := newEnv(t)
+	cpu.SetIntReg(ovm.RArg0, 0x20000000)
+	cpu.SetIntReg(ovm.RArg1, 5)
+	if err := env.Syscall(SysWrite, cpu); err != nil {
+		t.Fatal(err)
+	}
+	if cpu.IntReg(ovm.RRet) != 5 || output(env) != "hello" {
+		t.Errorf("write: ret=%d out=%q", cpu.IntReg(ovm.RRet), output(env))
+	}
+	neg := int32(-3)
+	cpu.SetIntReg(ovm.RArg0, uint32(neg))
+	env.Syscall(SysExit, cpu)
+	if !env.Exited || env.ExitCode != -3 {
+		t.Errorf("exit: %v %d", env.Exited, env.ExitCode)
+	}
+}
+
+func TestSyscallErrors(t *testing.T) {
+	env, _, cpu := newEnv(t)
+	if err := env.Syscall(99, cpu); err == nil {
+		t.Error("bad syscall number accepted")
+	}
+	cpu.SetIntReg(ovm.RArg0, 0x00000010) // unmapped
+	if err := env.Syscall(SysPuts, cpu); err == nil {
+		t.Error("puts from unmapped memory accepted")
+	}
+	cpu.SetIntReg(ovm.RArg0, 0x20000000)
+	cpu.SetIntReg(ovm.RArg1, 1<<24)
+	if err := env.Syscall(SysWrite, cpu); err == nil {
+		t.Error("giant write accepted")
+	}
+}
+
+func TestSyscallCounts(t *testing.T) {
+	env, _, cpu := newEnv(t)
+	cpu.SetIntReg(ovm.RArg0, 'x')
+	env.Syscall(SysPutc, cpu)
+	env.Syscall(SysPutc, cpu)
+	if env.SyscallCount[SysPutc] != 2 {
+		t.Errorf("count %d", env.SyscallCount[SysPutc])
+	}
+}

@@ -1,0 +1,509 @@
+// Package interp executes OmniVM modules by abstract-machine
+// interpretation. This is the classic "safe but slow" mobile-code
+// baseline the paper compares against (§2, §4.4): every memory access is
+// checked through the segmented memory model and every instruction pays
+// a dispatch cost. Cycle accounting charges DispatchCPI virtual cycles
+// per instruction so interpreted and translated execution times are
+// directly comparable.
+package interp
+
+import (
+	"fmt"
+	"math"
+
+	"omniware/internal/hostapi"
+	"omniware/internal/ovm"
+	"omniware/internal/seg"
+)
+
+// DispatchCPI is the virtual cycle cost charged per interpreted
+// instruction: decode-dispatch plus operand handling, typical of a
+// threaded-code interpreter on a 90s RISC.
+const DispatchCPI = 12
+
+// ExcKind codes delivered to a module's access-violation handler in r1.
+const (
+	ExcUnmapped  = 1
+	ExcProt      = 2
+	ExcUnaligned = 3
+	ExcDivZero   = 4
+	ExcBadJump   = 5
+	ExcBreak     = 6
+)
+
+// Result summarizes a finished execution.
+type Result struct {
+	ExitCode int32
+	Steps    uint64 // OmniVM instructions executed
+	Cycles   uint64 // Steps * DispatchCPI
+	Faulted  bool   // terminated by an unhandled exception
+	Fault    string // description when Faulted
+}
+
+// Machine is an OmniVM interpreter instance.
+type Machine struct {
+	Text []ovm.Inst
+	Mem  *seg.Memory
+	Env  *hostapi.Env
+
+	PC    int32
+	Reg   [ovm.NumIntRegs]uint32
+	FReg  [ovm.NumFPRegs]float64
+	steps uint64
+
+	// MaxSteps bounds execution (0 = no bound).
+	MaxSteps uint64
+}
+
+// New prepares a machine for module m, with its data already loaded by
+// hostapi.Load.
+func New(m *ovm.Module, mem *seg.Memory, env *hostapi.Env) *Machine {
+	mc := &Machine{Text: m.Text, Mem: mem, Env: env, PC: m.Entry}
+	mc.Reg[ovm.RSP] = env.Layout.StackTop
+	mc.Reg[ovm.RRA] = int32max // returning from entry halts
+	return mc
+}
+
+const int32max = 0x7fffffff
+
+// CPU interface for hostapi.
+
+// IntReg returns integer register i.
+func (m *Machine) IntReg(i int) uint32 { return m.Reg[i] }
+
+// SetIntReg sets integer register i (writes to r0 are discarded).
+func (m *Machine) SetIntReg(i int, v uint32) {
+	if i != ovm.RZero {
+		m.Reg[i] = v
+	}
+}
+
+// FPReg returns FP register i.
+func (m *Machine) FPReg(i int) float64 { return m.FReg[i] }
+
+// SetFPReg sets FP register i.
+func (m *Machine) SetFPReg(i int, v float64) { m.FReg[i] = v }
+
+// Cycles returns elapsed virtual cycles.
+func (m *Machine) Cycles() uint64 { return m.steps * DispatchCPI }
+
+// exception delivers an access violation to the module handler, or
+// terminates.
+func (m *Machine) exception(kind uint32, addr uint32, desc string) (Result, bool) {
+	if m.Env.Handler >= 0 && m.Env.Handler < int32(len(m.Text)) {
+		m.Reg[1] = kind
+		m.Reg[2] = addr
+		m.Reg[3] = uint32(m.PC)
+		m.PC = m.Env.Handler
+		return Result{}, false
+	}
+	return Result{
+		ExitCode: -1,
+		Steps:    m.steps,
+		Cycles:   m.Cycles(),
+		Faulted:  true,
+		Fault:    desc,
+	}, true
+}
+
+func faultKind(f *seg.Fault) uint32 {
+	switch f.Kind {
+	case seg.FaultUnmapped:
+		return ExcUnmapped
+	case seg.FaultProt:
+		return ExcProt
+	default:
+		return ExcUnaligned
+	}
+}
+
+// Run executes until HALT, exit, an unhandled exception, or MaxSteps.
+func (m *Machine) Run() (Result, error) {
+	text := m.Text
+	n := int32(len(text))
+	for {
+		if m.MaxSteps > 0 && m.steps >= m.MaxSteps {
+			return Result{}, fmt.Errorf("interp: step budget %d exhausted at pc=%d", m.MaxSteps, m.PC)
+		}
+		if m.PC < 0 || m.PC >= n {
+			if r, done := m.exception(ExcBadJump, uint32(m.PC), fmt.Sprintf("interp: pc %d out of text", m.PC)); done {
+				return r, nil
+			}
+			continue
+		}
+		in := text[m.PC]
+		m.steps++
+		next := m.PC + 1
+		r := &m.Reg
+		f := &m.FReg
+
+		switch in.Op {
+		case ovm.NOP:
+		case ovm.ADD:
+			m.set(in.Rd, r[in.Rs1]+r[in.Rs2])
+		case ovm.SUB:
+			m.set(in.Rd, r[in.Rs1]-r[in.Rs2])
+		case ovm.MUL:
+			m.set(in.Rd, uint32(int32(r[in.Rs1])*int32(r[in.Rs2])))
+		case ovm.DIV, ovm.DIVU, ovm.REM, ovm.REMU:
+			if r[in.Rs2] == 0 {
+				if res, done := m.exception(ExcDivZero, 0, "interp: division by zero"); done {
+					return res, nil
+				}
+				continue
+			}
+			switch in.Op {
+			case ovm.DIV:
+				m.set(in.Rd, uint32(int32(r[in.Rs1])/int32(r[in.Rs2])))
+			case ovm.DIVU:
+				m.set(in.Rd, r[in.Rs1]/r[in.Rs2])
+			case ovm.REM:
+				m.set(in.Rd, uint32(int32(r[in.Rs1])%int32(r[in.Rs2])))
+			case ovm.REMU:
+				m.set(in.Rd, r[in.Rs1]%r[in.Rs2])
+			}
+		case ovm.AND:
+			m.set(in.Rd, r[in.Rs1]&r[in.Rs2])
+		case ovm.OR:
+			m.set(in.Rd, r[in.Rs1]|r[in.Rs2])
+		case ovm.XOR:
+			m.set(in.Rd, r[in.Rs1]^r[in.Rs2])
+		case ovm.SLL:
+			m.set(in.Rd, r[in.Rs1]<<(r[in.Rs2]&31))
+		case ovm.SRL:
+			m.set(in.Rd, r[in.Rs1]>>(r[in.Rs2]&31))
+		case ovm.SRA:
+			m.set(in.Rd, uint32(int32(r[in.Rs1])>>(r[in.Rs2]&31)))
+		case ovm.SLT:
+			m.set(in.Rd, b2u(int32(r[in.Rs1]) < int32(r[in.Rs2])))
+		case ovm.SLTU:
+			m.set(in.Rd, b2u(r[in.Rs1] < r[in.Rs2]))
+
+		case ovm.ADDI:
+			m.set(in.Rd, r[in.Rs1]+uint32(in.Imm))
+		case ovm.MULI:
+			m.set(in.Rd, uint32(int32(r[in.Rs1])*in.Imm))
+		case ovm.ANDI:
+			m.set(in.Rd, r[in.Rs1]&uint32(in.Imm))
+		case ovm.ORI:
+			m.set(in.Rd, r[in.Rs1]|uint32(in.Imm))
+		case ovm.XORI:
+			m.set(in.Rd, r[in.Rs1]^uint32(in.Imm))
+		case ovm.SLLI:
+			m.set(in.Rd, r[in.Rs1]<<(uint32(in.Imm)&31))
+		case ovm.SRLI:
+			m.set(in.Rd, r[in.Rs1]>>(uint32(in.Imm)&31))
+		case ovm.SRAI:
+			m.set(in.Rd, uint32(int32(r[in.Rs1])>>(uint32(in.Imm)&31)))
+		case ovm.SLTI:
+			m.set(in.Rd, b2u(int32(r[in.Rs1]) < in.Imm))
+		case ovm.SLTIU:
+			m.set(in.Rd, b2u(r[in.Rs1] < uint32(in.Imm)))
+
+		case ovm.LDI, ovm.LDA:
+			m.set(in.Rd, uint32(in.Imm))
+
+		case ovm.EXTB:
+			m.set(in.Rd, (r[in.Rs1]>>(8*uint32(in.Imm&3)))&0xff)
+		case ovm.INSB:
+			sh := 8 * uint32(in.Imm&3)
+			m.set(in.Rd, (r[in.Rs1]&^(0xff<<sh))|((r[in.Rs2]&0xff)<<sh))
+
+		case ovm.LDB, ovm.LDBU, ovm.LDH, ovm.LDHU, ovm.LDW,
+			ovm.LDBX, ovm.LDBUX, ovm.LDHX, ovm.LDHUX, ovm.LDWX:
+			addr := m.effAddr(in)
+			v, flt := m.load(in.Op, addr)
+			if flt != nil {
+				if res, done := m.exception(faultKind(flt), addr, flt.Error()); done {
+					return res, nil
+				}
+				continue
+			}
+			m.set(in.Rd, v)
+
+		case ovm.STB, ovm.STH, ovm.STW, ovm.STBX, ovm.STHX, ovm.STWX:
+			addr := m.effAddr(in)
+			var flt *seg.Fault
+			switch in.Op.MemSize() {
+			case 1:
+				flt = m.Mem.StoreU8(addr, uint8(r[in.Rd]))
+			case 2:
+				flt = m.Mem.StoreU16(addr, uint16(r[in.Rd]))
+			default:
+				flt = m.Mem.StoreU32(addr, r[in.Rd])
+			}
+			if flt != nil {
+				if res, done := m.exception(faultKind(flt), addr, flt.Error()); done {
+					return res, nil
+				}
+				continue
+			}
+
+		case ovm.LDF, ovm.LDFX:
+			addr := m.effAddr(in)
+			v, flt := m.Mem.LoadU32(addr)
+			if flt != nil {
+				if res, done := m.exception(faultKind(flt), addr, flt.Error()); done {
+					return res, nil
+				}
+				continue
+			}
+			f[in.Rd] = float64(math.Float32frombits(v))
+		case ovm.LDD, ovm.LDDX:
+			addr := m.effAddr(in)
+			v, flt := m.Mem.LoadU64(addr)
+			if flt != nil {
+				if res, done := m.exception(faultKind(flt), addr, flt.Error()); done {
+					return res, nil
+				}
+				continue
+			}
+			f[in.Rd] = math.Float64frombits(v)
+		case ovm.STF, ovm.STFX:
+			addr := m.effAddr(in)
+			if flt := m.Mem.StoreU32(addr, math.Float32bits(float32(f[in.Rd]))); flt != nil {
+				if res, done := m.exception(faultKind(flt), addr, flt.Error()); done {
+					return res, nil
+				}
+				continue
+			}
+		case ovm.STD, ovm.STDX:
+			addr := m.effAddr(in)
+			if flt := m.Mem.StoreU64(addr, math.Float64bits(f[in.Rd])); flt != nil {
+				if res, done := m.exception(faultKind(flt), addr, flt.Error()); done {
+					return res, nil
+				}
+				continue
+			}
+
+		case ovm.FADDS:
+			f[in.Rd] = float64(float32(f[in.Rs1]) + float32(f[in.Rs2]))
+		case ovm.FSUBS:
+			f[in.Rd] = float64(float32(f[in.Rs1]) - float32(f[in.Rs2]))
+		case ovm.FMULS:
+			f[in.Rd] = float64(float32(f[in.Rs1]) * float32(f[in.Rs2]))
+		case ovm.FDIVS:
+			f[in.Rd] = float64(float32(f[in.Rs1]) / float32(f[in.Rs2]))
+		case ovm.FADDD:
+			f[in.Rd] = f[in.Rs1] + f[in.Rs2]
+		case ovm.FSUBD:
+			f[in.Rd] = f[in.Rs1] - f[in.Rs2]
+		case ovm.FMULD:
+			f[in.Rd] = f[in.Rs1] * f[in.Rs2]
+		case ovm.FDIVD:
+			f[in.Rd] = f[in.Rs1] / f[in.Rs2]
+		case ovm.FNEGS:
+			f[in.Rd] = float64(-float32(f[in.Rs1]))
+		case ovm.FNEGD:
+			f[in.Rd] = -f[in.Rs1]
+		case ovm.FABSS:
+			f[in.Rd] = float64(float32(math.Abs(f[in.Rs1])))
+		case ovm.FABSD:
+			f[in.Rd] = math.Abs(f[in.Rs1])
+		case ovm.FMOV:
+			f[in.Rd] = f[in.Rs1]
+
+		case ovm.CVTWS:
+			f[in.Rd] = float64(float32(int32(r[in.Rs1])))
+		case ovm.CVTWD:
+			f[in.Rd] = float64(int32(r[in.Rs1]))
+		case ovm.CVTSW:
+			m.set(in.Rd, uint32(truncToI32(float64(float32(f[in.Rs1])))))
+		case ovm.CVTDW:
+			m.set(in.Rd, uint32(truncToI32(f[in.Rs1])))
+		case ovm.CVTSD:
+			f[in.Rd] = float64(float32(f[in.Rs1]))
+		case ovm.CVTDS:
+			f[in.Rd] = float64(float32(f[in.Rs1]))
+		case ovm.MOVWF:
+			f[in.Rd] = float64(math.Float32frombits(r[in.Rs1]))
+		case ovm.MOVFW:
+			m.set(in.Rd, math.Float32bits(float32(f[in.Rs1])))
+
+		case ovm.BEQ:
+			if r[in.Rs1] == r[in.Rs2] {
+				next = in.Imm2
+			}
+		case ovm.BNE:
+			if r[in.Rs1] != r[in.Rs2] {
+				next = in.Imm2
+			}
+		case ovm.BLT:
+			if int32(r[in.Rs1]) < int32(r[in.Rs2]) {
+				next = in.Imm2
+			}
+		case ovm.BLE:
+			if int32(r[in.Rs1]) <= int32(r[in.Rs2]) {
+				next = in.Imm2
+			}
+		case ovm.BGT:
+			if int32(r[in.Rs1]) > int32(r[in.Rs2]) {
+				next = in.Imm2
+			}
+		case ovm.BGE:
+			if int32(r[in.Rs1]) >= int32(r[in.Rs2]) {
+				next = in.Imm2
+			}
+		case ovm.BLTU:
+			if r[in.Rs1] < r[in.Rs2] {
+				next = in.Imm2
+			}
+		case ovm.BLEU:
+			if r[in.Rs1] <= r[in.Rs2] {
+				next = in.Imm2
+			}
+		case ovm.BGTU:
+			if r[in.Rs1] > r[in.Rs2] {
+				next = in.Imm2
+			}
+		case ovm.BGEU:
+			if r[in.Rs1] >= r[in.Rs2] {
+				next = in.Imm2
+			}
+
+		case ovm.BEQI:
+			if int32(r[in.Rs1]) == in.Imm {
+				next = in.Imm2
+			}
+		case ovm.BNEI:
+			if int32(r[in.Rs1]) != in.Imm {
+				next = in.Imm2
+			}
+		case ovm.BLTI:
+			if int32(r[in.Rs1]) < in.Imm {
+				next = in.Imm2
+			}
+		case ovm.BLEI:
+			if int32(r[in.Rs1]) <= in.Imm {
+				next = in.Imm2
+			}
+		case ovm.BGTI:
+			if int32(r[in.Rs1]) > in.Imm {
+				next = in.Imm2
+			}
+		case ovm.BGEI:
+			if int32(r[in.Rs1]) >= in.Imm {
+				next = in.Imm2
+			}
+		case ovm.BLTUI:
+			if r[in.Rs1] < uint32(in.Imm) {
+				next = in.Imm2
+			}
+		case ovm.BLEUI:
+			if r[in.Rs1] <= uint32(in.Imm) {
+				next = in.Imm2
+			}
+		case ovm.BGTUI:
+			if r[in.Rs1] > uint32(in.Imm) {
+				next = in.Imm2
+			}
+		case ovm.BGEUI:
+			if r[in.Rs1] >= uint32(in.Imm) {
+				next = in.Imm2
+			}
+
+		case ovm.FBEQ:
+			if f[in.Rs1] == f[in.Rs2] {
+				next = in.Imm2
+			}
+		case ovm.FBNE:
+			if f[in.Rs1] != f[in.Rs2] {
+				next = in.Imm2
+			}
+		case ovm.FBLT:
+			if f[in.Rs1] < f[in.Rs2] {
+				next = in.Imm2
+			}
+		case ovm.FBLE:
+			if f[in.Rs1] <= f[in.Rs2] {
+				next = in.Imm2
+			}
+
+		case ovm.JMP:
+			next = in.Imm2
+		case ovm.JAL:
+			m.set(in.Rd, uint32(m.PC+1))
+			next = in.Imm2
+		case ovm.JALR:
+			t := int32(r[in.Rs1])
+			m.set(in.Rd, uint32(m.PC+1))
+			next = t
+		case ovm.JR:
+			next = int32(r[in.Rs1])
+
+		case ovm.SYSCALL:
+			if err := m.Env.Syscall(in.Imm, m); err != nil {
+				return Result{}, fmt.Errorf("interp: pc=%d: %w", m.PC, err)
+			}
+			if m.Env.Exited {
+				return Result{ExitCode: m.Env.ExitCode, Steps: m.steps, Cycles: m.Cycles()}, nil
+			}
+		case ovm.BREAK:
+			if res, done := m.exception(ExcBreak, uint32(m.PC), "interp: breakpoint"); done {
+				return res, nil
+			}
+			continue
+		case ovm.HALT:
+			return Result{ExitCode: int32(r[ovm.RRet]), Steps: m.steps, Cycles: m.Cycles()}, nil
+
+		default:
+			return Result{}, fmt.Errorf("interp: pc=%d: unimplemented opcode %s", m.PC, in.Op.Name())
+		}
+		m.PC = next
+	}
+}
+
+func (m *Machine) set(rd uint8, v uint32) {
+	if rd != ovm.RZero {
+		m.Reg[rd] = v
+	}
+}
+
+func (m *Machine) effAddr(in ovm.Inst) uint32 {
+	if in.Op.IsIndexed() {
+		return m.Reg[in.Rs1] + m.Reg[in.Rs2]
+	}
+	return m.Reg[in.Rs1] + uint32(in.Imm)
+}
+
+func (m *Machine) load(op ovm.Opcode, addr uint32) (uint32, *seg.Fault) {
+	switch op {
+	case ovm.LDB, ovm.LDBX:
+		v, f := m.Mem.LoadU8(addr)
+		return uint32(int32(int8(v))), f
+	case ovm.LDBU, ovm.LDBUX:
+		v, f := m.Mem.LoadU8(addr)
+		return uint32(v), f
+	case ovm.LDH, ovm.LDHX:
+		v, f := m.Mem.LoadU16(addr)
+		return uint32(int32(int16(v))), f
+	case ovm.LDHU, ovm.LDHUX:
+		v, f := m.Mem.LoadU16(addr)
+		return uint32(v), f
+	default:
+		return m.Mem.LoadU32(addr)
+	}
+}
+
+func b2u(b bool) uint32 {
+	if b {
+		return 1
+	}
+	return 0
+}
+
+// truncToI32 converts with C semantics: truncation toward zero, with
+// out-of-range values clamped (defined behaviour for the VM even though
+// C leaves it undefined).
+func truncToI32(v float64) int32 {
+	if math.IsNaN(v) {
+		return 0
+	}
+	if v >= math.MaxInt32 {
+		return math.MaxInt32
+	}
+	if v <= math.MinInt32 {
+		return math.MinInt32
+	}
+	return int32(v)
+}

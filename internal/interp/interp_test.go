@@ -1,0 +1,517 @@
+package interp
+
+import (
+	"strings"
+	"testing"
+
+	"omniware/internal/asm"
+	"omniware/internal/hostapi"
+	"omniware/internal/link"
+	"omniware/internal/ovm"
+	"omniware/internal/seg"
+)
+
+// run assembles, links, loads and executes src, returning the result and
+// captured output.
+func run(t *testing.T, src string) (Result, string) {
+	t.Helper()
+	o, err := asm.Assemble("t.s", src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := link.Link([]*ovm.Object{o}, link.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var mem seg.Memory
+	lay, err := hostapi.Load(&mem, m, 1<<20, 1<<20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var out strings.Builder
+	env := hostapi.NewEnv(&mem, lay, &out)
+	mc := New(m, &mem, env)
+	mc.MaxSteps = 10_000_000
+	res, err := mc.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res, out.String()
+}
+
+func TestArithmetic(t *testing.T) {
+	res, _ := run(t, `
+.text
+.globl main
+main:
+	ldi r1, 6
+	ldi r2, 7
+	mul r3, r1, r2      # 42
+	ldi r4, 5
+	div r5, r3, r4      # 8
+	rem r6, r3, r4      # 2
+	add r1, r5, r6      # 10
+	slli r1, r1, 2      # 40
+	addi r1, r1, 2      # 42
+	halt
+`)
+	if res.ExitCode != 42 {
+		t.Errorf("exit %d", res.ExitCode)
+	}
+	if res.Steps != 10 {
+		t.Errorf("steps %d", res.Steps)
+	}
+	if res.Cycles != 10*DispatchCPI {
+		t.Errorf("cycles %d", res.Cycles)
+	}
+}
+
+func TestSignedUnsigned(t *testing.T) {
+	res, _ := run(t, `
+.text
+.globl main
+main:
+	ldi r1, -8
+	ldi r2, 2
+	div r3, r1, r2       # -4
+	srai r4, r1, 1       # -4
+	bne r3, r4, fail
+	srli r5, r1, 28      # 15
+	bnei r5, 15, fail
+	sltu r6, r2, r1      # 2 <u -8: 1
+	bnei r6, 1, fail
+	slt r7, r1, r2       # -8 < 2: 1
+	bnei r7, 1, fail
+	ldi r1, 0
+	halt
+fail:
+	ldi r1, 1
+	halt
+`)
+	if res.ExitCode != 0 {
+		t.Errorf("exit %d", res.ExitCode)
+	}
+}
+
+func TestLoop(t *testing.T) {
+	res, _ := run(t, `
+.text
+.globl main
+main:
+	ldi r1, 0
+	ldi r2, 0
+loop:
+	add r1, r1, r2
+	addi r2, r2, 1
+	blei r2, 100, loop
+	halt              # sum 0..100 = 5050
+`)
+	if res.ExitCode != 5050 {
+		t.Errorf("exit %d", res.ExitCode)
+	}
+}
+
+func TestMemoryAndData(t *testing.T) {
+	res, out := run(t, `
+.text
+.globl main
+main:
+	lda r5, tab
+	ldw r1, 0(r5)
+	ldw r2, 4(r5)
+	add r1, r1, r2
+	ldi r3, 8
+	ldwx r4, (r5+r3)
+	add r1, r1, r4
+	lda r6, msg
+	mov r1, r6
+	syscall 2          # puts
+	ldh r7, half(r0)
+	ldb r8, bytes(r0)
+	ldbu r9, bytes+1(r0)
+	add r1, r7, r8
+	add r1, r1, r9
+	halt
+.data
+tab:	.word 10, 20, 30
+half:	.half -2
+	.half 0
+msg:	.asciz "ok"
+bytes:	.byte -1, 255
+`)
+	// -2 + -1 + 255 = 252
+	if res.ExitCode != 252 {
+		t.Errorf("exit %d", res.ExitCode)
+	}
+	if out != "ok" {
+		t.Errorf("out %q", out)
+	}
+}
+
+func TestStoresAndBSS(t *testing.T) {
+	res, _ := run(t, `
+.text
+.globl main
+main:
+	lda r5, buf
+	ldi r1, 0x12345678
+	stw r1, 0(r5)
+	ldb r2, 0(r5)       # 0x78 (little-endian)
+	ldi r3, -1
+	stb r3, 3(r5)
+	ldw r4, 0(r5)
+	srli r4, r4, 24     # 0xff
+	add r1, r2, r4      # 0x78 + 0xff = 0x177 = 375
+	sth r1, 4(r5)
+	ldhu r1, 4(r5)
+	halt
+.bss
+buf: .space 16
+`)
+	if res.ExitCode != 375 {
+		t.Errorf("exit %d", res.ExitCode)
+	}
+}
+
+func TestCallsAndStack(t *testing.T) {
+	res, _ := run(t, `
+.text
+.globl main
+main:
+	addi r14, r14, -8
+	stw r15, 0(r14)
+	ldi r1, 10
+	call fact
+	ldw r15, 0(r14)
+	addi r14, r14, 8
+	halt
+fact:                     # recursive factorial... iterative to keep it short
+	ldi r2, 1
+floop:
+	blei r1, 1, fdone
+	mul r2, r2, r1
+	addi r1, r1, -1
+	jmp floop
+fdone:
+	mov r1, r2
+	ret
+`)
+	if res.ExitCode != 3628800 {
+		t.Errorf("exit %d", res.ExitCode)
+	}
+}
+
+func TestRecursion(t *testing.T) {
+	res, _ := run(t, `
+.text
+.globl main
+main:
+	ldi r1, 12
+	call fib
+	halt
+fib:                      # fib(n): n<2 -> n
+	bgei r1, 2, frec
+	ret
+frec:
+	addi r14, r14, -12
+	stw r15, 0(r14)
+	stw r10, 4(r14)
+	stw r1, 8(r14)
+	addi r1, r1, -1
+	call fib
+	mov r10, r1
+	ldw r1, 8(r14)
+	addi r1, r1, -2
+	call fib
+	add r1, r1, r10
+	ldw r15, 0(r14)
+	ldw r10, 4(r14)
+	addi r14, r14, 12
+	ret
+`)
+	if res.ExitCode != 144 {
+		t.Errorf("fib(12) = %d", res.ExitCode)
+	}
+}
+
+func TestIndirectCall(t *testing.T) {
+	res, _ := run(t, `
+.text
+.globl main
+main:
+	ldw r5, fp(r0)
+	jalr r15, r5
+	halt
+target:
+	ldi r1, 99
+	ret
+.data
+fp:	.word target
+`)
+	if res.ExitCode != 99 {
+		t.Errorf("exit %d", res.ExitCode)
+	}
+}
+
+func TestFloat(t *testing.T) {
+	res, out := run(t, `
+.text
+.globl main
+main:
+	ldd f1, pi(r0)
+	ldd f2, two(r0)
+	fmuld f3, f1, f2
+	cvtdw r1, f3          # 6
+	syscall 3             # print_int
+	ldi r2, 10
+	cvtwd f4, r2
+	faddd f5, f4, f3      # 16.28...
+	cvtdw r1, f5
+	fblt f2, f1, less     # 2.0 < pi: taken
+	halt
+less:
+	addi r1, r1, 100      # 116
+	halt
+.data
+.align 8
+pi:	.double 3.14159265358979
+two:	.double 2.0
+`)
+	if res.ExitCode != 116 {
+		t.Errorf("exit %d", res.ExitCode)
+	}
+	if out != "6" {
+		t.Errorf("out %q", out)
+	}
+}
+
+func TestFloatSingle(t *testing.T) {
+	res, _ := run(t, `
+.text
+.globl main
+main:
+	ldf f1, x(r0)
+	ldf f2, y(r0)
+	fadds f3, f1, f2
+	lda r5, buf
+	stf f3, 0(r5)
+	ldf f4, 0(r5)
+	cvtsw r1, f4
+	halt
+.data
+x:	.float 1.5
+y:	.float 2.75
+.bss
+buf: .space 8
+`)
+	if res.ExitCode != 4 { // trunc(4.25)
+		t.Errorf("exit %d", res.ExitCode)
+	}
+}
+
+func TestSyscalls(t *testing.T) {
+	res, out := run(t, `
+.text
+.globl main
+main:
+	ldi r1, 72
+	syscall 1            # putc 'H'
+	ldi r1, -5
+	syscall 3            # print_int
+	ldi r1, 4000000000
+	syscall 4            # print_uint
+	lda r1, msg
+	ldi r2, 3
+	syscall 8            # write
+	ldi r1, 0
+	syscall 0            # exit
+	ldi r1, 9            # unreachable
+	halt
+.data
+msg: .asciz "abcdef"
+`)
+	if res.ExitCode != 0 {
+		t.Errorf("exit %d", res.ExitCode)
+	}
+	if out != "H-54000000000abc" {
+		t.Errorf("out %q", out)
+	}
+}
+
+func TestSbrk(t *testing.T) {
+	res, _ := run(t, `
+.text
+.globl main
+main:
+	ldi r1, 64
+	syscall 5            # sbrk(64)
+	mov r5, r1
+	ldi r1, 64
+	syscall 5
+	sub r1, r1, r5       # second break - first = 64
+	halt
+`)
+	if res.ExitCode != 64 {
+		t.Errorf("exit %d", res.ExitCode)
+	}
+}
+
+func TestUnhandledFault(t *testing.T) {
+	res, _ := run(t, `
+.text
+.globl main
+main:
+	ldi r5, 0x00000100   # unmapped low memory
+	ldw r1, 0(r5)
+	halt
+`)
+	if !res.Faulted {
+		t.Fatal("no fault")
+	}
+	if !strings.Contains(res.Fault, "unmapped") {
+		t.Errorf("fault %q", res.Fault)
+	}
+}
+
+func TestHandledFault(t *testing.T) {
+	res, _ := run(t, `
+.text
+.globl main
+main:
+	lda r1, handler
+	syscall 9            # set_handler
+	ldi r5, 0x00000100
+	ldw r6, 0(r5)        # faults; handler resumes after
+	halt                 # not reached with r1==save
+handler:
+	# r1=kind, r2=addr, r3=faulting pc. Skip the faulting instruction.
+	mov r7, r1
+	addi r3, r3, 1
+	jr r3
+`)
+	// After resume, falls into halt with r1 = kind (moved to r7... r1 still kind).
+	if res.Faulted {
+		t.Fatalf("fault not handled: %s", res.Fault)
+	}
+	if res.ExitCode != ExcUnmapped {
+		t.Errorf("exit %d", res.ExitCode)
+	}
+}
+
+func TestDivZeroFault(t *testing.T) {
+	res, _ := run(t, `
+.text
+.globl main
+main:
+	ldi r1, 3
+	ldi r2, 0
+	div r3, r1, r2
+	halt
+`)
+	if !res.Faulted || !strings.Contains(res.Fault, "division") {
+		t.Errorf("res %+v", res)
+	}
+}
+
+func TestBadIndirectJump(t *testing.T) {
+	res, _ := run(t, `
+.text
+.globl main
+main:
+	ldi r5, 100000
+	jr r5
+	halt
+`)
+	if !res.Faulted {
+		t.Error("wild jump not caught")
+	}
+}
+
+func TestWriteProtectedPage(t *testing.T) {
+	// Build manually to protect a page after load.
+	o, err := asm.Assemble("t.s", `
+.text
+.globl main
+main:
+	lda r5, buf
+	ldi r1, 1
+	stw r1, 0(r5)
+	halt
+.bss
+.align 4096
+.globl buf
+buf: .space 4096
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := link.Link([]*ovm.Object{o}, link.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var mem seg.Memory
+	lay, err := hostapi.Load(&mem, m, 1<<20, 1<<20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	buf, _ := ovm.Lookup(m.Symbols, "buf")
+	if err := mem.Protect(buf.Value, seg.PageSize, seg.Read); err != nil {
+		t.Fatal(err)
+	}
+	var out strings.Builder
+	env := hostapi.NewEnv(&mem, lay, &out)
+	mc := New(m, &mem, env)
+	mc.MaxSteps = 1000
+	res, err := mc.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Faulted || !strings.Contains(res.Fault, "access violation") {
+		t.Errorf("res %+v", res)
+	}
+}
+
+func TestR0IsZero(t *testing.T) {
+	res, _ := run(t, `
+.text
+.globl main
+main:
+	ldi r0, 55
+	add r1, r0, r0
+	halt
+`)
+	if res.ExitCode != 0 {
+		t.Errorf("r0 written: %d", res.ExitCode)
+	}
+}
+
+func TestEndianNeutralOps(t *testing.T) {
+	res, _ := run(t, `
+.text
+.globl main
+main:
+	ldi r1, 0x11223344
+	extb r2, r1, 2        # 0x22
+	ldi r3, 0xAA
+	insb r1, r1, r3       # lane from Imm... insb uses Imm lane 0
+	andi r1, r1, 0xff     # 0xAA
+	add r1, r1, r2        # 0xCC = 204
+	halt
+`)
+	if res.ExitCode != 204 {
+		t.Errorf("exit %d", res.ExitCode)
+	}
+}
+
+func TestStepBudget(t *testing.T) {
+	o, _ := asm.Assemble("t.s", ".text\n.globl main\nmain:\n\tjmp main\n")
+	m, _ := link.Link([]*ovm.Object{o}, link.Options{})
+	var mem seg.Memory
+	lay, _ := hostapi.Load(&mem, m, 1<<16, 1<<16)
+	env := hostapi.NewEnv(&mem, lay, &strings.Builder{})
+	mc := New(m, &mem, env)
+	mc.MaxSteps = 100
+	if _, err := mc.Run(); err == nil {
+		t.Error("infinite loop not bounded")
+	}
+}

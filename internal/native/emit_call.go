@@ -1,0 +1,304 @@
+package native
+
+import (
+	"omniware/internal/cc/ir"
+	"omniware/internal/cc/regalloc"
+	"omniware/internal/target"
+)
+
+// mv is one pending parallel move. Sources and destinations are a
+// register, an sp-relative slot, or an absolute address (the OmniVM
+// register-save area, for machines that keep ABI registers in memory).
+type mv struct {
+	fp      bool
+	srcReg  target.Reg // NoReg when source is in memory
+	srcSlot int32      // sp offset; -1 if unused
+	srcAbs  int64      // absolute address; -1 if unused
+	dstReg  target.Reg
+	dstSlot int32
+	dstAbs  int64
+}
+
+func newMv(fp bool) mv {
+	return mv{fp: fp, srcReg: target.NoReg, srcSlot: -1, srcAbs: -1, dstReg: target.NoReg, dstSlot: -1, dstAbs: -1}
+}
+
+// resolveMoves emits parallel moves using the given scratch registers
+// to break cycles.
+func (e *emitter) resolveMoves(moves []mv, scratchI, scratchF target.Reg) {
+	sp := e.sp()
+	// loadSrc stages a memory source into a register.
+	loadSrc := func(m mv, into target.Reg) target.Reg {
+		if m.srcReg != target.NoReg {
+			return m.srcReg
+		}
+		if m.fp {
+			if m.srcAbs >= 0 {
+				e.emit(target.Inst{Op: target.Ld, Rd: into, Rs1: target.NoReg, Rs2: target.NoReg, Imm: int32(m.srcAbs)})
+			} else {
+				e.emit(target.Inst{Op: target.Ld, Rd: into, Rs1: sp, Rs2: target.NoReg, Imm: m.srcSlot})
+			}
+			return into
+		}
+		if m.srcAbs >= 0 {
+			e.emit(target.Inst{Op: target.Lw, Rd: into, Rs1: target.NoReg, Rs2: target.NoReg, Imm: int32(m.srcAbs)})
+		} else {
+			e.emit(target.Inst{Op: target.Lw, Rd: into, Rs1: sp, Rs2: target.NoReg, Imm: m.srcSlot})
+		}
+		return into
+	}
+	var regMoves []mv
+	for _, m := range moves {
+		if m.dstSlot >= 0 || m.dstAbs >= 0 {
+			scratch := scratchI
+			if m.fp {
+				scratch = scratchF
+			}
+			src := loadSrc(m, scratch)
+			op := target.Sw
+			if m.fp {
+				op = target.Sd
+			}
+			if m.dstAbs >= 0 {
+				e.emit(target.Inst{Op: op, Rd: src, Rs1: target.NoReg, Rs2: target.NoReg, Imm: int32(m.dstAbs)})
+			} else {
+				e.emit(target.Inst{Op: op, Rd: src, Rs1: sp, Rs2: target.NoReg, Imm: m.dstSlot})
+			}
+			continue
+		}
+		if m.srcSlot < 0 && m.srcAbs < 0 && m.srcReg == m.dstReg {
+			continue
+		}
+		regMoves = append(regMoves, m)
+	}
+	for len(regMoves) > 0 {
+		progress := false
+		for i := 0; i < len(regMoves); i++ {
+			m := regMoves[i]
+			blocked := false
+			for j, o := range regMoves {
+				if j == i || o.fp != m.fp {
+					continue
+				}
+				if o.srcReg != target.NoReg && o.srcReg == m.dstReg {
+					blocked = true
+					break
+				}
+			}
+			if blocked {
+				continue
+			}
+			e.emitMove(m)
+			regMoves = append(regMoves[:i], regMoves[i+1:]...)
+			progress = true
+			i--
+		}
+		if progress {
+			continue
+		}
+		// Cycle: stash the first source in scratch.
+		m := regMoves[0]
+		if m.fp {
+			e.emit(target.Inst{Op: target.Fmov, Rd: scratchF, Rs1: m.srcReg, Rs2: target.NoReg})
+		} else {
+			e.emit(target.Inst{Op: target.Mov, Rd: scratchI, Rs1: m.srcReg, Rs2: target.NoReg})
+		}
+		for i := range regMoves {
+			if regMoves[i].fp == m.fp && regMoves[i].srcReg != target.NoReg && regMoves[i].srcReg == m.srcReg {
+				if m.fp {
+					regMoves[i].srcReg = scratchF
+				} else {
+					regMoves[i].srcReg = scratchI
+				}
+			}
+		}
+	}
+}
+
+func (e *emitter) emitMove(m mv) {
+	sp := e.sp()
+	if m.fp {
+		switch {
+		case m.srcAbs >= 0:
+			e.emit(target.Inst{Op: target.Ld, Rd: m.dstReg, Rs1: target.NoReg, Rs2: target.NoReg, Imm: int32(m.srcAbs)})
+		case m.srcSlot >= 0:
+			e.emit(target.Inst{Op: target.Ld, Rd: m.dstReg, Rs1: sp, Rs2: target.NoReg, Imm: m.srcSlot})
+		default:
+			e.emit(target.Inst{Op: target.Fmov, Rd: m.dstReg, Rs1: m.srcReg, Rs2: target.NoReg})
+		}
+		return
+	}
+	switch {
+	case m.srcAbs >= 0:
+		e.emit(target.Inst{Op: target.Lw, Rd: m.dstReg, Rs1: target.NoReg, Rs2: target.NoReg, Imm: int32(m.srcAbs)})
+	case m.srcSlot >= 0:
+		e.emit(target.Inst{Op: target.Lw, Rd: m.dstReg, Rs1: sp, Rs2: target.NoReg, Imm: m.srcSlot})
+	default:
+		e.emit(target.Inst{Op: target.Mov, Rd: m.dstReg, Rs1: m.srcReg, Rs2: target.NoReg})
+	}
+}
+
+// paramMoves relocates incoming arguments to their allocated homes.
+func (e *emitter) paramMoves() {
+	m := e.c.m
+	ni, nf, off := 0, 0, 0
+	var moves []mv
+	for i, p := range e.f.Params {
+		fp := e.f.PClasses[i].IsFP()
+		l := e.loc(p)
+		mvv := newMv(fp)
+		if fp {
+			if nf < 4 {
+				mvv.srcReg = m.OmniFP[nf+1]
+				if mvv.srcReg == target.NoReg {
+					mvv.srcAbs = int64(e.c.regsave + target.FPSlotOffset(nf+1))
+				}
+				nf++
+			} else {
+				o := (off + 7) &^ 7
+				mvv.srcSlot = int32(e.fr.size + o)
+				off = o + 8
+			}
+		} else {
+			if ni < 4 {
+				mvv.srcReg = m.OmniInt[ni+1]
+				if mvv.srcReg == target.NoReg {
+					mvv.srcAbs = int64(regSaveAddr(e.c.regsave, ni+1))
+				}
+				ni++
+			} else {
+				mvv.srcSlot = int32(e.fr.size + off)
+				off += 4
+			}
+		}
+		if l.Kind == regalloc.InReg {
+			mvv.dstReg = target.Reg(l.Reg)
+		} else {
+			mvv.dstSlot = e.slotAddr(l.Slot, 0)
+		}
+		moves = append(moves, mvv)
+	}
+	e.resolveMoves(moves, target.Reg(e.ra.ScratchInt[1]), target.Reg(e.ra.ScratchFP[1]))
+}
+
+// call emits IR Call and Syscall instructions.
+func (e *emitter) call(in *ir.Inst) {
+	m := e.c.m
+
+	// For an indirect call, capture the target before argument moves
+	// clobber its register.
+	var fnReg target.Reg = target.NoReg
+	if in.Op == ir.Call && in.Sym == "" {
+		src := e.intUse(in.A, 0)
+		fnReg = target.Reg(e.ra.ScratchInt[0])
+		if src != fnReg {
+			e.emit(target.Inst{Op: target.Mov, Rd: fnReg, Rs1: src, Rs2: target.NoReg})
+		}
+	}
+
+	// Argument moves.
+	intIdx, fpIdx, _ := splitArgs(in)
+	var moves []mv
+	for i, a := range in.Args {
+		cls := ir.ClassW
+		if i < len(in.ACls) {
+			cls = in.ACls[i]
+		}
+		l := e.loc(a)
+		mvv := newMv(cls.IsFP())
+		if l.Kind == regalloc.InReg {
+			mvv.srcReg = target.Reg(l.Reg)
+		} else {
+			mvv.srcSlot = e.slotAddr(l.Slot, 0)
+		}
+		code := intIdx[i]
+		if cls.IsFP() {
+			code = fpIdx[i]
+		}
+		if code >= 0 {
+			if cls.IsFP() {
+				mvv.dstReg = m.OmniFP[code]
+				if mvv.dstReg == target.NoReg {
+					mvv.dstAbs = int64(e.c.regsave + target.FPSlotOffset(code))
+				}
+			} else {
+				mvv.dstReg = m.OmniInt[code]
+				if mvv.dstReg == target.NoReg {
+					mvv.dstAbs = int64(regSaveAddr(e.c.regsave, code))
+				}
+			}
+		} else {
+			mvv.dstSlot = int32(-2 - code) // outgoing area at sp+0
+		}
+		moves = append(moves, mvv)
+	}
+	e.resolveMoves(moves, target.Reg(e.ra.ScratchInt[1]), target.Reg(e.ra.ScratchFP[1]))
+
+	// Transfer.
+	switch {
+	case in.Op == ir.Syscall:
+		e.emit(target.Inst{Op: target.Syscall, Rd: target.NoReg, Rs1: target.NoReg, Rs2: target.NoReg, Imm: int32(in.Imm)})
+	case in.Sym != "":
+		e.emitCallTo(in.Sym, target.NoReg)
+	default:
+		e.emitCallTo("", fnReg)
+	}
+
+	// Result.
+	if in.HasDst() {
+		if in.Class.IsFP() {
+			fd, fl := e.fpDef(in.Dst)
+			ret := m.OmniFP[1]
+			if ret == target.NoReg {
+				e.emit(target.Inst{Op: target.Ld, Rd: fd, Rs1: target.NoReg, Rs2: target.NoReg, Imm: int32(e.c.regsave + target.FPSlotOffset(1))})
+			} else if fd != ret {
+				e.emit(target.Inst{Op: target.Fmov, Rd: fd, Rs1: ret, Rs2: target.NoReg})
+			}
+			fl()
+		} else {
+			rd, fl := e.intDef(in.Dst)
+			ret := m.OmniInt[1]
+			if ret == target.NoReg {
+				e.emit(target.Inst{Op: target.Lw, Rd: rd, Rs1: target.NoReg, Rs2: target.NoReg, Imm: int32(regSaveAddr(e.c.regsave, 1))})
+			} else if rd != ret {
+				e.emit(target.Inst{Op: target.Mov, Rd: rd, Rs1: ret, Rs2: target.NoReg})
+			}
+			fl()
+		}
+	}
+}
+
+// emitCallTo emits the control transfer of a call; sym names a direct
+// target, otherwise fnReg holds the target index. The continuation
+// starts a fresh unit whose id rides in Jal.Imm until finalize.
+func (e *emitter) emitCallTo(sym string, fnReg target.Reg) {
+	ra := e.raReg()
+	if ra != target.NoReg {
+		if sym != "" {
+			e.emit(target.Inst{Op: target.Jal, Rd: ra, Rs1: target.NoReg, Rs2: target.NoReg, Sym: sym, Imm: -1})
+		} else {
+			e.emit(target.Inst{Op: target.Jalr, Rd: ra, Rs1: fnReg, Rs2: target.NoReg, Imm: -1})
+		}
+		cont := e.beginUnit()
+		// Patch the Jal/Jalr continuation id.
+		prev := e.units[len(e.units)-1]
+		prev[len(prev)-1].Imm = int32(cont)
+		return
+	}
+	// Memory-resident return register (x86): explicit store then jump.
+	s := target.Reg(e.ra.ScratchInt[1])
+	e.emit(target.Inst{Op: target.MovI, Rd: s, Rs1: target.NoReg, Rs2: target.NoReg, Sym: retMark, Imm: -1})
+	e.emit(target.Inst{Op: target.Sw, Rd: s, Rs1: target.NoReg, Rs2: target.NoReg, Imm: int32(regSaveAddr(e.c.regsave, 15))})
+	if sym != "" {
+		e.emit(target.Inst{Op: target.J, Rd: target.NoReg, Rs1: target.NoReg, Rs2: target.NoReg, Sym: sym})
+	} else {
+		e.emit(target.Inst{Op: target.Jr, Rd: target.NoReg, Rs1: fnReg, Rs2: target.NoReg})
+	}
+	cont := e.beginUnit()
+	prev := e.units[len(e.units)-1]
+	for i := range prev {
+		if prev[i].Op == target.MovI && prev[i].Sym == retMark && prev[i].Imm == -1 {
+			prev[i].Imm = int32(cont)
+		}
+	}
+}

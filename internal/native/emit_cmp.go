@@ -1,0 +1,431 @@
+package native
+
+import (
+	"omniware/internal/cc/ir"
+	"omniware/internal/target"
+)
+
+func irCC(cc ir.CC) target.CC { return target.CC(cc) }
+
+// setReg materializes an integer reg-reg comparison result (0/1) using
+// slt-style sequences.
+func (e *emitter) setReg(in *ir.Inst) {
+	a := e.intUse(in.A, 0)
+	b := e.intUse(in.B, 1)
+	rd, fl := e.intDef(in.Dst)
+	emit := func(op target.Op, x, y target.Reg) {
+		e.emit(target.Inst{Op: op, Rd: rd, Rs1: x, Rs2: y})
+	}
+	switch in.CC {
+	case ir.CCEq:
+		emit(target.Xor, a, b)
+		e.emit(target.Inst{Op: target.SltuI, Rd: rd, Rs1: rd, Rs2: target.NoReg, Imm: 1})
+	case ir.CCNe:
+		emit(target.Xor, a, b)
+		if z := e.zero(); z != target.NoReg {
+			e.emit(target.Inst{Op: target.Sltu, Rd: rd, Rs1: z, Rs2: rd})
+		} else {
+			// 0 < rd unsigned == rd != 0: use (rd != 0) via two ops.
+			e.emit(target.Inst{Op: target.SltuI, Rd: rd, Rs1: rd, Rs2: target.NoReg, Imm: 1})
+			e.emit(target.Inst{Op: target.XorI, Rd: rd, Rs1: rd, Rs2: target.NoReg, Imm: 1})
+		}
+	case ir.CCLt:
+		emit(target.Slt, a, b)
+	case ir.CCLtU:
+		emit(target.Sltu, a, b)
+	case ir.CCGt:
+		emit(target.Slt, b, a)
+	case ir.CCGtU:
+		emit(target.Sltu, b, a)
+	case ir.CCLe:
+		emit(target.Slt, b, a)
+		e.emit(target.Inst{Op: target.XorI, Rd: rd, Rs1: rd, Rs2: target.NoReg, Imm: 1})
+	case ir.CCLeU:
+		emit(target.Sltu, b, a)
+		e.emit(target.Inst{Op: target.XorI, Rd: rd, Rs1: rd, Rs2: target.NoReg, Imm: 1})
+	case ir.CCGe:
+		emit(target.Slt, a, b)
+		e.emit(target.Inst{Op: target.XorI, Rd: rd, Rs1: rd, Rs2: target.NoReg, Imm: 1})
+	case ir.CCGeU:
+		emit(target.Sltu, a, b)
+		e.emit(target.Inst{Op: target.XorI, Rd: rd, Rs1: rd, Rs2: target.NoReg, Imm: 1})
+	}
+	fl()
+}
+
+// setImm materializes comparison-with-immediate results.
+func (e *emitter) setImm(in *ir.Inst) {
+	m := e.c.m
+	a := e.intUse(in.A, 0)
+	imm := int32(in.Imm)
+	// Large immediates: build in scratch and reuse the reg-reg path.
+	if !m.FitsImm(imm) && m.Arch != target.X86 {
+		s := target.Reg(e.ra.ScratchInt[1])
+		e.loadImm(s, imm)
+		rd, fl := e.intDef(in.Dst)
+		e.setRegOps(rd, a, s, in.CC)
+		fl()
+		return
+	}
+	rd, fl := e.intDef(in.Dst)
+	defer fl()
+	switch in.CC {
+	case ir.CCEq:
+		e.emit(target.Inst{Op: target.XorI, Rd: rd, Rs1: a, Rs2: target.NoReg, Imm: imm})
+		e.emit(target.Inst{Op: target.SltuI, Rd: rd, Rs1: rd, Rs2: target.NoReg, Imm: 1})
+	case ir.CCNe:
+		e.emit(target.Inst{Op: target.XorI, Rd: rd, Rs1: a, Rs2: target.NoReg, Imm: imm})
+		e.emit(target.Inst{Op: target.SltuI, Rd: rd, Rs1: rd, Rs2: target.NoReg, Imm: 1})
+		e.emit(target.Inst{Op: target.XorI, Rd: rd, Rs1: rd, Rs2: target.NoReg, Imm: 1})
+	case ir.CCLt:
+		e.emit(target.Inst{Op: target.SltI, Rd: rd, Rs1: a, Rs2: target.NoReg, Imm: imm})
+	case ir.CCLtU:
+		e.emit(target.Inst{Op: target.SltuI, Rd: rd, Rs1: a, Rs2: target.NoReg, Imm: imm})
+	case ir.CCGe:
+		e.emit(target.Inst{Op: target.SltI, Rd: rd, Rs1: a, Rs2: target.NoReg, Imm: imm})
+		e.emit(target.Inst{Op: target.XorI, Rd: rd, Rs1: rd, Rs2: target.NoReg, Imm: 1})
+	case ir.CCGeU:
+		e.emit(target.Inst{Op: target.SltuI, Rd: rd, Rs1: a, Rs2: target.NoReg, Imm: imm})
+		e.emit(target.Inst{Op: target.XorI, Rd: rd, Rs1: rd, Rs2: target.NoReg, Imm: 1})
+	case ir.CCLe:
+		if imm == 0x7fffffff {
+			e.loadImm(rd, 1)
+		} else {
+			e.emit(target.Inst{Op: target.SltI, Rd: rd, Rs1: a, Rs2: target.NoReg, Imm: imm + 1})
+		}
+	case ir.CCLeU:
+		if uint32(imm) == 0xffffffff {
+			e.loadImm(rd, 1)
+		} else {
+			e.emit(target.Inst{Op: target.SltuI, Rd: rd, Rs1: a, Rs2: target.NoReg, Imm: imm + 1})
+		}
+	case ir.CCGt:
+		if imm == 0x7fffffff {
+			e.loadImm(rd, 0)
+		} else {
+			e.emit(target.Inst{Op: target.SltI, Rd: rd, Rs1: a, Rs2: target.NoReg, Imm: imm + 1})
+			e.emit(target.Inst{Op: target.XorI, Rd: rd, Rs1: rd, Rs2: target.NoReg, Imm: 1})
+		}
+	case ir.CCGtU:
+		if uint32(imm) == 0xffffffff {
+			e.loadImm(rd, 0)
+		} else {
+			e.emit(target.Inst{Op: target.SltuI, Rd: rd, Rs1: a, Rs2: target.NoReg, Imm: imm + 1})
+			e.emit(target.Inst{Op: target.XorI, Rd: rd, Rs1: rd, Rs2: target.NoReg, Imm: 1})
+		}
+	}
+}
+
+// setRegOps is the reg-reg comparison body used by setImm's fallback.
+func (e *emitter) setRegOps(rd, a, b target.Reg, cc ir.CC) {
+	swap := false
+	invert := false
+	var op target.Op
+	switch cc {
+	case ir.CCEq, ir.CCNe:
+		e.emit(target.Inst{Op: target.Xor, Rd: rd, Rs1: a, Rs2: b})
+		e.emit(target.Inst{Op: target.SltuI, Rd: rd, Rs1: rd, Rs2: target.NoReg, Imm: 1})
+		if cc == ir.CCNe {
+			e.emit(target.Inst{Op: target.XorI, Rd: rd, Rs1: rd, Rs2: target.NoReg, Imm: 1})
+		}
+		return
+	case ir.CCLt:
+		op = target.Slt
+	case ir.CCLtU:
+		op = target.Sltu
+	case ir.CCGt:
+		op, swap = target.Slt, true
+	case ir.CCGtU:
+		op, swap = target.Sltu, true
+	case ir.CCLe:
+		op, swap, invert = target.Slt, true, true
+	case ir.CCLeU:
+		op, swap, invert = target.Sltu, true, true
+	case ir.CCGe:
+		op, invert = target.Slt, true
+	case ir.CCGeU:
+		op, invert = target.Sltu, true
+	}
+	x, y := a, b
+	if swap {
+		x, y = b, a
+	}
+	e.emit(target.Inst{Op: op, Rd: rd, Rs1: x, Rs2: y})
+	if invert {
+		e.emit(target.Inst{Op: target.XorI, Rd: rd, Rs1: rd, Rs2: target.NoReg, Imm: 1})
+	}
+}
+
+// setFP materializes an FP comparison via a short branch diamond.
+func (e *emitter) setFP(in *ir.Inst) {
+	a := e.fpUse(in.A, 0)
+	b := e.fpUse(in.B, 1)
+	rd, fl := e.intDef(in.Dst)
+	cc := irCC(in.CC)
+	x, y := a, b
+	switch cc {
+	case target.CCGt:
+		cc, x, y = target.CCLt, b, a
+	case target.CCGe:
+		cc, x, y = target.CCLe, b, a
+	}
+	e.loadImm(rd, 1)
+	e.emit(target.Inst{Op: target.Fcmp, Rd: target.NoReg, Rs1: x, Rs2: y})
+	skip := len(e.units) + 2 // the unit after the zero-case unit
+	e.emit(target.Inst{Op: target.FBcc, Rd: target.NoReg, Rs1: target.NoReg, Rs2: target.NoReg, CC: cc, Target: int32(skip), Sym: unitMark})
+	e.beginUnit()
+	e.loadImm(rd, 0)
+	next := e.beginUnit()
+	if next != skip {
+		// The skip target is exactly the unit we just started.
+		panic("native: setFP unit accounting")
+	}
+	fl()
+}
+
+// branch emits IR Br/BrI.
+func (e *emitter) branch(in *ir.Inst) {
+	m := e.c.m
+
+	// FP compare-and-branch.
+	if in.Class != ir.ClassW {
+		a := e.fpUse(in.A, 0)
+		b := e.fpUse(in.B, 1)
+		cc := irCC(in.CC)
+		x, y := a, b
+		switch cc {
+		case target.CCGt:
+			cc, x, y = target.CCLt, b, a
+		case target.CCGe:
+			cc, x, y = target.CCLe, b, a
+		}
+		e.emit(target.Inst{Op: target.Fcmp, Rd: target.NoReg, Rs1: x, Rs2: y})
+		e.emit(target.Inst{Op: target.FBcc, Rd: target.NoReg, Rs1: target.NoReg, Rs2: target.NoReg, CC: cc, Target: int32(in.Then), Sym: blkMark})
+		e.emit(target.Inst{Op: target.J, Rd: target.NoReg, Rs1: target.NoReg, Rs2: target.NoReg, Target: int32(in.Else), Sym: blkMark})
+		return
+	}
+
+	a := e.intUse(in.A, 0)
+	cc := irCC(in.CC)
+
+	emitBr := func(op target.Op, rs1, rs2 target.Reg, bcc target.CC) {
+		e.emit(target.Inst{Op: op, Rd: target.NoReg, Rs1: rs1, Rs2: rs2, CC: bcc, Target: int32(in.Then), Sym: blkMark})
+		e.emit(target.Inst{Op: target.J, Rd: target.NoReg, Rs1: target.NoReg, Rs2: target.NoReg, Target: int32(in.Else), Sym: blkMark})
+	}
+
+	zeroFold := map[ir.CC]target.Op{
+		ir.CCEq: target.Beqz, ir.CCNe: target.Bnez, ir.CCLt: target.Bltz,
+		ir.CCLe: target.Blez, ir.CCGt: target.Bgtz, ir.CCGe: target.Bgez,
+	}
+
+	if in.Op == ir.BrI {
+		imm := int32(in.Imm)
+		// Branch-on-zero folding: MIPS has these architecturally; on
+		// PPC the cc profile models record-form folding.
+		if imm == 0 {
+			if op, ok := zeroFold[in.CC]; ok && (m.Arch == target.MIPS || (m.Arch == target.PPC && e.c.prof == ProfCC)) {
+				emitBr(op, a, target.NoReg, 0)
+				return
+			}
+		}
+		if m.Arch == target.MIPS {
+			e.mipsBranchImm(in, a, imm)
+			return
+		}
+		op := target.CmpI
+		if cc >= target.CCLtU {
+			op = target.CmpUI
+		}
+		if m.Arch == target.X86 || m.FitsImm(imm) {
+			e.emit(target.Inst{Op: op, Rd: target.NoReg, Rs1: a, Rs2: target.NoReg, Imm: imm})
+		} else {
+			s := target.Reg(e.ra.ScratchInt[1])
+			e.loadImm(s, imm)
+			e.emit(target.Inst{Op: target.Cmp, Rd: target.NoReg, Rs1: a, Rs2: s})
+		}
+		emitBr(target.Bcc, target.NoReg, target.NoReg, cc)
+		return
+	}
+
+	b := e.intUse(in.B, 1)
+	if m.Arch == target.MIPS {
+		e.mipsBranchReg(in, a, b)
+		return
+	}
+	e.emit(target.Inst{Op: target.Cmp, Rd: target.NoReg, Rs1: a, Rs2: b})
+	emitBr(target.Bcc, target.NoReg, target.NoReg, cc)
+}
+
+func (e *emitter) mipsBranchReg(in *ir.Inst, a, b target.Reg) {
+	then, els := int32(in.Then), int32(in.Else)
+	emitBr := func(op target.Op, rs1, rs2 target.Reg) {
+		e.emit(target.Inst{Op: op, Rd: target.NoReg, Rs1: rs1, Rs2: rs2, Target: then, Sym: blkMark})
+		e.emit(target.Inst{Op: target.J, Rd: target.NoReg, Rs1: target.NoReg, Rs2: target.NoReg, Target: els, Sym: blkMark})
+	}
+	s := target.Reg(e.ra.ScratchInt[0])
+	switch in.CC {
+	case ir.CCEq:
+		emitBr(target.Beq, a, b)
+	case ir.CCNe:
+		emitBr(target.Bne, a, b)
+	case ir.CCLt:
+		e.emit(target.Inst{Op: target.Slt, Rd: s, Rs1: a, Rs2: b})
+		emitBr(target.Bnez, s, target.NoReg)
+	case ir.CCGe:
+		e.emit(target.Inst{Op: target.Slt, Rd: s, Rs1: a, Rs2: b})
+		emitBr(target.Beqz, s, target.NoReg)
+	case ir.CCGt:
+		e.emit(target.Inst{Op: target.Slt, Rd: s, Rs1: b, Rs2: a})
+		emitBr(target.Bnez, s, target.NoReg)
+	case ir.CCLe:
+		e.emit(target.Inst{Op: target.Slt, Rd: s, Rs1: b, Rs2: a})
+		emitBr(target.Beqz, s, target.NoReg)
+	case ir.CCLtU:
+		e.emit(target.Inst{Op: target.Sltu, Rd: s, Rs1: a, Rs2: b})
+		emitBr(target.Bnez, s, target.NoReg)
+	case ir.CCGeU:
+		e.emit(target.Inst{Op: target.Sltu, Rd: s, Rs1: a, Rs2: b})
+		emitBr(target.Beqz, s, target.NoReg)
+	case ir.CCGtU:
+		e.emit(target.Inst{Op: target.Sltu, Rd: s, Rs1: b, Rs2: a})
+		emitBr(target.Bnez, s, target.NoReg)
+	case ir.CCLeU:
+		e.emit(target.Inst{Op: target.Sltu, Rd: s, Rs1: b, Rs2: a})
+		emitBr(target.Beqz, s, target.NoReg)
+	}
+}
+
+func (e *emitter) mipsBranchImm(in *ir.Inst, a target.Reg, imm int32) {
+	m := e.c.m
+	then, els := int32(in.Then), int32(in.Else)
+	emitBr := func(op target.Op, rs1, rs2 target.Reg) {
+		e.emit(target.Inst{Op: op, Rd: target.NoReg, Rs1: rs1, Rs2: rs2, Target: then, Sym: blkMark})
+		e.emit(target.Inst{Op: target.J, Rd: target.NoReg, Rs1: target.NoReg, Rs2: target.NoReg, Target: els, Sym: blkMark})
+	}
+	s := target.Reg(e.ra.ScratchInt[0])
+	s2 := target.Reg(e.ra.ScratchInt[1])
+	uns := in.CC >= ir.CCLtU
+	sltI, sltR := target.SltI, target.Slt
+	if uns {
+		sltI, sltR = target.SltuI, target.Sltu
+	}
+	switch in.CC {
+	case ir.CCEq, ir.CCNe:
+		e.loadImm(s2, imm)
+		if in.CC == ir.CCEq {
+			emitBr(target.Beq, a, s2)
+		} else {
+			emitBr(target.Bne, a, s2)
+		}
+	case ir.CCLt, ir.CCLtU:
+		e.cmpImm(sltI, sltR, s, a, imm)
+		emitBr(target.Bnez, s, target.NoReg)
+	case ir.CCGe, ir.CCGeU:
+		e.cmpImm(sltI, sltR, s, a, imm)
+		emitBr(target.Beqz, s, target.NoReg)
+	case ir.CCLe, ir.CCLeU:
+		overflow := (!uns && imm == 0x7fffffff) || (uns && uint32(imm) == 0xffffffff)
+		if !overflow && m.FitsImm(imm+1) {
+			e.emit(target.Inst{Op: sltI, Rd: s, Rs1: a, Rs2: target.NoReg, Imm: imm + 1})
+			emitBr(target.Bnez, s, target.NoReg)
+			return
+		}
+		e.loadImm(s2, imm)
+		e.emit(target.Inst{Op: sltR, Rd: s, Rs1: s2, Rs2: a}) // imm < a
+		emitBr(target.Beqz, s, target.NoReg)
+	case ir.CCGt, ir.CCGtU:
+		overflow := (!uns && imm == 0x7fffffff) || (uns && uint32(imm) == 0xffffffff)
+		if !overflow && m.FitsImm(imm+1) {
+			e.emit(target.Inst{Op: sltI, Rd: s, Rs1: a, Rs2: target.NoReg, Imm: imm + 1})
+			emitBr(target.Beqz, s, target.NoReg)
+			return
+		}
+		e.loadImm(s2, imm)
+		e.emit(target.Inst{Op: sltR, Rd: s, Rs1: s2, Rs2: a})
+		emitBr(target.Bnez, s, target.NoReg)
+	}
+}
+
+// cmpImm emits slt-with-immediate, building the constant in a register
+// when the immediate does not fit.
+func (e *emitter) cmpImm(immOp, regOp target.Op, rd, a target.Reg, imm int32) {
+	if e.c.m.FitsImm(imm) {
+		e.emit(target.Inst{Op: immOp, Rd: rd, Rs1: a, Rs2: target.NoReg, Imm: imm})
+		return
+	}
+	s2 := target.Reg(e.ra.ScratchInt[1])
+	e.loadImm(s2, imm)
+	e.emit(target.Inst{Op: regOp, Rd: rd, Rs1: a, Rs2: s2})
+}
+
+// cvt emits conversions, expanding the unsigned forms with branch
+// diamonds and pool constants.
+func (e *emitter) cvt(in *ir.Inst) {
+	simple := map[ir.CvtKind]target.Op{
+		ir.CvtWtoD: target.CvtWD, ir.CvtWtoF: target.CvtWS,
+		ir.CvtDtoW: target.CvtDW, ir.CvtFtoW: target.CvtSW,
+		ir.CvtDtoF: target.CvtDS, ir.CvtFtoD: target.CvtSD,
+	}
+	if op, ok := simple[in.Cvt]; ok {
+		switch in.Cvt {
+		case ir.CvtWtoD, ir.CvtWtoF:
+			a := e.intUse(in.A, 0)
+			fd, fl := e.fpDef(in.Dst)
+			e.emit(target.Inst{Op: op, Rd: fd, Rs1: a, Rs2: target.NoReg})
+			fl()
+		case ir.CvtDtoW, ir.CvtFtoW:
+			a := e.fpUse(in.A, 0)
+			rd, fl := e.intDef(in.Dst)
+			e.emit(target.Inst{Op: op, Rd: rd, Rs1: a, Rs2: target.NoReg})
+			fl()
+		default:
+			a := e.fpUse(in.A, 0)
+			fd, fl := e.fpDef(in.Dst)
+			e.emit(target.Inst{Op: op, Rd: fd, Rs1: a, Rs2: target.NoReg})
+			fl()
+		}
+		return
+	}
+	switch in.Cvt {
+	case ir.CvtUtoD:
+		// fd = double(int(a)); if a < 0 (as signed) fd += 2^32.
+		a := e.intUse(in.A, 0)
+		fd, fl := e.fpDef(in.Dst)
+		ft := target.Reg(e.ra.ScratchFP[1])
+		e.emit(target.Inst{Op: target.CvtWD, Rd: fd, Rs1: a, Rs2: target.NoReg})
+		skip := len(e.units) + 2
+		e.emit(target.Inst{Op: target.Bgez, Rd: target.NoReg, Rs1: a, Rs2: target.NoReg, Target: int32(skip), Sym: unitMark})
+		e.beginUnit()
+		off := e.c.fpConst(4294967296.0)
+		e.emit(target.Inst{Op: target.Ld, Rd: ft, Rs1: target.NoReg, Rs2: target.NoReg, Imm: off, Sym: fpPoolSym})
+		e.emit(target.Inst{Op: target.FaddD, Rd: fd, Rs1: fd, Rs2: ft})
+		if e.beginUnit() != skip {
+			panic("native: cvt unit accounting")
+		}
+		fl()
+	case ir.CvtDtoU:
+		// u = d < 2^31 ? int(d) : int(d - 2^31) ^ 0x80000000.
+		a := e.fpUse(in.A, 0)
+		rd, fl := e.intDef(in.Dst)
+		ft := target.Reg(e.ra.ScratchFP[1])
+		off := e.c.fpConst(2147483648.0)
+		e.emit(target.Inst{Op: target.Ld, Rd: ft, Rs1: target.NoReg, Rs2: target.NoReg, Imm: off, Sym: fpPoolSym})
+		e.emit(target.Inst{Op: target.Fcmp, Rd: target.NoReg, Rs1: ft, Rs2: a})
+		big := len(e.units) + 2
+		e.emit(target.Inst{Op: target.FBcc, Rd: target.NoReg, Rs1: target.NoReg, Rs2: target.NoReg, CC: target.CCLe, Target: int32(big), Sym: unitMark})
+		e.beginUnit() // small case
+		e.emit(target.Inst{Op: target.CvtDW, Rd: rd, Rs1: a, Rs2: target.NoReg})
+		done := len(e.units) + 2 // skip over the big-case unit
+		e.emit(target.Inst{Op: target.J, Rd: target.NoReg, Rs1: target.NoReg, Rs2: target.NoReg, Target: int32(done), Sym: unitMark})
+		if e.beginUnit() != big {
+			panic("native: cvt unit accounting")
+		}
+		e.emit(target.Inst{Op: target.FsubD, Rd: ft, Rs1: a, Rs2: ft})
+		e.emit(target.Inst{Op: target.CvtDW, Rd: rd, Rs1: ft, Rs2: target.NoReg})
+		e.emit(target.Inst{Op: target.XorI, Rd: rd, Rs1: rd, Rs2: target.NoReg, Imm: -2147483648})
+		if e.beginUnit() != done {
+			panic("native: cvt unit accounting")
+		}
+		fl()
+	}
+}

@@ -1,0 +1,413 @@
+package native
+
+import (
+	"fmt"
+
+	"omniware/internal/cc/ir"
+	"omniware/internal/cc/regalloc"
+	"omniware/internal/target"
+)
+
+func (e *emitter) loc(v ir.VReg) regalloc.Loc { return e.ra.Loc[v] }
+
+func (e *emitter) slotAddr(slot int, extra int64) int32 {
+	return int32(e.fr.slotOff[slot]) + int32(extra)
+}
+
+func (e *emitter) intUse(v ir.VReg, sc int) target.Reg {
+	l := e.loc(v)
+	if l.Kind == regalloc.InReg {
+		return target.Reg(l.Reg)
+	}
+	s := target.Reg(e.ra.ScratchInt[sc])
+	e.emit(target.Inst{Op: target.Lw, Rd: s, Rs1: e.sp(), Rs2: target.NoReg, Imm: e.slotAddr(l.Slot, 0)})
+	return s
+}
+
+func (e *emitter) intDef(v ir.VReg) (target.Reg, func()) {
+	l := e.loc(v)
+	if l.Kind == regalloc.InReg {
+		return target.Reg(l.Reg), func() {}
+	}
+	s := target.Reg(e.ra.ScratchInt[0])
+	return s, func() {
+		e.emit(target.Inst{Op: target.Sw, Rd: s, Rs1: e.sp(), Rs2: target.NoReg, Imm: e.slotAddr(l.Slot, 0)})
+	}
+}
+
+func (e *emitter) fpUse(v ir.VReg, sc int) target.Reg {
+	l := e.loc(v)
+	if l.Kind == regalloc.InReg {
+		return target.Reg(l.Reg)
+	}
+	s := target.Reg(e.ra.ScratchFP[sc])
+	e.emit(target.Inst{Op: target.Ld, Rd: s, Rs1: e.sp(), Rs2: target.NoReg, Imm: e.slotAddr(l.Slot, 0)})
+	return s
+}
+
+func (e *emitter) fpDef(v ir.VReg) (target.Reg, func()) {
+	l := e.loc(v)
+	if l.Kind == regalloc.InReg {
+		return target.Reg(l.Reg), func() {}
+	}
+	s := target.Reg(e.ra.ScratchFP[0])
+	return s, func() {
+		e.emit(target.Inst{Op: target.Sd, Rd: s, Rs1: e.sp(), Rs2: target.NoReg, Imm: e.slotAddr(l.Slot, 0)})
+	}
+}
+
+func (e *emitter) zero() target.Reg { return e.c.m.ZeroReg }
+
+// loadImm materializes a 32-bit constant.
+func (e *emitter) loadImm(rd target.Reg, v int32) {
+	m := e.c.m
+	if m.Arch == target.X86 {
+		e.emit(target.Inst{Op: target.MovI, Rd: rd, Rs1: target.NoReg, Rs2: target.NoReg, Imm: v})
+		return
+	}
+	if m.FitsImm(v) {
+		e.emit(target.Inst{Op: target.AddI, Rd: rd, Rs1: m.ZeroReg, Rs2: target.NoReg, Imm: v})
+		return
+	}
+	hi := int32(uint32(v) >> 16)
+	lo := int32(uint32(v) & 0xffff)
+	e.emit(target.Inst{Op: target.Lui, Rd: rd, Rs1: target.NoReg, Rs2: target.NoReg, Imm: hi})
+	if lo != 0 {
+		e.emit(target.Inst{Op: target.OrI, Rd: rd, Rs1: rd, Rs2: target.NoReg, Imm: lo})
+	}
+}
+
+var irALU = map[ir.Op]target.Op{
+	ir.Add: target.Add, ir.Sub: target.Sub, ir.Mul: target.Mul,
+	ir.Div: target.Div, ir.DivU: target.DivU, ir.Rem: target.Rem,
+	ir.RemU: target.RemU, ir.And: target.And, ir.Or: target.Or,
+	ir.Xor: target.Xor, ir.Shl: target.Sll, ir.Shr: target.Srl,
+	ir.Sra: target.Sra,
+}
+
+var irALUImm = map[ir.Op]struct {
+	imm target.Op
+	reg target.Op
+}{
+	ir.AddI: {target.AddI, target.Add},
+	ir.AndI: {target.AndI, target.And},
+	ir.OrI:  {target.OrI, target.Or},
+	ir.XorI: {target.XorI, target.Xor},
+	ir.ShlI: {target.SllI, target.Sll},
+	ir.ShrI: {target.SrlI, target.Srl},
+	ir.SraI: {target.SraI, target.Sra},
+	ir.MulI: {target.Nop, target.Mul}, // no immediate multiply
+}
+
+var irFP = map[ir.Op][2]target.Op{
+	ir.FAdd: {target.FaddS, target.FaddD},
+	ir.FSub: {target.FsubS, target.FsubD},
+	ir.FMul: {target.FmulS, target.FmulD},
+	ir.FDiv: {target.FdivS, target.FdivD},
+	ir.FNeg: {target.FnegS, target.FnegD},
+}
+
+func fpIdx(c ir.Class) int {
+	if c == ir.ClassD {
+		return 1
+	}
+	return 0
+}
+
+var irMemLoad = map[ir.MemOp]target.Op{
+	ir.MemB: target.Lb, ir.MemBU: target.Lbu, ir.MemH: target.Lh,
+	ir.MemHU: target.Lhu, ir.MemW: target.Lw, ir.MemF: target.Lf, ir.MemD: target.Ld,
+}
+
+var irMemStore = map[ir.MemOp]target.Op{
+	ir.MemB: target.Sb, ir.MemBU: target.Sb, ir.MemH: target.Sh,
+	ir.MemHU: target.Sh, ir.MemW: target.Sw, ir.MemF: target.Sf, ir.MemD: target.Sd,
+}
+
+func (e *emitter) inst(in *ir.Inst) error {
+	m := e.c.m
+	switch in.Op {
+	case ir.Nop:
+
+	case ir.Const:
+		if in.Class == ir.ClassW {
+			rd, fl := e.intDef(in.Dst)
+			e.loadImm(rd, int32(in.Imm))
+			fl()
+			return nil
+		}
+		fd, fl := e.fpDef(in.Dst)
+		off := e.c.fpConst(in.FImm)
+		e.emit(target.Inst{Op: target.Ld, Rd: fd, Rs1: target.NoReg, Rs2: target.NoReg, Imm: off, Sym: fpPoolSym})
+		fl()
+
+	case ir.Copy:
+		if in.Class == ir.ClassW {
+			a := e.intUse(in.A, 0)
+			rd, fl := e.intDef(in.Dst)
+			if rd != a {
+				e.emit(target.Inst{Op: target.Mov, Rd: rd, Rs1: a, Rs2: target.NoReg})
+			}
+			fl()
+			return nil
+		}
+		a := e.fpUse(in.A, 0)
+		fd, fl := e.fpDef(in.Dst)
+		if fd != a {
+			e.emit(target.Inst{Op: target.Fmov, Rd: fd, Rs1: a, Rs2: target.NoReg})
+		}
+		fl()
+
+	case ir.Add, ir.Sub, ir.Mul, ir.Div, ir.DivU, ir.Rem, ir.RemU,
+		ir.And, ir.Or, ir.Xor, ir.Shl, ir.Shr, ir.Sra:
+		a := e.intUse(in.A, 0)
+		op := irALU[in.Op]
+		// x86 cc profile: fold a spilled second operand into a
+		// register-memory form.
+		if m.Arch == target.X86 && e.c.prof == ProfCC && memFoldable(op) {
+			if l := e.loc(in.B); l.Kind == regalloc.Spilled {
+				rd, fl := e.intDef(in.Dst)
+				if rd != a {
+					e.emit(target.Inst{Op: target.Mov, Rd: rd, Rs1: a, Rs2: target.NoReg})
+				}
+				e.emit(target.Inst{Op: op, Rd: rd, Rs1: rd, Rs2: e.sp(), Imm: e.slotAddr(l.Slot, 0), MemSrc: true})
+				fl()
+				return nil
+			}
+		}
+		b := e.intUse(in.B, 1)
+		rd, fl := e.intDef(in.Dst)
+		e.emit(target.Inst{Op: op, Rd: rd, Rs1: a, Rs2: b})
+		fl()
+
+	case ir.Neg:
+		a := e.intUse(in.A, 0)
+		rd, fl := e.intDef(in.Dst)
+		if m.ZeroReg != target.NoReg {
+			e.emit(target.Inst{Op: target.Sub, Rd: rd, Rs1: m.ZeroReg, Rs2: a})
+		} else {
+			e.emit(target.Inst{Op: target.Neg, Rd: rd, Rs1: a, Rs2: target.NoReg})
+		}
+		fl()
+
+	case ir.AddI, ir.AndI, ir.OrI, ir.XorI, ir.ShlI, ir.ShrI, ir.SraI, ir.MulI:
+		a := e.intUse(in.A, 0)
+		rd, fl := e.intDef(in.Dst)
+		pair := irALUImm[in.Op]
+		imm := int32(in.Imm)
+		isShift := in.Op == ir.ShlI || in.Op == ir.ShrI || in.Op == ir.SraI
+		if pair.imm != target.Nop && (isShift || m.Arch == target.X86 || m.FitsImm(imm)) {
+			e.emit(target.Inst{Op: pair.imm, Rd: rd, Rs1: a, Rs2: target.NoReg, Imm: imm})
+			fl()
+			return nil
+		}
+		s := target.Reg(e.ra.ScratchInt[1])
+		e.loadImm(s, imm)
+		e.emit(target.Inst{Op: pair.reg, Rd: rd, Rs1: a, Rs2: s})
+		fl()
+
+	case ir.Set:
+		if in.Class == ir.ClassW {
+			e.setReg(in)
+		} else {
+			e.setFP(in)
+		}
+
+	case ir.SetI:
+		e.setImm(in)
+
+	case ir.FAdd, ir.FSub, ir.FMul, ir.FDiv:
+		a := e.fpUse(in.A, 0)
+		b := e.fpUse(in.B, 1)
+		rd, fl := e.fpDef(in.Dst)
+		e.emit(target.Inst{Op: irFP[in.Op][fpIdx(in.Class)], Rd: rd, Rs1: a, Rs2: b})
+		fl()
+
+	case ir.FNeg:
+		a := e.fpUse(in.A, 0)
+		rd, fl := e.fpDef(in.Dst)
+		e.emit(target.Inst{Op: irFP[in.Op][fpIdx(in.Class)], Rd: rd, Rs1: a, Rs2: target.NoReg})
+		fl()
+
+	case ir.Cvt:
+		e.cvt(in)
+
+	case ir.Load:
+		base, imm, indexed, idx, err := e.memAddr(in)
+		if err != nil {
+			return err
+		}
+		op := irMemLoad[in.Mem]
+		if in.Mem == ir.MemF || in.Mem == ir.MemD {
+			rd, fl := e.fpDef(in.Dst)
+			e.emit(target.Inst{Op: op, Rd: rd, Rs1: base, Rs2: idx, Imm: imm, Indexed: indexed})
+			fl()
+			return nil
+		}
+		rd, fl := e.intDef(in.Dst)
+		e.emit(target.Inst{Op: op, Rd: rd, Rs1: base, Rs2: idx, Imm: imm, Indexed: indexed})
+		fl()
+
+	case ir.Store:
+		base, imm, indexed, idx, err := e.memAddr(in)
+		if err != nil {
+			return err
+		}
+		op := irMemStore[in.Mem]
+		if in.Mem == ir.MemF || in.Mem == ir.MemD {
+			v := e.fpUse(in.B, 1)
+			e.emit(target.Inst{Op: op, Rd: v, Rs1: base, Rs2: idx, Imm: imm, Indexed: indexed})
+			return nil
+		}
+		// The value register may need scratch 1, which an indexed
+		// address may hold: collapse the address first.
+		if indexed && e.loc(in.B).Kind == regalloc.Spilled {
+			s0 := target.Reg(e.ra.ScratchInt[0])
+			e.emit(target.Inst{Op: target.Add, Rd: s0, Rs1: base, Rs2: idx})
+			base, imm, indexed, idx = s0, 0, false, target.NoReg
+		}
+		v := e.intUse(in.B, 1)
+		e.emit(target.Inst{Op: op, Rd: v, Rs1: base, Rs2: idx, Imm: imm, Indexed: indexed})
+
+	case ir.Addr:
+		rd, fl := e.intDef(in.Dst)
+		switch {
+		case in.Sym != "":
+			if e.c.isFunc(in.Sym) {
+				e.emit(target.Inst{Op: target.MovI, Rd: rd, Rs1: target.NoReg, Rs2: target.NoReg, Sym: in.Sym})
+			} else {
+				addr, ok := e.c.symAddr(in.Sym)
+				if !ok {
+					return fmt.Errorf("unresolved symbol %q", in.Sym)
+				}
+				e.loadImm(rd, int32(addr)+int32(in.Imm))
+			}
+		case in.Slot != ir.NoSlot:
+			e.emit(target.Inst{Op: target.AddI, Rd: rd, Rs1: e.sp(), Rs2: target.NoReg, Imm: e.slotAddr(in.Slot, in.Imm)})
+		default:
+			a := e.intUse(in.A, 1)
+			imm := int32(in.Imm)
+			if m.Arch == target.X86 || m.FitsImm(imm) {
+				e.emit(target.Inst{Op: target.AddI, Rd: rd, Rs1: a, Rs2: target.NoReg, Imm: imm})
+			} else {
+				s := target.Reg(e.ra.ScratchInt[0])
+				if s == a {
+					s = target.Reg(e.ra.ScratchInt[1])
+				}
+				e.loadImm(s, imm)
+				e.emit(target.Inst{Op: target.Add, Rd: rd, Rs1: a, Rs2: s})
+			}
+		}
+		fl()
+
+	case ir.Call, ir.Syscall:
+		e.call(in)
+
+	case ir.Ret:
+		if in.A != ir.NoReg {
+			if in.Class.IsFP() {
+				fs := e.fpUse(in.A, 0)
+				ret := m.OmniFP[1]
+				if ret == target.NoReg {
+					e.emit(target.Inst{Op: target.Sd, Rd: fs, Rs1: target.NoReg, Rs2: target.NoReg, Imm: int32(e.c.regsave + target.FPSlotOffset(1))})
+				} else if fs != ret {
+					e.emit(target.Inst{Op: target.Fmov, Rd: ret, Rs1: fs, Rs2: target.NoReg})
+				}
+			} else {
+				rs := e.intUse(in.A, 0)
+				ret := m.OmniInt[1]
+				if ret == target.NoReg {
+					e.emit(target.Inst{Op: target.Sw, Rd: rs, Rs1: target.NoReg, Rs2: target.NoReg, Imm: int32(regSaveAddr(e.c.regsave, 1))})
+				} else if rs != ret {
+					e.emit(target.Inst{Op: target.Mov, Rd: ret, Rs1: rs, Rs2: target.NoReg})
+				}
+			}
+		}
+		e.emit(target.Inst{Op: target.J, Rd: target.NoReg, Rs1: target.NoReg, Rs2: target.NoReg, Sym: epiMark})
+		e.beginUnit()
+
+	case ir.Br, ir.BrI:
+		e.branch(in)
+		e.beginUnit()
+
+	case ir.Jmp:
+		e.emit(target.Inst{Op: target.J, Rd: target.NoReg, Rs1: target.NoReg, Rs2: target.NoReg, Target: int32(in.Then), Sym: blkMark})
+		e.beginUnit()
+
+	default:
+		return fmt.Errorf("unhandled IR op %v", in.Op)
+	}
+	return nil
+}
+
+func memFoldable(op target.Op) bool {
+	switch op {
+	case target.Add, target.Sub, target.Mul, target.And, target.Or, target.Xor:
+		return true
+	}
+	return false
+}
+
+// memAddr resolves an IR memory operand.
+func (e *emitter) memAddr(in *ir.Inst) (base target.Reg, imm int32, indexed bool, idx target.Reg, err error) {
+	m := e.c.m
+	switch {
+	case in.Sym != "":
+		addr, ok := e.c.symAddr(in.Sym)
+		if !ok {
+			return 0, 0, false, target.NoReg, fmt.Errorf("unresolved symbol %q", in.Sym)
+		}
+		abs := int32(addr) + int32(in.Imm)
+		if m.Arch == target.X86 {
+			return target.NoReg, abs, false, target.NoReg, nil
+		}
+		// The GP register is allocatable in native code, so globals go
+		// through the standard hi/lo decomposition here; the global
+		// pointer belongs to the translated path. (Real compilers have
+		// gp too; giving native code the extra register instead keeps
+		// the comparison fair in the other direction.)
+		hi := int32((uint32(abs) + 0x8000) >> 16)
+		lo := abs - hi<<16
+		s := target.Reg(e.ra.ScratchInt[0])
+		e.emit(target.Inst{Op: target.Lui, Rd: s, Rs1: target.NoReg, Rs2: target.NoReg, Imm: hi})
+		return s, lo, false, target.NoReg, nil
+	case in.Slot != ir.NoSlot:
+		return e.sp(), e.slotAddr(in.Slot, in.Imm), false, target.NoReg, nil
+	}
+	b := e.intUse(in.A, 0)
+	if in.HasIdx {
+		ix := e.intUse(in.Idx, 1)
+		if m.Arch == target.MIPS {
+			s := target.Reg(e.ra.ScratchInt[0])
+			e.emit(target.Inst{Op: target.Add, Rd: s, Rs1: b, Rs2: ix})
+			return s, int32(in.Imm), false, target.NoReg, nil
+		}
+		if in.Imm != 0 {
+			// Indexed with displacement: fold the displacement.
+			s := target.Reg(e.ra.ScratchInt[0])
+			if s == b || s == ix {
+				s = target.Reg(e.ra.ScratchInt[1])
+			}
+			if s == b || s == ix {
+				e.emit(target.Inst{Op: target.Add, Rd: s, Rs1: b, Rs2: ix})
+				return s, int32(in.Imm), false, target.NoReg, nil
+			}
+			e.emit(target.Inst{Op: target.AddI, Rd: s, Rs1: b, Rs2: target.NoReg, Imm: int32(in.Imm)})
+			return s, 0, true, ix, nil
+		}
+		return b, 0, true, ix, nil
+	}
+	imm = int32(in.Imm)
+	if m.Arch == target.X86 || m.FitsImm(imm) {
+		return b, imm, false, target.NoReg, nil
+	}
+	hi2 := int32((uint32(imm) + 0x8000) >> 16)
+	lo2 := imm - hi2<<16
+	s := target.Reg(e.ra.ScratchInt[0])
+	if s == b {
+		s = target.Reg(e.ra.ScratchInt[1])
+	}
+	e.emit(target.Inst{Op: target.Lui, Rd: s, Rs1: target.NoReg, Rs2: target.NoReg, Imm: hi2})
+	e.emit(target.Inst{Op: target.Add, Rd: s, Rs1: s, Rs2: b})
+	return s, lo2, false, target.NoReg, nil
+}

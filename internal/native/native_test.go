@@ -1,0 +1,208 @@
+package native_test
+
+import (
+	"testing"
+
+	"omniware/internal/cc"
+	"omniware/internal/core"
+	"omniware/internal/native"
+	"omniware/internal/target"
+)
+
+// nativeCheck compiles src with both baseline profiles on every target
+// and verifies exit code and output against the interpreter.
+func nativeCheck(t *testing.T, name, src string) {
+	t.Helper()
+	files := []core.SourceFile{{Name: name, Src: src}}
+	mod, err := core.BuildC(files, cc.Options{OptLevel: 2})
+	if err != nil {
+		t.Fatalf("%s: build: %v", name, err)
+	}
+	funcs, err := core.BuildIRFuncs(files, cc.Options{OptLevel: 2})
+	if err != nil {
+		t.Fatalf("%s: IR: %v", name, err)
+	}
+
+	ih, err := core.NewHost(mod, core.RunConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := ih.RunInterp()
+	if err != nil {
+		t.Fatalf("%s: interp: %v", name, err)
+	}
+	if want.Faulted {
+		t.Fatalf("%s: interp faulted: %s", name, want.Fault)
+	}
+	wantOut := ih.Output()
+
+	for _, mach := range target.Machines() {
+		for _, prof := range []native.Profile{native.ProfCC, native.ProfGCC} {
+			h, err := core.NewHost(mod, core.RunConfig{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			res, err := h.RunNative(mach, prof, funcs)
+			if err != nil {
+				t.Fatalf("%s/%s/%s: %v", name, mach.Name, prof, err)
+			}
+			if res.Faulted {
+				t.Fatalf("%s/%s/%s: faulted: %s", name, mach.Name, prof, res.Fault)
+			}
+			if res.ExitCode != want.ExitCode {
+				t.Errorf("%s/%s/%s: exit %d, interp %d", name, mach.Name, prof, res.ExitCode, want.ExitCode)
+			}
+			if got := h.Output(); got != wantOut {
+				t.Errorf("%s/%s/%s: output %q, interp %q", name, mach.Name, prof, got, wantOut)
+			}
+		}
+	}
+}
+
+func TestNativeArith(t *testing.T) {
+	nativeCheck(t, "arith.c", `
+int main(void) {
+	int acc = 0, i;
+	for (i = 1; i <= 60; i++) {
+		acc += i * i;
+		acc ^= acc >> 5;
+		acc %= 1000007;
+	}
+	unsigned u = (unsigned)acc * 2654435761u;
+	return (int)(u % 249);
+}`)
+}
+
+func TestNativeMemoryMix(t *testing.T) {
+	nativeCheck(t, "mem.c", `
+int tab[64];
+short stab[32];
+char ctab[16];
+char msg[12];
+int main(void) {
+	int i;
+	for (i = 0; i < 64; i++) tab[i] = i * 3 - 7;
+	for (i = 0; i < 32; i++) stab[i] = (short)(i * -9);
+	for (i = 0; i < 16; i++) ctab[i] = (char)(i * 21);
+	int acc = 0;
+	for (i = 0; i < 64; i += 3) acc += tab[i];
+	for (i = 0; i < 32; i += 5) acc += stab[i];
+	for (i = 0; i < 16; i += 2) acc += ctab[i];
+	_print_int(acc);
+	_putc('\n');
+	return acc & 0xff;
+}`)
+}
+
+func TestNativeCallsAndPointers(t *testing.T) {
+	nativeCheck(t, "ptr.c", `
+struct node { int v; struct node *next; };
+struct node pool[12];
+int sum(struct node *n) {
+	int s = 0;
+	while (n) { s += n->v; n = n->next; }
+	return s;
+}
+int twice(int x) { return x * 2; }
+int thrice(int x) { return x * 3; }
+int (*ops[2])(int) = {twice, thrice};
+int many(int a, int b, int c, int d, int e, int f, int g) {
+	return a + 2*b + 3*c + 4*d + 5*e + 6*f + 7*g;
+}
+int main(void) {
+	int i;
+	struct node *head = 0;
+	for (i = 0; i < 12; i++) {
+		pool[i].v = i * i;
+		pool[i].next = head;
+		head = &pool[i];
+	}
+	int acc = sum(head);
+	acc += ops[0](5) + ops[1](5);
+	acc += many(1, 1, 1, 1, 1, 1, 1);
+	return acc & 0x3ff;
+}`)
+}
+
+func TestNativeFloat(t *testing.T) {
+	nativeCheck(t, "fp.c", `
+double poly(double x) { return 1.25*x*x - 2.0*x + 0.75; }
+float mix(float a, float b) { return a * 0.5f + b; }
+int main(void) {
+	double acc = 0.0;
+	int i;
+	for (i = 0; i < 25; i++) {
+		acc += poly((double)i * 0.5);
+		if (acc > 200.0) acc *= 0.25;
+	}
+	acc += (double)mix(3.0f, 1.5f);
+	unsigned u = 3123456789u;
+	double du = (double)u;
+	unsigned v = (unsigned)du;
+	if (v != u) return 1;
+	_print_int((int)(acc * 100.0));
+	return ((int)acc) & 0x7f;
+}`)
+}
+
+func TestNativeRecursionSwitch(t *testing.T) {
+	nativeCheck(t, "rec.c", `
+int fib(int n) { return n < 2 ? n : fib(n-1) + fib(n-2); }
+int cat(int x) {
+	switch (x % 5) {
+	case 0: return 3;
+	case 1: case 2: return 7;
+	case 3: return 11;
+	default: return 13;
+	}
+}
+int main(void) {
+	int acc = fib(13);
+	int i;
+	for (i = 0; i < 20; i++) acc += cat(i);
+	return acc & 0xfff;
+}`)
+}
+
+func TestNativeStrings(t *testing.T) {
+	nativeCheck(t, "str.c", `
+char buf[64];
+int main(void) {
+	char *a = "native ";
+	char *b = "baseline";
+	int i = 0, j;
+	for (j = 0; a[j]; j++) buf[i++] = a[j];
+	for (j = 0; b[j]; j++) buf[i++] = b[j];
+	buf[i] = 0;
+	_puts(buf);
+	_putc(10);
+	return i;
+}`)
+}
+
+func TestNativeSbrk(t *testing.T) {
+	nativeCheck(t, "heap.c", `
+int main(void) {
+	int *a = (int *)_sbrk(256);
+	int i, acc = 0;
+	for (i = 0; i < 64; i++) a[i] = i ^ 21;
+	for (i = 0; i < 64; i += 3) acc += a[i];
+	return acc & 0xff;
+}`)
+}
+
+func TestNativeBigFrameAndSpills(t *testing.T) {
+	nativeCheck(t, "spill.c", `
+int work(int a, int b, int c, int d, int e, int f) {
+	int g = a*b, h = c*d, i = e*f;
+	int j = a+b, k = c+d, l = e+f;
+	int m = g+h+i, n = j+k+l;
+	int o = m*n, p = m-n, q = m^n;
+	return o + p + q + g + h + i + j + k + l;
+}
+int main(void) {
+	int acc = 0, i;
+	for (i = 1; i < 8; i++) acc += work(i, i+1, i+2, i+3, i+4, i+5);
+	return acc & 0xffff;
+}`)
+}

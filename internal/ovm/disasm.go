@@ -1,0 +1,57 @@
+package ovm
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Disassemble renders a text section as assembler source. Branch and
+// jump targets are rewritten to generated labels (or to symbol names
+// when syms covers them), so the output round-trips through the
+// assembler.
+func Disassemble(text []Inst, syms []Symbol) string {
+	names := map[int32]string{}
+	for _, s := range syms {
+		if s.Section == SecText {
+			names[int32(s.Value)] = s.Name
+		}
+	}
+	// Collect branch targets that need labels.
+	targets := map[int32]bool{}
+	for _, in := range text {
+		switch in.Op.Format() {
+		case FmtBrRR, FmtBrRI, FmtJmp, FmtJal:
+			targets[in.Imm2] = true
+		}
+	}
+	order := make([]int32, 0, len(targets))
+	for t := range targets {
+		order = append(order, t)
+	}
+	sort.Slice(order, func(i, j int) bool { return order[i] < order[j] })
+	for i, t := range order {
+		if _, ok := names[t]; !ok {
+			names[t] = fmt.Sprintf(".L%d", i)
+		}
+	}
+
+	var b strings.Builder
+	b.WriteString(".text\n")
+	for i, in := range text {
+		if name, ok := names[int32(i)]; ok {
+			fmt.Fprintf(&b, "%s:\n", name)
+		}
+		s := in.String()
+		switch in.Op.Format() {
+		case FmtBrRR, FmtBrRI, FmtJmp, FmtJal:
+			// Replace the trailing numeric target with its label.
+			if name, ok := names[in.Imm2]; ok {
+				idx := strings.LastIndexByte(s, ' ')
+				s = s[:idx+1] + name
+			}
+		}
+		fmt.Fprintf(&b, "\t%s\n", s)
+	}
+	return b.String()
+}

@@ -1,0 +1,71 @@
+package ovm
+
+import (
+	"encoding/binary"
+	"fmt"
+)
+
+// Instruction words are encoded little-endian as:
+//
+//	byte 0      opcode
+//	byte 1..3   rd, rs1, rs2
+//	byte 4..7   imm  (int32)
+//	byte 8..11  imm2 (int32)
+//
+// The fixed 12-byte width keeps the paper's guarantee that a memory
+// access instruction carries a full 32-bit offset, so a translator never
+// needs cross-instruction analysis to reconstruct an address.
+
+// EncodeInst writes in into buf, which must be at least InstBytes long.
+func EncodeInst(buf []byte, in Inst) {
+	buf[0] = byte(in.Op)
+	buf[1] = in.Rd
+	buf[2] = in.Rs1
+	buf[3] = in.Rs2
+	binary.LittleEndian.PutUint32(buf[4:], uint32(in.Imm))
+	binary.LittleEndian.PutUint32(buf[8:], uint32(in.Imm2))
+}
+
+// DecodeInst reads one instruction from buf.
+func DecodeInst(buf []byte) (Inst, error) {
+	if len(buf) < InstBytes {
+		return Inst{}, fmt.Errorf("ovm: short instruction: %d bytes", len(buf))
+	}
+	in := Inst{
+		Op:   Opcode(buf[0]),
+		Rd:   buf[1],
+		Rs1:  buf[2],
+		Rs2:  buf[3],
+		Imm:  int32(binary.LittleEndian.Uint32(buf[4:])),
+		Imm2: int32(binary.LittleEndian.Uint32(buf[8:])),
+	}
+	if err := in.Validate(); err != nil {
+		return Inst{}, fmt.Errorf("ovm: decode %v: %w", in.Op, err)
+	}
+	return in, nil
+}
+
+// EncodeText encodes a slice of instructions.
+func EncodeText(insts []Inst) []byte {
+	out := make([]byte, len(insts)*InstBytes)
+	for i, in := range insts {
+		EncodeInst(out[i*InstBytes:], in)
+	}
+	return out
+}
+
+// DecodeText decodes a text section into instructions.
+func DecodeText(data []byte) ([]Inst, error) {
+	if len(data)%InstBytes != 0 {
+		return nil, fmt.Errorf("ovm: text size %d not a multiple of %d", len(data), InstBytes)
+	}
+	out := make([]Inst, len(data)/InstBytes)
+	for i := range out {
+		in, err := DecodeInst(data[i*InstBytes:])
+		if err != nil {
+			return nil, fmt.Errorf("ovm: instruction %d: %w", i, err)
+		}
+		out[i] = in
+	}
+	return out, nil
+}

@@ -1,0 +1,206 @@
+package ovm
+
+import (
+	"errors"
+	"fmt"
+)
+
+// Inst is one OmniVM instruction. Every instruction carries the same
+// operand fields; which are meaningful depends on Op.Format(). Imm is a
+// full 32-bit immediate (the paper's "32 bit immediate offsets"); Imm2
+// holds branch and jump targets as instruction indices into the text
+// section.
+type Inst struct {
+	Op   Opcode
+	Rd   uint8
+	Rs1  uint8
+	Rs2  uint8
+	Imm  int32
+	Imm2 int32
+}
+
+// InstBytes is the size of one encoded instruction.
+const InstBytes = 12
+
+var errBadReg = errors.New("ovm: register out of range")
+
+// Validate checks that the instruction is well formed: defined opcode,
+// registers within the architectural file for the operand fields its
+// format uses.
+func (in Inst) Validate() error {
+	if !in.Op.Valid() {
+		return fmt.Errorf("ovm: invalid opcode %d", in.Op)
+	}
+	lim := uint8(NumIntRegs)
+	// FP formats name FP registers in the same fields; the file sizes
+	// are equal but keep the check explicit.
+	if in.Op.IsFP() {
+		lim = uint8(NumFPRegs)
+	}
+	switch in.Op.Format() {
+	case FmtNone, FmtSys, FmtJmp:
+	case FmtRRR, FmtLoadX, FmtStoreX, FmtBrRR:
+		if in.Rd >= lim || in.Rs1 >= lim || in.Rs2 >= lim {
+			return errBadReg
+		}
+	case FmtRRI, FmtLoad, FmtStore, FmtBrRI, FmtRR, FmtJalr:
+		if in.Rd >= lim || in.Rs1 >= lim {
+			return errBadReg
+		}
+	case FmtRI, FmtJal:
+		if in.Rd >= lim {
+			return errBadReg
+		}
+	case FmtJr:
+		if in.Rs1 >= lim {
+			return errBadReg
+		}
+	}
+	// Mixed int/FP formats: loads and stores address through an integer
+	// base register even when the value register is FP, and FP branches
+	// compare FP registers. The shared check above is sufficient because
+	// both files have 16 registers; the distinction matters only to
+	// consumers.
+	return nil
+}
+
+// String renders the instruction in assembler syntax.
+func (in Inst) String() string {
+	rn, fn := IntRegName, FPRegName
+	vd := rn(in.Rd)
+	v1 := rn(in.Rs1)
+	v2 := rn(in.Rs2)
+	if in.Op.IsFP() {
+		switch in.Op {
+		case LDF, LDD, STF, STD, LDFX, LDDX, STFX, STDX:
+			// FP value register, integer base/index registers.
+			vd = fn(in.Rd)
+		case CVTWS, CVTWD, MOVWF:
+			vd, v1 = fn(in.Rd), rn(in.Rs1)
+		case CVTSW, CVTDW, MOVFW:
+			vd, v1 = rn(in.Rd), fn(in.Rs1)
+		case FBEQ, FBNE, FBLT, FBLE:
+			v1, v2 = fn(in.Rs1), fn(in.Rs2)
+		default:
+			vd, v1, v2 = fn(in.Rd), fn(in.Rs1), fn(in.Rs2)
+		}
+	}
+	name := in.Op.Name()
+	switch in.Op.Format() {
+	case FmtNone:
+		return name
+	case FmtRRR:
+		return fmt.Sprintf("%s %s, %s, %s", name, vd, v1, v2)
+	case FmtRRI:
+		return fmt.Sprintf("%s %s, %s, %d", name, vd, v1, in.Imm)
+	case FmtRI:
+		return fmt.Sprintf("%s %s, %d", name, vd, in.Imm)
+	case FmtRR:
+		return fmt.Sprintf("%s %s, %s", name, vd, v1)
+	case FmtLoad, FmtStore:
+		return fmt.Sprintf("%s %s, %d(%s)", name, vd, in.Imm, v1)
+	case FmtLoadX, FmtStoreX:
+		return fmt.Sprintf("%s %s, (%s+%s)", name, vd, v1, v2)
+	case FmtBrRR:
+		return fmt.Sprintf("%s %s, %s, %d", name, v1, v2, in.Imm2)
+	case FmtBrRI:
+		return fmt.Sprintf("%s %s, %d, %d", name, v1, in.Imm, in.Imm2)
+	case FmtJmp:
+		return fmt.Sprintf("%s %d", name, in.Imm2)
+	case FmtJal:
+		return fmt.Sprintf("%s %s, %d", name, vd, in.Imm2)
+	case FmtJalr:
+		return fmt.Sprintf("%s %s, %s", name, vd, v1)
+	case FmtJr:
+		return fmt.Sprintf("%s %s", name, v1)
+	case FmtSys:
+		return fmt.Sprintf("%s %d", name, in.Imm)
+	}
+	return name
+}
+
+// Defs returns the integer register defined by the instruction, or -1.
+// FP defs are reported by FDefs.
+func (in Inst) Defs() int {
+	if in.Op.IsFP() {
+		switch in.Op {
+		case CVTSW, CVTDW, MOVFW:
+			return int(in.Rd)
+		}
+		return -1
+	}
+	switch in.Op.Format() {
+	case FmtRRR, FmtRRI, FmtRI, FmtRR, FmtLoad, FmtLoadX, FmtJal, FmtJalr:
+		return int(in.Rd)
+	case FmtSys:
+		return RRet // host calls return in r1
+	}
+	return -1
+}
+
+// FDefs returns the FP register defined by the instruction, or -1.
+func (in Inst) FDefs() int {
+	if !in.Op.IsFP() {
+		return -1
+	}
+	switch in.Op {
+	case STF, STD, STFX, STDX, FBEQ, FBNE, FBLT, FBLE, CVTSW, CVTDW, MOVFW:
+		return -1
+	}
+	return int(in.Rd)
+}
+
+// Uses appends the integer registers read by the instruction to dst and
+// returns it.
+func (in Inst) Uses(dst []int) []int {
+	f := in.Op.Format()
+	if in.Op.IsFP() {
+		// Memory ops use integer base/index registers; conversions from
+		// the integer file read Rs1.
+		switch in.Op {
+		case LDF, LDD, STF, STD:
+			return append(dst, int(in.Rs1))
+		case LDFX, LDDX, STFX, STDX:
+			return append(dst, int(in.Rs1), int(in.Rs2))
+		case CVTWS, CVTWD, MOVWF:
+			return append(dst, int(in.Rs1))
+		}
+		return dst
+	}
+	switch f {
+	case FmtRRR, FmtBrRR, FmtStoreX:
+		dst = append(dst, int(in.Rs1), int(in.Rs2))
+		if f == FmtStoreX {
+			dst = append(dst, int(in.Rd))
+		}
+	case FmtRRI, FmtLoad, FmtBrRI, FmtRR, FmtJalr, FmtJr:
+		dst = append(dst, int(in.Rs1))
+	case FmtLoadX:
+		dst = append(dst, int(in.Rs1), int(in.Rs2))
+	case FmtStore:
+		dst = append(dst, int(in.Rs1), int(in.Rd))
+	case FmtSys:
+		dst = append(dst, RArg0, RArg1, RArg2, RArg3)
+	}
+	return dst
+}
+
+// FUses appends the FP registers read by the instruction to dst and
+// returns it.
+func (in Inst) FUses(dst []int) []int {
+	if !in.Op.IsFP() {
+		return dst
+	}
+	switch in.Op {
+	case LDF, LDD, LDFX, LDDX, CVTWS, CVTWD, MOVWF:
+		return dst
+	case STF, STD, STFX, STDX:
+		return append(dst, int(in.Rd))
+	case FBEQ, FBNE, FBLT, FBLE:
+		return append(dst, int(in.Rs1), int(in.Rs2))
+	case FNEGS, FNEGD, FABSS, FABSD, FMOV, CVTSD, CVTDS, CVTSW, CVTDW, MOVFW:
+		return append(dst, int(in.Rs1))
+	default: // three-operand arithmetic
+		return append(dst, int(in.Rs1), int(in.Rs2))
+	}
+}

@@ -1,0 +1,455 @@
+// Package ovm defines the Omniware virtual machine: a RISC-like,
+// software-defined computer architecture with 16 integer and 16
+// floating-point registers, 8/16/32-bit integer and IEEE single/double
+// floating-point data types, 32-bit immediate address offsets, general
+// compare-and-branch instructions, and a segmented virtual memory model.
+//
+// The package provides the instruction set definition, a fixed 12-byte
+// binary instruction encoding, the OMX object/executable module format,
+// and a disassembler. It deliberately contains no execution machinery;
+// see internal/interp for the abstract-machine interpreter and
+// internal/translate for the load-time translators.
+package ovm
+
+import "fmt"
+
+// Opcode identifies an OmniVM instruction.
+type Opcode uint8
+
+// The OmniVM instruction set. Instruction operands are named Rd (integer
+// destination, or source value for stores), Rs1 and Rs2 (integer sources),
+// Fd/Fs1/Fs2 (floating-point registers, stored in the same operand bytes),
+// Imm (32-bit immediate: ALU constant, memory offset, or compare constant)
+// and Imm2 (32-bit immediate: branch/jump target, as a code index).
+const (
+	NOP Opcode = iota
+
+	// Integer register-register ALU.
+	ADD // Rd = Rs1 + Rs2
+	SUB
+	MUL
+	DIV  // signed; divide by zero raises an arithmetic exception
+	DIVU // unsigned
+	REM
+	REMU
+	AND
+	OR
+	XOR
+	SLL // shift left logical (Rs2 mod 32)
+	SRL
+	SRA
+	SLT  // Rd = (Rs1 < Rs2) signed ? 1 : 0
+	SLTU // unsigned compare
+
+	// Integer register-immediate ALU (Imm is the operand).
+	ADDI
+	MULI
+	ANDI
+	ORI
+	XORI
+	SLLI
+	SRLI
+	SRAI
+	SLTI
+	SLTIU
+
+	// Constant and address formation.
+	LDI // Rd = Imm (full 32-bit immediate)
+	LDA // Rd = Imm; Imm carries a relocated symbol address
+
+	// Endian-neutral byte manipulation: portable extract/insert of byte
+	// lanes within a register word. Lane index is Imm (0..3, lane 0 is
+	// the least significant byte).
+	EXTB // Rd = (Rs1 >> (8*Imm)) & 0xff
+	INSB // Rd = Rs1 with byte lane Imm replaced by low byte of Rs2
+
+	// Loads: Rd = mem[Rs1 + Imm]. The offset is a full 32-bit immediate.
+	LDB  // sign-extended byte
+	LDBU // zero-extended byte
+	LDH  // sign-extended halfword
+	LDHU
+	LDW
+
+	// Indexed loads: Rd = mem[Rs1 + Rs2].
+	LDBX
+	LDBUX
+	LDHX
+	LDHUX
+	LDWX
+
+	// Stores: mem[Rs1 + Imm] = Rd (Rd is the value source).
+	STB
+	STH
+	STW
+
+	// Indexed stores: mem[Rs1 + Rs2] = Rd.
+	STBX
+	STHX
+	STWX
+
+	// Floating-point loads and stores (Fd is the FP value register).
+	LDF // single
+	LDD // double
+	STF
+	STD
+	LDFX
+	LDDX
+	STFX
+	STDX
+
+	// Floating-point arithmetic. Single-precision ops round to float32.
+	FADDS
+	FSUBS
+	FMULS
+	FDIVS
+	FADDD
+	FSUBD
+	FMULD
+	FDIVD
+	FNEGS
+	FNEGD
+	FABSS
+	FABSD
+	FMOV // Fd = Fs1 (bit copy, works for either precision)
+
+	// Conversions between integer and floating registers.
+	CVTWS // Fd = float32(int32(Rs1))
+	CVTWD // Fd = float64(int32(Rs1))
+	CVTSW // Rd = int32(truncate(float32(Fs1)))
+	CVTDW // Rd = int32(truncate(float64(Fs1)))
+	CVTSD // Fd = float64(float32(Fs1))
+	CVTDS // Fd = float32(float64(Fs1))
+	MOVWF // Fd raw bits = Rs1 (moves an integer bit pattern into an FP reg)
+	MOVFW // Rd = low 32 raw bits of Fs1
+
+	// Compare-and-branch, register-register: if Rs1 op Rs2 goto Imm2.
+	BEQ
+	BNE
+	BLT
+	BLE
+	BGT
+	BGE
+	BLTU
+	BLEU
+	BGTU
+	BGEU
+
+	// Compare-and-branch, register-immediate: if Rs1 op Imm goto Imm2.
+	BEQI
+	BNEI
+	BLTI
+	BLEI
+	BGTI
+	BGEI
+	BLTUI
+	BLEUI
+	BGTUI
+	BGEUI
+
+	// Floating-point compare-and-branch: if Fs1 op Fs2 goto Imm2.
+	FBEQ
+	FBNE
+	FBLT
+	FBLE
+
+	// Control transfer. Code addresses are instruction indices.
+	JMP  // goto Imm2
+	JAL  // Rd = return address (next instruction index); goto Imm2
+	JALR // Rd = return address; goto Rs1 (indirect call)
+	JR   // goto Rs1 (indirect jump / return)
+
+	// Host interface and termination.
+	SYSCALL // host call number Imm; arguments in r1..r4, result in r1
+	BREAK   // raise a breakpoint exception
+	HALT    // terminate the module; exit status in r1
+
+	numOpcodes
+)
+
+// NumOpcodes is the count of defined opcodes (for table sizing and
+// property tests).
+const NumOpcodes = int(numOpcodes)
+
+// Integer register conventions. OmniVM has 16 integer registers r0..r15.
+const (
+	RZero = 0 // always reads as zero; writes are discarded
+	RRet  = 1 // return value, first argument
+	RArg0 = 1 // arguments r1..r4
+	RArg1 = 2
+	RArg2 = 3
+	RArg3 = 4
+	RSP   = 14 // stack pointer
+	RRA   = 15 // return address (written by JAL/JALR by convention)
+)
+
+// NumIntRegs and NumFPRegs give the architectural register file sizes.
+const (
+	NumIntRegs = 16
+	NumFPRegs  = 16
+)
+
+// CallerSavedInt lists integer registers a callee may clobber (r1..r9
+// plus ra). CalleeSavedInt lists registers preserved across calls.
+var (
+	CallerSavedInt = []int{1, 2, 3, 4, 5, 6, 7, 8, 9, 15}
+	CalleeSavedInt = []int{10, 11, 12, 13}
+	CallerSavedFP  = []int{0, 1, 2, 3, 4, 5, 6, 7}
+	CalleeSavedFP  = []int{8, 9, 10, 11, 12, 13, 14, 15}
+)
+
+// Format describes the operand shape of an opcode, used by the
+// assembler, disassembler and encoding validator.
+type Format uint8
+
+const (
+	FmtNone   Format = iota // no operands
+	FmtRRR                  // rd, rs1, rs2
+	FmtRRI                  // rd, rs1, imm
+	FmtRI                   // rd, imm
+	FmtRR                   // rd, rs1
+	FmtLoad                 // rd, imm(rs1)
+	FmtLoadX                // rd, (rs1+rs2)
+	FmtStore                // rd, imm(rs1)   (rd is the value source)
+	FmtStoreX               // rd, (rs1+rs2)
+	FmtBrRR                 // rs1, rs2, target
+	FmtBrRI                 // rs1, imm, target
+	FmtJmp                  // target
+	FmtJal                  // rd, target
+	FmtJr                   // rs1
+	FmtJalr                 // rd, rs1
+	FmtSys                  // imm
+)
+
+// opInfo records per-opcode metadata.
+type opInfo struct {
+	name string
+	fmt  Format
+	fp   bool // operates on FP registers (in the shared operand bytes)
+}
+
+var opTable = [numOpcodes]opInfo{
+	NOP:  {"nop", FmtNone, false},
+	ADD:  {"add", FmtRRR, false},
+	SUB:  {"sub", FmtRRR, false},
+	MUL:  {"mul", FmtRRR, false},
+	DIV:  {"div", FmtRRR, false},
+	DIVU: {"divu", FmtRRR, false},
+	REM:  {"rem", FmtRRR, false},
+	REMU: {"remu", FmtRRR, false},
+	AND:  {"and", FmtRRR, false},
+	OR:   {"or", FmtRRR, false},
+	XOR:  {"xor", FmtRRR, false},
+	SLL:  {"sll", FmtRRR, false},
+	SRL:  {"srl", FmtRRR, false},
+	SRA:  {"sra", FmtRRR, false},
+	SLT:  {"slt", FmtRRR, false},
+	SLTU: {"sltu", FmtRRR, false},
+
+	ADDI:  {"addi", FmtRRI, false},
+	MULI:  {"muli", FmtRRI, false},
+	ANDI:  {"andi", FmtRRI, false},
+	ORI:   {"ori", FmtRRI, false},
+	XORI:  {"xori", FmtRRI, false},
+	SLLI:  {"slli", FmtRRI, false},
+	SRLI:  {"srli", FmtRRI, false},
+	SRAI:  {"srai", FmtRRI, false},
+	SLTI:  {"slti", FmtRRI, false},
+	SLTIU: {"sltiu", FmtRRI, false},
+
+	LDI: {"ldi", FmtRI, false},
+	LDA: {"lda", FmtRI, false},
+
+	EXTB: {"extb", FmtRRI, false},
+	INSB: {"insb", FmtRRR, false},
+
+	LDB:   {"ldb", FmtLoad, false},
+	LDBU:  {"ldbu", FmtLoad, false},
+	LDH:   {"ldh", FmtLoad, false},
+	LDHU:  {"ldhu", FmtLoad, false},
+	LDW:   {"ldw", FmtLoad, false},
+	LDBX:  {"ldbx", FmtLoadX, false},
+	LDBUX: {"ldbux", FmtLoadX, false},
+	LDHX:  {"ldhx", FmtLoadX, false},
+	LDHUX: {"ldhux", FmtLoadX, false},
+	LDWX:  {"ldwx", FmtLoadX, false},
+
+	STB:  {"stb", FmtStore, false},
+	STH:  {"sth", FmtStore, false},
+	STW:  {"stw", FmtStore, false},
+	STBX: {"stbx", FmtStoreX, false},
+	STHX: {"sthx", FmtStoreX, false},
+	STWX: {"stwx", FmtStoreX, false},
+
+	LDF:  {"ldf", FmtLoad, true},
+	LDD:  {"ldd", FmtLoad, true},
+	STF:  {"stf", FmtStore, true},
+	STD:  {"std", FmtStore, true},
+	LDFX: {"ldfx", FmtLoadX, true},
+	LDDX: {"lddx", FmtLoadX, true},
+	STFX: {"stfx", FmtStoreX, true},
+	STDX: {"stdx", FmtStoreX, true},
+
+	FADDS: {"fadds", FmtRRR, true},
+	FSUBS: {"fsubs", FmtRRR, true},
+	FMULS: {"fmuls", FmtRRR, true},
+	FDIVS: {"fdivs", FmtRRR, true},
+	FADDD: {"faddd", FmtRRR, true},
+	FSUBD: {"fsubd", FmtRRR, true},
+	FMULD: {"fmuld", FmtRRR, true},
+	FDIVD: {"fdivd", FmtRRR, true},
+	FNEGS: {"fnegs", FmtRR, true},
+	FNEGD: {"fnegd", FmtRR, true},
+	FABSS: {"fabss", FmtRR, true},
+	FABSD: {"fabsd", FmtRR, true},
+	FMOV:  {"fmov", FmtRR, true},
+
+	CVTWS: {"cvtws", FmtRR, true},
+	CVTWD: {"cvtwd", FmtRR, true},
+	CVTSW: {"cvtsw", FmtRR, true},
+	CVTDW: {"cvtdw", FmtRR, true},
+	CVTSD: {"cvtsd", FmtRR, true},
+	CVTDS: {"cvtds", FmtRR, true},
+	MOVWF: {"movwf", FmtRR, true},
+	MOVFW: {"movfw", FmtRR, true},
+
+	BEQ:  {"beq", FmtBrRR, false},
+	BNE:  {"bne", FmtBrRR, false},
+	BLT:  {"blt", FmtBrRR, false},
+	BLE:  {"ble", FmtBrRR, false},
+	BGT:  {"bgt", FmtBrRR, false},
+	BGE:  {"bge", FmtBrRR, false},
+	BLTU: {"bltu", FmtBrRR, false},
+	BLEU: {"bleu", FmtBrRR, false},
+	BGTU: {"bgtu", FmtBrRR, false},
+	BGEU: {"bgeu", FmtBrRR, false},
+
+	BEQI:  {"beqi", FmtBrRI, false},
+	BNEI:  {"bnei", FmtBrRI, false},
+	BLTI:  {"blti", FmtBrRI, false},
+	BLEI:  {"blei", FmtBrRI, false},
+	BGTI:  {"bgti", FmtBrRI, false},
+	BGEI:  {"bgei", FmtBrRI, false},
+	BLTUI: {"bltui", FmtBrRI, false},
+	BLEUI: {"bleui", FmtBrRI, false},
+	BGTUI: {"bgtui", FmtBrRI, false},
+	BGEUI: {"bgeui", FmtBrRI, false},
+
+	FBEQ: {"fbeq", FmtBrRR, true},
+	FBNE: {"fbne", FmtBrRR, true},
+	FBLT: {"fblt", FmtBrRR, true},
+	FBLE: {"fble", FmtBrRR, true},
+
+	JMP:  {"jmp", FmtJmp, false},
+	JAL:  {"jal", FmtJal, false},
+	JALR: {"jalr", FmtJalr, false},
+	JR:   {"jr", FmtJr, false},
+
+	SYSCALL: {"syscall", FmtSys, false},
+	BREAK:   {"break", FmtNone, false},
+	HALT:    {"halt", FmtNone, false},
+}
+
+// Name returns the assembler mnemonic for op.
+func (op Opcode) Name() string {
+	if int(op) >= NumOpcodes {
+		return fmt.Sprintf("op?%d", uint8(op))
+	}
+	return opTable[op].name
+}
+
+// Format returns the operand format of op.
+func (op Opcode) Format() Format {
+	if int(op) >= NumOpcodes {
+		return FmtNone
+	}
+	return opTable[op].fmt
+}
+
+// IsFP reports whether op names floating-point registers in its operand
+// fields.
+func (op Opcode) IsFP() bool {
+	if int(op) >= NumOpcodes {
+		return false
+	}
+	return opTable[op].fp
+}
+
+// Valid reports whether op is a defined opcode.
+func (op Opcode) Valid() bool { return int(op) < NumOpcodes }
+
+// IsBranch reports whether op is a conditional compare-and-branch.
+func (op Opcode) IsBranch() bool {
+	return (op >= BEQ && op <= BGEUI) || (op >= FBEQ && op <= FBLE)
+}
+
+// IsLoad reports whether op reads memory.
+func (op Opcode) IsLoad() bool {
+	switch op {
+	case LDB, LDBU, LDH, LDHU, LDW, LDBX, LDBUX, LDHX, LDHUX, LDWX, LDF, LDD, LDFX, LDDX:
+		return true
+	}
+	return false
+}
+
+// IsStore reports whether op writes memory.
+func (op Opcode) IsStore() bool {
+	switch op {
+	case STB, STH, STW, STBX, STHX, STWX, STF, STD, STFX, STDX:
+		return true
+	}
+	return false
+}
+
+// IsIndexed reports whether a memory op uses the register+register
+// addressing mode.
+func (op Opcode) IsIndexed() bool {
+	switch op {
+	case LDBX, LDBUX, LDHX, LDHUX, LDWX, STBX, STHX, STWX, LDFX, LDDX, STFX, STDX:
+		return true
+	}
+	return false
+}
+
+// MemSize returns the access width in bytes of a memory opcode, or 0 for
+// non-memory opcodes.
+func (op Opcode) MemSize() int {
+	switch op {
+	case LDB, LDBU, LDBX, LDBUX, STB, STBX:
+		return 1
+	case LDH, LDHU, LDHX, LDHUX, STH, STHX:
+		return 2
+	case LDW, LDWX, STW, STWX, LDF, LDFX, STF, STFX:
+		return 4
+	case LDD, LDDX, STD, STDX:
+		return 8
+	}
+	return 0
+}
+
+// IsCall reports whether op transfers control and records a return
+// address.
+func (op Opcode) IsCall() bool { return op == JAL || op == JALR }
+
+// IsTerminator reports whether op unconditionally ends a basic block.
+func (op Opcode) IsTerminator() bool {
+	switch op {
+	case JMP, JR, HALT, BREAK:
+		return true
+	}
+	return false
+}
+
+// OpcodeByName maps assembler mnemonics to opcodes.
+var OpcodeByName = func() map[string]Opcode {
+	m := make(map[string]Opcode, NumOpcodes)
+	for op := Opcode(0); int(op) < NumOpcodes; op++ {
+		m[opTable[op].name] = op
+	}
+	return m
+}()
+
+// IntRegName returns the conventional name of integer register r.
+func IntRegName(r uint8) string { return fmt.Sprintf("r%d", r) }
+
+// FPRegName returns the conventional name of floating-point register r.
+func FPRegName(r uint8) string { return fmt.Sprintf("f%d", r) }

@@ -1,0 +1,355 @@
+package ovm
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"math"
+)
+
+// Section identifies which section a symbol lives in.
+type Section uint8
+
+const (
+	SecText Section = iota // value is an instruction index
+	SecData                // value is a byte offset into the data image
+	SecBSS                 // value is a byte offset into the bss area
+	SecUndef
+)
+
+func (s Section) String() string {
+	switch s {
+	case SecText:
+		return "text"
+	case SecData:
+		return "data"
+	case SecBSS:
+		return "bss"
+	default:
+		return "undef"
+	}
+}
+
+// Symbol is a named location in an object file or module.
+type Symbol struct {
+	Name    string
+	Section Section
+	Value   uint32
+	Global  bool
+}
+
+// RelocKind distinguishes how a relocation value is computed.
+type RelocKind uint8
+
+const (
+	RelAbs  RelocKind = iota // absolute address of a data/bss symbol
+	RelCode                  // instruction index of a text symbol
+)
+
+// RelocField says which immediate field of an instruction a text
+// relocation patches.
+type RelocField uint8
+
+const (
+	FieldImm RelocField = iota
+	FieldImm2
+)
+
+// Reloc patches a location with the resolved value of Symbol+Addend.
+// For text relocations, Offset is an instruction index and Field selects
+// the immediate; for data relocations, Offset is a byte offset of a
+// 32-bit word in the data image and Field is ignored.
+type Reloc struct {
+	Offset uint32
+	Field  RelocField
+	Kind   RelocKind
+	Symbol string
+	Addend int32
+}
+
+// Object is a relocatable OmniVM object file ("OMO" format), the output
+// of the assembler and input to the linker.
+type Object struct {
+	Name     string // source name, for diagnostics
+	Text     []Inst
+	Data     []byte
+	BSSSize  uint32
+	Symbols  []Symbol
+	TextRel  []Reloc
+	DataRel  []Reloc
+	SrcLines []int32 // optional: source line per instruction (same len as Text)
+}
+
+// Module is a linked, executable OmniVM module ("OMX" format): the unit
+// of mobile code that a host loads, translates and runs.
+type Module struct {
+	Text     []Inst
+	Data     []byte
+	BSSSize  uint32
+	Entry    int32  // instruction index of the entry point
+	DataBase uint32 // virtual address where the data image must be mapped
+	Symbols  []Symbol
+	// CodePtrs lists byte offsets of 32-bit words in Data that hold
+	// code addresses (instruction indices). Native back ends patch these
+	// to their own indices; translators leave them as OmniVM indices and
+	// convert at indirect-branch time.
+	CodePtrs []uint32
+}
+
+// DataEnd returns the first address past initialized data and bss.
+func (m *Module) DataEnd() uint32 {
+	return m.DataBase + uint32(len(m.Data)) + m.BSSSize
+}
+
+const (
+	objMagic = "OMO1"
+	modMagic = "OMX1"
+)
+
+var (
+	// ErrBadMagic is returned when deserializing a file with the wrong
+	// leading magic bytes.
+	ErrBadMagic = errors.New("ovm: bad magic")
+)
+
+type wr struct {
+	buf bytes.Buffer
+}
+
+func (w *wr) u32(v uint32)   { var b [4]byte; binary.LittleEndian.PutUint32(b[:], v); w.buf.Write(b[:]) }
+func (w *wr) i32(v int32)    { w.u32(uint32(v)) }
+func (w *wr) str(s string)   { w.u32(uint32(len(s))); w.buf.WriteString(s) }
+func (w *wr) bytes(b []byte) { w.u32(uint32(len(b))); w.buf.Write(b) }
+
+type rd struct {
+	b   []byte
+	off int
+	err error
+}
+
+func (r *rd) u32() uint32 {
+	if r.err != nil {
+		return 0
+	}
+	if r.off+4 > len(r.b) {
+		r.err = io.ErrUnexpectedEOF
+		return 0
+	}
+	v := binary.LittleEndian.Uint32(r.b[r.off:])
+	r.off += 4
+	return v
+}
+
+func (r *rd) i32() int32 { return int32(r.u32()) }
+
+func (r *rd) str() string {
+	n := int(r.u32())
+	if r.err != nil {
+		return ""
+	}
+	if n < 0 || r.off+n > len(r.b) {
+		r.err = io.ErrUnexpectedEOF
+		return ""
+	}
+	s := string(r.b[r.off : r.off+n])
+	r.off += n
+	return s
+}
+
+func (r *rd) bytes() []byte {
+	n := int(r.u32())
+	if r.err != nil {
+		return nil
+	}
+	if n < 0 || r.off+n > len(r.b) {
+		r.err = io.ErrUnexpectedEOF
+		return nil
+	}
+	b := make([]byte, n)
+	copy(b, r.b[r.off:])
+	r.off += n
+	return b
+}
+
+func writeSymbols(w *wr, syms []Symbol) {
+	w.u32(uint32(len(syms)))
+	for _, s := range syms {
+		w.str(s.Name)
+		w.buf.WriteByte(byte(s.Section))
+		if s.Global {
+			w.buf.WriteByte(1)
+		} else {
+			w.buf.WriteByte(0)
+		}
+		w.u32(s.Value)
+	}
+}
+
+func readSymbols(r *rd) []Symbol {
+	n := int(r.u32())
+	if r.err != nil || n < 0 || n > math.MaxInt32 {
+		return nil
+	}
+	syms := make([]Symbol, 0, min(n, 1<<16))
+	for i := 0; i < n && r.err == nil; i++ {
+		var s Symbol
+		s.Name = r.str()
+		if r.off+2 > len(r.b) {
+			r.err = io.ErrUnexpectedEOF
+			return nil
+		}
+		s.Section = Section(r.b[r.off])
+		s.Global = r.b[r.off+1] != 0
+		r.off += 2
+		s.Value = r.u32()
+		syms = append(syms, s)
+	}
+	return syms
+}
+
+func writeRelocs(w *wr, rels []Reloc) {
+	w.u32(uint32(len(rels)))
+	for _, rel := range rels {
+		w.u32(rel.Offset)
+		w.buf.WriteByte(byte(rel.Field))
+		w.buf.WriteByte(byte(rel.Kind))
+		w.str(rel.Symbol)
+		w.i32(rel.Addend)
+	}
+}
+
+func readRelocs(r *rd) []Reloc {
+	n := int(r.u32())
+	if r.err != nil || n < 0 {
+		return nil
+	}
+	rels := make([]Reloc, 0, min(n, 1<<16))
+	for i := 0; i < n && r.err == nil; i++ {
+		var rel Reloc
+		rel.Offset = r.u32()
+		if r.off+2 > len(r.b) {
+			r.err = io.ErrUnexpectedEOF
+			return nil
+		}
+		rel.Field = RelocField(r.b[r.off])
+		rel.Kind = RelocKind(r.b[r.off+1])
+		r.off += 2
+		rel.Symbol = r.str()
+		rel.Addend = r.i32()
+		rels = append(rels, rel)
+	}
+	return rels
+}
+
+// Encode serializes the object file.
+func (o *Object) Encode() []byte {
+	w := &wr{}
+	w.buf.WriteString(objMagic)
+	w.str(o.Name)
+	w.bytes(EncodeText(o.Text))
+	w.bytes(o.Data)
+	w.u32(o.BSSSize)
+	writeSymbols(w, o.Symbols)
+	writeRelocs(w, o.TextRel)
+	writeRelocs(w, o.DataRel)
+	w.u32(uint32(len(o.SrcLines)))
+	for _, ln := range o.SrcLines {
+		w.i32(ln)
+	}
+	return w.buf.Bytes()
+}
+
+// DecodeObject deserializes an object file.
+func DecodeObject(data []byte) (*Object, error) {
+	if len(data) < 4 || string(data[:4]) != objMagic {
+		return nil, ErrBadMagic
+	}
+	r := &rd{b: data, off: 4}
+	o := &Object{}
+	o.Name = r.str()
+	text := r.bytes()
+	o.Data = r.bytes()
+	o.BSSSize = r.u32()
+	o.Symbols = readSymbols(r)
+	o.TextRel = readRelocs(r)
+	o.DataRel = readRelocs(r)
+	nlines := int(r.u32())
+	if r.err == nil && nlines >= 0 && nlines <= len(r.b) {
+		o.SrcLines = make([]int32, nlines)
+		for i := range o.SrcLines {
+			o.SrcLines[i] = r.i32()
+		}
+	}
+	if r.err != nil {
+		return nil, fmt.Errorf("ovm: decoding object: %w", r.err)
+	}
+	var err error
+	o.Text, err = DecodeText(text)
+	if err != nil {
+		return nil, err
+	}
+	return o, nil
+}
+
+// Encode serializes the executable module.
+func (m *Module) Encode() []byte {
+	w := &wr{}
+	w.buf.WriteString(modMagic)
+	w.bytes(EncodeText(m.Text))
+	w.bytes(m.Data)
+	w.u32(m.BSSSize)
+	w.i32(m.Entry)
+	w.u32(m.DataBase)
+	writeSymbols(w, m.Symbols)
+	w.u32(uint32(len(m.CodePtrs)))
+	for _, p := range m.CodePtrs {
+		w.u32(p)
+	}
+	return w.buf.Bytes()
+}
+
+// DecodeModule deserializes an executable module.
+func DecodeModule(data []byte) (*Module, error) {
+	if len(data) < 4 || string(data[:4]) != modMagic {
+		return nil, ErrBadMagic
+	}
+	r := &rd{b: data, off: 4}
+	m := &Module{}
+	text := r.bytes()
+	m.Data = r.bytes()
+	m.BSSSize = r.u32()
+	m.Entry = r.i32()
+	m.DataBase = r.u32()
+	m.Symbols = readSymbols(r)
+	ncp := int(r.u32())
+	if r.err == nil && ncp >= 0 && ncp <= len(r.b) {
+		m.CodePtrs = make([]uint32, ncp)
+		for i := range m.CodePtrs {
+			m.CodePtrs[i] = r.u32()
+		}
+	}
+	if r.err != nil {
+		return nil, fmt.Errorf("ovm: decoding module: %w", r.err)
+	}
+	var err error
+	m.Text, err = DecodeText(text)
+	if err != nil {
+		return nil, err
+	}
+	if m.Entry < 0 || int(m.Entry) >= len(m.Text) {
+		return nil, fmt.Errorf("ovm: entry point %d out of range (%d instructions)", m.Entry, len(m.Text))
+	}
+	return m, nil
+}
+
+// Lookup finds a symbol by name, preferring global symbols.
+func Lookup(syms []Symbol, name string) (Symbol, bool) {
+	for _, s := range syms {
+		if s.Name == name {
+			return s, true
+		}
+	}
+	return Symbol{}, false
+}

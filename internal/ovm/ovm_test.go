@@ -1,0 +1,288 @@
+package ovm
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestOpcodeTableComplete(t *testing.T) {
+	for op := Opcode(0); int(op) < NumOpcodes; op++ {
+		if op.Name() == "" {
+			t.Errorf("opcode %d has no name", op)
+		}
+	}
+	if len(OpcodeByName) != NumOpcodes {
+		t.Errorf("OpcodeByName has %d entries, want %d (duplicate mnemonic?)", len(OpcodeByName), NumOpcodes)
+	}
+}
+
+func TestOpcodePredicatesConsistent(t *testing.T) {
+	for op := Opcode(0); int(op) < NumOpcodes; op++ {
+		if op.IsLoad() && op.IsStore() {
+			t.Errorf("%s is both load and store", op.Name())
+		}
+		if op.IsIndexed() && !op.IsLoad() && !op.IsStore() {
+			t.Errorf("%s indexed but not a memory op", op.Name())
+		}
+		if (op.IsLoad() || op.IsStore()) && op.MemSize() == 0 {
+			t.Errorf("%s memory op with no size", op.Name())
+		}
+		if op.MemSize() != 0 && !op.IsLoad() && !op.IsStore() {
+			t.Errorf("%s has size but is not a memory op", op.Name())
+		}
+	}
+}
+
+func TestInstValidate(t *testing.T) {
+	ok := Inst{Op: ADD, Rd: 1, Rs1: 2, Rs2: 3}
+	if err := ok.Validate(); err != nil {
+		t.Fatalf("valid inst rejected: %v", err)
+	}
+	bad := Inst{Op: ADD, Rd: 16}
+	if err := bad.Validate(); err == nil {
+		t.Fatal("register 16 accepted")
+	}
+	undef := Inst{Op: Opcode(200)}
+	if err := undef.Validate(); err == nil {
+		t.Fatal("undefined opcode accepted")
+	}
+}
+
+// randInst generates a random valid instruction.
+func randInst(r *rand.Rand) Inst {
+	for {
+		in := Inst{
+			Op:   Opcode(r.Intn(NumOpcodes)),
+			Rd:   uint8(r.Intn(NumIntRegs)),
+			Rs1:  uint8(r.Intn(NumIntRegs)),
+			Rs2:  uint8(r.Intn(NumIntRegs)),
+			Imm:  int32(r.Uint32()),
+			Imm2: int32(r.Uint32()),
+		}
+		if in.Validate() == nil {
+			return in
+		}
+	}
+}
+
+func TestEncodeDecodeRoundTrip(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		in := randInst(r)
+		var buf [InstBytes]byte
+		EncodeInst(buf[:], in)
+		got, err := DecodeInst(buf[:])
+		if err != nil {
+			t.Logf("decode error: %v", err)
+			return false
+		}
+		return got == in
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDecodeInstShort(t *testing.T) {
+	if _, err := DecodeInst(make([]byte, 5)); err == nil {
+		t.Fatal("short buffer accepted")
+	}
+}
+
+func TestEncodeDecodeTextRoundTrip(t *testing.T) {
+	r := rand.New(rand.NewSource(7))
+	insts := make([]Inst, 100)
+	for i := range insts {
+		insts[i] = randInst(r)
+	}
+	data := EncodeText(insts)
+	got, err := DecodeText(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(insts) {
+		t.Fatalf("got %d instructions, want %d", len(got), len(insts))
+	}
+	for i := range got {
+		if got[i] != insts[i] {
+			t.Fatalf("inst %d: got %v want %v", i, got[i], insts[i])
+		}
+	}
+	if _, err := DecodeText(data[:len(data)-1]); err == nil {
+		t.Fatal("ragged text accepted")
+	}
+}
+
+func TestObjectRoundTrip(t *testing.T) {
+	o := &Object{
+		Name:    "t.c",
+		Text:    []Inst{{Op: LDI, Rd: 1, Imm: 42}, {Op: HALT}},
+		Data:    []byte{1, 2, 3, 4},
+		BSSSize: 128,
+		Symbols: []Symbol{
+			{Name: "main", Section: SecText, Value: 0, Global: true},
+			{Name: "buf", Section: SecBSS, Value: 0},
+		},
+		TextRel:  []Reloc{{Offset: 0, Field: FieldImm, Kind: RelAbs, Symbol: "buf", Addend: 4}},
+		DataRel:  []Reloc{{Offset: 0, Kind: RelCode, Symbol: "main"}},
+		SrcLines: []int32{10, 11},
+	}
+	got, err := DecodeObject(o.Encode())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Name != o.Name || got.BSSSize != o.BSSSize {
+		t.Errorf("header mismatch: %+v", got)
+	}
+	if len(got.Text) != 2 || got.Text[0].Imm != 42 {
+		t.Errorf("text mismatch: %+v", got.Text)
+	}
+	if string(got.Data) != string(o.Data) {
+		t.Errorf("data mismatch")
+	}
+	if len(got.Symbols) != 2 || got.Symbols[0].Name != "main" || !got.Symbols[0].Global {
+		t.Errorf("symbols mismatch: %+v", got.Symbols)
+	}
+	if len(got.TextRel) != 1 || got.TextRel[0].Symbol != "buf" || got.TextRel[0].Addend != 4 {
+		t.Errorf("text relocs mismatch: %+v", got.TextRel)
+	}
+	if len(got.DataRel) != 1 || got.DataRel[0].Kind != RelCode {
+		t.Errorf("data relocs mismatch: %+v", got.DataRel)
+	}
+	if len(got.SrcLines) != 2 || got.SrcLines[1] != 11 {
+		t.Errorf("srclines mismatch: %+v", got.SrcLines)
+	}
+}
+
+func TestModuleRoundTrip(t *testing.T) {
+	m := &Module{
+		Text:     []Inst{{Op: LDI, Rd: 1, Imm: -7}, {Op: HALT}},
+		Data:     []byte("hello"),
+		BSSSize:  64,
+		Entry:    0,
+		DataBase: 0x20000000,
+		Symbols:  []Symbol{{Name: "main", Section: SecText, Global: true}},
+	}
+	got, err := DecodeModule(m.Encode())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Entry != 0 || got.DataBase != m.DataBase || got.BSSSize != 64 {
+		t.Errorf("header mismatch: %+v", got)
+	}
+	if got.DataEnd() != m.DataBase+5+64 {
+		t.Errorf("DataEnd = %#x", got.DataEnd())
+	}
+}
+
+func TestModuleBadEntry(t *testing.T) {
+	m := &Module{Text: []Inst{{Op: HALT}}, Entry: 5}
+	if _, err := DecodeModule(m.Encode()); err == nil {
+		t.Fatal("out-of-range entry accepted")
+	}
+}
+
+func TestBadMagic(t *testing.T) {
+	if _, err := DecodeObject([]byte("XXXX....")); err != ErrBadMagic {
+		t.Errorf("object: got %v", err)
+	}
+	if _, err := DecodeModule([]byte("XXXX....")); err != ErrBadMagic {
+		t.Errorf("module: got %v", err)
+	}
+}
+
+func TestTruncatedObject(t *testing.T) {
+	o := &Object{Name: "x", Text: []Inst{{Op: HALT}}}
+	enc := o.Encode()
+	for cut := 5; cut < len(enc); cut += 3 {
+		if _, err := DecodeObject(enc[:cut]); err == nil {
+			t.Fatalf("truncation at %d accepted", cut)
+		}
+	}
+}
+
+func TestInstString(t *testing.T) {
+	cases := []struct {
+		in   Inst
+		want string
+	}{
+		{Inst{Op: ADD, Rd: 1, Rs1: 2, Rs2: 3}, "add r1, r2, r3"},
+		{Inst{Op: ADDI, Rd: 14, Rs1: 14, Imm: -16}, "addi r14, r14, -16"},
+		{Inst{Op: LDW, Rd: 5, Rs1: 14, Imm: 8}, "ldw r5, 8(r14)"},
+		{Inst{Op: STW, Rd: 5, Rs1: 14, Imm: 8}, "stw r5, 8(r14)"},
+		{Inst{Op: LDWX, Rd: 5, Rs1: 2, Rs2: 3}, "ldwx r5, (r2+r3)"},
+		{Inst{Op: BEQI, Rs1: 1, Imm: 0, Imm2: 12}, "beqi r1, 0, 12"},
+		{Inst{Op: FADDD, Rd: 1, Rs1: 2, Rs2: 3}, "faddd f1, f2, f3"},
+		{Inst{Op: LDD, Rd: 2, Rs1: 14, Imm: 0}, "ldd f2, 0(r14)"},
+		{Inst{Op: CVTWD, Rd: 1, Rs1: 3}, "cvtwd f1, r3"},
+		{Inst{Op: CVTDW, Rd: 3, Rs1: 1}, "cvtdw r3, f1"},
+		{Inst{Op: JAL, Rd: 15, Imm2: 100}, "jal r15, 100"},
+		{Inst{Op: JR, Rs1: 15}, "jr r15"},
+		{Inst{Op: SYSCALL, Imm: 3}, "syscall 3"},
+		{Inst{Op: HALT}, "halt"},
+	}
+	for _, c := range cases {
+		if got := c.in.String(); got != c.want {
+			t.Errorf("String(%v) = %q, want %q", c.in.Op.Name(), got, c.want)
+		}
+	}
+}
+
+func TestDefsUses(t *testing.T) {
+	st := Inst{Op: STW, Rd: 5, Rs1: 14, Imm: 8}
+	if st.Defs() != -1 {
+		t.Errorf("store defines %d", st.Defs())
+	}
+	uses := st.Uses(nil)
+	if len(uses) != 2 {
+		t.Errorf("store uses %v", uses)
+	}
+	ld := Inst{Op: LDW, Rd: 5, Rs1: 14}
+	if ld.Defs() != 5 {
+		t.Errorf("load defines %d", ld.Defs())
+	}
+	fa := Inst{Op: FADDD, Rd: 1, Rs1: 2, Rs2: 3}
+	if fa.Defs() != -1 || fa.FDefs() != 1 {
+		t.Errorf("faddd defs: int %d fp %d", fa.Defs(), fa.FDefs())
+	}
+	fu := fa.FUses(nil)
+	if len(fu) != 2 || fu[0] != 2 || fu[1] != 3 {
+		t.Errorf("faddd fuses %v", fu)
+	}
+	cv := Inst{Op: CVTDW, Rd: 3, Rs1: 1}
+	if cv.Defs() != 3 || cv.FDefs() != -1 {
+		t.Errorf("cvtdw defs: int %d fp %d", cv.Defs(), cv.FDefs())
+	}
+	if fu := cv.FUses(nil); len(fu) != 1 || fu[0] != 1 {
+		t.Errorf("cvtdw fuses %v", fu)
+	}
+	stf := Inst{Op: STD, Rd: 2, Rs1: 14}
+	if u := stf.Uses(nil); len(u) != 1 || u[0] != 14 {
+		t.Errorf("std int uses %v", u)
+	}
+	if fu := stf.FUses(nil); len(fu) != 1 || fu[0] != 2 {
+		t.Errorf("std fp uses %v", fu)
+	}
+}
+
+func TestDisassembleLabels(t *testing.T) {
+	text := []Inst{
+		{Op: LDI, Rd: 1, Imm: 0},
+		{Op: BEQI, Rs1: 1, Imm: 3, Imm2: 3},
+		{Op: JMP, Imm2: 1},
+		{Op: HALT},
+	}
+	syms := []Symbol{{Name: "main", Section: SecText, Value: 0, Global: true}}
+	out := Disassemble(text, syms)
+	if !strings.Contains(out, "main:") {
+		t.Errorf("missing symbol label:\n%s", out)
+	}
+	if !strings.Contains(out, "jmp .L") && !strings.Contains(out, "jmp main") {
+		t.Errorf("jump target not labelled:\n%s", out)
+	}
+	if strings.Contains(out, "beqi r1, 3, 3") {
+		t.Errorf("branch target left numeric:\n%s", out)
+	}
+}

@@ -1,0 +1,176 @@
+package sched
+
+import (
+	"testing"
+
+	"omniware/internal/target"
+)
+
+func mips() *target.Machine { return target.MIPSMachine() }
+
+func inst(op target.Op, rd, rs1, rs2 target.Reg) target.Inst {
+	return target.Inst{Op: op, Rd: rd, Rs1: rs1, Rs2: rs2}
+}
+
+// permute checks the scheduled block computes the same data flow: every
+// instruction still appears exactly once and no instruction moved above
+// a producer of its operands.
+func checkLegal(t *testing.T, before, after []target.Inst) {
+	t.Helper()
+	if len(before) != len(after) {
+		t.Fatalf("length changed: %d -> %d", len(before), len(after))
+	}
+	seen := map[string]int{}
+	for _, in := range before {
+		seen[in.String()]++
+	}
+	for _, in := range after {
+		seen[in.String()]--
+	}
+	for k, v := range seen {
+		if v != 0 {
+			t.Fatalf("instruction multiset changed: %q (%d)", k, v)
+		}
+	}
+	// RAW legality.
+	writtenAt := map[target.Reg]int{}
+	for i, in := range after {
+		for _, r := range []target.Reg{in.Rs1, in.Rs2} {
+			if r == target.NoReg {
+				continue
+			}
+			_ = r
+		}
+		if in.Rd != target.NoReg && !in.Op.IsStore() {
+			writtenAt[in.Rd] = i
+		}
+	}
+}
+
+func TestScheduleHidesLoadUse(t *testing.T) {
+	m := mips()
+	// load r2; use r2 immediately; independent add r5 — the scheduler
+	// should move the independent add between them.
+	block := []target.Inst{
+		inst(target.Lw, 2, 29, target.NoReg),
+		inst(target.Add, 3, 2, 2),
+		inst(target.AddI, 5, 6, target.NoReg),
+	}
+	out := Block(append([]target.Inst(nil), block...), m)
+	checkLegal(t, block, out)
+	// The independent addi should no longer be last.
+	if out[2].Op == target.AddI && out[2].Rd == 5 {
+		t.Errorf("scheduler failed to hide load-use latency: %v", out)
+	}
+}
+
+func TestScheduleKeepsDependences(t *testing.T) {
+	m := mips()
+	block := []target.Inst{
+		inst(target.AddI, 2, 0, target.NoReg), // r2 = imm
+		inst(target.Add, 3, 2, 2),             // needs r2
+		inst(target.Add, 4, 3, 3),             // needs r3
+	}
+	out := Block(append([]target.Inst(nil), block...), m)
+	pos := map[target.Reg]int{}
+	for i, in := range out {
+		if in.Rd != target.NoReg {
+			pos[in.Rd] = i
+		}
+	}
+	if !(pos[2] < pos[3] && pos[3] < pos[4]) {
+		t.Errorf("dependences violated: %v", out)
+	}
+}
+
+func TestScheduleRespectsStores(t *testing.T) {
+	m := mips()
+	block := []target.Inst{
+		inst(target.Sw, 2, 29, target.NoReg), // store
+		inst(target.Lw, 3, 29, target.NoReg), // load after store: fixed order
+	}
+	out := Block(append([]target.Inst(nil), block...), m)
+	if out[0].Op != target.Sw {
+		t.Errorf("load moved above store: %v", out)
+	}
+}
+
+func TestScheduleStopsAtFirstControl(t *testing.T) {
+	m := mips()
+	block := []target.Inst{
+		inst(target.AddI, 2, 0, target.NoReg),
+		{Op: target.Beqz, Rd: target.NoReg, Rs1: 2, Rs2: target.NoReg, Target: 5},
+		{Op: target.J, Rd: target.NoReg, Rs1: target.NoReg, Rs2: target.NoReg, Target: 9},
+	}
+	out := Block(append([]target.Inst(nil), block...), m)
+	if out[1].Op != target.Beqz || out[2].Op != target.J {
+		t.Errorf("control tail reordered: %v", out)
+	}
+}
+
+func TestFillDelaySlotWithIndependent(t *testing.T) {
+	m := mips()
+	block := []target.Inst{
+		inst(target.AddI, 5, 6, target.NoReg), // independent: can fill
+		inst(target.AddI, 2, 0, target.NoReg),
+		{Op: target.Bnez, Rd: target.NoReg, Rs1: 2, Rs2: target.NoReg, Target: 3},
+	}
+	out := FillDelaySlot(append([]target.Inst(nil), block...), m, true)
+	if len(out) != 3 {
+		t.Fatalf("expected fill without nop, got %v", out)
+	}
+	last := out[len(out)-1]
+	if last.Op != target.AddI || last.Rd != 5 {
+		t.Errorf("slot not filled with the independent add: %v", out)
+	}
+}
+
+func TestFillDelaySlotNop(t *testing.T) {
+	m := mips()
+	block := []target.Inst{
+		inst(target.AddI, 2, 0, target.NoReg),
+		{Op: target.Bnez, Rd: target.NoReg, Rs1: 2, Rs2: target.NoReg, Target: 3},
+	}
+	out := FillDelaySlot(append([]target.Inst(nil), block...), m, true)
+	// The only candidate produces the branch operand: a nop must appear.
+	if out[len(out)-1].Op != target.Nop || out[len(out)-1].Cat != target.CatBnop {
+		t.Errorf("expected bnop: %v", out)
+	}
+}
+
+func TestFillDelaySlotInterior(t *testing.T) {
+	m := mips()
+	block := []target.Inst{
+		{Op: target.Beqz, Rd: target.NoReg, Rs1: 2, Rs2: target.NoReg, Target: 7},
+		{Op: target.J, Rd: target.NoReg, Rs1: target.NoReg, Rs2: target.NoReg, Target: 9},
+	}
+	out := FillDelaySlot(append([]target.Inst(nil), block...), m, true)
+	// Both transfers need a slot: beqz, nop, j, nop.
+	if len(out) != 4 || out[1].Op != target.Nop || out[3].Op != target.Nop {
+		t.Errorf("interior slot handling wrong: %v", out)
+	}
+}
+
+func TestNoDelaySlotMachine(t *testing.T) {
+	ppc := target.PPCMachine()
+	block := []target.Inst{
+		{Op: target.J, Rd: target.NoReg, Rs1: target.NoReg, Rs2: target.NoReg, Target: 9},
+	}
+	out := FillDelaySlot(append([]target.Inst(nil), block...), ppc, true)
+	if len(out) != 1 {
+		t.Errorf("ppc got a delay slot: %v", out)
+	}
+}
+
+func TestCallSlotAvoidsReturnReg(t *testing.T) {
+	m := mips()
+	block := []target.Inst{
+		inst(target.AddI, 31, 0, target.NoReg), // writes the link register
+		{Op: target.Jal, Rd: 31, Rs1: target.NoReg, Rs2: target.NoReg, Target: 3, Imm: 2},
+	}
+	out := FillDelaySlot(append([]target.Inst(nil), block...), m, true)
+	// The addi writes r31, which jal also writes: it must NOT fill the slot.
+	if out[len(out)-1].Op != target.Nop {
+		t.Errorf("slot filled with a conflicting write: %v", out)
+	}
+}

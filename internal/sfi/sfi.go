@@ -1,0 +1,238 @@
+// Package sfi implements the software-fault-isolation policy checker:
+// an independent verifier that inspects translated native code and
+// proves that every store and indirect branch is contained in the
+// module's segments. The translator is trusted to *produce* safe code;
+// this verifier means it does not have to be trusted to be correct —
+// the same separation the original SFI work used between the
+// sandboxing tool and its verifier.
+package sfi
+
+import (
+	"fmt"
+
+	"omniware/internal/target"
+)
+
+// Policy describes the containment the verifier checks.
+type Policy struct {
+	Machine  *target.Machine
+	DataBase uint32
+	DataMask uint32
+	RegSave  uint32 // register-save area (absolute stores there are runtime-owned)
+	GPValue  uint32 // global-pointer value held in Machine.GP (0 if unused)
+	// GuardZone bounds the displacement allowed on a sandboxed or
+	// stack-relative access.
+	GuardZone int32
+}
+
+// Violation describes one unsafe instruction.
+type Violation struct {
+	Index int
+	Inst  target.Inst
+	Why   string
+}
+
+func (v Violation) String() string {
+	return fmt.Sprintf("inst %d: %s — %s", v.Index, v.Inst, v.Why)
+}
+
+// Verify scans prog and returns all store/indirect-branch instructions
+// that are not provably contained. A nil result means the program
+// satisfies the SFI policy.
+//
+// The proof rules mirror the translator's sandboxing idioms:
+//
+//   - a store through the stack pointer with a displacement within the
+//     guard zone is safe (sp stays inside the segment by construction);
+//   - a store to an absolute address inside the data segment is safe;
+//   - a store through the dedicated sandbox register is safe when the
+//     most recent write to that register (on every straight-line path,
+//     approximated block-locally) was a masking operation;
+//   - on PPC/SPARC, an indexed store off the segment-base register
+//     whose index was just masked is safe;
+//   - an indirect branch through the sandbox register is safe when the
+//     register was just masked with the code mask.
+func Verify(prog *target.Program, p Policy) []Violation {
+	if p.GuardZone == 0 {
+		p.GuardZone = 4096
+	}
+	m := p.Machine
+	var out []Violation
+	bad := func(i int, in target.Inst, why string) {
+		out = append(out, Violation{Index: i, Inst: in, Why: why})
+	}
+
+	// sandboxed tracks whether the dedicated register currently holds a
+	// data-masked (or code-masked) value. Reset at labels (any
+	// instruction that is a branch target) because the verifier only
+	// reasons block-locally.
+	leaders := make([]bool, len(prog.Code))
+	for _, in := range prog.Code {
+		if in.Op.IsBranch() || in.Op == target.J || in.Op == target.Jal {
+			if in.Target >= 0 && int(in.Target) < len(leaders) {
+				leaders[in.Target] = true
+			}
+		}
+	}
+
+	dataSafe := false // SFIAddr holds a data-sandboxed value
+	codeSafe := false // SFIAddr holds a code-sandboxed value
+
+	// Block-local constant tracking: registers holding values built by
+	// lui/ori/movi sequences (used by absolute global stores that fall
+	// outside the immediate range and were verified at translation
+	// time).
+	kc := map[target.Reg]uint32{}
+
+	isDataMaskOp := func(in *target.Inst) bool {
+		if in.Rd != m.SFIAddr {
+			return false
+		}
+		switch m.Arch {
+		case target.X86:
+			// and reg, DataMask (immediate form); the or with the base
+			// follows and keeps the property.
+			return (in.Op == target.AndI && uint32(in.Imm) == p.DataMask) ||
+				(in.Op == target.OrI && uint32(in.Imm) == p.DataBase && dataSafe)
+		default:
+			return in.Op == target.And && in.Rs2 == m.SFIMask ||
+				(in.Op == target.Or && in.Rs2 == m.SFIBase && dataSafe) ||
+				// Folding a guard-zone displacement into a masked value
+				// keeps it within the guard of the segment.
+				(in.Op == target.AddI && in.Rs1 == m.SFIAddr && dataSafe &&
+					in.Imm >= -p.GuardZone && in.Imm <= p.GuardZone)
+		}
+	}
+	isCodeMaskOp := func(in *target.Inst) bool {
+		if in.Rd != m.SFIAddr {
+			return false
+		}
+		if m.Arch == target.X86 {
+			return in.Op == target.AndI && uint32(in.Imm) <= p.DataMask // code masks are small powers of two minus one
+		}
+		return in.Op == target.And && in.Rs2 == m.CodeMask
+	}
+
+	spReg := m.OmniInt[14]
+
+	for i := range prog.Code {
+		in := &prog.Code[i]
+		if leaders[i] {
+			dataSafe, codeSafe = false, false
+			kc = map[target.Reg]uint32{}
+		}
+
+		// The dedicated registers must never be written by anything but
+		// the masking idioms (and the entry stub, which precedes all
+		// leaders and writes them with constants — tracked below).
+		if in.Rd != target.NoReg && !in.Op.IsStore() && !in.MemDst {
+			for _, r := range []target.Reg{m.SFIMask, m.SFIBase, m.CodeMask, m.GP} {
+				if r != target.NoReg && in.Rd == r && !constWriter(in) {
+					bad(i, *in, "reserved register overwritten")
+				}
+			}
+		}
+
+		if in.Op.IsStore() || in.MemDst {
+			if !storeSafe(in, m, p, spReg, dataSafe, kc) {
+				bad(i, *in, "store not provably inside the data segment")
+			}
+		}
+		if in.Op == target.Jr || in.Op == target.Jalr {
+			// Returns and calls through the sandbox register only.
+			if !(in.Rs1 == m.SFIAddr && codeSafe) {
+				bad(i, *in, "indirect branch through unsandboxed register")
+			}
+		}
+
+		// Constant tracking.
+		if in.Rd != target.NoReg && !in.Op.IsStore() && !in.MemDst {
+			switch in.Op {
+			case target.Lui:
+				kc[in.Rd] = uint32(in.Imm) << 16
+			case target.MovI:
+				kc[in.Rd] = uint32(in.Imm)
+			case target.OrI:
+				if v, ok := kc[in.Rs1]; ok && in.Rd == in.Rs1 {
+					kc[in.Rd] = v | uint32(in.Imm)
+				} else {
+					delete(kc, in.Rd)
+				}
+			default:
+				delete(kc, in.Rd)
+			}
+		}
+
+		// Track the sandbox register.
+		wrote := in.Rd == m.SFIAddr && !in.Op.IsStore() && !in.MemDst && in.Rd != target.NoReg
+		switch {
+		case isDataMaskOp(in):
+			// The x86 sequence needs and-then-or; And alone marks the
+			// masked-but-unbased state, which the Or upgrade keeps.
+			if m.Arch == target.X86 && in.Op == target.AndI {
+				dataSafe = true
+				codeSafe = true // small mask also bounds a code index
+			} else {
+				dataSafe = true
+				codeSafe = false
+			}
+		case isCodeMaskOp(in):
+			codeSafe = true
+			dataSafe = false
+		case wrote:
+			dataSafe, codeSafe = false, false
+		}
+	}
+	return out
+}
+
+func storeSafe(in *target.Inst, m *target.Machine, p Policy, spReg target.Reg, dataSafe bool, kc map[target.Reg]uint32) bool {
+	inSeg := func(addr uint32) bool {
+		return addr >= p.DataBase && addr <= p.DataBase+p.DataMask
+	}
+	// Absolute store (no base register): must land in the data segment
+	// (the register-save area is inside it).
+	base := in.Rs1
+	if in.MemDst {
+		base = target.NoReg // address is the immediate
+	}
+	if base == target.NoReg {
+		return inSeg(uint32(in.Imm))
+	}
+	if in.Indexed {
+		// PPC/SPARC indexed store off the segment base with a masked
+		// index is the only sanctioned indexed form.
+		return base == m.SFIBase && in.Rs2 == m.SFIAddr && dataSafe
+	}
+	// Stack-relative with a guarded displacement.
+	if base == spReg && in.Imm >= -p.GuardZone && in.Imm <= p.GuardZone {
+		return true
+	}
+	// Through the sandboxed register.
+	if base == m.SFIAddr && dataSafe && in.Imm >= -p.GuardZone && in.Imm <= p.GuardZone {
+		return true
+	}
+	// Through the global pointer: gp sits a fixed offset into the
+	// segment and the immediate field is bounded by the architecture.
+	if base == m.GP && p.GPValue != 0 && inSeg(uint32(int64(p.GPValue)+int64(in.Imm))) {
+		return true
+	}
+	// Through a register holding a verified constant (lui/ori absolute
+	// addressing of globals).
+	if v, ok := kc[base]; ok && inSeg(uint32(int64(v)+int64(in.Imm))) {
+		return true
+	}
+	return false
+}
+
+// constWriter reports whether in writes a plain constant (the entry
+// stub's way of initializing the dedicated registers).
+func constWriter(in *target.Inst) bool {
+	switch in.Op {
+	case target.Lui, target.MovI:
+		return true
+	case target.OrI:
+		return in.Rd == in.Rs1
+	}
+	return false
+}

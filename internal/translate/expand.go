@@ -1,0 +1,393 @@
+package translate
+
+import (
+	"fmt"
+
+	"omniware/internal/ovm"
+	"omniware/internal/target"
+)
+
+// Register helpers. On the RISC targets every OmniVM register has a
+// dedicated native register; on x86 some OmniVM registers are
+// memory-resident and are staged through scratch registers.
+
+// slotAddr returns the absolute address of a memory-resident OmniVM
+// integer register. The register-save area sits at the top of the
+// module data segment; its address is DataBase-relative and known at
+// translation time via SegInfo... the translator receives it through
+// the layout captured in regSaveBase.
+func (t *tx) intSlotImm(i int) int32 {
+	return int32(t.regSaveBase + target.IntSlotOffset(i))
+}
+
+func (t *tx) fpSlotImm(i int) int32 {
+	return int32(t.regSaveBase + target.FPSlotOffset(i))
+}
+
+// isMapped reports whether OmniVM integer register r has a native home.
+func (t *tx) isMapped(r uint8) bool { return t.m.OmniInt[r] != target.NoReg }
+
+// srcInt yields a native register holding OmniVM integer register r,
+// loading from the save area into scratch[which] when memory-resident.
+func (t *tx) srcInt(r uint8, which int, cat target.ExpCat) target.Reg {
+	if m := t.m.OmniInt[r]; m != target.NoReg {
+		return m
+	}
+	s := t.m.Scratch[which]
+	t.emit(target.Inst{Op: target.Lw, Rd: s, Rs1: target.NoReg, Rs2: target.NoReg, Imm: t.intSlotImm(int(r)), Cat: cat})
+	return s
+}
+
+// dstInt yields a native register to compute OmniVM register r into,
+// and a flush that stores it back when memory-resident.
+func (t *tx) dstInt(r uint8, cat target.ExpCat) (target.Reg, func()) {
+	if int(r) == t.sbBase {
+		// Redefining a register whose sandboxed form is cached
+		// invalidates the cache (SFIHoist).
+		t.sbBase = -1
+	}
+	if m := t.m.OmniInt[r]; m != target.NoReg {
+		return m, func() {}
+	}
+	s := t.m.Scratch[0]
+	return s, func() {
+		t.emit(target.Inst{Op: target.Sw, Rd: s, Rs1: target.NoReg, Rs2: target.NoReg, Imm: t.intSlotImm(int(r)), Cat: cat})
+	}
+}
+
+func (t *tx) srcFP(r uint8, which int) target.Reg {
+	if m := t.m.OmniFP[r]; m != target.NoReg {
+		return m
+	}
+	s := t.m.FScratch[which]
+	t.emit(target.Inst{Op: target.Ld, Rd: s, Rs1: target.NoReg, Rs2: target.NoReg, Imm: t.fpSlotImm(int(r)), Cat: target.CatAddr})
+	return s
+}
+
+func (t *tx) dstFP(r uint8) (target.Reg, func()) {
+	if m := t.m.OmniFP[r]; m != target.NoReg {
+		return m, func() {}
+	}
+	s := t.m.FScratch[0]
+	return s, func() {
+		t.emit(target.Inst{Op: target.Sd, Rd: s, Rs1: target.NoReg, Rs2: target.NoReg, Imm: t.fpSlotImm(int(r)), Cat: target.CatAddr})
+	}
+}
+
+// loadImm materializes a 32-bit constant into reg, tagging extra
+// instructions with cat.
+func (t *tx) loadImm(reg target.Reg, v int32, cat target.ExpCat) {
+	if t.m.Arch == target.X86 {
+		t.emit(target.Inst{Op: target.MovI, Rd: reg, Rs1: target.NoReg, Rs2: target.NoReg, Imm: v, Cat: target.CatBase})
+		return
+	}
+	if t.m.FitsImm(v) {
+		t.emit(target.Inst{Op: target.AddI, Rd: reg, Rs1: t.zero(), Rs2: target.NoReg, Imm: v, Cat: target.CatBase})
+		return
+	}
+	hi, lo := split32(v)
+	t.emit(target.Inst{Op: target.Lui, Rd: reg, Rs1: target.NoReg, Rs2: target.NoReg, Imm: hi, Cat: target.CatBase})
+	if lo != 0 {
+		t.emit(target.Inst{Op: target.OrI, Rd: reg, Rs1: reg, Rs2: target.NoReg, Imm: lo, Cat: cat})
+	}
+}
+
+func (t *tx) zero() target.Reg {
+	if t.m.ZeroReg != target.NoReg {
+		return t.m.ZeroReg
+	}
+	return target.NoReg
+}
+
+var aluOpMap = map[ovm.Opcode]target.Op{
+	ovm.ADD: target.Add, ovm.SUB: target.Sub, ovm.MUL: target.Mul,
+	ovm.DIV: target.Div, ovm.DIVU: target.DivU, ovm.REM: target.Rem,
+	ovm.REMU: target.RemU, ovm.AND: target.And, ovm.OR: target.Or,
+	ovm.XOR: target.Xor, ovm.SLL: target.Sll, ovm.SRL: target.Srl,
+	ovm.SRA: target.Sra, ovm.SLT: target.Slt, ovm.SLTU: target.Sltu,
+}
+
+var aluImmMap = map[ovm.Opcode]target.Op{
+	ovm.ADDI: target.AddI, ovm.ANDI: target.AndI, ovm.ORI: target.OrI,
+	ovm.XORI: target.XorI, ovm.SLLI: target.SllI, ovm.SRLI: target.SrlI,
+	ovm.SRAI: target.SraI, ovm.SLTI: target.SltI, ovm.SLTIU: target.SltuI,
+}
+
+var aluImmToReg = map[ovm.Opcode]target.Op{
+	ovm.ADDI: target.Add, ovm.ANDI: target.And, ovm.ORI: target.Or,
+	ovm.XORI: target.Xor, ovm.SLLI: target.Sll, ovm.SRLI: target.Srl,
+	ovm.SRAI: target.Sra, ovm.SLTI: target.Slt, ovm.SLTIU: target.Sltu,
+	ovm.MULI: target.Mul,
+}
+
+var fpOpMap = map[ovm.Opcode]target.Op{
+	ovm.FADDS: target.FaddS, ovm.FSUBS: target.FsubS, ovm.FMULS: target.FmulS,
+	ovm.FDIVS: target.FdivS, ovm.FADDD: target.FaddD, ovm.FSUBD: target.FsubD,
+	ovm.FMULD: target.FmulD, ovm.FDIVD: target.FdivD,
+	ovm.FNEGS: target.FnegS, ovm.FNEGD: target.FnegD,
+	ovm.FABSS: target.FabsS, ovm.FABSD: target.FabsD, ovm.FMOV: target.Fmov,
+}
+
+var cvtMap = map[ovm.Opcode]target.Op{
+	ovm.CVTWS: target.CvtWS, ovm.CVTWD: target.CvtWD, ovm.CVTSW: target.CvtSW,
+	ovm.CVTDW: target.CvtDW, ovm.CVTSD: target.CvtSD, ovm.CVTDS: target.CvtDS,
+	ovm.MOVWF: target.MovWF, ovm.MOVFW: target.MovFW,
+}
+
+func (t *tx) expand(in ovm.Inst, idx int) error {
+	switch {
+	case in.Op == ovm.NOP:
+		t.emit(target.Inst{Op: target.Nop, Rd: target.NoReg, Rs1: target.NoReg, Rs2: target.NoReg})
+		return nil
+
+	case aluOpMap[in.Op] != 0 || in.Op == ovm.ADD:
+		op := aluOpMap[in.Op]
+		// x86 memory-destination form: op [slot], reg for the common
+		// read-modify-write of a memory-resident register.
+		if t.m.Arch == target.X86 && in.Rd == in.Rs1 && !t.isMapped(in.Rd) && memDstOK(op) && t.isMapped(in.Rs2) {
+			t.emit(target.Inst{Op: op, Rd: target.NoReg, Rs1: t.m.OmniInt[in.Rs2], Rs2: target.NoReg,
+				Imm: t.intSlotImm(int(in.Rd)), MemDst: true})
+			return nil
+		}
+		a := t.srcInt(in.Rs1, 0, target.CatAddr)
+		// x86: use a register-memory form when the second operand is
+		// memory-resident and the op supports it.
+		if t.m.Arch == target.X86 && !t.isMapped(in.Rs2) && memSrcOK(op) {
+			rd, flush := t.dstInt(in.Rd, target.CatAddr)
+			if rd != a {
+				t.emit(target.Inst{Op: target.Mov, Rd: rd, Rs1: a, Rs2: target.NoReg})
+				t.emit(target.Inst{Op: op, Rd: rd, Rs1: rd, Rs2: target.NoReg, Imm: t.intSlotImm(int(in.Rs2)), MemSrc: true, Cat: target.CatAddr})
+			} else {
+				t.emit(target.Inst{Op: op, Rd: rd, Rs1: a, Rs2: target.NoReg, Imm: t.intSlotImm(int(in.Rs2)), MemSrc: true})
+			}
+			flush()
+			return nil
+		}
+		b := t.srcInt(in.Rs2, 1, target.CatAddr)
+		rd, flush := t.dstInt(in.Rd, target.CatAddr)
+		t.emit(target.Inst{Op: op, Rd: rd, Rs1: a, Rs2: b})
+		flush()
+		return nil
+
+	case aluImmMap[in.Op] != 0:
+		if t.m.Arch == target.X86 && in.Rd == in.Rs1 && !t.isMapped(in.Rd) && memDstImmOK(in.Op) {
+			t.emit(target.Inst{Op: memDstImmTarget(in.Op), Rd: target.NoReg, Rs1: target.NoReg, Rs2: target.NoReg,
+				Imm: t.intSlotImm(int(in.Rd)), Target: in.Imm, MemDst: true})
+			return nil
+		}
+		a := t.srcInt(in.Rs1, 0, target.CatAddr)
+		rd, flush := t.dstInt(in.Rd, target.CatAddr)
+		if t.m.Arch == target.X86 || t.m.FitsImm(in.Imm) || shiftOp(in.Op) {
+			t.emit(target.Inst{Op: aluImmMap[in.Op], Rd: rd, Rs1: a, Rs2: target.NoReg, Imm: in.Imm})
+			flush()
+			return nil
+		}
+		// Immediate too large: build it in scratch[1], then reg-reg.
+		s := t.m.Scratch[1]
+		hi, lo := split32(in.Imm)
+		t.emit(target.Inst{Op: target.Lui, Rd: s, Rs1: target.NoReg, Rs2: target.NoReg, Imm: hi, Cat: target.CatLdi})
+		if lo != 0 {
+			t.emit(target.Inst{Op: target.OrI, Rd: s, Rs1: s, Rs2: target.NoReg, Imm: lo, Cat: target.CatLdi})
+		}
+		t.emit(target.Inst{Op: aluImmToReg[in.Op], Rd: rd, Rs1: a, Rs2: s})
+		flush()
+		return nil
+
+	case in.Op == ovm.MULI:
+		a := t.srcInt(in.Rs1, 0, target.CatAddr)
+		rd, flush := t.dstInt(in.Rd, target.CatAddr)
+		s := t.m.Scratch[1]
+		if t.m.Arch == target.X86 {
+			t.emit(target.Inst{Op: target.MovI, Rd: s, Rs1: target.NoReg, Rs2: target.NoReg, Imm: in.Imm, Cat: target.CatLdi})
+		} else if t.m.FitsImm(in.Imm) {
+			t.emit(target.Inst{Op: target.AddI, Rd: s, Rs1: t.zero(), Rs2: target.NoReg, Imm: in.Imm, Cat: target.CatLdi})
+		} else {
+			hi, lo := split32(in.Imm)
+			t.emit(target.Inst{Op: target.Lui, Rd: s, Rs1: target.NoReg, Rs2: target.NoReg, Imm: hi, Cat: target.CatLdi})
+			if lo != 0 {
+				t.emit(target.Inst{Op: target.OrI, Rd: s, Rs1: s, Rs2: target.NoReg, Imm: lo, Cat: target.CatLdi})
+			}
+		}
+		t.emit(target.Inst{Op: target.Mul, Rd: rd, Rs1: a, Rs2: s})
+		flush()
+		return nil
+
+	case in.Op == ovm.LDI || in.Op == ovm.LDA:
+		rd, flush := t.dstInt(in.Rd, target.CatAddr)
+		t.loadImm(rd, in.Imm, target.CatLdi)
+		flush()
+		return nil
+
+	case in.Op == ovm.EXTB:
+		a := t.srcInt(in.Rs1, 0, target.CatAddr)
+		rd, flush := t.dstInt(in.Rd, target.CatAddr)
+		sh := (in.Imm & 3) * 8
+		if sh != 0 {
+			t.emit(target.Inst{Op: target.SrlI, Rd: rd, Rs1: a, Rs2: target.NoReg, Imm: sh})
+			t.emit(target.Inst{Op: target.AndI, Rd: rd, Rs1: rd, Rs2: target.NoReg, Imm: 0xff})
+		} else {
+			t.emit(target.Inst{Op: target.AndI, Rd: rd, Rs1: a, Rs2: target.NoReg, Imm: 0xff})
+		}
+		flush()
+		return nil
+
+	case in.Op == ovm.INSB:
+		a := t.srcInt(in.Rs1, 0, target.CatAddr)
+		b := t.srcInt(in.Rs2, 1, target.CatAddr)
+		rd, flush := t.dstInt(in.Rd, target.CatAddr)
+		sh := (in.Imm & 3) * 8
+		s := t.m.Scratch[1]
+		// s = (b & 0xff) << sh ; rd = (a & ^(0xff<<sh)) | s
+		t.emit(target.Inst{Op: target.AndI, Rd: s, Rs1: b, Rs2: target.NoReg, Imm: 0xff})
+		if sh != 0 {
+			t.emit(target.Inst{Op: target.SllI, Rd: s, Rs1: s, Rs2: target.NoReg, Imm: sh})
+		}
+		t.emit(target.Inst{Op: target.AndI, Rd: rd, Rs1: a, Rs2: target.NoReg, Imm: int32(^(uint32(0xff) << uint(sh)))})
+		t.emit(target.Inst{Op: target.Or, Rd: rd, Rs1: rd, Rs2: s})
+		flush()
+		return nil
+
+	case in.Op.IsLoad() || in.Op.IsStore():
+		return t.memOp(in)
+
+	case fpOpMap[in.Op] != 0:
+		op := fpOpMap[in.Op]
+		switch in.Op {
+		case ovm.FNEGS, ovm.FNEGD, ovm.FABSS, ovm.FABSD, ovm.FMOV:
+			a := t.srcFP(in.Rs1, 0)
+			rd, flush := t.dstFP(in.Rd)
+			t.emit(target.Inst{Op: op, Rd: rd, Rs1: a, Rs2: target.NoReg})
+			flush()
+		default:
+			a := t.srcFP(in.Rs1, 0)
+			b := t.srcFP(in.Rs2, 1)
+			rd, flush := t.dstFP(in.Rd)
+			t.emit(target.Inst{Op: op, Rd: rd, Rs1: a, Rs2: b})
+			flush()
+		}
+		return nil
+
+	case cvtMap[in.Op] != 0:
+		op := cvtMap[in.Op]
+		switch in.Op {
+		case ovm.CVTWS, ovm.CVTWD, ovm.MOVWF:
+			a := t.srcInt(in.Rs1, 0, target.CatAddr)
+			rd, flush := t.dstFP(in.Rd)
+			t.emit(target.Inst{Op: op, Rd: rd, Rs1: a, Rs2: target.NoReg})
+			flush()
+		case ovm.CVTSW, ovm.CVTDW, ovm.MOVFW:
+			a := t.srcFP(in.Rs1, 0)
+			rd, flush := t.dstInt(in.Rd, target.CatAddr)
+			t.emit(target.Inst{Op: op, Rd: rd, Rs1: a, Rs2: target.NoReg})
+			flush()
+		default:
+			a := t.srcFP(in.Rs1, 0)
+			rd, flush := t.dstFP(in.Rd)
+			t.emit(target.Inst{Op: op, Rd: rd, Rs1: a, Rs2: target.NoReg})
+			flush()
+		}
+		return nil
+
+	case in.Op.IsBranch():
+		return t.branch(in)
+
+	case in.Op == ovm.JMP:
+		t.emit(target.Inst{Op: target.J, Rd: target.NoReg, Rs1: target.NoReg, Rs2: target.NoReg, Target: in.Imm2})
+		return nil
+
+	case in.Op == ovm.JAL:
+		ret := int32(idx + 1)
+		if t.isMapped(in.Rd) {
+			t.emit(target.Inst{Op: target.Jal, Rd: t.m.OmniInt[in.Rd], Rs1: target.NoReg, Rs2: target.NoReg, Imm: ret, Target: in.Imm2})
+			return nil
+		}
+		// Memory-resident return register (x86): store the return index
+		// explicitly, then plain-jump. This is what call's implicit push
+		// does on a real x86.
+		s := t.m.Scratch[0]
+		t.emit(target.Inst{Op: target.MovI, Rd: s, Rs1: target.NoReg, Rs2: target.NoReg, Imm: ret})
+		t.emit(target.Inst{Op: target.Sw, Rd: s, Rs1: target.NoReg, Rs2: target.NoReg, Imm: t.intSlotImm(int(in.Rd)), Cat: target.CatAddr})
+		t.emit(target.Inst{Op: target.J, Rd: target.NoReg, Rs1: target.NoReg, Rs2: target.NoReg, Target: in.Imm2})
+		return nil
+
+	case in.Op == ovm.JR || in.Op == ovm.JALR:
+		// For a memory-resident return register (x86), write the return
+		// index before staging the jump target so the scratch registers
+		// do not collide.
+		if in.Op == ovm.JALR && !t.isMapped(in.Rd) {
+			ret := int32(idx + 1)
+			s := t.m.Scratch[0]
+			t.emit(target.Inst{Op: target.MovI, Rd: s, Rs1: target.NoReg, Rs2: target.NoReg, Imm: ret})
+			t.emit(target.Inst{Op: target.Sw, Rd: s, Rs1: target.NoReg, Rs2: target.NoReg, Imm: t.intSlotImm(int(in.Rd)), Cat: target.CatAddr})
+		}
+		tr := t.srcInt(in.Rs1, 1, target.CatAddr)
+		jumpReg := tr
+		if t.opt.SFI {
+			jumpReg = t.sandboxCode(tr)
+		}
+		if in.Op == ovm.JALR && t.isMapped(in.Rd) {
+			t.emit(target.Inst{Op: target.Jalr, Rd: t.m.OmniInt[in.Rd], Rs1: jumpReg, Rs2: target.NoReg, Imm: int32(idx + 1)})
+			return nil
+		}
+		t.emit(target.Inst{Op: target.Jr, Rd: target.NoReg, Rs1: jumpReg, Rs2: target.NoReg})
+		return nil
+
+	case in.Op == ovm.SYSCALL:
+		t.emit(target.Inst{Op: target.Syscall, Rd: target.NoReg, Rs1: target.NoReg, Rs2: target.NoReg, Imm: in.Imm})
+		return nil
+
+	case in.Op == ovm.HALT:
+		t.emit(target.Inst{Op: target.Halt, Rd: target.NoReg, Rs1: target.NoReg, Rs2: target.NoReg})
+		return nil
+
+	case in.Op == ovm.BREAK:
+		t.emit(target.Inst{Op: target.Break, Rd: target.NoReg, Rs1: target.NoReg, Rs2: target.NoReg})
+		return nil
+	}
+	return fmt.Errorf("no expansion for %s", in.Op.Name())
+}
+
+func memDstOK(op target.Op) bool {
+	switch op {
+	case target.Add, target.Sub, target.And, target.Or, target.Xor:
+		return true
+	}
+	return false
+}
+
+func memDstImmOK(op ovm.Opcode) bool {
+	switch op {
+	case ovm.ADDI, ovm.ANDI, ovm.ORI, ovm.XORI:
+		return true
+	}
+	return false
+}
+
+func memDstImmTarget(op ovm.Opcode) target.Op {
+	switch op {
+	case ovm.ADDI:
+		return target.Add
+	case ovm.ANDI:
+		return target.And
+	case ovm.ORI:
+		return target.Or
+	default:
+		return target.Xor
+	}
+}
+
+func memSrcOK(op target.Op) bool {
+	switch op {
+	case target.Add, target.Sub, target.Mul, target.And, target.Or, target.Xor:
+		return true
+	}
+	return false
+}
+
+func shiftOp(op ovm.Opcode) bool {
+	switch op {
+	case ovm.SLLI, ovm.SRLI, ovm.SRAI:
+		return true
+	}
+	return false
+}

@@ -1,0 +1,365 @@
+package translate_test
+
+import (
+	"fmt"
+	"testing"
+
+	"omniware/internal/cc"
+	"omniware/internal/core"
+	"omniware/internal/target"
+	"omniware/internal/translate"
+)
+
+// crossCheck compiles src and verifies that the interpreter and every
+// (machine, options) combination produce the same exit code and output.
+func crossCheck(t *testing.T, name, src string) {
+	t.Helper()
+	mod, err := core.BuildC([]core.SourceFile{{Name: name, Src: src}}, cc.Options{OptLevel: 2})
+	if err != nil {
+		t.Fatalf("%s: build: %v", name, err)
+	}
+
+	ih, err := core.NewHost(mod, core.RunConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := ih.RunInterp()
+	if err != nil {
+		t.Fatalf("%s: interp: %v", name, err)
+	}
+	if want.Faulted {
+		t.Fatalf("%s: interp faulted: %s", name, want.Fault)
+	}
+	wantOut := ih.Output()
+
+	opts := map[string]translate.Options{
+		"noopt":     {},
+		"sfi":       {SFI: true},
+		"opt":       translate.Paper(false),
+		"sfi+opt":   translate.Paper(true),
+		"sfi+hoist": {SFI: true, Schedule: true, GlobalPointer: true, Peephole: true, SFIHoist: true},
+		"sfi+read":  {SFI: true, Schedule: true, GlobalPointer: true, Peephole: true, ReadSFI: true},
+	}
+	for _, mach := range target.Machines() {
+		for oname, o := range opts {
+			h, err := core.NewHost(mod, core.RunConfig{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			res, _, err := h.RunTranslated(mach, o)
+			if err != nil {
+				t.Fatalf("%s/%s/%s: %v", name, mach.Name, oname, err)
+			}
+			if res.Faulted {
+				t.Fatalf("%s/%s/%s: faulted: %s", name, mach.Name, oname, res.Fault)
+			}
+			if res.ExitCode != want.ExitCode {
+				t.Errorf("%s/%s/%s: exit %d, interp %d", name, mach.Name, oname, res.ExitCode, want.ExitCode)
+			}
+			if got := h.Output(); got != wantOut {
+				t.Errorf("%s/%s/%s: output %q, interp %q", name, mach.Name, oname, got, wantOut)
+			}
+		}
+	}
+}
+
+func TestCrossIntArith(t *testing.T) {
+	crossCheck(t, "arith.c", `
+int main(void) {
+	int acc = 0;
+	int i;
+	for (i = 1; i <= 50; i++) {
+		acc += i * i;
+		acc ^= acc >> 3;
+		acc = acc % 100000;
+	}
+	unsigned u = (unsigned)acc * 2654435761u;
+	return (int)(u % 251);
+}`)
+}
+
+func TestCrossMemory(t *testing.T) {
+	crossCheck(t, "mem.c", `
+int tab[64];
+short stab[32];
+char ctab[16];
+int main(void) {
+	int i;
+	for (i = 0; i < 64; i++) tab[i] = i * 3;
+	for (i = 0; i < 32; i++) stab[i] = (short)(i * -7);
+	for (i = 0; i < 16; i++) ctab[i] = (char)(i * 17);
+	int acc = 0;
+	for (i = 0; i < 64; i += 5) acc += tab[i];
+	for (i = 0; i < 32; i += 3) acc += stab[i];
+	for (i = 0; i < 16; i += 2) acc += ctab[i];
+	_print_int(acc);
+	return acc & 0xff;
+}`)
+}
+
+func TestCrossPointersAndCalls(t *testing.T) {
+	crossCheck(t, "ptr.c", `
+struct node { int v; struct node *next; };
+struct node pool[10];
+int sum(struct node *n) {
+	int s = 0;
+	while (n) { s += n->v; n = n->next; }
+	return s;
+}
+int twice(int x) { return x * 2; }
+int (*fp)(int) = twice;
+int main(void) {
+	int i;
+	struct node *head = 0;
+	for (i = 0; i < 10; i++) {
+		pool[i].v = i + 1;
+		pool[i].next = head;
+		head = &pool[i];
+	}
+	return sum(head) + fp(6);
+}`)
+}
+
+func TestCrossFloat(t *testing.T) {
+	crossCheck(t, "fp.c", `
+double poly(double x) { return 2.5*x*x - 3.0*x + 0.5; }
+int main(void) {
+	double acc = 0.0;
+	float f = 1.5f;
+	int i;
+	for (i = 0; i < 20; i++) {
+		acc += poly((double)i * 0.25);
+		if (acc > 100.0) acc = acc / 2.0;
+	}
+	acc += (double)f;
+	_print_int((int)(acc * 1000.0));
+	return (int)acc;
+}`)
+}
+
+func TestCrossRecursionAndSwitch(t *testing.T) {
+	crossCheck(t, "rec.c", `
+int fib(int n) { return n < 2 ? n : fib(n-1) + fib(n-2); }
+int classify(int x) {
+	switch (x & 7) {
+	case 0: return 1;
+	case 1: case 2: return 2;
+	case 3: return 3;
+	default: return 4;
+	}
+}
+int main(void) {
+	int acc = fib(14);
+	int i;
+	for (i = 0; i < 16; i++) acc += classify(i);
+	return acc & 0x7fff;
+}`)
+}
+
+func TestCrossStringsAndOutput(t *testing.T) {
+	crossCheck(t, "str.c", `
+int strlen_(char *s) { int n = 0; while (*s++) n++; return n; }
+char buf[32];
+int main(void) {
+	char *msg = "omniware";
+	int i;
+	for (i = 0; msg[i]; i++) buf[i] = (char)(msg[i] - 32);
+	buf[i] = 0;
+	_puts(buf);
+	_putc('\n');
+	return strlen_(buf);
+}`)
+}
+
+func TestCrossDivRem(t *testing.T) {
+	crossCheck(t, "div.c", `
+int main(void) {
+	int acc = 0;
+	int i;
+	for (i = 1; i < 40; i++) {
+		acc += 10000 / i;
+		acc += 10000 % i;
+		acc -= (-10000) / i;
+	}
+	unsigned u = 4000000000u;
+	acc += (int)(u / 3u) & 0xffff;
+	acc += (int)(u % 7u);
+	return acc & 0xffff;
+}`)
+}
+
+func TestCrossBigOffsets(t *testing.T) {
+	// Large array forces 32-bit offsets beyond imm16/imm13 ranges.
+	crossCheck(t, "big.c", `
+int big[20000];
+int main(void) {
+	big[0] = 7;
+	big[19999] = 35;
+	big[10000] = big[0] + big[19999];
+	return big[10000];
+}`)
+}
+
+func TestCrossHeap(t *testing.T) {
+	crossCheck(t, "heap.c", `
+char *bump(int n) { return _sbrk(n); }
+int main(void) {
+	int *a = (int *)bump(400);
+	int *b = (int *)bump(400);
+	int i;
+	for (i = 0; i < 100; i++) { a[i] = i; b[i] = 2 * i; }
+	int acc = 0;
+	for (i = 0; i < 100; i += 7) acc += a[i] + b[i];
+	return acc & 0xff;
+}`)
+}
+
+// SFI must contain a wild store: without SFI the simulator reports the
+// raw fault; with SFI the store is forced into the module's own segment
+// and execution completes.
+func TestSFIContainsWildStore(t *testing.T) {
+	src := `
+int canary = 77;
+int main(void) {
+	int *wild = (int *)0x40000100; /* host segment */
+	*wild = 999;
+	return canary;
+}`
+	mod, err := core.BuildC([]core.SourceFile{{Name: "wild.c", Src: src}}, cc.Options{OptLevel: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	host := make([]byte, 4096)
+	for _, mach := range target.Machines() {
+		// Without SFI the wild store reaches the (read-only) host
+		// segment and faults.
+		h, err := core.NewHost(mod, core.RunConfig{HostData: host})
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, _, err := h.RunTranslated(mach, translate.Paper(false))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !res.Faulted {
+			t.Errorf("%s: wild store without SFI did not fault (exit %d)", mach.Name, res.ExitCode)
+		}
+		// With SFI the store is sandboxed into the module segment and
+		// the program runs to completion; the host segment stays clean.
+		h2, err := core.NewHost(mod, core.RunConfig{HostData: host})
+		if err != nil {
+			t.Fatal(err)
+		}
+		res2, _, err := h2.RunTranslated(mach, translate.Paper(true))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res2.Faulted {
+			t.Errorf("%s: SFI store faulted: %s", mach.Name, res2.Fault)
+		}
+		if res2.ExitCode != 77 {
+			t.Errorf("%s: exit %d", mach.Name, res2.ExitCode)
+		}
+		for i, b := range h2.HostSeg.Bytes() {
+			if b != 0 {
+				t.Fatalf("%s: host segment corrupted at %d", mach.Name, i)
+			}
+		}
+	}
+}
+
+// Wild indirect jumps must stay inside the code segment under SFI.
+func TestSFIContainsWildJump(t *testing.T) {
+	src := `
+int main(void) {
+	int (*f)(void);
+	f = (int (*)(void))123456789;
+	return f();
+}`
+	mod, err := core.BuildC([]core.SourceFile{{Name: "wildjmp.c", Src: src}}, cc.Options{OptLevel: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, mach := range target.Machines() {
+		h, err := core.NewHost(mod, core.RunConfig{MaxSteps: 200_000})
+		if err != nil {
+			t.Fatal(err)
+		}
+		// The sandboxed jump lands somewhere inside the code segment.
+		// Any contained outcome is acceptable: a trap, a module fault,
+		// a nonsense exit, or even an endless loop (cut off by the
+		// budget). What must NOT happen is an escape, which would
+		// surface as a Go-level panic or a write to another segment —
+		// memory permissions catch that as a fault too.
+		res, _, err := h.RunTranslated(mach, translate.Paper(true))
+		if err == nil {
+			_ = res
+		}
+	}
+}
+
+// Expansion statistics must be self-consistent: base count equals the
+// dynamic OmniVM instruction count.
+func TestExpansionAccounting(t *testing.T) {
+	src := `
+int tab[100];
+int main(void) {
+	int i, acc = 0;
+	for (i = 0; i < 100; i++) tab[i] = i;
+	for (i = 0; i < 100; i++) acc += tab[i];
+	return acc & 0xff;
+}`
+	mod, err := core.BuildC([]core.SourceFile{{Name: "acct.c", Src: src}}, cc.Options{OptLevel: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ih, _ := core.NewHost(mod, core.RunConfig{})
+	ires, err := ih.RunInterp()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, mach := range target.Machines() {
+		h, _ := core.NewHost(mod, core.RunConfig{})
+		res, _, err := h.RunTranslated(mach, translate.Paper(true))
+		if err != nil {
+			t.Fatal(err)
+		}
+		var total uint64
+		for _, c := range res.Counts {
+			total += c
+		}
+		if total != res.Insts {
+			t.Errorf("%s: category sum %d != insts %d", mach.Name, total, res.Insts)
+		}
+		base := res.Counts[target.CatBase]
+		// The stub and nops from the entry are uncategorized base; allow
+		// a small slop over the interpreter's instruction count.
+		if base < ires.Steps || base > ires.Steps+64 {
+			t.Errorf("%s: base count %d vs omni %d", mach.Name, base, ires.Steps)
+		}
+		if res.Counts[target.CatSFI] == 0 {
+			t.Errorf("%s: no SFI instructions counted", mach.Name)
+		}
+	}
+}
+
+func TestTranslatorStaticStats(t *testing.T) {
+	mod, err := core.BuildC([]core.SourceFile{{Name: "s.c", Src: "int g; int main(void){ int i; for(i=0;i<3;i++) g+=i; return g; }"}}, cc.Options{OptLevel: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	h, _ := core.NewHost(mod, core.RunConfig{})
+	prog, err := h.Translate(target.MIPSMachine(), translate.Paper(true))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if prog.Static[target.CatBase] == 0 {
+		t.Error("no static base instructions")
+	}
+	if len(prog.OmniToNative) < len(mod.Text) {
+		t.Error("omni->native map too small")
+	}
+	if s := fmt.Sprint(prog.Code[0]); s == "" {
+		t.Error("empty instruction rendering")
+	}
+}

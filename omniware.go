@@ -1,0 +1,103 @@
+// Package omniware is a reproduction of "Efficient and
+// Language-Independent Mobile Programs" (Adl-Tabatabai, Langdale,
+// Lucco, Wahbe — PLDI 1996): the Omniware mobile-code system.
+//
+// The package is a facade over the subsystems in internal/: the OmniC
+// compiler (internal/cc), the OmniVM virtual machine definition,
+// assembler and linker (internal/ovm, internal/asm, internal/link),
+// the abstract-machine interpreter (internal/interp), the load-time
+// translators with software fault isolation for four simulated targets
+// (internal/translate, internal/target), and the native baseline
+// compilers (internal/native).
+//
+// The basic flow mirrors the paper's Figure 2:
+//
+//	mod, _ := omniware.BuildC([]omniware.SourceFile{{Name: "hello.c", Src: src}}, omniware.CompilerOptions{OptLevel: 2})
+//	host, _ := omniware.NewHost(mod, omniware.RunConfig{})
+//	res, _, _ := host.RunTranslated(omniware.MachineByName("mips"), omniware.PaperOptions(true))
+//
+// Safety: with SFI enabled, a loaded module cannot store outside its
+// own data segment or jump outside its own code, no matter what its
+// code does; unauthorized accesses to protected pages are delivered to
+// the module as access-violation exceptions.
+package omniware
+
+import (
+	"omniware/internal/cc"
+	"omniware/internal/core"
+	"omniware/internal/interp"
+	"omniware/internal/native"
+	"omniware/internal/ovm"
+	"omniware/internal/target"
+	"omniware/internal/translate"
+)
+
+// SourceFile is one OmniC translation unit.
+type SourceFile = core.SourceFile
+
+// CompilerOptions configures the OmniC compiler.
+type CompilerOptions = cc.Options
+
+// Module is a linked OmniVM executable — the unit of mobile code.
+type Module = ovm.Module
+
+// Host is a loaded execution environment for one module.
+type Host = core.Host
+
+// RunConfig controls module execution (heap/stack sizes, instruction
+// budget, output writer, optional read-only host segment).
+type RunConfig = core.RunConfig
+
+// Machine describes one simulated target architecture.
+type Machine = target.Machine
+
+// Program is translated or natively compiled target code.
+type Program = target.Program
+
+// TargetResult is the outcome of a simulated native execution.
+type TargetResult = target.Result
+
+// InterpResult is the outcome of an interpreted execution.
+type InterpResult = interp.Result
+
+// TranslateOptions selects translator behaviour (SFI, scheduling,
+// global pointer, peephole, SFI hoisting).
+type TranslateOptions = translate.Options
+
+// Profile selects a native baseline compiler model.
+type Profile = native.Profile
+
+// Native baseline profiles.
+const (
+	ProfileCC  = native.ProfCC
+	ProfileGCC = native.ProfGCC
+)
+
+// BuildC compiles OmniC sources into an executable module.
+func BuildC(files []SourceFile, opts CompilerOptions) (*Module, error) {
+	return core.BuildC(files, opts)
+}
+
+// BuildAsm assembles and links OmniVM assembly sources.
+func BuildAsm(files []SourceFile, withCrt0 bool) (*Module, error) {
+	return core.BuildAsm(files, withCrt0)
+}
+
+// NewHost loads a module into a fresh segmented address space.
+func NewHost(mod *Module, cfg RunConfig) (*Host, error) {
+	return core.NewHost(mod, cfg)
+}
+
+// Machines returns the four simulated targets in the paper's order:
+// MIPS, SPARC, PowerPC, x86.
+func Machines() []*Machine { return target.Machines() }
+
+// MachineByName returns "mips", "sparc", "ppc" or "x86"; nil otherwise.
+func MachineByName(name string) *Machine { return target.ByName(name) }
+
+// PaperOptions is the translator configuration used for the paper's
+// headline numbers: all translator optimizations on, SFI as given.
+func PaperOptions(sfi bool) TranslateOptions { return translate.Paper(sfi) }
+
+// DecodeModule deserializes a module from its binary (OMX) form.
+func DecodeModule(data []byte) (*Module, error) { return ovm.DecodeModule(data) }

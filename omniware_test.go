@@ -1,0 +1,188 @@
+package omniware_test
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"omniware"
+	"omniware/internal/translate"
+)
+
+func TestPublicAPIRoundTrip(t *testing.T) {
+	src := `
+int main(void) {
+	int i, acc = 0;
+	for (i = 1; i <= 12; i++) acc += i * i;
+	_print_int(acc);
+	return acc & 0x7f;
+}`
+	mod, err := omniware.BuildC([]omniware.SourceFile{{Name: "t.c", Src: src}},
+		omniware.CompilerOptions{OptLevel: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Module serialization round-trip (the "mobile" part).
+	wire := mod.Encode()
+	mod2, err := omniware.DecodeModule(wire)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	host, err := omniware.NewHost(mod2, omniware.RunConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ires, err := host.RunInterp()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ires.Faulted || host.Output() != "650" {
+		t.Fatalf("interp: %+v out=%q", ires, host.Output())
+	}
+
+	for _, m := range omniware.Machines() {
+		h, err := omniware.NewHost(mod2, omniware.RunConfig{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, prog, err := h.RunTranslated(m, omniware.PaperOptions(true))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.ExitCode != ires.ExitCode || h.Output() != "650" {
+			t.Errorf("%s: exit %d out %q", m.Name, res.ExitCode, h.Output())
+		}
+		if len(prog.Code) == 0 {
+			t.Errorf("%s: empty translation", m.Name)
+		}
+	}
+	if omniware.MachineByName("nope") != nil {
+		t.Error("bogus machine resolved")
+	}
+}
+
+// Differential property test: random straight-line integer OmniVM
+// programs must behave identically on the interpreter and on every
+// translated target, with and without SFI. This is the strongest
+// cross-implementation check in the repository: three independent
+// execution engines (interpreter semantics, translator expansion,
+// simulator semantics) must agree instruction by instruction.
+func TestDifferentialRandomPrograms(t *testing.T) {
+	const trials = 60
+	for trial := 0; trial < trials; trial++ {
+		r := rand.New(rand.NewSource(int64(trial) * 7919))
+		src := randProgram(r)
+		mod, err := omniware.BuildAsm([]omniware.SourceFile{{Name: "r.s", Src: src}}, true)
+		if err != nil {
+			t.Fatalf("trial %d: %v\n%s", trial, err, src)
+		}
+		ih, err := omniware.NewHost(mod, omniware.RunConfig{MaxSteps: 100_000})
+		if err != nil {
+			t.Fatal(err)
+		}
+		want, err := ih.RunInterp()
+		if err != nil {
+			t.Fatalf("trial %d: interp: %v\n%s", trial, err, src)
+		}
+		for _, m := range omniware.Machines() {
+			for _, sfi := range []bool{false, true} {
+				h, err := omniware.NewHost(mod, omniware.RunConfig{MaxSteps: 100_000})
+				if err != nil {
+					t.Fatal(err)
+				}
+				res, _, err := h.RunTranslated(m, translate.Options{
+					SFI: sfi, Schedule: true, GlobalPointer: true, Peephole: true,
+				})
+				if err != nil {
+					t.Fatalf("trial %d %s: %v\n%s", trial, m.Name, err, src)
+				}
+				if res.Faulted != want.Faulted || (!res.Faulted && res.ExitCode != want.ExitCode) {
+					t.Fatalf("trial %d %s sfi=%v: exit %d/faulted=%v, interp %d/faulted=%v\n%s",
+						trial, m.Name, sfi, res.ExitCode, res.Faulted, want.ExitCode, want.Faulted, src)
+				}
+			}
+		}
+	}
+}
+
+// randProgram emits a straight-line OmniVM assembly program over
+// integer registers r1..r9 and FP registers f1..f6, with loads and
+// stores confined to a scratch buffer.
+func randProgram(r *rand.Rand) string {
+	var b strings.Builder
+	b.WriteString(".text\n.globl main\nmain:\n")
+	b.WriteString("\tlda r10, buf\n")
+	// Seed registers.
+	for reg := 1; reg <= 9; reg++ {
+		fmt.Fprintf(&b, "\tldi r%d, %d\n", reg, int32(r.Uint32()))
+	}
+	// Seed FP registers from integer values (exactly representable, so
+	// every engine agrees bit for bit).
+	for reg := 1; reg <= 6; reg++ {
+		fmt.Fprintf(&b, "\tcvtwd f%d, r%d\n", reg, reg)
+	}
+	ops2 := []string{"add", "sub", "mul", "and", "or", "xor", "sll", "srl", "sra", "slt", "sltu"}
+	opsI := []string{"addi", "muli", "andi", "ori", "xori"}
+	fops := []string{"faddd", "fsubd", "fmuld"}
+	n := 20 + r.Intn(40)
+	for i := 0; i < n; i++ {
+		rd := 1 + r.Intn(9)
+		ra := 1 + r.Intn(9)
+		rb := 1 + r.Intn(9)
+		fd := 1 + r.Intn(6)
+		fa := 1 + r.Intn(6)
+		fb := 1 + r.Intn(6)
+		switch r.Intn(13) {
+		case 0, 1, 2, 3:
+			fmt.Fprintf(&b, "\t%s r%d, r%d, r%d\n", ops2[r.Intn(len(ops2))], rd, ra, rb)
+		case 4, 5:
+			fmt.Fprintf(&b, "\t%s r%d, r%d, %d\n", opsI[r.Intn(len(opsI))], rd, ra, int32(r.Uint32()))
+		case 6:
+			fmt.Fprintf(&b, "\tslli r%d, r%d, %d\n", rd, ra, r.Intn(31))
+		case 7:
+			// Bounded store then load through the buffer, sometimes
+			// with sub-word widths.
+			off := r.Intn(60) * 4
+			switch r.Intn(3) {
+			case 0:
+				fmt.Fprintf(&b, "\tstw r%d, %d(r10)\n\tldw r%d, %d(r10)\n", ra, off, rd, off)
+			case 1:
+				fmt.Fprintf(&b, "\tsth r%d, %d(r10)\n\tldhu r%d, %d(r10)\n", ra, off, rd, off)
+			default:
+				fmt.Fprintf(&b, "\tstb r%d, %d(r10)\n\tldb r%d, %d(r10)\n", ra, off, rd, off)
+			}
+		case 8:
+			fmt.Fprintf(&b, "\textb r%d, r%d, %d\n", rd, ra, r.Intn(4))
+		case 9:
+			// Division guarded against zero: or the divisor with 1.
+			fmt.Fprintf(&b, "\tori r%d, r%d, 1\n", rb, rb)
+			if r.Intn(2) == 0 {
+				fmt.Fprintf(&b, "\tdivu r%d, r%d, r%d\n", rd, ra, rb)
+			} else {
+				fmt.Fprintf(&b, "\tremu r%d, r%d, r%d\n", rd, ra, rb)
+			}
+		case 10:
+			fmt.Fprintf(&b, "\t%s f%d, f%d, f%d\n", fops[r.Intn(len(fops))], fd, fa, fb)
+		case 11:
+			// Round-trip FP through memory (double slots above 240).
+			fmt.Fprintf(&b, "\tstd f%d, 240(r10)\n\tldd f%d, 240(r10)\n", fa, fd)
+		case 12:
+			fmt.Fprintf(&b, "\tinsb r%d, r%d, r%d\n", rd, ra, rb)
+		}
+	}
+	// Mix FP results back into the integer checksum via the float32
+	// bit pattern (movfw), which is deterministic on every engine.
+	for reg := 1; reg <= 6; reg++ {
+		fmt.Fprintf(&b, "\tmovfw r%d, f%d\n", reg+2, reg)
+	}
+	// Fold everything into r1.
+	for reg := 2; reg <= 9; reg++ {
+		fmt.Fprintf(&b, "\txor r1, r1, r%d\n", reg)
+	}
+	b.WriteString("\tandi r1, r1, 255\n\tret\n")
+	b.WriteString(".bss\nbuf: .space 256\n")
+	return b.String()
+}
