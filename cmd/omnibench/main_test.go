@@ -1,0 +1,100 @@
+package main
+
+import (
+	"os"
+	"os/exec"
+	"strconv"
+	"strings"
+	"testing"
+)
+
+// Script-free smoke tests: re-execute the test binary as the real
+// command (smokeEnv gates the dispatch in TestMain) and check streams
+// and exit codes.
+const smokeEnv = "OMNIBENCH_SMOKE_MAIN"
+
+func TestMain(m *testing.M) {
+	if os.Getenv(smokeEnv) == "1" {
+		main()
+		return
+	}
+	os.Exit(m.Run())
+}
+
+func runCmd(t *testing.T, args ...string) (exitCode int, stdout, stderr string) {
+	t.Helper()
+	cmd := exec.Command(os.Args[0], args...)
+	cmd.Env = append(os.Environ(), smokeEnv+"=1")
+	var out, errb strings.Builder
+	cmd.Stdout = &out
+	cmd.Stderr = &errb
+	err := cmd.Run()
+	code := 0
+	if ee, ok := err.(*exec.ExitError); ok {
+		code = ee.ExitCode()
+	} else if err != nil {
+		t.Fatal(err)
+	}
+	return code, out.String(), errb.String()
+}
+
+func TestFigure2(t *testing.T) {
+	code, out, _ := runCmd(t, "-figure", "2")
+	if code != 0 {
+		t.Fatalf("exit %d", code)
+	}
+	for _, want := range []string{"universal substrate", "OmniVM", "translator"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("figure 2 missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestNothingSelected(t *testing.T) {
+	code, _, stderr := runCmd(t)
+	if code != 2 {
+		t.Errorf("exit %d, want 2", code)
+	}
+	if !strings.Contains(stderr, "nothing selected") {
+		t.Errorf("stderr %q", stderr)
+	}
+}
+
+// One real table end to end: builds the workloads and regenerates
+// Table 1 at the test scale. The ratio cells must parse as numbers in
+// a plausible band (every translated/native ratio the suite produces
+// lives well inside (0.5, 3)), which catches a broken measurement
+// without freezing digits the cost models are allowed to move.
+func TestTable1EndToEnd(t *testing.T) {
+	if testing.Short() {
+		t.Skip("table regeneration skipped in -short mode")
+	}
+	code, out, stderr := runCmd(t, "-table", "1")
+	if code != 0 {
+		t.Fatalf("exit %d, stderr: %s", code, stderr)
+	}
+	if !strings.Contains(out, "Table 1") {
+		t.Fatalf("missing header:\n%s", out)
+	}
+	rows := 0
+	for _, line := range strings.Split(out, "\n") {
+		fields := strings.Fields(line)
+		if len(fields) != 5 || fields[0] == "program" {
+			continue
+		}
+		rows++
+		for _, cell := range fields[1:] {
+			v, err := strconv.ParseFloat(cell, 64)
+			if err != nil {
+				t.Errorf("row %q: bad cell %q", line, cell)
+				continue
+			}
+			if v <= 0.5 || v >= 3 {
+				t.Errorf("row %q: ratio %v out of band", line, v)
+			}
+		}
+	}
+	if rows != 5 { // li, compress, alvinn, eqntott, average
+		t.Errorf("expected 5 data rows, found %d:\n%s", rows, out)
+	}
+}

@@ -1,0 +1,129 @@
+package main
+
+import (
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"omniware"
+)
+
+// The smoke tests exercise the command end to end without shell
+// scripts: when the test binary is re-executed with smokeEnv set, it
+// runs the real main() on the given arguments; the tests drive it with
+// exec.Command and check exit codes and streams.
+const smokeEnv = "OMNIRUN_SMOKE_MAIN"
+
+func TestMain(m *testing.M) {
+	if os.Getenv(smokeEnv) == "1" {
+		main()
+		return
+	}
+	os.Exit(m.Run())
+}
+
+// buildModule compiles src and writes the encoded .omx to a temp file.
+func buildModule(t *testing.T, src string) string {
+	t.Helper()
+	mod, err := omniware.BuildC(
+		[]omniware.SourceFile{{Name: "p.c", Src: src}},
+		omniware.CompilerOptions{OptLevel: 2},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "p.omx")
+	if err := os.WriteFile(path, mod.Encode(), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func runCmd(t *testing.T, args ...string) (exitCode int, stdout, stderr string) {
+	t.Helper()
+	cmd := exec.Command(os.Args[0], args...)
+	cmd.Env = append(os.Environ(), smokeEnv+"=1")
+	var out, errb strings.Builder
+	cmd.Stdout = &out
+	cmd.Stderr = &errb
+	err := cmd.Run()
+	code := 0
+	if ee, ok := err.(*exec.ExitError); ok {
+		code = ee.ExitCode()
+	} else if err != nil {
+		t.Fatal(err)
+	}
+	return code, out.String(), errb.String()
+}
+
+const helloSrc = `
+int main(void) {
+	_puts("hello from the module\n");
+	return 42;
+}`
+
+func TestRunInterp(t *testing.T) {
+	mod := buildModule(t, helloSrc)
+	code, out, _ := runCmd(t, "-target", "interp", mod)
+	if code != 42 {
+		t.Errorf("exit %d, want 42", code)
+	}
+	if !strings.Contains(out, "hello from the module") {
+		t.Errorf("stdout %q", out)
+	}
+}
+
+func TestRunTranslatedAllTargets(t *testing.T) {
+	mod := buildModule(t, helloSrc)
+	for _, tgt := range []string{"mips", "sparc", "ppc", "x86"} {
+		code, out, stderr := runCmd(t, "-target", tgt, "-stats", mod)
+		if code != 42 {
+			t.Errorf("%s: exit %d, want 42", tgt, code)
+		}
+		if !strings.Contains(out, "hello from the module") {
+			t.Errorf("%s: stdout %q", tgt, out)
+		}
+		if !strings.Contains(stderr, "cycles=") || !strings.Contains(stderr, "native insts") {
+			t.Errorf("%s: missing stats on stderr: %q", tgt, stderr)
+		}
+	}
+}
+
+const wildStoreSrc = `
+int main(void) {
+	*(int *)0x70000000 = 1;
+	return 0;
+}`
+
+func TestRunFaultExitCode(t *testing.T) {
+	mod := buildModule(t, wildStoreSrc)
+	// Unsandboxed, the wild store is a module fault: exit 3.
+	code, _, stderr := runCmd(t, "-target", "mips", "-sfi=false", mod)
+	if code != 3 {
+		t.Errorf("exit %d, want 3", code)
+	}
+	if !strings.Contains(stderr, "module fault") {
+		t.Errorf("stderr %q", stderr)
+	}
+	// With SFI the store is sandboxed into the module's own segment
+	// and the program runs to completion.
+	code, _, _ = runCmd(t, "-target", "mips", "-sfi=true", mod)
+	if code != 0 {
+		t.Errorf("SFI run: exit %d, want 0", code)
+	}
+}
+
+func TestRunUsageErrors(t *testing.T) {
+	mod := buildModule(t, helloSrc)
+	if code, _, _ := runCmd(t, "-target", "vax", mod); code != 2 {
+		t.Errorf("unknown target: exit %d, want 2", code)
+	}
+	if code, _, _ := runCmd(t); code != 2 {
+		t.Errorf("missing module: exit %d, want 2", code)
+	}
+	if code, _, _ := runCmd(t, filepath.Join(t.TempDir(), "missing.omx")); code != 1 {
+		t.Errorf("unreadable module: exit %d, want 1", code)
+	}
+}

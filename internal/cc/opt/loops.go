@@ -1,6 +1,10 @@
 package opt
 
-import "omniware/internal/cc/ir"
+import (
+	"sort"
+
+	"omniware/internal/cc/ir"
+)
 
 // licm hoists loop-invariant pure computations into the block that
 // enters the loop. It identifies natural loops via dominators and
@@ -96,7 +100,15 @@ func hoistLoop(f *ir.Func, header int, body map[int]bool, defs []int, defBlock [
 
 	changed := false
 	var moved []ir.Inst
+	// Iterate body blocks in a fixed order: hoisting order decides the
+	// preheader's instruction sequence, which must not vary between runs
+	// of the same compilation.
+	ids := make([]int, 0, len(body))
 	for id := range body {
+		ids = append(ids, id)
+	}
+	sort.Ints(ids)
+	for _, id := range ids {
 		blk := f.Blocks[id]
 		out := blk.Insts[:0]
 		for i := range blk.Insts {

@@ -205,13 +205,28 @@ func (e *emitter) buildFrame() *frame {
 
 func (e *emitter) sp() target.Reg { return e.c.m.OmniInt[14] }
 
+// abiScratch returns the i'th integer scratch register for the ABI
+// sequences (prologue/epilogue return-address staging, call argument
+// moves, indirect-call targets). These run while the ABI argument
+// registers hold live values, so the scratch must avoid them: the
+// regalloc scratch set does everywhere except x86, whose four-register
+// allocatable file makes ScratchInt coincide with the argument
+// registers — there the translator scratch pair (esi/edi), which the
+// native compiler never allocates, serves instead.
+func (e *emitter) abiScratch(i int) target.Reg {
+	if e.c.m.Arch == target.X86 {
+		return e.c.m.Scratch[i]
+	}
+	return target.Reg(e.ra.ScratchInt[i])
+}
+
 // raReg returns the link register, or NoReg when it is memory-resident.
 func (e *emitter) raReg() target.Reg { return e.c.m.OmniInt[15] }
 
 func (e *emitter) prologue() {
 	sp := e.sp()
 	e.emit(target.Inst{Op: target.AddI, Rd: sp, Rs1: sp, Rs2: target.NoReg, Imm: int32(-e.fr.size)})
-	s0 := target.Reg(e.ra.ScratchInt[0])
+	s0 := e.abiScratch(0)
 	if ra := e.raReg(); ra != target.NoReg {
 		e.emit(target.Inst{Op: target.Sw, Rd: ra, Rs1: sp, Rs2: target.NoReg, Imm: int32(e.fr.raOff)})
 	} else {
@@ -242,7 +257,7 @@ func (e *emitter) epilogueBody() {
 		e.emit(target.Inst{Op: target.Jr, Rd: target.NoReg, Rs1: ra, Rs2: target.NoReg})
 		return
 	}
-	s0 := target.Reg(e.ra.ScratchInt[0])
+	s0 := e.abiScratch(0)
 	e.emit(target.Inst{Op: target.Lw, Rd: s0, Rs1: sp, Rs2: target.NoReg, Imm: int32(e.fr.raOff)})
 	e.emit(target.Inst{Op: target.AddI, Rd: sp, Rs1: sp, Rs2: target.NoReg, Imm: int32(e.fr.size)})
 	e.emit(target.Inst{Op: target.Jr, Rd: target.NoReg, Rs1: s0, Rs2: target.NoReg})

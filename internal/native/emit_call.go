@@ -178,7 +178,7 @@ func (e *emitter) paramMoves() {
 		}
 		moves = append(moves, mvv)
 	}
-	e.resolveMoves(moves, target.Reg(e.ra.ScratchInt[1]), target.Reg(e.ra.ScratchFP[1]))
+	e.resolveMoves(moves, e.abiScratch(1), target.Reg(e.ra.ScratchFP[1]))
 }
 
 // call emits IR Call and Syscall instructions.
@@ -190,7 +190,7 @@ func (e *emitter) call(in *ir.Inst) {
 	var fnReg target.Reg = target.NoReg
 	if in.Op == ir.Call && in.Sym == "" {
 		src := e.intUse(in.A, 0)
-		fnReg = target.Reg(e.ra.ScratchInt[0])
+		fnReg = e.abiScratch(0)
 		if src != fnReg {
 			e.emit(target.Inst{Op: target.Mov, Rd: fnReg, Rs1: src, Rs2: target.NoReg})
 		}
@@ -232,7 +232,7 @@ func (e *emitter) call(in *ir.Inst) {
 		}
 		moves = append(moves, mvv)
 	}
-	e.resolveMoves(moves, target.Reg(e.ra.ScratchInt[1]), target.Reg(e.ra.ScratchFP[1]))
+	e.resolveMoves(moves, e.abiScratch(1), target.Reg(e.ra.ScratchFP[1]))
 
 	// Transfer.
 	switch {
@@ -286,7 +286,7 @@ func (e *emitter) emitCallTo(sym string, fnReg target.Reg) {
 		return
 	}
 	// Memory-resident return register (x86): explicit store then jump.
-	s := target.Reg(e.ra.ScratchInt[1])
+	s := e.abiScratch(1)
 	e.emit(target.Inst{Op: target.MovI, Rd: s, Rs1: target.NoReg, Rs2: target.NoReg, Sym: retMark, Imm: -1})
 	e.emit(target.Inst{Op: target.Sw, Rd: s, Rs1: target.NoReg, Rs2: target.NoReg, Imm: int32(regSaveAddr(e.c.regsave, 15))})
 	if sym != "" {

@@ -1,0 +1,238 @@
+package sched
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+
+	"omniware/internal/target"
+)
+
+// key renders an instruction compactly for golden comparison: opcode
+// plus destination (or branch shape), enough to pin the ordering
+// without freezing every operand.
+func key(in *target.Inst) string {
+	switch {
+	case in.Op == target.Nop:
+		return "nop"
+	case in.Op.IsBranch() || in.Op.IsJump():
+		return in.Op.String()
+	case in.Op.IsStore():
+		return fmt.Sprintf("%s[r%d]", in.Op, in.Rd)
+	default:
+		return fmt.Sprintf("%s>r%d", in.Op, in.Rd)
+	}
+}
+
+func keys(insts []target.Inst) string {
+	parts := make([]string, len(insts))
+	for i := range insts {
+		parts[i] = key(&insts[i])
+	}
+	return strings.Join(parts, " ")
+}
+
+// Golden delay-slot orderings on the two delay-slot machines. The
+// filler is deterministic, so the exact output sequence is the
+// contract: which instruction lands in the slot, where nops are forced,
+// and that interior transfers always get an explicit nop.
+func TestDelaySlotGoldenOrderings(t *testing.T) {
+	cases := []struct {
+		name   string
+		block  []target.Inst
+		golden string
+	}{
+		{
+			// The independent add moves into the slot.
+			name: "independent-fills-slot",
+			block: []target.Inst{
+				inst(target.AddI, 5, 6, target.NoReg),
+				inst(target.AddI, 2, 0, target.NoReg),
+				{Op: target.Bnez, Rd: target.NoReg, Rs1: 2, Rs2: target.NoReg, Target: 3},
+			},
+			golden: "addi>r2 bnez addi>r5",
+		},
+		{
+			// The only candidate produces the branch operand: forced nop.
+			name: "operand-producer-forces-nop",
+			block: []target.Inst{
+				inst(target.AddI, 2, 0, target.NoReg),
+				{Op: target.Bnez, Rd: target.NoReg, Rs1: 2, Rs2: target.NoReg, Target: 3},
+			},
+			golden: "addi>r2 bnez nop",
+		},
+		{
+			// A store is a legal slot filler when nothing between it and
+			// the branch conflicts.
+			name: "store-fills-slot",
+			block: []target.Inst{
+				inst(target.AddI, 2, 0, target.NoReg),
+				inst(target.Sw, 3, 29, target.NoReg),
+				{Op: target.Bnez, Rd: target.NoReg, Rs1: 2, Rs2: target.NoReg, Target: 3},
+			},
+			golden: "addi>r2 bnez sw[r3]",
+		},
+		{
+			// Interior transfer (conditional branch then else-jump): both
+			// get slots, and the fill search never moves an instruction
+			// across the interior transfer, so both slots hold nops.
+			name: "interior-transfers-get-nops",
+			block: []target.Inst{
+				inst(target.AddI, 5, 6, target.NoReg),
+				{Op: target.Beqz, Rd: target.NoReg, Rs1: 2, Rs2: target.NoReg, Target: 7},
+				{Op: target.J, Rd: target.NoReg, Rs1: target.NoReg, Rs2: target.NoReg, Target: 9},
+			},
+			golden: "addi>r5 beqz nop j nop",
+		},
+		{
+			// The candidate writes the link register the call also
+			// writes: it may not move into the slot.
+			name: "call-link-conflict-forces-nop",
+			block: []target.Inst{
+				inst(target.AddI, 31, 0, target.NoReg),
+				{Op: target.Jal, Rd: 31, Rs1: target.NoReg, Rs2: target.NoReg, Target: 3, Imm: 2},
+			},
+			golden: "addi>r31 jal nop",
+		},
+		{
+			// A skipped conflicting candidate does not stop the search:
+			// the earlier independent instruction still fills the slot.
+			name: "search-skips-conflicting-candidate",
+			block: []target.Inst{
+				inst(target.AddI, 5, 6, target.NoReg),
+				inst(target.AddI, 2, 0, target.NoReg),
+				inst(target.Add, 3, 2, 2),
+				{Op: target.Bnez, Rd: target.NoReg, Rs1: 3, Rs2: target.NoReg, Target: 3},
+			},
+			golden: "addi>r2 add>r3 bnez addi>r5",
+		},
+	}
+	for _, m := range []*target.Machine{target.MIPSMachine(), target.SPARCMachine()} {
+		for _, c := range cases {
+			t.Run(m.Name+"/"+c.name, func(t *testing.T) {
+				out := FillDelaySlot(append([]target.Inst(nil), c.block...), m, true)
+				if got := keys(out); got != c.golden {
+					t.Errorf("ordering:\n  got:  %s\n  want: %s", got, c.golden)
+				}
+			})
+		}
+	}
+}
+
+// blockCycles charges a straight-line block on a single-issue in-order
+// pipeline under the machine's latency table: each instruction stalls
+// until its operands are ready, then issues in one cycle. This is the
+// cost model the scheduler optimizes against.
+func blockCycles(insts []target.Inst, m *target.Machine) int {
+	avail := map[target.Reg]int{}
+	clock := 0
+	for i := range insts {
+		in := &insts[i]
+		ready := clock
+		use := func(r target.Reg) {
+			if r != target.NoReg && avail[r] > ready {
+				ready = avail[r]
+			}
+		}
+		use(in.Rs1)
+		use(in.Rs2)
+		if in.Op.IsStore() {
+			use(in.Rd)
+		}
+		clock = ready + 1
+		if in.Rd != target.NoReg && !in.Op.IsStore() {
+			avail[in.Rd] = ready + latOf(in, m)
+		}
+	}
+	return clock
+}
+
+// Scheduling must never make a block slower under the cost model it
+// optimizes for, and on the latency-hiding cases it must strictly win.
+func TestScheduleCycleNonRegression(t *testing.T) {
+	blocks := []struct {
+		name       string
+		insts      []target.Inst
+		strictlyOn []string // machines where an improvement is required
+	}{
+		{
+			// Two load-use pairs that interleave perfectly.
+			name: "load-use-pairs",
+			insts: []target.Inst{
+				inst(target.Lw, 2, 29, target.NoReg),
+				inst(target.Add, 3, 2, 2),
+				inst(target.Lw, 4, 29, target.NoReg),
+				inst(target.Add, 5, 4, 4),
+			},
+			strictlyOn: []string{"mips", "sparc", "ppc"},
+		},
+		{
+			// A long-latency multiply whose consumer can sink below
+			// independent work.
+			name: "multiply-latency",
+			insts: []target.Inst{
+				inst(target.Mul, 2, 6, 7),
+				inst(target.Add, 3, 2, 2),
+				inst(target.AddI, 8, 9, target.NoReg),
+				inst(target.AddI, 10, 11, target.NoReg),
+				inst(target.AddI, 12, 11, target.NoReg),
+			},
+			strictlyOn: []string{"mips", "sparc", "ppc", "x86"},
+		},
+		{
+			// FP pipeline: double multiply feeding an add, with integer
+			// work available to hide the latency.
+			name: "fp-chain",
+			insts: []target.Inst{
+				inst(target.FmulD, 50, 48, 49),
+				inst(target.FaddD, 51, 50, 48),
+				inst(target.AddI, 8, 9, target.NoReg),
+				inst(target.AddI, 10, 9, target.NoReg),
+			},
+			strictlyOn: []string{"mips", "sparc", "ppc", "x86"},
+		},
+		{
+			// A dependence chain with no slack: scheduling can do
+			// nothing, and must not regress.
+			name: "serial-chain",
+			insts: []target.Inst{
+				inst(target.AddI, 2, 0, target.NoReg),
+				inst(target.Add, 3, 2, 2),
+				inst(target.Add, 4, 3, 3),
+				inst(target.Add, 5, 4, 4),
+			},
+		},
+		{
+			// Memory ordering constraints limit but do not prevent
+			// reordering.
+			name: "store-load-mix",
+			insts: []target.Inst{
+				inst(target.Lw, 2, 29, target.NoReg),
+				inst(target.Add, 3, 2, 2),
+				inst(target.Sw, 3, 29, target.NoReg),
+				inst(target.AddI, 8, 9, target.NoReg),
+			},
+			strictlyOn: []string{"mips", "sparc", "ppc"},
+		},
+	}
+	for _, m := range target.Machines() {
+		for _, b := range blocks {
+			t.Run(m.Name+"/"+b.name, func(t *testing.T) {
+				before := blockCycles(b.insts, m)
+				out := Block(append([]target.Inst(nil), b.insts...), m)
+				checkLegal(t, b.insts, out)
+				after := blockCycles(out, m)
+				if after > before {
+					t.Errorf("scheduling regressed: %d -> %d cycles\n  in:  %s\n  out: %s",
+						before, after, keys(b.insts), keys(out))
+				}
+				for _, name := range b.strictlyOn {
+					if name == m.Name && after >= before {
+						t.Errorf("expected a strict improvement, got %d -> %d cycles\n  out: %s",
+							before, after, keys(out))
+					}
+				}
+			})
+		}
+	}
+}

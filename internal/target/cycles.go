@@ -1,0 +1,187 @@
+package target
+
+// pipe is the cycle-accounting model: a register scoreboard plus each
+// machine's issue discipline. It charges the stalls the paper's
+// machines exhibit — the R4400 load-use interlock, SuperSPARC result
+// latencies, 601 dual dispatch with branch folding, and Pentium U/V
+// pairing with AGI stalls — without modelling caches (EXPERIMENTS.md
+// measures a perfect-memory pipeline).
+type pipe struct {
+	m     *Machine
+	clock uint64
+	// avail[r] is the cycle register r's pending result becomes
+	// usable; flag is the same for the latched compare operands.
+	avail [64]uint64
+	flag  uint64
+	// slot counts issue slots consumed in the current cycle on the
+	// multi-issue machines.
+	slot int
+}
+
+func (p *pipe) init(m *Machine) { p.m = m }
+
+// issue charges one instruction: stall until its operands are ready,
+// consume an issue slot per the machine's discipline, and record when
+// its result will be available.
+func (p *pipe) issue(in *Inst) {
+	m := p.m
+	op := in.Op
+
+	// Operand readiness.
+	ready := p.clock
+	use := func(r Reg) {
+		if r >= 0 && p.avail[r] > ready {
+			ready = p.avail[r]
+		}
+	}
+	use(in.Rs1)
+	use(in.Rs2)
+	// Stores read Rd as the value operand. The Pentium's store buffer
+	// picks the data up after issue, so stores there wait only on their
+	// address registers.
+	if op.IsStore() && !m.Pairing {
+		use(in.Rd)
+	}
+	if op == Bcc || op == FBcc {
+		if p.flag > ready {
+			ready = p.flag
+		}
+	}
+	// Pentium AGI stall: an address base register produced in the
+	// previous cycle delays address generation by one more.
+	if m.Pairing && (op.IsLoad() || op.IsStore() || op == Lea || in.MemSrc) {
+		base := in.Rs1
+		if in.MemSrc {
+			base = in.Rs2
+		}
+		if base >= 0 && p.avail[base]+1 > ready {
+			ready = p.avail[base] + 1
+		}
+	}
+	if ready > p.clock {
+		p.clock = ready
+		p.slot = 0
+	}
+
+	// Issue.
+	var at uint64
+	switch {
+	case m.Pairing:
+		at = p.issuePentium(in)
+	case m.IssueWidth > 1:
+		at = p.clock
+		if m.BranchFolding && (op.IsBranch() || op.IsJump()) {
+			// Folded out of the dispatch stream: no slot consumed.
+			break
+		}
+		p.slot++
+		if p.slot >= m.IssueWidth {
+			p.clock++
+			p.slot = 0
+		}
+	default:
+		at = p.clock
+		p.clock++
+	}
+
+	// Result availability.
+	lat := uint64(1)
+	if m.Latency != nil {
+		lat = uint64(m.Latency(op))
+	}
+	switch op {
+	case Cmp, CmpI, CmpUI, Fcmp:
+		// On the branch-folding 601 the CR result forwards straight to
+		// the fold stage; elsewhere the branch sees it a cycle later.
+		if m.BranchFolding {
+			p.flag = at
+		} else {
+			p.flag = at + lat
+		}
+	default:
+		if in.Rd >= 0 && !op.IsStore() {
+			p.avail[in.Rd] = at + lat
+		}
+	}
+}
+
+// issuePentium applies the U/V pairing rules: simple register ALU,
+// moves, leas, loads and stores pair; shifts issue only in U; branches
+// end the pair; FP, multiply, divide and the register-memory forms
+// issue alone (MemSrc +1 cycle, MemDst +2 for the read-modify-write).
+func (p *pipe) issuePentium(in *Inst) uint64 {
+	op := in.Op
+	// Register-memory ALU forms: the load-op form overlaps its load in
+	// the U pipe (no extra cycle beyond losing the pair); the
+	// read-modify-write store form pays one extra cycle.
+	extra := uint64(0)
+	if in.MemDst {
+		extra = 1
+	}
+	switch {
+	case in.MemSrc:
+		// Load-op: U pipe only, single issue slot.
+		if p.slot > 0 {
+			p.clock++
+			p.slot = 0
+		}
+		at := p.clock
+		p.slot = 1
+		return at
+	case extra > 0 || !pentiumPairable(op):
+		if p.slot > 0 {
+			p.clock++
+			p.slot = 0
+		}
+		at := p.clock
+		p.clock += 1 + extra
+		return at
+	case pentiumUOnly(op):
+		if p.slot > 0 {
+			p.clock++
+			p.slot = 0
+		}
+		at := p.clock
+		p.slot = 1 // occupies U; a pairable instruction may still fill V
+		return at
+	case op.IsBranch() || op.IsJump():
+		// Branches pair only as the second (V) instruction and always
+		// terminate the pair.
+		at := p.clock
+		p.clock++
+		p.slot = 0
+		return at
+	default:
+		at := p.clock
+		p.slot++
+		if p.slot >= 2 {
+			p.clock++
+			p.slot = 0
+		}
+		return at
+	}
+}
+
+// pentiumPairable: the simple one-cycle integer instructions.
+func pentiumPairable(op Op) bool {
+	switch op {
+	case Nop, Add, Sub, And, Or, Xor, Slt, Sltu,
+		AddI, AndI, OrI, XorI, SltI, SltuI,
+		Sll, Srl, Sra, SllI, SrlI, SraI,
+		MovI, Mov, Lui, Lea, Neg,
+		Lb, Lbu, Lh, Lhu, Lw,
+		Sb, Sh, Sw,
+		Cmp, CmpI, CmpUI:
+		return true
+	}
+	return op.IsBranch() || op.IsJump()
+}
+
+// pentiumUOnly: shifts only issue in the U pipe.
+func pentiumUOnly(op Op) bool {
+	switch op {
+	case Sll, Srl, Sra, SllI, SrlI, SraI:
+		return true
+	}
+	return false
+}
