@@ -3,10 +3,15 @@
 //
 // Usage:
 //
-//	omnibench [-scale n] [-table 1|2|3|4|5|6|interp|sfiopt] [-figure 1|2] [-all]
+//	omnibench [-scale n] [-table 1|2|3|4|5|6|interp|sfiopt] [-figure 1|2] [-all] [-json]
+//
+// With -json the selected tables are emitted as one JSON array of
+// {name, title, header, rows} objects instead of aligned text, so the
+// numbers can be consumed by scripts without screen-scraping.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -39,6 +44,7 @@ func main() {
 	table := flag.String("table", "", "table to regenerate: 1-6, interp, sfiopt")
 	figure := flag.String("figure", "", "figure to regenerate: 1 or 2")
 	all := flag.Bool("all", false, "regenerate everything")
+	jsonOut := flag.Bool("json", false, "emit selected tables as JSON")
 	flag.Parse()
 
 	if *figure == "2" && !*all {
@@ -62,6 +68,13 @@ func main() {
 		{"interp", s.InterpTable}, {"sfiopt", s.SFIHoistTable},
 		{"readsfi", s.ReadSFITable}, {"fig1", s.Figure1},
 	}
+	type jsonTable struct {
+		Name   string     `json:"name"`
+		Title  string     `json:"title"`
+		Header []string   `json:"header"`
+		Rows   [][]string `json:"rows"`
+	}
+	var collected []jsonTable
 	ran := false
 	for _, g := range gens {
 		want := *all || *table == g.name || (*figure == "1" && g.name == "fig1")
@@ -73,11 +86,24 @@ func main() {
 		if err != nil {
 			fail(err)
 		}
-		fmt.Println(t)
+		if *jsonOut {
+			collected = append(collected, jsonTable{g.name, t.Title, t.Header, t.Rows})
+		} else {
+			fmt.Println(t)
+		}
 		ran = true
 	}
-	if *all {
+	if *jsonOut && ran {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(collected); err != nil {
+			fail(err)
+		}
+	}
+	if *all && !*jsonOut {
 		fmt.Print(figure2)
+	}
+	if *all {
 		ran = true
 	}
 	if !ran {

@@ -1,6 +1,7 @@
 package main
 
 import (
+	"encoding/json"
 	"os"
 	"os/exec"
 	"strconv"
@@ -96,5 +97,40 @@ func TestTable1EndToEnd(t *testing.T) {
 	}
 	if rows != 5 { // li, compress, alvinn, eqntott, average
 		t.Errorf("expected 5 data rows, found %d:\n%s", rows, out)
+	}
+}
+
+// The same table through -json: machine-readable cells, no
+// screen-scraping required.
+func TestTable1JSON(t *testing.T) {
+	if testing.Short() {
+		t.Skip("table regeneration skipped in -short mode")
+	}
+	code, out, stderr := runCmd(t, "-table", "1", "-json")
+	if code != 0 {
+		t.Fatalf("exit %d, stderr: %s", code, stderr)
+	}
+	var tables []struct {
+		Name   string     `json:"name"`
+		Title  string     `json:"title"`
+		Header []string   `json:"header"`
+		Rows   [][]string `json:"rows"`
+	}
+	if err := json.Unmarshal([]byte(out), &tables); err != nil {
+		t.Fatalf("bad JSON: %v\n%s", err, out)
+	}
+	if len(tables) != 1 || tables[0].Name != "1" {
+		t.Fatalf("unexpected tables: %+v", tables)
+	}
+	tb := tables[0]
+	if !strings.Contains(tb.Title, "Table 1") || len(tb.Header) != 5 || len(tb.Rows) != 5 {
+		t.Errorf("shape off: title %q, %d header cells, %d rows", tb.Title, len(tb.Header), len(tb.Rows))
+	}
+	for _, row := range tb.Rows {
+		for _, cell := range row[1:] {
+			if _, err := strconv.ParseFloat(cell, 64); err != nil {
+				t.Errorf("row %v: bad cell %q", row, cell)
+			}
+		}
 	}
 }

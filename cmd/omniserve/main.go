@@ -1,0 +1,296 @@
+// omniserve is the batch module-hosting driver: it reads a job
+// manifest (or generates the built-in demo), runs every job through
+// the internal/serve worker pool against one shared verified
+// translation cache, checks each clean run against the OmniVM
+// interpreter, and prints a deterministic per-job summary plus the
+// server's metrics.
+//
+// Usage:
+//
+//	omniserve -demo [-workers n] [-scale n] [-cache-mb n] [-json]
+//	omniserve -manifest jobs.json [flags]
+//
+// A manifest is JSON:
+//
+//	{"jobs": [
+//	  {"workload": "li", "target": "mips", "repeat": 3},
+//	  {"workload": "wildload", "target": "x86", "timeoutMs": 2000}
+//	]}
+//
+// Workloads are the four paper benchmarks (li, compress, alvinn,
+// eqntott) plus "wildload", a deliberately faulting module whose wild
+// load must fail its own job and nothing else. An empty "target"
+// fans the spec out across all four machines.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"omniware/internal/bench"
+	"omniware/internal/cc"
+	"omniware/internal/core"
+	"omniware/internal/mcache"
+	"omniware/internal/ovm"
+	"omniware/internal/serve"
+	"omniware/internal/serve/metrics"
+	"omniware/internal/target"
+	"omniware/internal/translate"
+)
+
+// wildLoadSrc is the injected-fault workload: SFI sandboxes stores, so
+// an out-of-segment *load* is the fault a sandboxed module can still
+// commit — on the interpreter and on every translated target alike.
+const wildLoadSrc = `
+int main(void) {
+	int *p = (int *)0x70000000;
+	return *p;
+}`
+
+type jobSpec struct {
+	ID        string `json:"id"`        // default: workload/target/rep
+	Workload  string `json:"workload"`  // li|compress|alvinn|eqntott|wildload
+	Target    string `json:"target"`    // mips|sparc|ppc|x86; "" = all four
+	Scale     int    `json:"scale"`     // workload scale (0 = -scale flag)
+	Repeat    int    `json:"repeat"`    // copies of this job (0 = 1)
+	SFI       *bool  `json:"sfi"`       // null = true
+	MaxSteps  uint64 `json:"maxSteps"`  // instruction budget (0 = default)
+	TimeoutMs int    `json:"timeoutMs"` // per-job deadline (0 = none)
+}
+
+type manifest struct {
+	Jobs []jobSpec `json:"jobs"`
+}
+
+// demoManifest is the built-in workload mix: every benchmark on every
+// target three times over (so the cache earns its keep), plus one
+// wild module that must fault without disturbing its 48 neighbors.
+func demoManifest() manifest {
+	var m manifest
+	for _, w := range bench.WorkloadNames {
+		m.Jobs = append(m.Jobs, jobSpec{Workload: w, Repeat: 3})
+	}
+	m.Jobs = append(m.Jobs, jobSpec{Workload: "wildload", Target: "mips"})
+	return m
+}
+
+// workload is one compiled module plus its interpreter reference — the
+// oracle every served run of that module is compared against.
+type workload struct {
+	mod     *ovm.Module
+	exit    int32
+	out     string
+	faulted bool
+}
+
+func buildWorkload(name string, scale int) (*workload, error) {
+	var files []core.SourceFile
+	if name == "wildload" {
+		files = []core.SourceFile{{Name: "wildload.c", Src: wildLoadSrc}}
+	} else {
+		var err error
+		if files, err = bench.Sources(name, scale); err != nil {
+			return nil, err
+		}
+	}
+	mod, err := core.BuildC(files, cc.Options{OptLevel: 2})
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", name, err)
+	}
+	h, err := core.NewHost(mod, core.RunConfig{})
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", name, err)
+	}
+	res, err := h.RunInterp()
+	if err != nil {
+		return nil, fmt.Errorf("%s: interpreter reference: %w", name, err)
+	}
+	return &workload{mod: mod, exit: res.ExitCode, out: h.Output(), faulted: res.Faulted}, nil
+}
+
+type jobReport struct {
+	ID       string `json:"id"`
+	Workload string `json:"workload"`
+	Target   string `json:"target"`
+	Status   string `json:"status"` // ok | fault(contained) | error
+	Exit     int32  `json:"exit"`
+	Parity   bool   `json:"parity"`
+	Insts    uint64 `json:"insts"`
+	Cycles   uint64 `json:"cycles"`
+	Err      string `json:"err,omitempty"`
+}
+
+type report struct {
+	Jobs    []jobReport      `json:"jobs"`
+	Metrics metrics.Snapshot `json:"metrics"`
+}
+
+func main() {
+	demo := flag.Bool("demo", false, "run the built-in demo manifest")
+	manifestPath := flag.String("manifest", "", "JSON job manifest to run")
+	workers := flag.Int("workers", 4, "worker goroutines")
+	scale := flag.Int("scale", 1, "default workload scale (0 = full size)")
+	cacheMB := flag.Int("cache-mb", 64, "translation cache budget in MiB")
+	jsonOut := flag.Bool("json", false, "emit the report as JSON")
+	flag.Parse()
+
+	var m manifest
+	switch {
+	case *demo && *manifestPath == "":
+		m = demoManifest()
+	case !*demo && *manifestPath != "":
+		raw, err := os.ReadFile(*manifestPath)
+		if err != nil {
+			fail(err)
+		}
+		if err := json.Unmarshal(raw, &m); err != nil {
+			fail(fmt.Errorf("%s: %w", *manifestPath, err))
+		}
+	default:
+		fmt.Fprintln(os.Stderr, "omniserve: pass exactly one of -demo or -manifest")
+		os.Exit(2)
+	}
+	if len(m.Jobs) == 0 {
+		fail(fmt.Errorf("manifest has no jobs"))
+	}
+
+	// Compile each distinct (workload, scale) once and pin its
+	// interpreter outcome before any worker runs.
+	type wkey struct {
+		name  string
+		scale int
+	}
+	loads := map[wkey]*workload{}
+	var jobs []serve.Job
+	meta := map[string]*jobReport{}
+	oracle := map[string]*workload{}
+	var order []string
+	for _, spec := range m.Jobs {
+		sc := spec.Scale
+		if sc == 0 {
+			sc = *scale
+		}
+		k := wkey{spec.Workload, sc}
+		if loads[k] == nil {
+			fmt.Fprintf(os.Stderr, "building %s (scale %d)...\n", spec.Workload, sc)
+			w, err := buildWorkload(spec.Workload, sc)
+			if err != nil {
+				fail(err)
+			}
+			loads[k] = w
+		}
+		machines := target.Machines()
+		if spec.Target != "" {
+			mach := target.ByName(spec.Target)
+			if mach == nil {
+				fail(fmt.Errorf("unknown target %q", spec.Target))
+			}
+			machines = []*target.Machine{mach}
+		}
+		reps := spec.Repeat
+		if reps <= 0 {
+			reps = 1
+		}
+		sfi := spec.SFI == nil || *spec.SFI
+		for _, mach := range machines {
+			for rep := 0; rep < reps; rep++ {
+				id := spec.ID
+				if id == "" {
+					id = fmt.Sprintf("%s/%s/%d", spec.Workload, mach.Name, rep)
+				} else if reps > 1 {
+					id = fmt.Sprintf("%s/%d", id, rep)
+				}
+				if meta[id] != nil {
+					fail(fmt.Errorf("duplicate job id %q", id))
+				}
+				jobs = append(jobs, serve.Job{
+					ID:       id,
+					Mod:      loads[k].mod,
+					Machine:  mach,
+					Opt:      translate.Paper(sfi),
+					MaxSteps: spec.MaxSteps,
+					Timeout:  time.Duration(spec.TimeoutMs) * time.Millisecond,
+				})
+				meta[id] = &jobReport{ID: id, Workload: spec.Workload, Target: mach.Name}
+				oracle[id] = loads[k]
+				order = append(order, id)
+			}
+		}
+	}
+
+	srv := serve.New(serve.Config{
+		Workers: *workers,
+		Cache:   mcache.New(int64(*cacheMB) << 20),
+	})
+	fmt.Fprintf(os.Stderr, "running %d jobs on %d workers...\n", len(jobs), *workers)
+	results := srv.Run(jobs)
+	srv.Close()
+
+	// Score each result against its workload's interpreter oracle. A
+	// faulting reference (wildload) matches on containment alone: both
+	// engines must fault, and exit codes of dead runs are not compared.
+	ok := true
+	rep := report{Metrics: srv.Snapshot()}
+	byID := map[string]serve.Result{}
+	for _, r := range results {
+		byID[r.ID] = r
+	}
+	for _, id := range order {
+		jr := meta[id]
+		r := byID[id]
+		w := oracle[id]
+		switch {
+		case r.Err != nil:
+			jr.Status, jr.Err, jr.Parity = "error", r.Err.Error(), false
+		case r.Faulted:
+			jr.Status = "fault(contained)"
+			jr.Parity = w.faulted
+		default:
+			jr.Status = "ok"
+			jr.Exit = r.ExitCode
+			jr.Parity = !w.faulted && r.ExitCode == w.exit && r.Output == w.out
+		}
+		jr.Insts, jr.Cycles = r.Insts, r.Cycles
+		if !jr.Parity {
+			ok = false
+		}
+		rep.Jobs = append(rep.Jobs, *jr)
+	}
+
+	if *jsonOut {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(rep); err != nil {
+			fail(err)
+		}
+	} else {
+		tbl := &bench.Table{
+			Title:  fmt.Sprintf("omniserve: %d jobs, %d workers", len(jobs), *workers),
+			Header: []string{"job", "workload", "target", "status", "exit", "parity", "insts"},
+		}
+		for _, jr := range rep.Jobs {
+			parity := "ok"
+			if !jr.Parity {
+				parity = "FAIL"
+			}
+			tbl.Rows = append(tbl.Rows, []string{
+				jr.ID, jr.Workload, jr.Target, jr.Status,
+				fmt.Sprint(jr.Exit), parity, fmt.Sprint(jr.Insts),
+			})
+		}
+		fmt.Println(tbl)
+		fmt.Print(rep.Metrics.Text())
+	}
+	if !ok {
+		fmt.Fprintln(os.Stderr, "omniserve: parity FAILED")
+		os.Exit(1)
+	}
+}
+
+func fail(err error) {
+	fmt.Fprintf(os.Stderr, "omniserve: %v\n", err)
+	os.Exit(1)
+}

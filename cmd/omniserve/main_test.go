@@ -1,0 +1,127 @@
+package main
+
+import (
+	"encoding/json"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// Script-free smoke tests: re-execute the test binary as the real
+// command (smokeEnv gates the dispatch in TestMain) and check streams
+// and exit codes.
+const smokeEnv = "OMNISERVE_SMOKE_MAIN"
+
+func TestMain(m *testing.M) {
+	if os.Getenv(smokeEnv) == "1" {
+		main()
+		return
+	}
+	os.Exit(m.Run())
+}
+
+func runCmd(t *testing.T, args ...string) (exitCode int, stdout, stderr string) {
+	t.Helper()
+	cmd := exec.Command(os.Args[0], args...)
+	cmd.Env = append(os.Environ(), smokeEnv+"=1")
+	var out, errb strings.Builder
+	cmd.Stdout = &out
+	cmd.Stderr = &errb
+	err := cmd.Run()
+	code := 0
+	if ee, ok := err.(*exec.ExitError); ok {
+		code = ee.ExitCode()
+	} else if err != nil {
+		t.Fatal(err)
+	}
+	return code, out.String(), errb.String()
+}
+
+func TestNoModeSelected(t *testing.T) {
+	code, _, stderr := runCmd(t)
+	if code != 2 {
+		t.Errorf("exit %d, want 2", code)
+	}
+	if !strings.Contains(stderr, "exactly one of -demo or -manifest") {
+		t.Errorf("stderr %q", stderr)
+	}
+}
+
+func TestUnknownWorkload(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "bad.json")
+	if err := os.WriteFile(path, []byte(`{"jobs":[{"workload":"nosuch"}]}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if code, _, stderr := runCmd(t, "-manifest", path); code != 1 || !strings.Contains(stderr, "nosuch") {
+		t.Errorf("exit %d, stderr %q", code, stderr)
+	}
+}
+
+// A manifest of wild modules: every job must fault, every fault must
+// be contained, and parity still holds because the interpreter
+// reference faults too. Exercises -manifest, target fan-out and -json
+// end to end while staying cheap enough for -short runs.
+func TestManifestJSONReport(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "jobs.json")
+	manifest := `{"jobs":[{"workload":"wildload","repeat":2}]}`
+	if err := os.WriteFile(path, []byte(manifest), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	code, out, stderr := runCmd(t, "-manifest", path, "-json", "-workers", "2")
+	if code != 0 {
+		t.Fatalf("exit %d, stderr: %s", code, stderr)
+	}
+	var rep struct {
+		Jobs []struct {
+			ID     string `json:"id"`
+			Status string `json:"status"`
+			Parity bool   `json:"parity"`
+		} `json:"jobs"`
+		Metrics struct {
+			JobsFailed      uint64 `json:"jobs_failed"`
+			FaultsContained uint64 `json:"faults_contained"`
+			CacheMisses     uint64 `json:"cache_misses"`
+		} `json:"metrics"`
+	}
+	if err := json.Unmarshal([]byte(out), &rep); err != nil {
+		t.Fatalf("bad JSON: %v\n%s", err, out)
+	}
+	if len(rep.Jobs) != 8 { // 1 workload x 4 targets x 2 reps
+		t.Fatalf("got %d jobs, want 8", len(rep.Jobs))
+	}
+	for _, j := range rep.Jobs {
+		if j.Status != "fault(contained)" || !j.Parity {
+			t.Errorf("job %s: %+v", j.ID, j)
+		}
+	}
+	if rep.Metrics.JobsFailed != 8 || rep.Metrics.FaultsContained != 8 || rep.Metrics.CacheMisses != 4 {
+		t.Errorf("metrics %+v", rep.Metrics)
+	}
+}
+
+// The full demo manifest end to end: 49 jobs over four workloads and
+// four targets, every clean job matching the interpreter, the wild
+// module contained, and the shared cache earning a >50% hit rate.
+func TestDemoEndToEnd(t *testing.T) {
+	if testing.Short() {
+		t.Skip("demo run skipped in -short mode")
+	}
+	code, out, stderr := runCmd(t, "-demo", "-workers", "8")
+	if code != 0 {
+		t.Fatalf("exit %d, stderr: %s", code, stderr)
+	}
+	if strings.Contains(out, "FAIL") {
+		t.Errorf("parity failure in summary:\n%s", out)
+	}
+	for _, want := range []string{
+		"49 jobs", "fault(contained)", "jobs_run           48",
+		"jobs_failed        1", "faults_contained   1",
+		"cache_misses       17", "cache_hit_rate     0.65",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("summary missing %q", want)
+		}
+	}
+}

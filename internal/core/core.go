@@ -10,6 +10,7 @@ import (
 	"fmt"
 	"io"
 	"strings"
+	"sync/atomic"
 
 	"omniware/internal/asm"
 	"omniware/internal/cc"
@@ -79,8 +80,18 @@ func BuildAsm(files []SourceFile, withCrt0 bool) (*ovm.Module, error) {
 type RunConfig struct {
 	Heap     uint32 // heap size (0 = default)
 	Stack    uint32
-	MaxSteps uint64    // instruction budget (0 = default 2e9)
-	Out      io.Writer // module output (nil = discard)
+	MaxSteps uint64 // instruction budget (0 = default 2e9)
+	// Out receives module output. nil does NOT discard: it captures
+	// into an internal buffer readable with Host.Output, which is what
+	// tests and the parity harness rely on. Callers that truly want to
+	// drop output pass io.Discard.
+	Out io.Writer
+
+	// Interrupt, when non-nil, is polled by the translated-code
+	// simulators; once it reports true the run aborts with an error.
+	// This is the serving layer's per-job timeout hook (the simulators
+	// otherwise run until exit or budget exhaustion).
+	Interrupt *atomic.Bool
 
 	// HostData, when non-nil, maps an additional "host" segment at
 	// HostBase that the module has no write permission for — used by
@@ -114,6 +125,14 @@ func NewHost(mod *ovm.Module, cfg RunConfig) (*Host, error) {
 	lay, err := hostapi.Load(&h.Mem, mod, cfg.Heap, cfg.Stack)
 	if err != nil {
 		return nil, err
+	}
+	// The SFI sandbox masks addresses into the data segment with
+	// DataMask = size-1, which is only a mask if the size is a power of
+	// two. The loader rounds sizes up to guarantee that, but a corrupt
+	// mask would silently break every SFI proof, so check here rather
+	// than trust the invariant.
+	if sz := lay.Seg.Size(); sz == 0 || sz&(sz-1) != 0 {
+		return nil, fmt.Errorf("core: data segment size %#x is not a power of two; refusing to derive an SFI mask", sz)
 	}
 	h.Lay = lay
 	out := cfg.Out
@@ -155,6 +174,21 @@ func (h *Host) SegInfo() translate.SegInfo {
 	}
 }
 
+// SegInfoFor computes the segment description NewHost(mod, cfg) will
+// produce, without building a host. Hosts of the same module and the
+// same heap/stack budgets share it, so a program translated against it
+// is valid in every such host — the property the translation cache is
+// keyed on.
+func SegInfoFor(mod *ovm.Module, cfg RunConfig) translate.SegInfo {
+	p := hostapi.PlanLayout(mod, cfg.Heap, cfg.Stack)
+	return translate.SegInfo{
+		DataBase: mod.DataBase,
+		DataMask: p.SegSize - 1,
+		GPValue:  mod.DataBase + 0x8000,
+		RegSave:  p.RegSave,
+	}
+}
+
 // RunInterp executes the module on the OmniVM interpreter.
 func (h *Host) RunInterp() (interp.Result, error) {
 	mc := interp.New(h.Mod, &h.Mem, h.Env)
@@ -168,9 +202,19 @@ func (h *Host) Translate(mach *target.Machine, opt translate.Options) (*target.P
 }
 
 // RunProgram executes a translated (or natively compiled) program.
+// The program need not have been produced by this host: any program
+// translated for the same module, machine and SegInfo runs unchanged —
+// this is the run-from-cached-program path the serving layer uses to
+// pay translation cost once across many sandboxed instances. Programs
+// are read-only during execution, so one may run in any number of
+// hosts concurrently.
 func (h *Host) RunProgram(mach *target.Machine, prog *target.Program) (target.Result, error) {
+	if prog.Arch != mach.Arch {
+		return target.Result{}, fmt.Errorf("core: program compiled for %s cannot run on %s", prog.Arch, mach.Arch)
+	}
 	s := target.New(mach, prog, &h.Mem, h.Env)
 	s.MaxInsts = h.cfg.maxSteps()
+	s.Interrupt = h.cfg.Interrupt
 	return s.Run()
 }
 

@@ -2,6 +2,7 @@ package core
 
 import (
 	"strings"
+	"sync/atomic"
 	"testing"
 
 	"omniware/internal/cc"
@@ -138,6 +139,69 @@ func TestSegInfo(t *testing.T) {
 	}
 	if si.RegSave <= si.DataBase || si.RegSave >= si.DataBase+si.DataMask {
 		t.Errorf("regsave %#x outside segment", si.RegSave)
+	}
+}
+
+func TestSegInfoForMatchesHost(t *testing.T) {
+	for _, cfg := range []RunConfig{{}, {Heap: 1 << 16, Stack: 1 << 16}} {
+		mod, err := BuildC([]SourceFile{{Name: "p.c", Src: prog}}, cc.Options{OptLevel: 2})
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := SegInfoFor(mod, cfg)
+		h, err := NewHost(mod, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := h.SegInfo(); got != want {
+			t.Errorf("cfg %+v: SegInfoFor %+v != host SegInfo %+v", cfg, want, got)
+		}
+	}
+}
+
+// A cached program translated by one host must run unchanged in a
+// fresh host of the same module and budgets.
+func TestRunProgramFromAnotherHost(t *testing.T) {
+	h1 := build(t)
+	m := target.MIPSMachine()
+	prog, err := h1.Translate(m, translate.Paper(true))
+	if err != nil {
+		t.Fatal(err)
+	}
+	h2, err := NewHost(h1.Mod, RunConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := h2.RunProgram(m, prog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref, err := h1.RunInterp()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Faulted || res.ExitCode != ref.ExitCode || h2.Output() != h1.Output() {
+		t.Errorf("cached program diverged: %+v vs interp %+v", res, ref)
+	}
+	// Wrong machine for the program is refused, not misexecuted.
+	if _, err := h2.RunProgram(target.SPARCMachine(), prog); err == nil {
+		t.Error("mips program accepted by sparc simulator")
+	}
+}
+
+func TestInterruptAbortsRun(t *testing.T) {
+	mod, err := BuildC([]SourceFile{{Name: "p.c", Src: "int main(void){ for(;;); return 0; }"}}, cc.Options{OptLevel: 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var stop atomic.Bool
+	stop.Store(true)
+	h, err := NewHost(mod, RunConfig{Interrupt: &stop})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := h.RunTranslated(target.MIPSMachine(), translate.Paper(true)); err == nil || !strings.Contains(err.Error(), "interrupted") {
+		t.Errorf("expected interruption, got %v", err)
 	}
 }
 

@@ -1,13 +1,11 @@
 package core_test
 
 import (
-	"fmt"
 	"testing"
 
-	"omniware/internal/bench"
 	"omniware/internal/cc"
 	"omniware/internal/core"
-	"omniware/internal/ovm"
+	"omniware/internal/coretest"
 	"omniware/internal/target"
 	"omniware/internal/translate"
 )
@@ -20,6 +18,9 @@ import (
 // system-level analogue of the per-construct cross-checks in
 // internal/translate: the interpreter is the semantic reference, and a
 // translator or executor bug on any machine shows up as a divergence.
+//
+// The cases themselves live in internal/coretest, shared with the
+// serving-layer stress tests in internal/serve.
 
 // optionMatrix is the configuration space each program runs under.
 var optionMatrix = []struct {
@@ -32,238 +33,32 @@ var optionMatrix = []struct {
 	{"sfi+hoist", translate.Options{SFI: true, Schedule: true, GlobalPointer: true, Peephole: true, SFIHoist: true}},
 }
 
-// parityCase is one program plus its host-side setup. setup (optional)
-// deposits input into the loaded address space before execution, as
-// the example hosts do; post (optional) digests memory the program
-// wrote, so the comparison covers side effects beyond exit/output.
-type parityCase struct {
-	name  string
-	files []core.SourceFile
-	opts  cc.Options
-	setup func(t *testing.T, h *core.Host, mod *ovm.Module)
-	post  func(t *testing.T, h *core.Host, mod *ovm.Module) string
-}
-
-func symAddr(t *testing.T, mod *ovm.Module, name string) uint32 {
-	t.Helper()
-	for _, s := range mod.Symbols {
-		if s.Name == name {
-			return s.Value
-		}
-	}
-	t.Fatalf("symbol %q not found", name)
-	return 0
-}
-
-// exampleCases mirrors the programs shipped in examples/: quickstart's
-// fib, docscript's chart renderer, mailfilter's message scorer, and
-// faultinject's handler probe (run unprotected here — its protected
-// variant, which requires SFI off, is covered by
-// internal/interp/exception_parity_test.go).
-func exampleCases() []parityCase {
-	o2 := cc.Options{OptLevel: 2}
-	return []parityCase{
-		{
-			name: "quickstart-fib",
-			opts: o2,
-			files: []core.SourceFile{{Name: "fib.c", Src: `
-int fib(int n) { return n < 2 ? n : fib(n - 1) + fib(n - 2); }
-
-int main(void) {
-	int i;
-	_puts("fib: ");
-	for (i = 1; i <= 10; i++) {
-		_print_int(fib(i));
-		_putc(' ');
-	}
-	_putc('\n');
-	return fib(10);
-}
-`}},
-		},
-		{
-			name: "docscript-chart",
-			opts: o2,
-			files: []core.SourceFile{{Name: "chart.c", Src: `
-int values[16];
-int nvalues;
-char canvas[16 * 34];
-
-void render(void) {
-	int row, col, width;
-	for (row = 0; row < nvalues; row++) {
-		char *line = canvas + row * 34;
-		width = values[row];
-		if (width > 30) width = 30;
-		if (width < 0) width = 0;
-		line[0] = '|';
-		for (col = 0; col < width; col++) line[1 + col] = '#';
-		line[1 + width] = 0;
-	}
-}
-
-int main(void) {
-	render();
-	return nvalues;
-}
-`}},
-			setup: func(t *testing.T, h *core.Host, mod *ovm.Module) {
-				data := []uint32{3, 7, 12, 19, 27, 30, 22, 14, 6, 2}
-				val := symAddr(t, mod, "values")
-				for i, v := range data {
-					if f := h.Mem.StoreU32(val+uint32(i*4), v); f != nil {
-						t.Fatal(f)
-					}
-				}
-				if f := h.Mem.StoreU32(symAddr(t, mod, "nvalues"), uint32(len(data))); f != nil {
-					t.Fatal(f)
-				}
-			},
-			post: func(t *testing.T, h *core.Host, mod *ovm.Module) string {
-				canvas := symAddr(t, mod, "canvas")
-				out := ""
-				for row := 0; row < 10; row++ {
-					line, f := h.Mem.ReadCString(canvas+uint32(row*34), 34)
-					if f != nil {
-						t.Fatal(f)
-					}
-					out += line + "\n"
-				}
-				return out
-			},
-		},
-		{
-			name: "mailfilter-score",
-			opts: o2,
-			files: []core.SourceFile{{Name: "filter.c", Src: `
-int score(char *msg, int len) {
-	int i, bangs = 0, urgent = 0;
-	for (i = 0; i < len; i++) {
-		if (msg[i] == '!') bangs++;
-		if (msg[i] == 'U' && i + 5 < len &&
-		    msg[i+1] == 'R' && msg[i+2] == 'G' &&
-		    msg[i+3] == 'E' && msg[i+4] == 'N' && msg[i+5] == 'T')
-			urgent = 1;
-	}
-	return urgent * 10 + bangs;
-}
-
-char buf[512];
-int len;
-
-int main(void) {
-	return score(buf, len);
-}
-`}},
-			setup: func(t *testing.T, h *core.Host, mod *ovm.Module) {
-				msg := "URGENT: wire funds now!!!"
-				if f := h.Mem.WriteBytes(symAddr(t, mod, "buf"), []byte(msg)); f != nil {
-					t.Fatal(f)
-				}
-				if f := h.Mem.StoreU32(symAddr(t, mod, "len"), uint32(len(msg))); f != nil {
-					t.Fatal(f)
-				}
-			},
-		},
-		{
-			name: "faultinject-probe",
-			opts: cc.Options{OptLevel: 1},
-			files: []core.SourceFile{{Name: "probe.c", Src: `
-int faults;
-int done;
-
-void on_fault(void) {
-	faults = faults + 1;
-	done = 1;
-	_puts("module: caught access violation, recovering\n");
-	_exit(40 + faults);
-}
-
-char page[8192];
-
-int main(void) {
-	_set_handler((int)on_fault);
-	_puts("module: probing the page...\n");
-	page[4096] = 1;
-	return 0;
-}
-`}},
-		},
-	}
-}
-
-// benchCases builds the four paper workloads at scale 1.
-func benchCases(t *testing.T) []parityCase {
-	var cases []parityCase
-	for _, name := range bench.WorkloadNames {
-		files, err := bench.Sources(name, 1)
-		if err != nil {
-			t.Fatal(err)
-		}
-		cases = append(cases, parityCase{
-			name:  "bench-" + name,
-			files: files,
-			opts:  cc.Options{OptLevel: 2},
-		})
-	}
-	return cases
-}
-
-// outcome is everything a run produces that parity compares.
-type outcome struct {
-	exit    int32
-	faulted bool
-	out     string
-	post    string
-}
-
-func (o outcome) String() string {
-	return fmt.Sprintf("exit=%d faulted=%v out=%q post=%q", o.exit, o.faulted, o.out, o.post)
-}
-
-func runCase(t *testing.T, c *parityCase, mod *ovm.Module, run func(h *core.Host) (int32, bool, error)) outcome {
-	t.Helper()
-	h, err := core.NewHost(mod, core.RunConfig{})
-	if err != nil {
-		t.Fatal(err)
-	}
-	if c.setup != nil {
-		c.setup(t, h, mod)
-	}
-	exit, faulted, err := run(h)
-	if err != nil {
-		t.Fatal(err)
-	}
-	o := outcome{exit: exit, faulted: faulted, out: h.Output()}
-	if c.post != nil {
-		o.post = c.post(t, h, mod)
-	}
-	return o
-}
-
-func checkParity(t *testing.T, cases []parityCase) {
+func checkParity(t *testing.T, cases []coretest.Case) {
 	for i := range cases {
 		c := &cases[i]
-		t.Run(c.name, func(t *testing.T) {
-			mod, err := core.BuildC(c.files, c.opts)
+		t.Run(c.Name, func(t *testing.T) {
+			mod, err := core.BuildC(c.Files, c.Opts)
 			if err != nil {
 				t.Fatal(err)
 			}
-			ref := runCase(t, c, mod, func(h *core.Host) (int32, bool, error) {
-				res, err := h.RunInterp()
-				return res.ExitCode, res.Faulted, err
-			})
-			if ref.faulted {
+			ref, err := c.RunInterp(mod)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if ref.Faulted {
 				t.Fatalf("interpreter reference faulted: %s", ref)
 			}
 			for _, m := range target.Machines() {
 				for _, oc := range optionMatrix {
 					m, oc := m, oc
 					t.Run(m.Name+"/"+oc.name, func(t *testing.T) {
-						got := runCase(t, c, mod, func(h *core.Host) (int32, bool, error) {
+						got, err := c.Run(mod, func(h *core.Host) (int32, bool, error) {
 							res, _, err := h.RunTranslated(m, oc.opt)
 							return res.ExitCode, res.Faulted, err
 						})
+						if err != nil {
+							t.Fatal(err)
+						}
 						if got != ref {
 							t.Errorf("diverged from interpreter:\n  interp:     %s\n  translated: %s", ref, got)
 						}
@@ -275,14 +70,18 @@ func checkParity(t *testing.T, cases []parityCase) {
 }
 
 func TestExampleParity(t *testing.T) {
-	checkParity(t, exampleCases())
+	checkParity(t, coretest.ExampleCases())
 }
 
 func TestBenchWorkloadParity(t *testing.T) {
 	if testing.Short() {
 		t.Skip("workload parity sweep skipped in -short mode")
 	}
-	checkParity(t, benchCases(t))
+	cases, err := coretest.BenchCases(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkParity(t, cases)
 }
 
 // The malicious mailfilter module writes through the host segment's

@@ -1,0 +1,257 @@
+// Package coretest holds the shared differential-parity harness: a
+// fixed set of example programs and benchmark workloads, each with its
+// host-side input setup and memory-digest hooks, plus the interpreter
+// reference runner every execution engine is compared against. It is
+// used by the system-level parity tests in internal/core and by the
+// concurrency stress tests in internal/serve — one source of truth for
+// "what programs must agree with the interpreter".
+package coretest
+
+import (
+	"fmt"
+
+	"omniware/internal/bench"
+	"omniware/internal/cc"
+	"omniware/internal/core"
+	"omniware/internal/ovm"
+)
+
+// Case is one program plus its host-side setup. Setup (optional)
+// deposits input into the loaded address space before execution, as
+// the example hosts do; Post (optional) digests memory the program
+// wrote, so a comparison covers side effects beyond exit and output.
+type Case struct {
+	Name  string
+	Files []core.SourceFile
+	Opts  cc.Options
+	Setup func(h *core.Host, mod *ovm.Module) error
+	Post  func(h *core.Host, mod *ovm.Module) (string, error)
+}
+
+// SymAddr resolves a module symbol's address.
+func SymAddr(mod *ovm.Module, name string) (uint32, error) {
+	if s, ok := ovm.Lookup(mod.Symbols, name); ok {
+		return s.Value, nil
+	}
+	return 0, fmt.Errorf("coretest: symbol %q not found", name)
+}
+
+// Outcome is everything a run produces that parity compares.
+type Outcome struct {
+	Exit    int32
+	Faulted bool
+	Out     string
+	Post    string
+}
+
+func (o Outcome) String() string {
+	return fmt.Sprintf("exit=%d faulted=%v out=%q post=%q", o.Exit, o.Faulted, o.Out, o.Post)
+}
+
+// Run builds a fresh host for mod, applies the case's setup, executes
+// run in it, and digests the outcome.
+func (c *Case) Run(mod *ovm.Module, run func(h *core.Host) (int32, bool, error)) (Outcome, error) {
+	h, err := core.NewHost(mod, core.RunConfig{})
+	if err != nil {
+		return Outcome{}, err
+	}
+	if c.Setup != nil {
+		if err := c.Setup(h, mod); err != nil {
+			return Outcome{}, err
+		}
+	}
+	exit, faulted, err := run(h)
+	if err != nil {
+		return Outcome{}, err
+	}
+	o := Outcome{Exit: exit, Faulted: faulted, Out: h.Output()}
+	if c.Post != nil {
+		o.Post, err = c.Post(h, mod)
+		if err != nil {
+			return Outcome{}, err
+		}
+	}
+	return o, nil
+}
+
+// RunInterp produces the case's interpreter reference outcome for mod.
+func (c *Case) RunInterp(mod *ovm.Module) (Outcome, error) {
+	return c.Run(mod, func(h *core.Host) (int32, bool, error) {
+		res, err := h.RunInterp()
+		return res.ExitCode, res.Faulted, err
+	})
+}
+
+// ExampleCases mirrors the programs shipped in examples/: quickstart's
+// fib, docscript's chart renderer, mailfilter's message scorer, and
+// faultinject's handler probe (run unprotected here — its protected
+// variant, which requires SFI off, is covered by
+// internal/interp/exception_parity_test.go).
+func ExampleCases() []Case {
+	o2 := cc.Options{OptLevel: 2}
+	return []Case{
+		{
+			Name: "quickstart-fib",
+			Opts: o2,
+			Files: []core.SourceFile{{Name: "fib.c", Src: `
+int fib(int n) { return n < 2 ? n : fib(n - 1) + fib(n - 2); }
+
+int main(void) {
+	int i;
+	_puts("fib: ");
+	for (i = 1; i <= 10; i++) {
+		_print_int(fib(i));
+		_putc(' ');
+	}
+	_putc('\n');
+	return fib(10);
+}
+`}},
+		},
+		{
+			Name: "docscript-chart",
+			Opts: o2,
+			Files: []core.SourceFile{{Name: "chart.c", Src: `
+int values[16];
+int nvalues;
+char canvas[16 * 34];
+
+void render(void) {
+	int row, col, width;
+	for (row = 0; row < nvalues; row++) {
+		char *line = canvas + row * 34;
+		width = values[row];
+		if (width > 30) width = 30;
+		if (width < 0) width = 0;
+		line[0] = '|';
+		for (col = 0; col < width; col++) line[1 + col] = '#';
+		line[1 + width] = 0;
+	}
+}
+
+int main(void) {
+	render();
+	return nvalues;
+}
+`}},
+			Setup: func(h *core.Host, mod *ovm.Module) error {
+				data := []uint32{3, 7, 12, 19, 27, 30, 22, 14, 6, 2}
+				val, err := SymAddr(mod, "values")
+				if err != nil {
+					return err
+				}
+				for i, v := range data {
+					if f := h.Mem.StoreU32(val+uint32(i*4), v); f != nil {
+						return f
+					}
+				}
+				nv, err := SymAddr(mod, "nvalues")
+				if err != nil {
+					return err
+				}
+				if f := h.Mem.StoreU32(nv, uint32(len(data))); f != nil {
+					return f
+				}
+				return nil
+			},
+			Post: func(h *core.Host, mod *ovm.Module) (string, error) {
+				canvas, err := SymAddr(mod, "canvas")
+				if err != nil {
+					return "", err
+				}
+				out := ""
+				for row := 0; row < 10; row++ {
+					line, f := h.Mem.ReadCString(canvas+uint32(row*34), 34)
+					if f != nil {
+						return "", f
+					}
+					out += line + "\n"
+				}
+				return out, nil
+			},
+		},
+		{
+			Name: "mailfilter-score",
+			Opts: o2,
+			Files: []core.SourceFile{{Name: "filter.c", Src: `
+int score(char *msg, int len) {
+	int i, bangs = 0, urgent = 0;
+	for (i = 0; i < len; i++) {
+		if (msg[i] == '!') bangs++;
+		if (msg[i] == 'U' && i + 5 < len &&
+		    msg[i+1] == 'R' && msg[i+2] == 'G' &&
+		    msg[i+3] == 'E' && msg[i+4] == 'N' && msg[i+5] == 'T')
+			urgent = 1;
+	}
+	return urgent * 10 + bangs;
+}
+
+char buf[512];
+int len;
+
+int main(void) {
+	return score(buf, len);
+}
+`}},
+			Setup: func(h *core.Host, mod *ovm.Module) error {
+				msg := "URGENT: wire funds now!!!"
+				buf, err := SymAddr(mod, "buf")
+				if err != nil {
+					return err
+				}
+				if f := h.Mem.WriteBytes(buf, []byte(msg)); f != nil {
+					return f
+				}
+				ln, err := SymAddr(mod, "len")
+				if err != nil {
+					return err
+				}
+				if f := h.Mem.StoreU32(ln, uint32(len(msg))); f != nil {
+					return f
+				}
+				return nil
+			},
+		},
+		{
+			Name: "faultinject-probe",
+			Opts: cc.Options{OptLevel: 1},
+			Files: []core.SourceFile{{Name: "probe.c", Src: `
+int faults;
+int done;
+
+void on_fault(void) {
+	faults = faults + 1;
+	done = 1;
+	_puts("module: caught access violation, recovering\n");
+	_exit(40 + faults);
+}
+
+char page[8192];
+
+int main(void) {
+	_set_handler((int)on_fault);
+	_puts("module: probing the page...\n");
+	page[4096] = 1;
+	return 0;
+}
+`}},
+		},
+	}
+}
+
+// BenchCases builds the four paper workloads at the given scale.
+func BenchCases(scale int) ([]Case, error) {
+	var cases []Case
+	for _, name := range bench.WorkloadNames {
+		files, err := bench.Sources(name, scale)
+		if err != nil {
+			return nil, err
+		}
+		cases = append(cases, Case{
+			Name:  "bench-" + name,
+			Files: files,
+			Opts:  cc.Options{OptLevel: 2},
+		})
+	}
+	return cases, nil
+}

@@ -63,12 +63,24 @@ const (
 	guardSize        = seg.PageSize
 )
 
-// Load maps a module's data image into mem at the module's linked base
-// and returns the layout. The code itself is not placed in data memory:
-// OmniVM code addresses are instruction indices into the text section,
-// and the (virtual or translated) code segment is execute-only by
-// construction.
-func Load(mem *seg.Memory, m *ovm.Module, heapSize, stackSize uint32) (*Layout, error) {
+// Plan is the geometry Load will give a module's data segment,
+// computable without touching an address space. The translation cache
+// uses it to derive a module's SFI segment description (and hence its
+// cache key) before any host exists.
+type Plan struct {
+	SegSize   uint32 // total data-segment size (a power of two)
+	HeapBase  uint32
+	HeapLimit uint32
+	StackTop  uint32
+	RegSave   uint32
+}
+
+// PlanLayout computes the layout Load(mem, m, heapSize, stackSize)
+// will produce. It is deterministic in (module, heapSize, stackSize),
+// which is what makes translations shareable across hosts: every host
+// loading the same module with the same budgets sees the same segment
+// geometry, so one SFI-checked translation fits them all.
+func PlanLayout(m *ovm.Module, heapSize, stackSize uint32) Plan {
 	if heapSize == 0 {
 		heapSize = DefaultHeapSize
 	}
@@ -83,24 +95,38 @@ func Load(mem *seg.Memory, m *ovm.Module, heapSize, stackSize uint32) (*Layout, 
 	for p < total {
 		p <<= 1
 	}
-	heapSize += p - total
 	total = p
-	s, err := mem.Map("module-data", m.DataBase, total, seg.Read|seg.Write)
+	end := m.DataBase + total
+	const regSaveSize = 256
+	regSave := end - regSaveSize
+	return Plan{
+		SegSize:   total,
+		HeapBase:  (m.DataBase + static + 7) &^ 7,
+		HeapLimit: end - stackSize - guardSize,
+		StackTop:  regSave - 16,
+		RegSave:   regSave,
+	}
+}
+
+// Load maps a module's data image into mem at the module's linked base
+// and returns the layout. The code itself is not placed in data memory:
+// OmniVM code addresses are instruction indices into the text section,
+// and the (virtual or translated) code segment is execute-only by
+// construction.
+func Load(mem *seg.Memory, m *ovm.Module, heapSize, stackSize uint32) (*Layout, error) {
+	p := PlanLayout(m, heapSize, stackSize)
+	s, err := mem.Map("module-data", m.DataBase, p.SegSize, seg.Read|seg.Write)
 	if err != nil {
 		return nil, fmt.Errorf("hostapi: mapping module data: %w", err)
 	}
 	copy(s.Bytes(), m.Data)
-	heapBase := (m.DataBase + static + 7) &^ 7
-	const regSaveSize = 256
-	regSave := s.End() - regSaveSize
-	stackTop := regSave - 16
 	lay := &Layout{
 		Seg:       s,
-		HeapBase:  heapBase,
-		Brk:       heapBase,
-		HeapLimit: s.End() - stackSize - guardSize,
-		StackTop:  stackTop,
-		RegSave:   regSave,
+		HeapBase:  p.HeapBase,
+		Brk:       p.HeapBase,
+		HeapLimit: p.HeapLimit,
+		StackTop:  p.StackTop,
+		RegSave:   p.RegSave,
 	}
 	// The guard page between heap and stack stays unmapped in spirit:
 	// revoke all access so runaway heap writes fault.
@@ -110,7 +136,12 @@ func Load(mem *seg.Memory, m *ovm.Module, heapSize, stackSize uint32) (*Layout, 
 	return lay, nil
 }
 
-// Env is the per-module host environment.
+// Env is the per-module host environment. An Env — like the Memory
+// and Layout it wraps — belongs to exactly one module instance and is
+// not safe for concurrent use: a server running many jobs gives each
+// job its own address space and Env (see internal/serve), sharing only
+// immutable state (the Module and its cached translations) between
+// them.
 type Env struct {
 	Mem    *seg.Memory
 	Out    io.Writer

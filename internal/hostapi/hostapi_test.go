@@ -66,6 +66,32 @@ func TestLoadLayout(t *testing.T) {
 	}
 }
 
+func TestPlanLayoutMatchesLoad(t *testing.T) {
+	mod := &ovm.Module{
+		Text:     []ovm.Inst{{Op: ovm.HALT}},
+		Data:     make([]byte, 777),
+		BSSSize:  1 << 14,
+		DataBase: 0x20000000,
+	}
+	for _, budgets := range [][2]uint32{{0, 0}, {1 << 16, 1 << 16}, {3 << 20, 1 << 18}} {
+		p := PlanLayout(mod, budgets[0], budgets[1])
+		var mem seg.Memory
+		lay, err := Load(&mem, mod, budgets[0], budgets[1])
+		if err != nil {
+			t.Fatal(err)
+		}
+		if p.SegSize != lay.Seg.Size() || p.HeapBase != lay.HeapBase ||
+			p.HeapLimit != lay.HeapLimit || p.StackTop != lay.StackTop ||
+			p.RegSave != lay.RegSave {
+			t.Errorf("budgets %v: plan %+v disagrees with load %+v", budgets, p, lay)
+		}
+		// Deterministic: a second plan is identical.
+		if p2 := PlanLayout(mod, budgets[0], budgets[1]); p2 != p {
+			t.Errorf("budgets %v: plan not deterministic: %+v vs %+v", budgets, p, p2)
+		}
+	}
+}
+
 func TestSyscallOutput(t *testing.T) {
 	env, _, cpu := newEnv(t)
 	cpu.SetIntReg(ovm.RArg0, 'A')

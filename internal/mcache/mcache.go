@@ -1,0 +1,237 @@
+// Package mcache is the verified translation cache behind the serving
+// layer: load-time translation is paid once per (module, machine,
+// options, segment shape) and the resulting native program is shared by
+// every subsequent sandboxed instance. Admission is gated on the SFI
+// verifier — every entry is re-checked against the policy it will run
+// under before it becomes visible, so the cache can never serve
+// unsandboxed code even if the translator (or whoever handed us a
+// pre-translated program) is buggy or malicious. This mirrors the
+// translator/verifier split of the SFI literature: the translator stays
+// outside the trusted computing base, and the cache is the choke point
+// where the proof is checked.
+//
+// Concurrent requests for the same key are deduplicated: one caller
+// translates while the rest wait for its result, so a burst of jobs for
+// a new module costs one translation, not one per job.
+package mcache
+
+import (
+	"container/list"
+	"crypto/sha256"
+	"encoding/hex"
+	"errors"
+	"fmt"
+	"sync"
+
+	"omniware/internal/ovm"
+	"omniware/internal/sfi"
+	"omniware/internal/target"
+	"omniware/internal/translate"
+)
+
+// ErrUnsandboxed is returned for requests without SFI enabled: the
+// cache only holds programs whose containment the verifier has proved,
+// and a translation without sandboxing checks can never pass admission.
+// Callers that really want an unsandboxed run translate directly.
+var ErrUnsandboxed = errors.New("mcache: refusing to cache a translation without SFI")
+
+// DefaultLimit is the default code-size budget (bytes of cached native
+// code, estimated) when New is given a non-positive limit.
+const DefaultLimit = 64 << 20
+
+// instCost estimates the in-memory size of one target.Inst for the
+// eviction budget. Exactness doesn't matter; monotonicity in code
+// length does.
+const instCost = 40
+
+// Stats is a snapshot of the cache counters. Misses equals the number
+// of translations the cache performed; Hits counts entries served
+// ready-made; Coalesced counts callers that piggybacked on a
+// translation already in flight (also served without translating).
+type Stats struct {
+	Lookups   uint64
+	Hits      uint64
+	Coalesced uint64
+	Misses    uint64
+	Inserts   uint64
+	Evictions uint64
+	Rejected  uint64 // admission failures: verifier refused the program
+	Entries   int
+	CodeBytes int64
+}
+
+// ModuleHash returns the content address of a module: the hex SHA-256
+// of its canonical OMX encoding. Two modules with the same hash are the
+// same mobile program, wherever they came from.
+func ModuleHash(mod *ovm.Module) string {
+	h := sha256.Sum256(mod.Encode())
+	return hex.EncodeToString(h[:])
+}
+
+// key identifies one translation: same module content, same target
+// machine, same translator options, same segment shape. Any difference
+// in these changes the emitted code (or the SFI masks baked into it),
+// so they are all part of the identity.
+func key(modHash string, mach *target.Machine, si translate.SegInfo, opt translate.Options) string {
+	return fmt.Sprintf("%s|%s|%+v|%+v", modHash, mach.Name, si, opt)
+}
+
+type entry struct {
+	key  string
+	prog *target.Program
+	size int64
+}
+
+type flight struct {
+	done chan struct{}
+	prog *target.Program
+	err  error
+}
+
+// Cache is a content-addressed translation cache with LRU eviction by
+// estimated code size. The zero value is not usable; call New. All
+// methods are safe for concurrent use.
+type Cache struct {
+	mu       sync.Mutex
+	limit    int64
+	bytes    int64
+	lru      list.List // of *entry; front = most recently used
+	byKey    map[string]*list.Element
+	inflight map[string]*flight
+	stats    Stats
+}
+
+// New creates a cache holding at most limit estimated bytes of
+// translated code (non-positive = DefaultLimit).
+func New(limit int64) *Cache {
+	if limit <= 0 {
+		limit = DefaultLimit
+	}
+	return &Cache{
+		limit:    limit,
+		byKey:    map[string]*list.Element{},
+		inflight: map[string]*flight{},
+	}
+}
+
+func progSize(p *target.Program) int64 {
+	return int64(len(p.Code))*instCost + int64(len(p.OmniToNative))*4
+}
+
+// Translate returns the native program for (mod, mach, si, opt),
+// translating and admitting it on a miss. The boolean reports whether
+// the program was served without a translation in this call (a cache
+// hit or a coalesced wait on another caller's translation). Admission
+// is mandatory: a program that fails the SFI verifier is never cached
+// and the error is returned to every waiting caller.
+func (c *Cache) Translate(mod *ovm.Module, mach *target.Machine, si translate.SegInfo, opt translate.Options) (*target.Program, bool, error) {
+	if !opt.SFI {
+		return nil, false, ErrUnsandboxed
+	}
+	k := key(ModuleHash(mod), mach, si, opt)
+
+	c.mu.Lock()
+	c.stats.Lookups++
+	if el, ok := c.byKey[k]; ok {
+		c.stats.Hits++
+		c.lru.MoveToFront(el)
+		prog := el.Value.(*entry).prog
+		c.mu.Unlock()
+		return prog, true, nil
+	}
+	if f, ok := c.inflight[k]; ok {
+		c.stats.Coalesced++
+		c.mu.Unlock()
+		<-f.done
+		return f.prog, true, f.err
+	}
+	c.stats.Misses++
+	f := &flight{done: make(chan struct{})}
+	c.inflight[k] = f
+	c.mu.Unlock()
+
+	prog, err := translate.Translate(mod, mach, si, opt)
+	if err == nil {
+		err = c.admit(prog, mach, si)
+	}
+	f.prog, f.err = prog, err
+	if err != nil {
+		f.prog = nil
+	}
+
+	c.mu.Lock()
+	delete(c.inflight, k)
+	if err == nil {
+		c.insertLocked(k, prog)
+	}
+	c.mu.Unlock()
+	close(f.done)
+	if err != nil {
+		return nil, false, err
+	}
+	return prog, false, nil
+}
+
+// Insert admits an externally produced translation — the paper's
+// mobile-code scenario where the native program arrives with the module
+// instead of being produced locally. The program is verified against
+// the policy it would execute under; on failure nothing is cached and
+// the verifier's report is returned.
+func (c *Cache) Insert(mod *ovm.Module, mach *target.Machine, si translate.SegInfo, opt translate.Options, prog *target.Program) error {
+	if !opt.SFI {
+		return ErrUnsandboxed
+	}
+	if err := c.admit(prog, mach, si); err != nil {
+		return err
+	}
+	k := key(ModuleHash(mod), mach, si, opt)
+	c.mu.Lock()
+	c.insertLocked(k, prog)
+	c.mu.Unlock()
+	return nil
+}
+
+// admit is the verifier gate every entry passes through.
+func (c *Cache) admit(prog *target.Program, mach *target.Machine, si translate.SegInfo) error {
+	if err := sfi.Check(prog, mach, si); err != nil {
+		c.mu.Lock()
+		c.stats.Rejected++
+		c.mu.Unlock()
+		return fmt.Errorf("mcache: admission rejected: %w", err)
+	}
+	return nil
+}
+
+func (c *Cache) insertLocked(k string, prog *target.Program) {
+	if el, ok := c.byKey[k]; ok {
+		// Raced with another admission of the same key: keep the
+		// incumbent (identical by construction).
+		c.lru.MoveToFront(el)
+		return
+	}
+	e := &entry{key: k, prog: prog, size: progSize(prog)}
+	c.byKey[k] = c.lru.PushFront(e)
+	c.bytes += e.size
+	c.stats.Inserts++
+	// Evict least-recently-used entries until within budget; the entry
+	// just inserted survives even if it alone exceeds the limit (it is
+	// in use by the caller).
+	for c.bytes > c.limit && c.lru.Len() > 1 {
+		back := c.lru.Back()
+		ev := back.Value.(*entry)
+		c.lru.Remove(back)
+		delete(c.byKey, ev.key)
+		c.bytes -= ev.size
+		c.stats.Evictions++
+	}
+}
+
+// Stats returns a snapshot of the counters.
+func (c *Cache) Stats() Stats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	s := c.stats
+	s.Entries = c.lru.Len()
+	s.CodeBytes = c.bytes
+	return s
+}

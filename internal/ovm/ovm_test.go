@@ -80,7 +80,9 @@ func TestEncodeDecodeRoundTrip(t *testing.T) {
 		}
 		return got == in
 	}
-	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+	// Pinned generator seed: quick's default Rand is time-seeded, and a
+	// reproducible failure beats marginal extra coverage.
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000, Rand: rand.New(rand.NewSource(11))}); err != nil {
 		t.Fatal(err)
 	}
 }

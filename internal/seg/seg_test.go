@@ -215,7 +215,9 @@ func TestStoreLoadRoundTrip(t *testing.T) {
 			return f == nil && got == v
 		}
 	}
-	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+	// Pinned generator seed: quick's default Rand is time-seeded, and a
+	// reproducible failure beats marginal extra coverage.
+	if err := quick.Check(f, &quick.Config{MaxCount: 500, Rand: rand.New(rand.NewSource(11))}); err != nil {
 		t.Fatal(err)
 	}
 }

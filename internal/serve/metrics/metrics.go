@@ -1,0 +1,98 @@
+// Package metrics holds the serving layer's counters and gauges. The
+// hot-path updates are lock-free atomics; Snapshot produces a
+// consistent-enough copy for reporting, and Text renders it in a fixed
+// order for logs and the omniserve summary.
+package metrics
+
+import (
+	"fmt"
+	"strings"
+	"sync/atomic"
+)
+
+// Metrics is the live counter set one Server owns. The zero value is
+// ready to use. Cache counters live in the cache itself (see
+// internal/mcache.Stats); the server merges them into the Snapshot it
+// reports.
+type Metrics struct {
+	JobsSubmitted   atomic.Uint64 // jobs accepted into the queue
+	JobsRun         atomic.Uint64 // jobs that finished cleanly (module exited)
+	JobsFailed      atomic.Uint64 // jobs that failed (fault, budget, timeout, bad input)
+	FaultsContained atomic.Uint64 // failed jobs whose fault the server absorbed
+	Timeouts        atomic.Uint64 // failed jobs killed by the per-job deadline
+	Translations    atomic.Uint64 // translations performed on behalf of jobs
+	SimInsts        atomic.Uint64 // native instructions simulated across jobs
+	SimCycles       atomic.Uint64 // simulated pipeline cycles across jobs
+	QueueDepth      atomic.Int64  // jobs submitted but not yet finished
+}
+
+// Snapshot is a point-in-time copy of the counters plus the cache
+// section the server fills in.
+type Snapshot struct {
+	JobsSubmitted   uint64 `json:"jobs_submitted"`
+	JobsRun         uint64 `json:"jobs_run"`
+	JobsFailed      uint64 `json:"jobs_failed"`
+	FaultsContained uint64 `json:"faults_contained"`
+	Timeouts        uint64 `json:"timeouts"`
+	Translations    uint64 `json:"translations"`
+	SimInsts        uint64 `json:"sim_insts"`
+	SimCycles       uint64 `json:"sim_cycles"`
+	QueueDepth      int64  `json:"queue_depth"`
+
+	CacheHits      uint64 `json:"cache_hits"`
+	CacheCoalesced uint64 `json:"cache_coalesced"`
+	CacheMisses    uint64 `json:"cache_misses"`
+	CacheEvictions uint64 `json:"cache_evictions"`
+	CacheRejected  uint64 `json:"cache_rejected"`
+	CacheEntries   int    `json:"cache_entries"`
+	CacheBytes     int64  `json:"cache_bytes"`
+}
+
+// Snapshot copies the live counters (without the cache section).
+func (m *Metrics) Snapshot() Snapshot {
+	return Snapshot{
+		JobsSubmitted:   m.JobsSubmitted.Load(),
+		JobsRun:         m.JobsRun.Load(),
+		JobsFailed:      m.JobsFailed.Load(),
+		FaultsContained: m.FaultsContained.Load(),
+		Timeouts:        m.Timeouts.Load(),
+		Translations:    m.Translations.Load(),
+		SimInsts:        m.SimInsts.Load(),
+		SimCycles:       m.SimCycles.Load(),
+		QueueDepth:      m.QueueDepth.Load(),
+	}
+}
+
+// HitRate is the fraction of cache lookups served without a
+// translation (hits plus coalesced waits), or 0 with no lookups.
+func (s Snapshot) HitRate() float64 {
+	total := s.CacheHits + s.CacheCoalesced + s.CacheMisses
+	if total == 0 {
+		return 0
+	}
+	return float64(s.CacheHits+s.CacheCoalesced) / float64(total)
+}
+
+// Text renders the snapshot as fixed-order "name value" lines.
+func (s Snapshot) Text() string {
+	var b strings.Builder
+	w := func(name string, v any) { fmt.Fprintf(&b, "%-18s %v\n", name, v) }
+	w("jobs_submitted", s.JobsSubmitted)
+	w("jobs_run", s.JobsRun)
+	w("jobs_failed", s.JobsFailed)
+	w("faults_contained", s.FaultsContained)
+	w("timeouts", s.Timeouts)
+	w("translations", s.Translations)
+	w("sim_insts", s.SimInsts)
+	w("sim_cycles", s.SimCycles)
+	w("queue_depth", s.QueueDepth)
+	w("cache_hits", s.CacheHits)
+	w("cache_coalesced", s.CacheCoalesced)
+	w("cache_misses", s.CacheMisses)
+	w("cache_evictions", s.CacheEvictions)
+	w("cache_rejected", s.CacheRejected)
+	w("cache_entries", s.CacheEntries)
+	w("cache_bytes", s.CacheBytes)
+	w("cache_hit_rate", fmt.Sprintf("%.2f", s.HitRate()))
+	return b.String()
+}

@@ -1,0 +1,287 @@
+// Package serve turns the one-shot Omniware host into a module-hosting
+// service: a worker pool executes (module, target, options) jobs, each
+// in a fresh sandboxed address space, against a shared verified
+// translation cache (internal/mcache) so translation cost is paid once
+// per distinct program rather than once per run — the serving-layer
+// consequence of the paper's load-time translation design.
+//
+// The fault-containment contract: anything a module does wrong — an
+// access violation, an exhausted instruction budget, a blown per-job
+// deadline — fails that job's Result and nothing else. Workers outlive
+// misbehaving jobs; jobs never share mutable state (each owns its
+// seg.Memory and hostapi.Env; only the immutable Module and its cached
+// translations are shared).
+package serve
+
+import (
+	"fmt"
+	"runtime"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"omniware/internal/core"
+	"omniware/internal/mcache"
+	"omniware/internal/ovm"
+	"omniware/internal/serve/metrics"
+	"omniware/internal/target"
+	"omniware/internal/translate"
+)
+
+// Job is one request: run Mod on Machine under Opt with the given
+// budgets. The zero values of the budget fields select the core
+// defaults.
+type Job struct {
+	ID      string
+	Mod     *ovm.Module
+	Machine *target.Machine
+	Opt     translate.Options
+
+	Heap     uint32
+	Stack    uint32
+	MaxSteps uint64        // instruction budget (0 = core default)
+	Timeout  time.Duration // wall-clock deadline (0 = none)
+
+	// Setup, when non-nil, deposits job input into the freshly loaded
+	// address space before execution (argv/stdin-style state), exactly
+	// as the example hosts do.
+	Setup func(h *core.Host) error
+
+	// Post, when non-nil, runs after execution and digests module
+	// memory into Result.Post — how a job extracts results the module
+	// left in its address space (the docscript pattern).
+	Post func(h *core.Host) (string, error)
+
+	// HostData/HostBase pass through to core.RunConfig (a read-only
+	// host segment for fault-injection scenarios).
+	HostData []byte
+	HostBase uint32
+}
+
+// Result is one job's outcome. Err reports job-level failure
+// (translation rejected, timeout, budget exhaustion, bad input); the
+// fields below it are valid when Err is nil.
+type Result struct {
+	ID       string
+	Err      error
+	ExitCode int32
+	Output   string
+	Faulted  bool // module died on an unhandled access violation
+	Fault    string
+	Cycles   uint64
+	Insts    uint64
+	Cached   bool   // translation served from the cache (hit or coalesced)
+	Post     string // output of Job.Post, when set
+}
+
+// Config sizes a Server. Zero values select defaults.
+type Config struct {
+	Workers  int              // worker goroutines (default GOMAXPROCS)
+	QueueCap int              // submit backlog before Submit blocks (default 256)
+	Cache    *mcache.Cache    // shared translation cache (default mcache.New(0))
+	Metrics  *metrics.Metrics // counter set (default fresh)
+}
+
+type task struct {
+	job Job
+	ch  chan Result
+}
+
+// Server is a running worker pool. Create with New, feed with Submit
+// or Run, stop with Close.
+type Server struct {
+	cache *mcache.Cache
+	met   *metrics.Metrics
+	tasks chan task
+	wg    sync.WaitGroup
+}
+
+// New starts a server with cfg's workers.
+func New(cfg Config) *Server {
+	if cfg.Workers <= 0 {
+		cfg.Workers = runtime.GOMAXPROCS(0)
+	}
+	if cfg.QueueCap <= 0 {
+		cfg.QueueCap = 256
+	}
+	if cfg.Cache == nil {
+		cfg.Cache = mcache.New(0)
+	}
+	if cfg.Metrics == nil {
+		cfg.Metrics = &metrics.Metrics{}
+	}
+	s := &Server{
+		cache: cfg.Cache,
+		met:   cfg.Metrics,
+		tasks: make(chan task, cfg.QueueCap),
+	}
+	for i := 0; i < cfg.Workers; i++ {
+		s.wg.Add(1)
+		go s.worker()
+	}
+	return s
+}
+
+// Submit enqueues a job and returns the channel its Result will be
+// delivered on (buffered; the worker never blocks on it). Submit
+// blocks when the queue is full and must not be called after Close.
+func (s *Server) Submit(j Job) <-chan Result {
+	ch := make(chan Result, 1)
+	s.met.JobsSubmitted.Add(1)
+	s.met.QueueDepth.Add(1)
+	s.tasks <- task{job: j, ch: ch}
+	return ch
+}
+
+// Run submits jobs and returns their results in input order.
+func (s *Server) Run(jobs []Job) []Result {
+	chans := make([]<-chan Result, len(jobs))
+	for i, j := range jobs {
+		chans[i] = s.Submit(j)
+	}
+	out := make([]Result, len(jobs))
+	for i, ch := range chans {
+		out[i] = <-ch
+	}
+	return out
+}
+
+// Close stops accepting jobs and waits for in-flight ones to drain.
+func (s *Server) Close() {
+	close(s.tasks)
+	s.wg.Wait()
+}
+
+// Cache returns the shared translation cache.
+func (s *Server) Cache() *mcache.Cache { return s.cache }
+
+// Metrics returns the live counter set.
+func (s *Server) Metrics() *metrics.Metrics { return s.met }
+
+// Snapshot merges the server counters with the cache's.
+func (s *Server) Snapshot() metrics.Snapshot {
+	snap := s.met.Snapshot()
+	cs := s.cache.Stats()
+	snap.CacheHits = cs.Hits
+	snap.CacheCoalesced = cs.Coalesced
+	snap.CacheMisses = cs.Misses
+	snap.CacheEvictions = cs.Evictions
+	snap.CacheRejected = cs.Rejected
+	snap.CacheEntries = cs.Entries
+	snap.CacheBytes = cs.CodeBytes
+	return snap
+}
+
+func (s *Server) worker() {
+	defer s.wg.Done()
+	for t := range s.tasks {
+		r := s.execute(t.job)
+		if r.Err != nil || r.Faulted {
+			s.met.JobsFailed.Add(1)
+		} else {
+			s.met.JobsRun.Add(1)
+		}
+		s.met.QueueDepth.Add(-1)
+		t.ch <- r
+	}
+}
+
+// contained reports whether a job error is a fault the sandbox
+// absorbed (as opposed to a malformed request the server refused).
+func contained(err error) bool {
+	return strings.Contains(err.Error(), "budget") ||
+		strings.Contains(err.Error(), "interrupted") ||
+		strings.Contains(err.Error(), "panic")
+}
+
+// execute runs one job start to finish. Panics anywhere in the job
+// path are converted into a failed Result — a wild job must never take
+// a worker (or the server) down with it.
+func (s *Server) execute(j Job) (r Result) {
+	r.ID = j.ID
+	defer func() {
+		if p := recover(); p != nil {
+			r.Err = fmt.Errorf("serve: job %q panic: %v", j.ID, p)
+			s.met.FaultsContained.Add(1)
+		}
+	}()
+	if j.Mod == nil || j.Machine == nil {
+		r.Err = fmt.Errorf("serve: job %q missing module or machine", j.ID)
+		return r
+	}
+
+	// Every job gets its own address space, layout and host
+	// environment; only the module and the cached translation are
+	// shared, and both are immutable.
+	var stop atomic.Bool
+	h, err := core.NewHost(j.Mod, core.RunConfig{
+		Heap:      j.Heap,
+		Stack:     j.Stack,
+		MaxSteps:  j.MaxSteps,
+		Interrupt: &stop,
+		HostData:  j.HostData,
+		HostBase:  j.HostBase,
+	})
+	if err != nil {
+		r.Err = fmt.Errorf("serve: job %q load: %w", j.ID, err)
+		return r
+	}
+	if j.Setup != nil {
+		if err := j.Setup(h); err != nil {
+			r.Err = fmt.Errorf("serve: job %q setup: %w", j.ID, err)
+			return r
+		}
+	}
+
+	var prog *target.Program
+	if j.Opt.SFI {
+		prog, r.Cached, err = s.cache.Translate(j.Mod, j.Machine, h.SegInfo(), j.Opt)
+		if err == nil && !r.Cached {
+			s.met.Translations.Add(1)
+		}
+	} else {
+		// Unsandboxed runs bypass the verified cache by design: the
+		// cache's admission contract is exactly that everything in it
+		// passed the SFI verifier.
+		prog, err = h.Translate(j.Machine, j.Opt)
+		s.met.Translations.Add(1)
+	}
+	if err != nil {
+		r.Err = fmt.Errorf("serve: job %q translation: %w", j.ID, err)
+		return r
+	}
+
+	if j.Timeout > 0 {
+		timer := time.AfterFunc(j.Timeout, func() { stop.Store(true) })
+		defer timer.Stop()
+	}
+	res, err := h.RunProgram(j.Machine, prog)
+	if err != nil {
+		if stop.Load() && strings.Contains(err.Error(), "interrupted") {
+			s.met.Timeouts.Add(1)
+		}
+		if contained(err) {
+			s.met.FaultsContained.Add(1)
+		}
+		r.Err = fmt.Errorf("serve: job %q: %w", j.ID, err)
+		return r
+	}
+	r.ExitCode = res.ExitCode
+	r.Output = h.Output()
+	r.Faulted = res.Faulted
+	r.Fault = res.Fault
+	r.Cycles = res.Cycles
+	r.Insts = res.Insts
+	s.met.SimCycles.Add(res.Cycles)
+	s.met.SimInsts.Add(res.Insts)
+	if res.Faulted {
+		s.met.FaultsContained.Add(1)
+	}
+	if j.Post != nil {
+		if r.Post, err = j.Post(h); err != nil {
+			r.Err = fmt.Errorf("serve: job %q post: %w", j.ID, err)
+		}
+	}
+	return r
+}

@@ -6,6 +6,7 @@ import (
 
 	"omniware/internal/cc"
 	"omniware/internal/core"
+	"omniware/internal/mcache"
 	"omniware/internal/sfi"
 	"omniware/internal/target"
 	"omniware/internal/translate"
@@ -112,6 +113,55 @@ var mutators = []mutator{
 			return -1
 		},
 	},
+}
+
+// The same adversarial mutations, driven through the translation
+// cache's admission gate: a mutated (unsandboxed) program must never
+// become a cache entry, on any machine. This is the serving-layer
+// version of the verifier contract — the cache is the choke point that
+// keeps a compromised translation from ever being executed.
+func TestMutatedTranslationRejectedByCache(t *testing.T) {
+	mod, err := core.BuildC([]core.SourceFile{{Name: "p.c", Src: mutationProgram}}, cc.Options{OptLevel: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	opt := translate.Paper(true)
+	si := core.SegInfoFor(mod, core.RunConfig{})
+	for _, m := range target.Machines() {
+		for _, mu := range mutators {
+			t.Run(m.Name+"/"+mu.name, func(t *testing.T) {
+				prog, err := translate.Translate(mod, m, si, opt)
+				if err != nil {
+					t.Fatal(err)
+				}
+				c := mcache.New(0)
+				// The clean translation is admitted.
+				if err := c.Insert(mod, m, si, opt, prog); err != nil {
+					t.Fatalf("clean translation rejected: %v", err)
+				}
+				mutated, err := translate.Translate(mod, m, si, opt)
+				if err != nil {
+					t.Fatal(err)
+				}
+				p := sfi.PolicyFor(m, si)
+				p.GuardZone = 4096
+				if idx := mu.edit(mutated, m, p); idx < 0 {
+					t.Fatal("no mutation site found")
+				}
+				c2 := mcache.New(0)
+				err = c2.Insert(mod, m, si, opt, mutated)
+				if err == nil {
+					t.Fatal("mutated translation admitted to the cache")
+				}
+				if !strings.Contains(err.Error(), mu.why) {
+					t.Errorf("rejection reason mismatch: want %q in %v", mu.why, err)
+				}
+				if s := c2.Stats(); s.Rejected != 1 || s.Entries != 0 {
+					t.Errorf("cache state after rejection: %+v", s)
+				}
+			})
+		}
+	}
 }
 
 func TestSeededViolationsAreReported(t *testing.T) {

@@ -11,6 +11,7 @@ import (
 	"fmt"
 
 	"omniware/internal/target"
+	"omniware/internal/translate"
 )
 
 // Policy describes the containment the verifier checks.
@@ -23,6 +24,40 @@ type Policy struct {
 	// GuardZone bounds the displacement allowed on a sandboxed or
 	// stack-relative access.
 	GuardZone int32
+}
+
+// PolicyFor derives the verifier policy for a program translated for m
+// against the segment description si — the canonical way to go from
+// the translator's view of a module to the verifier's.
+func PolicyFor(m *target.Machine, si translate.SegInfo) Policy {
+	return Policy{
+		Machine:  m,
+		DataBase: si.DataBase,
+		DataMask: si.DataMask,
+		RegSave:  si.RegSave,
+		GPValue:  si.GPValue,
+	}
+}
+
+// Check is the exported admission entry point used by the translation
+// cache: it verifies prog against PolicyFor(m, si) and reports failure
+// as an error naming the first violations. A nil return means every
+// store and indirect branch in prog is provably contained.
+func Check(prog *target.Program, m *target.Machine, si translate.SegInfo) error {
+	vs := Verify(prog, PolicyFor(m, si))
+	if len(vs) == 0 {
+		return nil
+	}
+	const show = 3
+	msg := fmt.Sprintf("sfi: %d violation(s)", len(vs))
+	for i, v := range vs {
+		if i == show {
+			msg += "; ..."
+			break
+		}
+		msg += "; " + v.String()
+	}
+	return fmt.Errorf("%s", msg)
 }
 
 // Violation describes one unsafe instruction.

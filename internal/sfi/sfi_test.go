@@ -12,14 +12,7 @@ import (
 )
 
 func policyFor(h *core.Host, m *target.Machine) sfi.Policy {
-	si := h.SegInfo()
-	return sfi.Policy{
-		Machine:  m,
-		DataBase: si.DataBase,
-		DataMask: si.DataMask,
-		RegSave:  si.RegSave,
-		GPValue:  si.GPValue,
-	}
+	return sfi.PolicyFor(m, h.SegInfo())
 }
 
 // Programs chosen to exercise every store idiom the compiler produces.

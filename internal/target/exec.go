@@ -3,6 +3,7 @@ package target
 import (
 	"fmt"
 	"math"
+	"sync/atomic"
 
 	"omniware/internal/hostapi"
 	"omniware/internal/seg"
@@ -45,6 +46,12 @@ type Sim struct {
 	// MaxInsts bounds execution (0 = unlimited); exceeding it returns
 	// an error mentioning "budget".
 	MaxInsts uint64
+
+	// Interrupt, when non-nil, is polled every few thousand executed
+	// instructions; once it reports true, Run aborts with an error
+	// mentioning "interrupted". The serving layer's per-job timeout
+	// watchdog sets it from another goroutine.
+	Interrupt *atomic.Bool
 
 	r  [32]uint32  // integer file
 	f  [32]float64 // FP file (indexed by reg-32)
@@ -198,6 +205,9 @@ func (s *Sim) Run() (Result, error) {
 	for {
 		if s.MaxInsts > 0 && s.insts >= s.MaxInsts {
 			return Result{}, fmt.Errorf("target/%s: instruction budget %d exhausted at pc=%d", s.M.Name, s.MaxInsts, s.pc)
+		}
+		if s.Interrupt != nil && s.insts&0xfff == 0 && s.Interrupt.Load() {
+			return Result{}, fmt.Errorf("target/%s: run interrupted at pc=%d after %d instructions", s.M.Name, s.pc, s.insts)
 		}
 		if s.pc < 0 || s.pc >= n {
 			if res, done := s.exception(excBadJump, uint32(s.pc), s.pc, fmt.Sprintf("target/%s: pc %d out of code", s.M.Name, s.pc)); done {
