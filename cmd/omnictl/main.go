@@ -1,0 +1,218 @@
+// omnictl is the client for omniserved: it compiles OmniC programs
+// into wire-format (OMW) module blobs, uploads them, executes them on
+// the daemon's simulated targets, and reads the daemon's metrics.
+//
+// Usage:
+//
+//	omnictl build -o mod.omw src.c [src2.c ...]
+//	omnictl upload -addr URL mod.omw
+//	omnictl exec -addr URL -module HASH -target mips [-check] [flags]
+//	omnictl metrics -addr URL
+//	omnictl health -addr URL
+//
+// upload and exec print the server's JSON response on stdout, so
+// scripts can pipe them into a JSON tool (the CI smoke test does).
+//
+// Exit codes follow the serving convention (serve.ExitOK and
+// friends, shared with omniserve): 0 for a clean outcome; 1 when the
+// executed module faulted or failed (contained — the service itself
+// is fine); 2 for infrastructure errors — bad flags, unreachable
+// server, rejected uploads, or a -check run that lost interpreter
+// parity.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"omniware/internal/cc"
+	"omniware/internal/core"
+	"omniware/internal/netserve"
+	"omniware/internal/serve"
+	"omniware/internal/wire"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+func usage(stderr io.Writer) int {
+	fmt.Fprintln(stderr, "usage: omnictl {build|upload|exec|metrics|health} [flags]")
+	return serve.ExitInfra
+}
+
+// run is main minus the process exit, so tests can drive it.
+func run(args []string, stdout, stderr io.Writer) int {
+	if len(args) == 0 {
+		return usage(stderr)
+	}
+	cmd, rest := args[0], args[1:]
+	switch cmd {
+	case "build":
+		return cmdBuild(rest, stdout, stderr)
+	case "upload":
+		return cmdUpload(rest, stdout, stderr)
+	case "exec":
+		return cmdExec(rest, stdout, stderr)
+	case "metrics":
+		return cmdMetrics(rest, stdout, stderr)
+	case "health":
+		return cmdHealth(rest, stdout, stderr)
+	default:
+		fmt.Fprintf(stderr, "omnictl: unknown command %q\n", cmd)
+		return usage(stderr)
+	}
+}
+
+func fail(stderr io.Writer, err error) int {
+	fmt.Fprintf(stderr, "omnictl: %v\n", err)
+	return serve.ExitInfra
+}
+
+func newFlagSet(name string, stderr io.Writer) (*flag.FlagSet, *string) {
+	fs := flag.NewFlagSet("omnictl "+name, flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	addr := fs.String("addr", "http://127.0.0.1:8080", "omniserved base URL")
+	return fs, addr
+}
+
+func printJSON(stdout io.Writer, v any) {
+	enc := json.NewEncoder(stdout)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(v)
+}
+
+// cmdBuild compiles OmniC sources to a wire-format module blob — the
+// bytes upload sends, byte-identical on every platform.
+func cmdBuild(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("omnictl build", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	out := fs.String("o", "mod.omw", "output module file")
+	optLevel := fs.Int("O", 2, "optimization level")
+	if err := fs.Parse(args); err != nil {
+		return serve.ExitInfra
+	}
+	if fs.NArg() == 0 {
+		fmt.Fprintln(stderr, "omnictl build: no source files")
+		return serve.ExitInfra
+	}
+	var files []core.SourceFile
+	for _, path := range fs.Args() {
+		src, err := os.ReadFile(path)
+		if err != nil {
+			return fail(stderr, err)
+		}
+		files = append(files, core.SourceFile{Name: path, Src: string(src)})
+	}
+	mod, err := core.BuildC(files, cc.Options{OptLevel: *optLevel})
+	if err != nil {
+		return fail(stderr, err)
+	}
+	blob, err := wire.EncodeModule(mod)
+	if err != nil {
+		return fail(stderr, err)
+	}
+	if err := os.WriteFile(*out, blob, 0o644); err != nil {
+		return fail(stderr, err)
+	}
+	fmt.Fprintf(stderr, "omnictl: %s: %d insts, %d data bytes, %d on the wire (%s)\n",
+		*out, len(mod.Text), len(mod.Data), len(blob), wire.Hash(blob))
+	return serve.ExitOK
+}
+
+func cmdUpload(args []string, stdout, stderr io.Writer) int {
+	fs, addr := newFlagSet("upload", stderr)
+	if err := fs.Parse(args); err != nil {
+		return serve.ExitInfra
+	}
+	if fs.NArg() != 1 {
+		fmt.Fprintln(stderr, "omnictl upload: exactly one module file")
+		return serve.ExitInfra
+	}
+	blob, err := os.ReadFile(fs.Arg(0))
+	if err != nil {
+		return fail(stderr, err)
+	}
+	cl := &netserve.Client{Base: *addr}
+	resp, err := cl.Upload(blob)
+	if err != nil {
+		return fail(stderr, err)
+	}
+	printJSON(stdout, resp)
+	return serve.ExitOK
+}
+
+func cmdExec(args []string, stdout, stderr io.Writer) int {
+	fs, addr := newFlagSet("exec", stderr)
+	module := fs.String("module", "", "module content hash (from upload)")
+	tgt := fs.String("target", "mips", "target machine (mips|sparc|ppc|x86)")
+	noSFI := fs.Bool("no-sfi", false, "run without software fault isolation")
+	maxSteps := fs.Uint64("max-steps", 0, "instruction budget (0 = server default)")
+	deadlineMs := fs.Int("deadline-ms", 0, "wall-clock deadline (0 = server default)")
+	check := fs.Bool("check", false, "also run the interpreter and verify parity")
+	if err := fs.Parse(args); err != nil {
+		return serve.ExitInfra
+	}
+	if *module == "" {
+		fmt.Fprintln(stderr, "omnictl exec: -module is required")
+		return serve.ExitInfra
+	}
+	sfi := !*noSFI
+	cl := &netserve.Client{Base: *addr}
+	resp, err := cl.Exec(netserve.ExecRequest{
+		Module:     *module,
+		Target:     *tgt,
+		SFI:        &sfi,
+		MaxSteps:   *maxSteps,
+		DeadlineMs: *deadlineMs,
+		Check:      *check,
+	})
+	if err != nil {
+		return fail(stderr, err)
+	}
+	printJSON(stdout, resp)
+	switch {
+	case *check && (resp.Parity == nil || !*resp.Parity):
+		// Parity loss is a system failure, never a module failure.
+		fmt.Fprintln(stderr, "omnictl: parity FAILED")
+		return serve.ExitInfra
+	case resp.Status != "ok":
+		return serve.ExitFaults
+	}
+	return serve.ExitOK
+}
+
+func cmdMetrics(args []string, stdout, stderr io.Writer) int {
+	fs, addr := newFlagSet("metrics", stderr)
+	text := fs.Bool("text", false, "print the fixed-order text form instead of JSON")
+	if err := fs.Parse(args); err != nil {
+		return serve.ExitInfra
+	}
+	cl := &netserve.Client{Base: *addr}
+	snap, err := cl.Metrics()
+	if err != nil {
+		return fail(stderr, err)
+	}
+	if *text {
+		fmt.Fprint(stdout, snap.Text())
+	} else {
+		printJSON(stdout, snap)
+	}
+	return serve.ExitOK
+}
+
+func cmdHealth(args []string, stdout, stderr io.Writer) int {
+	fs, addr := newFlagSet("health", stderr)
+	if err := fs.Parse(args); err != nil {
+		return serve.ExitInfra
+	}
+	cl := &netserve.Client{Base: *addr}
+	if err := cl.Health(); err != nil {
+		return fail(stderr, err)
+	}
+	fmt.Fprintln(stdout, "ok")
+	return serve.ExitOK
+}

@@ -1,0 +1,157 @@
+package main
+
+import (
+	"encoding/json"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"omniware/internal/netserve"
+	"omniware/internal/serve"
+	"omniware/internal/target"
+)
+
+// testServer boots a real netserve handler in-process; omnictl's run()
+// is driven directly with captured streams, so every command path and
+// exit code is exercised without subprocesses.
+func testServer(t *testing.T) string {
+	t.Helper()
+	srv := serve.New(serve.Config{Workers: 2})
+	h, err := netserve.New(netserve.Config{Server: srv, Logf: t.Logf})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(h)
+	t.Cleanup(func() {
+		ts.Close()
+		srv.Close()
+	})
+	return ts.URL
+}
+
+func runCtl(t *testing.T, args ...string) (code int, stdout, stderr string) {
+	t.Helper()
+	var out, errb strings.Builder
+	code = run(args, &out, &errb)
+	return code, out.String(), errb.String()
+}
+
+func writeSrc(t *testing.T, src string) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "prog.c")
+	if err := os.WriteFile(path, []byte(src), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+// The full client workflow: build a module, upload it, execute it on
+// every target with parity checking, read metrics. Exit 0 throughout.
+func TestBuildUploadExec(t *testing.T) {
+	addr := testServer(t)
+	src := writeSrc(t, `int main(void){ int i, a = 1; for (i = 0; i < 5; i++) a *= 2; return a; }`)
+	omw := filepath.Join(t.TempDir(), "prog.omw")
+
+	code, _, stderr := runCtl(t, "build", "-o", omw, src)
+	if code != 0 {
+		t.Fatalf("build exit %d: %s", code, stderr)
+	}
+	if !strings.Contains(stderr, "insts") {
+		t.Fatalf("build summary missing: %q", stderr)
+	}
+
+	code, out, stderr := runCtl(t, "upload", "-addr", addr, omw)
+	if code != 0 {
+		t.Fatalf("upload exit %d: %s", code, stderr)
+	}
+	var up netserve.UploadResponse
+	if err := json.Unmarshal([]byte(out), &up); err != nil {
+		t.Fatalf("upload output: %v\n%s", err, out)
+	}
+	if up.Hash == "" {
+		t.Fatalf("no hash in %+v", up)
+	}
+
+	for _, m := range target.Machines() {
+		code, out, stderr := runCtl(t, "exec", "-addr", addr, "-module", up.Hash, "-target", m.Name, "-check")
+		if code != 0 {
+			t.Fatalf("%s exit %d: %s", m.Name, code, stderr)
+		}
+		var res netserve.ExecResponse
+		if err := json.Unmarshal([]byte(out), &res); err != nil {
+			t.Fatalf("exec output: %v\n%s", err, out)
+		}
+		if res.Status != "ok" || res.Exit != 32 || res.Parity == nil || !*res.Parity {
+			t.Fatalf("%s: %+v", m.Name, res)
+		}
+	}
+
+	code, out, _ = runCtl(t, "metrics", "-addr", addr, "-text")
+	if code != 0 || !strings.Contains(out, "jobs_run           4") {
+		t.Fatalf("metrics exit %d:\n%s", code, out)
+	}
+	code, out, _ = runCtl(t, "health", "-addr", addr)
+	if code != 0 || !strings.Contains(out, "ok") {
+		t.Fatalf("health exit %d: %s", code, out)
+	}
+}
+
+// A faulting module is exit 1 (contained fault, service fine); the
+// JSON on stdout still carries the full outcome.
+func TestExecFaultExitsOne(t *testing.T) {
+	addr := testServer(t)
+	src := writeSrc(t, `int main(void){ int *p = (int *)0x70000000; return *p; }`)
+	omw := filepath.Join(t.TempDir(), "wild.omw")
+	if code, _, stderr := runCtl(t, "build", "-o", omw, src); code != 0 {
+		t.Fatalf("build: %s", stderr)
+	}
+	code, out, _ := runCtl(t, "upload", "-addr", addr, omw)
+	if code != 0 {
+		t.Fatal(out)
+	}
+	var up netserve.UploadResponse
+	if err := json.Unmarshal([]byte(out), &up); err != nil {
+		t.Fatal(err)
+	}
+	code, out, _ = runCtl(t, "exec", "-addr", addr, "-module", up.Hash, "-target", "mips")
+	if code != 1 {
+		t.Fatalf("fault exit %d, want 1\n%s", code, out)
+	}
+	var res netserve.ExecResponse
+	if err := json.Unmarshal([]byte(out), &res); err != nil {
+		t.Fatal(err)
+	}
+	if res.Status != "fault(contained)" {
+		t.Fatalf("fault outcome %+v", res)
+	}
+}
+
+// Infrastructure errors are exit 2: unknown commands, missing flags,
+// unreachable servers, bad modules.
+func TestInfraErrorsExitTwo(t *testing.T) {
+	addr := testServer(t)
+	cases := [][]string{
+		{},
+		{"frobnicate"},
+		{"build"},
+		{"build", "-o", filepath.Join(t.TempDir(), "x.omw"), "/no/such/file.c"},
+		{"upload", "-addr", addr, "/no/such/file.omw"},
+		{"upload", "-addr", "http://127.0.0.1:1", os.Args[0]},
+		{"exec", "-addr", addr},
+		{"exec", "-addr", addr, "-module", "deadbeef"},
+		{"metrics", "-addr", "http://127.0.0.1:1"},
+	}
+	for _, args := range cases {
+		if code, _, _ := runCtl(t, args...); code != 2 {
+			t.Errorf("%v: exit %d, want 2", args, code)
+		}
+	}
+	// Uploading a file that exists but is not a module: the server
+	// rejects it, the client reports infra failure.
+	junk := writeSrc(t, "not a module")
+	if code, _, stderr := runCtl(t, "upload", "-addr", addr, junk); code != 2 || !strings.Contains(stderr, "400") {
+		t.Errorf("junk upload exit %d, stderr %q", code, stderr)
+	}
+}

@@ -18,9 +18,19 @@
 //	]}
 //
 // Workloads are the four paper benchmarks (li, compress, alvinn,
-// eqntott) plus "wildload", a deliberately faulting module whose wild
-// load must fail its own job and nothing else. An empty "target"
-// fans the spec out across all four machines.
+// eqntott) plus two built-ins: "wildload", a deliberately faulting
+// module whose wild load must fail its own job and nothing else, and
+// "trivload", a trivially clean module for exercising the serving
+// path itself. An empty "target" fans the spec out across all four
+// machines.
+//
+// Exit codes (serve.ExitOK/ExitFaults/ExitInfra, shared with omnictl):
+// 0 when every job ran cleanly with interpreter parity; 1 when some
+// jobs faulted or failed but every fault was contained and parity
+// held; 2 for infrastructure failure — bad flags, unreadable or
+// invalid manifests, build errors, or parity loss (a run that
+// diverges from the interpreter means the system, not the module, is
+// wrong).
 package main
 
 import (
@@ -50,9 +60,17 @@ int main(void) {
 	return *p;
 }`
 
+// trivLoadSrc is the trivially clean built-in workload: it exists so
+// manifests (and tests) can exercise the serving path with a job that
+// must exit 0 — the clean-service case behind exit code ExitOK.
+const trivLoadSrc = `
+int main(void) {
+	return 0;
+}`
+
 type jobSpec struct {
 	ID        string `json:"id"`        // default: workload/target/rep
-	Workload  string `json:"workload"`  // li|compress|alvinn|eqntott|wildload
+	Workload  string `json:"workload"`  // li|compress|alvinn|eqntott|wildload|trivload
 	Target    string `json:"target"`    // mips|sparc|ppc|x86; "" = all four
 	Scale     int    `json:"scale"`     // workload scale (0 = -scale flag)
 	Repeat    int    `json:"repeat"`    // copies of this job (0 = 1)
@@ -90,6 +108,8 @@ func buildWorkload(name string, scale int) (*workload, error) {
 	var files []core.SourceFile
 	if name == "wildload" {
 		files = []core.SourceFile{{Name: "wildload.c", Src: wildLoadSrc}}
+	} else if name == "trivload" {
+		files = []core.SourceFile{{Name: "trivload.c", Src: trivLoadSrc}}
 	} else {
 		var err error
 		if files, err = bench.Sources(name, scale); err != nil {
@@ -151,7 +171,7 @@ func main() {
 		}
 	default:
 		fmt.Fprintln(os.Stderr, "omniserve: pass exactly one of -demo or -manifest")
-		os.Exit(2)
+		os.Exit(serve.ExitInfra)
 	}
 	if len(m.Jobs) == 0 {
 		fail(fmt.Errorf("manifest has no jobs"))
@@ -232,7 +252,8 @@ func main() {
 	// Score each result against its workload's interpreter oracle. A
 	// faulting reference (wildload) matches on containment alone: both
 	// engines must fault, and exit codes of dead runs are not compared.
-	ok := true
+	parityOK := true
+	anyFailed := false
 	rep := report{Metrics: srv.Snapshot()}
 	byID := map[string]serve.Result{}
 	for _, r := range results {
@@ -255,7 +276,10 @@ func main() {
 		}
 		jr.Insts, jr.Cycles = r.Insts, r.Cycles
 		if !jr.Parity {
-			ok = false
+			parityOK = false
+		}
+		if jr.Status != "ok" {
+			anyFailed = true
 		}
 		rep.Jobs = append(rep.Jobs, *jr)
 	}
@@ -284,13 +308,19 @@ func main() {
 		fmt.Println(tbl)
 		fmt.Print(rep.Metrics.Text())
 	}
-	if !ok {
+	// Exit-code contract (see serve.ExitOK and friends): parity loss is
+	// an infrastructure failure; contained faults are the service
+	// working as designed, but the caller still learns about them.
+	switch {
+	case !parityOK:
 		fmt.Fprintln(os.Stderr, "omniserve: parity FAILED")
-		os.Exit(1)
+		os.Exit(serve.ExitInfra)
+	case anyFailed:
+		os.Exit(serve.ExitFaults)
 	}
 }
 
 func fail(err error) {
 	fmt.Fprintf(os.Stderr, "omniserve: %v\n", err)
-	os.Exit(1)
+	os.Exit(serve.ExitInfra)
 }

@@ -54,8 +54,41 @@ func TestUnknownWorkload(t *testing.T) {
 	if err := os.WriteFile(path, []byte(`{"jobs":[{"workload":"nosuch"}]}`), 0o644); err != nil {
 		t.Fatal(err)
 	}
-	if code, _, stderr := runCmd(t, "-manifest", path); code != 1 || !strings.Contains(stderr, "nosuch") {
+	// Infrastructure failure (a bad manifest), not a contained fault:
+	// exit 2, not 1.
+	if code, _, stderr := runCmd(t, "-manifest", path); code != 2 || !strings.Contains(stderr, "nosuch") {
 		t.Errorf("exit %d, stderr %q", code, stderr)
+	}
+}
+
+// A manifest of clean jobs is the exit-0 case: the service ran, every
+// job exited cleanly, parity held.
+func TestCleanManifestExitsZero(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "clean.json")
+	manifest := `{"jobs":[{"workload":"trivload","repeat":2}]}`
+	if err := os.WriteFile(path, []byte(manifest), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	code, out, stderr := runCmd(t, "-manifest", path, "-json", "-workers", "2")
+	if code != 0 {
+		t.Fatalf("exit %d, stderr: %s", code, stderr)
+	}
+	var rep struct {
+		Jobs []struct {
+			Status string `json:"status"`
+			Parity bool   `json:"parity"`
+		} `json:"jobs"`
+	}
+	if err := json.Unmarshal([]byte(out), &rep); err != nil {
+		t.Fatalf("bad JSON: %v\n%s", err, out)
+	}
+	if len(rep.Jobs) != 8 {
+		t.Fatalf("got %d jobs, want 8", len(rep.Jobs))
+	}
+	for _, j := range rep.Jobs {
+		if j.Status != "ok" || !j.Parity {
+			t.Errorf("job %+v", j)
+		}
 	}
 }
 
@@ -69,9 +102,11 @@ func TestManifestJSONReport(t *testing.T) {
 	if err := os.WriteFile(path, []byte(manifest), 0o644); err != nil {
 		t.Fatal(err)
 	}
+	// Every job faults (contained), parity holds: exit 1, the
+	// "service fine, jobs faulted" code.
 	code, out, stderr := runCmd(t, "-manifest", path, "-json", "-workers", "2")
-	if code != 0 {
-		t.Fatalf("exit %d, stderr: %s", code, stderr)
+	if code != 1 {
+		t.Fatalf("exit %d, want 1; stderr: %s", code, stderr)
 	}
 	var rep struct {
 		Jobs []struct {
@@ -108,9 +143,11 @@ func TestDemoEndToEnd(t *testing.T) {
 	if testing.Short() {
 		t.Skip("demo run skipped in -short mode")
 	}
+	// The demo mix includes one wildload fault, so the run reports
+	// exit 1 (contained faults) rather than 0.
 	code, out, stderr := runCmd(t, "-demo", "-workers", "8")
-	if code != 0 {
-		t.Fatalf("exit %d, stderr: %s", code, stderr)
+	if code != 1 {
+		t.Fatalf("exit %d, want 1; stderr: %s", code, stderr)
 	}
 	if strings.Contains(out, "FAIL") {
 		t.Errorf("parity failure in summary:\n%s", out)

@@ -1,0 +1,147 @@
+// omniserved is the network module-hosting daemon: an HTTP front door
+// (internal/netserve) over the internal/serve worker pool, with the
+// verified translation cache optionally backed by a persistent disk
+// tier (internal/mcache/diskstore) so warm capacity survives
+// restarts.
+//
+// Usage:
+//
+//	omniserved [-addr host:port] [-workers n] [-queue n]
+//	           [-cache-mb n] [-cache-dir path]
+//	           [-rate r] [-burst n] [-max-modules n]
+//	           [-deadline-ms n] [-max-deadline-ms n]
+//
+// The daemon prints "listening on ADDR" to stderr once the socket is
+// bound (pass -addr 127.0.0.1:0 to let the kernel pick a free port —
+// the printed line is how scripts learn it). SIGINT/SIGTERM starts a
+// graceful drain: /healthz flips to 503, new work is refused,
+// in-flight jobs run to completion, then the process exits 0. A
+// second signal aborts immediately.
+//
+// Endpoints (see internal/netserve): POST /v1/modules, POST /v1/exec,
+// GET /v1/metrics, GET /healthz. omnictl is the matching client.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"omniware/internal/mcache"
+	"omniware/internal/mcache/diskstore"
+	"omniware/internal/netserve"
+	"omniware/internal/serve"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stderr))
+}
+
+// run is main minus the process exit, so tests can drive it.
+func run(args []string, stderr *os.File) int {
+	fs := flag.NewFlagSet("omniserved", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	addr := fs.String("addr", "127.0.0.1:8080", "listen address (port 0 = kernel-assigned)")
+	workers := fs.Int("workers", 0, "worker goroutines (0 = GOMAXPROCS)")
+	queue := fs.Int("queue", 64, "admission queue capacity")
+	cacheMB := fs.Int("cache-mb", 64, "in-memory translation cache budget in MiB")
+	cacheDir := fs.String("cache-dir", "", "persistent translation cache directory (empty = memory only)")
+	rate := fs.Float64("rate", netserve.DefaultRate, "per-client request rate limit (req/s)")
+	burst := fs.Float64("burst", netserve.DefaultBurst, "per-client burst allowance")
+	maxModules := fs.Int("max-modules", netserve.DefaultMaxModules, "uploaded-module registry capacity")
+	deadlineMs := fs.Int("deadline-ms", int(netserve.DefaultDeadline/time.Millisecond), "default per-request deadline")
+	maxDeadlineMs := fs.Int("max-deadline-ms", int(netserve.DefaultMaxDeadline/time.Millisecond), "cap on client-requested deadlines")
+	if err := fs.Parse(args); err != nil {
+		return serve.ExitInfra
+	}
+
+	logf := func(format string, a ...any) {
+		fmt.Fprintf(stderr, "omniserved: "+format+"\n", a...)
+	}
+
+	cacheCfg := mcache.Config{Limit: int64(*cacheMB) << 20, Logf: logf}
+	if *cacheDir != "" {
+		store, err := diskstore.Open(*cacheDir)
+		if err != nil {
+			logf("opening cache dir: %v", err)
+			return serve.ExitInfra
+		}
+		cacheCfg.Disk = store
+		if n, bytes, err := store.Len(); err == nil {
+			logf("persistent cache: %s (%d entries, %d bytes)", store.Root(), n, bytes)
+		} else {
+			logf("persistent cache: %s", store.Root())
+		}
+	}
+
+	srv := serve.New(serve.Config{
+		Workers:  *workers,
+		QueueCap: *queue,
+		Cache:    mcache.NewWith(cacheCfg),
+	})
+	h, err := netserve.New(netserve.Config{
+		Server:      srv,
+		MaxModules:  *maxModules,
+		Rate:        *rate,
+		Burst:       *burst,
+		Deadline:    time.Duration(*deadlineMs) * time.Millisecond,
+		MaxDeadline: time.Duration(*maxDeadlineMs) * time.Millisecond,
+		Logf:        logf,
+	})
+	if err != nil {
+		logf("%v", err)
+		return serve.ExitInfra
+	}
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		logf("%v", err)
+		return serve.ExitInfra
+	}
+	logf("listening on %s", ln.Addr())
+
+	httpSrv := &http.Server{Handler: h}
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- httpSrv.Serve(ln) }()
+
+	sig := make(chan os.Signal, 2)
+	signal.Notify(sig, syscall.SIGINT, syscall.SIGTERM)
+	select {
+	case s := <-sig:
+		logf("%v: draining (in-flight jobs will finish)", s)
+	case err := <-serveErr:
+		logf("serve: %v", err)
+		srv.Close()
+		return serve.ExitInfra
+	}
+
+	// Graceful drain: stop advertising health, refuse new work, let
+	// the HTTP layer finish responses in flight (each waits for its
+	// job), then close the pool. A second signal cuts the wait short.
+	h.SetDraining(true)
+	done := make(chan struct{})
+	go func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Minute)
+		defer cancel()
+		if err := httpSrv.Shutdown(ctx); err != nil {
+			logf("shutdown: %v", err)
+		}
+		srv.Close()
+		close(done)
+	}()
+	select {
+	case <-done:
+		logf("drained")
+		return serve.ExitOK
+	case s := <-sig:
+		logf("%v: aborting drain", s)
+		_ = httpSrv.Close()
+		return serve.ExitFaults
+	}
+}

@@ -1,0 +1,313 @@
+package main
+
+import (
+	"bufio"
+	"os"
+	"os/exec"
+	"regexp"
+	"strings"
+	"syscall"
+	"testing"
+	"time"
+
+	"omniware/internal/cc"
+	"omniware/internal/core"
+	"omniware/internal/netserve"
+	"omniware/internal/target"
+	"omniware/internal/wire"
+)
+
+// The daemon tests re-execute the test binary as the real command
+// (smokeEnv gates the dispatch in TestMain) so signal handling, the
+// listen socket and the drain path are exercised exactly as deployed.
+const smokeEnv = "OMNISERVED_SMOKE_MAIN"
+
+func TestMain(m *testing.M) {
+	if os.Getenv(smokeEnv) == "1" {
+		main()
+		return
+	}
+	os.Exit(m.Run())
+}
+
+var listenRE = regexp.MustCompile(`listening on (\S+)`)
+
+// daemon is one running omniserved subprocess.
+type daemon struct {
+	cmd    *exec.Cmd
+	addr   string
+	stderr *strings.Builder
+	waitCh chan error
+}
+
+// startDaemon boots omniserved on a kernel-assigned port and waits
+// for its "listening on" line.
+func startDaemon(t *testing.T, extraArgs ...string) *daemon {
+	t.Helper()
+	args := append([]string{"-addr", "127.0.0.1:0"}, extraArgs...)
+	cmd := exec.Command(os.Args[0], args...)
+	cmd.Env = append(os.Environ(), smokeEnv+"=1")
+	pipe, err := cmd.StderrPipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := cmd.Start(); err != nil {
+		t.Fatal(err)
+	}
+	d := &daemon{cmd: cmd, stderr: &strings.Builder{}, waitCh: make(chan error, 1)}
+	addrCh := make(chan string, 1)
+	go func() {
+		sc := bufio.NewScanner(pipe)
+		for sc.Scan() {
+			line := sc.Text()
+			d.stderr.WriteString(line + "\n")
+			if m := listenRE.FindStringSubmatch(line); m != nil {
+				select {
+				case addrCh <- m[1]:
+				default:
+				}
+			}
+		}
+	}()
+	go func() { d.waitCh <- cmd.Wait() }()
+	select {
+	case d.addr = <-addrCh:
+	case err := <-d.waitCh:
+		t.Fatalf("daemon exited before listening: %v\n%s", err, d.stderr)
+	case <-time.After(10 * time.Second):
+		_ = cmd.Process.Kill()
+		t.Fatalf("daemon never reported its address\n%s", d.stderr)
+	}
+	t.Cleanup(func() {
+		if cmd.ProcessState == nil {
+			_ = cmd.Process.Kill()
+			<-d.waitCh
+		}
+	})
+	return d
+}
+
+func (d *daemon) client() *netserve.Client {
+	return &netserve.Client{Base: "http://" + d.addr}
+}
+
+// sigterm sends SIGTERM and returns the exit code, failing the test
+// if the daemon does not exit within the deadline.
+func (d *daemon) sigterm(t *testing.T, deadline time.Duration) int {
+	t.Helper()
+	if err := d.cmd.Process.Signal(syscall.SIGTERM); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case err := <-d.waitCh:
+		if err == nil {
+			return 0
+		}
+		if ee, ok := err.(*exec.ExitError); ok {
+			return ee.ExitCode()
+		}
+		t.Fatalf("daemon wait: %v", err)
+	case <-time.After(deadline):
+		_ = d.cmd.Process.Kill()
+		t.Fatalf("daemon did not exit within %v of SIGTERM\n%s", deadline, d.stderr)
+	}
+	return -1
+}
+
+func buildBlob(t *testing.T, src string) []byte {
+	t.Helper()
+	mod, err := core.BuildC([]core.SourceFile{{Name: "p.c", Src: src}}, cc.Options{OptLevel: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	blob, err := wire.EncodeModule(mod)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return blob
+}
+
+// Boot, upload, execute on every target with interpreter parity,
+// read metrics, drain cleanly on SIGTERM: the daemon's whole life.
+func TestDaemonLifecycle(t *testing.T) {
+	d := startDaemon(t)
+	cl := d.client()
+	if err := cl.Health(); err != nil {
+		t.Fatal(err)
+	}
+	blob := buildBlob(t, `int main(void){ int i, a = 0; for (i = 0; i < 9; i++) a += i; return a; }`)
+	up, err := cl.Upload(blob)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, m := range target.Machines() {
+		res, err := cl.Exec(netserve.ExecRequest{Module: up.Hash, Target: m.Name, Check: true})
+		if err != nil {
+			t.Fatalf("%s: %v", m.Name, err)
+		}
+		if res.Status != "ok" || res.Exit != 36 || res.Parity == nil || !*res.Parity {
+			t.Fatalf("%s: %+v", m.Name, res)
+		}
+	}
+	snap, err := cl.Metrics()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if snap.JobsRun != 4 || snap.CacheMisses != 4 {
+		t.Fatalf("metrics %+v", snap)
+	}
+	if code := d.sigterm(t, 15*time.Second); code != 0 {
+		t.Fatalf("drain exit %d, want 0\n%s", code, d.stderr)
+	}
+	if !strings.Contains(d.stderr.String(), "drained") {
+		t.Fatalf("no drain log:\n%s", d.stderr)
+	}
+}
+
+// A daemon started with -cache-dir keeps its translations across a
+// restart: the second incarnation serves the same module from the
+// persistent tier without retranslating.
+func TestDaemonPersistentCacheSurvivesRestart(t *testing.T) {
+	dir := t.TempDir()
+	blob := buildBlob(t, `int g[4]; int main(void){ g[3] = 44; return g[3]; }`)
+
+	d1 := startDaemon(t, "-cache-dir", dir)
+	cl := d1.client()
+	up, err := cl.Upload(blob)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res, err := cl.Exec(netserve.ExecRequest{Module: up.Hash, Target: "mips"}); err != nil || res.Exit != 44 {
+		t.Fatalf("first run: %+v err=%v", res, err)
+	}
+	snap, err := cl.Metrics()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if snap.CacheDiskWrites != 1 {
+		t.Fatalf("first incarnation metrics %+v", snap)
+	}
+	if code := d1.sigterm(t, 15*time.Second); code != 0 {
+		t.Fatalf("first drain exit %d\n%s", code, d1.stderr)
+	}
+
+	d2 := startDaemon(t, "-cache-dir", dir)
+	cl2 := d2.client()
+	up2, err := cl2.Upload(blob)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if up2.Hash != up.Hash {
+		t.Fatalf("module hash changed across restarts: %q vs %q", up2.Hash, up.Hash)
+	}
+	res, err := cl2.Exec(netserve.ExecRequest{Module: up2.Hash, Target: "mips", Check: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Exit != 44 || !res.Cached || res.Parity == nil || !*res.Parity {
+		t.Fatalf("restarted run not served from the persistent tier: %+v", res)
+	}
+	snap2, err := cl2.Metrics()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if snap2.CacheDiskHits != 1 || snap2.CacheMisses != 0 {
+		t.Fatalf("restarted metrics %+v", snap2)
+	}
+	if code := d2.sigterm(t, 15*time.Second); code != 0 {
+		t.Fatalf("second drain exit %d\n%s", code, d2.stderr)
+	}
+}
+
+// SIGTERM during an in-flight job: the drain waits for it, the
+// client gets its full result, and the daemon exits 0 afterwards.
+func TestDaemonDrainFinishesInFlight(t *testing.T) {
+	d := startDaemon(t)
+	cl := d.client()
+	slow := buildBlob(t, `int main(void){ int i, a = 0; for (i = 0; i < 20000000; i++) a ^= i; return 9; }`)
+	up, err := cl.Upload(slow)
+	if err != nil {
+		t.Fatal(err)
+	}
+	type outcome struct {
+		res *netserve.ExecResponse
+		err error
+	}
+	done := make(chan outcome, 1)
+	go func() {
+		res, err := cl.Exec(netserve.ExecRequest{Module: up.Hash, Target: "mips", DeadlineMs: 30000})
+		done <- outcome{res, err}
+	}()
+	// Wait until the job is actually in flight before pulling the
+	// trigger.
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		snap, err := cl.Metrics()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if snap.QueueDepth >= 1 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("job never started")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	if err := d.cmd.Process.Signal(syscall.SIGTERM); err != nil {
+		t.Fatal(err)
+	}
+	out := <-done
+	if out.err != nil {
+		t.Fatalf("in-flight job lost to drain: %v", out.err)
+	}
+	if out.res.Status != "ok" || out.res.Exit != 9 {
+		t.Fatalf("in-flight job: %+v", out.res)
+	}
+	select {
+	case err := <-d.waitCh:
+		code := 0
+		if ee, ok := err.(*exec.ExitError); ok {
+			code = ee.ExitCode()
+		} else if err != nil {
+			t.Fatal(err)
+		}
+		if code != 0 {
+			t.Fatalf("drain exit %d\n%s", code, d.stderr)
+		}
+	case <-time.After(15 * time.Second):
+		t.Fatalf("daemon did not exit after drain\n%s", d.stderr)
+	}
+}
+
+// Bad flags and unusable state are infrastructure errors: exit 2.
+func TestDaemonInfraErrors(t *testing.T) {
+	run := func(args ...string) (int, string) {
+		cmd := exec.Command(os.Args[0], args...)
+		cmd.Env = append(os.Environ(), smokeEnv+"=1")
+		var errb strings.Builder
+		cmd.Stderr = &errb
+		err := cmd.Run()
+		code := 0
+		if ee, ok := err.(*exec.ExitError); ok {
+			code = ee.ExitCode()
+		} else if err != nil {
+			t.Fatal(err)
+		}
+		return code, errb.String()
+	}
+	if code, _ := run("-no-such-flag"); code != 2 {
+		t.Errorf("bad flag exit %d, want 2", code)
+	}
+	if code, stderr := run("-addr", "256.256.256.256:1"); code != 2 {
+		t.Errorf("bad addr exit %d, want 2 (%s)", code, stderr)
+	}
+	// A cache dir that is actually a file.
+	f := t.TempDir() + "/file"
+	if err := os.WriteFile(f, []byte("x"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if code, stderr := run("-addr", "127.0.0.1:0", "-cache-dir", f+"/nope"); code != 2 {
+		t.Errorf("bad cache dir exit %d, want 2 (%s)", code, stderr)
+	}
+}

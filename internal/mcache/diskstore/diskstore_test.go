@@ -1,0 +1,170 @@
+package diskstore_test
+
+import (
+	"errors"
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+
+	"omniware/internal/cc"
+	"omniware/internal/core"
+	"omniware/internal/mcache/diskstore"
+	"omniware/internal/target"
+	"omniware/internal/translate"
+)
+
+func buildProg(t *testing.T) *target.Program {
+	t.Helper()
+	mod, err := core.BuildC([]core.SourceFile{{Name: "p.c", Src: `
+int main(void) { int i, a = 0; for (i = 0; i < 10; i++) a += i; return a; }`}},
+		cc.Options{OptLevel: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	prog, err := translate.Translate(mod, target.MIPSMachine(),
+		core.SegInfoFor(mod, core.RunConfig{}), translate.Paper(true))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return prog
+}
+
+func TestPutGetRoundTrip(t *testing.T) {
+	s, err := diskstore.Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	prog := buildProg(t)
+	const k = "k1|deadbeef|mips|sfi=true"
+	if err := s.Put(k, prog); err != nil {
+		t.Fatal(err)
+	}
+	got, err := s.Get(k)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, prog) {
+		t.Fatal("program diverged through the store")
+	}
+	if n, bytes, err := s.Len(); err != nil || n != 1 || bytes == 0 {
+		t.Fatalf("Len() = %d, %d, %v", n, bytes, err)
+	}
+	if _, err := s.Get("no-such-key"); !errors.Is(err, diskstore.ErrNotFound) {
+		t.Fatalf("absent key: %v", err)
+	}
+}
+
+// The store survives reopening — that is its whole purpose.
+func TestReopen(t *testing.T) {
+	dir := t.TempDir()
+	s, err := diskstore.Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prog := buildProg(t)
+	if err := s.Put("key", prog); err != nil {
+		t.Fatal(err)
+	}
+	s2, err := diskstore.Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := s2.Get("key")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, prog) {
+		t.Fatal("program diverged across reopen")
+	}
+}
+
+func entryFiles(t *testing.T, dir string) []string {
+	t.Helper()
+	names, err := filepath.Glob(filepath.Join(dir, "entries", "*.owp"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return names
+}
+
+func TestCorruptionDetectedAndQuarantined(t *testing.T) {
+	prog := buildProg(t)
+	// Each mutation of the entry file must turn Get into ErrCorrupt.
+	mutations := []struct {
+		name string
+		mut  func(b []byte) []byte
+	}{
+		{"payload bit flip", func(b []byte) []byte { b[len(b)-3] ^= 0x10; return b }},
+		{"header bit flip", func(b []byte) []byte { b[1] ^= 0x10; return b }},
+		{"truncated", func(b []byte) []byte { return b[:len(b)/2] }},
+		{"wrong key", func(b []byte) []byte { b[9] ^= 0xff; return b }}, // inside the stored key
+	}
+	for _, m := range mutations {
+		t.Run(m.name, func(t *testing.T) {
+			dir := t.TempDir()
+			s, err := diskstore.Open(dir)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := s.Put("the-key", prog); err != nil {
+				t.Fatal(err)
+			}
+			files := entryFiles(t, dir)
+			if len(files) != 1 {
+				t.Fatalf("%d entry files", len(files))
+			}
+			raw, err := os.ReadFile(files[0])
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := os.WriteFile(files[0], m.mut(raw), 0o644); err != nil {
+				t.Fatal(err)
+			}
+			if _, err := s.Get("the-key"); !errors.Is(err, diskstore.ErrCorrupt) {
+				t.Fatalf("corrupt entry: %v", err)
+			}
+			if err := s.Quarantine("the-key"); err != nil {
+				t.Fatal(err)
+			}
+			if len(entryFiles(t, dir)) != 0 {
+				t.Fatal("entry still live after quarantine")
+			}
+			qs, _ := filepath.Glob(filepath.Join(dir, diskstore.QuarantineDir, "*.owp"))
+			if len(qs) != 1 {
+				t.Fatal("quarantine preserved nothing")
+			}
+			// Quarantining the same (now absent) key again is fine.
+			if err := s.Quarantine("the-key"); err != nil {
+				t.Fatal(err)
+			}
+			if _, err := s.Get("the-key"); !errors.Is(err, diskstore.ErrNotFound) {
+				t.Fatalf("quarantined key still resolves: %v", err)
+			}
+		})
+	}
+}
+
+func TestConcurrentAccess(t *testing.T) {
+	s, err := diskstore.Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	prog := buildProg(t)
+	done := make(chan error, 16)
+	for i := 0; i < 8; i++ {
+		go func() { done <- s.Put("shared", prog) }()
+		go func() {
+			_, err := s.Get("shared")
+			if errors.Is(err, diskstore.ErrNotFound) {
+				err = nil
+			}
+			done <- err
+		}()
+	}
+	for i := 0; i < 16; i++ {
+		if err := <-done; err != nil {
+			t.Fatal(err)
+		}
+	}
+}

@@ -13,20 +13,28 @@
 // Concurrent requests for the same key are deduplicated: one caller
 // translates while the rest wait for its result, so a burst of jobs for
 // a new module costs one translation, not one per job.
+//
+// An optional persistent tier (internal/mcache/diskstore) lets warm
+// capacity survive restarts: admitted translations are written through
+// to disk, and on a memory miss the disk copy is re-admitted — but
+// only after re-running the SFI verifier on it. A disk entry that
+// fails integrity checks or the verifier is quarantined, never served:
+// restart durability never weakens the verified-on-admission contract.
 package mcache
 
 import (
 	"container/list"
-	"crypto/sha256"
-	"encoding/hex"
 	"errors"
 	"fmt"
+	"log"
 	"sync"
 
+	"omniware/internal/mcache/diskstore"
 	"omniware/internal/ovm"
 	"omniware/internal/sfi"
 	"omniware/internal/target"
 	"omniware/internal/translate"
+	"omniware/internal/wire"
 )
 
 // ErrUnsandboxed is returned for requests without SFI enabled: the
@@ -45,9 +53,11 @@ const DefaultLimit = 64 << 20
 const instCost = 40
 
 // Stats is a snapshot of the cache counters. Misses equals the number
-// of translations the cache performed; Hits counts entries served
-// ready-made; Coalesced counts callers that piggybacked on a
-// translation already in flight (also served without translating).
+// of translations the cache performed; Hits counts entries served from
+// memory ready-made; DiskHits counts entries re-admitted from the
+// persistent tier (verified again, but not retranslated); Coalesced
+// counts callers that piggybacked on a lookup already in flight (also
+// served without translating).
 type Stats struct {
 	Lookups   uint64
 	Hits      uint64
@@ -58,22 +68,40 @@ type Stats struct {
 	Rejected  uint64 // admission failures: verifier refused the program
 	Entries   int
 	CodeBytes int64
+
+	DiskHits        uint64 // programs served from disk after re-verification
+	DiskWrites      uint64 // programs written through to the persistent tier
+	DiskQuarantines uint64 // disk entries refused (corrupt or unverifiable) and set aside
 }
 
 // ModuleHash returns the content address of a module: the hex SHA-256
-// of its canonical OMX encoding. Two modules with the same hash are the
-// same mobile program, wherever they came from.
+// of its canonical wire (OMW) encoding — the same bytes that travel
+// over the network and sit on disk, so a module has one identity
+// everywhere. Two modules with the same hash are the same mobile
+// program, wherever they came from.
 func ModuleHash(mod *ovm.Module) string {
-	h := sha256.Sum256(mod.Encode())
-	return hex.EncodeToString(h[:])
+	return wire.HashModule(mod)
 }
 
 // key identifies one translation: same module content, same target
 // machine, same translator options, same segment shape. Any difference
 // in these changes the emitted code (or the SFI masks baked into it),
-// so they are all part of the identity.
+// so they are all part of the identity. The format is explicit —
+// field by field, versioned — because keys outlive the process: the
+// persistent tier files entries under them, and a silent key change
+// would detach every stored translation.
 func key(modHash string, mach *target.Machine, si translate.SegInfo, opt translate.Options) string {
-	return fmt.Sprintf("%s|%s|%+v|%+v", modHash, mach.Name, si, opt)
+	return fmt.Sprintf("k1|%s|%s|%08x.%08x.%08x.%08x|sfi=%t,sched=%t,gp=%t,peep=%t,hoist=%t,rsfi=%t",
+		modHash, mach.Name,
+		si.DataBase, si.DataMask, si.GPValue, si.RegSave,
+		opt.SFI, opt.Schedule, opt.GlobalPointer, opt.Peephole, opt.SFIHoist, opt.ReadSFI)
+}
+
+// Key returns the full cache key for one translation identity — the
+// name entries are filed under in memory and in the persistent tier.
+// Exported so tests and operator tooling can address stored entries.
+func Key(mod *ovm.Module, mach *target.Machine, si translate.SegInfo, opt translate.Options) string {
+	return key(ModuleHash(mod), mach, si, opt)
 }
 
 type entry struct {
@@ -89,8 +117,9 @@ type flight struct {
 }
 
 // Cache is a content-addressed translation cache with LRU eviction by
-// estimated code size. The zero value is not usable; call New. All
-// methods are safe for concurrent use.
+// estimated code size and an optional persistent tier. The zero value
+// is not usable; call New or NewWith. All methods are safe for
+// concurrent use.
 type Cache struct {
 	mu       sync.Mutex
 	limit    int64
@@ -99,18 +128,47 @@ type Cache struct {
 	byKey    map[string]*list.Element
 	inflight map[string]*flight
 	stats    Stats
+	disk     *diskstore.Store
+	logf     func(format string, args ...any)
 }
 
-// New creates a cache holding at most limit estimated bytes of
-// translated code (non-positive = DefaultLimit).
+// Config sizes a cache. The zero value selects an in-memory cache of
+// DefaultLimit bytes with no persistent tier.
+type Config struct {
+	// Limit is the in-memory code-size budget (non-positive =
+	// DefaultLimit). The persistent tier is not budgeted here.
+	Limit int64
+	// Disk, when non-nil, is the persistent tier: admissions write
+	// through to it, and memory misses probe it before translating.
+	// Disk entries are re-verified on every read; failures are
+	// quarantined and logged.
+	Disk *diskstore.Store
+	// Logf receives quarantine and disk-failure reports (default
+	// log.Printf). Disk problems never fail a lookup — the cache falls
+	// back to translating — so the log is their only trace.
+	Logf func(format string, args ...any)
+}
+
+// New creates a memory-only cache holding at most limit estimated
+// bytes of translated code (non-positive = DefaultLimit).
 func New(limit int64) *Cache {
-	if limit <= 0 {
-		limit = DefaultLimit
+	return NewWith(Config{Limit: limit})
+}
+
+// NewWith creates a cache from cfg.
+func NewWith(cfg Config) *Cache {
+	if cfg.Limit <= 0 {
+		cfg.Limit = DefaultLimit
+	}
+	if cfg.Logf == nil {
+		cfg.Logf = log.Printf
 	}
 	return &Cache{
-		limit:    limit,
+		limit:    cfg.Limit,
 		byKey:    map[string]*list.Element{},
 		inflight: map[string]*flight{},
+		disk:     cfg.Disk,
+		logf:     cfg.Logf,
 	}
 }
 
@@ -145,14 +203,23 @@ func (c *Cache) Translate(mod *ovm.Module, mach *target.Machine, si translate.Se
 		<-f.done
 		return f.prog, true, f.err
 	}
-	c.stats.Misses++
 	f := &flight{done: make(chan struct{})}
 	c.inflight[k] = f
 	c.mu.Unlock()
 
-	prog, err := translate.Translate(mod, mach, si, opt)
-	if err == nil {
-		err = c.admit(prog, mach, si)
+	// Persistent tier first: a verified disk entry saves the
+	// translation entirely. fromDisk distinguishes "served warm" from
+	// "translated here" for the caller's accounting.
+	prog, fromDisk := c.loadFromDisk(k, mach, si)
+	var err error
+	if !fromDisk {
+		c.mu.Lock()
+		c.stats.Misses++
+		c.mu.Unlock()
+		prog, err = translate.Translate(mod, mach, si, opt)
+		if err == nil {
+			err = c.admit(prog, mach, si)
+		}
 	}
 	f.prog, f.err = prog, err
 	if err != nil {
@@ -169,7 +236,58 @@ func (c *Cache) Translate(mod *ovm.Module, mach *target.Machine, si translate.Se
 	if err != nil {
 		return nil, false, err
 	}
-	return prog, false, nil
+	if !fromDisk {
+		c.writeThrough(k, prog)
+	}
+	return prog, fromDisk, nil
+}
+
+// loadFromDisk probes the persistent tier for k and re-verifies
+// whatever it finds. Only a program that passes sfi.Check again is
+// returned; integrity or verification failures quarantine the entry.
+// All failures degrade to a plain miss — the disk tier can lose
+// entries, but it can never serve a bad one or fail a lookup.
+func (c *Cache) loadFromDisk(k string, mach *target.Machine, si translate.SegInfo) (*target.Program, bool) {
+	if c.disk == nil {
+		return nil, false
+	}
+	prog, err := c.disk.Get(k)
+	if errors.Is(err, diskstore.ErrNotFound) {
+		return nil, false
+	}
+	if err == nil {
+		err = c.admit(prog, mach, si)
+	}
+	if err != nil {
+		if qerr := c.disk.Quarantine(k); qerr != nil {
+			c.logf("mcache: quarantining disk entry for %q: %v", k, qerr)
+		}
+		c.logf("mcache: disk entry for %q quarantined: %v", k, err)
+		c.mu.Lock()
+		c.stats.DiskQuarantines++
+		c.mu.Unlock()
+		return nil, false
+	}
+	c.mu.Lock()
+	c.stats.DiskHits++
+	c.mu.Unlock()
+	return prog, true
+}
+
+// writeThrough persists an admitted translation. Failures are logged,
+// not returned: the memory tier already holds the verified program, so
+// a sick disk only costs future restarts their warm start.
+func (c *Cache) writeThrough(k string, prog *target.Program) {
+	if c.disk == nil {
+		return
+	}
+	if err := c.disk.Put(k, prog); err != nil {
+		c.logf("mcache: writing %q to disk: %v", k, err)
+		return
+	}
+	c.mu.Lock()
+	c.stats.DiskWrites++
+	c.mu.Unlock()
 }
 
 // Insert admits an externally produced translation — the paper's
@@ -188,6 +306,7 @@ func (c *Cache) Insert(mod *ovm.Module, mach *target.Machine, si translate.SegIn
 	c.mu.Lock()
 	c.insertLocked(k, prog)
 	c.mu.Unlock()
+	c.writeThrough(k, prog)
 	return nil
 }
 

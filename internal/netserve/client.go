@@ -1,0 +1,127 @@
+package netserve
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strconv"
+
+	"omniware/internal/serve/metrics"
+)
+
+// Client talks to an omniserved instance. It is the programmatic face
+// of the omnictl CLI and what the integration tests drive the daemon
+// with.
+type Client struct {
+	Base string // e.g. "http://127.0.0.1:8080"
+	HTTP *http.Client
+}
+
+// StatusError is a non-2xx response: the HTTP status plus the error
+// body, with Retry-After surfaced for 429/503 so callers can back off
+// precisely.
+type StatusError struct {
+	Code       int
+	Message    string
+	RetryAfter int // seconds; 0 when the server sent none
+}
+
+func (e *StatusError) Error() string {
+	return fmt.Sprintf("server returned %d: %s", e.Code, e.Message)
+}
+
+func (c *Client) http() *http.Client {
+	if c.HTTP != nil {
+		return c.HTTP
+	}
+	return http.DefaultClient
+}
+
+// do issues the request and decodes the JSON response into out,
+// converting non-2xx responses into *StatusError.
+func (c *Client) do(req *http.Request, out any) error {
+	resp, err := c.http().Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(io.LimitReader(resp.Body, 1<<20))
+	if err != nil {
+		return err
+	}
+	if resp.StatusCode/100 != 2 {
+		se := &StatusError{Code: resp.StatusCode}
+		var ae apiError
+		if json.Unmarshal(body, &ae) == nil && ae.Error != "" {
+			se.Message = ae.Error
+		} else {
+			se.Message = string(bytes.TrimSpace(body))
+		}
+		if ra := resp.Header.Get("Retry-After"); ra != "" {
+			se.RetryAfter, _ = strconv.Atoi(ra)
+		}
+		return se
+	}
+	if out == nil {
+		return nil
+	}
+	return json.Unmarshal(body, out)
+}
+
+// Upload sends an OMW-encoded module blob and returns the server's
+// description of it (including the content hash Exec needs).
+func (c *Client) Upload(blob []byte) (*UploadResponse, error) {
+	req, err := http.NewRequest(http.MethodPost, c.Base+"/v1/modules", bytes.NewReader(blob))
+	if err != nil {
+		return nil, err
+	}
+	req.Header.Set("Content-Type", "application/octet-stream")
+	var out UploadResponse
+	if err := c.do(req, &out); err != nil {
+		return nil, err
+	}
+	return &out, nil
+}
+
+// Exec runs an uploaded module and returns the outcome.
+func (c *Client) Exec(r ExecRequest) (*ExecResponse, error) {
+	body, err := json.Marshal(r)
+	if err != nil {
+		return nil, err
+	}
+	req, err := http.NewRequest(http.MethodPost, c.Base+"/v1/exec", bytes.NewReader(body))
+	if err != nil {
+		return nil, err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	var out ExecResponse
+	if err := c.do(req, &out); err != nil {
+		return nil, err
+	}
+	return &out, nil
+}
+
+// Metrics fetches the server's counter snapshot.
+func (c *Client) Metrics() (*metrics.Snapshot, error) {
+	req, err := http.NewRequest(http.MethodGet, c.Base+"/v1/metrics", nil)
+	if err != nil {
+		return nil, err
+	}
+	var out metrics.Snapshot
+	if err := c.do(req, &out); err != nil {
+		return nil, err
+	}
+	return &out, nil
+}
+
+// Health probes /healthz; nil means the server is up and not
+// draining.
+func (c *Client) Health() error {
+	req, err := http.NewRequest(http.MethodGet, c.Base+"/healthz", nil)
+	if err != nil {
+		return err
+	}
+	return c.do(req, nil)
+}

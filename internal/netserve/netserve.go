@@ -1,0 +1,396 @@
+// Package netserve is the network front door of the Omniware host: an
+// HTTP layer over the internal/serve worker pool that makes the
+// system an actual mobile-code *service* — modules arrive over the
+// wire in the canonical OMW encoding, execution requests name them by
+// content hash, and results stream back as JSON.
+//
+// The API surface:
+//
+//	POST /v1/modules   upload an OMW blob; returns its content hash
+//	POST /v1/exec      run an uploaded module on a target machine
+//	GET  /v1/metrics   server + cache counters as JSON
+//	GET  /healthz      liveness ("ok", or "draining" with 503)
+//
+// Overload policy, in order of the defenses a request meets:
+//
+//  1. Per-client token-bucket rate limiting (429 + Retry-After).
+//  2. A bounded admission queue (serve.Server's): when workers are
+//     saturated and the queue is full, TrySubmit refuses immediately
+//     and the request gets 429 + Retry-After within milliseconds —
+//     the server sheds load instead of queueing unboundedly.
+//  3. Per-request deadlines, capped by the server, mapped onto the
+//     simulator interrupt hook so a runaway module burns worker time
+//     bounded by its deadline, not by its own choosing.
+//
+// Draining: SetDraining flips /healthz to 503 (so load balancers stop
+// routing here) and refuses new exec/upload work with 503, while
+// requests already admitted keep their workers until they finish —
+// the graceful half of SIGTERM handling; the process owner then
+// closes the HTTP server and the pool.
+package netserve
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"log"
+	"net"
+	"net/http"
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"omniware/internal/core"
+	"omniware/internal/ovm"
+	"omniware/internal/serve"
+	"omniware/internal/target"
+	"omniware/internal/translate"
+	"omniware/internal/wire"
+)
+
+// Defaults for Config zero values.
+const (
+	DefaultMaxModules      = 256
+	DefaultMaxModuleBytes  = 16 << 20
+	DefaultRate            = 50  // requests/second/client
+	DefaultBurst           = 100 // bucket capacity
+	DefaultDeadline        = 10 * time.Second
+	DefaultMaxDeadline     = 60 * time.Second
+	DefaultResultWait      = 5 * time.Minute // hard cap on waiting for a result
+	maxExecBodyBytes       = 1 << 20
+	retryAfterQueueSeconds = 1
+)
+
+// Config sizes a Handler. Zero values select the defaults above.
+type Config struct {
+	Server         *serve.Server // required: the worker pool
+	MaxModules     int           // uploaded-module registry cap (LRU beyond it)
+	MaxModuleBytes int64         // upload size limit
+	Rate           float64       // per-client token refill, requests/second
+	Burst          float64       // per-client bucket size
+	Deadline       time.Duration // default per-request deadline
+	MaxDeadline    time.Duration // cap on client-requested deadlines
+	Logf           func(format string, args ...any)
+}
+
+// Handler is the HTTP layer. Create with New; it implements
+// http.Handler.
+type Handler struct {
+	cfg      Config
+	srv      *serve.Server
+	mux      *http.ServeMux
+	lim      *limiter
+	draining atomic.Bool
+	jobSeq   atomic.Uint64
+
+	mu       sync.Mutex
+	mods     map[string]*ovm.Module
+	modOrder []string // insertion order for registry eviction
+}
+
+// New builds a Handler over cfg.Server.
+func New(cfg Config) (*Handler, error) {
+	if cfg.Server == nil {
+		return nil, errors.New("netserve: Config.Server is required")
+	}
+	if cfg.MaxModules <= 0 {
+		cfg.MaxModules = DefaultMaxModules
+	}
+	if cfg.MaxModuleBytes <= 0 {
+		cfg.MaxModuleBytes = DefaultMaxModuleBytes
+	}
+	if cfg.Rate <= 0 {
+		cfg.Rate = DefaultRate
+	}
+	if cfg.Burst <= 0 {
+		cfg.Burst = DefaultBurst
+	}
+	if cfg.Deadline <= 0 {
+		cfg.Deadline = DefaultDeadline
+	}
+	if cfg.MaxDeadline <= 0 {
+		cfg.MaxDeadline = DefaultMaxDeadline
+	}
+	if cfg.Logf == nil {
+		cfg.Logf = log.Printf
+	}
+	h := &Handler{
+		cfg:  cfg,
+		srv:  cfg.Server,
+		lim:  newLimiter(cfg.Rate, cfg.Burst),
+		mods: map[string]*ovm.Module{},
+	}
+	h.mux = http.NewServeMux()
+	h.mux.HandleFunc("POST /v1/modules", h.handleUpload)
+	h.mux.HandleFunc("POST /v1/exec", h.handleExec)
+	h.mux.HandleFunc("GET /v1/metrics", h.handleMetrics)
+	h.mux.HandleFunc("GET /healthz", h.handleHealthz)
+	return h, nil
+}
+
+func (h *Handler) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	h.mux.ServeHTTP(w, r)
+}
+
+// SetDraining flips the handler into (or out of) drain mode: health
+// checks fail so routers stop sending traffic, and new uploads/execs
+// are refused with 503 while admitted work finishes.
+func (h *Handler) SetDraining(v bool) { h.draining.Store(v) }
+
+// Draining reports drain mode.
+func (h *Handler) Draining() bool { return h.draining.Load() }
+
+// apiError is the uniform JSON error body.
+type apiError struct {
+	Error string `json:"error"`
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetEscapeHTML(false)
+	_ = enc.Encode(v)
+}
+
+func writeError(w http.ResponseWriter, status int, format string, args ...any) {
+	writeJSON(w, status, apiError{Error: fmt.Sprintf(format, args...)})
+}
+
+// clientKey identifies a client for rate limiting: the remote host
+// (without port), so reconnecting does not reset the bucket.
+func clientKey(r *http.Request) string {
+	host, _, err := net.SplitHostPort(r.RemoteAddr)
+	if err != nil {
+		return r.RemoteAddr
+	}
+	return host
+}
+
+// gate applies the request-path defenses shared by upload and exec:
+// drain mode, then the per-client rate limit. It reports false after
+// writing the refusal.
+func (h *Handler) gate(w http.ResponseWriter, r *http.Request) bool {
+	if h.draining.Load() {
+		writeError(w, http.StatusServiceUnavailable, "draining")
+		return false
+	}
+	if retry, ok := h.lim.allow(clientKey(r), time.Now()); !ok {
+		w.Header().Set("Retry-After", strconv.Itoa(retry))
+		writeError(w, http.StatusTooManyRequests, "rate limit exceeded")
+		return false
+	}
+	return true
+}
+
+// UploadResponse describes an accepted module.
+type UploadResponse struct {
+	Hash     string `json:"hash"`
+	Insts    int    `json:"insts"`
+	DataLen  int    `json:"dataLen"`
+	BSSSize  uint32 `json:"bssSize"`
+	Entry    int32  `json:"entry"`
+	Replaced bool   `json:"replaced"` // an identical module was already registered
+}
+
+func (h *Handler) handleUpload(w http.ResponseWriter, r *http.Request) {
+	if !h.gate(w, r) {
+		return
+	}
+	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, h.cfg.MaxModuleBytes))
+	if err != nil {
+		writeError(w, http.StatusRequestEntityTooLarge, "reading module: %v", err)
+		return
+	}
+	mod, err := wire.DecodeModule(body)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "decoding module: %v", err)
+		return
+	}
+	// Hash the canonical re-encoding, not the received bytes: the
+	// decoder is strict enough that they should be identical, but the
+	// canonical form is the identity the cache keys on.
+	blob, err := wire.EncodeModule(mod)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "re-encoding module: %v", err)
+		return
+	}
+	hash := wire.Hash(blob)
+
+	h.mu.Lock()
+	_, existed := h.mods[hash]
+	if !existed {
+		h.mods[hash] = mod
+		h.modOrder = append(h.modOrder, hash)
+		for len(h.modOrder) > h.cfg.MaxModules {
+			evict := h.modOrder[0]
+			h.modOrder = h.modOrder[1:]
+			delete(h.mods, evict)
+		}
+	}
+	h.mu.Unlock()
+
+	writeJSON(w, http.StatusOK, UploadResponse{
+		Hash:     hash,
+		Insts:    len(mod.Text),
+		DataLen:  len(mod.Data),
+		BSSSize:  mod.BSSSize,
+		Entry:    mod.Entry,
+		Replaced: existed,
+	})
+}
+
+// ExecRequest asks for one run of an uploaded module.
+type ExecRequest struct {
+	Module     string `json:"module"`     // content hash from upload
+	Target     string `json:"target"`     // mips | sparc | ppc | x86
+	SFI        *bool  `json:"sfi"`        // default true
+	MaxSteps   uint64 `json:"maxSteps"`   // instruction budget (0 = core default)
+	DeadlineMs int    `json:"deadlineMs"` // wall-clock deadline (0 = server default)
+	Heap       uint32 `json:"heap"`       // heap size (0 = default)
+	Stack      uint32 `json:"stack"`      // stack size (0 = default)
+	// Check additionally runs the module on the OmniVM interpreter
+	// and reports parity — the differential-testing hook CI uses.
+	Check bool `json:"check"`
+}
+
+// ExecResponse is one run's outcome.
+type ExecResponse struct {
+	ID     string `json:"id"`
+	Status string `json:"status"` // ok | fault(contained) | error
+	Exit   int32  `json:"exit"`
+	Output string `json:"output"`
+	Fault  string `json:"fault,omitempty"`
+	Insts  uint64 `json:"insts"`
+	Cycles uint64 `json:"cycles"`
+	Cached bool   `json:"cached"`
+	Err    string `json:"err,omitempty"`
+	// Parity is present only when the request set Check: true when
+	// the translated run matched the interpreter (same exit code and
+	// output, or both faulted).
+	Parity *bool `json:"parity,omitempty"`
+}
+
+func (h *Handler) handleExec(w http.ResponseWriter, r *http.Request) {
+	if !h.gate(w, r) {
+		return
+	}
+	var req ExecRequest
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxExecBodyBytes))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, "decoding request: %v", err)
+		return
+	}
+	h.mu.Lock()
+	mod := h.mods[req.Module]
+	h.mu.Unlock()
+	if mod == nil {
+		writeError(w, http.StatusNotFound, "module %q not uploaded", req.Module)
+		return
+	}
+	mach := target.ByName(req.Target)
+	if mach == nil {
+		writeError(w, http.StatusBadRequest, "unknown target %q", req.Target)
+		return
+	}
+	deadline := h.cfg.Deadline
+	if req.DeadlineMs > 0 {
+		deadline = time.Duration(req.DeadlineMs) * time.Millisecond
+	}
+	if deadline > h.cfg.MaxDeadline {
+		deadline = h.cfg.MaxDeadline
+	}
+	sfi := req.SFI == nil || *req.SFI
+
+	id := fmt.Sprintf("exec-%d/%s/%s", h.jobSeq.Add(1), req.Module[:min(8, len(req.Module))], mach.Name)
+	job := serve.Job{
+		ID:       id,
+		Mod:      mod,
+		Machine:  mach,
+		Opt:      translate.Paper(sfi),
+		Heap:     req.Heap,
+		Stack:    req.Stack,
+		MaxSteps: req.MaxSteps,
+		Timeout:  deadline,
+	}
+	ch, ok := h.srv.TrySubmit(job)
+	if !ok {
+		// Workers saturated and the admission queue full (or the pool
+		// is closing): shed the request now, cheaply, instead of
+		// parking it. The client owns the retry.
+		w.Header().Set("Retry-After", strconv.Itoa(retryAfterQueueSeconds))
+		writeError(w, http.StatusTooManyRequests, "admission queue full")
+		return
+	}
+
+	var res serve.Result
+	select {
+	case res = <-ch:
+	case <-time.After(deadline + DefaultResultWait):
+		// The deadline interrupt should have fired long ago; this is a
+		// backstop against a stuck worker, not a normal path.
+		writeError(w, http.StatusInternalServerError, "job %s result overdue", id)
+		return
+	}
+
+	resp := ExecResponse{
+		ID:     res.ID,
+		Exit:   res.ExitCode,
+		Output: res.Output,
+		Fault:  res.Fault,
+		Insts:  res.Insts,
+		Cycles: res.Cycles,
+		Cached: res.Cached,
+	}
+	switch {
+	case res.Err != nil:
+		resp.Status = "error"
+		resp.Err = res.Err.Error()
+	case res.Faulted:
+		resp.Status = "fault(contained)"
+	default:
+		resp.Status = "ok"
+	}
+	if req.Check {
+		parity := h.checkParity(mod, req, res)
+		resp.Parity = &parity
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// checkParity runs the module on the OmniVM interpreter — the
+// semantic reference — under the same budgets and compares outcomes.
+// A faulting reference matches a faulting run; exit codes and output
+// must agree otherwise.
+func (h *Handler) checkParity(mod *ovm.Module, req ExecRequest, res serve.Result) bool {
+	hst, err := core.NewHost(mod, core.RunConfig{
+		Heap: req.Heap, Stack: req.Stack, MaxSteps: req.MaxSteps,
+	})
+	if err != nil {
+		return false
+	}
+	ref, err := hst.RunInterp()
+	if err != nil || res.Err != nil {
+		// Job-level errors (budget, deadline) have no parity claim.
+		return false
+	}
+	if ref.Faulted || res.Faulted {
+		return ref.Faulted && res.Faulted
+	}
+	return res.ExitCode == ref.ExitCode && res.Output == hst.Output()
+}
+
+func (h *Handler) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, h.srv.Snapshot())
+}
+
+func (h *Handler) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	if h.draining.Load() {
+		writeError(w, http.StatusServiceUnavailable, "draining")
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+}

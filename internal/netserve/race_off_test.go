@@ -1,0 +1,5 @@
+//go:build !race
+
+package netserve_test
+
+const raceEnabled = false

@@ -1,0 +1,9 @@
+//go:build race
+
+package netserve_test
+
+// raceEnabled relaxes timing budgets and shrinks simulated workloads:
+// the race detector slows the simulator by roughly an order of
+// magnitude, and the contracts under test (shed fast, drain fully)
+// are not about absolute wall-clock numbers.
+const raceEnabled = true

@@ -1,0 +1,66 @@
+package netserve
+
+import (
+	"math"
+	"sync"
+	"time"
+)
+
+// limiter is a per-client token-bucket rate limiter: each client key
+// owns a bucket of `burst` tokens refilled at `rate` tokens/second.
+// A request spends one token; an empty bucket means 429 with a
+// Retry-After derived from the refill rate. Buckets idle at full for
+// a while are discarded so the map doesn't grow with client churn.
+type limiter struct {
+	rate  float64
+	burst float64
+
+	mu      sync.Mutex
+	buckets map[string]*bucket
+	sweepAt time.Time
+}
+
+type bucket struct {
+	tokens float64
+	last   time.Time
+}
+
+const sweepEvery = time.Minute
+
+func newLimiter(rate, burst float64) *limiter {
+	return &limiter{rate: rate, burst: burst, buckets: map[string]*bucket{}}
+}
+
+// allow spends one token from key's bucket at time now. When refused,
+// retry is the whole number of seconds (at least 1) after which one
+// token will be available.
+func (l *limiter) allow(key string, now time.Time) (retry int, ok bool) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+
+	if l.sweepAt.IsZero() {
+		l.sweepAt = now.Add(sweepEvery)
+	} else if now.After(l.sweepAt) {
+		for k, b := range l.buckets {
+			if b.tokens+now.Sub(b.last).Seconds()*l.rate >= l.burst {
+				delete(l.buckets, k)
+			}
+		}
+		l.sweepAt = now.Add(sweepEvery)
+	}
+
+	b := l.buckets[key]
+	if b == nil {
+		b = &bucket{tokens: l.burst, last: now}
+		l.buckets[key] = b
+	} else {
+		b.tokens = math.Min(l.burst, b.tokens+now.Sub(b.last).Seconds()*l.rate)
+		b.last = now
+	}
+	if b.tokens >= 1 {
+		b.tokens--
+		return 0, true
+	}
+	need := (1 - b.tokens) / l.rate
+	return int(math.Max(1, math.Ceil(need))), false
+}

@@ -46,6 +46,10 @@ type Snapshot struct {
 	CacheRejected  uint64 `json:"cache_rejected"`
 	CacheEntries   int    `json:"cache_entries"`
 	CacheBytes     int64  `json:"cache_bytes"`
+
+	CacheDiskHits        uint64 `json:"cache_disk_hits"`
+	CacheDiskWrites      uint64 `json:"cache_disk_writes"`
+	CacheDiskQuarantines uint64 `json:"cache_disk_quarantines"`
 }
 
 // Snapshot copies the live counters (without the cache section).
@@ -64,13 +68,15 @@ func (m *Metrics) Snapshot() Snapshot {
 }
 
 // HitRate is the fraction of cache lookups served without a
-// translation (hits plus coalesced waits), or 0 with no lookups.
+// translation (memory hits, disk hits, and coalesced waits), or 0
+// with no lookups.
 func (s Snapshot) HitRate() float64 {
-	total := s.CacheHits + s.CacheCoalesced + s.CacheMisses
+	warm := s.CacheHits + s.CacheCoalesced + s.CacheDiskHits
+	total := warm + s.CacheMisses
 	if total == 0 {
 		return 0
 	}
-	return float64(s.CacheHits+s.CacheCoalesced) / float64(total)
+	return float64(warm) / float64(total)
 }
 
 // Text renders the snapshot as fixed-order "name value" lines.
@@ -93,6 +99,9 @@ func (s Snapshot) Text() string {
 	w("cache_rejected", s.CacheRejected)
 	w("cache_entries", s.CacheEntries)
 	w("cache_bytes", s.CacheBytes)
+	w("cache_disk_hits", s.CacheDiskHits)
+	w("cache_disk_writes", s.CacheDiskWrites)
+	w("cache_disk_quarantines", s.CacheDiskQuarantines)
 	w("cache_hit_rate", fmt.Sprintf("%.2f", s.HitRate()))
 	return b.String()
 }

@@ -1,0 +1,139 @@
+package metrics
+
+import (
+	"encoding/json"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestSnapshotCopiesCounters(t *testing.T) {
+	var m Metrics
+	m.JobsSubmitted.Add(7)
+	m.JobsRun.Add(5)
+	m.JobsFailed.Add(2)
+	m.FaultsContained.Add(1)
+	m.Timeouts.Add(1)
+	m.Translations.Add(3)
+	m.SimInsts.Add(1000)
+	m.SimCycles.Add(1500)
+	m.QueueDepth.Add(4)
+	m.QueueDepth.Add(-1)
+
+	s := m.Snapshot()
+	want := Snapshot{
+		JobsSubmitted: 7, JobsRun: 5, JobsFailed: 2,
+		FaultsContained: 1, Timeouts: 1, Translations: 3,
+		SimInsts: 1000, SimCycles: 1500, QueueDepth: 3,
+	}
+	if s != want {
+		t.Fatalf("snapshot %+v, want %+v", s, want)
+	}
+	// The snapshot is a copy: later updates don't show in it.
+	m.JobsRun.Add(10)
+	if s.JobsRun != 5 {
+		t.Fatal("snapshot aliased the live counters")
+	}
+}
+
+func TestHitRate(t *testing.T) {
+	cases := []struct {
+		name string
+		s    Snapshot
+		want float64
+	}{
+		{"empty", Snapshot{}, 0},
+		{"all-miss", Snapshot{CacheMisses: 4}, 0},
+		{"all-hit", Snapshot{CacheHits: 4}, 1},
+		{"memory-only", Snapshot{CacheHits: 3, CacheMisses: 1}, 0.75},
+		{"coalesced-counts-warm", Snapshot{CacheHits: 1, CacheCoalesced: 1, CacheMisses: 2}, 0.5},
+		{"disk-counts-warm", Snapshot{CacheDiskHits: 3, CacheMisses: 1}, 0.75},
+		{"all-tiers", Snapshot{CacheHits: 2, CacheCoalesced: 1, CacheDiskHits: 1, CacheMisses: 4}, 0.5},
+	}
+	for _, c := range cases {
+		if got := c.s.HitRate(); got != c.want {
+			t.Errorf("%s: HitRate() = %v, want %v", c.name, got, c.want)
+		}
+	}
+}
+
+// Text is a stable machine-greppable format: fixed order, fixed
+// padding. Tools (and the omniserve smoke tests) match on exact
+// lines, so lock the format down.
+func TestTextFormat(t *testing.T) {
+	s := Snapshot{
+		JobsSubmitted: 49, JobsRun: 48, JobsFailed: 1,
+		CacheHits: 28, CacheCoalesced: 4, CacheMisses: 17,
+		CacheDiskHits: 2,
+	}
+	text := s.Text()
+	lines := strings.Split(strings.TrimRight(text, "\n"), "\n")
+	wantOrder := []string{
+		"jobs_submitted", "jobs_run", "jobs_failed", "faults_contained",
+		"timeouts", "translations", "sim_insts", "sim_cycles", "queue_depth",
+		"cache_hits", "cache_coalesced", "cache_misses", "cache_evictions",
+		"cache_rejected", "cache_entries", "cache_bytes",
+		"cache_disk_hits", "cache_disk_writes", "cache_disk_quarantines",
+		"cache_hit_rate",
+	}
+	if len(lines) != len(wantOrder) {
+		t.Fatalf("%d lines, want %d:\n%s", len(lines), len(wantOrder), text)
+	}
+	for i, name := range wantOrder {
+		if !strings.HasPrefix(lines[i], name+" ") {
+			t.Errorf("line %d = %q, want prefix %q", i, lines[i], name)
+		}
+	}
+	for _, want := range []string{
+		"jobs_run           48",
+		"cache_disk_hits    2",
+		"cache_hit_rate     0.67",
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("missing exact line %q in:\n%s", want, text)
+		}
+	}
+}
+
+func TestSnapshotJSONFieldNames(t *testing.T) {
+	raw, err := json.Marshal(Snapshot{JobsRun: 1, CacheDiskWrites: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var m map[string]any
+	if err := json.Unmarshal(raw, &m); err != nil {
+		t.Fatal(err)
+	}
+	for _, k := range []string{
+		"jobs_submitted", "jobs_run", "cache_hits", "cache_misses",
+		"cache_disk_hits", "cache_disk_writes", "cache_disk_quarantines",
+	} {
+		if _, ok := m[k]; !ok {
+			t.Errorf("JSON missing field %q: %s", k, raw)
+		}
+	}
+}
+
+// The counters are safe for concurrent update with snapshots racing
+// them — the serving hot path does exactly this.
+func TestConcurrentUpdates(t *testing.T) {
+	var m Metrics
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 1000; j++ {
+				m.JobsSubmitted.Add(1)
+				m.QueueDepth.Add(1)
+				_ = m.Snapshot()
+				m.QueueDepth.Add(-1)
+			}
+		}()
+	}
+	wg.Wait()
+	s := m.Snapshot()
+	if s.JobsSubmitted != 8000 || s.QueueDepth != 0 {
+		t.Fatalf("final snapshot %+v", s)
+	}
+}

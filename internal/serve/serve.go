@@ -14,6 +14,7 @@
 package serve
 
 import (
+	"errors"
 	"fmt"
 	"runtime"
 	"strings"
@@ -88,6 +89,21 @@ type task struct {
 	ch  chan Result
 }
 
+// ErrClosed is the Result.Err of a job submitted after Close: the
+// server refused it without running anything.
+var ErrClosed = errors.New("serve: server closed")
+
+// Process exit codes shared by the serving CLIs (omniserve, omnictl):
+// clean, "the service worked but some jobs faulted (contained)", and
+// "the infrastructure itself failed or was misused". Parity
+// mismatches count as infrastructure failures — they mean the system,
+// not the module, is wrong.
+const (
+	ExitOK     = 0 // every job ran cleanly
+	ExitFaults = 1 // some jobs faulted or failed; every fault contained
+	ExitInfra  = 2 // manifest/flag/build/network errors, or parity loss
+)
+
 // Server is a running worker pool. Create with New, feed with Submit
 // or Run, stop with Close.
 type Server struct {
@@ -95,6 +111,13 @@ type Server struct {
 	met   *metrics.Metrics
 	tasks chan task
 	wg    sync.WaitGroup
+
+	// closeMu serializes Submit sends against Close's channel close:
+	// Submit holds it shared around the send, Close holds it exclusive
+	// while flipping closed — so no send can race the close, and
+	// Submit after Close fails softly instead of panicking.
+	closeMu sync.RWMutex
+	closed  bool
 }
 
 // New starts a server with cfg's workers.
@@ -125,13 +148,44 @@ func New(cfg Config) *Server {
 
 // Submit enqueues a job and returns the channel its Result will be
 // delivered on (buffered; the worker never blocks on it). Submit
-// blocks when the queue is full and must not be called after Close.
+// blocks while the queue is full. Submitting to a closed server (or
+// one that closes while the job waits for a queue slot) is safe: the
+// job is refused with a Result whose Err is ErrClosed.
 func (s *Server) Submit(j Job) <-chan Result {
 	ch := make(chan Result, 1)
+	s.closeMu.RLock()
+	if s.closed {
+		s.closeMu.RUnlock()
+		ch <- Result{ID: j.ID, Err: ErrClosed}
+		return ch
+	}
 	s.met.JobsSubmitted.Add(1)
 	s.met.QueueDepth.Add(1)
 	s.tasks <- task{job: j, ch: ch}
+	s.closeMu.RUnlock()
 	return ch
+}
+
+// TrySubmit is the non-blocking Submit the network front door uses to
+// shed load: when the server is closed or the admission queue is full
+// it reports false immediately instead of queueing, and the caller
+// turns that into backpressure (HTTP 429) rather than unbounded
+// buffering.
+func (s *Server) TrySubmit(j Job) (<-chan Result, bool) {
+	ch := make(chan Result, 1)
+	s.closeMu.RLock()
+	defer s.closeMu.RUnlock()
+	if s.closed {
+		return nil, false
+	}
+	select {
+	case s.tasks <- task{job: j, ch: ch}:
+		s.met.JobsSubmitted.Add(1)
+		s.met.QueueDepth.Add(1)
+		return ch, true
+	default:
+		return nil, false
+	}
 }
 
 // Run submits jobs and returns their results in input order.
@@ -147,9 +201,18 @@ func (s *Server) Run(jobs []Job) []Result {
 	return out
 }
 
-// Close stops accepting jobs and waits for in-flight ones to drain.
+// Close stops accepting jobs and waits for queued and in-flight ones
+// to finish. It is idempotent and safe to call concurrently — with
+// other Close calls and with in-flight Submit/TrySubmit: submissions
+// that lose the race are refused with ErrClosed, never lost or
+// panicked on, and every Close call waits for the drain to complete.
 func (s *Server) Close() {
-	close(s.tasks)
+	s.closeMu.Lock()
+	if !s.closed {
+		s.closed = true
+		close(s.tasks)
+	}
+	s.closeMu.Unlock()
 	s.wg.Wait()
 }
 
@@ -170,6 +233,9 @@ func (s *Server) Snapshot() metrics.Snapshot {
 	snap.CacheRejected = cs.Rejected
 	snap.CacheEntries = cs.Entries
 	snap.CacheBytes = cs.CodeBytes
+	snap.CacheDiskHits = cs.DiskHits
+	snap.CacheDiskWrites = cs.DiskWrites
+	snap.CacheDiskQuarantines = cs.DiskQuarantines
 	return snap
 }
 

@@ -60,10 +60,11 @@ type Sim struct {
 	fa float64 // latched FP compare operands
 	fb float64
 
-	pc     int32
-	insts  uint64
-	counts [NumCats]uint64
-	pipe   pipe
+	pc       int32
+	insts    uint64
+	nextPoll uint64 // insts threshold for the next Interrupt check
+	counts   [NumCats]uint64
+	pipe     pipe
 }
 
 // New prepares a simulator for one run of prog. The OmniVM stack
@@ -206,8 +207,14 @@ func (s *Sim) Run() (Result, error) {
 		if s.MaxInsts > 0 && s.insts >= s.MaxInsts {
 			return Result{}, fmt.Errorf("target/%s: instruction budget %d exhausted at pc=%d", s.M.Name, s.MaxInsts, s.pc)
 		}
-		if s.Interrupt != nil && s.insts&0xfff == 0 && s.Interrupt.Load() {
-			return Result{}, fmt.Errorf("target/%s: run interrupted at pc=%d after %d instructions", s.M.Name, s.pc, s.insts)
+		// A threshold (not insts&mask == 0) because delay-slot machines
+		// account two instructions per branch iteration: an exact-match
+		// poll can step over every multiple of the mask and never fire.
+		if s.Interrupt != nil && s.insts >= s.nextPoll {
+			s.nextPoll = s.insts + 0x1000
+			if s.Interrupt.Load() {
+				return Result{}, fmt.Errorf("target/%s: run interrupted at pc=%d after %d instructions", s.M.Name, s.pc, s.insts)
+			}
 		}
 		if s.pc < 0 || s.pc >= n {
 			if res, done := s.exception(excBadJump, uint32(s.pc), s.pc, fmt.Sprintf("target/%s: pc %d out of code", s.M.Name, s.pc)); done {

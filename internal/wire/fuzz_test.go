@@ -1,0 +1,190 @@
+package wire_test
+
+import (
+	"bytes"
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"reflect"
+	"strconv"
+	"strings"
+	"testing"
+
+	"omniware/internal/ovm"
+	"omniware/internal/wire"
+)
+
+// The decoder is the first thing untrusted network bytes hit, so it is
+// fuzzed: any input must either error or yield a module whose
+// re-encoding is canonical (decode∘encode∘decode is the identity).
+// The seed corpus under testdata/fuzz/FuzzDecodeModule is checked in;
+// `go test` (no -fuzz flag) runs every seed as a regular test case,
+// and TestSeedCorpus below additionally asserts seed-specific
+// outcomes so corpus rot is caught even if the fuzz driver changes.
+
+var regenCorpus = flag.Bool("regen-corpus", false, "rewrite the checked-in fuzz seed corpus")
+
+func FuzzDecodeModule(f *testing.F) {
+	for _, seed := range corpusSeeds(f) {
+		f.Add(seed.data)
+	}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		mod, err := wire.DecodeModule(data)
+		if err != nil {
+			return
+		}
+		blob, err := wire.EncodeModule(mod)
+		if err != nil {
+			t.Fatalf("decoded module fails to re-encode: %v", err)
+		}
+		again, err := wire.DecodeModule(blob)
+		if err != nil {
+			t.Fatalf("canonical re-encoding fails to decode: %v", err)
+		}
+		if !reflect.DeepEqual(again, mod) {
+			t.Fatal("decode/encode/decode is not a fixed point")
+		}
+	})
+}
+
+// FuzzDecodeProgram covers the disk-tier program decoder with the same
+// contract.
+func FuzzDecodeProgram(f *testing.F) {
+	f.Add([]byte(wire.ProgMagic))
+	f.Add([]byte{})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		prog, err := wire.DecodeProgram(data)
+		if err != nil {
+			return
+		}
+		blob, err := wire.EncodeProgram(prog)
+		if err != nil {
+			t.Fatalf("decoded program fails to re-encode: %v", err)
+		}
+		if again, err := wire.DecodeProgram(blob); err != nil || !reflect.DeepEqual(again, prog) {
+			t.Fatalf("decode/encode/decode not a fixed point: %v", err)
+		}
+	})
+}
+
+type seed struct {
+	name  string
+	data  []byte
+	valid bool // must decode cleanly
+}
+
+// buildSeeds constructs the corpus contents: one well-formed module
+// and a gallery of near-misses targeting each validation layer.
+func buildSeeds(t testing.TB) []seed {
+	mod := &ovm.Module{
+		Text: []ovm.Inst{{Op: ovm.HALT}, {Op: ovm.HALT}},
+		Data: []byte{1, 2, 3, 4, 5, 6, 7, 8},
+		// Code pointer at offset 4 keeps the cross-section check honest.
+		BSSSize:  64,
+		Entry:    1,
+		DataBase: 0x10000000,
+		Symbols:  []ovm.Symbol{{Name: "main", Section: ovm.SecText, Value: 1, Global: true}},
+		CodePtrs: []uint32{4},
+	}
+	valid, err := wire.EncodeModule(mod)
+	if err != nil {
+		t.Fatal(err)
+	}
+	flip := func(off int, bit byte) []byte {
+		b := append([]byte(nil), valid...)
+		b[off] ^= bit
+		return b
+	}
+	return []seed{
+		{"valid", valid, true},
+		{"empty", nil, false},
+		{"magic-only", []byte(wire.Magic), false},
+		{"bad-magic", flip(0, 0x20), false},
+		{"future-version", flip(4, 0x40), false},
+		{"bad-section-count", flip(8, 0x01), false},
+		{"bad-crc", flip(20, 0x01), false},
+		{"payload-flip", flip(len(valid)-1, 0x80), false},
+		{"truncated", valid[:len(valid)/2], false},
+		{"trailing-byte", append(append([]byte(nil), valid...), 0), false},
+		{"huge-symbol-count", flip(len(valid)-22, 0x7f), false},
+	}
+}
+
+const corpusDir = "testdata/fuzz/FuzzDecodeModule"
+
+// corpusSeeds reads the checked-in corpus (regenerating it first under
+// -regen-corpus) in Go's seed-corpus file format.
+func corpusSeeds(t testing.TB) []seed {
+	if *regenCorpus {
+		if err := os.MkdirAll(corpusDir, 0o755); err != nil {
+			t.Fatal(err)
+		}
+		for _, s := range buildSeeds(t) {
+			body := fmt.Sprintf("go test fuzz v1\n[]byte(%q)\n", s.data)
+			if err := os.WriteFile(filepath.Join(corpusDir, "seed-"+s.name), []byte(body), 0o644); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	names, err := filepath.Glob(filepath.Join(corpusDir, "seed-*"))
+	if err != nil || len(names) == 0 {
+		t.Fatalf("seed corpus missing under %s (err=%v); regenerate with -regen-corpus", corpusDir, err)
+	}
+	want := buildSeeds(t)
+	byName := map[string]seed{}
+	for _, s := range want {
+		byName["seed-"+s.name] = s
+	}
+	var out []seed
+	for _, name := range names {
+		raw, err := os.ReadFile(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		lines := strings.SplitN(string(raw), "\n", 3)
+		if len(lines) < 2 || lines[0] != "go test fuzz v1" {
+			t.Fatalf("%s: not a go fuzz corpus file", name)
+		}
+		quoted := strings.TrimSuffix(strings.TrimPrefix(lines[1], "[]byte("), ")")
+		decoded, err := strconv.Unquote(quoted)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		s, ok := byName[filepath.Base(name)]
+		if !ok {
+			t.Fatalf("%s: unknown corpus entry", name)
+		}
+		s.data = []byte(decoded)
+		out = append(out, s)
+	}
+	return out
+}
+
+// TestSeedCorpus is the plain-`go test` regression pass over the
+// checked-in corpus: every seed must decode (or fail) exactly as
+// designed, and the checked-in bytes for the valid seed must match the
+// current canonical encoding (catching accidental format drift).
+func TestSeedCorpus(t *testing.T) {
+	seeds := corpusSeeds(t)
+	if len(seeds) != len(buildSeeds(t)) {
+		t.Fatalf("corpus has %d entries, want %d; regenerate with -regen-corpus", len(seeds), len(buildSeeds(t)))
+	}
+	for _, s := range seeds {
+		_, err := wire.DecodeModule(s.data)
+		if s.valid && err != nil {
+			t.Errorf("seed %s: %v", s.name, err)
+		}
+		if !s.valid && err == nil {
+			t.Errorf("seed %s: corrupt input accepted", s.name)
+		}
+		if s.name == "valid" {
+			for _, w := range buildSeeds(t) {
+				if w.name == "valid" && !bytes.Equal(s.data, w.data) {
+					t.Error("checked-in valid seed no longer matches the canonical encoding; " +
+						"the wire format changed without a version bump — regenerate with -regen-corpus and bump Version")
+				}
+			}
+		}
+	}
+}

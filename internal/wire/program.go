@@ -1,0 +1,166 @@
+// Program codec: the on-disk representation of a translated
+// target.Program, used by the translation cache's persistent tier.
+// Like the module format it is versioned, deterministic, and strictly
+// bounded — but unlike a module, a decoded program is NEVER trusted:
+// the cache re-runs the SFI verifier on every program read back from
+// disk before it can be served (see internal/mcache). The codec's own
+// validation is purely structural (opcodes, registers and indices in
+// range) so a decoded program cannot crash the verifier or simulator.
+
+package wire
+
+import (
+	"fmt"
+	"hash/crc32"
+
+	"omniware/internal/target"
+)
+
+// ProgMagic opens every encoded program.
+const ProgMagic = "OWP1"
+
+// MaxProgInsts bounds the decoded code and address-map lengths.
+const MaxProgInsts = 8 << 20
+
+// progHeaderSize is magic + version + arch + entry + ncode + nmap +
+// payload crc32.
+const progHeaderSize = 4 + 4 + 4 + 4 + 4 + 4 + 4
+
+// instBytes is the fixed encoding width of one target.Inst:
+// op, rd, rs1, rs2, cc, cat, flags, pad, imm, target, src.
+const instBytes = 8 + 4 + 4 + 4
+
+// EncodeProgram serializes prog. Programs still carrying unresolved
+// relocation marks (Inst.Sym) are back-end intermediates, not
+// executable artifacts, and are refused.
+func EncodeProgram(prog *target.Program) ([]byte, error) {
+	if len(prog.Code) > MaxProgInsts {
+		return nil, fmt.Errorf("%w: %d instructions (max %d)", ErrTooLarge, len(prog.Code), MaxProgInsts)
+	}
+	if len(prog.OmniToNative) > MaxProgInsts {
+		return nil, fmt.Errorf("%w: %d map entries (max %d)", ErrTooLarge, len(prog.OmniToNative), MaxProgInsts)
+	}
+	payload := make([]byte, 0, len(prog.Code)*instBytes+len(prog.OmniToNative)*4+int(target.NumCats)*4)
+	for i, in := range prog.Code {
+		if in.Sym != "" {
+			return nil, fmt.Errorf("wire: instruction %d carries unresolved relocation %q", i, in.Sym)
+		}
+		var flags byte
+		if in.MemSrc {
+			flags |= 1
+		}
+		if in.MemDst {
+			flags |= 2
+		}
+		if in.Indexed {
+			flags |= 4
+		}
+		payload = append(payload, byte(in.Op), byte(in.Rd), byte(in.Rs1), byte(in.Rs2),
+			byte(in.CC), byte(in.Cat), flags, 0)
+		payload = appendU32(payload, uint32(in.Imm))
+		payload = appendU32(payload, uint32(in.Target))
+		payload = appendU32(payload, uint32(in.Src))
+	}
+	for _, v := range prog.OmniToNative {
+		payload = appendU32(payload, uint32(v))
+	}
+	for _, c := range prog.Static {
+		payload = appendU32(payload, uint32(c))
+	}
+
+	out := make([]byte, 0, progHeaderSize+len(payload))
+	out = append(out, ProgMagic...)
+	out = appendU32(out, Version)
+	out = appendU32(out, uint32(prog.Arch))
+	out = appendU32(out, uint32(prog.Entry))
+	out = appendU32(out, uint32(len(prog.Code)))
+	out = appendU32(out, uint32(len(prog.OmniToNative)))
+	out = appendU32(out, crc32.ChecksumIEEE(payload))
+	return append(out, payload...), nil
+}
+
+// DecodeProgram parses an encoded program, rejecting anything
+// structurally out of range. The result is well formed but UNVERIFIED:
+// callers must pass it through sfi.Check before execution.
+func DecodeProgram(data []byte) (*target.Program, error) {
+	if len(data) < progHeaderSize || string(data[:4]) != ProgMagic {
+		return nil, ErrBadMagic
+	}
+	if v := getU32(data[4:]); v != Version {
+		return nil, fmt.Errorf("%w: %d (have %d)", ErrBadVersion, v, Version)
+	}
+	arch := getU32(data[8:])
+	if arch > uint32(target.X86) {
+		return nil, fmt.Errorf("%w: unknown arch %d", ErrCorrupt, arch)
+	}
+	entry := int32(getU32(data[12:]))
+	ncode := int(getU32(data[16:]))
+	nmap := int(getU32(data[20:]))
+	if ncode < 0 || ncode > MaxProgInsts || nmap < 0 || nmap > MaxProgInsts {
+		return nil, fmt.Errorf("%w: %d instructions / %d map entries (max %d)", ErrTooLarge, ncode, nmap, MaxProgInsts)
+	}
+	payload := data[progHeaderSize:]
+	want := ncode*instBytes + nmap*4 + int(target.NumCats)*4
+	if len(payload) != want {
+		return nil, fmt.Errorf("%w: payload is %d bytes, header promises %d", ErrCorrupt, len(payload), want)
+	}
+	if got := crc32.ChecksumIEEE(payload); got != getU32(data[24:]) {
+		return nil, fmt.Errorf("%w: payload checksum mismatch", ErrCorrupt)
+	}
+	if entry < 0 || (ncode > 0 && int(entry) >= ncode) || (ncode == 0 && entry != 0) {
+		return nil, fmt.Errorf("%w: entry %d out of range (%d instructions)", ErrCorrupt, entry, ncode)
+	}
+
+	prog := &target.Program{Arch: target.Arch(arch), Entry: entry}
+	prog.Code = make([]target.Inst, ncode)
+	for i := range prog.Code {
+		b := payload[i*instBytes:]
+		in := &prog.Code[i]
+		in.Op = target.Op(b[0])
+		in.Rd = target.Reg(int8(b[1]))
+		in.Rs1 = target.Reg(int8(b[2]))
+		in.Rs2 = target.Reg(int8(b[3]))
+		in.CC = target.CC(b[4])
+		in.Cat = target.ExpCat(b[5])
+		flags := b[6]
+		if in.Op >= target.NumOps {
+			return nil, fmt.Errorf("%w: instruction %d has opcode %d", ErrCorrupt, i, in.Op)
+		}
+		if in.Cat >= target.NumCats {
+			return nil, fmt.Errorf("%w: instruction %d has category %d", ErrCorrupt, i, in.Cat)
+		}
+		if in.CC > target.CCGeU {
+			return nil, fmt.Errorf("%w: instruction %d has condition %d", ErrCorrupt, i, in.CC)
+		}
+		for _, r := range []target.Reg{in.Rd, in.Rs1, in.Rs2} {
+			if r < target.NoReg || r > 63 {
+				return nil, fmt.Errorf("%w: instruction %d has register %d", ErrCorrupt, i, r)
+			}
+		}
+		if flags > 7 || b[7] != 0 {
+			return nil, fmt.Errorf("%w: instruction %d has flag bits %d/%d", ErrCorrupt, i, flags, b[7])
+		}
+		in.MemSrc = flags&1 != 0
+		in.MemDst = flags&2 != 0
+		in.Indexed = flags&4 != 0
+		in.Imm = int32(getU32(b[8:]))
+		in.Target = int32(getU32(b[12:]))
+		in.Src = int32(getU32(b[16:]))
+	}
+	mapOff := ncode * instBytes
+	if nmap > 0 {
+		prog.OmniToNative = make([]int32, nmap)
+		for i := range prog.OmniToNative {
+			v := int32(getU32(payload[mapOff+4*i:]))
+			if v < -1 || (v >= 0 && int(v) > ncode) {
+				return nil, fmt.Errorf("%w: address map entry %d is %d (%d instructions)", ErrCorrupt, i, v, ncode)
+			}
+			prog.OmniToNative[i] = v
+		}
+	}
+	statOff := mapOff + 4*nmap
+	for i := range prog.Static {
+		prog.Static[i] = int(getU32(payload[statOff+4*i:]))
+	}
+	return prog, nil
+}

@@ -1,0 +1,367 @@
+// Package wire defines the Omniware Module Wire format (OMW): the
+// versioned, deterministic binary representation of an ovm.Module used
+// everywhere a module crosses a trust or process boundary — network
+// upload, on-disk storage, and translation-cache keying. The design
+// goals, in order:
+//
+//   - Deterministic: one module has exactly one encoding, so the
+//     SHA-256 of the wire bytes is a content address. Section order,
+//     field order, and integer widths are all fixed; there is no
+//     map iteration, padding, or optionality anywhere.
+//   - Self-checking: a fixed header carries a section table with a
+//     CRC-32 per section, so bit rot and truncation are detected
+//     before any payload is parsed.
+//   - Bounded: every count and length is validated against explicit
+//     limits before allocation, so a hostile 40-byte blob cannot ask
+//     the decoder for gigabytes. Decoding is strict — unknown
+//     sections, out-of-order sections, trailing bytes, and mismatched
+//     lengths are all errors, never ignored.
+//
+// The wire format deliberately carries less than the OMX object
+// format: only what a host needs to load, translate, and run a module
+// (text, data, bss/entry/base header, symbols for the host ABI, and
+// code-pointer fixups). Decoded modules satisfy the same invariants
+// ovm.DecodeModule enforces (entry in range, text well formed).
+package wire
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"encoding/hex"
+	"errors"
+	"fmt"
+	"hash/crc32"
+
+	"omniware/internal/ovm"
+)
+
+// Magic opens every OMW blob. The trailing byte is the major format
+// version in ASCII; incompatible revisions bump it.
+const Magic = "OMW1"
+
+// Version is the current minor format version, checked exactly: the
+// decoder refuses blobs from the future rather than misparse them.
+const Version = 1
+
+// Decode limits. These bound allocation before any payload is
+// trusted; they are far above anything the tool chain emits but far
+// below anything that could hurt the host.
+const (
+	MaxModuleBytes = 64 << 20 // whole-blob size cap
+	MaxTextInsts   = 2 << 20  // instructions
+	MaxDataBytes   = 32 << 20
+	MaxBSSBytes    = 64 << 20
+	MaxSymbols     = 1 << 20
+	MaxNameBytes   = 4096 // one symbol name
+	MaxCodePtrs    = 1 << 20
+)
+
+// Section identifiers, in the exact order sections appear. v1 blobs
+// contain all five, always.
+const (
+	secHead     = 1 // bssSize, entry, dataBase
+	secText     = 2 // ovm text encoding (12 bytes/inst)
+	secData     = 3 // raw initialized data image
+	secSymbols  = 4 // count + (name, section, global, value)*
+	secCodePtrs = 5 // count + offsets
+	numSections = 5
+)
+
+// headerSize is magic + version + section count + numSections table
+// entries of (id, length, crc32).
+const headerSize = 4 + 4 + 4 + numSections*12
+
+// Error classes. Decode errors wrap one of these so callers can
+// distinguish "not an OMW blob at all" from "an OMW blob that failed
+// validation" (the latter is what a cache quarantines).
+var (
+	ErrBadMagic   = errors.New("wire: bad magic")
+	ErrBadVersion = errors.New("wire: unsupported version")
+	ErrCorrupt    = errors.New("wire: corrupt module")
+	ErrTooLarge   = errors.New("wire: limit exceeded")
+)
+
+// EncodeModule serializes mod into its canonical OMW representation.
+// Encoding is total for any module the linker can produce; it returns
+// an error only if the module itself violates a wire limit.
+func EncodeModule(mod *ovm.Module) ([]byte, error) {
+	if len(mod.Text) > MaxTextInsts {
+		return nil, fmt.Errorf("%w: %d text instructions (max %d)", ErrTooLarge, len(mod.Text), MaxTextInsts)
+	}
+	if len(mod.Data) > MaxDataBytes {
+		return nil, fmt.Errorf("%w: %d data bytes (max %d)", ErrTooLarge, len(mod.Data), MaxDataBytes)
+	}
+	if mod.BSSSize > MaxBSSBytes {
+		return nil, fmt.Errorf("%w: bss %d bytes (max %d)", ErrTooLarge, mod.BSSSize, MaxBSSBytes)
+	}
+	if len(mod.Symbols) > MaxSymbols {
+		return nil, fmt.Errorf("%w: %d symbols (max %d)", ErrTooLarge, len(mod.Symbols), MaxSymbols)
+	}
+	if len(mod.CodePtrs) > MaxCodePtrs {
+		return nil, fmt.Errorf("%w: %d code pointers (max %d)", ErrTooLarge, len(mod.CodePtrs), MaxCodePtrs)
+	}
+	for _, s := range mod.Symbols {
+		if len(s.Name) > MaxNameBytes {
+			return nil, fmt.Errorf("%w: symbol name %d bytes (max %d)", ErrTooLarge, len(s.Name), MaxNameBytes)
+		}
+	}
+
+	sections := make([][]byte, numSections)
+	sections[secHead-1] = encodeHead(mod)
+	sections[secText-1] = ovm.EncodeText(mod.Text)
+	sections[secData-1] = mod.Data
+	sections[secSymbols-1] = encodeSymbols(mod.Symbols)
+	sections[secCodePtrs-1] = encodeCodePtrs(mod.CodePtrs)
+
+	total := headerSize
+	for _, s := range sections {
+		total += len(s)
+	}
+	if total > MaxModuleBytes {
+		return nil, fmt.Errorf("%w: encoded module %d bytes (max %d)", ErrTooLarge, total, MaxModuleBytes)
+	}
+
+	out := make([]byte, 0, total)
+	out = append(out, Magic...)
+	out = appendU32(out, Version)
+	out = appendU32(out, numSections)
+	for i, s := range sections {
+		out = appendU32(out, uint32(i+1))
+		out = appendU32(out, uint32(len(s)))
+		out = appendU32(out, crc32.ChecksumIEEE(s))
+	}
+	for _, s := range sections {
+		out = append(out, s...)
+	}
+	return out, nil
+}
+
+// DecodeModule parses an OMW blob, enforcing the format strictly:
+// exact magic and version, canonical section table, verified
+// checksums, in-bounds counts, and no trailing bytes. The returned
+// module passes the same structural checks ovm.DecodeModule applies.
+func DecodeModule(data []byte) (*ovm.Module, error) {
+	if len(data) > MaxModuleBytes {
+		return nil, fmt.Errorf("%w: blob is %d bytes (max %d)", ErrTooLarge, len(data), MaxModuleBytes)
+	}
+	if len(data) < headerSize || string(data[:4]) != Magic {
+		return nil, ErrBadMagic
+	}
+	if v := getU32(data[4:]); v != Version {
+		return nil, fmt.Errorf("%w: %d (have %d)", ErrBadVersion, v, Version)
+	}
+	if n := getU32(data[8:]); n != numSections {
+		return nil, fmt.Errorf("%w: %d sections (want %d)", ErrCorrupt, n, numSections)
+	}
+	// Walk the table: ids must be 1..numSections in order, payloads
+	// contiguous, lengths summing exactly to the blob end.
+	type sect struct {
+		off, n int
+		crc    uint32
+	}
+	var tbl [numSections]sect
+	off := headerSize
+	for i := 0; i < numSections; i++ {
+		e := data[12+i*12:]
+		if id := getU32(e); id != uint32(i+1) {
+			return nil, fmt.Errorf("%w: section %d has id %d", ErrCorrupt, i, id)
+		}
+		n := int(getU32(e[4:]))
+		if n < 0 || n > len(data)-off {
+			return nil, fmt.Errorf("%w: section %d length %d overruns blob", ErrCorrupt, i+1, n)
+		}
+		tbl[i] = sect{off: off, n: n, crc: getU32(e[8:])}
+		off += n
+	}
+	if off != len(data) {
+		return nil, fmt.Errorf("%w: %d trailing bytes", ErrCorrupt, len(data)-off)
+	}
+	for i, s := range tbl {
+		if got := crc32.ChecksumIEEE(data[s.off : s.off+s.n]); got != s.crc {
+			return nil, fmt.Errorf("%w: section %d checksum mismatch (stored %08x, computed %08x)", ErrCorrupt, i+1, s.crc, got)
+		}
+	}
+	body := func(id int) []byte { return data[tbl[id-1].off : tbl[id-1].off+tbl[id-1].n] }
+
+	mod := &ovm.Module{}
+	if err := decodeHead(body(secHead), mod); err != nil {
+		return nil, err
+	}
+	text := body(secText)
+	if len(text)/ovm.InstBytes > MaxTextInsts {
+		return nil, fmt.Errorf("%w: %d text instructions (max %d)", ErrTooLarge, len(text)/ovm.InstBytes, MaxTextInsts)
+	}
+	var err error
+	if mod.Text, err = ovm.DecodeText(text); err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrCorrupt, err)
+	}
+	if len(body(secData)) > MaxDataBytes {
+		return nil, fmt.Errorf("%w: %d data bytes (max %d)", ErrTooLarge, len(body(secData)), MaxDataBytes)
+	}
+	// Copy so the module never aliases the (caller-owned) blob.
+	mod.Data = append([]byte(nil), body(secData)...)
+	if mod.Symbols, err = decodeSymbols(body(secSymbols)); err != nil {
+		return nil, err
+	}
+	if mod.CodePtrs, err = decodeCodePtrs(body(secCodePtrs)); err != nil {
+		return nil, err
+	}
+	// Cross-section invariants, mirroring ovm.DecodeModule.
+	if mod.Entry < 0 || int(mod.Entry) >= len(mod.Text) {
+		return nil, fmt.Errorf("%w: entry point %d out of range (%d instructions)", ErrCorrupt, mod.Entry, len(mod.Text))
+	}
+	for _, p := range mod.CodePtrs {
+		if int64(p)+4 > int64(len(mod.Data)) {
+			return nil, fmt.Errorf("%w: code pointer offset %d outside data image (%d bytes)", ErrCorrupt, p, len(mod.Data))
+		}
+	}
+	return mod, nil
+}
+
+// Hash returns the content address of an OMW blob: the hex SHA-256 of
+// its bytes. Because encoding is canonical, equal modules hash equal.
+func Hash(blob []byte) string {
+	h := sha256.Sum256(blob)
+	return hex.EncodeToString(h[:])
+}
+
+// HashModule is Hash over the canonical encoding of mod. It panics
+// only if the module exceeds wire limits, which the tool chain cannot
+// produce; callers holding untrusted modules encode explicitly.
+func HashModule(mod *ovm.Module) string {
+	blob, err := EncodeModule(mod)
+	if err != nil {
+		panic("wire: hashing unencodable module: " + err.Error())
+	}
+	return Hash(blob)
+}
+
+func encodeHead(mod *ovm.Module) []byte {
+	out := make([]byte, 0, 12)
+	out = appendU32(out, mod.BSSSize)
+	out = appendU32(out, uint32(mod.Entry))
+	out = appendU32(out, mod.DataBase)
+	return out
+}
+
+func decodeHead(b []byte, mod *ovm.Module) error {
+	if len(b) != 12 {
+		return fmt.Errorf("%w: head section is %d bytes (want 12)", ErrCorrupt, len(b))
+	}
+	mod.BSSSize = getU32(b)
+	if mod.BSSSize > MaxBSSBytes {
+		return fmt.Errorf("%w: bss %d bytes (max %d)", ErrTooLarge, mod.BSSSize, MaxBSSBytes)
+	}
+	mod.Entry = int32(getU32(b[4:]))
+	mod.DataBase = getU32(b[8:])
+	return nil
+}
+
+func encodeSymbols(syms []ovm.Symbol) []byte {
+	n := 4
+	for _, s := range syms {
+		n += 4 + len(s.Name) + 6
+	}
+	out := make([]byte, 0, n)
+	out = appendU32(out, uint32(len(syms)))
+	for _, s := range syms {
+		out = appendU32(out, uint32(len(s.Name)))
+		out = append(out, s.Name...)
+		out = append(out, byte(s.Section))
+		if s.Global {
+			out = append(out, 1)
+		} else {
+			out = append(out, 0)
+		}
+		out = appendU32(out, s.Value)
+	}
+	return out
+}
+
+func decodeSymbols(b []byte) ([]ovm.Symbol, error) {
+	if len(b) < 4 {
+		return nil, fmt.Errorf("%w: short symbol section", ErrCorrupt)
+	}
+	n := int(getU32(b))
+	b = b[4:]
+	if n < 0 || n > MaxSymbols {
+		return nil, fmt.Errorf("%w: %d symbols (max %d)", ErrTooLarge, n, MaxSymbols)
+	}
+	if n == 0 {
+		if len(b) != 0 {
+			return nil, fmt.Errorf("%w: %d trailing bytes after symbols", ErrCorrupt, len(b))
+		}
+		return nil, nil
+	}
+	// Each symbol needs at least 10 bytes; reject inflated counts
+	// before allocating.
+	if n > len(b)/10 {
+		return nil, fmt.Errorf("%w: %d symbols in %d bytes", ErrCorrupt, n, len(b))
+	}
+	syms := make([]ovm.Symbol, 0, n)
+	for i := 0; i < n; i++ {
+		if len(b) < 4 {
+			return nil, fmt.Errorf("%w: truncated symbol %d", ErrCorrupt, i)
+		}
+		nameLen := int(getU32(b))
+		b = b[4:]
+		if nameLen < 0 || nameLen > MaxNameBytes || nameLen > len(b)-6 {
+			return nil, fmt.Errorf("%w: symbol %d name length %d", ErrCorrupt, i, nameLen)
+		}
+		var s ovm.Symbol
+		s.Name = string(b[:nameLen])
+		b = b[nameLen:]
+		if b[0] > byte(ovm.SecUndef) {
+			return nil, fmt.Errorf("%w: symbol %d has section %d", ErrCorrupt, i, b[0])
+		}
+		if b[1] > 1 {
+			return nil, fmt.Errorf("%w: symbol %d global flag %d", ErrCorrupt, i, b[1])
+		}
+		s.Section = ovm.Section(b[0])
+		s.Global = b[1] == 1
+		s.Value = getU32(b[2:])
+		b = b[6:]
+		syms = append(syms, s)
+	}
+	if len(b) != 0 {
+		return nil, fmt.Errorf("%w: %d trailing bytes after symbols", ErrCorrupt, len(b))
+	}
+	return syms, nil
+}
+
+func encodeCodePtrs(ptrs []uint32) []byte {
+	out := make([]byte, 0, 4+4*len(ptrs))
+	out = appendU32(out, uint32(len(ptrs)))
+	for _, p := range ptrs {
+		out = appendU32(out, p)
+	}
+	return out
+}
+
+func decodeCodePtrs(b []byte) ([]uint32, error) {
+	if len(b) < 4 {
+		return nil, fmt.Errorf("%w: short code-pointer section", ErrCorrupt)
+	}
+	n := int(getU32(b))
+	b = b[4:]
+	if n < 0 || n > MaxCodePtrs {
+		return nil, fmt.Errorf("%w: %d code pointers (max %d)", ErrTooLarge, n, MaxCodePtrs)
+	}
+	if len(b) != 4*n {
+		return nil, fmt.Errorf("%w: code-pointer section is %d bytes for %d entries", ErrCorrupt, len(b), n)
+	}
+	if n == 0 {
+		return nil, nil
+	}
+	ptrs := make([]uint32, n)
+	for i := range ptrs {
+		ptrs[i] = getU32(b[4*i:])
+	}
+	return ptrs, nil
+}
+
+func appendU32(b []byte, v uint32) []byte {
+	return binary.LittleEndian.AppendUint32(b, v)
+}
+
+func getU32(b []byte) uint32 { return binary.LittleEndian.Uint32(b) }

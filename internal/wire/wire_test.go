@@ -1,0 +1,290 @@
+package wire_test
+
+import (
+	"bytes"
+	"errors"
+	"reflect"
+	"strings"
+	"testing"
+
+	"omniware/internal/cc"
+	"omniware/internal/core"
+	"omniware/internal/ovm"
+	"omniware/internal/target"
+	"omniware/internal/translate"
+	"omniware/internal/wire"
+)
+
+const testSrc = `
+int g[16];
+int main(void) {
+	int i, acc = 0;
+	for (i = 0; i < 16; i++) { g[i] = i * 5; acc += g[i]; }
+	_print_int(acc);
+	return acc & 0x7f;
+}`
+
+func buildMod(t *testing.T) *ovm.Module {
+	t.Helper()
+	mod, err := core.BuildC([]core.SourceFile{{Name: "t.c", Src: testSrc}}, cc.Options{OptLevel: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return mod
+}
+
+func encode(t *testing.T, mod *ovm.Module) []byte {
+	t.Helper()
+	blob, err := wire.EncodeModule(mod)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return blob
+}
+
+func TestModuleRoundTrip(t *testing.T) {
+	mod := buildMod(t)
+	blob := encode(t, mod)
+	got, err := wire.DecodeModule(blob)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, mod) {
+		t.Fatalf("round trip diverged:\n got %+v\nwant %+v", got, mod)
+	}
+	// The decoded module actually runs, and matches the original.
+	h1, err := core.NewHost(mod, core.RunConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref, err := h1.RunInterp()
+	if err != nil {
+		t.Fatal(err)
+	}
+	h2, err := core.NewHost(got, core.RunConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := h2.RunInterp()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.ExitCode != ref.ExitCode || h2.Output() != h1.Output() {
+		t.Fatalf("decoded module diverged: exit %d/%d out %q/%q",
+			res.ExitCode, ref.ExitCode, h2.Output(), h1.Output())
+	}
+}
+
+func TestModuleRoundTripEdgeCases(t *testing.T) {
+	mods := []*ovm.Module{
+		// Minimal: one instruction, no data, no symbols.
+		{Text: []ovm.Inst{{Op: ovm.HALT}}, DataBase: 0x10000000},
+		// Data, bss, symbols of every section kind, code pointers.
+		{
+			Text:     []ovm.Inst{{Op: ovm.HALT}, {Op: ovm.HALT}},
+			Data:     []byte{1, 2, 3, 4, 0, 0, 0, 9},
+			BSSSize:  128,
+			Entry:    1,
+			DataBase: 0x10000000,
+			Symbols: []ovm.Symbol{
+				{Name: "main", Section: ovm.SecText, Value: 1, Global: true},
+				{Name: "g", Section: ovm.SecData, Value: 0},
+				{Name: "buf", Section: ovm.SecBSS, Value: 8},
+				{Name: "", Section: ovm.SecUndef, Value: 0},
+			},
+			CodePtrs: []uint32{4},
+		},
+	}
+	for i, mod := range mods {
+		blob := encode(t, mod)
+		got, err := wire.DecodeModule(blob)
+		if err != nil {
+			t.Fatalf("module %d: %v", i, err)
+		}
+		if !reflect.DeepEqual(got, mod) {
+			t.Fatalf("module %d diverged:\n got %+v\nwant %+v", i, got, mod)
+		}
+	}
+}
+
+// Encoding must be canonical: byte-identical across calls, and the
+// hash is a content address.
+func TestEncodingDeterministic(t *testing.T) {
+	mod := buildMod(t)
+	a := encode(t, mod)
+	for i := 0; i < 8; i++ {
+		if b := encode(t, mod); !bytes.Equal(a, b) {
+			t.Fatalf("encoding %d differs", i)
+		}
+	}
+	if wire.Hash(a) != wire.HashModule(mod) {
+		t.Fatal("HashModule disagrees with Hash of the encoding")
+	}
+	other := buildMod(t)
+	other.Data = append([]byte(nil), other.Data...)
+	if len(other.Data) > 0 {
+		other.Data[0] ^= 1
+		if wire.HashModule(other) == wire.HashModule(mod) {
+			t.Fatal("distinct modules hash equal")
+		}
+	}
+}
+
+// Every single-byte corruption of the blob must be rejected or decode
+// to the identical module — never misparse. (Payload corruptions are
+// caught by the section CRCs; header corruptions by strict checks.)
+func TestBitFlipsDetected(t *testing.T) {
+	mod := buildMod(t)
+	blob := encode(t, mod)
+	// Exhaustive over the header and table, sampled over the payload.
+	step := 1
+	if len(blob) > 2048 {
+		step = len(blob) / 2048
+	}
+	for off := 0; off < len(blob); off += step {
+		for _, bit := range []byte{1, 0x80} {
+			mut := append([]byte(nil), blob...)
+			mut[off] ^= bit
+			got, err := wire.DecodeModule(mut)
+			if err != nil {
+				continue
+			}
+			if !reflect.DeepEqual(got, mod) {
+				t.Fatalf("flip at %d/%#x silently misparsed", off, bit)
+			}
+		}
+	}
+}
+
+func TestTruncationsDetected(t *testing.T) {
+	blob := encode(t, buildMod(t))
+	for n := 0; n < len(blob); n += 7 {
+		if _, err := wire.DecodeModule(blob[:n]); err == nil {
+			t.Fatalf("truncation to %d bytes accepted", n)
+		}
+	}
+	if _, err := wire.DecodeModule(append(append([]byte(nil), blob...), 0)); err == nil {
+		t.Fatal("trailing byte accepted")
+	}
+}
+
+func TestDecodeRejections(t *testing.T) {
+	valid := encode(t, buildMod(t))
+	futureVersion := append([]byte(nil), valid...)
+	futureVersion[4] = 99
+
+	cases := []struct {
+		name string
+		blob []byte
+		want error
+	}{
+		{"empty", nil, wire.ErrBadMagic},
+		{"wrong magic", []byte("OMX1----------------------------------------------------------------------------"), wire.ErrBadMagic},
+		{"future version", futureVersion, wire.ErrBadVersion},
+	}
+	for _, c := range cases {
+		if _, err := wire.DecodeModule(c.blob); !errors.Is(err, c.want) {
+			t.Errorf("%s: got %v, want %v", c.name, err, c.want)
+		}
+	}
+}
+
+func TestEncodeLimits(t *testing.T) {
+	mod := &ovm.Module{
+		Text:    []ovm.Inst{{Op: ovm.HALT}},
+		Symbols: []ovm.Symbol{{Name: strings.Repeat("x", wire.MaxNameBytes+1)}},
+	}
+	if _, err := wire.EncodeModule(mod); !errors.Is(err, wire.ErrTooLarge) {
+		t.Errorf("oversized symbol name encoded: %v", err)
+	}
+	mod = &ovm.Module{Text: []ovm.Inst{{Op: ovm.HALT}}, BSSSize: wire.MaxBSSBytes + 1}
+	if _, err := wire.EncodeModule(mod); !errors.Is(err, wire.ErrTooLarge) {
+		t.Errorf("oversized bss encoded: %v", err)
+	}
+}
+
+// A decoded module must satisfy the loader's invariants even when the
+// blob is internally consistent (checksums fixed up) but semantically
+// wild — entry out of range, code pointer outside the data image.
+func TestSemanticValidation(t *testing.T) {
+	mod := &ovm.Module{
+		Text:     []ovm.Inst{{Op: ovm.HALT}},
+		Data:     []byte{0, 0, 0, 0},
+		DataBase: 0x10000000,
+	}
+	bad := *mod
+	bad.Entry = 5
+	if _, err := wire.EncodeModule(&bad); err != nil {
+		t.Fatal(err)
+	}
+	blob, _ := wire.EncodeModule(&bad)
+	if _, err := wire.DecodeModule(blob); !errors.Is(err, wire.ErrCorrupt) {
+		t.Errorf("out-of-range entry accepted: %v", err)
+	}
+	bad = *mod
+	bad.CodePtrs = []uint32{4}
+	blob, _ = wire.EncodeModule(&bad)
+	if _, err := wire.DecodeModule(blob); !errors.Is(err, wire.ErrCorrupt) {
+		t.Errorf("wild code pointer accepted: %v", err)
+	}
+}
+
+func TestProgramRoundTrip(t *testing.T) {
+	mod := buildMod(t)
+	for _, mach := range target.Machines() {
+		si := core.SegInfoFor(mod, core.RunConfig{})
+		prog, err := translate.Translate(mod, mach, si, translate.Paper(true))
+		if err != nil {
+			t.Fatal(err)
+		}
+		blob, err := wire.EncodeProgram(prog)
+		if err != nil {
+			t.Fatalf("%s: %v", mach.Name, err)
+		}
+		got, err := wire.DecodeProgram(blob)
+		if err != nil {
+			t.Fatalf("%s: %v", mach.Name, err)
+		}
+		if !reflect.DeepEqual(got, prog) {
+			t.Fatalf("%s: program round trip diverged", mach.Name)
+		}
+		// Determinism here too.
+		blob2, _ := wire.EncodeProgram(prog)
+		if !bytes.Equal(blob, blob2) {
+			t.Fatalf("%s: program encoding not deterministic", mach.Name)
+		}
+	}
+}
+
+func TestProgramCorruptionDetected(t *testing.T) {
+	mod := buildMod(t)
+	si := core.SegInfoFor(mod, core.RunConfig{})
+	prog, err := translate.Translate(mod, target.MIPSMachine(), si, translate.Paper(true))
+	if err != nil {
+		t.Fatal(err)
+	}
+	blob, err := wire.EncodeProgram(prog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for n := 0; n < len(blob); n += 11 {
+		if _, err := wire.DecodeProgram(blob[:n]); err == nil {
+			t.Fatalf("truncation to %d accepted", n)
+		}
+	}
+	mut := append([]byte(nil), blob...)
+	mut[len(mut)-2] ^= 0x40 // payload flip: CRC must catch it
+	if _, err := wire.DecodeProgram(mut); !errors.Is(err, wire.ErrCorrupt) {
+		t.Errorf("payload corruption accepted: %v", err)
+	}
+	if _, err := wire.DecodeProgram([]byte("OWXX")); !errors.Is(err, wire.ErrBadMagic) {
+		t.Error("bad magic accepted")
+	}
+	// An unresolved relocation mark must refuse to encode.
+	marked := *prog
+	marked.Code = append([]target.Inst(nil), prog.Code...)
+	marked.Code[0].Sym = "pending"
+	if _, err := wire.EncodeProgram(&marked); err == nil {
+		t.Error("program with relocation marks encoded")
+	}
+}
