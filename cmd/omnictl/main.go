@@ -7,8 +7,14 @@
 //	omnictl build -o mod.omw src.c [src2.c ...]
 //	omnictl upload -addr URL mod.omw
 //	omnictl exec -addr URL -module HASH -target mips [-check] [flags]
-//	omnictl metrics -addr URL
+//	omnictl metrics -addr URL [-text|-prom]
+//	omnictl trace -addr URL ID          (or -recent [-n N])
 //	omnictl health -addr URL
+//
+// trace renders a finished job's span tree — decode through verify,
+// translate, cache and execute, with per-stage durations — plus the
+// dynamic instruction attribution and the module's sandbox-overhead
+// percentage; -json prints the raw trace instead.
 //
 // upload and exec print the server's JSON response on stdout, so
 // scripts can pipe them into a JSON tool (the CI smoke test does).
@@ -40,7 +46,7 @@ func main() {
 }
 
 func usage(stderr io.Writer) int {
-	fmt.Fprintln(stderr, "usage: omnictl {build|upload|exec|metrics|health} [flags]")
+	fmt.Fprintln(stderr, "usage: omnictl {build|upload|exec|metrics|trace|health} [flags]")
 	return serve.ExitInfra
 }
 
@@ -59,6 +65,8 @@ func run(args []string, stdout, stderr io.Writer) int {
 		return cmdExec(rest, stdout, stderr)
 	case "metrics":
 		return cmdMetrics(rest, stdout, stderr)
+	case "trace":
+		return cmdTrace(rest, stdout, stderr)
 	case "health":
 		return cmdHealth(rest, stdout, stderr)
 	default:
@@ -188,10 +196,19 @@ func cmdExec(args []string, stdout, stderr io.Writer) int {
 func cmdMetrics(args []string, stdout, stderr io.Writer) int {
 	fs, addr := newFlagSet("metrics", stderr)
 	text := fs.Bool("text", false, "print the fixed-order text form instead of JSON")
+	prom := fs.Bool("prom", false, "print the Prometheus exposition format instead of JSON")
 	if err := fs.Parse(args); err != nil {
 		return serve.ExitInfra
 	}
 	cl := &netserve.Client{Base: *addr}
+	if *prom {
+		out, err := cl.MetricsProm()
+		if err != nil {
+			return fail(stderr, err)
+		}
+		fmt.Fprint(stdout, out)
+		return serve.ExitOK
+	}
 	snap, err := cl.Metrics()
 	if err != nil {
 		return fail(stderr, err)
@@ -201,6 +218,48 @@ func cmdMetrics(args []string, stdout, stderr io.Writer) int {
 	} else {
 		printJSON(stdout, snap)
 	}
+	return serve.ExitOK
+}
+
+// cmdTrace fetches and renders one job's span tree, or lists recent
+// jobs with -recent.
+func cmdTrace(args []string, stdout, stderr io.Writer) int {
+	fs, addr := newFlagSet("trace", stderr)
+	recent := fs.Bool("recent", false, "list recent finished jobs instead of one trace")
+	n := fs.Int("n", 16, "with -recent, how many jobs to list")
+	raw := fs.Bool("json", false, "print the raw trace JSON instead of the tree rendering")
+	if err := fs.Parse(args); err != nil {
+		return serve.ExitInfra
+	}
+	cl := &netserve.Client{Base: *addr}
+	if *recent {
+		list, err := cl.RecentTraces(*n)
+		if err != nil {
+			return fail(stderr, err)
+		}
+		if *raw {
+			printJSON(stdout, list)
+			return serve.ExitOK
+		}
+		for _, s := range list {
+			fmt.Fprintf(stdout, "%-32s %-6s %-8s %8dus %10d insts  sandbox %.2f%%\n",
+				s.ID, s.Target, s.Status, s.DurUs, s.Insts, s.SandboxPct)
+		}
+		return serve.ExitOK
+	}
+	if fs.NArg() != 1 {
+		fmt.Fprintln(stderr, "omnictl trace: exactly one job ID (or -recent)")
+		return serve.ExitInfra
+	}
+	tr, err := cl.Trace(fs.Arg(0))
+	if err != nil {
+		return fail(stderr, err)
+	}
+	if *raw {
+		printJSON(stdout, tr)
+		return serve.ExitOK
+	}
+	fmt.Fprint(stdout, tr.Render())
 	return serve.ExitOK
 }
 

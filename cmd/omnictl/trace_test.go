@@ -1,0 +1,107 @@
+package main
+
+import (
+	"encoding/json"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"omniware/internal/netserve"
+	"omniware/internal/target"
+)
+
+// omnictl trace renders the span tree of an executed job — the stage
+// names from decode to execute with nonzero durations and the
+// sandbox-overhead line — on every target.
+func TestTraceSubcommand(t *testing.T) {
+	addr := testServer(t)
+	src := writeSrc(t, `
+int buf[64];
+int main(void) {
+	int i;
+	int *p = buf;
+	for (i = 0; i < 40; i++) p[i] = i;
+	return 0;
+}`)
+	omw := filepath.Join(t.TempDir(), "stores.omw")
+	if code, _, stderr := runCtl(t, "build", "-o", omw, src); code != 0 {
+		t.Fatalf("build: %s", stderr)
+	}
+	code, out, stderr := runCtl(t, "upload", "-addr", addr, omw)
+	if code != 0 {
+		t.Fatalf("upload: %s", stderr)
+	}
+	var up netserve.UploadResponse
+	if err := json.Unmarshal([]byte(out), &up); err != nil {
+		t.Fatal(err)
+	}
+
+	var ids []string
+	for _, m := range target.Machines() {
+		code, out, stderr := runCtl(t, "exec", "-addr", addr, "-module", up.Hash, "-target", m.Name)
+		if code != 0 {
+			t.Fatalf("exec %s: %s", m.Name, stderr)
+		}
+		var resp netserve.ExecResponse
+		if err := json.Unmarshal([]byte(out), &resp); err != nil {
+			t.Fatal(err)
+		}
+		ids = append(ids, resp.ID)
+
+		code, rendered, stderr := runCtl(t, "trace", "-addr", addr, resp.ID)
+		if code != 0 {
+			t.Fatalf("trace %s: %s", resp.ID, stderr)
+		}
+		// The tree names every stage the job went through, with a
+		// nonzero duration on each line (the span layer clamps real
+		// spans to >= 1ns, and the rendering prints them in µs or
+		// better).
+		for _, stage := range []string{"decode", "queue_wait", "cache", "verify", "translate", "execute"} {
+			if !strings.Contains(rendered, stage) {
+				t.Errorf("%s: rendering missing stage %q:\n%s", m.Name, stage, rendered)
+			}
+		}
+		if strings.Contains(rendered, " 0s") {
+			t.Errorf("%s: a stage rendered with zero duration:\n%s", m.Name, rendered)
+		}
+		// The attribution line reads "insts N  app N  sandbox N (P%)
+		// sched N"; a store-heavy module must show nonzero sandbox work.
+		if !strings.Contains(rendered, "sandbox") {
+			t.Errorf("%s: rendering missing the sandbox attribution line:\n%s", m.Name, rendered)
+		}
+		if strings.Contains(rendered, "sandbox 0 (") {
+			t.Errorf("%s: sandbox overhead rendered as zero:\n%s", m.Name, rendered)
+		}
+
+		// -json emits the raw trace.
+		code, raw, _ := runCtl(t, "trace", "-addr", addr, "-json", resp.ID)
+		if code != 0 {
+			t.Fatalf("trace -json %s failed", resp.ID)
+		}
+		var m2 map[string]any
+		if err := json.Unmarshal([]byte(raw), &m2); err != nil {
+			t.Fatalf("trace -json output not JSON: %v", err)
+		}
+		if m2["id"] != resp.ID {
+			t.Fatalf("trace -json id %v, want %s", m2["id"], resp.ID)
+		}
+	}
+
+	// -recent lists all four jobs, newest first.
+	code, out, stderr = runCtl(t, "trace", "-addr", addr, "-recent")
+	if code != 0 {
+		t.Fatalf("trace -recent: %s", stderr)
+	}
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != len(ids) {
+		t.Fatalf("recent listed %d jobs, want %d:\n%s", len(lines), len(ids), out)
+	}
+	if !strings.HasPrefix(lines[0], ids[len(ids)-1]) {
+		t.Errorf("recent not newest-first:\n%s", out)
+	}
+
+	// Unknown IDs are an infrastructure error.
+	if code, _, _ := runCtl(t, "trace", "-addr", addr, "bogus-id"); code == 0 {
+		t.Error("trace of unknown ID exited 0")
+	}
+}

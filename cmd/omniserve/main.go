@@ -141,6 +141,9 @@ type jobReport struct {
 	Insts    uint64 `json:"insts"`
 	Cycles   uint64 `json:"cycles"`
 	Err      string `json:"err,omitempty"`
+	// SandboxPct is the share of the job's dynamic instructions spent
+	// on SFI checks — the per-job overhead-attribution number.
+	SandboxPct float64 `json:"sandboxPct"`
 }
 
 type report struct {
@@ -275,6 +278,7 @@ func main() {
 			jr.Parity = !w.faulted && r.ExitCode == w.exit && r.Output == w.out
 		}
 		jr.Insts, jr.Cycles = r.Insts, r.Cycles
+		jr.SandboxPct = r.Attr.SandboxPct()
 		if !jr.Parity {
 			parityOK = false
 		}
@@ -293,7 +297,7 @@ func main() {
 	} else {
 		tbl := &bench.Table{
 			Title:  fmt.Sprintf("omniserve: %d jobs, %d workers", len(jobs), *workers),
-			Header: []string{"job", "workload", "target", "status", "exit", "parity", "insts"},
+			Header: []string{"job", "workload", "target", "status", "exit", "parity", "insts", "sandbox%"},
 		}
 		for _, jr := range rep.Jobs {
 			parity := "ok"
@@ -303,6 +307,7 @@ func main() {
 			tbl.Rows = append(tbl.Rows, []string{
 				jr.ID, jr.Workload, jr.Target, jr.Status,
 				fmt.Sprint(jr.Exit), parity, fmt.Sprint(jr.Insts),
+				fmt.Sprintf("%.2f", jr.SandboxPct),
 			})
 		}
 		fmt.Println(tbl)

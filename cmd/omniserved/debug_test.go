@@ -1,0 +1,65 @@
+package main
+
+import (
+	"io"
+	"net/http"
+	"regexp"
+	"strings"
+	"testing"
+	"time"
+)
+
+var debugListenRE = regexp.MustCompile(`debug listening on (\S+)`)
+
+// -debug-addr binds a second, operator-only listener serving the pprof
+// family, kept off the public socket.
+func TestDebugListenerServesPprof(t *testing.T) {
+	d := startDaemon(t, "-debug-addr", "127.0.0.1:0")
+
+	// The debug line is logged right after the main one; poll briefly
+	// for the async stderr reader to deliver it.
+	var debugAddr string
+	deadline := time.Now().Add(5 * time.Second)
+	for debugAddr == "" {
+		if m := debugListenRE.FindStringSubmatch(d.stderr.String()); m != nil {
+			debugAddr = m[1]
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("daemon never reported its debug address\n%s", d.stderr)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+
+	resp, err := http.Get("http://" + debugAddr + "/debug/pprof/cmdline")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, _ := io.ReadAll(resp.Body)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("pprof cmdline status %d: %s", resp.StatusCode, body)
+	}
+	if !strings.Contains(string(body), "debug-addr") {
+		t.Fatalf("pprof cmdline does not echo the process args: %q", body)
+	}
+
+	idx, err := http.Get("http://" + debugAddr + "/debug/pprof/")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer idx.Body.Close()
+	if idx.StatusCode != http.StatusOK {
+		t.Fatalf("pprof index status %d", idx.StatusCode)
+	}
+
+	// The public socket must NOT expose pprof.
+	pub, err := http.Get("http://" + d.addr + "/debug/pprof/")
+	if err != nil {
+		t.Fatal(err)
+	}
+	pub.Body.Close()
+	if pub.StatusCode == http.StatusOK {
+		t.Fatal("public socket serves pprof")
+	}
+}

@@ -10,6 +10,7 @@
 //	           [-cache-mb n] [-cache-dir path]
 //	           [-rate r] [-burst n] [-max-modules n]
 //	           [-deadline-ms n] [-max-deadline-ms n]
+//	           [-debug-addr host:port]
 //
 // The daemon prints "listening on ADDR" to stderr once the socket is
 // bound (pass -addr 127.0.0.1:0 to let the kernel pick a free port —
@@ -19,7 +20,12 @@
 // second signal aborts immediately.
 //
 // Endpoints (see internal/netserve): POST /v1/modules, POST /v1/exec,
-// GET /v1/metrics, GET /healthz. omnictl is the matching client.
+// GET /v1/metrics, GET /v1/trace/{id}, GET /v1/trace/recent,
+// GET /healthz. omnictl is the matching client.
+//
+// -debug-addr binds a second, operator-only listener serving the
+// net/http/pprof endpoints (/debug/pprof/...) — kept off the public
+// socket so profiling is never exposed to module-uploading clients.
 package main
 
 import (
@@ -28,6 +34,7 @@ import (
 	"fmt"
 	"net"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"syscall"
@@ -57,6 +64,7 @@ func run(args []string, stderr *os.File) int {
 	maxModules := fs.Int("max-modules", netserve.DefaultMaxModules, "uploaded-module registry capacity")
 	deadlineMs := fs.Int("deadline-ms", int(netserve.DefaultDeadline/time.Millisecond), "default per-request deadline")
 	maxDeadlineMs := fs.Int("max-deadline-ms", int(netserve.DefaultMaxDeadline/time.Millisecond), "cap on client-requested deadlines")
+	debugAddr := fs.String("debug-addr", "", "pprof listener address (empty = disabled)")
 	if err := fs.Parse(args); err != nil {
 		return serve.ExitInfra
 	}
@@ -105,6 +113,26 @@ func run(args []string, stderr *os.File) int {
 		return serve.ExitInfra
 	}
 	logf("listening on %s", ln.Addr())
+
+	if *debugAddr != "" {
+		// The default ServeMux would work, but an explicit mux keeps the
+		// debug surface to exactly the pprof family.
+		dmux := http.NewServeMux()
+		dmux.HandleFunc("/debug/pprof/", pprof.Index)
+		dmux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		dmux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		dmux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		dmux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+		dln, err := net.Listen("tcp", *debugAddr)
+		if err != nil {
+			logf("debug listener: %v", err)
+			return serve.ExitInfra
+		}
+		logf("debug listening on %s", dln.Addr())
+		dbgSrv := &http.Server{Handler: dmux}
+		defer dbgSrv.Close()
+		go func() { _ = dbgSrv.Serve(dln) }()
+	}
 
 	httpSrv := &http.Server{Handler: h}
 	serveErr := make(chan error, 1)

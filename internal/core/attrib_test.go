@@ -1,0 +1,111 @@
+package core_test
+
+import (
+	"fmt"
+	"testing"
+
+	"omniware/internal/cc"
+	"omniware/internal/core"
+	"omniware/internal/target"
+	"omniware/internal/translate"
+)
+
+// storeProg performs n unsafe stores (through a computed pointer) and
+// returns 0. Varying n varies exactly the unsafe-store count: the
+// call/return and loop structure stay fixed, so deltas between two
+// scales isolate the per-store cost.
+func storeProg(t *testing.T, n int) *core.Host {
+	t.Helper()
+	src := fmt.Sprintf(`
+int buf[256];
+int main(void) {
+	int i;
+	int *p = buf;
+	for (i = 0; i < %d; i++) p[i] = i;
+	return 0;
+}
+`, n)
+	mod, err := core.BuildC([]core.SourceFile{{Name: "stores.c", Src: src}}, cc.Options{OptLevel: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	h, err := core.NewHost(mod, core.RunConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return h
+}
+
+// The sandbox-overhead attribution counters are the live equivalent of
+// the paper's overhead tables, so they must be trustworthy: on every
+// target, a module that performs unsafe stores must report nonzero
+// dynamic CatSFI instructions under SFI (and zero without), and the
+// dynamic sandbox cost must scale as an exact integer multiple of the
+// interpreter's dynamic store count — the verifier-independent
+// reference for "how many unsafe stores actually executed".
+func TestSandboxAttributionMatchesInterpreterStores(t *testing.T) {
+	const n1, n2 = 32, 96
+
+	// Interpreter reference: dynamic store counts at both scales.
+	h1, h2 := storeProg(t, n1), storeProg(t, n2)
+	ref1, err := h1.RunInterp()
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref2, err := h2.RunInterp()
+	if err != nil {
+		t.Fatal(err)
+	}
+	dStores := ref2.Stores - ref1.Stores
+	if dStores < uint64(n2-n1) {
+		t.Fatalf("interpreter store delta %d, want >= %d", dStores, n2-n1)
+	}
+
+	for _, m := range target.Machines() {
+		t.Run(m.Name, func(t *testing.T) {
+			run := func(n int, sfi bool) target.Result {
+				h := storeProg(t, n)
+				res, _, err := h.RunTranslated(m, translate.Paper(sfi))
+				if err != nil {
+					t.Fatal(err)
+				}
+				if res.Faulted {
+					t.Fatalf("faulted: %s", res.Fault)
+				}
+				return res
+			}
+
+			r1, r2 := run(n1, true), run(n2, true)
+			a1 := r1.Attribution()
+			if a1.Sandbox == 0 {
+				t.Fatal("unsafe stores executed but dynamic sandbox count is zero")
+			}
+			if a1.SandboxPct() <= 0 {
+				t.Fatalf("sandbox pct %v, want > 0", a1.SandboxPct())
+			}
+			if got := a1.Total(); got != r1.Insts {
+				t.Fatalf("attribution total %d != executed insts %d", got, r1.Insts)
+			}
+
+			// Consistency with the interpreter: the extra sandbox
+			// instructions for the extra stores must be an exact
+			// per-store integer multiple of the interpreter's extra
+			// dynamic stores.
+			dSFI := r2.Counts[target.CatSFI] - r1.Counts[target.CatSFI]
+			if dSFI == 0 {
+				t.Fatal("more stores executed but sandbox count did not grow")
+			}
+			if dSFI%dStores != 0 {
+				t.Fatalf("sandbox delta %d not a multiple of interpreter store delta %d", dSFI, dStores)
+			}
+			if per := dSFI / dStores; per < 1 || per > 8 {
+				t.Fatalf("implausible per-store sandbox cost %d", per)
+			}
+
+			// Without SFI nothing may be attributed to sandboxing.
+			if off := run(n1, false); off.Counts[target.CatSFI] != 0 {
+				t.Fatalf("SFI off but %d sandbox insts counted", off.Counts[target.CatSFI])
+			}
+		})
+	}
+}

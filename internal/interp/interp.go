@@ -36,6 +36,7 @@ type Result struct {
 	ExitCode int32
 	Steps    uint64 // OmniVM instructions executed
 	Cycles   uint64 // Steps * DispatchCPI
+	Stores   uint64 // dynamic store instructions executed (int, FP, indexed)
 	Faulted  bool   // terminated by an unhandled exception
 	Fault    string // description when Faulted
 }
@@ -46,10 +47,11 @@ type Machine struct {
 	Mem  *seg.Memory
 	Env  *hostapi.Env
 
-	PC    int32
-	Reg   [ovm.NumIntRegs]uint32
-	FReg  [ovm.NumFPRegs]float64
-	steps uint64
+	PC     int32
+	Reg    [ovm.NumIntRegs]uint32
+	FReg   [ovm.NumFPRegs]float64
+	steps  uint64
+	stores uint64
 
 	// MaxSteps bounds execution (0 = no bound).
 	MaxSteps uint64
@@ -101,6 +103,7 @@ func (m *Machine) exception(kind uint32, addr uint32, desc string) (Result, bool
 		ExitCode: -1,
 		Steps:    m.steps,
 		Cycles:   m.Cycles(),
+		Stores:   m.stores,
 		Faulted:  true,
 		Fault:    desc,
 	}, true
@@ -222,6 +225,7 @@ func (m *Machine) Run() (Result, error) {
 			m.set(in.Rd, v)
 
 		case ovm.STB, ovm.STH, ovm.STW, ovm.STBX, ovm.STHX, ovm.STWX:
+			m.stores++
 			addr := m.effAddr(in)
 			var flt *seg.Fault
 			switch in.Op.MemSize() {
@@ -260,6 +264,7 @@ func (m *Machine) Run() (Result, error) {
 			}
 			f[in.Rd] = math.Float64frombits(v)
 		case ovm.STF, ovm.STFX:
+			m.stores++
 			addr := m.effAddr(in)
 			if flt := m.Mem.StoreU32(addr, math.Float32bits(float32(f[in.Rd]))); flt != nil {
 				if res, done := m.exception(faultKind(flt), addr, flt.Error()); done {
@@ -268,6 +273,7 @@ func (m *Machine) Run() (Result, error) {
 				continue
 			}
 		case ovm.STD, ovm.STDX:
+			m.stores++
 			addr := m.effAddr(in)
 			if flt := m.Mem.StoreU64(addr, math.Float64bits(f[in.Rd])); flt != nil {
 				if res, done := m.exception(faultKind(flt), addr, flt.Error()); done {
@@ -436,7 +442,7 @@ func (m *Machine) Run() (Result, error) {
 				return Result{}, fmt.Errorf("interp: pc=%d: %w", m.PC, err)
 			}
 			if m.Env.Exited {
-				return Result{ExitCode: m.Env.ExitCode, Steps: m.steps, Cycles: m.Cycles()}, nil
+				return Result{ExitCode: m.Env.ExitCode, Steps: m.steps, Cycles: m.Cycles(), Stores: m.stores}, nil
 			}
 		case ovm.BREAK:
 			if res, done := m.exception(ExcBreak, uint32(m.PC), "interp: breakpoint"); done {
@@ -444,7 +450,7 @@ func (m *Machine) Run() (Result, error) {
 			}
 			continue
 		case ovm.HALT:
-			return Result{ExitCode: int32(r[ovm.RRet]), Steps: m.steps, Cycles: m.Cycles()}, nil
+			return Result{ExitCode: int32(r[ovm.RRet]), Steps: m.steps, Cycles: m.Cycles(), Stores: m.stores}, nil
 
 		default:
 			return Result{}, fmt.Errorf("interp: pc=%d: unimplemented opcode %s", m.PC, in.Op.Name())

@@ -33,6 +33,7 @@ import (
 	"omniware/internal/ovm"
 	"omniware/internal/sfi"
 	"omniware/internal/target"
+	"omniware/internal/trace"
 	"omniware/internal/translate"
 	"omniware/internal/wire"
 )
@@ -183,6 +184,14 @@ func progSize(p *target.Program) int64 {
 // is mandatory: a program that fails the SFI verifier is never cached
 // and the error is returned to every waiting caller.
 func (c *Cache) Translate(mod *ovm.Module, mach *target.Machine, si translate.SegInfo, opt translate.Options) (*target.Program, bool, error) {
+	return c.TranslateTraced(nil, mod, mach, si, opt)
+}
+
+// TranslateTraced is Translate with an omnitrace span: the lookup
+// outcome and the timed sub-stages (disk probe, translation with its
+// phase split, SFI verification, write-through) are recorded as
+// children of sp. A nil sp records nothing and costs nothing.
+func (c *Cache) TranslateTraced(sp *trace.Span, mod *ovm.Module, mach *target.Machine, si translate.SegInfo, opt translate.Options) (*target.Program, bool, error) {
 	if !opt.SFI {
 		return nil, false, ErrUnsandboxed
 	}
@@ -195,12 +204,16 @@ func (c *Cache) Translate(mod *ovm.Module, mach *target.Machine, si translate.Se
 		c.lru.MoveToFront(el)
 		prog := el.Value.(*entry).prog
 		c.mu.Unlock()
+		sp.Set("result", "hit")
 		return prog, true, nil
 	}
 	if f, ok := c.inflight[k]; ok {
 		c.stats.Coalesced++
 		c.mu.Unlock()
+		wsp := sp.Child("coalesce_wait")
 		<-f.done
+		wsp.End()
+		sp.Set("result", "coalesced")
 		return f.prog, true, f.err
 	}
 	f := &flight{done: make(chan struct{})}
@@ -210,16 +223,26 @@ func (c *Cache) Translate(mod *ovm.Module, mach *target.Machine, si translate.Se
 	// Persistent tier first: a verified disk entry saves the
 	// translation entirely. fromDisk distinguishes "served warm" from
 	// "translated here" for the caller's accounting.
-	prog, fromDisk := c.loadFromDisk(k, mach, si)
+	prog, fromDisk := c.loadFromDisk(sp, k, mach, si)
 	var err error
 	if !fromDisk {
 		c.mu.Lock()
 		c.stats.Misses++
 		c.mu.Unlock()
-		prog, err = translate.Translate(mod, mach, si, opt)
+		tsp := sp.Child("translate")
+		var tim translate.Timings
+		prog, tim, err = translate.TranslateTimed(mod, mach, si, opt)
 		if err == nil {
-			err = c.admit(prog, mach, si)
+			tsp.Set("expand", tim.Expand).Set("sched", tim.Schedule).Set("finish", tim.Finish)
+			tsp.Set("insts", len(prog.Code))
 		}
+		tsp.End()
+		if err == nil {
+			err = c.admit(sp, prog, mach, si)
+		}
+		sp.Set("result", "miss")
+	} else {
+		sp.Set("result", "disk")
 	}
 	f.prog, f.err = prog, err
 	if err != nil {
@@ -237,7 +260,7 @@ func (c *Cache) Translate(mod *ovm.Module, mach *target.Machine, si translate.Se
 		return nil, false, err
 	}
 	if !fromDisk {
-		c.writeThrough(k, prog)
+		c.writeThrough(sp, k, prog)
 	}
 	return prog, fromDisk, nil
 }
@@ -247,16 +270,18 @@ func (c *Cache) Translate(mod *ovm.Module, mach *target.Machine, si translate.Se
 // returned; integrity or verification failures quarantine the entry.
 // All failures degrade to a plain miss — the disk tier can lose
 // entries, but it can never serve a bad one or fail a lookup.
-func (c *Cache) loadFromDisk(k string, mach *target.Machine, si translate.SegInfo) (*target.Program, bool) {
+func (c *Cache) loadFromDisk(sp *trace.Span, k string, mach *target.Machine, si translate.SegInfo) (*target.Program, bool) {
 	if c.disk == nil {
 		return nil, false
 	}
+	dsp := sp.Child("disk_read")
 	prog, err := c.disk.Get(k)
+	dsp.End()
 	if errors.Is(err, diskstore.ErrNotFound) {
 		return nil, false
 	}
 	if err == nil {
-		err = c.admit(prog, mach, si)
+		err = c.admit(sp, prog, mach, si)
 	}
 	if err != nil {
 		if qerr := c.disk.Quarantine(k); qerr != nil {
@@ -277,10 +302,12 @@ func (c *Cache) loadFromDisk(k string, mach *target.Machine, si translate.SegInf
 // writeThrough persists an admitted translation. Failures are logged,
 // not returned: the memory tier already holds the verified program, so
 // a sick disk only costs future restarts their warm start.
-func (c *Cache) writeThrough(k string, prog *target.Program) {
+func (c *Cache) writeThrough(sp *trace.Span, k string, prog *target.Program) {
 	if c.disk == nil {
 		return
 	}
+	wsp := sp.Child("disk_write")
+	defer wsp.End()
 	if err := c.disk.Put(k, prog); err != nil {
 		c.logf("mcache: writing %q to disk: %v", k, err)
 		return
@@ -299,20 +326,24 @@ func (c *Cache) Insert(mod *ovm.Module, mach *target.Machine, si translate.SegIn
 	if !opt.SFI {
 		return ErrUnsandboxed
 	}
-	if err := c.admit(prog, mach, si); err != nil {
+	if err := c.admit(nil, prog, mach, si); err != nil {
 		return err
 	}
 	k := key(ModuleHash(mod), mach, si, opt)
 	c.mu.Lock()
 	c.insertLocked(k, prog)
 	c.mu.Unlock()
-	c.writeThrough(k, prog)
+	c.writeThrough(nil, k, prog)
 	return nil
 }
 
 // admit is the verifier gate every entry passes through.
-func (c *Cache) admit(prog *target.Program, mach *target.Machine, si translate.SegInfo) error {
-	if err := sfi.Check(prog, mach, si); err != nil {
+func (c *Cache) admit(sp *trace.Span, prog *target.Program, mach *target.Machine, si translate.SegInfo) error {
+	vsp := sp.Child("verify")
+	st, err := sfi.CheckStats(prog, mach, si)
+	vsp.Set("stores", st.Stores).Set("indirects", st.Indirects).Set("sandbox_ops", st.SandboxOps)
+	vsp.End()
+	if err != nil {
 		c.mu.Lock()
 		c.stats.Rejected++
 		c.mu.Unlock()

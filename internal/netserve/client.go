@@ -6,9 +6,11 @@ import (
 	"fmt"
 	"io"
 	"net/http"
+	"net/url"
 	"strconv"
 
 	"omniware/internal/serve/metrics"
+	"omniware/internal/trace"
 )
 
 // Client talks to an omniserved instance. It is the programmatic face
@@ -21,14 +23,19 @@ type Client struct {
 
 // StatusError is a non-2xx response: the HTTP status plus the error
 // body, with Retry-After surfaced for 429/503 so callers can back off
-// precisely.
+// precisely and the server's request ID so the refusal can be
+// correlated with its logs.
 type StatusError struct {
 	Code       int
 	Message    string
-	RetryAfter int // seconds; 0 when the server sent none
+	RetryAfter int    // seconds; 0 when the server sent none
+	RequestID  string // X-Omni-Request-Id; "" when the server sent none
 }
 
 func (e *StatusError) Error() string {
+	if e.RequestID != "" {
+		return fmt.Sprintf("server returned %d: %s (request %s)", e.Code, e.Message, e.RequestID)
+	}
 	return fmt.Sprintf("server returned %d: %s", e.Code, e.Message)
 }
 
@@ -62,6 +69,7 @@ func (c *Client) do(req *http.Request, out any) error {
 		if ra := resp.Header.Get("Retry-After"); ra != "" {
 			se.RetryAfter, _ = strconv.Atoi(ra)
 		}
+		se.RequestID = resp.Header.Get(RequestIDHeader)
 		return se
 	}
 	if out == nil {
@@ -114,6 +122,61 @@ func (c *Client) Metrics() (*metrics.Snapshot, error) {
 		return nil, err
 	}
 	return &out, nil
+}
+
+// MetricsProm fetches the counter snapshot in the Prometheus text
+// exposition format.
+func (c *Client) MetricsProm() (string, error) {
+	req, err := http.NewRequest(http.MethodGet, c.Base+"/v1/metrics", nil)
+	if err != nil {
+		return "", err
+	}
+	req.Header.Set("Accept", PromContentType)
+	resp, err := c.http().Do(req)
+	if err != nil {
+		return "", err
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(io.LimitReader(resp.Body, 4<<20))
+	if err != nil {
+		return "", err
+	}
+	if resp.StatusCode/100 != 2 {
+		return "", &StatusError{Code: resp.StatusCode, Message: string(bytes.TrimSpace(body)),
+			RequestID: resp.Header.Get(RequestIDHeader)}
+	}
+	return string(body), nil
+}
+
+// Trace fetches one job's full span tree by job ID.
+func (c *Client) Trace(id string) (*trace.Trace, error) {
+	req, err := http.NewRequest(http.MethodGet, c.Base+"/v1/trace/"+url.PathEscape(id), nil)
+	if err != nil {
+		return nil, err
+	}
+	var out trace.Trace
+	if err := c.do(req, &out); err != nil {
+		return nil, err
+	}
+	return &out, nil
+}
+
+// RecentTraces lists summaries of up to n recent finished jobs,
+// newest first.
+func (c *Client) RecentTraces(n int) ([]TraceSummary, error) {
+	u := c.Base + "/v1/trace/recent"
+	if n > 0 {
+		u += "?n=" + strconv.Itoa(n)
+	}
+	req, err := http.NewRequest(http.MethodGet, u, nil)
+	if err != nil {
+		return nil, err
+	}
+	var out []TraceSummary
+	if err := c.do(req, &out); err != nil {
+		return nil, err
+	}
+	return out, nil
 }
 
 // Health probes /healthz; nil means the server is up and not

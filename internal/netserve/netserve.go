@@ -6,10 +6,18 @@
 //
 // The API surface:
 //
-//	POST /v1/modules   upload an OMW blob; returns its content hash
-//	POST /v1/exec      run an uploaded module on a target machine
-//	GET  /v1/metrics   server + cache counters as JSON
-//	GET  /healthz      liveness ("ok", or "draining" with 503)
+//	POST /v1/modules        upload an OMW blob; returns its content hash
+//	POST /v1/exec           run an uploaded module on a target machine
+//	GET  /v1/metrics        server + cache counters; JSON by default, the
+//	                        Prometheus text format when Accept asks for
+//	                        "text/plain; version=0.0.4"
+//	GET  /v1/trace/recent   summaries of recent finished job traces
+//	GET  /v1/trace/{id}     one job's full span tree by job ID
+//	GET  /healthz           liveness ("ok", or "draining" with 503)
+//
+// Every response — success or refusal — carries an X-Omni-Request-Id
+// header, so a 429 or 400 can be correlated with server logs even
+// though it never produced a job.
 //
 // Overload policy, in order of the defenses a request meets:
 //
@@ -38,6 +46,7 @@ import (
 	"net"
 	"net/http"
 	"strconv"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -46,9 +55,14 @@ import (
 	"omniware/internal/ovm"
 	"omniware/internal/serve"
 	"omniware/internal/target"
+	"omniware/internal/trace"
 	"omniware/internal/translate"
 	"omniware/internal/wire"
 )
+
+// RequestIDHeader is set on every response, including refusals, so
+// clients can name the request when reporting a failure.
+const RequestIDHeader = "X-Omni-Request-Id"
 
 // Defaults for Config zero values.
 const (
@@ -84,10 +98,18 @@ type Handler struct {
 	lim      *limiter
 	draining atomic.Bool
 	jobSeq   atomic.Uint64
+	reqSeq   atomic.Uint64
 
 	mu       sync.Mutex
-	mods     map[string]*ovm.Module
+	mods     map[string]modEntry
 	modOrder []string // insertion order for registry eviction
+}
+
+// modEntry is one registered module plus the wire-decode cost paid for
+// it, which exec jobs inherit as the "decode" stage of their trace.
+type modEntry struct {
+	mod    *ovm.Module
+	decode time.Duration
 }
 
 // New builds a Handler over cfg.Server.
@@ -120,17 +142,22 @@ func New(cfg Config) (*Handler, error) {
 		cfg:  cfg,
 		srv:  cfg.Server,
 		lim:  newLimiter(cfg.Rate, cfg.Burst),
-		mods: map[string]*ovm.Module{},
+		mods: map[string]modEntry{},
 	}
 	h.mux = http.NewServeMux()
 	h.mux.HandleFunc("POST /v1/modules", h.handleUpload)
 	h.mux.HandleFunc("POST /v1/exec", h.handleExec)
 	h.mux.HandleFunc("GET /v1/metrics", h.handleMetrics)
+	h.mux.HandleFunc("GET /v1/trace/recent", h.handleTraceRecent)
+	h.mux.HandleFunc("GET /v1/trace/{id}", h.handleTraceGet)
 	h.mux.HandleFunc("GET /healthz", h.handleHealthz)
 	return h, nil
 }
 
 func (h *Handler) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	// Stamp the request ID before any handler can write: refusals (429,
+	// 400, 5xx) carry it just like successes.
+	w.Header().Set(RequestIDHeader, fmt.Sprintf("r%d", h.reqSeq.Add(1)))
 	h.mux.ServeHTTP(w, r)
 }
 
@@ -204,7 +231,10 @@ func (h *Handler) handleUpload(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusRequestEntityTooLarge, "reading module: %v", err)
 		return
 	}
+	decodeStart := time.Now()
 	mod, err := wire.DecodeModule(body)
+	decodeDur := time.Since(decodeStart)
+	h.srv.Metrics().Decode.Observe(decodeDur)
 	if err != nil {
 		writeError(w, http.StatusBadRequest, "decoding module: %v", err)
 		return
@@ -222,7 +252,7 @@ func (h *Handler) handleUpload(w http.ResponseWriter, r *http.Request) {
 	h.mu.Lock()
 	_, existed := h.mods[hash]
 	if !existed {
-		h.mods[hash] = mod
+		h.mods[hash] = modEntry{mod: mod, decode: decodeDur}
 		h.modOrder = append(h.modOrder, hash)
 		for len(h.modOrder) > h.cfg.MaxModules {
 			evict := h.modOrder[0]
@@ -254,6 +284,9 @@ type ExecRequest struct {
 	// Check additionally runs the module on the OmniVM interpreter
 	// and reports parity — the differential-testing hook CI uses.
 	Check bool `json:"check"`
+	// Trace echoes the job's full span tree in the response (it is
+	// also retrievable later from GET /v1/trace/{id}).
+	Trace bool `json:"trace"`
 }
 
 // ExecResponse is one run's outcome.
@@ -271,6 +304,12 @@ type ExecResponse struct {
 	// the translated run matched the interpreter (same exit code and
 	// output, or both faulted).
 	Parity *bool `json:"parity,omitempty"`
+	// QueueWaitUs/RunUs split the job's server wall-clock: time spent
+	// admitted-but-queued vs. dequeue-to-completion.
+	QueueWaitUs int64 `json:"queueWaitUs"`
+	RunUs       int64 `json:"runUs"`
+	// Trace is the job's span tree, present when the request asked.
+	Trace *trace.Trace `json:"trace,omitempty"`
 }
 
 func (h *Handler) handleExec(w http.ResponseWriter, r *http.Request) {
@@ -285,12 +324,13 @@ func (h *Handler) handleExec(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	h.mu.Lock()
-	mod := h.mods[req.Module]
+	ent := h.mods[req.Module]
 	h.mu.Unlock()
-	if mod == nil {
+	if ent.mod == nil {
 		writeError(w, http.StatusNotFound, "module %q not uploaded", req.Module)
 		return
 	}
+	mod := ent.mod
 	mach := target.ByName(req.Target)
 	if mach == nil {
 		writeError(w, http.StatusBadRequest, "unknown target %q", req.Target)
@@ -305,7 +345,8 @@ func (h *Handler) handleExec(w http.ResponseWriter, r *http.Request) {
 	}
 	sfi := req.SFI == nil || *req.SFI
 
-	id := fmt.Sprintf("exec-%d/%s/%s", h.jobSeq.Add(1), req.Module[:min(8, len(req.Module))], mach.Name)
+	// Dash-separated: job IDs double as /v1/trace/{id} path segments.
+	id := fmt.Sprintf("exec-%d-%s-%s", h.jobSeq.Add(1), req.Module[:min(8, len(req.Module))], mach.Name)
 	job := serve.Job{
 		ID:       id,
 		Mod:      mod,
@@ -315,6 +356,7 @@ func (h *Handler) handleExec(w http.ResponseWriter, r *http.Request) {
 		Stack:    req.Stack,
 		MaxSteps: req.MaxSteps,
 		Timeout:  deadline,
+		Decode:   ent.decode,
 	}
 	ch, ok := h.srv.TrySubmit(job)
 	if !ok {
@@ -337,13 +379,18 @@ func (h *Handler) handleExec(w http.ResponseWriter, r *http.Request) {
 	}
 
 	resp := ExecResponse{
-		ID:     res.ID,
-		Exit:   res.ExitCode,
-		Output: res.Output,
-		Fault:  res.Fault,
-		Insts:  res.Insts,
-		Cycles: res.Cycles,
-		Cached: res.Cached,
+		ID:          res.ID,
+		Exit:        res.ExitCode,
+		Output:      res.Output,
+		Fault:       res.Fault,
+		Insts:       res.Insts,
+		Cycles:      res.Cycles,
+		Cached:      res.Cached,
+		QueueWaitUs: res.QueueWait.Microseconds(),
+		RunUs:       res.Run.Microseconds(),
+	}
+	if req.Trace {
+		resp.Trace = res.Trace
 	}
 	switch {
 	case res.Err != nil:
@@ -383,8 +430,94 @@ func (h *Handler) checkParity(mod *ovm.Module, req ExecRequest, res serve.Result
 	return res.ExitCode == ref.ExitCode && res.Output == hst.Output()
 }
 
+// PromContentType is the Content-Type of the Prometheus text
+// exposition format this server speaks.
+const PromContentType = "text/plain; version=0.0.4; charset=utf-8"
+
+// wantsProm reports whether the Accept header asks for the Prometheus
+// text exposition format: any listed media range of text/plain (or
+// */*+version) carrying version=0.0.4, the way Prometheus scrapers
+// negotiate.
+func wantsProm(accept string) bool {
+	for _, part := range strings.Split(accept, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		fields := strings.Split(part, ";")
+		mediaType := strings.TrimSpace(fields[0])
+		if mediaType != "text/plain" {
+			continue
+		}
+		for _, p := range fields[1:] {
+			if k, v, ok := strings.Cut(strings.TrimSpace(p), "="); ok &&
+				strings.TrimSpace(k) == "version" && strings.TrimSpace(v) == "0.0.4" {
+				return true
+			}
+		}
+	}
+	return false
+}
+
 func (h *Handler) handleMetrics(w http.ResponseWriter, r *http.Request) {
-	writeJSON(w, http.StatusOK, h.srv.Snapshot())
+	snap := h.srv.Snapshot()
+	if wantsProm(r.Header.Get("Accept")) {
+		w.Header().Set("Content-Type", PromContentType)
+		_, _ = io.WriteString(w, snap.Prom())
+		return
+	}
+	writeJSON(w, http.StatusOK, snap)
+}
+
+// TraceSummary is one line of the recent-trace listing.
+type TraceSummary struct {
+	ID         string  `json:"id"`
+	Kind       string  `json:"kind"`
+	Target     string  `json:"target,omitempty"`
+	Status     string  `json:"status"`
+	DurUs      int64   `json:"durUs"`
+	Insts      uint64  `json:"insts"`
+	SandboxPct float64 `json:"sandboxPct"`
+}
+
+func summarize(tr *trace.Trace) TraceSummary {
+	return TraceSummary{
+		ID:         tr.ID,
+		Kind:       tr.Kind,
+		Target:     tr.Target,
+		Status:     tr.Status,
+		DurUs:      tr.Duration().Microseconds(),
+		Insts:      tr.Insts,
+		SandboxPct: tr.SandboxPct(),
+	}
+}
+
+func (h *Handler) handleTraceRecent(w http.ResponseWriter, r *http.Request) {
+	n := 32
+	if q := r.URL.Query().Get("n"); q != "" {
+		v, err := strconv.Atoi(q)
+		if err != nil || v <= 0 {
+			writeError(w, http.StatusBadRequest, "bad n %q", q)
+			return
+		}
+		n = v
+	}
+	recent := h.srv.Traces().Recent(n)
+	out := make([]TraceSummary, 0, len(recent))
+	for _, tr := range recent {
+		out = append(out, summarize(tr))
+	}
+	writeJSON(w, http.StatusOK, out)
+}
+
+func (h *Handler) handleTraceGet(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	tr := h.srv.Traces().Get(id)
+	if tr == nil {
+		writeError(w, http.StatusNotFound, "no trace for job %q (evicted or never run)", id)
+		return
+	}
+	writeJSON(w, http.StatusOK, tr)
 }
 
 func (h *Handler) handleHealthz(w http.ResponseWriter, r *http.Request) {

@@ -1,14 +1,46 @@
-// Package metrics holds the serving layer's counters and gauges. The
+// Package metrics holds the serving layer's counters, gauges, latency
+// histograms and per-target instruction-attribution counters. The
 // hot-path updates are lock-free atomics; Snapshot produces a
-// consistent-enough copy for reporting, and Text renders it in a fixed
-// order for logs and the omniserve summary.
+// consistent-enough copy for reporting, Text renders it in a fixed
+// order for logs and the omniserve summary, and Prom (prom.go) renders
+// the Prometheus text exposition format for scrapers.
 package metrics
 
 import (
 	"fmt"
+	"sort"
 	"strings"
 	"sync/atomic"
+	"time"
+
+	"omniware/internal/target"
+	"omniware/internal/trace"
 )
+
+// StageNames lists the pipeline stages with latency histograms, in
+// reporting order: wire decode (uploads), queue wait (admission to
+// dequeue), the translate stage (cache lookup through admission), SFI
+// verification alone, and job run time (dequeue to completion, queue
+// excluded).
+var StageNames = []string{"decode", "queue_wait", "translate", "verify", "run"}
+
+// TargetCounters is the per-machine section: job and instruction
+// counters by expansion category (the live form of the paper's
+// overhead tables) plus a run-latency histogram.
+type TargetCounters struct {
+	Jobs   atomic.Uint64
+	Counts [target.NumCats]atomic.Uint64
+	Run    trace.Histogram
+}
+
+// AddRun charges one finished run to the target's counters.
+func (tc *TargetCounters) AddRun(res target.Result, d time.Duration) {
+	tc.Jobs.Add(1)
+	for i, n := range res.Counts {
+		tc.Counts[i].Add(n)
+	}
+	tc.Run.Observe(d)
+}
 
 // Metrics is the live counter set one Server owns. The zero value is
 // ready to use. Cache counters live in the cache itself (see
@@ -24,6 +56,57 @@ type Metrics struct {
 	SimInsts        atomic.Uint64 // native instructions simulated across jobs
 	SimCycles       atomic.Uint64 // simulated pipeline cycles across jobs
 	QueueDepth      atomic.Int64  // jobs submitted but not yet finished
+
+	// Stage latency histograms (see StageNames).
+	Decode    trace.Histogram // wire decode, recorded by the upload path
+	QueueWait trace.Histogram // submit to dequeue
+	Translate trace.Histogram // the translate stage (cache call), per job
+	Verify    trace.Histogram // SFI verification, when the stage ran one
+	Run       trace.Histogram // dequeue to completion (queue wait excluded)
+
+	targets [4]TargetCounters // indexed by target.Arch
+}
+
+// Target returns the per-machine counter section for arch.
+func (m *Metrics) Target(a target.Arch) *TargetCounters { return &m.targets[a] }
+
+// StageSnapshot summarizes one stage's latency distribution.
+type StageSnapshot struct {
+	Count uint64  `json:"count"`
+	P50Us float64 `json:"p50_us"`
+	P95Us float64 `json:"p95_us"`
+	P99Us float64 `json:"p99_us"`
+
+	// Hist carries the raw buckets for the Prometheus rendering; it is
+	// omitted from the JSON snapshot (quantiles are what dashboards
+	// want there).
+	Hist trace.HistSnapshot `json:"-"`
+}
+
+func stageSnap(h *trace.Histogram) StageSnapshot {
+	s := h.Snapshot()
+	us := func(d time.Duration) float64 { return float64(d.Nanoseconds()) / 1e3 }
+	return StageSnapshot{
+		Count: s.Count,
+		P50Us: us(s.P50()),
+		P95Us: us(s.P95()),
+		P99Us: us(s.P99()),
+		Hist:  s,
+	}
+}
+
+// TargetSnapshot is the per-machine overhead-attribution report: the
+// live equivalent of one row of the paper's Tables 3–5.
+type TargetSnapshot struct {
+	Target     string            `json:"target"`
+	Jobs       uint64            `json:"jobs"`
+	Insts      uint64            `json:"insts"`
+	AppInsts   uint64            `json:"app_insts"`
+	SandboxPct float64           `json:"sandbox_pct"`
+	Sandbox    uint64            `json:"sandbox_insts"`
+	Sched      uint64            `json:"sched_insts"`
+	Counts     map[string]uint64 `json:"counts"`
+	Run        StageSnapshot     `json:"run"`
 }
 
 // Snapshot is a point-in-time copy of the counters plus the cache
@@ -50,11 +133,14 @@ type Snapshot struct {
 	CacheDiskHits        uint64 `json:"cache_disk_hits"`
 	CacheDiskWrites      uint64 `json:"cache_disk_writes"`
 	CacheDiskQuarantines uint64 `json:"cache_disk_quarantines"`
+
+	Stages  map[string]StageSnapshot `json:"stages"`
+	Targets []TargetSnapshot         `json:"targets"`
 }
 
 // Snapshot copies the live counters (without the cache section).
 func (m *Metrics) Snapshot() Snapshot {
-	return Snapshot{
+	s := Snapshot{
 		JobsSubmitted:   m.JobsSubmitted.Load(),
 		JobsRun:         m.JobsRun.Load(),
 		JobsFailed:      m.JobsFailed.Load(),
@@ -64,7 +150,37 @@ func (m *Metrics) Snapshot() Snapshot {
 		SimInsts:        m.SimInsts.Load(),
 		SimCycles:       m.SimCycles.Load(),
 		QueueDepth:      m.QueueDepth.Load(),
+		Stages: map[string]StageSnapshot{
+			"decode":     stageSnap(&m.Decode),
+			"queue_wait": stageSnap(&m.QueueWait),
+			"translate":  stageSnap(&m.Translate),
+			"verify":     stageSnap(&m.Verify),
+			"run":        stageSnap(&m.Run),
+		},
 	}
+	for a := range m.targets {
+		tc := &m.targets[a]
+		ts := TargetSnapshot{
+			Target: target.Arch(a).String(),
+			Jobs:   tc.Jobs.Load(),
+			Counts: map[string]uint64{},
+			Run:    stageSnap(&tc.Run),
+		}
+		var attr target.Attribution
+		var counts [target.NumCats]uint64
+		for c := range tc.Counts {
+			counts[c] = tc.Counts[c].Load()
+			ts.Counts[target.ExpCat(c).String()] = counts[c]
+		}
+		attr = target.Result{Counts: counts}.Attribution()
+		ts.Insts = attr.Total()
+		ts.AppInsts = attr.App
+		ts.Sandbox = attr.Sandbox
+		ts.Sched = attr.Sched
+		ts.SandboxPct = attr.SandboxPct()
+		s.Targets = append(s.Targets, ts)
+	}
+	return s
 }
 
 // HitRate is the fraction of cache lookups served without a
@@ -79,7 +195,9 @@ func (s Snapshot) HitRate() float64 {
 	return float64(warm) / float64(total)
 }
 
-// Text renders the snapshot as fixed-order "name value" lines.
+// Text renders the snapshot as fixed-order "name value" lines: the
+// counter block first (stable since the first serving release), then
+// stage latency lines, then one attribution line per active target.
 func (s Snapshot) Text() string {
 	var b strings.Builder
 	w := func(name string, v any) { fmt.Fprintf(&b, "%-18s %v\n", name, v) }
@@ -103,5 +221,39 @@ func (s Snapshot) Text() string {
 	w("cache_disk_writes", s.CacheDiskWrites)
 	w("cache_disk_quarantines", s.CacheDiskQuarantines)
 	w("cache_hit_rate", fmt.Sprintf("%.2f", s.HitRate()))
+	for _, name := range stageOrder(s.Stages) {
+		st := s.Stages[name]
+		fmt.Fprintf(&b, "stage_%-12s count=%d p50=%.0fus p95=%.0fus p99=%.0fus\n",
+			name, st.Count, st.P50Us, st.P95Us, st.P99Us)
+	}
+	for _, ts := range s.Targets {
+		if ts.Jobs == 0 {
+			continue
+		}
+		fmt.Fprintf(&b, "target_%-11s jobs=%d insts=%d app=%d sfi=%d sched=%d sandbox_pct=%.2f\n",
+			ts.Target, ts.Jobs, ts.Insts, ts.AppInsts, ts.Sandbox, ts.Sched, ts.SandboxPct)
+	}
 	return b.String()
+}
+
+// stageOrder returns StageNames restricted to the stages present in
+// the map (hand-built snapshots in tests may carry a subset), in the
+// canonical order, followed by any extras sorted by name.
+func stageOrder(stages map[string]StageSnapshot) []string {
+	var out []string
+	seen := map[string]bool{}
+	for _, n := range StageNames {
+		if _, ok := stages[n]; ok {
+			out = append(out, n)
+			seen[n] = true
+		}
+	}
+	var extra []string
+	for n := range stages {
+		if !seen[n] {
+			extra = append(extra, n)
+		}
+	}
+	sort.Strings(extra)
+	return append(out, extra...)
 }

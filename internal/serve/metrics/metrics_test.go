@@ -5,6 +5,9 @@ import (
 	"strings"
 	"sync"
 	"testing"
+	"time"
+
+	"omniware/internal/target"
 )
 
 func TestSnapshotCopiesCounters(t *testing.T) {
@@ -21,13 +24,10 @@ func TestSnapshotCopiesCounters(t *testing.T) {
 	m.QueueDepth.Add(-1)
 
 	s := m.Snapshot()
-	want := Snapshot{
-		JobsSubmitted: 7, JobsRun: 5, JobsFailed: 2,
-		FaultsContained: 1, Timeouts: 1, Translations: 3,
-		SimInsts: 1000, SimCycles: 1500, QueueDepth: 3,
-	}
-	if s != want {
-		t.Fatalf("snapshot %+v, want %+v", s, want)
+	if s.JobsSubmitted != 7 || s.JobsRun != 5 || s.JobsFailed != 2 ||
+		s.FaultsContained != 1 || s.Timeouts != 1 || s.Translations != 3 ||
+		s.SimInsts != 1000 || s.SimCycles != 1500 || s.QueueDepth != 3 {
+		t.Fatalf("snapshot %+v", s)
 	}
 	// The snapshot is a copy: later updates don't show in it.
 	m.JobsRun.Add(10)
@@ -59,7 +59,8 @@ func TestHitRate(t *testing.T) {
 
 // Text is a stable machine-greppable format: fixed order, fixed
 // padding. Tools (and the omniserve smoke tests) match on exact
-// lines, so lock the format down.
+// lines, so lock the format down. The counter block is followed by
+// optional stage and per-target attribution lines.
 func TestTextFormat(t *testing.T) {
 	s := Snapshot{
 		JobsSubmitted: 49, JobsRun: 48, JobsFailed: 1,
@@ -95,21 +96,91 @@ func TestTextFormat(t *testing.T) {
 	}
 }
 
+// Stage latency and per-target attribution lines follow the counter
+// block: stages in the canonical StageNames order, targets only when
+// they ran at least one job.
+func TestTextStageAndTargetLines(t *testing.T) {
+	var m Metrics
+	m.QueueWait.Observe(100 * time.Microsecond)
+	m.Run.Observe(3 * time.Millisecond)
+	tc := m.Target(target.MIPS)
+	tc.AddRun(target.Result{
+		Insts: 120,
+		Counts: [target.NumCats]uint64{
+			target.CatBase: 80, target.CatSFI: 30, target.CatBnop: 10,
+		},
+	}, 3*time.Millisecond)
+
+	text := m.Snapshot().Text()
+	lines := strings.Split(strings.TrimRight(text, "\n"), "\n")
+	var stageIdx []string
+	for _, l := range lines {
+		if strings.HasPrefix(l, "stage_") {
+			stageIdx = append(stageIdx, strings.Fields(l)[0])
+		}
+	}
+	want := []string{"stage_decode", "stage_queue_wait", "stage_translate", "stage_verify", "stage_run"}
+	if len(stageIdx) != len(want) {
+		t.Fatalf("stage lines %v, want %v", stageIdx, want)
+	}
+	for i := range want {
+		if stageIdx[i] != want[i] {
+			t.Fatalf("stage lines %v, want %v", stageIdx, want)
+		}
+	}
+	if !strings.Contains(text, "stage_queue_wait   count=1") {
+		t.Errorf("queue_wait stage line missing count:\n%s", text)
+	}
+	var targetLines []string
+	for _, l := range lines {
+		if strings.HasPrefix(l, "target_") {
+			targetLines = append(targetLines, l)
+		}
+	}
+	if len(targetLines) != 1 {
+		t.Fatalf("target lines %v, want exactly the one active target", targetLines)
+	}
+	l := targetLines[0]
+	for _, frag := range []string{"target_mips", "jobs=1", "insts=120", "app=80", "sfi=30", "sched=10", "sandbox_pct=25.00"} {
+		if !strings.Contains(l, frag) {
+			t.Errorf("target line %q missing %q", l, frag)
+		}
+	}
+}
+
 func TestSnapshotJSONFieldNames(t *testing.T) {
-	raw, err := json.Marshal(Snapshot{JobsRun: 1, CacheDiskWrites: 2})
+	var m Metrics
+	m.JobsRun.Add(1)
+	m.Target(target.SPARC).AddRun(target.Result{Insts: 5}, time.Millisecond)
+	raw, err := json.Marshal(m.Snapshot())
 	if err != nil {
 		t.Fatal(err)
 	}
-	var m map[string]any
-	if err := json.Unmarshal(raw, &m); err != nil {
+	var got map[string]any
+	if err := json.Unmarshal(raw, &got); err != nil {
 		t.Fatal(err)
 	}
 	for _, k := range []string{
 		"jobs_submitted", "jobs_run", "cache_hits", "cache_misses",
 		"cache_disk_hits", "cache_disk_writes", "cache_disk_quarantines",
+		"stages", "targets",
 	} {
-		if _, ok := m[k]; !ok {
+		if _, ok := got[k]; !ok {
 			t.Errorf("JSON missing field %q: %s", k, raw)
+		}
+	}
+	stages, ok := got["stages"].(map[string]any)
+	if !ok || len(stages) != len(StageNames) {
+		t.Fatalf("stages = %v, want all of %v", got["stages"], StageNames)
+	}
+	targets, ok := got["targets"].([]any)
+	if !ok || len(targets) != 4 {
+		t.Fatalf("targets = %v, want 4 entries", got["targets"])
+	}
+	t0, _ := targets[0].(map[string]any)
+	for _, k := range []string{"target", "jobs", "insts", "app_insts", "sandbox_pct", "sandbox_insts", "sched_insts", "counts", "run"} {
+		if _, ok := t0[k]; !ok {
+			t.Errorf("target JSON missing field %q: %v", k, t0)
 		}
 	}
 }
@@ -126,6 +197,8 @@ func TestConcurrentUpdates(t *testing.T) {
 			for j := 0; j < 1000; j++ {
 				m.JobsSubmitted.Add(1)
 				m.QueueDepth.Add(1)
+				m.Run.Observe(time.Millisecond)
+				m.Target(target.X86).AddRun(target.Result{Insts: 3}, time.Millisecond)
 				_ = m.Snapshot()
 				m.QueueDepth.Add(-1)
 			}
@@ -135,5 +208,17 @@ func TestConcurrentUpdates(t *testing.T) {
 	s := m.Snapshot()
 	if s.JobsSubmitted != 8000 || s.QueueDepth != 0 {
 		t.Fatalf("final snapshot %+v", s)
+	}
+	if s.Stages["run"].Count != 8000 {
+		t.Fatalf("run histogram count %d, want 8000", s.Stages["run"].Count)
+	}
+	var x86 TargetSnapshot
+	for _, ts := range s.Targets {
+		if ts.Target == "x86" {
+			x86 = ts
+		}
+	}
+	if x86.Jobs != 8000 || x86.Run.Count != 8000 {
+		t.Fatalf("x86 target snapshot %+v", x86)
 	}
 }

@@ -1,0 +1,103 @@
+package metrics
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+
+	"omniware/internal/trace"
+)
+
+// Prom renders the snapshot in the Prometheus text exposition format
+// (version 0.0.4): counters as omni_*_total, gauges bare, stage
+// latencies as cumulative histograms in seconds, and per-target
+// instruction attribution as labelled counters. The output is what
+// GET /v1/metrics serves when the scraper asks for
+// "text/plain; version=0.0.4".
+func (s Snapshot) Prom() string {
+	var b strings.Builder
+	counter := func(name, help string, v uint64) {
+		fmt.Fprintf(&b, "# HELP omni_%s %s\n# TYPE omni_%s counter\nomni_%s %d\n", name, help, name, name, v)
+	}
+	gauge := func(name, help string, v string) {
+		fmt.Fprintf(&b, "# HELP omni_%s %s\n# TYPE omni_%s gauge\nomni_%s %s\n", name, help, name, name, v)
+	}
+
+	counter("jobs_submitted_total", "Jobs accepted into the queue.", s.JobsSubmitted)
+	counter("jobs_run_total", "Jobs that finished cleanly.", s.JobsRun)
+	counter("jobs_failed_total", "Jobs that failed (fault, budget, timeout, bad input).", s.JobsFailed)
+	counter("faults_contained_total", "Failed jobs whose fault the server absorbed.", s.FaultsContained)
+	counter("timeouts_total", "Jobs killed by the per-job deadline.", s.Timeouts)
+	counter("translations_total", "Load-time translations performed for jobs.", s.Translations)
+	counter("sim_insts_total", "Native instructions simulated across jobs.", s.SimInsts)
+	counter("sim_cycles_total", "Simulated pipeline cycles across jobs.", s.SimCycles)
+	gauge("queue_depth", "Jobs submitted but not yet finished.", strconv.FormatInt(s.QueueDepth, 10))
+
+	counter("cache_hits_total", "Translation cache memory hits.", s.CacheHits)
+	counter("cache_coalesced_total", "Lookups that waited on an in-flight translation.", s.CacheCoalesced)
+	counter("cache_misses_total", "Lookups that translated.", s.CacheMisses)
+	counter("cache_evictions_total", "LRU evictions.", s.CacheEvictions)
+	counter("cache_rejected_total", "Programs the SFI verifier refused to admit.", s.CacheRejected)
+	gauge("cache_entries", "Live cache entries.", strconv.Itoa(s.CacheEntries))
+	gauge("cache_bytes", "Code bytes held by the cache.", strconv.FormatInt(s.CacheBytes, 10))
+	counter("cache_disk_hits_total", "Disk-tier hits (re-verified on read).", s.CacheDiskHits)
+	counter("cache_disk_writes_total", "Disk-tier write-throughs.", s.CacheDiskWrites)
+	counter("cache_disk_quarantines_total", "Disk entries quarantined after failing re-verification.", s.CacheDiskQuarantines)
+
+	// Stage latency histograms share one metric family with a stage
+	// label, cumulative buckets in seconds.
+	fmt.Fprintf(&b, "# HELP omni_stage_latency_seconds Pipeline stage latency.\n# TYPE omni_stage_latency_seconds histogram\n")
+	for _, name := range stageOrder(s.Stages) {
+		writePromHist(&b, "omni_stage_latency_seconds", `stage="`+name+`"`, s.Stages[name].Hist)
+	}
+
+	// Per-target dynamic instruction attribution: the live overhead
+	// tables, one counter per (target, category) plus the derived
+	// sandbox-overhead percentage.
+	fmt.Fprintf(&b, "# HELP omni_target_jobs_total Jobs run per target machine.\n# TYPE omni_target_jobs_total counter\n")
+	for _, ts := range s.Targets {
+		fmt.Fprintf(&b, "omni_target_jobs_total{target=%q} %d\n", ts.Target, ts.Jobs)
+	}
+	fmt.Fprintf(&b, "# HELP omni_target_insts_total Dynamic instructions per target by expansion category.\n# TYPE omni_target_insts_total counter\n")
+	for _, ts := range s.Targets {
+		for _, cat := range catOrder(ts.Counts) {
+			fmt.Fprintf(&b, "omni_target_insts_total{target=%q,cat=%q} %d\n", ts.Target, cat, ts.Counts[cat])
+		}
+	}
+	fmt.Fprintf(&b, "# HELP omni_target_sandbox_pct Percentage of dynamic instructions spent on SFI checks.\n# TYPE omni_target_sandbox_pct gauge\n")
+	for _, ts := range s.Targets {
+		fmt.Fprintf(&b, "omni_target_sandbox_pct{target=%q} %s\n", ts.Target, promFloat(ts.SandboxPct))
+	}
+	return b.String()
+}
+
+// writePromHist emits one labelled series of a histogram family:
+// cumulative le buckets, +Inf, _sum (seconds) and _count.
+func writePromHist(b *strings.Builder, family, labels string, h trace.HistSnapshot) {
+	cum := uint64(0)
+	for i := 0; i < trace.NumBuckets && i < len(h.Counts); i++ {
+		cum += h.Counts[i]
+		le := promFloat(trace.BucketBound(i).Seconds())
+		fmt.Fprintf(b, "%s_bucket{%s,le=%q} %d\n", family, labels, le, cum)
+	}
+	fmt.Fprintf(b, "%s_bucket{%s,le=\"+Inf\"} %d\n", family, labels, h.Count)
+	fmt.Fprintf(b, "%s_sum{%s} %s\n", family, labels, promFloat(float64(h.SumNs)/1e9))
+	fmt.Fprintf(b, "%s_count{%s} %d\n", family, labels, h.Count)
+}
+
+// promFloat formats a float the way Prometheus clients do: shortest
+// representation that round-trips.
+func promFloat(f float64) string {
+	return strconv.FormatFloat(f, 'g', -1, 64)
+}
+
+// catOrder returns the category names sorted for stable output.
+func catOrder(counts map[string]uint64) []string {
+	out := make([]string, 0, len(counts))
+	for k := range counts {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}

@@ -27,6 +27,7 @@ import (
 	"omniware/internal/ovm"
 	"omniware/internal/serve/metrics"
 	"omniware/internal/target"
+	"omniware/internal/trace"
 	"omniware/internal/translate"
 )
 
@@ -58,6 +59,12 @@ type Job struct {
 	// host segment for fault-injection scenarios).
 	HostData []byte
 	HostBase uint32
+
+	// Decode, when nonzero, is the wire-decode cost already paid for
+	// this module (at upload, in the network layer). It is attached to
+	// the job trace as a backdated "decode" span so the rendered tree
+	// covers the full pipeline the job logically passed through.
+	Decode time.Duration
 }
 
 // Result is one job's outcome. Err reports job-level failure
@@ -74,6 +81,20 @@ type Result struct {
 	Insts    uint64
 	Cached   bool   // translation served from the cache (hit or coalesced)
 	Post     string // output of Job.Post, when set
+
+	// QueueWait is how long the job sat admitted-but-unstarted; Run is
+	// dequeue to completion. Their sum is the job's wall-clock inside
+	// the server — the split tells congestion apart from slow modules.
+	QueueWait time.Duration
+	Run       time.Duration
+
+	// Attr groups the dynamic instruction counts by who they work for
+	// (valid when the module actually ran).
+	Attr target.Attribution
+
+	// Trace is the job's finished span tree (also retrievable from the
+	// server's trace ring by job ID).
+	Trace *trace.Trace
 }
 
 // Config sizes a Server. Zero values select defaults.
@@ -82,11 +103,13 @@ type Config struct {
 	QueueCap int              // submit backlog before Submit blocks (default 256)
 	Cache    *mcache.Cache    // shared translation cache (default mcache.New(0))
 	Metrics  *metrics.Metrics // counter set (default fresh)
+	TraceCap int              // recent-trace ring capacity (default trace.DefaultRecorderCap)
 }
 
 type task struct {
 	job Job
 	ch  chan Result
+	tr  *trace.Trace // created at admission; Begin marks submit time
 }
 
 // ErrClosed is the Result.Err of a job submitted after Close: the
@@ -107,10 +130,11 @@ const (
 // Server is a running worker pool. Create with New, feed with Submit
 // or Run, stop with Close.
 type Server struct {
-	cache *mcache.Cache
-	met   *metrics.Metrics
-	tasks chan task
-	wg    sync.WaitGroup
+	cache  *mcache.Cache
+	met    *metrics.Metrics
+	traces *trace.Recorder
+	tasks  chan task
+	wg     sync.WaitGroup
 
 	// closeMu serializes Submit sends against Close's channel close:
 	// Submit holds it shared around the send, Close holds it exclusive
@@ -135,9 +159,10 @@ func New(cfg Config) *Server {
 		cfg.Metrics = &metrics.Metrics{}
 	}
 	s := &Server{
-		cache: cfg.Cache,
-		met:   cfg.Metrics,
-		tasks: make(chan task, cfg.QueueCap),
+		cache:  cfg.Cache,
+		met:    cfg.Metrics,
+		traces: trace.NewRecorder(cfg.TraceCap),
+		tasks:  make(chan task, cfg.QueueCap),
 	}
 	for i := 0; i < cfg.Workers; i++ {
 		s.wg.Add(1)
@@ -161,9 +186,22 @@ func (s *Server) Submit(j Job) <-chan Result {
 	}
 	s.met.JobsSubmitted.Add(1)
 	s.met.QueueDepth.Add(1)
-	s.tasks <- task{job: j, ch: ch}
+	s.tasks <- task{job: j, ch: ch, tr: s.newTrace(j)}
 	s.closeMu.RUnlock()
 	return ch
+}
+
+// newTrace opens the job's trace at admission time, so the root span
+// covers queue wait as well as execution.
+func (s *Server) newTrace(j Job) *trace.Trace {
+	tr := trace.New(j.ID, "job")
+	if j.Machine != nil {
+		tr.Target = j.Machine.Name
+	}
+	if j.Decode > 0 {
+		tr.Root.ChildSpan("decode", 0, j.Decode).Set("at", "upload")
+	}
+	return tr
 }
 
 // TrySubmit is the non-blocking Submit the network front door uses to
@@ -179,7 +217,7 @@ func (s *Server) TrySubmit(j Job) (<-chan Result, bool) {
 		return nil, false
 	}
 	select {
-	case s.tasks <- task{job: j, ch: ch}:
+	case s.tasks <- task{job: j, ch: ch, tr: s.newTrace(j)}:
 		s.met.JobsSubmitted.Add(1)
 		s.met.QueueDepth.Add(1)
 		return ch, true
@@ -222,6 +260,9 @@ func (s *Server) Cache() *mcache.Cache { return s.cache }
 // Metrics returns the live counter set.
 func (s *Server) Metrics() *metrics.Metrics { return s.met }
 
+// Traces returns the ring of recent finished job traces.
+func (s *Server) Traces() *trace.Recorder { return s.traces }
+
 // Snapshot merges the server counters with the cache's.
 func (s *Server) Snapshot() metrics.Snapshot {
 	snap := s.met.Snapshot()
@@ -242,12 +283,34 @@ func (s *Server) Snapshot() metrics.Snapshot {
 func (s *Server) worker() {
 	defer s.wg.Done()
 	for t := range s.tasks {
-		r := s.execute(t.job)
+		// Queue wait: trace begin (admission) to now (dequeue). The
+		// backdated child keeps the span tree consistent even though the
+		// wait happened on no goroutine at all.
+		qd := time.Since(t.tr.Begin)
+		t.tr.Root.ChildSpan("queue_wait", 0, qd)
+		s.met.QueueWait.Observe(qd)
+
+		runStart := time.Now()
+		r := s.execute(t.job, t.tr)
+		rd := time.Since(runStart)
+		s.met.Run.Observe(rd)
+		r.QueueWait, r.Run = qd, rd
+
+		status := "ok"
+		switch {
+		case r.Err != nil:
+			status = "error"
+		case r.Faulted:
+			status = "faulted"
+		}
 		if r.Err != nil || r.Faulted {
 			s.met.JobsFailed.Add(1)
 		} else {
 			s.met.JobsRun.Add(1)
 		}
+		t.tr.Finish(status)
+		s.traces.Add(t.tr)
+		r.Trace = t.tr
 		s.met.QueueDepth.Add(-1)
 		t.ch <- r
 	}
@@ -261,11 +324,13 @@ func contained(err error) bool {
 		strings.Contains(err.Error(), "panic")
 }
 
-// execute runs one job start to finish. Panics anywhere in the job
-// path are converted into a failed Result — a wild job must never take
-// a worker (or the server) down with it.
-func (s *Server) execute(j Job) (r Result) {
+// execute runs one job start to finish, hanging stage spans off the
+// trace root as it goes. Panics anywhere in the job path are converted
+// into a failed Result — a wild job must never take a worker (or the
+// server) down with it.
+func (s *Server) execute(j Job, tr *trace.Trace) (r Result) {
 	r.ID = j.ID
+	root := tr.Root
 	defer func() {
 		if p := recover(); p != nil {
 			r.Err = fmt.Errorf("serve: job %q panic: %v", j.ID, p)
@@ -281,6 +346,7 @@ func (s *Server) execute(j Job) (r Result) {
 	// environment; only the module and the cached translation are
 	// shared, and both are immutable.
 	var stop atomic.Bool
+	lsp := root.Child("load")
 	h, err := core.NewHost(j.Mod, core.RunConfig{
 		Heap:      j.Heap,
 		Stack:     j.Stack,
@@ -289,12 +355,16 @@ func (s *Server) execute(j Job) (r Result) {
 		HostData:  j.HostData,
 		HostBase:  j.HostBase,
 	})
+	lsp.End()
 	if err != nil {
 		r.Err = fmt.Errorf("serve: job %q load: %w", j.ID, err)
 		return r
 	}
 	if j.Setup != nil {
-		if err := j.Setup(h); err != nil {
+		ssp := root.Child("setup")
+		err := j.Setup(h)
+		ssp.End()
+		if err != nil {
 			r.Err = fmt.Errorf("serve: job %q setup: %w", j.ID, err)
 			return r
 		}
@@ -302,7 +372,12 @@ func (s *Server) execute(j Job) (r Result) {
 
 	var prog *target.Program
 	if j.Opt.SFI {
-		prog, r.Cached, err = s.cache.Translate(j.Mod, j.Machine, h.SegInfo(), j.Opt)
+		csp := root.Child("cache")
+		prog, r.Cached, err = s.cache.TranslateTraced(csp, j.Mod, j.Machine, h.SegInfo(), j.Opt)
+		s.met.Translate.Observe(csp.End())
+		if vsp := csp.Find("verify"); vsp != nil {
+			s.met.Verify.Observe(vsp.Dur())
+		}
 		if err == nil && !r.Cached {
 			s.met.Translations.Add(1)
 		}
@@ -310,7 +385,9 @@ func (s *Server) execute(j Job) (r Result) {
 		// Unsandboxed runs bypass the verified cache by design: the
 		// cache's admission contract is exactly that everything in it
 		// passed the SFI verifier.
+		tsp := root.Child("translate").Set("result", "uncached")
 		prog, err = h.Translate(j.Machine, j.Opt)
+		s.met.Translate.Observe(tsp.End())
 		s.met.Translations.Add(1)
 	}
 	if err != nil {
@@ -322,7 +399,9 @@ func (s *Server) execute(j Job) (r Result) {
 		timer := time.AfterFunc(j.Timeout, func() { stop.Store(true) })
 		defer timer.Stop()
 	}
+	xsp := root.Child("execute")
 	res, err := h.RunProgram(j.Machine, prog)
+	execDur := xsp.End()
 	if err != nil {
 		if stop.Load() && strings.Contains(err.Error(), "interrupted") {
 			s.met.Timeouts.Add(1)
@@ -339,13 +418,23 @@ func (s *Server) execute(j Job) (r Result) {
 	r.Fault = res.Fault
 	r.Cycles = res.Cycles
 	r.Insts = res.Insts
+	r.Attr = res.Attribution()
+	xsp.Set("insts", res.Insts).Set("cycles", res.Cycles)
+	tr.Insts = res.Insts
+	tr.AppInsts = r.Attr.App
+	tr.SandboxInsts = r.Attr.Sandbox
+	tr.SchedInsts = r.Attr.Sched
 	s.met.SimCycles.Add(res.Cycles)
 	s.met.SimInsts.Add(res.Insts)
+	s.met.Target(j.Machine.Arch).AddRun(res, execDur)
 	if res.Faulted {
 		s.met.FaultsContained.Add(1)
 	}
 	if j.Post != nil {
-		if r.Post, err = j.Post(h); err != nil {
+		psp := root.Child("post")
+		r.Post, err = j.Post(h)
+		psp.End()
+		if err != nil {
 			r.Err = fmt.Errorf("serve: job %q post: %w", j.ID, err)
 		}
 	}

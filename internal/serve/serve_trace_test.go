@@ -1,0 +1,125 @@
+package serve_test
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"omniware/internal/serve"
+	"omniware/internal/serve/metrics"
+	"omniware/internal/target"
+	"omniware/internal/translate"
+)
+
+// Every finished job must leave a complete trace: a root with
+// queue_wait / cache (or translate) / execute children, nonzero
+// durations, the instruction attribution, and retrievability from the
+// server's ring by job ID.
+func TestJobTraceRecorded(t *testing.T) {
+	mod := buildMod(t, goodSrc)
+	s := serve.New(serve.Config{Workers: 1})
+	defer s.Close()
+
+	m := target.SPARCMachine()
+	r := <-s.Submit(serve.Job{ID: "traced-1", Mod: mod, Machine: m, Opt: translate.Paper(true)})
+	if r.Err != nil {
+		t.Fatal(r.Err)
+	}
+	if r.Trace == nil {
+		t.Fatal("result carries no trace")
+	}
+	tr := s.Traces().Get("traced-1")
+	if tr != r.Trace {
+		t.Fatalf("ring returned %p, result carried %p", tr, r.Trace)
+	}
+	if tr.Status != "ok" || tr.Target != m.Name {
+		t.Fatalf("trace header %+v", tr)
+	}
+	for _, name := range []string{"queue_wait", "cache", "execute"} {
+		sp := tr.Root.Find(name)
+		if sp == nil {
+			t.Fatalf("trace missing span %q:\n%s", name, tr.Render())
+		}
+		if sp.Dur() <= 0 {
+			t.Fatalf("span %q has non-positive duration:\n%s", name, tr.Render())
+		}
+	}
+	// The cold path translated and verified inside the cache span.
+	for _, name := range []string{"translate", "verify"} {
+		if tr.Root.Find(name) == nil {
+			t.Fatalf("cold-path trace missing %q child:\n%s", name, tr.Render())
+		}
+	}
+	if tr.Insts == 0 || tr.Insts != tr.AppInsts+tr.SandboxInsts+tr.SchedInsts {
+		t.Fatalf("attribution incomplete: %+v", tr)
+	}
+	if tr.SandboxInsts == 0 || tr.SandboxPct() <= 0 {
+		t.Fatalf("sandboxed run reported no sandbox overhead: %+v", tr)
+	}
+	if !strings.Contains(tr.Render(), "queue_wait") {
+		t.Fatal("render misses spans")
+	}
+
+	// A warm job's cache span records the hit and skips translation.
+	r2 := <-s.Submit(serve.Job{ID: "traced-2", Mod: mod, Machine: m, Opt: translate.Paper(true)})
+	if r2.Err != nil || !r2.Cached {
+		t.Fatalf("warm job: %+v", r2)
+	}
+	tr2 := s.Traces().Get("traced-2")
+	if tr2 == nil || tr2.Root.Find("translate") != nil {
+		t.Fatalf("warm trace should have no translate span:\n%s", tr2.Render())
+	}
+	if got := s.Traces().Recent(10); len(got) < 2 || got[0].ID != "traced-2" {
+		t.Fatalf("Recent returned %d traces, newest %q", len(got), got[0].ID)
+	}
+}
+
+func targetSnap(t *testing.T, snap metrics.Snapshot, name string) metrics.TargetSnapshot {
+	t.Helper()
+	for _, ts := range snap.Targets {
+		if ts.Target == name {
+			return ts
+		}
+	}
+	t.Fatalf("no target %q in snapshot", name)
+	return metrics.TargetSnapshot{}
+}
+
+// The job wall-clock must be split into queue wait and run time, both
+// observed in the stage histograms and mirrored in the trace.
+func TestQueueWaitRunSplit(t *testing.T) {
+	mod := buildMod(t, goodSrc)
+	s := serve.New(serve.Config{Workers: 1, QueueCap: 8})
+	defer s.Close()
+
+	m := target.PPCMachine()
+	// One worker: the second job necessarily queues behind the first.
+	first := s.Submit(serve.Job{ID: "first", Mod: mod, Machine: m, Opt: translate.Paper(true)})
+	second := s.Submit(serve.Job{ID: "second", Mod: mod, Machine: m, Opt: translate.Paper(true)})
+	r1, r2 := <-first, <-second
+
+	for _, r := range []serve.Result{r1, r2} {
+		if r.Err != nil {
+			t.Fatal(r.Err)
+		}
+		if r.QueueWait <= 0 || r.Run <= 0 {
+			t.Fatalf("job %s: queue_wait=%v run=%v, want both positive", r.ID, r.QueueWait, r.Run)
+		}
+		qs := r.Trace.Root.Find("queue_wait")
+		if qs == nil {
+			t.Fatalf("job %s trace has no queue_wait span", r.ID)
+		}
+		if got := time.Duration(qs.DurNs); got != r.QueueWait {
+			t.Fatalf("job %s: span queue_wait %v != result %v", r.ID, got, r.QueueWait)
+		}
+	}
+
+	snap := s.Snapshot()
+	if snap.Stages["queue_wait"].Count != 2 || snap.Stages["run"].Count != 2 {
+		t.Fatalf("stage counts: %+v", snap.Stages)
+	}
+	ts := targetSnap(t, snap, "ppc")
+	if ts.Jobs != 2 || ts.Sandbox == 0 || ts.SandboxPct <= 0 {
+		t.Fatalf("ppc target snapshot %+v", ts)
+	}
+}

@@ -39,6 +39,41 @@ func PolicyFor(m *target.Machine, si translate.SegInfo) Policy {
 	}
 }
 
+// Stats counts the proof obligations one verification pass
+// discharged, plus the sandboxing instructions the translator emitted
+// to make them dischargeable — what the omnitrace verify span
+// reports.
+type Stats struct {
+	Stores     int // store instructions proven contained
+	Indirects  int // indirect branches proven contained
+	SandboxOps int // static instructions attributed to SFI (CatSFI)
+}
+
+// Survey counts prog's proof obligations without verifying them.
+func Survey(prog *target.Program) Stats {
+	var st Stats
+	for i := range prog.Code {
+		in := &prog.Code[i]
+		if in.Op.IsStore() || in.MemDst {
+			st.Stores++
+		}
+		if in.Op == target.Jr || in.Op == target.Jalr {
+			st.Indirects++
+		}
+		if in.Cat == target.CatSFI {
+			st.SandboxOps++
+		}
+	}
+	return st
+}
+
+// CheckStats is Check plus the obligation counts — the counts are
+// valid even when verification fails (they describe the program, not
+// the proof).
+func CheckStats(prog *target.Program, m *target.Machine, si translate.SegInfo) (Stats, error) {
+	return Survey(prog), Check(prog, m, si)
+}
+
 // Check is the exported admission entry point used by the translation
 // cache: it verifies prog against PolicyFor(m, si) and reports failure
 // as an error naming the first violations. A nil return means every

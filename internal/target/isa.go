@@ -355,6 +355,39 @@ type Result struct {
 	Fault    string
 }
 
+// Attribution groups dynamic instruction counts the way the paper's
+// overhead tables do: application work (the base translation plus the
+// address arithmetic, large-constant and compare-synthesis expansion
+// any translator pays), sandboxing checks (the SFI cost the paper
+// measures), and scheduling filler (unfilled delay slots / nops).
+type Attribution struct {
+	App     uint64 `json:"app"`
+	Sandbox uint64 `json:"sandbox"`
+	Sched   uint64 `json:"sched"`
+}
+
+// Attribution buckets the run's per-category counts.
+func (r Result) Attribution() Attribution {
+	return Attribution{
+		App:     r.Counts[CatBase] + r.Counts[CatAddr] + r.Counts[CatLdi] + r.Counts[CatCmp],
+		Sandbox: r.Counts[CatSFI],
+		Sched:   r.Counts[CatBnop],
+	}
+}
+
+// Total is the attributed instruction count.
+func (a Attribution) Total() uint64 { return a.App + a.Sandbox + a.Sched }
+
+// SandboxPct is the percentage of executed instructions spent on
+// sandboxing checks (0 when nothing ran).
+func (a Attribution) SandboxPct() float64 {
+	t := a.Total()
+	if t == 0 {
+		return 0
+	}
+	return 100 * float64(a.Sandbox) / float64(t)
+}
+
 // IntSlotOffset is the offset of OmniVM integer register i's slot in
 // the register-save area (used for memory-resident registers on x86
 // and by the syscall bridge).

@@ -1,0 +1,123 @@
+package trace
+
+import (
+	"sync/atomic"
+	"time"
+)
+
+// NumBuckets is the number of finite latency buckets. Bucket i covers
+// durations up to BucketBound(i): 1µs, 2µs, 4µs, ... doubling to
+// BucketBound(NumBuckets-1) ≈ 33.5s. One extra overflow bucket counts
+// everything beyond the last bound.
+const NumBuckets = 26
+
+// BucketBound returns the inclusive upper bound of finite bucket i.
+func BucketBound(i int) time.Duration {
+	return time.Microsecond << i
+}
+
+// Histogram is a fixed-bucket latency histogram with lock-free
+// recording — the serving hot path calls Observe concurrently from
+// every worker. The zero value is ready to use.
+type Histogram struct {
+	n      atomic.Uint64
+	sum    atomic.Int64 // total nanoseconds
+	counts [NumBuckets + 1]atomic.Uint64
+}
+
+// Observe records one duration (negatives clamp to zero).
+func (h *Histogram) Observe(d time.Duration) {
+	if d < 0 {
+		d = 0
+	}
+	h.n.Add(1)
+	h.sum.Add(int64(d))
+	for i := 0; i < NumBuckets; i++ {
+		if d <= BucketBound(i) {
+			h.counts[i].Add(1)
+			return
+		}
+	}
+	h.counts[NumBuckets].Add(1)
+}
+
+// HistSnapshot is a point-in-time copy of a histogram. Counts has
+// NumBuckets+1 entries; the last is the overflow bucket.
+type HistSnapshot struct {
+	Count  uint64   `json:"count"`
+	SumNs  int64    `json:"sum_ns"`
+	Counts []uint64 `json:"counts,omitempty"`
+}
+
+// Snapshot copies the histogram. Like the metrics counters it is
+// consistent enough for reporting, not transactionally exact against
+// concurrent Observe calls.
+func (h *Histogram) Snapshot() HistSnapshot {
+	s := HistSnapshot{
+		Count:  h.n.Load(),
+		SumNs:  h.sum.Load(),
+		Counts: make([]uint64, NumBuckets+1),
+	}
+	for i := range h.counts {
+		s.Counts[i] = h.counts[i].Load()
+	}
+	return s
+}
+
+// Quantile estimates the q-th quantile (0 < q <= 1) by linear
+// interpolation within the bucket holding the target rank. Defined
+// edge behaviour, pinned by tests:
+//
+//   - an empty histogram reports 0;
+//   - a sample is attributed its bucket's span, so a single
+//     observation reports its bucket's upper bound;
+//   - ranks landing in the overflow bucket report the last finite
+//     bound (the histogram cannot resolve beyond it).
+func (s HistSnapshot) Quantile(q float64) time.Duration {
+	total := uint64(0)
+	for _, c := range s.Counts {
+		total += c
+	}
+	if total == 0 || q <= 0 {
+		return 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	rank := uint64(q * float64(total))
+	if rank == 0 {
+		rank = 1
+	}
+	seen := uint64(0)
+	for i, c := range s.Counts {
+		if seen+c < rank {
+			seen += c
+			continue
+		}
+		if i >= NumBuckets {
+			return BucketBound(NumBuckets - 1)
+		}
+		lo := time.Duration(0)
+		if i > 0 {
+			lo = BucketBound(i - 1)
+		}
+		hi := BucketBound(i)
+		// Interpolate the in-bucket position of the target rank.
+		frac := float64(rank-seen) / float64(c)
+		return lo + time.Duration(frac*float64(hi-lo))
+	}
+	return BucketBound(NumBuckets - 1)
+}
+
+// P50, P95 and P99 are the quantiles the metrics snapshot reports.
+func (s HistSnapshot) P50() time.Duration { return s.Quantile(0.50) }
+func (s HistSnapshot) P95() time.Duration { return s.Quantile(0.95) }
+func (s HistSnapshot) P99() time.Duration { return s.Quantile(0.99) }
+
+// Mean is the average observed duration (0 when empty).
+func (s HistSnapshot) Mean() time.Duration {
+	if s.Count == 0 {
+		return 0
+	}
+	return time.Duration(s.SumNs / int64(s.Count))
+}

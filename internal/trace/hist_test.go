@@ -1,0 +1,163 @@
+package trace
+
+import (
+	"sync"
+	"testing"
+	"time"
+)
+
+// Bucket boundary semantics: bounds are inclusive upper limits; one
+// past the bound goes in the next bucket; beyond the last finite
+// bound goes to overflow.
+func TestHistogramBucketBoundaries(t *testing.T) {
+	var h Histogram
+	cases := []struct {
+		d    time.Duration
+		want int // bucket index
+	}{
+		{0, 0},
+		{-time.Second, 0}, // negatives clamp to 0
+		{time.Microsecond, 0},
+		{time.Microsecond + 1, 1},
+		{2 * time.Microsecond, 1},
+		{2*time.Microsecond + 1, 2},
+		{BucketBound(10), 10},
+		{BucketBound(10) + 1, 11},
+		{BucketBound(NumBuckets - 1), NumBuckets - 1},
+		{BucketBound(NumBuckets-1) + 1, NumBuckets}, // overflow
+		{24 * time.Hour, NumBuckets},
+	}
+	for _, c := range cases {
+		h.Observe(c.d)
+	}
+	s := h.Snapshot()
+	if s.Count != uint64(len(cases)) {
+		t.Fatalf("count %d, want %d", s.Count, len(cases))
+	}
+	want := make([]uint64, NumBuckets+1)
+	for _, c := range cases {
+		want[c.want]++
+	}
+	for i := range want {
+		if s.Counts[i] != want[i] {
+			t.Errorf("bucket %d: count %d, want %d", i, s.Counts[i], want[i])
+		}
+	}
+}
+
+func TestQuantileEmpty(t *testing.T) {
+	var h Histogram
+	s := h.Snapshot()
+	for _, q := range []float64{0.5, 0.95, 0.99, 1} {
+		if got := s.Quantile(q); got != 0 {
+			t.Errorf("empty histogram Quantile(%v) = %v, want 0", q, got)
+		}
+	}
+	if s.Mean() != 0 {
+		t.Errorf("empty Mean = %v", s.Mean())
+	}
+}
+
+// A single sample reports its bucket's upper bound at every quantile
+// (the sample is attributed the whole bucket span).
+func TestQuantileSingleSample(t *testing.T) {
+	var h Histogram
+	h.Observe(3 * time.Microsecond) // bucket 2: (2µs, 4µs]
+	s := h.Snapshot()
+	for _, q := range []float64{0.01, 0.5, 0.99, 1} {
+		if got := s.Quantile(q); got != BucketBound(2) {
+			t.Errorf("Quantile(%v) = %v, want %v", q, got, BucketBound(2))
+		}
+	}
+}
+
+// Ranks landing in the overflow bucket report the last finite bound —
+// the histogram cannot resolve beyond it, and must not invent a
+// larger number.
+func TestQuantileAllInOverflow(t *testing.T) {
+	var h Histogram
+	for i := 0; i < 10; i++ {
+		h.Observe(10 * time.Minute)
+	}
+	s := h.Snapshot()
+	want := BucketBound(NumBuckets - 1)
+	for _, q := range []float64{0.5, 0.99} {
+		if got := s.Quantile(q); got != want {
+			t.Errorf("Quantile(%v) = %v, want %v", q, got, want)
+		}
+	}
+}
+
+func TestQuantileInterpolation(t *testing.T) {
+	var h Histogram
+	// 100 samples uniformly placed in bucket 4: (8µs, 16µs].
+	for i := 0; i < 100; i++ {
+		h.Observe(9 * time.Microsecond)
+	}
+	s := h.Snapshot()
+	p50, p95, p99 := s.P50(), s.P95(), s.P99()
+	lo, hi := BucketBound(3), BucketBound(4)
+	for name, v := range map[string]time.Duration{"p50": p50, "p95": p95, "p99": p99} {
+		if v <= lo || v > hi {
+			t.Errorf("%s = %v outside bucket (%v, %v]", name, v, lo, hi)
+		}
+	}
+	if !(p50 < p95 && p95 < p99) {
+		t.Errorf("quantiles not monotonic: p50=%v p95=%v p99=%v", p50, p95, p99)
+	}
+	// p50 of 100 in-bucket samples interpolates to the bucket midpoint.
+	mid := lo + (hi-lo)/2
+	if p50 != mid {
+		t.Errorf("p50 = %v, want bucket midpoint %v", p50, mid)
+	}
+}
+
+func TestQuantileSpread(t *testing.T) {
+	var h Histogram
+	// 90 fast, 10 slow: p50 fast, p99 slow.
+	for i := 0; i < 90; i++ {
+		h.Observe(time.Microsecond)
+	}
+	for i := 0; i < 10; i++ {
+		h.Observe(time.Millisecond)
+	}
+	s := h.Snapshot()
+	if p50 := s.P50(); p50 > 2*time.Microsecond {
+		t.Errorf("p50 = %v, want <= 2µs", p50)
+	}
+	if p99 := s.P99(); p99 < 512*time.Microsecond {
+		t.Errorf("p99 = %v, want in the millisecond bucket", p99)
+	}
+}
+
+// Concurrent recording is the serving hot path; this test exists to
+// run under -race.
+func TestHistogramConcurrent(t *testing.T) {
+	var h Histogram
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 1000; i++ {
+				h.Observe(time.Duration(g*i) * time.Microsecond)
+				if i%100 == 0 {
+					s := h.Snapshot()
+					_ = s.P99()
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	s := h.Snapshot()
+	if s.Count != 8000 {
+		t.Fatalf("count %d, want 8000", s.Count)
+	}
+	var sum uint64
+	for _, c := range s.Counts {
+		sum += c
+	}
+	if sum != 8000 {
+		t.Fatalf("bucket sum %d, want 8000", sum)
+	}
+}

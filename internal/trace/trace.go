@@ -1,0 +1,311 @@
+// Package trace is omnitrace: the lightweight structured span layer
+// threaded through the serving pipeline — wire decode, SFI
+// verification, translation, cache tiers, scheduling and execution all
+// record where a job's wall-clock went. A Trace is one job's (or one
+// upload's) span tree plus its dynamic instruction attribution: how
+// many executed target instructions were application work, sandboxing
+// checks, or scheduling filler — the live, per-job equivalent of the
+// paper's overhead tables. A Recorder keeps a bounded ring of recent
+// finished traces for the daemon's /v1/trace endpoints.
+//
+// Span methods are nil-receiver safe so the pipeline can thread an
+// optional span without guarding every call site: a nil span swallows
+// children, attributes and End() silently.
+package trace
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+	"time"
+)
+
+// Attr is one key/value annotation on a span (cache outcome, counts,
+// sub-phase timings).
+type Attr struct {
+	Key string `json:"key"`
+	Val string `json:"val"`
+}
+
+// Span is one timed stage of a trace. Offsets and durations are
+// nanoseconds relative to the owning trace's origin, measured on the
+// monotonic clock. Spans are built by one goroutine at a time (the
+// pipeline hands a job between goroutines through channels, which
+// order the accesses); they are immutable once their trace is
+// finished.
+type Span struct {
+	Name     string  `json:"name"`
+	StartNs  int64   `json:"start_ns"`
+	DurNs    int64   `json:"dur_ns"`
+	Attrs    []Attr  `json:"attrs,omitempty"`
+	Children []*Span `json:"children,omitempty"`
+
+	origin time.Time // trace origin, for offset computation
+	began  time.Time // when this span started
+}
+
+// Child starts a sub-span now. Safe on a nil receiver (returns nil).
+func (s *Span) Child(name string) *Span {
+	if s == nil {
+		return nil
+	}
+	c := &Span{
+		Name:    name,
+		origin:  s.origin,
+		began:   time.Now(),
+		StartNs: time.Since(s.origin).Nanoseconds(),
+	}
+	s.Children = append(s.Children, c)
+	return c
+}
+
+// ChildSpan adds an already-measured child covering [start,
+// start+dur] relative to the trace origin — for stages timed outside
+// the span API, like queue wait measured across goroutines.
+func (s *Span) ChildSpan(name string, start, dur time.Duration) *Span {
+	if s == nil {
+		return nil
+	}
+	c := &Span{
+		Name:    name,
+		origin:  s.origin,
+		StartNs: start.Nanoseconds(),
+		DurNs:   clampDur(dur).Nanoseconds(),
+	}
+	s.Children = append(s.Children, c)
+	return c
+}
+
+// End closes the span and returns its duration. Durations are clamped
+// to at least 1ns so a recorded stage is never reported as zero-width
+// (clock granularity floor). Nil-safe.
+func (s *Span) End() time.Duration {
+	if s == nil {
+		return 0
+	}
+	d := clampDur(time.Since(s.began))
+	s.DurNs = d.Nanoseconds()
+	return d
+}
+
+// Set appends a key/value attribute and returns the span for
+// chaining. Nil-safe.
+func (s *Span) Set(key string, val any) *Span {
+	if s == nil {
+		return nil
+	}
+	s.Attrs = append(s.Attrs, Attr{Key: key, Val: fmt.Sprint(val)})
+	return s
+}
+
+// Dur returns the span duration.
+func (s *Span) Dur() time.Duration {
+	if s == nil {
+		return 0
+	}
+	return time.Duration(s.DurNs)
+}
+
+// Find returns the first span named name in this span's subtree
+// (including itself), or nil — how callers pull a stage's timing back
+// out of a finished tree.
+func (s *Span) Find(name string) *Span {
+	if s == nil {
+		return nil
+	}
+	if s.Name == name {
+		return s
+	}
+	for _, c := range s.Children {
+		if m := c.Find(name); m != nil {
+			return m
+		}
+	}
+	return nil
+}
+
+func clampDur(d time.Duration) time.Duration {
+	if d <= 0 {
+		return time.Nanosecond
+	}
+	return d
+}
+
+// Trace is one traced operation: a span tree plus identity and the
+// final dynamic instruction attribution. All exported fields survive a
+// JSON round trip, so the daemon can serve a trace and the client can
+// render it.
+type Trace struct {
+	ID     string    `json:"id"`
+	Kind   string    `json:"kind"`             // "exec", "upload", ...
+	Target string    `json:"target,omitempty"` // machine name for exec traces
+	Module string    `json:"module,omitempty"` // module content hash (or prefix)
+	Status string    `json:"status,omitempty"` // "ok", "fault(contained)", "error"
+	Begin  time.Time `json:"begin"`
+	Root   *Span     `json:"root"`
+
+	// Dynamic instruction attribution (the paper's Tables 3–5, per
+	// job): application work, sandboxing checks, scheduling filler.
+	Insts        uint64 `json:"insts,omitempty"`
+	AppInsts     uint64 `json:"app_insts,omitempty"`
+	SandboxInsts uint64 `json:"sandbox_insts,omitempty"`
+	SchedInsts   uint64 `json:"sched_insts,omitempty"`
+}
+
+// New starts a trace whose root span opens now.
+func New(id, kind string) *Trace {
+	now := time.Now()
+	return &Trace{
+		ID:    id,
+		Kind:  kind,
+		Begin: now,
+		Root:  &Span{Name: kind, origin: now, began: now},
+	}
+}
+
+// Finish sets the final status and closes the root span. Nil-safe.
+func (t *Trace) Finish(status string) {
+	if t == nil {
+		return
+	}
+	t.Status = status
+	t.Root.End()
+}
+
+// Duration is the root span's duration.
+func (t *Trace) Duration() time.Duration {
+	if t == nil {
+		return 0
+	}
+	return t.Root.Dur()
+}
+
+// SandboxPct is the percentage of executed instructions that were
+// sandboxing checks — the live equivalent of the paper's SFI overhead
+// columns. 0 when nothing was counted.
+func (t *Trace) SandboxPct() float64 {
+	if t == nil || t.Insts == 0 {
+		return 0
+	}
+	return 100 * float64(t.SandboxInsts) / float64(t.Insts)
+}
+
+// Render draws the trace as an indented span tree with durations and
+// the sandbox-overhead line — what `omnictl trace` prints.
+func (t *Trace) Render() string {
+	if t == nil {
+		return ""
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "trace %s  kind=%s", t.ID, t.Kind)
+	if t.Target != "" {
+		fmt.Fprintf(&b, "  target=%s", t.Target)
+	}
+	if t.Status != "" {
+		fmt.Fprintf(&b, "  status=%s", t.Status)
+	}
+	fmt.Fprintf(&b, "  total=%s\n", t.Duration())
+	if t.Insts > 0 {
+		fmt.Fprintf(&b, "insts %d  app %d  sandbox %d (%.2f%%)  sched %d\n",
+			t.Insts, t.AppInsts, t.SandboxInsts, t.SandboxPct(), t.SchedInsts)
+	}
+	renderSpan(&b, t.Root, "", true)
+	return b.String()
+}
+
+func renderSpan(b *strings.Builder, s *Span, prefix string, last bool) {
+	if s == nil {
+		return
+	}
+	connector, childPrefix := "├─ ", prefix+"│  "
+	if last {
+		connector, childPrefix = "└─ ", prefix+"   "
+	}
+	fmt.Fprintf(b, "%s%s%s  %s", prefix, connector, s.Name, time.Duration(s.DurNs))
+	if len(s.Attrs) > 0 {
+		parts := make([]string, len(s.Attrs))
+		for i, a := range s.Attrs {
+			parts[i] = a.Key + "=" + a.Val
+		}
+		fmt.Fprintf(b, "  [%s]", strings.Join(parts, " "))
+	}
+	b.WriteByte('\n')
+	for i, c := range s.Children {
+		renderSpan(b, c, childPrefix, i == len(s.Children)-1)
+	}
+}
+
+// Recorder is a bounded ring of recent finished traces, safe for
+// concurrent use. Add only finished traces: readers returned by Get
+// and Recent access them without synchronization.
+type Recorder struct {
+	mu   sync.Mutex
+	buf  []*Trace
+	next int
+	byID map[string]*Trace
+}
+
+// DefaultRecorderCap is the ring size when NewRecorder is given a
+// non-positive capacity.
+const DefaultRecorderCap = 256
+
+// NewRecorder returns a ring holding the last capacity traces.
+func NewRecorder(capacity int) *Recorder {
+	if capacity <= 0 {
+		capacity = DefaultRecorderCap
+	}
+	return &Recorder{
+		buf:  make([]*Trace, capacity),
+		byID: make(map[string]*Trace, capacity),
+	}
+}
+
+// Add records a finished trace, evicting the oldest when the ring is
+// full. Nil traces are ignored.
+func (r *Recorder) Add(t *Trace) {
+	if t == nil {
+		return
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if old := r.buf[r.next]; old != nil {
+		delete(r.byID, old.ID)
+	}
+	r.buf[r.next] = t
+	r.byID[t.ID] = t
+	r.next = (r.next + 1) % len(r.buf)
+}
+
+// Get returns the trace with the given ID, or nil if it has been
+// evicted (or never recorded).
+func (r *Recorder) Get(id string) *Trace {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.byID[id]
+}
+
+// Recent returns up to n traces, newest first (n <= 0 means all
+// retained).
+func (r *Recorder) Recent(n int) []*Trace {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if n <= 0 || n > len(r.buf) {
+		n = len(r.buf)
+	}
+	out := make([]*Trace, 0, n)
+	for i := 1; i <= len(r.buf) && len(out) < n; i++ {
+		t := r.buf[(r.next-i+len(r.buf))%len(r.buf)]
+		if t == nil {
+			break
+		}
+		out = append(out, t)
+	}
+	return out
+}
+
+// Len reports how many traces the ring currently retains.
+func (r *Recorder) Len() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return len(r.byID)
+}

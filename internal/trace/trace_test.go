@@ -1,0 +1,216 @@
+package trace
+
+import (
+	"encoding/json"
+	"fmt"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestSpanTree(t *testing.T) {
+	tr := New("job-1", "job")
+	load := tr.Root.Child("load")
+	time.Sleep(time.Millisecond)
+	load.End()
+	cache := tr.Root.Child("cache").Set("result", "miss")
+	v := cache.Child("verify")
+	v.End()
+	cache.End()
+	tr.Finish("ok")
+
+	if got := len(tr.Root.Children); got != 2 {
+		t.Fatalf("root has %d children, want 2", got)
+	}
+	if load.DurNs < int64(time.Millisecond) {
+		t.Errorf("load duration %d ns, want >= 1ms", load.DurNs)
+	}
+	if cache.StartNs < load.StartNs+load.DurNs {
+		t.Errorf("cache started at %d, before load ended at %d", cache.StartNs, load.StartNs+load.DurNs)
+	}
+	if tr.Duration() <= 0 {
+		t.Error("finished trace has no duration")
+	}
+	if f := tr.Root.Find("verify"); f != v {
+		t.Error("Find did not locate the nested verify span")
+	}
+	if f := tr.Root.Find("nope"); f != nil {
+		t.Error("Find invented a span")
+	}
+}
+
+// Every recorded span must report a nonzero duration, even if the
+// stage was faster than the clock granularity.
+func TestSpanDurationNeverZero(t *testing.T) {
+	tr := New("j", "job")
+	sp := tr.Root.Child("instant")
+	sp.End()
+	if sp.DurNs <= 0 {
+		t.Fatalf("instant span duration %d, want > 0", sp.DurNs)
+	}
+	back := tr.Root.ChildSpan("queue_wait", 0, 0)
+	if back.DurNs <= 0 {
+		t.Fatalf("backdated zero-width span duration %d, want > 0", back.DurNs)
+	}
+}
+
+// The pipeline threads optional spans; nil receivers must be inert.
+func TestNilSpanSafe(t *testing.T) {
+	var s *Span
+	c := s.Child("x")
+	if c != nil {
+		t.Fatal("nil.Child returned a span")
+	}
+	c.Set("k", "v")
+	c.ChildSpan("y", 0, time.Second)
+	if d := c.End(); d != 0 {
+		t.Fatalf("nil.End = %v", d)
+	}
+	if c.Find("x") != nil || c.Dur() != 0 {
+		t.Fatal("nil span misbehaved")
+	}
+	var tr *Trace
+	tr.Finish("ok")
+	if tr.SandboxPct() != 0 || tr.Duration() != 0 || tr.Render() != "" {
+		t.Fatal("nil trace misbehaved")
+	}
+}
+
+func TestTraceJSONRoundTrip(t *testing.T) {
+	tr := New("exec-1-abc-mips", "exec")
+	tr.Target = "mips"
+	tr.Module = "abc"
+	tr.Root.Child("execute").Set("insts", 42).End()
+	tr.Insts, tr.SandboxInsts, tr.AppInsts = 100, 10, 88
+	tr.Finish("ok")
+
+	raw, err := json.Marshal(tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back Trace
+	if err := json.Unmarshal(raw, &back); err != nil {
+		t.Fatal(err)
+	}
+	if back.ID != tr.ID || back.Target != "mips" || back.Status != "ok" {
+		t.Fatalf("round trip lost identity: %+v", back)
+	}
+	sp := back.Root.Find("execute")
+	if sp == nil || sp.DurNs != tr.Root.Children[0].DurNs {
+		t.Fatalf("round trip lost the span tree: %+v", back.Root)
+	}
+	if len(sp.Attrs) != 1 || sp.Attrs[0].Val != "42" {
+		t.Fatalf("round trip lost attrs: %+v", sp.Attrs)
+	}
+	if back.SandboxPct() != 10 {
+		t.Fatalf("SandboxPct after round trip = %v, want 10", back.SandboxPct())
+	}
+}
+
+func TestRender(t *testing.T) {
+	tr := New("exec-7", "exec")
+	tr.Target = "sparc"
+	tr.Root.Child("queue_wait").End()
+	c := tr.Root.Child("cache").Set("result", "miss")
+	c.Child("translate").End()
+	c.Child("verify").Set("stores", 3).End()
+	c.End()
+	tr.Root.Child("execute").End()
+	tr.Insts, tr.SandboxInsts = 200, 25
+	tr.Finish("ok")
+
+	out := tr.Render()
+	for _, want := range []string{
+		"trace exec-7", "target=sparc", "status=ok",
+		"queue_wait", "cache", "translate", "verify", "execute",
+		"[result=miss]", "[stores=3]",
+		"sandbox 25 (12.50%)",
+		"└─", "├─",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("render missing %q:\n%s", want, out)
+		}
+	}
+	// verify is nested under cache: deeper indentation.
+	lines := strings.Split(out, "\n")
+	var cacheIndent, verifyIndent int
+	for _, ln := range lines {
+		if strings.Contains(ln, "cache ") {
+			cacheIndent = strings.Index(ln, "cache")
+		}
+		if strings.Contains(ln, "verify ") {
+			verifyIndent = strings.Index(ln, "verify")
+		}
+	}
+	if verifyIndent <= cacheIndent {
+		t.Errorf("verify (col %d) not nested under cache (col %d):\n%s", verifyIndent, cacheIndent, out)
+	}
+}
+
+func TestRecorderRing(t *testing.T) {
+	r := NewRecorder(3)
+	var ids []string
+	for i := 0; i < 5; i++ {
+		id := fmt.Sprintf("t%d", i)
+		ids = append(ids, id)
+		tr := New(id, "exec")
+		tr.Finish("ok")
+		r.Add(tr)
+	}
+	if r.Len() != 3 {
+		t.Fatalf("ring holds %d, want 3", r.Len())
+	}
+	// Oldest two evicted, newest three retrievable.
+	for _, id := range ids[:2] {
+		if r.Get(id) != nil {
+			t.Errorf("%s should be evicted", id)
+		}
+	}
+	for _, id := range ids[2:] {
+		if r.Get(id) == nil {
+			t.Errorf("%s should be retained", id)
+		}
+	}
+	recent := r.Recent(0)
+	if len(recent) != 3 || recent[0].ID != "t4" || recent[2].ID != "t2" {
+		t.Fatalf("Recent order wrong: %v", traceIDs(recent))
+	}
+	if got := r.Recent(2); len(got) != 2 || got[0].ID != "t4" {
+		t.Fatalf("Recent(2) = %v", traceIDs(got))
+	}
+	r.Add(nil) // ignored
+	if r.Len() != 3 {
+		t.Fatal("nil Add changed the ring")
+	}
+}
+
+func traceIDs(ts []*Trace) []string {
+	out := make([]string, len(ts))
+	for i, t := range ts {
+		out[i] = t.ID
+	}
+	return out
+}
+
+func TestRecorderConcurrent(t *testing.T) {
+	r := NewRecorder(16)
+	done := make(chan struct{})
+	for g := 0; g < 4; g++ {
+		go func(g int) {
+			defer func() { done <- struct{}{} }()
+			for i := 0; i < 200; i++ {
+				tr := New(fmt.Sprintf("g%d-%d", g, i), "exec")
+				tr.Finish("ok")
+				r.Add(tr)
+				r.Get(tr.ID)
+				r.Recent(4)
+			}
+		}(g)
+	}
+	for g := 0; g < 4; g++ {
+		<-done
+	}
+	if r.Len() != 16 {
+		t.Fatalf("ring holds %d, want 16", r.Len())
+	}
+}

@@ -10,6 +10,7 @@ package translate
 
 import (
 	"fmt"
+	"time"
 
 	"omniware/internal/ovm"
 	"omniware/internal/sched"
@@ -48,8 +49,26 @@ type SegInfo struct {
 // Translate converts a linked OmniVM module into a native program for
 // mach.
 func Translate(mod *ovm.Module, mach *target.Machine, si SegInfo, opt Options) (*target.Program, error) {
+	prog, _, err := TranslateTimed(mod, mach, si, opt)
+	return prog, err
+}
+
+// Timings reports where one load-time translation spent its
+// wall-clock: instruction expansion (including SFI inlining),
+// instruction scheduling / delay-slot filling, and the linearize-and-
+// patch finish. The omnitrace layer attaches these to the translate
+// span so a slow translation can be attributed to a phase.
+type Timings struct {
+	Expand   time.Duration
+	Schedule time.Duration
+	Finish   time.Duration
+}
+
+// TranslateTimed is Translate plus the per-phase timing report.
+func TranslateTimed(mod *ovm.Module, mach *target.Machine, si SegInfo, opt Options) (*target.Program, Timings, error) {
 	t := &tx{mod: mod, m: mach, si: si, opt: opt, regSaveBase: si.RegSave}
-	return t.run()
+	prog, err := t.run()
+	return prog, t.tim, err
 }
 
 type tx struct {
@@ -62,6 +81,7 @@ type tx struct {
 	src         int32
 	static      [target.NumCats]int
 	regSaveBase uint32
+	tim         Timings
 
 	// SFI sandbox reuse (SFIHoist): the OmniVM base register whose
 	// sandboxed form is currently live in SFIAddr, or -1.
@@ -126,6 +146,7 @@ func (t *tx) run() (*target.Program, error) {
 		insts     []target.Inst
 	}
 	var blocks []blk
+	phase := time.Now()
 	for i := 0; i < n; {
 		start := i
 		t.cur = nil
@@ -140,16 +161,21 @@ func (t *tx) run() (*target.Program, error) {
 				return nil, fmt.Errorf("translate/%s: omni %d (%s): %w", t.m.Name, j, text[j].String(), err)
 			}
 		}
+		t.tim.Expand += time.Since(phase)
+		phase = time.Now()
 		insts := t.cur
 		if t.schedEnabled() {
 			insts = sched.Block(insts, t.m)
 		}
 		insts = sched.FillDelaySlot(insts, t.m, t.schedEnabled())
+		t.tim.Schedule += time.Since(phase)
+		phase = time.Now()
 		blocks = append(blocks, blk{omniStart: start, insts: insts})
 		i = end
 	}
 
 	// Linearize; build the omni->native map.
+	finishStart := time.Now()
 	o2n := make([]int32, int(codeMask)+1)
 	code := append([]target.Inst(nil), stub...)
 	blockNative := make([]int32, len(blocks))
@@ -187,6 +213,7 @@ func (t *tx) run() (*target.Program, error) {
 		}
 	}
 
+	t.tim.Finish = time.Since(finishStart)
 	return &target.Program{
 		Arch:         t.m.Arch,
 		Code:         code,
