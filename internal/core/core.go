@@ -98,6 +98,12 @@ type RunConfig struct {
 	// the safety demos and fault-injection tests.
 	HostData []byte
 	HostBase uint32
+
+	// StoreTrace, when non-nil, is installed on the native simulator
+	// (target.Sim.StoreTrace) so every store the program issues is
+	// observed. The SFI differential harness uses it as its soundness
+	// oracle. Interpreter runs ignore it.
+	StoreTrace func(addr, size uint32, faulted bool)
 }
 
 func (c *RunConfig) maxSteps() uint64 {
@@ -215,6 +221,7 @@ func (h *Host) RunProgram(mach *target.Machine, prog *target.Program) (target.Re
 	s := target.New(mach, prog, &h.Mem, h.Env)
 	s.MaxInsts = h.cfg.maxSteps()
 	s.Interrupt = h.cfg.Interrupt
+	s.StoreTrace = h.cfg.StoreTrace
 	return s.Run()
 }
 

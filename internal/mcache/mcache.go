@@ -32,6 +32,7 @@ import (
 	"omniware/internal/mcache/diskstore"
 	"omniware/internal/ovm"
 	"omniware/internal/sfi"
+	"omniware/internal/sfi/absint"
 	"omniware/internal/target"
 	"omniware/internal/trace"
 	"omniware/internal/translate"
@@ -47,6 +48,38 @@ var ErrUnsandboxed = errors.New("mcache: refusing to cache a translation without
 // DefaultLimit is the default code-size budget (bytes of cached native
 // code, estimated) when New is given a non-positive limit.
 const DefaultLimit = 64 << 20
+
+// VerifyMode selects which SFI verifier(s) gate admission. The two
+// implementations share nothing but the instruction decoder —
+// sfi.Check is a linear scan with a fold-state machine, absint.Check
+// an abstract interpreter over the CFG — so running both and
+// demanding agreement means a single-verifier soundness bug cannot
+// admit an uncontained program on its own.
+type VerifyMode int
+
+const (
+	// VerifyCheck gates admission on sfi.Check alone — the production
+	// default: one linear pass, no CFG construction.
+	VerifyCheck VerifyMode = iota
+	// VerifyAbsint gates admission on the abstract interpreter alone.
+	VerifyAbsint
+	// VerifyBoth runs both verifiers and admits only when both accept.
+	// A disagreement (either direction) rejects the program and is
+	// counted in Stats.Disagreements — it means one of the verifiers
+	// has a bug, and the cache refuses to guess which.
+	VerifyBoth
+)
+
+func (v VerifyMode) String() string {
+	switch v {
+	case VerifyAbsint:
+		return "absint"
+	case VerifyBoth:
+		return "both"
+	default:
+		return "check"
+	}
+}
 
 // instCost estimates the in-memory size of one target.Inst for the
 // eviction budget. Exactness doesn't matter; monotonicity in code
@@ -67,8 +100,12 @@ type Stats struct {
 	Inserts   uint64
 	Evictions uint64
 	Rejected  uint64 // admission failures: verifier refused the program
-	Entries   int
-	CodeBytes int64
+	// Disagreements counts VerifyBoth admissions where the two
+	// verifiers returned different verdicts. Every disagreement is
+	// also a rejection; a nonzero value means a verifier bug.
+	Disagreements uint64
+	Entries       int
+	CodeBytes     int64
 
 	DiskHits        uint64 // programs served from disk after re-verification
 	DiskWrites      uint64 // programs written through to the persistent tier
@@ -130,6 +167,7 @@ type Cache struct {
 	inflight map[string]*flight
 	stats    Stats
 	disk     *diskstore.Store
+	verify   VerifyMode
 	logf     func(format string, args ...any)
 }
 
@@ -144,6 +182,9 @@ type Config struct {
 	// Disk entries are re-verified on every read; failures are
 	// quarantined and logged.
 	Disk *diskstore.Store
+	// Verify selects the admission gate: sfi.Check alone (the zero
+	// value), the abstract interpreter alone, or both-must-agree.
+	Verify VerifyMode
 	// Logf receives quarantine and disk-failure reports (default
 	// log.Printf). Disk problems never fail a lookup — the cache falls
 	// back to translating — so the log is their only trace.
@@ -169,6 +210,7 @@ func NewWith(cfg Config) *Cache {
 		byKey:    map[string]*list.Element{},
 		inflight: map[string]*flight{},
 		disk:     cfg.Disk,
+		verify:   cfg.Verify,
 		logf:     cfg.Logf,
 	}
 }
@@ -337,11 +379,34 @@ func (c *Cache) Insert(mod *ovm.Module, mach *target.Machine, si translate.SegIn
 	return nil
 }
 
-// admit is the verifier gate every entry passes through.
+// admit is the verifier gate every entry passes through. Which
+// verifier(s) run is the cache's VerifyMode; under VerifyBoth the two
+// must agree, and a split verdict is rejected and counted as a
+// disagreement rather than resolved in either verifier's favor.
 func (c *Cache) admit(sp *trace.Span, prog *target.Program, mach *target.Machine, si translate.SegInfo) error {
 	vsp := sp.Child("verify")
-	st, err := sfi.CheckStats(prog, mach, si)
-	vsp.Set("stores", st.Stores).Set("indirects", st.Indirects).Set("sandbox_ops", st.SandboxOps)
+	vsp.Set("mode", c.verify.String())
+	var err error
+	if c.verify == VerifyCheck || c.verify == VerifyBoth {
+		st, cerr := sfi.CheckStats(prog, mach, si)
+		vsp.Set("stores", st.Stores).Set("indirects", st.Indirects).Set("sandbox_ops", st.SandboxOps)
+		err = cerr
+	}
+	if c.verify == VerifyAbsint || c.verify == VerifyBoth {
+		st, aerr := absint.CheckStats(prog, mach, si)
+		vsp.Set("absint_stores", st.Stores).Set("absint_indirects", st.Indirects).Set("absint_blocks", st.Blocks)
+		if c.verify == VerifyBoth && (err == nil) != (aerr == nil) {
+			c.mu.Lock()
+			c.stats.Disagreements++
+			c.mu.Unlock()
+			vsp.Set("disagreement", true)
+			c.logf("mcache: verifier disagreement (sfi.Check: %v; absint: %v)", err, aerr)
+			err = fmt.Errorf("verifier disagreement: sfi.Check says %s, absint says %s (check: %v; absint: %v)",
+				verdict(err), verdict(aerr), err, aerr)
+		} else if aerr != nil {
+			err = aerr
+		}
+	}
 	vsp.End()
 	if err != nil {
 		c.mu.Lock()
@@ -350,6 +415,13 @@ func (c *Cache) admit(sp *trace.Span, prog *target.Program, mach *target.Machine
 		return fmt.Errorf("mcache: admission rejected: %w", err)
 	}
 	return nil
+}
+
+func verdict(err error) string {
+	if err == nil {
+		return "accept"
+	}
+	return "reject"
 }
 
 func (c *Cache) insertLocked(k string, prog *target.Program) {

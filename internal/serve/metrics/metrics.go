@@ -134,6 +134,11 @@ type Snapshot struct {
 	CacheDiskWrites      uint64 `json:"cache_disk_writes"`
 	CacheDiskQuarantines uint64 `json:"cache_disk_quarantines"`
 
+	// CacheDisagreements counts dual-gate admissions where the two SFI
+	// verifiers split the verdict (always also a rejection). Nonzero
+	// means a verifier bug; alert on any increase.
+	CacheDisagreements uint64 `json:"cache_disagreements"`
+
 	Stages  map[string]StageSnapshot `json:"stages"`
 	Targets []TargetSnapshot         `json:"targets"`
 }
@@ -220,6 +225,7 @@ func (s Snapshot) Text() string {
 	w("cache_disk_hits", s.CacheDiskHits)
 	w("cache_disk_writes", s.CacheDiskWrites)
 	w("cache_disk_quarantines", s.CacheDiskQuarantines)
+	w("cache_disagreements", s.CacheDisagreements)
 	w("cache_hit_rate", fmt.Sprintf("%.2f", s.HitRate()))
 	for _, name := range stageOrder(s.Stages) {
 		st := s.Stages[name]

@@ -75,7 +75,7 @@ func TestTextFormat(t *testing.T) {
 		"cache_hits", "cache_coalesced", "cache_misses", "cache_evictions",
 		"cache_rejected", "cache_entries", "cache_bytes",
 		"cache_disk_hits", "cache_disk_writes", "cache_disk_quarantines",
-		"cache_hit_rate",
+		"cache_disagreements", "cache_hit_rate",
 	}
 	if len(lines) != len(wantOrder) {
 		t.Fatalf("%d lines, want %d:\n%s", len(lines), len(wantOrder), text)

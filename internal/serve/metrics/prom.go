@@ -44,6 +44,7 @@ func (s Snapshot) Prom() string {
 	counter("cache_disk_hits_total", "Disk-tier hits (re-verified on read).", s.CacheDiskHits)
 	counter("cache_disk_writes_total", "Disk-tier write-throughs.", s.CacheDiskWrites)
 	counter("cache_disk_quarantines_total", "Disk entries quarantined after failing re-verification.", s.CacheDiskQuarantines)
+	counter("cache_disagreements_total", "Dual-gate admissions where the two SFI verifiers split the verdict.", s.CacheDisagreements)
 
 	// Stage latency histograms share one metric family with a stage
 	// label, cumulative buckets in seconds.

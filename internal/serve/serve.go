@@ -277,6 +277,7 @@ func (s *Server) Snapshot() metrics.Snapshot {
 	snap.CacheDiskHits = cs.DiskHits
 	snap.CacheDiskWrites = cs.DiskWrites
 	snap.CacheDiskQuarantines = cs.DiskQuarantines
+	snap.CacheDisagreements = cs.Disagreements
 	return snap
 }
 

@@ -1,0 +1,375 @@
+package absint
+
+import (
+	"omniware/internal/sfi"
+	"omniware/internal/target"
+)
+
+// transfer computes the state after executing in from the state before
+// it. Every rule mirrors exactly what the simulator computes for the
+// same opcode; anything not modeled clobbers the destination to top.
+// In Compat mode only the elder verifier's rule shapes produce facts.
+func (v *verifier) transfer(st state, in *target.Inst, i int) state {
+	if in.Op.IsStore() || in.MemDst {
+		return st // stores write no registers
+	}
+	if in.Op == target.Syscall {
+		// A syscall may rewrite any syscall-visible OmniVM register
+		// image. The dedicated SFI registers are not images, so their
+		// facts survive.
+		for _, r := range v.m.OmniInt {
+			if r != target.NoReg {
+				st.set(r, fact{})
+			}
+		}
+		return st
+	}
+	rd := in.Rd
+	if rd == target.NoReg {
+		return st
+	}
+	if in.MemSrc {
+		st.set(rd, fact{})
+		return st
+	}
+	a := st.get(in.Rs1)
+	b := st.get(in.Rs2)
+	compat := v.o.Compat
+	var f fact
+	switch in.Op {
+	case target.Nop, target.Cmp, target.CmpI, target.CmpUI, target.Fcmp:
+		return st
+
+	case target.Lui:
+		f = cst(uint32(in.Imm) << 16)
+
+	case target.MovI:
+		f = cst(uint32(in.Imm))
+
+	case target.Mov:
+		f = a
+		if compat && a.k != konst {
+			f = fact{} // the elder verifier copies constants only
+		}
+
+	case target.AddI, target.Lea:
+		f = v.addImm(a, rd, in)
+
+	case target.OrI:
+		f = v.orImm(a, rd, in)
+
+	case target.AndI:
+		f = v.andImm(a, rd, in)
+
+	case target.And:
+		f = v.andReg(a, b, rd, in)
+
+	case target.Or:
+		f = v.orReg(a, b, rd, in)
+
+	case target.Jal, target.Jalr:
+		// The link value is a constant: the simulator writes the
+		// immediate (the OmniVM return address) to the link register.
+		f = cst(uint32(in.Imm))
+
+	default:
+		f = fact{}
+	}
+	st.set(rd, f)
+	return st
+}
+
+// addImm models rd = rs1 + imm (AddI/Lea). Constants fold with exact
+// uint32 wraparound; intervals and sp-relative displacements shift (a
+// negative lower bound is allowed — the sum un-wraps when the value is
+// later used in address arithmetic, which the store rules bound).
+func (v *verifier) addImm(a fact, rd target.Reg, in *target.Inst) fact {
+	imm := int64(in.Imm)
+	if a.k == konst {
+		return cst(uint32(a.lo) + uint32(in.Imm))
+	}
+	if v.o.Compat {
+		if rd == in.Rs1 && imm == 0 {
+			return a // identity: the value is unchanged
+		}
+		// Mirror the elder verifier's single guard fold on the sandbox
+		// register: and-masked [0,M] or rebased [B,B+M] shapes shift at
+		// most once within the guard zone (a zero displacement is a
+		// no-op and does not consume the fold).
+		g := int64(v.p.GuardZone)
+		if rd == v.m.SFIAddr && in.Rs1 == v.m.SFIAddr && imm >= -g && imm <= g &&
+			(v.cleanMask(a) || v.cleanBased(a)) {
+			return interval(a.lo+imm, a.hi+imm)
+		}
+		return fact{}
+	}
+	switch a.k {
+	case ival:
+		return interval(a.lo+imm, a.hi+imm)
+	case spRel:
+		return spRelative(a.lo+imm, a.hi+imm)
+	}
+	return fact{}
+}
+
+// orImm models rd = rs1 | uint32(imm).
+func (v *verifier) orImm(a fact, rd target.Reg, in *target.Inst) fact {
+	c := int64(uint32(in.Imm))
+	if a.k == konst {
+		if v.o.Compat && rd != in.Rs1 {
+			return fact{} // elder constant tracking needs rd == rs1
+		}
+		return cst(uint32(a.lo) | uint32(in.Imm))
+	}
+	if v.o.Compat {
+		// x86 rebase: or SFIAddr, DataBase on a cleanly masked value.
+		if v.m.Arch == target.X86 && rd == v.m.SFIAddr && in.Rs1 == v.m.SFIAddr &&
+			uint32(in.Imm) == v.p.DataBase && v.cleanMask(a) {
+			return interval(int64(v.p.DataBase), int64(v.p.DataBase)+int64(v.p.DataMask))
+		}
+		return fact{}
+	}
+	// or(x, c) ∈ [max(lo, c), hi+c] for non-negative x: the or cannot
+	// clear bits of either operand and cannot exceed their sum.
+	if a.k == ival && a.lo >= 0 {
+		return interval(max64(a.lo, c), a.hi+c)
+	}
+	return fact{}
+}
+
+// andImm models rd = rs1 & uint32(imm).
+func (v *verifier) andImm(a fact, rd target.Reg, in *target.Inst) fact {
+	// Exact folds (mirrored by the elder verifier's constant tracker):
+	// and x, 0 is 0 whatever x holds.
+	if in.Imm == 0 {
+		return cst(0)
+	}
+	if a.k == konst {
+		return cst(uint32(a.lo) & uint32(in.Imm))
+	}
+	if v.o.Compat {
+		// The elder verifier recognizes the and-immediate masks on x86
+		// only (register-form masks elsewhere).
+		if v.m.Arch == target.X86 && rd == v.m.SFIAddr {
+			if uint32(in.Imm) == v.p.DataMask {
+				return interval(0, int64(v.p.DataMask))
+			}
+			if in.Imm >= 0 && int64(in.Imm) < int64(len(v.prog.OmniToNative)) {
+				return interval(0, int64(in.Imm))
+			}
+		}
+		return fact{}
+	}
+	// and(x, c) ≤ min(x, c) and never negative.
+	ub := int64(-1)
+	if in.Imm >= 0 {
+		ub = int64(in.Imm)
+	}
+	if (a.k == ival || a.k == konst) && a.lo >= 0 && (ub < 0 || a.hi < ub) {
+		ub = a.hi
+	}
+	if ub >= 0 {
+		return interval(0, ub)
+	}
+	return fact{}
+}
+
+// andReg models rd = rs1 & rs2.
+func (v *verifier) andReg(a, b fact, rd target.Reg, in *target.Inst) fact {
+	if v.o.Compat {
+		if v.m.Arch != target.X86 && rd == v.m.SFIAddr {
+			if in.Rs2 == v.m.SFIMask && v.maskOK() {
+				return interval(0, int64(v.p.DataMask))
+			}
+			if in.Rs2 == v.m.CodeMask && v.codeOK() {
+				return interval(0, int64(len(v.prog.OmniToNative)-1))
+			}
+		}
+		return fact{}
+	}
+	if a.k == konst && b.k == konst {
+		return cst(uint32(a.lo) & uint32(b.lo))
+	}
+	ub := int64(-1)
+	for _, f := range [2]fact{a, b} {
+		if (f.k == konst || f.k == ival) && f.lo >= 0 && (ub < 0 || f.hi < ub) {
+			ub = f.hi
+		}
+	}
+	if ub >= 0 {
+		return interval(0, ub)
+	}
+	return fact{}
+}
+
+// orReg models rd = rs1 | rs2.
+func (v *verifier) orReg(a, b fact, rd target.Reg, in *target.Inst) fact {
+	if v.o.Compat {
+		if v.m.Arch != target.X86 && rd == v.m.SFIAddr && in.Rs1 == v.m.SFIAddr &&
+			in.Rs2 == v.m.SFIBase && v.baseOK() && v.cleanMask(a) {
+			return interval(int64(v.p.DataBase), int64(v.p.DataBase)+int64(v.p.DataMask))
+		}
+		return fact{}
+	}
+	if a.k == konst && b.k == konst {
+		return cst(uint32(a.lo) | uint32(b.lo))
+	}
+	// One constant operand, one bounded non-negative operand.
+	if a.k == konst {
+		a, b = b, a
+	}
+	if b.k == konst && (a.k == ival || a.k == konst) && a.lo >= 0 {
+		return interval(max64(a.lo, b.lo), a.hi+b.hi)
+	}
+	return fact{}
+}
+
+// cleanMask reports the exact and-masked shape [0, DataMask].
+func (v *verifier) cleanMask(f fact) bool {
+	return f.k == ival && f.lo == 0 && f.hi == int64(v.p.DataMask)
+}
+
+// cleanBased reports the exact rebased shape [DataBase, DataBase+DataMask].
+func (v *verifier) cleanBased(f fact) bool {
+	return f.k == ival && f.lo == int64(v.p.DataBase) && f.hi == int64(v.p.DataBase)+int64(v.p.DataMask)
+}
+
+// ---------------------------------------------------------------------
+// Obligations.
+
+// storeOK discharges one store obligation from the facts holding on
+// every path reaching it.
+func (v *verifier) storeOK(st *state, in *target.Inst) bool {
+	p := v.p
+	g := int64(p.GuardZone)
+	B := int64(p.DataBase)
+	M := int64(p.DataMask)
+	base := in.Rs1
+	if in.MemDst {
+		base = target.NoReg // address is the immediate
+	}
+	if base == target.NoReg {
+		a := int64(uint32(in.Imm))
+		return a >= B && a <= B+M
+	}
+	if in.Indexed {
+		// address = rs1 + rs2 (the simulator ignores Imm here).
+		bf, xf := st.get(base), st.get(in.Rs2)
+		if v.o.Compat {
+			// Segment base + masked (possibly one-fold-guarded) index.
+			return base == v.m.SFIBase && v.baseOK() && in.Rs2 == v.m.SFIAddr &&
+				xf.k == ival && xf.hi-xf.lo == M && xf.lo >= -g && xf.lo <= g
+		}
+		lo, hi, ok := numRange(bf, xf)
+		return ok && lo >= B-g && hi <= B+M+g
+	}
+	imm := int64(in.Imm)
+	// Stack-relative by name: the stack pointer is runtime-maintained
+	// inside the segment (shared assumption with the elder verifier).
+	if base == v.sp && imm >= -g && imm <= g {
+		return true
+	}
+	f := st.get(base)
+	switch f.k {
+	case konst:
+		// An exactly-known address is contained anywhere in the window
+		// (mirrors the elder verifier's constant rule).
+		a := int64(uint32(f.lo) + uint32(in.Imm))
+		return a >= B-g && a <= B+M+g
+	case ival:
+		if v.o.Compat {
+			if base != v.m.SFIAddr {
+				return false
+			}
+			if v.cleanBased(f) {
+				return imm >= -g && imm <= g
+			}
+			// Guard already folded: no further displacement.
+			return imm == 0 && f.lo >= B-g && f.hi <= B+M+g
+		}
+		return f.lo+imm >= B-g && f.hi+imm <= B+M+g
+	case spRel:
+		if v.o.Compat {
+			return false
+		}
+		return f.lo+imm >= -g && f.hi+imm <= g
+	}
+	return false
+}
+
+// indirectOK discharges one indirect-branch obligation: the target
+// (an OmniVM code address) must be provably below the omni-to-native
+// map length, which is what the branch indexes.
+func (v *verifier) indirectOK(st *state, in *target.Inst) bool {
+	f := st.get(in.Rs1)
+	nmap := int64(len(v.prog.OmniToNative))
+	switch f.k {
+	case konst:
+		return f.lo < nmap
+	case ival:
+		if v.o.Compat && in.Rs1 != v.m.SFIAddr {
+			return false
+		}
+		return f.lo >= 0 && f.hi < nmap
+	}
+	return false
+}
+
+// checkReservedWrite enforces the write-protection of the dedicated
+// registers: only a constant idiom producing exactly the pinned value
+// (or the lui upper half inside the entry stub, where the completing
+// ori follows before any transfer) may touch them.
+func (v *verifier) checkReservedWrite(st *state, in *target.Inst, i int, bad func(int, sfi.Kind, string)) {
+	if in.Rd == target.NoReg || in.Op.IsStore() || in.MemDst {
+		return
+	}
+	exp, res := v.expected[in.Rd]
+	if !res {
+		return
+	}
+	ok := false
+	switch in.Op {
+	case target.Lui:
+		val := uint32(in.Imm) << 16
+		inStub := i >= int(v.prog.Entry) && i < v.stubEnd
+		ok = val == exp || (inStub && val == exp&0xffff0000)
+	case target.MovI:
+		ok = uint32(in.Imm) == exp
+	case target.OrI:
+		f := st.get(in.Rs1)
+		ok = in.Rd == in.Rs1 && f.k == konst && uint32(f.lo)|uint32(in.Imm) == exp
+	}
+	if !ok {
+		bad(i, sfi.KindReserved, "dedicated register not provably preserved")
+	}
+}
+
+// numRange extracts a plain (non-sp-relative) numeric range from two
+// facts and sums them modulo 2^32: when the whole range wraps (a
+// constant that went through a below-zero guard fold summed with the
+// segment base — found by the exhaustive enumerator as a lost-dominance
+// case), it is shifted back exactly. A range that only straddles the
+// wrap point stays unnormalized and fails the window check, which is
+// the sound direction.
+func numRange(a, b fact) (lo, hi int64, ok bool) {
+	num := func(f fact) (int64, int64, bool) {
+		if f.k == konst || f.k == ival {
+			return f.lo, f.hi, true
+		}
+		return 0, 0, false
+	}
+	al, ah, ok1 := num(a)
+	bl, bh, ok2 := num(b)
+	if !ok1 || !ok2 {
+		return 0, 0, false
+	}
+	lo, hi = al+bl, ah+bh
+	if lo >= 1<<32 {
+		lo -= 1 << 32
+		hi -= 1 << 32
+	} else if hi < 0 {
+		lo += 1 << 32
+		hi += 1 << 32
+	}
+	return lo, hi, true
+}

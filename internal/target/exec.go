@@ -53,6 +53,16 @@ type Sim struct {
 	// watchdog sets it from another goroutine.
 	Interrupt *atomic.Bool
 
+	// StoreTrace, when non-nil, observes every store the program
+	// itself issues (plain stores and x86 read-modify-write MemDst
+	// forms; runtime writes such as syscall results and exception
+	// delivery are not program stores and are not traced). faulted
+	// reports whether the segment layer refused the access. The SFI
+	// differential harness uses this as its soundness oracle: a
+	// verifier-accepted program must never complete a store outside
+	// its data segment.
+	StoreTrace func(addr, size uint32, faulted bool)
+
 	r  [32]uint32  // integer file
 	f  [32]float64 // FP file (indexed by reg-32)
 	ia uint32      // latched integer compare operands
@@ -591,10 +601,26 @@ func (s *Sim) mem(in *Inst, addr uint32) (uint32, uint32, bool) {
 	case Sd:
 		flt = s.Mem.StoreU64(addr, math.Float64bits(s.fp(in.Rd)))
 	}
+	if s.StoreTrace != nil && in.Op.IsStore() {
+		s.StoreTrace(addr, storeSize(in.Op), flt != nil)
+	}
 	if flt != nil {
 		return faultKind(flt), addr, true
 	}
 	return 0, 0, false
+}
+
+// storeSize is the byte width of a store opcode.
+func storeSize(op Op) uint32 {
+	switch op {
+	case Sb:
+		return 1
+	case Sh:
+		return 2
+	case Sd:
+		return 8
+	}
+	return 4
 }
 
 // memALU executes the x86 register-memory forms: MemSrc computes
@@ -619,7 +645,11 @@ func (s *Sim) memALU(in *Inst) (uint32, uint32, bool) {
 	if in.Rs1 != NoReg {
 		operand = s.reg(in.Rs1)
 	}
-	if flt := s.Mem.StoreU32(addr, aluApply(in.Op, v, operand)); flt != nil {
+	flt = s.Mem.StoreU32(addr, aluApply(in.Op, v, operand))
+	if s.StoreTrace != nil {
+		s.StoreTrace(addr, 4, flt != nil)
+	}
+	if flt != nil {
 		return faultKind(flt), addr, true
 	}
 	return 0, 0, false
