@@ -8,8 +8,17 @@
 //	omnictl upload -addr URL mod.omw
 //	omnictl exec -addr URL -module HASH -target mips [-check] [flags]
 //	omnictl metrics -addr URL [-text|-prom]
+//	omnictl bench -addr URL [-duration 10s] [-json]
 //	omnictl trace -addr URL ID          (or -recent [-n N])
 //	omnictl health -addr URL
+//
+// bench is the observation side of a load run: it snapshots the
+// daemon's metrics, waits for the window (during which omniload — or
+// anything else — drives the server), snapshots again, and prints the
+// interval delta in the same format omniload uses for its reports:
+// jobs run, cache hit rate over the window, sandbox-overhead
+// percentage, and per-stage latency quantiles computed from histogram
+// bucket deltas, not lifetime aggregates.
 //
 // trace renders a finished job's span tree — decode through verify,
 // translate, cache and execute, with per-stage durations — plus the
@@ -33,9 +42,11 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"time"
 
 	"omniware/internal/cc"
 	"omniware/internal/core"
+	"omniware/internal/load"
 	"omniware/internal/netserve"
 	"omniware/internal/serve"
 	"omniware/internal/wire"
@@ -46,7 +57,7 @@ func main() {
 }
 
 func usage(stderr io.Writer) int {
-	fmt.Fprintln(stderr, "usage: omnictl {build|upload|exec|metrics|trace|health} [flags]")
+	fmt.Fprintln(stderr, "usage: omnictl {build|upload|exec|metrics|bench|trace|health} [flags]")
 	return serve.ExitInfra
 }
 
@@ -65,6 +76,8 @@ func run(args []string, stdout, stderr io.Writer) int {
 		return cmdExec(rest, stdout, stderr)
 	case "metrics":
 		return cmdMetrics(rest, stdout, stderr)
+	case "bench":
+		return cmdBench(rest, stdout, stderr)
 	case "trace":
 		return cmdTrace(rest, stdout, stderr)
 	case "health":
@@ -218,6 +231,37 @@ func cmdMetrics(args []string, stdout, stderr io.Writer) int {
 	} else {
 		printJSON(stdout, snap)
 	}
+	return serve.ExitOK
+}
+
+// cmdBench brackets an observation window with two metrics snapshots
+// and prints the server-side delta. The subtraction, quantile
+// computation and rendering are the load package's — a bench window
+// and an omniload report describe the same interval the same way.
+func cmdBench(args []string, stdout, stderr io.Writer) int {
+	fs, addr := newFlagSet("bench", stderr)
+	dur := fs.Duration("duration", 10*time.Second, "observation window")
+	raw := fs.Bool("json", false, "print the delta as JSON instead of text")
+	if err := fs.Parse(args); err != nil {
+		return serve.ExitInfra
+	}
+	cl := &netserve.Client{Base: *addr}
+	before, err := cl.Metrics()
+	if err != nil {
+		return fail(stderr, err)
+	}
+	fmt.Fprintf(stderr, "omnictl: observing %s for %s\n", *addr, *dur)
+	time.Sleep(*dur)
+	after, err := cl.Metrics()
+	if err != nil {
+		return fail(stderr, err)
+	}
+	d := load.Delta(*before, *after)
+	if *raw {
+		printJSON(stdout, d)
+		return serve.ExitOK
+	}
+	fmt.Fprintf(stdout, "window %s\n%s", *dur, load.FormatServer(d))
 	return serve.ExitOK
 }
 

@@ -1,0 +1,240 @@
+// omniload is the load generator and benchmark driver for omniserved.
+// It fires a deterministic, seeded schedule of module executions at a
+// server over real HTTP — closed-loop (-clients concurrent workers)
+// or open-loop (-rate fixed arrivals/sec) — across a weighted mix of
+// workloads (the four SPEC92-style bench programs plus the trivial
+// "trivload" module) and target machines, then emits a
+// schema-versioned JSON report combining client-side latency and
+// outcome counts with before/after deltas of the server's /v1/metrics
+// (so stage quantiles describe this run, not the server's lifetime).
+//
+// Usage:
+//
+//	omniload run [-addr URL] [-mode closed|open] [-jobs N] [-seed N]
+//	             [-clients N] [-rate R] [-mix W=w,...] [-targets T=w,...]
+//	             [-scale N] [-deadline-ms N] [-prewarm] [-check] [-no-sfi]
+//	             [-allocs] [-out BENCH.json] [-quiet]
+//	omniload validate [-strict] BENCH.json
+//
+// Without -addr, run boots an in-process omniserved on a loopback
+// port and drives that — the hermetic mode the checked-in BENCH_*.json
+// artifacts and the CI smoke job use. With -addr it drives a live
+// daemon. -allocs additionally runs the host-lifecycle allocation
+// benchmarks (testing.Benchmark in-process) and embeds allocs/op.
+//
+// validate re-checks an emitted report's schema and internal
+// consistency; -strict additionally fails on any fault, error, or
+// parity loss — the CI gate.
+//
+// Exit codes follow the serving convention: 0 clean, 1 when jobs
+// faulted or errored (contained), 2 for infrastructure failure or an
+// invalid report.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+	"strings"
+	"time"
+
+	"omniware/internal/load"
+	"omniware/internal/serve"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+func usage(stderr io.Writer) int {
+	fmt.Fprintln(stderr, "usage: omniload {run|validate} [flags]")
+	return serve.ExitInfra
+}
+
+// run is main minus the process exit, so tests can drive it.
+func run(args []string, stdout, stderr io.Writer) int {
+	if len(args) == 0 {
+		return usage(stderr)
+	}
+	cmd, rest := args[0], args[1:]
+	switch cmd {
+	case "run":
+		return cmdRun(rest, stdout, stderr)
+	case "validate":
+		return cmdValidate(rest, stdout, stderr)
+	default:
+		fmt.Fprintf(stderr, "omniload: unknown command %q\n", cmd)
+		return usage(stderr)
+	}
+}
+
+func fail(stderr io.Writer, err error) int {
+	fmt.Fprintf(stderr, "omniload: %v\n", err)
+	return serve.ExitInfra
+}
+
+// parseMix parses "name=weight,name=weight" (a bare name means
+// weight 1).
+func parseMix(s string) (load.Mix, error) {
+	if s == "" {
+		return nil, nil
+	}
+	m := load.Mix{}
+	for _, part := range strings.Split(s, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		name, ws, ok := strings.Cut(part, "=")
+		w := 1.0
+		if ok {
+			var err error
+			w, err = strconv.ParseFloat(ws, 64)
+			if err != nil {
+				return nil, fmt.Errorf("bad weight in %q: %v", part, err)
+			}
+		}
+		m[name] = w
+	}
+	if len(m) == 0 {
+		return nil, fmt.Errorf("empty mix %q", s)
+	}
+	return m, nil
+}
+
+func cmdRun(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("omniload run", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	addr := fs.String("addr", "", "omniserved base URL (empty: boot an in-process server)")
+	mode := fs.String("mode", "closed", "load mode: closed (N clients) or open (fixed rate)")
+	clients := fs.Int("clients", 8, "closed-loop concurrent clients")
+	rate := fs.Float64("rate", 100, "open-loop arrivals per second")
+	jobs := fs.Int("jobs", 100, "total jobs (fixed count keeps seeded runs reproducible)")
+	seed := fs.Int64("seed", 1, "schedule seed")
+	mix := fs.String("mix", "", "workload mix, e.g. trivload=4,li=1,compress=1 (default: trivload=4 + each SPEC=1)")
+	targets := fs.String("targets", "", "target mix, e.g. mips=1,x86=1 (default: uniform over all four)")
+	scale := fs.Int("scale", 1, "SPEC workload SCALE override (<0 keeps built-in size)")
+	deadlineMs := fs.Int("deadline-ms", 10000, "per-request deadline")
+	prewarm := fs.Bool("prewarm", false, "run one untimed job per (workload,target) pair first")
+	check := fs.Bool("check", false, "interpreter parity check on every job")
+	noSFI := fs.Bool("no-sfi", false, "run unsandboxed")
+	allocs := fs.Bool("allocs", false, "also run the host-lifecycle allocation benchmarks")
+	out := fs.String("out", "", "write the JSON report here (e.g. BENCH_0.json)")
+	workers := fs.Int("workers", 0, "in-process server workers (0 = GOMAXPROCS)")
+	queueCap := fs.Int("queue", 0, "in-process server admission queue cap (0 = default)")
+	quiet := fs.Bool("quiet", false, "suppress the human-readable summary")
+	if err := fs.Parse(args); err != nil {
+		return serve.ExitInfra
+	}
+	wmix, err := parseMix(*mix)
+	if err != nil {
+		return fail(stderr, fmt.Errorf("-mix: %w", err))
+	}
+	tmix, err := parseMix(*targets)
+	if err != nil {
+		return fail(stderr, fmt.Errorf("-targets: %w", err))
+	}
+
+	cfg := load.Config{
+		Addr:       *addr,
+		Mode:       *mode,
+		Clients:    *clients,
+		Rate:       *rate,
+		Jobs:       *jobs,
+		Seed:       *seed,
+		Workloads:  wmix,
+		Targets:    tmix,
+		Scale:      *scale,
+		NoSFI:      *noSFI,
+		DeadlineMs: *deadlineMs,
+		Prewarm:    *prewarm,
+		Check:      *check,
+	}
+	if cfg.Addr == "" {
+		b, err := load.Boot(load.BootOpts{Workers: *workers, QueueCap: *queueCap})
+		if err != nil {
+			return fail(stderr, err)
+		}
+		defer b.Close()
+		cfg.Addr = b.Base
+		fmt.Fprintf(stderr, "omniload: booted in-process server at %s\n", b.Base)
+	}
+
+	start := time.Now()
+	rep, err := load.Run(cfg)
+	if err != nil {
+		return fail(stderr, err)
+	}
+	if *allocs {
+		stats, err := load.MeasureAllocs()
+		if err != nil {
+			return fail(stderr, err)
+		}
+		rep.Allocs = stats
+	}
+	if err := load.Validate(rep); err != nil {
+		return fail(stderr, err)
+	}
+	if *out != "" {
+		data, err := json.MarshalIndent(rep, "", "  ")
+		if err != nil {
+			return fail(stderr, err)
+		}
+		if err := os.WriteFile(*out, append(data, '\n'), 0o644); err != nil {
+			return fail(stderr, err)
+		}
+		fmt.Fprintf(stderr, "omniload: wrote %s\n", *out)
+	}
+	if !*quiet {
+		fmt.Fprint(stdout, load.Format(rep))
+		fmt.Fprintf(stderr, "omniload: done in %v\n", time.Since(start).Round(time.Millisecond))
+	}
+	if rep.Load.Parity > 0 {
+		// Parity loss is a system failure, never a module failure.
+		fmt.Fprintf(stderr, "omniload: %d parity failures\n", rep.Load.Parity)
+		return serve.ExitInfra
+	}
+	if rep.Load.Faults > 0 || rep.Load.Errors > 0 {
+		return serve.ExitFaults
+	}
+	return serve.ExitOK
+}
+
+func cmdValidate(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("omniload validate", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	strict := fs.Bool("strict", false, "also fail on any fault, error, or parity loss")
+	if err := fs.Parse(args); err != nil {
+		return serve.ExitInfra
+	}
+	if fs.NArg() != 1 {
+		fmt.Fprintln(stderr, "omniload validate: exactly one report file")
+		return serve.ExitInfra
+	}
+	data, err := os.ReadFile(fs.Arg(0))
+	if err != nil {
+		return fail(stderr, err)
+	}
+	var rep load.Report
+	dec := json.NewDecoder(strings.NewReader(string(data)))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&rep); err != nil {
+		return fail(stderr, fmt.Errorf("%s: %w", fs.Arg(0), err))
+	}
+	if err := load.Validate(&rep); err != nil {
+		return fail(stderr, fmt.Errorf("%s: %w", fs.Arg(0), err))
+	}
+	if *strict {
+		if rep.Load.Faults > 0 || rep.Load.Errors > 0 || rep.Load.Parity > 0 {
+			fmt.Fprintf(stderr, "omniload: %s: strict: faults=%d errors=%d parity_failures=%d\n",
+				fs.Arg(0), rep.Load.Faults, rep.Load.Errors, rep.Load.Parity)
+			return serve.ExitFaults
+		}
+	}
+	fmt.Fprintf(stdout, "%s: valid (%s, %d jobs, %.1f jobs/sec)\n",
+		fs.Arg(0), rep.Schema, rep.Load.Jobs, rep.Load.JobsPerSec)
+	return serve.ExitOK
+}

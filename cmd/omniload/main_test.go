@@ -1,0 +1,88 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"omniware/internal/load"
+	"omniware/internal/serve"
+)
+
+func readFile(t *testing.T, path string) []byte {
+	t.Helper()
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return data
+}
+
+func writeFile(t *testing.T, path string, data []byte) {
+	t.Helper()
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// One full CLI pass: run a tiny in-process load, emit the JSON
+// artifact, then validate it with the validate subcommand — the exact
+// sequence the CI smoke job performs.
+func TestRunThenValidate(t *testing.T) {
+	out := filepath.Join(t.TempDir(), "BENCH_t.json")
+	var stdout, stderr bytes.Buffer
+	code := run([]string{"run",
+		"-jobs", "8", "-clients", "2", "-seed", "3",
+		"-mix", "trivload", "-targets", "mips,x86",
+		"-prewarm", "-check",
+		"-out", out,
+	}, &stdout, &stderr)
+	if code != serve.ExitOK {
+		t.Fatalf("run exited %d\nstdout: %s\nstderr: %s", code, stdout.String(), stderr.String())
+	}
+	if !strings.Contains(stdout.String(), "jobs/sec") {
+		t.Fatalf("no summary printed:\n%s", stdout.String())
+	}
+
+	var rep load.Report
+	data := readFile(t, out)
+	if err := json.Unmarshal(data, &rep); err != nil {
+		t.Fatal(err)
+	}
+	if rep.Schema != load.Schema || rep.Load.Jobs != 8 {
+		t.Fatalf("artifact: %+v", rep)
+	}
+
+	stdout.Reset()
+	stderr.Reset()
+	if code := run([]string{"validate", "-strict", out}, &stdout, &stderr); code != serve.ExitOK {
+		t.Fatalf("validate exited %d: %s", code, stderr.String())
+	}
+	if !strings.Contains(stdout.String(), "valid") {
+		t.Fatalf("validate output: %s", stdout.String())
+	}
+
+	// Corrupt the artifact; strict validation must notice.
+	data = bytes.Replace(data, []byte(`"schema": "omniload/v1"`), []byte(`"schema": "omniload/v9"`), 1)
+	bad := filepath.Join(t.TempDir(), "BAD.json")
+	writeFile(t, bad, data)
+	if code := run([]string{"validate", bad}, &stdout, &stderr); code != serve.ExitInfra {
+		t.Fatalf("corrupt report validated, exit %d", code)
+	}
+}
+
+func TestBadFlags(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	if code := run([]string{"run", "-mix", "li=x"}, &stdout, &stderr); code != serve.ExitInfra {
+		t.Fatalf("bad mix accepted, exit %d", code)
+	}
+	if code := run([]string{"frobnicate"}, &stdout, &stderr); code != serve.ExitInfra {
+		t.Fatal("unknown command accepted")
+	}
+	if code := run(nil, &stdout, &stderr); code != serve.ExitInfra {
+		t.Fatal("no command accepted")
+	}
+}

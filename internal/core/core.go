@@ -9,7 +9,9 @@ package core
 import (
 	"fmt"
 	"io"
+	"math/bits"
 	"strings"
+	"sync"
 	"sync/atomic"
 
 	"omniware/internal/asm"
@@ -23,6 +25,15 @@ import (
 	"omniware/internal/seg"
 	"omniware/internal/target"
 	"omniware/internal/translate"
+)
+
+// ErrBudget and ErrInterrupted re-export the hostapi sentinels for the
+// two host-initiated run terminations: instruction-budget exhaustion
+// and the external interrupt (the serving layer's deadline watchdog).
+// Both executors wrap them; classify with errors.Is.
+var (
+	ErrBudget      = hostapi.ErrBudget
+	ErrInterrupted = hostapi.ErrInterrupted
 )
 
 // SourceFile is one OmniC translation unit.
@@ -122,6 +133,96 @@ type Host struct {
 	HostSeg *seg.Segment
 	out     *strings.Builder
 	cfg     RunConfig
+
+	// Pooled-host state (AcquireHost). pool is nil for hosts built with
+	// NewHost; such hosts ignore Release. A pooled host permanently owns
+	// dseg, a dirty-tracked data segment scrubbed on reuse, and embeds
+	// its layout, environment, and simulator by value so a warm-cache
+	// job allocates nothing.
+	pool    *sync.Pool
+	dseg    *seg.Segment
+	layv    hostapi.Layout
+	envv    hostapi.Env
+	sim     target.Sim
+	capture bool
+}
+
+// hostPools holds recycled hosts bucketed by log2 of the data-segment
+// size: layout geometry is deterministic in (module, heap, stack) and
+// segment sizes are powers of two, so a host whose segment matches the
+// planned size fits the module exactly.
+var hostPools [33]sync.Pool
+
+// AcquireHost returns a host loaded for mod, reusing a pooled address
+// space when one of the right size class is available. The fast path
+// allocates nothing: the pooled segment is scrubbed page-by-page using
+// its dirty bitmap rather than reallocated (16 MB of zeroing and GC
+// pressure per job otherwise — the dominant per-job fixed cost the
+// load benchmarks expose). Callers must Release the host when done;
+// hosts needing a HostData segment fall back to NewHost semantics and
+// Release is a no-op for them.
+func AcquireHost(mod *ovm.Module, cfg RunConfig) (*Host, error) {
+	if cfg.HostData != nil {
+		return NewHost(mod, cfg)
+	}
+	p := hostapi.PlanLayout(mod, cfg.Heap, cfg.Stack)
+	if p.SegSize == 0 || p.SegSize&(p.SegSize-1) != 0 {
+		return nil, fmt.Errorf("core: planned segment size %#x is not a power of two; refusing to derive an SFI mask", p.SegSize)
+	}
+	pool := &hostPools[bits.TrailingZeros32(p.SegSize)]
+	h, _ := pool.Get().(*Host)
+	if h == nil {
+		h = &Host{out: &strings.Builder{}}
+		s, err := seg.NewPooledSegment("module-data", mod.DataBase, p.SegSize, seg.Read|seg.Write)
+		if err != nil {
+			return nil, err
+		}
+		h.dseg = s
+	}
+	h.pool = pool
+	h.Mod = mod
+	h.cfg = cfg
+	h.Mem.Reset()
+	lay, err := hostapi.LoadInto(&h.Mem, h.dseg, mod, cfg.Heap, cfg.Stack)
+	if err != nil {
+		h.pool = nil
+		return nil, err
+	}
+	h.layv = lay
+	h.Lay = &h.layv
+	out := cfg.Out
+	h.capture = out == nil
+	if h.capture {
+		h.out.Reset()
+		out = h.out
+	}
+	h.envv.Reset(&h.Mem, h.Lay, out)
+	h.Env = &h.envv
+	return h, nil
+}
+
+// Release returns a pooled host's address space for reuse. It clears
+// every reference to the job's module and config so the pool does not
+// pin them; the segment itself stays with the host and is scrubbed on
+// the next Acquire. Safe to call on NewHost-built hosts (no-op) and
+// on nil.
+func (h *Host) Release() {
+	if h == nil || h.pool == nil {
+		return
+	}
+	pool := h.pool
+	h.pool = nil
+	h.Mod = nil
+	h.cfg = RunConfig{}
+	h.Lay = nil
+	h.Env = nil
+	h.layv = hostapi.Layout{}
+	h.envv = hostapi.Env{}
+	h.sim = target.Sim{}
+	h.Mem.Reset()
+	h.out.Reset()
+	h.capture = false
+	pool.Put(h)
 }
 
 // NewHost loads the module's data segment (and optional host segment)
@@ -145,6 +246,7 @@ func NewHost(mod *ovm.Module, cfg RunConfig) (*Host, error) {
 	if out == nil {
 		h.out = &strings.Builder{}
 		out = h.out
+		h.capture = true
 	}
 	h.Env = hostapi.NewEnv(&h.Mem, lay, out)
 	if cfg.HostData != nil {
@@ -164,7 +266,7 @@ func NewHost(mod *ovm.Module, cfg RunConfig) (*Host, error) {
 
 // Output returns captured module output (when cfg.Out was nil).
 func (h *Host) Output() string {
-	if h.out == nil {
+	if h.out == nil || !h.capture {
 		return ""
 	}
 	return h.out.String()
@@ -218,7 +320,14 @@ func (h *Host) RunProgram(mach *target.Machine, prog *target.Program) (target.Re
 	if prog.Arch != mach.Arch {
 		return target.Result{}, fmt.Errorf("core: program compiled for %s cannot run on %s", prog.Arch, mach.Arch)
 	}
-	s := target.New(mach, prog, &h.Mem, h.Env)
+	s := &h.sim
+	if h.pool == nil {
+		// Unpooled hosts may share programs across goroutines; give each
+		// run its own simulator as before.
+		s = target.New(mach, prog, &h.Mem, h.Env)
+	} else {
+		s.Reset(mach, prog, &h.Mem, h.Env)
+	}
 	s.MaxInsts = h.cfg.maxSteps()
 	s.Interrupt = h.cfg.Interrupt
 	s.StoreTrace = h.cfg.StoreTrace

@@ -7,11 +7,28 @@
 package hostapi
 
 import (
+	"errors"
 	"fmt"
 	"io"
 
 	"omniware/internal/ovm"
 	"omniware/internal/seg"
+)
+
+// Sentinel errors for the two ways the host terminates a module run
+// from the outside. Both executors (the OmniVM interpreter and the
+// translated-code simulators) wrap these, and callers classify them
+// with errors.Is — the serving layer's fault-containment accounting
+// depends on the classification, so the errors are typed rather than
+// matched by message text (which a rewording would silently break).
+// core re-exports them as core.ErrBudget and core.ErrInterrupted.
+var (
+	// ErrBudget: the instruction budget (MaxSteps / Sim.MaxInsts) ran
+	// out before the module finished.
+	ErrBudget = errors.New("instruction budget exhausted")
+	// ErrInterrupted: the Interrupt flag was set mid-run (the serving
+	// layer's per-job deadline watchdog).
+	ErrInterrupted = errors.New("run interrupted")
 )
 
 // Syscall numbers. Arguments are passed in r1..r4 (doubles in f1) and
@@ -136,6 +153,38 @@ func Load(mem *seg.Memory, m *ovm.Module, heapSize, stackSize uint32) (*Layout, 
 	return lay, nil
 }
 
+// LoadInto is Load against a caller-provided reusable segment (see
+// seg.NewPooledSegment): the segment is recycled to pristine state
+// under the module's identity, attached to mem, and given the data
+// image — the allocation-free half of the serving layer's host pool.
+// The segment's size must equal the module's planned geometry (the
+// pool keys on it). Returns the layout by value so the caller can
+// embed it without a heap allocation.
+func LoadInto(mem *seg.Memory, s *seg.Segment, m *ovm.Module, heapSize, stackSize uint32) (Layout, error) {
+	p := PlanLayout(m, heapSize, stackSize)
+	if s.Size() != p.SegSize {
+		return Layout{}, fmt.Errorf("hostapi: pooled segment size %#x does not fit module plan %#x", s.Size(), p.SegSize)
+	}
+	s.Recycle("module-data", m.DataBase, seg.Read|seg.Write)
+	if err := mem.Attach(s); err != nil {
+		return Layout{}, fmt.Errorf("hostapi: attaching module data: %w", err)
+	}
+	copy(s.Bytes(), m.Data)
+	s.MarkDirty(0, uint32(len(m.Data)))
+	lay := Layout{
+		Seg:       s,
+		HeapBase:  p.HeapBase,
+		Brk:       p.HeapBase,
+		HeapLimit: p.HeapLimit,
+		StackTop:  p.StackTop,
+		RegSave:   p.RegSave,
+	}
+	if err := mem.Protect(lay.HeapLimit&^uint32(seg.PageSize-1), guardSize, 0); err != nil {
+		return Layout{}, fmt.Errorf("hostapi: guard page: %w", err)
+	}
+	return lay, nil
+}
+
 // Env is the per-module host environment. An Env — like the Memory
 // and Layout it wraps — belongs to exactly one module instance and is
 // not safe for concurrent use: a server running many jobs gives each
@@ -161,6 +210,13 @@ type Env struct {
 // NewEnv creates an environment writing module output to out.
 func NewEnv(mem *seg.Memory, lay *Layout, out io.Writer) *Env {
 	return &Env{Mem: mem, Out: out, Layout: lay, Handler: -1}
+}
+
+// Reset reinitializes an environment in place for a new module run —
+// the reuse path equivalent of NewEnv, clearing exit state, the
+// violation handler, and the syscall counters without allocating.
+func (e *Env) Reset(mem *seg.Memory, lay *Layout, out io.Writer) {
+	*e = Env{Mem: mem, Out: out, Layout: lay, Handler: -1}
 }
 
 // Syscall dispatches host call num. It returns an error only for

@@ -126,7 +126,7 @@ func (m *Machine) Run() (Result, error) {
 	n := int32(len(text))
 	for {
 		if m.MaxSteps > 0 && m.steps >= m.MaxSteps {
-			return Result{}, fmt.Errorf("interp: step budget %d exhausted at pc=%d", m.MaxSteps, m.PC)
+			return Result{}, fmt.Errorf("interp: %w (%d steps) at pc=%d", hostapi.ErrBudget, m.MaxSteps, m.PC)
 		}
 		if m.PC < 0 || m.PC >= n {
 			if r, done := m.exception(ExcBadJump, uint32(m.PC), fmt.Sprintf("interp: pc %d out of text", m.PC)); done {

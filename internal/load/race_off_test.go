@@ -1,0 +1,5 @@
+//go:build !race
+
+package load_test
+
+const raceEnabled = false

@@ -1,0 +1,8 @@
+//go:build race
+
+package load_test
+
+// raceEnabled relaxes the allocation assertions: the race detector
+// changes the allocation profile and sync.Pool intentionally drops
+// items under it.
+const raceEnabled = true

@@ -1,0 +1,313 @@
+// Package load is the load-generation and benchmark subsystem: it
+// drives an omniserved instance over real HTTP with a deterministic,
+// seeded schedule of execution requests — open-loop (fixed arrival
+// rate) or closed-loop (N concurrent clients) — across a configurable
+// mix of workloads and target machines, and distills the run into a
+// schema-versioned Report (the BENCH_<n>.json artifacts the repo
+// checks in to anchor performance claims).
+//
+// The report combines three vantage points: the client side (what the
+// generator observed end to end, including sheds and retries), the
+// server side (before/after deltas of the /v1/metrics counters and
+// bucket-wise stage-histogram subtraction, so quantiles describe this
+// run rather than the server's lifetime), and the allocator (paired
+// testing.Benchmark runs of the host execute path, where the
+// zero-allocation claim is enforced).
+package load
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"time"
+
+	"omniware/internal/serve/metrics"
+	"omniware/internal/trace"
+)
+
+// Schema identifies the report layout. Bump it when a field changes
+// meaning; consumers (CI validation, the omnictl formatter) refuse
+// versions they do not know.
+const Schema = "omniload/v1"
+
+// Report is one load run, serialized as BENCH_<n>.json.
+type Report struct {
+	Schema string        `json:"schema"`
+	Config ConfigSummary `json:"config"`
+	Load   LoadStats     `json:"load"`
+	Server ServerDelta   `json:"server"`
+	Allocs []AllocStat   `json:"allocs,omitempty"`
+}
+
+// ConfigSummary pins everything needed to reproduce the run.
+type ConfigSummary struct {
+	Mode       string             `json:"mode"` // open | closed
+	Rate       float64            `json:"rate,omitempty"`
+	Clients    int                `json:"clients,omitempty"`
+	Jobs       int                `json:"jobs"`
+	Seed       int64              `json:"seed"`
+	Scale      int                `json:"scale"`
+	SFI        bool               `json:"sfi"`
+	Prewarm    bool               `json:"prewarm"`
+	DeadlineMs int                `json:"deadline_ms,omitempty"`
+	Workloads  map[string]float64 `json:"workloads"`
+	Targets    map[string]float64 `json:"targets"`
+}
+
+// LatencyStats summarizes one latency distribution in microseconds.
+type LatencyStats struct {
+	Count  uint64  `json:"count"`
+	P50Us  float64 `json:"p50_us"`
+	P95Us  float64 `json:"p95_us"`
+	P99Us  float64 `json:"p99_us"`
+	MeanUs float64 `json:"mean_us"`
+}
+
+func latStats(s trace.HistSnapshot) LatencyStats {
+	us := func(d time.Duration) float64 { return float64(d.Nanoseconds()) / 1e3 }
+	return LatencyStats{
+		Count:  s.Count,
+		P50Us:  us(s.P50()),
+		P95Us:  us(s.P95()),
+		P99Us:  us(s.P99()),
+		MeanUs: us(s.Mean()),
+	}
+}
+
+// LoadStats is the client-side view: what the generator observed over
+// the wire, including backpressure the server-side counters cannot
+// see (sheds never become jobs).
+type LoadStats struct {
+	DurationSec float64 `json:"duration_sec"`
+	JobsPerSec  float64 `json:"jobs_per_sec"`
+
+	Jobs    uint64 `json:"jobs"`   // scheduled requests completed (one way or another)
+	OK      uint64 `json:"ok"`     // module exited cleanly
+	Faults  uint64 `json:"faults"` // contained module faults
+	Errors  uint64 `json:"errors"` // job-level errors (budget, deadline, refusals that out-ran the retry budget)
+	Sheds   uint64 `json:"sheds"`  // 429/503 responses absorbed by retries
+	Warm    uint64 `json:"warm"`   // translation served from cache
+	Cold    uint64 `json:"cold"`   // translation paid on the spot
+	Checked uint64 `json:"checked,omitempty"`
+	Parity  uint64 `json:"parity_failures"` // interpreter disagreements (must be 0)
+
+	Latency     LatencyStats `json:"latency"`      // end-to-end client wall clock
+	WarmLatency LatencyStats `json:"warm_latency"` // latency of cache-hit jobs
+	ColdLatency LatencyStats `json:"cold_latency"` // latency of cache-miss jobs
+}
+
+// StageDelta is the interval view of one server pipeline stage:
+// quantiles over only the observations between the two snapshots.
+type StageDelta struct {
+	Count  uint64  `json:"count"`
+	P50Us  float64 `json:"p50_us"`
+	P95Us  float64 `json:"p95_us"`
+	P99Us  float64 `json:"p99_us"`
+	MeanUs float64 `json:"mean_us"`
+}
+
+// ServerDelta is the server-side view of the run: /v1/metrics sampled
+// before and after, counters subtracted, stage histograms subtracted
+// bucket-wise so the quantiles are the run's own.
+type ServerDelta struct {
+	JobsSubmitted   uint64 `json:"jobs_submitted"`
+	JobsRun         uint64 `json:"jobs_run"`
+	JobsFailed      uint64 `json:"jobs_failed"`
+	FaultsContained uint64 `json:"faults_contained"`
+	Timeouts        uint64 `json:"timeouts"`
+	Translations    uint64 `json:"translations"`
+	SimInsts        uint64 `json:"sim_insts"`
+	SimCycles       uint64 `json:"sim_cycles"`
+
+	CacheHits      uint64  `json:"cache_hits"`
+	CacheCoalesced uint64  `json:"cache_coalesced"`
+	CacheMisses    uint64  `json:"cache_misses"`
+	CacheDiskHits  uint64  `json:"cache_disk_hits"`
+	HitRate        float64 `json:"hit_rate"`
+
+	AppInsts     uint64  `json:"app_insts"`
+	SandboxInsts uint64  `json:"sandbox_insts"`
+	SchedInsts   uint64  `json:"sched_insts"`
+	SandboxPct   float64 `json:"sandbox_pct"`
+
+	Stages map[string]StageDelta `json:"stages"`
+}
+
+// AllocStat is one testing.Benchmark measurement of a host-lifecycle
+// execute path. The pooled variant's AllocsPerOp is the number the
+// zero-allocation acceptance gate reads.
+type AllocStat struct {
+	Name        string `json:"name"`
+	AllocsPerOp int64  `json:"allocs_per_op"`
+	BytesPerOp  int64  `json:"bytes_per_op"`
+	NsPerOp     int64  `json:"ns_per_op"`
+}
+
+// Delta computes the server-side interval between two metric
+// snapshots taken around a load run. Counters are monotonic, so plain
+// subtraction is the interval; histogram quantiles come from
+// bucket-wise subtraction (trace.HistSnapshot.Sub).
+func Delta(before, after metrics.Snapshot) ServerDelta {
+	sub := func(a, b uint64) uint64 {
+		if a > b {
+			return a - b
+		}
+		return 0
+	}
+	d := ServerDelta{
+		JobsSubmitted:   sub(after.JobsSubmitted, before.JobsSubmitted),
+		JobsRun:         sub(after.JobsRun, before.JobsRun),
+		JobsFailed:      sub(after.JobsFailed, before.JobsFailed),
+		FaultsContained: sub(after.FaultsContained, before.FaultsContained),
+		Timeouts:        sub(after.Timeouts, before.Timeouts),
+		Translations:    sub(after.Translations, before.Translations),
+		SimInsts:        sub(after.SimInsts, before.SimInsts),
+		SimCycles:       sub(after.SimCycles, before.SimCycles),
+		CacheHits:       sub(after.CacheHits, before.CacheHits),
+		CacheCoalesced:  sub(after.CacheCoalesced, before.CacheCoalesced),
+		CacheMisses:     sub(after.CacheMisses, before.CacheMisses),
+		CacheDiskHits:   sub(after.CacheDiskHits, before.CacheDiskHits),
+		Stages:          map[string]StageDelta{},
+	}
+	warm := d.CacheHits + d.CacheCoalesced + d.CacheDiskHits
+	if total := warm + d.CacheMisses; total > 0 {
+		d.HitRate = float64(warm) / float64(total)
+	}
+	prevTargets := map[string]metrics.TargetSnapshot{}
+	for _, ts := range before.Targets {
+		prevTargets[ts.Target] = ts
+	}
+	for _, ts := range after.Targets {
+		p := prevTargets[ts.Target]
+		d.AppInsts += sub(ts.AppInsts, p.AppInsts)
+		d.SandboxInsts += sub(ts.Sandbox, p.Sandbox)
+		d.SchedInsts += sub(ts.Sched, p.Sched)
+	}
+	if total := d.AppInsts + d.SandboxInsts + d.SchedInsts; total > 0 {
+		d.SandboxPct = 100 * float64(d.SandboxInsts) / float64(total)
+	}
+	for name, st := range after.Stages {
+		h := st.Hist.Sub(before.Stages[name].Hist)
+		if h.Count == 0 {
+			continue
+		}
+		ls := latStats(h)
+		d.Stages[name] = StageDelta{
+			Count: ls.Count, P50Us: ls.P50Us, P95Us: ls.P95Us, P99Us: ls.P99Us, MeanUs: ls.MeanUs,
+		}
+	}
+	return d
+}
+
+// Validate checks a report's internal consistency — the CI gate runs
+// it against freshly emitted and checked-in BENCH files. It verifies
+// the schema version, the client-side accounting identity, quantile
+// monotonicity, and cross-view agreement loose enough to tolerate
+// concurrent background traffic but tight enough to catch a report
+// assembled from mismatched snapshots.
+func Validate(r *Report) error {
+	var errs []string
+	bad := func(format string, args ...any) { errs = append(errs, fmt.Sprintf(format, args...)) }
+	if r.Schema != Schema {
+		bad("schema %q, want %q", r.Schema, Schema)
+	}
+	if r.Load.Jobs == 0 {
+		bad("no jobs recorded")
+	}
+	if got := r.Load.OK + r.Load.Faults + r.Load.Errors; got != r.Load.Jobs {
+		bad("ok+faults+errors = %d, want jobs = %d", got, r.Load.Jobs)
+	}
+	if got := r.Load.Warm + r.Load.Cold; got > r.Load.Jobs {
+		bad("warm+cold = %d exceeds jobs = %d", got, r.Load.Jobs)
+	}
+	if r.Load.Parity > r.Load.Checked {
+		bad("parity failures %d exceed checked %d", r.Load.Parity, r.Load.Checked)
+	}
+	if r.Load.DurationSec <= 0 {
+		bad("non-positive duration %v", r.Load.DurationSec)
+	}
+	if r.Load.JobsPerSec <= 0 && r.Load.Jobs > 0 {
+		bad("non-positive jobs/sec with %d jobs", r.Load.Jobs)
+	}
+	mono := func(name string, p50, p95, p99 float64) {
+		if p50 < 0 || p50 > p95 || p95 > p99 {
+			bad("%s quantiles not monotone: p50=%.1f p95=%.1f p99=%.1f", name, p50, p95, p99)
+		}
+	}
+	mono("latency", r.Load.Latency.P50Us, r.Load.Latency.P95Us, r.Load.Latency.P99Us)
+	for name, st := range r.Server.Stages {
+		mono("stage "+name, st.P50Us, st.P95Us, st.P99Us)
+	}
+	if r.Server.SandboxPct < 0 || r.Server.SandboxPct > 100 {
+		bad("sandbox_pct %.2f outside [0,100]", r.Server.SandboxPct)
+	}
+	if r.Config.Jobs > 0 && uint64(r.Config.Jobs) != r.Load.Jobs {
+		bad("config jobs %d != load jobs %d", r.Config.Jobs, r.Load.Jobs)
+	}
+	for _, a := range r.Allocs {
+		if a.AllocsPerOp < 0 || a.Name == "" {
+			bad("malformed alloc stat %+v", a)
+		}
+	}
+	if len(errs) > 0 {
+		return fmt.Errorf("load: invalid report: %s", strings.Join(errs, "; "))
+	}
+	return nil
+}
+
+// Format renders a report for humans: the summary line omnictl and
+// omniload both print.
+func Format(r *Report) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "omniload %s  mode=%s jobs=%d seed=%d\n",
+		r.Schema, r.Config.Mode, r.Load.Jobs, r.Config.Seed)
+	fmt.Fprintf(&b, "  throughput   %.1f jobs/sec over %.2fs\n", r.Load.JobsPerSec, r.Load.DurationSec)
+	fmt.Fprintf(&b, "  outcomes     ok=%d faults=%d errors=%d sheds=%d parity_failures=%d\n",
+		r.Load.OK, r.Load.Faults, r.Load.Errors, r.Load.Sheds, r.Load.Parity)
+	fmt.Fprintf(&b, "  cache        warm=%d cold=%d hit_rate=%.2f\n",
+		r.Load.Warm, r.Load.Cold, r.Server.HitRate)
+	fmt.Fprintf(&b, "  latency      p50=%.0fus p95=%.0fus p99=%.0fus\n",
+		r.Load.Latency.P50Us, r.Load.Latency.P95Us, r.Load.Latency.P99Us)
+	if r.Load.Warm > 0 {
+		fmt.Fprintf(&b, "  warm latency p50=%.0fus p95=%.0fus p99=%.0fus\n",
+			r.Load.WarmLatency.P50Us, r.Load.WarmLatency.P95Us, r.Load.WarmLatency.P99Us)
+	}
+	fmt.Fprintf(&b, "  sandbox      %.2f%% of %d insts\n", r.Server.SandboxPct,
+		r.Server.AppInsts+r.Server.SandboxInsts+r.Server.SchedInsts)
+	b.WriteString(FormatServer(r.Server))
+	for _, a := range r.Allocs {
+		fmt.Fprintf(&b, "  allocs       %-22s %d allocs/op  %d B/op  %d ns/op\n",
+			a.Name, a.AllocsPerOp, a.BytesPerOp, a.NsPerOp)
+	}
+	return b.String()
+}
+
+// FormatServer renders just the server-side interval — shared by the
+// full report formatter and omnictl bench (which has only the delta).
+func FormatServer(d ServerDelta) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "  server       run=%d failed=%d contained=%d timeouts=%d translations=%d\n",
+		d.JobsRun, d.JobsFailed, d.FaultsContained, d.Timeouts, d.Translations)
+	var ordered []string
+	seen := map[string]bool{}
+	for _, n := range metrics.StageNames {
+		if _, ok := d.Stages[n]; ok {
+			ordered = append(ordered, n)
+			seen[n] = true
+		}
+	}
+	var extra []string
+	for n := range d.Stages {
+		if !seen[n] {
+			extra = append(extra, n)
+		}
+	}
+	sort.Strings(extra)
+	ordered = append(ordered, extra...)
+	for _, n := range ordered {
+		st := d.Stages[n]
+		fmt.Fprintf(&b, "  stage %-12s count=%d p50=%.0fus p95=%.0fus p99=%.0fus\n",
+			n, st.Count, st.P50Us, st.P95Us, st.P99Us)
+	}
+	return b.String()
+}

@@ -28,6 +28,7 @@ import (
 	"fmt"
 	"log"
 	"sync"
+	"sync/atomic"
 
 	"omniware/internal/mcache/diskstore"
 	"omniware/internal/ovm"
@@ -146,6 +147,11 @@ type entry struct {
 	key  string
 	prog *target.Program
 	size int64
+	// stamp is the value of the cache's global use clock at this
+	// entry's last touch. Per-shard lists keep exact recency order
+	// within a shard; stamps order entries across shards so eviction
+	// can find the globally least-recently-used candidate.
+	stamp uint64
 }
 
 type flight struct {
@@ -154,21 +160,58 @@ type flight struct {
 	err  error
 }
 
+// numShards splits the index so concurrent lookups for different keys
+// do not serialize on one mutex. A power of two; the shard is chosen
+// by key hash.
+const numShards = 16
+
+// shard is one slice of the index: its own lock, recency list, key
+// map, and in-flight table. Everything a warm hit touches lives in
+// exactly one shard.
+type shard struct {
+	mu       sync.Mutex
+	lru      list.List // of *entry; front = most recently used in this shard
+	byKey    map[string]*list.Element
+	inflight map[string]*flight
+}
+
+// counters are the monotonic statistics, kept atomic so the sharded
+// paths never contend on a stats lock.
+type counters struct {
+	lookups, hits, coalesced, misses      atomic.Uint64
+	inserts, evictions                    atomic.Uint64
+	rejected, disagreements               atomic.Uint64
+	diskHits, diskWrites, diskQuarantines atomic.Uint64
+}
+
 // Cache is a content-addressed translation cache with LRU eviction by
 // estimated code size and an optional persistent tier. The zero value
 // is not usable; call New or NewWith. All methods are safe for
-// concurrent use.
+// concurrent use; the index is sharded by key hash so a worker-pool's
+// warm hits on distinct modules proceed in parallel. The code-size
+// budget stays global (not per shard): eviction picks the shard whose
+// oldest entry has the smallest use stamp, which preserves the
+// single-LRU behavior up to races between concurrent touches.
 type Cache struct {
-	mu       sync.Mutex
-	limit    int64
-	bytes    int64
-	lru      list.List // of *entry; front = most recently used
-	byKey    map[string]*list.Element
-	inflight map[string]*flight
-	stats    Stats
-	disk     *diskstore.Store
-	verify   VerifyMode
-	logf     func(format string, args ...any)
+	limit  int64
+	bytes  atomic.Int64
+	clock  atomic.Uint64
+	shards [numShards]shard
+	ctr    counters
+	disk   *diskstore.Store
+	verify VerifyMode
+	logf   func(format string, args ...any)
+}
+
+// shardFor hashes k (FNV-1a, inlined to stay allocation-free) to its
+// home shard.
+func (c *Cache) shardFor(k string) *shard {
+	h := uint64(14695981039346656037)
+	for i := 0; i < len(k); i++ {
+		h ^= uint64(k[i])
+		h *= 1099511628211
+	}
+	return &c.shards[h%numShards]
 }
 
 // Config sizes a cache. The zero value selects an in-memory cache of
@@ -205,14 +248,17 @@ func NewWith(cfg Config) *Cache {
 	if cfg.Logf == nil {
 		cfg.Logf = log.Printf
 	}
-	return &Cache{
-		limit:    cfg.Limit,
-		byKey:    map[string]*list.Element{},
-		inflight: map[string]*flight{},
-		disk:     cfg.Disk,
-		verify:   cfg.Verify,
-		logf:     cfg.Logf,
+	c := &Cache{
+		limit:  cfg.Limit,
+		disk:   cfg.Disk,
+		verify: cfg.Verify,
+		logf:   cfg.Logf,
 	}
+	for i := range c.shards {
+		c.shards[i].byKey = map[string]*list.Element{}
+		c.shards[i].inflight = map[string]*flight{}
+	}
+	return c
 }
 
 func progSize(p *target.Program) int64 {
@@ -238,20 +284,23 @@ func (c *Cache) TranslateTraced(sp *trace.Span, mod *ovm.Module, mach *target.Ma
 		return nil, false, ErrUnsandboxed
 	}
 	k := key(ModuleHash(mod), mach, si, opt)
+	sh := c.shardFor(k)
 
-	c.mu.Lock()
-	c.stats.Lookups++
-	if el, ok := c.byKey[k]; ok {
-		c.stats.Hits++
-		c.lru.MoveToFront(el)
-		prog := el.Value.(*entry).prog
-		c.mu.Unlock()
+	c.ctr.lookups.Add(1)
+	sh.mu.Lock()
+	if el, ok := sh.byKey[k]; ok {
+		c.ctr.hits.Add(1)
+		sh.lru.MoveToFront(el)
+		e := el.Value.(*entry)
+		e.stamp = c.clock.Add(1)
+		prog := e.prog
+		sh.mu.Unlock()
 		sp.Set("result", "hit")
 		return prog, true, nil
 	}
-	if f, ok := c.inflight[k]; ok {
-		c.stats.Coalesced++
-		c.mu.Unlock()
+	if f, ok := sh.inflight[k]; ok {
+		c.ctr.coalesced.Add(1)
+		sh.mu.Unlock()
 		wsp := sp.Child("coalesce_wait")
 		<-f.done
 		wsp.End()
@@ -259,8 +308,8 @@ func (c *Cache) TranslateTraced(sp *trace.Span, mod *ovm.Module, mach *target.Ma
 		return f.prog, true, f.err
 	}
 	f := &flight{done: make(chan struct{})}
-	c.inflight[k] = f
-	c.mu.Unlock()
+	sh.inflight[k] = f
+	sh.mu.Unlock()
 
 	// Persistent tier first: a verified disk entry saves the
 	// translation entirely. fromDisk distinguishes "served warm" from
@@ -268,9 +317,7 @@ func (c *Cache) TranslateTraced(sp *trace.Span, mod *ovm.Module, mach *target.Ma
 	prog, fromDisk := c.loadFromDisk(sp, k, mach, si)
 	var err error
 	if !fromDisk {
-		c.mu.Lock()
-		c.stats.Misses++
-		c.mu.Unlock()
+		c.ctr.misses.Add(1)
 		tsp := sp.Child("translate")
 		var tim translate.Timings
 		prog, tim, err = translate.TranslateTimed(mod, mach, si, opt)
@@ -291,12 +338,16 @@ func (c *Cache) TranslateTraced(sp *trace.Span, mod *ovm.Module, mach *target.Ma
 		f.prog = nil
 	}
 
-	c.mu.Lock()
-	delete(c.inflight, k)
+	sh.mu.Lock()
+	delete(sh.inflight, k)
+	var keep *entry
 	if err == nil {
-		c.insertLocked(k, prog)
+		keep = c.insertLocked(sh, k, prog)
 	}
-	c.mu.Unlock()
+	sh.mu.Unlock()
+	if keep != nil {
+		c.evict(keep)
+	}
 	close(f.done)
 	if err != nil {
 		return nil, false, err
@@ -330,14 +381,10 @@ func (c *Cache) loadFromDisk(sp *trace.Span, k string, mach *target.Machine, si 
 			c.logf("mcache: quarantining disk entry for %q: %v", k, qerr)
 		}
 		c.logf("mcache: disk entry for %q quarantined: %v", k, err)
-		c.mu.Lock()
-		c.stats.DiskQuarantines++
-		c.mu.Unlock()
+		c.ctr.diskQuarantines.Add(1)
 		return nil, false
 	}
-	c.mu.Lock()
-	c.stats.DiskHits++
-	c.mu.Unlock()
+	c.ctr.diskHits.Add(1)
 	return prog, true
 }
 
@@ -354,9 +401,7 @@ func (c *Cache) writeThrough(sp *trace.Span, k string, prog *target.Program) {
 		c.logf("mcache: writing %q to disk: %v", k, err)
 		return
 	}
-	c.mu.Lock()
-	c.stats.DiskWrites++
-	c.mu.Unlock()
+	c.ctr.diskWrites.Add(1)
 }
 
 // Insert admits an externally produced translation — the paper's
@@ -372,9 +417,11 @@ func (c *Cache) Insert(mod *ovm.Module, mach *target.Machine, si translate.SegIn
 		return err
 	}
 	k := key(ModuleHash(mod), mach, si, opt)
-	c.mu.Lock()
-	c.insertLocked(k, prog)
-	c.mu.Unlock()
+	sh := c.shardFor(k)
+	sh.mu.Lock()
+	keep := c.insertLocked(sh, k, prog)
+	sh.mu.Unlock()
+	c.evict(keep)
 	c.writeThrough(nil, k, prog)
 	return nil
 }
@@ -396,9 +443,7 @@ func (c *Cache) admit(sp *trace.Span, prog *target.Program, mach *target.Machine
 		st, aerr := absint.CheckStats(prog, mach, si)
 		vsp.Set("absint_stores", st.Stores).Set("absint_indirects", st.Indirects).Set("absint_blocks", st.Blocks)
 		if c.verify == VerifyBoth && (err == nil) != (aerr == nil) {
-			c.mu.Lock()
-			c.stats.Disagreements++
-			c.mu.Unlock()
+			c.ctr.disagreements.Add(1)
 			vsp.Set("disagreement", true)
 			c.logf("mcache: verifier disagreement (sfi.Check: %v; absint: %v)", err, aerr)
 			err = fmt.Errorf("verifier disagreement: sfi.Check says %s, absint says %s (check: %v; absint: %v)",
@@ -409,9 +454,7 @@ func (c *Cache) admit(sp *trace.Span, prog *target.Program, mach *target.Machine
 	}
 	vsp.End()
 	if err != nil {
-		c.mu.Lock()
-		c.stats.Rejected++
-		c.mu.Unlock()
+		c.ctr.rejected.Add(1)
 		return fmt.Errorf("mcache: admission rejected: %w", err)
 	}
 	return nil
@@ -424,36 +467,86 @@ func verdict(err error) string {
 	return "reject"
 }
 
-func (c *Cache) insertLocked(k string, prog *target.Program) {
-	if el, ok := c.byKey[k]; ok {
-		// Raced with another admission of the same key: keep the
-		// incumbent (identical by construction).
-		c.lru.MoveToFront(el)
-		return
+// insertLocked adds an entry to sh (whose lock the caller holds) and
+// returns it so the caller can run eviction with the fresh entry
+// protected. A raced duplicate keeps the incumbent (identical by
+// construction) and refreshes its recency.
+func (c *Cache) insertLocked(sh *shard, k string, prog *target.Program) *entry {
+	if el, ok := sh.byKey[k]; ok {
+		sh.lru.MoveToFront(el)
+		e := el.Value.(*entry)
+		e.stamp = c.clock.Add(1)
+		return e
 	}
-	e := &entry{key: k, prog: prog, size: progSize(prog)}
-	c.byKey[k] = c.lru.PushFront(e)
-	c.bytes += e.size
-	c.stats.Inserts++
-	// Evict least-recently-used entries until within budget; the entry
-	// just inserted survives even if it alone exceeds the limit (it is
-	// in use by the caller).
-	for c.bytes > c.limit && c.lru.Len() > 1 {
-		back := c.lru.Back()
+	e := &entry{key: k, prog: prog, size: progSize(prog), stamp: c.clock.Add(1)}
+	sh.byKey[k] = sh.lru.PushFront(e)
+	c.bytes.Add(e.size)
+	c.ctr.inserts.Add(1)
+	return e
+}
+
+// evict removes least-recently-used entries until the global budget is
+// met, never removing keep (the entry the caller just handed out —
+// it survives even if it alone exceeds the limit). Each shard's list
+// is exactly ordered, so the globally oldest entry is one of the
+// shards' back entries; evict scans those stamps holding one shard
+// lock at a time and removes the minimum. Concurrent touches can
+// reorder between scan and removal, which costs only approximation,
+// never a missing or double-counted entry.
+func (c *Cache) evict(keep *entry) {
+	for c.bytes.Load() > c.limit {
+		var victim *shard
+		oldest := ^uint64(0)
+		for i := range c.shards {
+			sh := &c.shards[i]
+			sh.mu.Lock()
+			if back := sh.lru.Back(); back != nil {
+				e := back.Value.(*entry)
+				if e != keep && e.stamp <= oldest {
+					oldest, victim = e.stamp, sh
+				}
+			}
+			sh.mu.Unlock()
+		}
+		if victim == nil {
+			return
+		}
+		victim.mu.Lock()
+		back := victim.lru.Back()
+		if back == nil || back.Value.(*entry) == keep {
+			victim.mu.Unlock()
+			continue
+		}
 		ev := back.Value.(*entry)
-		c.lru.Remove(back)
-		delete(c.byKey, ev.key)
-		c.bytes -= ev.size
-		c.stats.Evictions++
+		victim.lru.Remove(back)
+		delete(victim.byKey, ev.key)
+		c.bytes.Add(-ev.size)
+		c.ctr.evictions.Add(1)
+		victim.mu.Unlock()
 	}
 }
 
 // Stats returns a snapshot of the counters.
 func (c *Cache) Stats() Stats {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	s := c.stats
-	s.Entries = c.lru.Len()
-	s.CodeBytes = c.bytes
+	s := Stats{
+		Lookups:         c.ctr.lookups.Load(),
+		Hits:            c.ctr.hits.Load(),
+		Coalesced:       c.ctr.coalesced.Load(),
+		Misses:          c.ctr.misses.Load(),
+		Inserts:         c.ctr.inserts.Load(),
+		Evictions:       c.ctr.evictions.Load(),
+		Rejected:        c.ctr.rejected.Load(),
+		Disagreements:   c.ctr.disagreements.Load(),
+		DiskHits:        c.ctr.diskHits.Load(),
+		DiskWrites:      c.ctr.diskWrites.Load(),
+		DiskQuarantines: c.ctr.diskQuarantines.Load(),
+		CodeBytes:       c.bytes.Load(),
+	}
+	for i := range c.shards {
+		sh := &c.shards[i]
+		sh.mu.Lock()
+		s.Entries += sh.lru.Len()
+		sh.mu.Unlock()
+	}
 	return s
 }

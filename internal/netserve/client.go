@@ -3,11 +3,13 @@ package netserve
 import (
 	"bytes"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
 	"net/http"
 	"net/url"
 	"strconv"
+	"time"
 
 	"omniware/internal/serve/metrics"
 	"omniware/internal/trace"
@@ -91,6 +93,65 @@ func (c *Client) Upload(blob []byte) (*UploadResponse, error) {
 		return nil, err
 	}
 	return &out, nil
+}
+
+// RetryPolicy bounds ExecRetry. The zero value selects the defaults.
+type RetryPolicy struct {
+	// Max is the retry budget after the first attempt (default 3).
+	// When it runs out the last refusal is returned.
+	Max int
+	// MaxDelay caps a single backoff, whatever Retry-After asked for
+	// (default 5s). The server's hint is authoritative below the cap.
+	MaxDelay time.Duration
+	// Sleep replaces time.Sleep (tests inject a recorder; nil = real).
+	Sleep func(time.Duration)
+}
+
+// Retryable reports whether err is a shed response worth retrying: a
+// 429 (rate limit or admission-queue full) or a 503 (draining). The
+// client backs off and retries those; everything else — 4xx misuse,
+// transport failures — is returned to the caller as-is.
+func Retryable(err error) bool {
+	var se *StatusError
+	if !errors.As(err, &se) {
+		return false
+	}
+	return se.Code == http.StatusTooManyRequests || se.Code == http.StatusServiceUnavailable
+}
+
+// ExecRetry is Exec with a bounded retry loop over shed responses,
+// honoring the server's Retry-After hint: on a 429/503 it sleeps the
+// advertised seconds (capped by pol.MaxDelay, with a small default
+// when the server sent no hint) and tries again, at most pol.Max
+// times. This is the client half of the server's backpressure
+// contract — the server sheds cheaply and immediately, and the client
+// owns the retry schedule.
+func (c *Client) ExecRetry(r ExecRequest, pol RetryPolicy) (*ExecResponse, error) {
+	if pol.Max <= 0 {
+		pol.Max = 3
+	}
+	if pol.MaxDelay <= 0 {
+		pol.MaxDelay = 5 * time.Second
+	}
+	sleep := pol.Sleep
+	if sleep == nil {
+		sleep = time.Sleep
+	}
+	for attempt := 0; ; attempt++ {
+		resp, err := c.Exec(r)
+		if err == nil || !Retryable(err) || attempt >= pol.Max {
+			return resp, err
+		}
+		d := 100 * time.Millisecond // server sent no hint
+		var se *StatusError
+		if errors.As(err, &se) && se.RetryAfter > 0 {
+			d = time.Duration(se.RetryAfter) * time.Second
+		}
+		if d > pol.MaxDelay {
+			d = pol.MaxDelay
+		}
+		sleep(d)
+	}
 }
 
 // Exec runs an uploaded module and returns the outcome.

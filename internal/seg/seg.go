@@ -8,7 +8,7 @@ package seg
 import (
 	"encoding/binary"
 	"fmt"
-	"sort"
+	"math/bits"
 )
 
 // PageSize is the protection granularity within a segment.
@@ -94,6 +94,13 @@ type Segment struct {
 	Base  uint32
 	data  []byte
 	perms []Perm // one per page
+
+	// dirty, when non-nil, tracks pages written since the last Recycle
+	// (one bit per page). Reusable segments carry it so Recycle can
+	// restore the all-zero guarantee by clearing only the pages a run
+	// actually touched instead of the whole (multi-megabyte) segment.
+	// Ordinary segments leave it nil and pay nothing beyond the check.
+	dirty []uint64
 }
 
 // Size returns the segment length in bytes.
@@ -103,8 +110,67 @@ func (s *Segment) Size() uint32 { return uint32(len(s.data)) }
 func (s *Segment) End() uint32 { return s.Base + s.Size() }
 
 // Bytes exposes the backing store (host-side access, not permission
-// checked; the host owns the address space).
+// checked; the host owns the address space). A writer mutating a
+// reusable segment through this escape hatch must report the range
+// with MarkDirty, or Recycle cannot restore the zero guarantee.
 func (s *Segment) Bytes() []byte { return s.data }
+
+// MarkDirty records that [off, off+n) was written outside the
+// permission-checked store path. No-op on ordinary segments.
+func (s *Segment) MarkDirty(off, n uint32) {
+	if s.dirty == nil || n == 0 {
+		return
+	}
+	first := off / PageSize
+	last := (off + n - 1) / PageSize
+	for p := first; p <= last; p++ {
+		s.dirty[p/64] |= 1 << (p % 64)
+	}
+}
+
+// NewPooledSegment creates an unattached, dirty-tracked segment for
+// reuse across address spaces (the serving layer's host pool). The
+// returned segment is pristine: all-zero data, uniform perms.
+func NewPooledSegment(name string, base, size uint32, perms Perm) (*Segment, error) {
+	if size == 0 || size%PageSize != 0 {
+		return nil, fmt.Errorf("seg: pooled segment %q size %#x not a page multiple", name, size)
+	}
+	if base%PageSize != 0 {
+		return nil, fmt.Errorf("seg: pooled segment %q base %#x not page aligned", name, base)
+	}
+	pages := size / PageSize
+	s := &Segment{
+		Name:  name,
+		Base:  base,
+		data:  make([]byte, size),
+		perms: make([]Perm, pages),
+		dirty: make([]uint64, (pages+63)/64),
+	}
+	for i := range s.perms {
+		s.perms[i] = perms
+	}
+	return s, nil
+}
+
+// Recycle restores a dirty-tracked segment to pristine state under a
+// possibly new identity: every page written since the last Recycle
+// (or creation) is zeroed, permissions are reset uniformly, and the
+// name/base are updated. The segment must not be attached to any
+// Memory when recycled. Allocation-free.
+func (s *Segment) Recycle(name string, base uint32, perms Perm) {
+	for w, word := range s.dirty {
+		for word != 0 {
+			p := uint32(w*64 + bits.TrailingZeros64(word))
+			word &= word - 1
+			clear(s.data[p*PageSize : (p+1)*PageSize])
+		}
+		s.dirty[w] = 0
+	}
+	for i := range s.perms {
+		s.perms[i] = perms
+	}
+	s.Name, s.Base = name, base
+}
 
 // Memory is a segmented address space. The zero value is empty; add
 // segments with Map.
@@ -136,9 +202,49 @@ func (m *Memory) Map(name string, base, size uint32, perms Perm) (*Segment, erro
 		pp[i] = perms
 	}
 	s := &Segment{Name: name, Base: base, data: make([]byte, size), perms: pp}
-	m.segs = append(m.segs, s)
-	sort.Slice(m.segs, func(i, j int) bool { return m.segs[i].Base < m.segs[j].Base })
+	m.insert(s)
 	return s, nil
+}
+
+// insert places s into the base-sorted segment list (the caller has
+// already checked overlap). Allocation-free once the list's capacity
+// has grown to its working size.
+func (m *Memory) insert(s *Segment) {
+	i := len(m.segs)
+	for i > 0 && m.segs[i-1].Base > s.Base {
+		i--
+	}
+	m.segs = append(m.segs, nil)
+	copy(m.segs[i+1:], m.segs[i:])
+	m.segs[i] = s
+}
+
+// Attach maps an existing (typically pooled) segment into this
+// address space, with the same overlap discipline as Map.
+func (m *Memory) Attach(s *Segment) error {
+	if s.Base%PageSize != 0 {
+		return fmt.Errorf("seg: attach %q: base %#x not page aligned", s.Name, s.Base)
+	}
+	if s.Base+s.Size() < s.Base {
+		return fmt.Errorf("seg: attach %q: segment wraps the address space", s.Name)
+	}
+	for _, o := range m.segs {
+		if s.Base < o.End() && o.Base < s.Base+s.Size() {
+			return fmt.Errorf("seg: attach %q [%#x,%#x) overlaps %q", s.Name, s.Base, s.Base+s.Size(), o.Name)
+		}
+	}
+	m.insert(s)
+	return nil
+}
+
+// Reset detaches every segment, leaving an empty address space. The
+// segments themselves (and their contents) are untouched — this is
+// the reuse path's "tear down the mapping, keep the backing store".
+func (m *Memory) Reset() {
+	for i := range m.segs {
+		m.segs[i] = nil
+	}
+	m.segs = m.segs[:0]
 }
 
 // Unmap removes the segment at base.
@@ -231,8 +337,12 @@ func (m *Memory) check(addr uint32, size int, acc Access) (*Segment, uint32, *Fa
 	// An access that straddles a page boundary needs permission on both
 	// pages; with power-of-two sizes and alignment enforced above, an
 	// access never straddles, so one page check suffices.
-	if s.perms[(addr-s.Base)/PageSize]&need == 0 {
+	page := (addr - s.Base) / PageSize
+	if s.perms[page]&need == 0 {
 		return nil, 0, &Fault{Kind: FaultProt, Acc: acc, Addr: addr, Size: size}
+	}
+	if acc == AccStore && s.dirty != nil {
+		s.dirty[page/64] |= 1 << (page % 64)
 	}
 	return s, addr - s.Base, nil
 }

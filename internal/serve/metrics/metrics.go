@@ -77,10 +77,12 @@ type StageSnapshot struct {
 	P95Us float64 `json:"p95_us"`
 	P99Us float64 `json:"p99_us"`
 
-	// Hist carries the raw buckets for the Prometheus rendering; it is
-	// omitted from the JSON snapshot (quantiles are what dashboards
-	// want there).
-	Hist trace.HistSnapshot `json:"-"`
+	// Hist carries the raw buckets — the Prometheus rendering walks
+	// them, and the JSON snapshot exposes them so interval consumers
+	// (omniload's before/after delta) can subtract two snapshots
+	// bucket-wise and compute true interval quantiles instead of
+	// conflating them with the process-lifetime ones above.
+	Hist trace.HistSnapshot `json:"hist"`
 }
 
 func stageSnap(h *trace.Histogram) StageSnapshot {

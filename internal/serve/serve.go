@@ -17,7 +17,6 @@ import (
 	"errors"
 	"fmt"
 	"runtime"
-	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -317,12 +316,18 @@ func (s *Server) worker() {
 	}
 }
 
+// errJobPanic marks the error execute synthesizes when a job panics a
+// worker; the panic was absorbed, so it classifies as contained.
+var errJobPanic = errors.New("job panicked")
+
 // contained reports whether a job error is a fault the sandbox
 // absorbed (as opposed to a malformed request the server refused).
+// Classification is by typed sentinel, not message text: a reworded
+// error cannot silently stop counting as contained.
 func contained(err error) bool {
-	return strings.Contains(err.Error(), "budget") ||
-		strings.Contains(err.Error(), "interrupted") ||
-		strings.Contains(err.Error(), "panic")
+	return errors.Is(err, core.ErrBudget) ||
+		errors.Is(err, core.ErrInterrupted) ||
+		errors.Is(err, errJobPanic)
 }
 
 // execute runs one job start to finish, hanging stage spans off the
@@ -334,7 +339,7 @@ func (s *Server) execute(j Job, tr *trace.Trace) (r Result) {
 	root := tr.Root
 	defer func() {
 		if p := recover(); p != nil {
-			r.Err = fmt.Errorf("serve: job %q panic: %v", j.ID, p)
+			r.Err = fmt.Errorf("serve: job %q %w: %v", j.ID, errJobPanic, p)
 			s.met.FaultsContained.Add(1)
 		}
 	}()
@@ -345,10 +350,13 @@ func (s *Server) execute(j Job, tr *trace.Trace) (r Result) {
 
 	// Every job gets its own address space, layout and host
 	// environment; only the module and the cached translation are
-	// shared, and both are immutable.
+	// shared, and both are immutable. The address space is drawn from
+	// the host pool — recycled, scrubbed segments rather than a fresh
+	// 16 MB allocation per job — which is what keeps the warm-cache
+	// execute path allocation-free.
 	var stop atomic.Bool
 	lsp := root.Child("load")
-	h, err := core.NewHost(j.Mod, core.RunConfig{
+	h, err := core.AcquireHost(j.Mod, core.RunConfig{
 		Heap:      j.Heap,
 		Stack:     j.Stack,
 		MaxSteps:  j.MaxSteps,
@@ -361,6 +369,7 @@ func (s *Server) execute(j Job, tr *trace.Trace) (r Result) {
 		r.Err = fmt.Errorf("serve: job %q load: %w", j.ID, err)
 		return r
 	}
+	defer h.Release()
 	if j.Setup != nil {
 		ssp := root.Child("setup")
 		err := j.Setup(h)
@@ -404,7 +413,7 @@ func (s *Server) execute(j Job, tr *trace.Trace) (r Result) {
 	res, err := h.RunProgram(j.Machine, prog)
 	execDur := xsp.End()
 	if err != nil {
-		if stop.Load() && strings.Contains(err.Error(), "interrupted") {
+		if stop.Load() && errors.Is(err, core.ErrInterrupted) {
 			s.met.Timeouts.Add(1)
 		}
 		if contained(err) {

@@ -9,6 +9,14 @@ import (
 	"omniware/internal/seg"
 )
 
+// ErrBudget and ErrInterrupted alias the hostapi sentinels both
+// executors wrap, so callers holding only this package can still
+// classify run terminations with errors.Is.
+var (
+	ErrBudget      = hostapi.ErrBudget
+	ErrInterrupted = hostapi.ErrInterrupted
+)
+
 // Exception kind codes delivered in r1 to a module's access-violation
 // handler; the values match internal/interp's ExcKind codes so a
 // module sees the same ABI under interpretation and translation.
@@ -86,6 +94,18 @@ func New(m *Machine, prog *Program, mem *seg.Memory, env *hostapi.Env) *Sim {
 	s.SetIntReg(14, env.Layout.StackTop) // OmniVM sp
 	s.SetIntReg(15, 0x7fffffff)          // returning from entry halts
 	return s
+}
+
+// Reset reinitializes a simulator in place — New without the
+// allocation, for callers that embed a Sim and reuse it across runs
+// (the serving layer's pooled hosts). The zero-value assignment
+// clears every piece of run state (registers, counters, pipeline
+// clock); the tail mirrors New exactly.
+func (s *Sim) Reset(m *Machine, prog *Program, mem *seg.Memory, env *hostapi.Env) {
+	*s = Sim{M: m, Prog: prog, Mem: mem, Env: env, pc: prog.Entry}
+	s.pipe.init(m)
+	s.SetIntReg(14, env.Layout.StackTop)
+	s.SetIntReg(15, 0x7fffffff)
 }
 
 // regSaveAddr is the memory slot of OmniVM integer register i.
@@ -215,7 +235,7 @@ func (s *Sim) Run() (Result, error) {
 	n := int32(len(code))
 	for {
 		if s.MaxInsts > 0 && s.insts >= s.MaxInsts {
-			return Result{}, fmt.Errorf("target/%s: instruction budget %d exhausted at pc=%d", s.M.Name, s.MaxInsts, s.pc)
+			return Result{}, fmt.Errorf("target/%s: %w (%d) at pc=%d", s.M.Name, hostapi.ErrBudget, s.MaxInsts, s.pc)
 		}
 		// A threshold (not insts&mask == 0) because delay-slot machines
 		// account two instructions per branch iteration: an exact-match
@@ -223,7 +243,7 @@ func (s *Sim) Run() (Result, error) {
 		if s.Interrupt != nil && s.insts >= s.nextPoll {
 			s.nextPoll = s.insts + 0x1000
 			if s.Interrupt.Load() {
-				return Result{}, fmt.Errorf("target/%s: run interrupted at pc=%d after %d instructions", s.M.Name, s.pc, s.insts)
+				return Result{}, fmt.Errorf("target/%s: %w at pc=%d after %d instructions", s.M.Name, hostapi.ErrInterrupted, s.pc, s.insts)
 			}
 		}
 		if s.pc < 0 || s.pc >= n {

@@ -64,6 +64,34 @@ func (h *Histogram) Snapshot() HistSnapshot {
 	return s
 }
 
+// Sub returns the interval histogram between two snapshots of the
+// same histogram: s minus an earlier snapshot prev, bucket-wise.
+// Counters only grow, so a negative difference means the snapshots
+// are from different histograms (or swapped); those clamp to zero
+// rather than poisoning the quantiles.
+func (s HistSnapshot) Sub(prev HistSnapshot) HistSnapshot {
+	d := HistSnapshot{Counts: make([]uint64, NumBuckets+1)}
+	if s.Count > prev.Count {
+		d.Count = s.Count - prev.Count
+	}
+	if s.SumNs > prev.SumNs {
+		d.SumNs = s.SumNs - prev.SumNs
+	}
+	for i := range d.Counts {
+		var a, b uint64
+		if i < len(s.Counts) {
+			a = s.Counts[i]
+		}
+		if i < len(prev.Counts) {
+			b = prev.Counts[i]
+		}
+		if a > b {
+			d.Counts[i] = a - b
+		}
+	}
+	return d
+}
+
 // Quantile estimates the q-th quantile (0 < q <= 1) by linear
 // interpolation within the bucket holding the target rank. Defined
 // edge behaviour, pinned by tests:
