@@ -11,6 +11,18 @@
 //	omnictl bench -addr URL [-duration 10s] [-json]
 //	omnictl trace -addr URL ID          (or -recent [-n N])
 //	omnictl health -addr URL
+//	omnictl cluster status -addrs URL,URL,...
+//	omnictl cluster ring -addrs URL,URL,... [-fanout n] [HASH ...]
+//	omnictl cluster metrics -addrs URL,URL,... [-per-node]
+//	omnictl cluster exec -addrs URL,URL,... -module HASH [exec flags]
+//	omnictl cluster upload -addrs URL,URL,... mod.omw
+//
+// cluster talks to an omnicluster through the same hash-routing
+// failover client the load generator uses: status polls every member's
+// health and peer-fill counters, ring prints the consistent-hash
+// ownership (per module hash when given), metrics sums every member's
+// snapshot into one fleet view, and upload/exec route to a module's
+// ring owners with automatic failover past dead members.
 //
 // bench is the observation side of a load run: it snapshots the
 // daemon's metrics, waits for the window (during which omniload — or
@@ -42,9 +54,11 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"strings"
 	"time"
 
 	"omniware/internal/cc"
+	"omniware/internal/cluster"
 	"omniware/internal/core"
 	"omniware/internal/load"
 	"omniware/internal/netserve"
@@ -57,7 +71,7 @@ func main() {
 }
 
 func usage(stderr io.Writer) int {
-	fmt.Fprintln(stderr, "usage: omnictl {build|upload|exec|metrics|bench|trace|health} [flags]")
+	fmt.Fprintln(stderr, "usage: omnictl {build|upload|exec|metrics|bench|trace|health|cluster} [flags]")
 	return serve.ExitInfra
 }
 
@@ -82,6 +96,8 @@ func run(args []string, stdout, stderr io.Writer) int {
 		return cmdTrace(rest, stdout, stderr)
 	case "health":
 		return cmdHealth(rest, stdout, stderr)
+	case "cluster":
+		return cmdCluster(rest, stdout, stderr)
 	default:
 		fmt.Fprintf(stderr, "omnictl: unknown command %q\n", cmd)
 		return usage(stderr)
@@ -304,6 +320,229 @@ func cmdTrace(args []string, stdout, stderr io.Writer) int {
 		return serve.ExitOK
 	}
 	fmt.Fprint(stdout, tr.Render())
+	return serve.ExitOK
+}
+
+// newClusterFlagSet is newFlagSet for cluster subcommands: -addrs
+// instead of -addr, parsed into a member list.
+func newClusterFlagSet(name string, stderr io.Writer) (*flag.FlagSet, *string) {
+	fs := flag.NewFlagSet("omnictl cluster "+name, flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	addrs := fs.String("addrs", "", "comma-separated cluster member base URLs")
+	return fs, addrs
+}
+
+func splitAddrs(s string) []string {
+	var out []string
+	for _, a := range strings.Split(s, ",") {
+		if a = strings.TrimSpace(a); a != "" {
+			out = append(out, a)
+		}
+	}
+	return out
+}
+
+func cmdCluster(args []string, stdout, stderr io.Writer) int {
+	if len(args) == 0 {
+		fmt.Fprintln(stderr, "usage: omnictl cluster {status|ring|metrics|upload|exec} -addrs URL,URL,... [flags]")
+		return serve.ExitInfra
+	}
+	sub, rest := args[0], args[1:]
+	switch sub {
+	case "status":
+		return cmdClusterStatus(rest, stdout, stderr)
+	case "ring":
+		return cmdClusterRing(rest, stdout, stderr)
+	case "metrics":
+		return cmdClusterMetrics(rest, stdout, stderr)
+	case "upload":
+		return cmdClusterUpload(rest, stdout, stderr)
+	case "exec":
+		return cmdClusterExec(rest, stdout, stderr)
+	default:
+		fmt.Fprintf(stderr, "omnictl cluster: unknown subcommand %q\n", sub)
+		return serve.ExitInfra
+	}
+}
+
+// cmdClusterStatus polls every member: health, then the cluster
+// section of its metrics (peer-fill hits, quarantines, failovers).
+// Dead members are reported, not fatal — that is the point of asking.
+func cmdClusterStatus(args []string, stdout, stderr io.Writer) int {
+	fs, addrs := newClusterFlagSet("status", stderr)
+	if err := fs.Parse(args); err != nil {
+		return serve.ExitInfra
+	}
+	members := splitAddrs(*addrs)
+	if len(members) == 0 {
+		fmt.Fprintln(stderr, "omnictl cluster status: -addrs is required")
+		return serve.ExitInfra
+	}
+	down := 0
+	for _, m := range members {
+		cl := &netserve.Client{Base: m}
+		if err := cl.Health(); err != nil {
+			down++
+			fmt.Fprintf(stdout, "%-28s DOWN  %v\n", m, err)
+			continue
+		}
+		snap, err := cl.Metrics()
+		if err != nil {
+			down++
+			fmt.Fprintf(stdout, "%-28s DOWN  metrics: %v\n", m, err)
+			continue
+		}
+		line := fmt.Sprintf("%-28s ok    run=%d translations=%d peer_hits=%d peer_quarantines=%d",
+			m, snap.JobsRun, snap.Translations, snap.CachePeerHits, snap.CachePeerQuarantines)
+		if snap.Cluster != nil {
+			line += fmt.Sprintf(" failovers=%d", snap.Cluster.Failovers)
+		}
+		fmt.Fprintln(stdout, line)
+	}
+	if down > 0 {
+		fmt.Fprintf(stderr, "omnictl: %d of %d members down\n", down, len(members))
+		return serve.ExitFaults
+	}
+	return serve.ExitOK
+}
+
+// cmdClusterRing prints the consistent-hash view every node and client
+// share: the sorted member list, and — per module hash argument — the
+// owner set in failover order.
+func cmdClusterRing(args []string, stdout, stderr io.Writer) int {
+	fs, addrs := newClusterFlagSet("ring", stderr)
+	fanout := fs.Int("fanout", 0, "owners per module (0 = default 2)")
+	if err := fs.Parse(args); err != nil {
+		return serve.ExitInfra
+	}
+	members := splitAddrs(*addrs)
+	if len(members) == 0 {
+		fmt.Fprintln(stderr, "omnictl cluster ring: -addrs is required")
+		return serve.ExitInfra
+	}
+	cl, err := cluster.NewClient(cluster.ClientConfig{Addrs: members, Fanout: *fanout})
+	if err != nil {
+		return fail(stderr, err)
+	}
+	for _, m := range cl.Ring().Members() {
+		fmt.Fprintf(stdout, "member %s\n", m)
+	}
+	n := *fanout
+	if n <= 0 {
+		n = 2
+	}
+	for _, hash := range fs.Args() {
+		fmt.Fprintf(stdout, "owners %s -> %s\n", hash, strings.Join(cl.Ring().Owners(hash, n), " "))
+	}
+	return serve.ExitOK
+}
+
+// cmdClusterMetrics prints the fleet-wide snapshot (every member
+// summed, stage histograms added bucket-wise) or, with -per-node, each
+// member's snapshot keyed by address.
+func cmdClusterMetrics(args []string, stdout, stderr io.Writer) int {
+	fs, addrs := newClusterFlagSet("metrics", stderr)
+	perNode := fs.Bool("per-node", false, "print each member's snapshot instead of the fleet sum")
+	if err := fs.Parse(args); err != nil {
+		return serve.ExitInfra
+	}
+	members := splitAddrs(*addrs)
+	if len(members) == 0 {
+		fmt.Fprintln(stderr, "omnictl cluster metrics: -addrs is required")
+		return serve.ExitInfra
+	}
+	if *perNode {
+		out := map[string]any{}
+		for _, m := range members {
+			snap, err := (&netserve.Client{Base: m}).Metrics()
+			if err != nil {
+				return fail(stderr, err)
+			}
+			out[m] = snap
+		}
+		printJSON(stdout, out)
+		return serve.ExitOK
+	}
+	sum, err := load.FleetMetrics(members)
+	if err != nil {
+		return fail(stderr, err)
+	}
+	printJSON(stdout, sum)
+	return serve.ExitOK
+}
+
+// cmdClusterUpload routes a module to its ring owners (each owner gets
+// a copy) with failover past dead members.
+func cmdClusterUpload(args []string, stdout, stderr io.Writer) int {
+	fs, addrs := newClusterFlagSet("upload", stderr)
+	if err := fs.Parse(args); err != nil {
+		return serve.ExitInfra
+	}
+	members := splitAddrs(*addrs)
+	if len(members) == 0 || fs.NArg() != 1 {
+		fmt.Fprintln(stderr, "omnictl cluster upload: -addrs and exactly one module file are required")
+		return serve.ExitInfra
+	}
+	blob, err := os.ReadFile(fs.Arg(0))
+	if err != nil {
+		return fail(stderr, err)
+	}
+	cl, err := cluster.NewClient(cluster.ClientConfig{Addrs: members})
+	if err != nil {
+		return fail(stderr, err)
+	}
+	resp, err := cl.Upload(blob)
+	if err != nil {
+		return fail(stderr, err)
+	}
+	printJSON(stdout, resp)
+	return serve.ExitOK
+}
+
+// cmdClusterExec is exec through the hash-routing failover client: the
+// job goes to the module's owners first and fails over past dead or
+// shedding members.
+func cmdClusterExec(args []string, stdout, stderr io.Writer) int {
+	fs, addrs := newClusterFlagSet("exec", stderr)
+	module := fs.String("module", "", "module content hash (from upload)")
+	tgt := fs.String("target", "mips", "target machine (mips|sparc|ppc|x86)")
+	noSFI := fs.Bool("no-sfi", false, "run without software fault isolation")
+	maxSteps := fs.Uint64("max-steps", 0, "instruction budget (0 = server default)")
+	deadlineMs := fs.Int("deadline-ms", 0, "wall-clock deadline (0 = server default)")
+	check := fs.Bool("check", false, "also run the interpreter and verify parity")
+	if err := fs.Parse(args); err != nil {
+		return serve.ExitInfra
+	}
+	members := splitAddrs(*addrs)
+	if len(members) == 0 || *module == "" {
+		fmt.Fprintln(stderr, "omnictl cluster exec: -addrs and -module are required")
+		return serve.ExitInfra
+	}
+	cl, err := cluster.NewClient(cluster.ClientConfig{Addrs: members})
+	if err != nil {
+		return fail(stderr, err)
+	}
+	sfi := !*noSFI
+	resp, err := cl.Exec(netserve.ExecRequest{
+		Module:     *module,
+		Target:     *tgt,
+		SFI:        &sfi,
+		MaxSteps:   *maxSteps,
+		DeadlineMs: *deadlineMs,
+		Check:      *check,
+	})
+	if err != nil {
+		return fail(stderr, err)
+	}
+	printJSON(stdout, resp)
+	switch {
+	case *check && (resp.Parity == nil || !*resp.Parity):
+		// Parity loss is a system failure, never a module failure.
+		fmt.Fprintln(stderr, "omnictl: parity FAILED")
+		return serve.ExitInfra
+	case resp.Status != "ok":
+		return serve.ExitFaults
+	}
 	return serve.ExitOK
 }
 

@@ -10,7 +10,8 @@
 //
 // Usage:
 //
-//	omniload run [-addr URL] [-mode closed|open] [-jobs N] [-seed N]
+//	omniload run [-addr URL | -addrs URL,URL,... | -cluster N]
+//	             [-mode closed|open] [-jobs N] [-seed N]
 //	             [-clients N] [-rate R] [-mix W=w,...] [-targets T=w,...]
 //	             [-scale N] [-deadline-ms N] [-prewarm] [-check] [-no-sfi]
 //	             [-allocs] [-out BENCH.json] [-quiet]
@@ -19,7 +20,10 @@
 // Without -addr, run boots an in-process omniserved on a loopback
 // port and drives that — the hermetic mode the checked-in BENCH_*.json
 // artifacts and the CI smoke job use. With -addr it drives a live
-// daemon. -allocs additionally runs the host-lifecycle allocation
+// daemon. -addrs drives a running cluster through the hash-routing
+// failover client and sums every member's metrics for the server
+// delta; -cluster N boots an in-process N-node cluster first (the
+// hermetic mode behind BENCH_2.json). -allocs additionally runs the host-lifecycle allocation
 // benchmarks (testing.Benchmark in-process) and embeds allocs/op.
 //
 // validate re-checks an emitted report's schema and internal
@@ -109,6 +113,8 @@ func cmdRun(args []string, stdout, stderr io.Writer) int {
 	fs := flag.NewFlagSet("omniload run", flag.ContinueOnError)
 	fs.SetOutput(stderr)
 	addr := fs.String("addr", "", "omniserved base URL (empty: boot an in-process server)")
+	addrs := fs.String("addrs", "", "comma-separated cluster member URLs (hash-routed with failover)")
+	clusterN := fs.Int("cluster", 0, "boot an in-process N-node cluster and drive it")
 	mode := fs.String("mode", "closed", "load mode: closed (N clients) or open (fixed rate)")
 	clients := fs.Int("clients", 8, "closed-loop concurrent clients")
 	rate := fs.Float64("rate", 100, "open-loop arrivals per second")
@@ -138,8 +144,24 @@ func cmdRun(args []string, stdout, stderr io.Writer) int {
 		return fail(stderr, fmt.Errorf("-targets: %w", err))
 	}
 
+	var memberAddrs []string
+	if *addrs != "" {
+		for _, a := range strings.Split(*addrs, ",") {
+			if a = strings.TrimSpace(a); a != "" {
+				memberAddrs = append(memberAddrs, a)
+			}
+		}
+	}
+	if *clusterN > 0 && (len(memberAddrs) > 0 || *addr != "") {
+		return fail(stderr, fmt.Errorf("-cluster is exclusive with -addr/-addrs"))
+	}
+	if len(memberAddrs) > 0 && *addr != "" {
+		return fail(stderr, fmt.Errorf("-addr and -addrs are exclusive"))
+	}
+
 	cfg := load.Config{
 		Addr:       *addr,
+		Addrs:      memberAddrs,
 		Mode:       *mode,
 		Clients:    *clients,
 		Rate:       *rate,
@@ -153,7 +175,17 @@ func cmdRun(args []string, stdout, stderr io.Writer) int {
 		Prewarm:    *prewarm,
 		Check:      *check,
 	}
-	if cfg.Addr == "" {
+	switch {
+	case *clusterN > 0:
+		b, err := load.BootCluster(*clusterN, load.BootOpts{Workers: *workers, QueueCap: *queueCap})
+		if err != nil {
+			return fail(stderr, err)
+		}
+		defer b.Close()
+		cfg.Addrs = b.Addrs
+		fmt.Fprintf(stderr, "omniload: booted in-process %d-node cluster at %s\n",
+			*clusterN, strings.Join(b.Addrs, " "))
+	case cfg.Addr == "" && len(cfg.Addrs) == 0:
 		b, err := load.Boot(load.BootOpts{Workers: *workers, QueueCap: *queueCap})
 		if err != nil {
 			return fail(stderr, err)

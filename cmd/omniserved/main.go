@@ -11,6 +11,15 @@
 //	           [-rate r] [-burst n] [-max-modules n]
 //	           [-deadline-ms n] [-max-deadline-ms n]
 //	           [-debug-addr host:port]
+//	           [-cluster-self URL -cluster-members URL,URL,...]
+//	           [-cluster-fanout n] [-cluster-hot-k n] [-cluster-replicate-ms n]
+//
+// With -cluster-members (a static member list shared by every node,
+// including this node's own -cluster-self URL), the daemon joins an
+// omnicluster: translation-cache misses probe the module's ring
+// owners over GET /v1/peer/translation before retranslating, every
+// arriving artifact is re-verified locally before admission, and hot
+// translations are pushed to their owners each replication round.
 //
 // The daemon prints "listening on ADDR" to stderr once the socket is
 // bound (pass -addr 127.0.0.1:0 to let the kernel pick a free port —
@@ -37,9 +46,11 @@ import (
 	"net/http/pprof"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
+	"omniware/internal/cluster"
 	"omniware/internal/mcache"
 	"omniware/internal/mcache/diskstore"
 	"omniware/internal/netserve"
@@ -65,6 +76,11 @@ func run(args []string, stderr *os.File) int {
 	deadlineMs := fs.Int("deadline-ms", int(netserve.DefaultDeadline/time.Millisecond), "default per-request deadline")
 	maxDeadlineMs := fs.Int("max-deadline-ms", int(netserve.DefaultMaxDeadline/time.Millisecond), "cap on client-requested deadlines")
 	debugAddr := fs.String("debug-addr", "", "pprof listener address (empty = disabled)")
+	clusterSelf := fs.String("cluster-self", "", "this node's base URL as peers reach it (e.g. http://10.0.0.1:8080)")
+	clusterMembers := fs.String("cluster-members", "", "comma-separated member base URLs, including self")
+	clusterFanout := fs.Int("cluster-fanout", 0, "ring owners per module (0 = default 2)")
+	clusterHotK := fs.Int("cluster-hot-k", 0, "hot translations replicated per round (0 = default)")
+	clusterReplicateMs := fs.Int("cluster-replicate-ms", 0, "hot-module replication interval (0 = default, <0 = off)")
 	if err := fs.Parse(args); err != nil {
 		return serve.ExitInfra
 	}
@@ -88,12 +104,51 @@ func run(args []string, stderr *os.File) int {
 		}
 	}
 
+	// Cluster mode: the cluster engine becomes the cache's peer source
+	// (misses probe ring owners before retranslating — every arrival
+	// re-verified locally) and the HTTP layer's peer endpoint backend.
+	var peers *cluster.Peers
+	if *clusterMembers != "" {
+		var members []string
+		for _, m := range strings.Split(*clusterMembers, ",") {
+			if m = strings.TrimSpace(m); m != "" {
+				members = append(members, m)
+			}
+		}
+		replicate := time.Duration(*clusterReplicateMs) * time.Millisecond
+		if *clusterReplicateMs < 0 {
+			replicate = -1
+		}
+		var err error
+		peers, err = cluster.New(cluster.Config{
+			Self:           *clusterSelf,
+			Members:        members,
+			Fanout:         *clusterFanout,
+			HotK:           *clusterHotK,
+			ReplicateEvery: replicate,
+			Logf:           logf,
+		})
+		if err != nil {
+			logf("%v", err)
+			return serve.ExitInfra
+		}
+		cacheCfg.Peer = peers
+		logf("cluster: self=%s members=%d fanout=%d", peers.Self(), len(members), *clusterFanout)
+	} else if *clusterSelf != "" {
+		logf("-cluster-self requires -cluster-members")
+		return serve.ExitInfra
+	}
+
+	cache := mcache.NewWith(cacheCfg)
 	srv := serve.New(serve.Config{
 		Workers:  *workers,
 		QueueCap: *queue,
-		Cache:    mcache.NewWith(cacheCfg),
+		Cache:    cache,
 	})
-	h, err := netserve.New(netserve.Config{
+	if peers != nil {
+		srv.SetClusterSnapshot(peers.Snapshot)
+	}
+	netCfg := netserve.Config{
 		Server:      srv,
 		MaxModules:  *maxModules,
 		Rate:        *rate,
@@ -101,10 +156,20 @@ func run(args []string, stderr *os.File) int {
 		Deadline:    time.Duration(*deadlineMs) * time.Millisecond,
 		MaxDeadline: time.Duration(*maxDeadlineMs) * time.Millisecond,
 		Logf:        logf,
-	})
+	}
+	if peers != nil {
+		// Assigned only when non-nil: a typed nil in the interface field
+		// would enable the peer endpoints with no backend behind them.
+		netCfg.Peer = peers
+	}
+	h, err := netserve.New(netCfg)
 	if err != nil {
 		logf("%v", err)
 		return serve.ExitInfra
+	}
+	if peers != nil {
+		peers.Start(cache)
+		defer peers.Close()
 	}
 
 	ln, err := net.Listen("tcp", *addr)

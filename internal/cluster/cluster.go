@@ -1,0 +1,351 @@
+package cluster
+
+import (
+	"errors"
+	"fmt"
+	"log"
+	"net/http"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"omniware/internal/mcache"
+	"omniware/internal/netserve"
+	"omniware/internal/serve/metrics"
+	"omniware/internal/target"
+	"omniware/internal/wire"
+)
+
+// Config describes one node's view of the cluster. Self must appear
+// in Members; every node must be configured with the same Members
+// list (membership is static — there is no gossip or discovery).
+type Config struct {
+	Self    string   // this node's advertised base URL
+	Members []string // all nodes' base URLs, including Self
+	// Fanout is how many owners each module hash has on the ring
+	// (default 2): the nodes an exec routes to, a miss peer-fills
+	// from, and replication pushes to.
+	Fanout int
+	// HotK caps how many of this node's hottest cache entries each
+	// replication round offers to their owners (default 8).
+	HotK int
+	// ReplicateEvery is the replication period (default 2s).
+	// Negative disables the background replicator; ReplicateOnce
+	// still works.
+	ReplicateEvery time.Duration
+	Vnodes         int          // ring points per member (default DefaultVnodes)
+	HTTP           *http.Client // peer HTTP client (default http.DefaultClient)
+	Logf           func(format string, args ...any)
+}
+
+// peerCounters is one remote member's attribution, updated lock-free
+// from the serving hot path.
+type peerCounters struct {
+	hits        atomic.Uint64
+	quarantines atomic.Uint64
+	errors      atomic.Uint64
+	pushes      atomic.Uint64
+}
+
+// Peers is a node's cluster engine: it implements mcache.PeerSource
+// (the translation peer-fill path) and netserve.PeerHooks (the module
+// fetch path), and runs the hot-entry replicator. One Peers is shared
+// by the node's cache and its HTTP handler.
+type Peers struct {
+	cfg   Config
+	ring  *Ring
+	stats map[string]*peerCounters // fixed key set: every member but self
+
+	failovers atomic.Uint64
+
+	mu    sync.Mutex
+	cache *mcache.Cache // bound by Start
+	// pushed remembers (key, peer) pairs already replicated so each
+	// hot entry is offered to an owner once, not once per tick.
+	pushed map[string]bool
+
+	stop    chan struct{}
+	stopped sync.Once
+	wg      sync.WaitGroup
+}
+
+// New validates cfg and builds the node's cluster engine. The
+// returned Peers is inert until Start binds it to the node's cache.
+func New(cfg Config) (*Peers, error) {
+	if cfg.Self == "" {
+		return nil, errors.New("cluster: Config.Self is required")
+	}
+	if cfg.Fanout <= 0 {
+		cfg.Fanout = 2
+	}
+	if cfg.HotK <= 0 {
+		cfg.HotK = 8
+	}
+	if cfg.ReplicateEvery == 0 {
+		cfg.ReplicateEvery = 2 * time.Second
+	}
+	if cfg.Logf == nil {
+		cfg.Logf = log.Printf
+	}
+	ring := NewRing(cfg.Members, cfg.Vnodes)
+	self := false
+	stats := map[string]*peerCounters{}
+	for _, m := range ring.Members() {
+		if m == cfg.Self {
+			self = true
+		} else {
+			stats[m] = &peerCounters{}
+		}
+	}
+	if !self {
+		return nil, fmt.Errorf("cluster: Self %q not in Members %v", cfg.Self, ring.Members())
+	}
+	return &Peers{
+		cfg:    cfg,
+		ring:   ring,
+		stats:  stats,
+		pushed: map[string]bool{},
+		stop:   make(chan struct{}),
+	}, nil
+}
+
+// Ring exposes the node's ring (clients and CLIs build their own; the
+// lists agree, so the rings agree).
+func (p *Peers) Ring() *Ring { return p.ring }
+
+// Self returns this node's advertised address.
+func (p *Peers) Self() string { return p.cfg.Self }
+
+// Owners returns the failover-ordered owner set for a module hash.
+func (p *Peers) Owners(modHash string) []string {
+	return p.ring.Owners(modHash, p.cfg.Fanout)
+}
+
+func (p *Peers) client(peer string) *netserve.Client {
+	return &netserve.Client{Base: peer, HTTP: p.cfg.HTTP}
+}
+
+// isMiss reports whether err is a clean 404 — the peer is healthy but
+// does not have the artifact. Anything else is a peer fault.
+func isMiss(err error) bool {
+	var se *netserve.StatusError
+	return errors.As(err, &se) && se.Code == http.StatusNotFound
+}
+
+// Fetch implements mcache.PeerSource: on a local memory+disk miss,
+// probe the owning peers for an existing translation. Every candidate
+// returned here is still untrusted — the cache re-verifies before
+// admission and reports the outcome through Admitted/Quarantined.
+//
+// A frame that fails to decode, binds a different key, or carries an
+// undecodable program never reaches the cache; it is quarantined here
+// with the same per-peer attribution.
+func (p *Peers) Fetch(key string) []mcache.PeerCandidate {
+	modHash, err := mcache.KeyModuleHash(key)
+	if err != nil {
+		return nil
+	}
+	mach, _, _, err := mcache.ParseKey(key)
+	if err != nil {
+		return nil
+	}
+	var cands []mcache.PeerCandidate
+	for _, peer := range p.Owners(modHash) {
+		if peer == p.cfg.Self {
+			continue
+		}
+		st := p.stats[peer]
+		frame, err := p.client(peer).PeerTranslation(modHash, mach.Name, key, p.cfg.Self)
+		if err != nil {
+			if !isMiss(err) {
+				st.errors.Add(1)
+				p.failovers.Add(1)
+				p.cfg.Logf("cluster: peer %s translation fetch failed: %v", peer, err)
+			}
+			continue
+		}
+		gotKey, payload, err := wire.DecodePeerFrame(frame)
+		if err == nil && gotKey != key {
+			err = fmt.Errorf("frame bound to key %q, asked for %q", gotKey, key)
+		}
+		var prog *target.Program
+		if err == nil {
+			prog, err = wire.DecodeProgram(payload)
+		}
+		if err != nil {
+			st.quarantines.Add(1)
+			p.cfg.Logf("cluster: peer %s served a bad translation frame (quarantined): %v", peer, err)
+			continue
+		}
+		cands = append(cands, mcache.PeerCandidate{Prog: prog, Peer: peer})
+	}
+	return cands
+}
+
+// Admitted implements mcache.PeerSource: a peer candidate passed the
+// local verifier and was admitted.
+func (p *Peers) Admitted(key, peer string) {
+	if st := p.stats[peer]; st != nil {
+		st.hits.Add(1)
+	}
+}
+
+// Quarantined implements mcache.PeerSource: a peer candidate failed
+// the local admission gate (verifier refusal or spot-check mismatch).
+func (p *Peers) Quarantined(key, peer string, err error) {
+	if st := p.stats[peer]; st != nil {
+		st.quarantines.Add(1)
+	}
+	p.cfg.Logf("cluster: translation from peer %s for %s quarantined: %v", peer, key, err)
+}
+
+// FetchModule implements netserve.PeerHooks: pull a module's
+// canonical bytes from whichever member has it, owners first. The
+// content address is checked here (and again by the registering
+// handler); a peer serving different bytes under the name is
+// quarantined and the next member is tried.
+func (p *Peers) FetchModule(hash string) ([]byte, bool) {
+	tried := map[string]bool{p.cfg.Self: true}
+	order := append(p.Owners(hash), p.ring.Members()...)
+	for _, peer := range order {
+		if tried[peer] {
+			continue
+		}
+		tried[peer] = true
+		st := p.stats[peer]
+		blob, err := p.client(peer).PeerModule(hash, p.cfg.Self)
+		if err != nil {
+			if !isMiss(err) {
+				st.errors.Add(1)
+				p.failovers.Add(1)
+				p.cfg.Logf("cluster: peer %s module fetch failed: %v", peer, err)
+			}
+			continue
+		}
+		if got := wire.Hash(blob); got != hash {
+			st.quarantines.Add(1)
+			p.cfg.Logf("cluster: peer %s served module %s under name %s (quarantined)", peer, got, hash)
+			continue
+		}
+		return blob, true
+	}
+	return nil, false
+}
+
+// Start binds the engine to the node's cache and, unless disabled,
+// launches the background replicator.
+func (p *Peers) Start(c *mcache.Cache) {
+	p.mu.Lock()
+	p.cache = c
+	p.mu.Unlock()
+	if p.cfg.ReplicateEvery < 0 {
+		return
+	}
+	p.wg.Add(1)
+	go func() {
+		defer p.wg.Done()
+		t := time.NewTicker(p.cfg.ReplicateEvery)
+		defer t.Stop()
+		for {
+			select {
+			case <-p.stop:
+				return
+			case <-t.C:
+				p.ReplicateOnce()
+			}
+		}
+	}()
+}
+
+// Close stops the replicator. Safe to call more than once.
+func (p *Peers) Close() {
+	p.stopped.Do(func() { close(p.stop) })
+	p.wg.Wait()
+}
+
+// ReplicateOnce pushes this node's hottest translations to their ring
+// owners (once per (entry, owner) pair; refused or failed pushes are
+// retried on a later round). Returns the number of successful pushes.
+// The receiver re-verifies before admission, so replication spreads
+// warmth, never trust.
+func (p *Peers) ReplicateOnce() int {
+	p.mu.Lock()
+	c := p.cache
+	p.mu.Unlock()
+	if c == nil {
+		return 0
+	}
+	pushes := 0
+	for _, hot := range c.Hot(p.cfg.HotK) {
+		modHash, err := mcache.KeyModuleHash(hot.Key)
+		if err != nil {
+			continue
+		}
+		mach, _, _, err := mcache.ParseKey(hot.Key)
+		if err != nil {
+			continue
+		}
+		var payload []byte
+		for _, peer := range p.Owners(modHash) {
+			if peer == p.cfg.Self || p.alreadyPushed(hot.Key, peer) {
+				continue
+			}
+			if payload == nil {
+				prog, ok := c.Peek(hot.Key)
+				if !ok {
+					break // evicted since Hot
+				}
+				if payload, err = wire.EncodeProgram(prog); err != nil {
+					break
+				}
+			}
+			st := p.stats[peer]
+			if err := p.client(peer).PushPeerTranslation(modHash, mach.Name, hot.Key, payload, p.cfg.Self); err != nil {
+				st.errors.Add(1)
+				p.cfg.Logf("cluster: replication push to %s failed: %v", peer, err)
+				continue
+			}
+			st.pushes.Add(1)
+			p.markPushed(hot.Key, peer)
+			pushes++
+		}
+	}
+	return pushes
+}
+
+func (p *Peers) alreadyPushed(key, peer string) bool {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.pushed[key+"\x00"+peer]
+}
+
+func (p *Peers) markPushed(key, peer string) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.pushed[key+"\x00"+peer] = true
+}
+
+// Snapshot returns the cluster section of the node's metrics: ring
+// membership plus per-peer hit/quarantine/error/push attribution.
+// Wire it into the serving layer with serve.Server.SetClusterSnapshot.
+func (p *Peers) Snapshot() metrics.ClusterSnapshot {
+	snap := metrics.ClusterSnapshot{
+		Self:      p.cfg.Self,
+		Members:   p.ring.Members(),
+		Failovers: p.failovers.Load(),
+	}
+	for _, m := range snap.Members {
+		st := p.stats[m]
+		if st == nil { // self
+			continue
+		}
+		snap.Peers = append(snap.Peers, metrics.PeerStats{
+			Peer:        m,
+			Hits:        st.hits.Load(),
+			Quarantines: st.quarantines.Load(),
+			Errors:      st.errors.Load(),
+			Pushes:      st.pushes.Load(),
+		})
+	}
+	return snap
+}

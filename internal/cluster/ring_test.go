@@ -1,0 +1,82 @@
+package cluster
+
+import (
+	"fmt"
+	"reflect"
+	"testing"
+)
+
+func TestRingOwners(t *testing.T) {
+	members := []string{"http://c:3", "http://a:1", "http://b:2"}
+	r := NewRing(members, 0)
+	if got := r.Members(); !reflect.DeepEqual(got, []string{"http://a:1", "http://b:2", "http://c:3"}) {
+		t.Fatalf("Members() = %v", got)
+	}
+
+	// Deterministic and order-insensitive: every permutation of the
+	// member list yields the same owners for every key.
+	r2 := NewRing([]string{"http://b:2", "http://c:3", "http://a:1"}, 0)
+	for i := 0; i < 50; i++ {
+		key := fmt.Sprintf("hash-%d", i)
+		o1, o2 := r.Owners(key, 2), r2.Owners(key, 2)
+		if !reflect.DeepEqual(o1, o2) {
+			t.Fatalf("key %q: owners %v vs %v across member orderings", key, o1, o2)
+		}
+		if len(o1) != 2 || o1[0] == o1[1] {
+			t.Fatalf("key %q: owners not 2 distinct members: %v", key, o1)
+		}
+	}
+
+	// n is clamped to the member count; n<=0 means one owner.
+	if got := r.Owners("k", 10); len(got) != 3 {
+		t.Fatalf("Owners(k, 10) = %v, want all 3 members", got)
+	}
+	if got := r.Owners("k", 0); len(got) != 1 {
+		t.Fatalf("Owners(k, 0) = %v, want 1 member", got)
+	}
+}
+
+// Consistent hashing's point: removing one member only remaps keys
+// that member owned. Keys whose primary owner survives keep it.
+func TestRingStability(t *testing.T) {
+	all := []string{"http://a:1", "http://b:2", "http://c:3", "http://d:4"}
+	full := NewRing(all, 0)
+	less := NewRing(all[:3], 0) // d removed
+	moved := 0
+	for i := 0; i < 200; i++ {
+		key := fmt.Sprintf("hash-%d", i)
+		before := full.Owners(key, 1)[0]
+		after := less.Owners(key, 1)[0]
+		if before == "http://d:4" {
+			continue // had to move
+		}
+		if before != after {
+			moved++
+		}
+	}
+	if moved != 0 {
+		t.Errorf("%d keys moved although their owner survived", moved)
+	}
+}
+
+// Load spread sanity: with vnodes, no member owns a wildly
+// disproportionate share.
+func TestRingSpread(t *testing.T) {
+	r := NewRing([]string{"http://a:1", "http://b:2", "http://c:3"}, 0)
+	counts := map[string]int{}
+	const n = 900
+	for i := 0; i < n; i++ {
+		counts[r.Owners(fmt.Sprintf("hash-%d", i), 1)[0]]++
+	}
+	for m, c := range counts {
+		if c < n/9 || c > n*6/9 {
+			t.Errorf("member %s owns %d of %d keys — spread too skewed: %v", m, c, n, counts)
+		}
+	}
+}
+
+func TestEmptyRing(t *testing.T) {
+	if got := NewRing(nil, 0).Owners("k", 2); got != nil {
+		t.Fatalf("empty ring returned owners %v", got)
+	}
+}

@@ -10,8 +10,10 @@ import (
 
 	"omniware/internal/bench"
 	"omniware/internal/cc"
+	"omniware/internal/cluster"
 	"omniware/internal/core"
 	"omniware/internal/netserve"
+	"omniware/internal/serve/metrics"
 	"omniware/internal/trace"
 	"omniware/internal/wire"
 )
@@ -30,7 +32,12 @@ type Mix map[string]float64
 
 // Config describes one load run. Zero values select the defaults.
 type Config struct {
-	Addr string // base URL of the omniserved instance (required)
+	Addr string // base URL of the omniserved instance (required unless Addrs is set)
+
+	// Addrs switches the generator into cluster mode: requests are
+	// hash-routed across these members with failover, and the server
+	// delta sums every member's metrics.
+	Addrs []string
 
 	Mode    string  // "closed" (default) or "open"
 	Clients int     // closed-loop concurrency (default 8)
@@ -190,14 +197,28 @@ type runStats struct {
 // snapshot again.
 func Run(cfg Config) (*Report, error) {
 	cfg = cfg.withDefaults()
-	if cfg.Addr == "" {
-		return nil, fmt.Errorf("load: Config.Addr is required")
+	if cfg.Addr == "" && len(cfg.Addrs) == 0 {
+		return nil, fmt.Errorf("load: Config.Addr or Config.Addrs is required")
 	}
 	specs, err := Schedule(cfg)
 	if err != nil {
 		return nil, err
 	}
-	cl := &netserve.Client{Base: cfg.Addr}
+	var cl client
+	var snapshot func() (*metrics.Snapshot, error)
+	var ccl *cluster.Client
+	if len(cfg.Addrs) > 0 {
+		ccl, err = cluster.NewClient(cluster.ClientConfig{Addrs: cfg.Addrs})
+		if err != nil {
+			return nil, err
+		}
+		cl = clusterClient{ccl}
+		snapshot = func() (*metrics.Snapshot, error) { return FleetMetrics(cfg.Addrs) }
+	} else {
+		ncl := &netserve.Client{Base: cfg.Addr}
+		cl = ncl
+		snapshot = ncl.Metrics
+	}
 
 	// Upload each workload the schedule actually uses.
 	hashes := map[string]string{}
@@ -229,7 +250,7 @@ func Run(cfg Config) (*Report, error) {
 		}
 	}
 
-	before, err := cl.Metrics()
+	before, err := snapshot()
 	if err != nil {
 		return nil, fmt.Errorf("load: metrics before: %w", err)
 	}
@@ -246,7 +267,7 @@ func Run(cfg Config) (*Report, error) {
 	}
 	wall := time.Since(start)
 
-	after, err := cl.Metrics()
+	after, err := snapshot()
 	if err != nil {
 		return nil, fmt.Errorf("load: metrics after: %w", err)
 	}
@@ -287,12 +308,16 @@ func Run(cfg Config) (*Report, error) {
 	} else {
 		r.Config.Rate = cfg.Rate
 	}
+	if ccl != nil {
+		r.Config.Nodes = len(cfg.Addrs)
+		r.Load.Failovers = ccl.Failovers()
+	}
 	return r, nil
 }
 
 // execOne issues one request with the run's retry policy. st == nil
 // (prewarm) skips accounting.
-func execOne(cl *netserve.Client, cfg Config, hashes map[string]string, s JobSpec, st *runStats) (*netserve.ExecResponse, error) {
+func execOne(cl client, cfg Config, hashes map[string]string, s JobSpec, st *runStats) (*netserve.ExecResponse, error) {
 	sfi := !cfg.NoSFI
 	req := netserve.ExecRequest{
 		Module:     hashes[s.Workload],
@@ -345,7 +370,7 @@ func execOne(cl *netserve.Client, cfg Config, hashes map[string]string, s JobSpe
 
 // runClosed keeps cfg.Clients requests in flight: each worker pulls
 // the next schedule slot until the schedule is exhausted.
-func runClosed(cl *netserve.Client, cfg Config, hashes map[string]string, specs []JobSpec, st *runStats) {
+func runClosed(cl client, cfg Config, hashes map[string]string, specs []JobSpec, st *runStats) {
 	var next atomic.Int64
 	var wg sync.WaitGroup
 	for c := 0; c < cfg.Clients; c++ {
@@ -367,7 +392,7 @@ func runClosed(cl *netserve.Client, cfg Config, hashes map[string]string, specs 
 // runOpen fires requests at fixed arrival times regardless of
 // completions — the arrival process the server cannot slow down, so
 // queueing and shedding behaviour is actually exercised.
-func runOpen(cl *netserve.Client, cfg Config, hashes map[string]string, specs []JobSpec, st *runStats) {
+func runOpen(cl client, cfg Config, hashes map[string]string, specs []JobSpec, st *runStats) {
 	interval := time.Duration(float64(time.Second) / cfg.Rate)
 	start := time.Now()
 	var wg sync.WaitGroup

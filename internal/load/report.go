@@ -44,6 +44,7 @@ type ConfigSummary struct {
 	Mode       string             `json:"mode"` // open | closed
 	Rate       float64            `json:"rate,omitempty"`
 	Clients    int                `json:"clients,omitempty"`
+	Nodes      int                `json:"nodes,omitempty"` // cluster members driven (0 = single node)
 	Jobs       int                `json:"jobs"`
 	Seed       int64              `json:"seed"`
 	Scale      int                `json:"scale"`
@@ -91,6 +92,10 @@ type LoadStats struct {
 	Checked uint64 `json:"checked,omitempty"`
 	Parity  uint64 `json:"parity_failures"` // interpreter disagreements (must be 0)
 
+	// Failovers counts cluster-mode node abandonments (dead or
+	// persistently shedding members skipped by the routing client).
+	Failovers uint64 `json:"failovers,omitempty"`
+
 	Latency     LatencyStats `json:"latency"`      // end-to-end client wall clock
 	WarmLatency LatencyStats `json:"warm_latency"` // latency of cache-hit jobs
 	ColdLatency LatencyStats `json:"cold_latency"` // latency of cache-miss jobs
@@ -124,6 +129,11 @@ type ServerDelta struct {
 	CacheMisses    uint64  `json:"cache_misses"`
 	CacheDiskHits  uint64  `json:"cache_disk_hits"`
 	HitRate        float64 `json:"hit_rate"`
+
+	// Cluster-mode extras: translations served by peer fill and peer
+	// candidates refused by the local verifier, summed over members.
+	CachePeerHits        uint64 `json:"cache_peer_hits,omitempty"`
+	CachePeerQuarantines uint64 `json:"cache_peer_quarantines,omitempty"`
 
 	AppInsts     uint64  `json:"app_insts"`
 	SandboxInsts uint64  `json:"sandbox_insts"`
@@ -168,8 +178,11 @@ func Delta(before, after metrics.Snapshot) ServerDelta {
 		CacheMisses:     sub(after.CacheMisses, before.CacheMisses),
 		CacheDiskHits:   sub(after.CacheDiskHits, before.CacheDiskHits),
 		Stages:          map[string]StageDelta{},
+
+		CachePeerHits:        sub(after.CachePeerHits, before.CachePeerHits),
+		CachePeerQuarantines: sub(after.CachePeerQuarantines, before.CachePeerQuarantines),
 	}
-	warm := d.CacheHits + d.CacheCoalesced + d.CacheDiskHits
+	warm := d.CacheHits + d.CacheCoalesced + d.CacheDiskHits + d.CachePeerHits
 	if total := warm + d.CacheMisses; total > 0 {
 		d.HitRate = float64(warm) / float64(total)
 	}
@@ -266,6 +279,10 @@ func Format(r *Report) string {
 		r.Load.OK, r.Load.Faults, r.Load.Errors, r.Load.Sheds, r.Load.Parity)
 	fmt.Fprintf(&b, "  cache        warm=%d cold=%d hit_rate=%.2f\n",
 		r.Load.Warm, r.Load.Cold, r.Server.HitRate)
+	if r.Config.Nodes > 0 {
+		fmt.Fprintf(&b, "  cluster      nodes=%d peer_hits=%d peer_quarantines=%d failovers=%d\n",
+			r.Config.Nodes, r.Server.CachePeerHits, r.Server.CachePeerQuarantines, r.Load.Failovers)
+	}
 	fmt.Fprintf(&b, "  latency      p50=%.0fus p95=%.0fus p99=%.0fus\n",
 		r.Load.Latency.P50Us, r.Load.Latency.P95Us, r.Load.Latency.P99Us)
 	if r.Load.Warm > 0 {

@@ -111,6 +111,11 @@ type Stats struct {
 	DiskHits        uint64 // programs served from disk after re-verification
 	DiskWrites      uint64 // programs written through to the persistent tier
 	DiskQuarantines uint64 // disk entries refused (corrupt or unverifiable) and set aside
+
+	PeerHits        uint64 // programs admitted from a cluster peer (verified again, not retranslated)
+	PeerQuarantines uint64 // peer candidates refused by the admission gate or spot check
+	SpotChecks      uint64 // peer admissions sampled for retranslation equality
+	SpotCheckFails  uint64 // spot checks where the peer's program was not the local translation
 }
 
 // ModuleHash returns the content address of a module: the hex SHA-256
@@ -147,6 +152,10 @@ type entry struct {
 	key  string
 	prog *target.Program
 	size int64
+	// hits counts memory-tier hits on this entry (under the shard
+	// lock); the replication layer reads it through Hot to decide what
+	// is worth pushing to successor peers.
+	hits uint64
 	// stamp is the value of the cache's global use clock at this
 	// entry's last touch. Per-shard lists keep exact recency order
 	// within a shard; stamps order entries across shards so eviction
@@ -182,6 +191,8 @@ type counters struct {
 	inserts, evictions                    atomic.Uint64
 	rejected, disagreements               atomic.Uint64
 	diskHits, diskWrites, diskQuarantines atomic.Uint64
+	peerHits, peerQuarantines             atomic.Uint64
+	peerSpotChecks, peerSpotCheckFails    atomic.Uint64
 }
 
 // Cache is a content-addressed translation cache with LRU eviction by
@@ -193,14 +204,17 @@ type counters struct {
 // oldest entry has the smallest use stamp, which preserves the
 // single-LRU behavior up to races between concurrent touches.
 type Cache struct {
-	limit  int64
-	bytes  atomic.Int64
-	clock  atomic.Uint64
-	shards [numShards]shard
-	ctr    counters
-	disk   *diskstore.Store
-	verify VerifyMode
-	logf   func(format string, args ...any)
+	limit     int64
+	bytes     atomic.Int64
+	clock     atomic.Uint64
+	shards    [numShards]shard
+	ctr       counters
+	disk      *diskstore.Store
+	verify    VerifyMode
+	peer      PeerSource
+	spotEvery int
+	spotClock atomic.Uint64
+	logf      func(format string, args ...any)
 }
 
 // shardFor hashes k (FNV-1a, inlined to stay allocation-free) to its
@@ -228,6 +242,15 @@ type Config struct {
 	// Verify selects the admission gate: sfi.Check alone (the zero
 	// value), the abstract interpreter alone, or both-must-agree.
 	Verify VerifyMode
+	// Peer, when non-nil, is probed on a memory+disk miss for an
+	// existing translation before retranslating. Peer candidates pass
+	// the same admission gate as disk entries; refusals are counted
+	// and reported back per peer.
+	Peer PeerSource
+	// PeerSpotCheckEvery samples every Nth peer admission for an
+	// integrity spot check: the module is retranslated locally and the
+	// two programs must match instruction for instruction. 0 disables.
+	PeerSpotCheckEvery int
 	// Logf receives quarantine and disk-failure reports (default
 	// log.Printf). Disk problems never fail a lookup — the cache falls
 	// back to translating — so the log is their only trace.
@@ -249,10 +272,12 @@ func NewWith(cfg Config) *Cache {
 		cfg.Logf = log.Printf
 	}
 	c := &Cache{
-		limit:  cfg.Limit,
-		disk:   cfg.Disk,
-		verify: cfg.Verify,
-		logf:   cfg.Logf,
+		limit:     cfg.Limit,
+		disk:      cfg.Disk,
+		verify:    cfg.Verify,
+		peer:      cfg.Peer,
+		spotEvery: cfg.PeerSpotCheckEvery,
+		logf:      cfg.Logf,
 	}
 	for i := range c.shards {
 		c.shards[i].byKey = map[string]*list.Element{}
@@ -293,6 +318,7 @@ func (c *Cache) TranslateTraced(sp *trace.Span, mod *ovm.Module, mach *target.Ma
 		sh.lru.MoveToFront(el)
 		e := el.Value.(*entry)
 		e.stamp = c.clock.Add(1)
+		e.hits++
 		prog := e.prog
 		sh.mu.Unlock()
 		sp.Set("result", "hit")
@@ -311,12 +337,26 @@ func (c *Cache) TranslateTraced(sp *trace.Span, mod *ovm.Module, mach *target.Ma
 	sh.inflight[k] = f
 	sh.mu.Unlock()
 
-	// Persistent tier first: a verified disk entry saves the
-	// translation entirely. fromDisk distinguishes "served warm" from
-	// "translated here" for the caller's accounting.
+	// Warm tiers first: a verified disk entry — or a peer's verified-
+	// on-arrival translation — saves the translation entirely. warm
+	// distinguishes "served without translating here" for the caller's
+	// accounting; fromDisk additionally skips the redundant
+	// write-through (a peer fill does want one).
 	prog, fromDisk := c.loadFromDisk(sp, k, mach, si)
+	warm := fromDisk
+	if fromDisk {
+		sp.Set("result", "disk")
+	} else if c.peer != nil {
+		retranslate := func() (*target.Program, error) {
+			return translate.Translate(mod, mach, si, opt)
+		}
+		if p, ok := c.loadFromPeer(sp, k, retranslate, mach, si); ok {
+			prog, warm = p, true
+			sp.Set("result", "peer")
+		}
+	}
 	var err error
-	if !fromDisk {
+	if !warm {
 		c.ctr.misses.Add(1)
 		tsp := sp.Child("translate")
 		var tim translate.Timings
@@ -330,8 +370,6 @@ func (c *Cache) TranslateTraced(sp *trace.Span, mod *ovm.Module, mach *target.Ma
 			err = c.admit(sp, prog, mach, si)
 		}
 		sp.Set("result", "miss")
-	} else {
-		sp.Set("result", "disk")
 	}
 	f.prog, f.err = prog, err
 	if err != nil {
@@ -355,7 +393,7 @@ func (c *Cache) TranslateTraced(sp *trace.Span, mod *ovm.Module, mach *target.Ma
 	if !fromDisk {
 		c.writeThrough(sp, k, prog)
 	}
-	return prog, fromDisk, nil
+	return prog, warm, nil
 }
 
 // loadFromDisk probes the persistent tier for k and re-verifies
@@ -540,6 +578,10 @@ func (c *Cache) Stats() Stats {
 		DiskHits:        c.ctr.diskHits.Load(),
 		DiskWrites:      c.ctr.diskWrites.Load(),
 		DiskQuarantines: c.ctr.diskQuarantines.Load(),
+		PeerHits:        c.ctr.peerHits.Load(),
+		PeerQuarantines: c.ctr.peerQuarantines.Load(),
+		SpotChecks:      c.ctr.peerSpotChecks.Load(),
+		SpotCheckFails:  c.ctr.peerSpotCheckFails.Load(),
 		CodeBytes:       c.bytes.Load(),
 	}
 	for i := range c.shards {

@@ -61,23 +61,28 @@ func (c *Client) do(req *http.Request, out any) error {
 		return err
 	}
 	if resp.StatusCode/100 != 2 {
-		se := &StatusError{Code: resp.StatusCode}
-		var ae apiError
-		if json.Unmarshal(body, &ae) == nil && ae.Error != "" {
-			se.Message = ae.Error
-		} else {
-			se.Message = string(bytes.TrimSpace(body))
-		}
-		if ra := resp.Header.Get("Retry-After"); ra != "" {
-			se.RetryAfter, _ = strconv.Atoi(ra)
-		}
-		se.RequestID = resp.Header.Get(RequestIDHeader)
-		return se
+		return statusErrorFrom(resp, body)
 	}
 	if out == nil {
 		return nil
 	}
 	return json.Unmarshal(body, out)
+}
+
+// statusErrorFrom builds the *StatusError for a non-2xx response.
+func statusErrorFrom(resp *http.Response, body []byte) *StatusError {
+	se := &StatusError{Code: resp.StatusCode}
+	var ae apiError
+	if json.Unmarshal(body, &ae) == nil && ae.Error != "" {
+		se.Message = ae.Error
+	} else {
+		se.Message = string(bytes.TrimSpace(body))
+	}
+	if ra := resp.Header.Get("Retry-After"); ra != "" {
+		se.RetryAfter, _ = strconv.Atoi(ra)
+	}
+	se.RequestID = resp.Header.Get(RequestIDHeader)
+	return se
 }
 
 // Upload sends an OMW-encoded module blob and returns the server's

@@ -87,6 +87,10 @@ type Config struct {
 	Deadline       time.Duration // default per-request deadline
 	MaxDeadline    time.Duration // cap on client-requested deadlines
 	Logf           func(format string, args ...any)
+	// Peer, when non-nil, enables cluster mode: the /v1/peer/*
+	// endpoints (serving this node's modules and verified translations
+	// to its peers) and the exec-miss module fetch through the hooks.
+	Peer PeerHooks
 }
 
 // Handler is the HTTP layer. Create with New; it implements
@@ -105,10 +109,13 @@ type Handler struct {
 	modOrder []string // insertion order for registry eviction
 }
 
-// modEntry is one registered module plus the wire-decode cost paid for
-// it, which exec jobs inherit as the "decode" stage of their trace.
+// modEntry is one registered module plus its canonical encoding (what
+// the peer endpoint serves — the bytes whose hash is the identity) and
+// the wire-decode cost paid for it, which exec jobs inherit as the
+// "decode" stage of their trace.
 type modEntry struct {
 	mod    *ovm.Module
+	blob   []byte
 	decode time.Duration
 }
 
@@ -146,11 +153,17 @@ func New(cfg Config) (*Handler, error) {
 	}
 	h.mux = http.NewServeMux()
 	h.mux.HandleFunc("POST /v1/modules", h.handleUpload)
+	h.mux.HandleFunc("POST /v1/modules/batch", h.handleUploadBatch)
 	h.mux.HandleFunc("POST /v1/exec", h.handleExec)
 	h.mux.HandleFunc("GET /v1/metrics", h.handleMetrics)
 	h.mux.HandleFunc("GET /v1/trace/recent", h.handleTraceRecent)
 	h.mux.HandleFunc("GET /v1/trace/{id}", h.handleTraceGet)
 	h.mux.HandleFunc("GET /healthz", h.handleHealthz)
+	if cfg.Peer != nil {
+		h.mux.HandleFunc("GET /v1/peer/module/{hash}", h.handlePeerModule)
+		h.mux.HandleFunc("GET /v1/peer/translation/{hash}/{target}", h.handlePeerTranslation)
+		h.mux.HandleFunc("POST /v1/peer/translation/{hash}/{target}", h.handlePeerPush)
+	}
 	return h, nil
 }
 
@@ -232,44 +245,61 @@ func (h *Handler) handleUpload(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	decodeStart := time.Now()
-	mod, err := wire.DecodeModule(body)
+	mod, blob, hash, err := decodeCanonical(body)
 	decodeDur := time.Since(decodeStart)
 	h.srv.Metrics().Decode.Observe(decodeDur)
 	if err != nil {
-		writeError(w, http.StatusBadRequest, "decoding module: %v", err)
+		writeError(w, http.StatusBadRequest, "%v", err)
 		return
 	}
-	// Hash the canonical re-encoding, not the received bytes: the
-	// decoder is strict enough that they should be identical, but the
-	// canonical form is the identity the cache keys on.
+	existed := h.register(modEntry{mod: mod, blob: blob, decode: decodeDur}, hash)
+	writeJSON(w, http.StatusOK, uploadResponseFor(mod, hash, existed))
+}
+
+// decodeCanonical decodes an OMW blob strictly and returns the module
+// together with its canonical re-encoding and content hash. Hashing
+// the re-encoding, not the received bytes: the decoder is strict
+// enough that they should be identical, but the canonical form is the
+// identity the cache keys on.
+func decodeCanonical(body []byte) (*ovm.Module, []byte, string, error) {
+	mod, err := wire.DecodeModule(body)
+	if err != nil {
+		return nil, nil, "", fmt.Errorf("decoding module: %w", err)
+	}
 	blob, err := wire.EncodeModule(mod)
 	if err != nil {
-		writeError(w, http.StatusBadRequest, "re-encoding module: %v", err)
-		return
+		return nil, nil, "", fmt.Errorf("re-encoding module: %w", err)
 	}
-	hash := wire.Hash(blob)
+	return mod, blob, wire.Hash(blob), nil
+}
 
+// register installs one module in the registry (FIFO-evicting past the
+// cap) and reports whether an identical module was already present.
+func (h *Handler) register(ent modEntry, hash string) (existed bool) {
 	h.mu.Lock()
-	_, existed := h.mods[hash]
-	if !existed {
-		h.mods[hash] = modEntry{mod: mod, decode: decodeDur}
-		h.modOrder = append(h.modOrder, hash)
-		for len(h.modOrder) > h.cfg.MaxModules {
-			evict := h.modOrder[0]
-			h.modOrder = h.modOrder[1:]
-			delete(h.mods, evict)
-		}
+	defer h.mu.Unlock()
+	if _, existed = h.mods[hash]; existed {
+		return true
 	}
-	h.mu.Unlock()
+	h.mods[hash] = ent
+	h.modOrder = append(h.modOrder, hash)
+	for len(h.modOrder) > h.cfg.MaxModules {
+		evict := h.modOrder[0]
+		h.modOrder = h.modOrder[1:]
+		delete(h.mods, evict)
+	}
+	return false
+}
 
-	writeJSON(w, http.StatusOK, UploadResponse{
+func uploadResponseFor(mod *ovm.Module, hash string, existed bool) UploadResponse {
+	return UploadResponse{
 		Hash:     hash,
 		Insts:    len(mod.Text),
 		DataLen:  len(mod.Data),
 		BSSSize:  mod.BSSSize,
 		Entry:    mod.Entry,
 		Replaced: existed,
-	})
+	}
 }
 
 // ExecRequest asks for one run of an uploaded module.
@@ -326,6 +356,12 @@ func (h *Handler) handleExec(w http.ResponseWriter, r *http.Request) {
 	h.mu.Lock()
 	ent := h.mods[req.Module]
 	h.mu.Unlock()
+	if ent.mod == nil && h.cfg.Peer != nil {
+		// Cluster mode: the module may have been uploaded through
+		// another member. Fetching it by content address is trust-free
+		// — the hash of the canonical re-encoding must match the name.
+		ent = h.fetchModuleViaPeers(req.Module)
+	}
 	if ent.mod == nil {
 		writeError(w, http.StatusNotFound, "module %q not uploaded", req.Module)
 		return

@@ -1,0 +1,302 @@
+// Cluster-facing HTTP surface: the /v1/peer/* endpoints a node serves
+// to its cluster peers, the batch upload endpoint, and the client
+// helpers that speak them. The peer protocol is deliberately
+// trust-free in both directions:
+//
+//   - Module fetch is content-addressed — the receiver re-encodes
+//     canonically and checks the hash, so a peer cannot substitute a
+//     different module.
+//   - Translation fetch ships an OPF envelope binding payload to cache
+//     key; the receiver re-runs the SFI verifier before admission
+//     (mcache's peer-fill gate), so a peer cannot inject unverified
+//     code.
+//   - Translation push lands in Cache.AdmitKeyed, the same verifier
+//     gate, so replication cannot weaken the contract either.
+//
+// The peer endpoints are enabled only in cluster mode (Config.Peer
+// non-nil) and bypass the per-client rate limiter: peers are a closed,
+// configured set, and a peer probe shedding at the limiter would turn
+// one client burst into cluster-wide retranslation.
+
+package netserve
+
+import (
+	"bytes"
+	"fmt"
+	"io"
+	"net/http"
+	"net/url"
+	"time"
+
+	"omniware/internal/mcache"
+	"omniware/internal/wire"
+)
+
+// PeerHeader names the requesting cluster member on peer-to-peer
+// requests, for logs and per-peer attribution on the serving side.
+const PeerHeader = "X-Omni-Peer"
+
+// PeerHooks is what the cluster layer provides to the HTTP handler.
+// It is defined here (and implemented by internal/cluster) so netserve
+// does not import the cluster package.
+type PeerHooks interface {
+	// FetchModule asks the cluster for a module blob by content hash,
+	// returning the canonical OMW bytes from whichever peer has it.
+	// The caller re-verifies the hash; implementations only transport.
+	FetchModule(hash string) ([]byte, bool)
+}
+
+// handlePeerModule serves the canonical OMW encoding of a registered
+// module to a cluster peer.
+func (h *Handler) handlePeerModule(w http.ResponseWriter, r *http.Request) {
+	hash := r.PathValue("hash")
+	h.mu.Lock()
+	ent := h.mods[hash]
+	h.mu.Unlock()
+	if ent.blob == nil {
+		writeError(w, http.StatusNotFound, "module %q not registered here", hash)
+		return
+	}
+	w.Header().Set("Content-Type", "application/octet-stream")
+	_, _ = w.Write(ent.blob)
+}
+
+// handlePeerTranslation serves one verified translation as an OPF
+// frame. The path names the module hash and target for routing and
+// sanity; the ?key= query carries the full cache key (module, machine,
+// segment shape, options) and is authoritative — but it must agree
+// with the path, so a confused client can't file a translation under
+// the wrong identity.
+func (h *Handler) handlePeerTranslation(w http.ResponseWriter, r *http.Request) {
+	key := r.URL.Query().Get("key")
+	if err := checkPeerKey(key, r.PathValue("hash"), r.PathValue("target")); err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	prog, ok := h.srv.Cache().Peek(key)
+	if !ok {
+		writeError(w, http.StatusNotFound, "no translation for key here")
+		return
+	}
+	payload, err := wire.EncodeProgram(prog)
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, "encoding translation: %v", err)
+		return
+	}
+	frame, err := wire.EncodePeerFrame(key, payload)
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, "framing translation: %v", err)
+		return
+	}
+	w.Header().Set("Content-Type", "application/octet-stream")
+	_, _ = w.Write(frame)
+}
+
+// handlePeerPush accepts a hot-entry replication push: an OPF frame
+// whose program is admitted through the cache's verifier gate. A
+// refusal is the pusher's problem to count; the receiving cache's
+// Rejected counter records it locally too.
+func (h *Handler) handlePeerPush(w http.ResponseWriter, r *http.Request) {
+	if h.draining.Load() {
+		writeError(w, http.StatusServiceUnavailable, "draining")
+		return
+	}
+	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, wire.MaxPeerFrameBytes))
+	if err != nil {
+		writeError(w, http.StatusRequestEntityTooLarge, "reading frame: %v", err)
+		return
+	}
+	key, payload, err := wire.DecodePeerFrame(body)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "decoding frame: %v", err)
+		return
+	}
+	if err := checkPeerKey(key, r.PathValue("hash"), r.PathValue("target")); err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	prog, err := wire.DecodeProgram(payload)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "decoding program: %v", err)
+		return
+	}
+	if err := h.srv.Cache().AdmitKeyed(key, prog); err != nil {
+		h.cfg.Logf("netserve: push from %s refused: %v", r.Header.Get(PeerHeader), err)
+		writeError(w, http.StatusUnprocessableEntity, "admission refused: %v", err)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]bool{"admitted": true})
+}
+
+// checkPeerKey verifies that a full cache key agrees with the
+// hash/target pair in a peer URL path.
+func checkPeerKey(key, hash, targetName string) error {
+	if key == "" {
+		return fmt.Errorf("missing key parameter")
+	}
+	kh, err := mcache.KeyModuleHash(key)
+	if err != nil {
+		return err
+	}
+	if kh != hash {
+		return fmt.Errorf("key names module %s, path says %s", kh, hash)
+	}
+	mach, _, _, err := mcache.ParseKey(key)
+	if err != nil {
+		return err
+	}
+	if mach.Name != targetName {
+		return fmt.Errorf("key names target %s, path says %s", mach.Name, targetName)
+	}
+	return nil
+}
+
+// fetchModuleViaPeers pulls a module the cluster knows but this node
+// does not, verifying the content address before registering it. Any
+// mismatch — undecodable, or hash of the canonical re-encoding not the
+// requested name — is discarded; a peer cannot plant a module under a
+// false identity.
+func (h *Handler) fetchModuleViaPeers(hash string) modEntry {
+	blob, ok := h.cfg.Peer.FetchModule(hash)
+	if !ok {
+		return modEntry{}
+	}
+	decodeStart := time.Now()
+	mod, canon, gotHash, err := decodeCanonical(blob)
+	decodeDur := time.Since(decodeStart)
+	if err != nil || gotHash != hash {
+		h.cfg.Logf("netserve: peer module fetch for %s: bad blob (err=%v, hash=%s)", hash, err, gotHash)
+		return modEntry{}
+	}
+	h.srv.Metrics().Decode.Observe(decodeDur)
+	ent := modEntry{mod: mod, blob: canon, decode: decodeDur}
+	h.register(ent, hash)
+	return ent
+}
+
+// BatchUploadResponse lists the per-member results of a batch upload,
+// in batch order.
+type BatchUploadResponse struct {
+	Modules []UploadResponse `json:"modules"`
+}
+
+// handleUploadBatch accepts one OMB frame holding several OMW modules.
+// All-or-nothing: every member must decode before any is registered,
+// so a half-good batch does not leave the registry in a state the
+// client has to reverse-engineer from partial errors.
+func (h *Handler) handleUploadBatch(w http.ResponseWriter, r *http.Request) {
+	if !h.gate(w, r) {
+		return
+	}
+	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, wire.MaxBatchBytes))
+	if err != nil {
+		writeError(w, http.StatusRequestEntityTooLarge, "reading batch: %v", err)
+		return
+	}
+	decodeStart := time.Now()
+	blobs, err := wire.DecodeBatch(body)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "decoding batch: %v", err)
+		return
+	}
+	ents := make([]modEntry, len(blobs))
+	hashes := make([]string, len(blobs))
+	for i, blob := range blobs {
+		mod, canon, hash, err := decodeCanonical(blob)
+		if err != nil {
+			h.srv.Metrics().Decode.Observe(time.Since(decodeStart))
+			writeError(w, http.StatusBadRequest, "batch member %d: %v", i, err)
+			return
+		}
+		ents[i] = modEntry{mod: mod, blob: canon}
+		hashes[i] = hash
+	}
+	decodeDur := time.Since(decodeStart)
+	h.srv.Metrics().Decode.Observe(decodeDur)
+	resp := BatchUploadResponse{Modules: make([]UploadResponse, len(blobs))}
+	for i := range ents {
+		// Each member carries the batch's decode cost share.
+		ents[i].decode = decodeDur / time.Duration(len(ents))
+		existed := h.register(ents[i], hashes[i])
+		resp.Modules[i] = uploadResponseFor(ents[i].mod, hashes[i], existed)
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// UploadBatch frames blobs as one OMB request and uploads them in a
+// single round trip.
+func (c *Client) UploadBatch(blobs [][]byte) (*BatchUploadResponse, error) {
+	frame, err := wire.EncodeBatch(blobs)
+	if err != nil {
+		return nil, err
+	}
+	req, err := http.NewRequest(http.MethodPost, c.Base+"/v1/modules/batch", bytes.NewReader(frame))
+	if err != nil {
+		return nil, err
+	}
+	req.Header.Set("Content-Type", "application/octet-stream")
+	var out BatchUploadResponse
+	if err := c.do(req, &out); err != nil {
+		return nil, err
+	}
+	return &out, nil
+}
+
+// PeerModule fetches a module's canonical OMW bytes from a peer. The
+// caller owns hash verification.
+func (c *Client) PeerModule(hash, from string) ([]byte, error) {
+	return c.rawGet(c.Base+"/v1/peer/module/"+url.PathEscape(hash), from, int64(wire.MaxModuleBytes))
+}
+
+// PeerTranslation fetches one translation as a raw OPF frame from a
+// peer. The caller decodes and — critically — re-verifies it.
+func (c *Client) PeerTranslation(hash, targetName, key, from string) ([]byte, error) {
+	u := c.Base + "/v1/peer/translation/" + url.PathEscape(hash) + "/" + url.PathEscape(targetName) +
+		"?key=" + url.QueryEscape(key)
+	return c.rawGet(u, from, wire.MaxPeerFrameBytes)
+}
+
+// PushPeerTranslation replicates one translation to a peer as an OPF
+// frame; the receiver verifies before admission.
+func (c *Client) PushPeerTranslation(hash, targetName, key string, payload []byte, from string) error {
+	frame, err := wire.EncodePeerFrame(key, payload)
+	if err != nil {
+		return err
+	}
+	u := c.Base + "/v1/peer/translation/" + url.PathEscape(hash) + "/" + url.PathEscape(targetName)
+	req, err := http.NewRequest(http.MethodPost, u, bytes.NewReader(frame))
+	if err != nil {
+		return err
+	}
+	req.Header.Set("Content-Type", "application/octet-stream")
+	req.Header.Set(PeerHeader, from)
+	return c.do(req, nil)
+}
+
+// rawGet fetches an octet-stream body, converting non-2xx into
+// *StatusError like do.
+func (c *Client) rawGet(u, from string, limit int64) ([]byte, error) {
+	req, err := http.NewRequest(http.MethodGet, u, nil)
+	if err != nil {
+		return nil, err
+	}
+	if from != "" {
+		req.Header.Set(PeerHeader, from)
+	}
+	resp, err := c.http().Do(req)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(io.LimitReader(resp.Body, limit+1))
+	if err != nil {
+		return nil, err
+	}
+	if resp.StatusCode/100 != 2 {
+		return nil, statusErrorFrom(resp, body)
+	}
+	if int64(len(body)) > limit {
+		return nil, fmt.Errorf("netserve: peer response exceeds %d bytes", limit)
+	}
+	return body, nil
+}

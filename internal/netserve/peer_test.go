@@ -1,0 +1,223 @@
+package netserve_test
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"omniware/internal/netserve"
+	"omniware/internal/serve"
+	"omniware/internal/wire"
+)
+
+// fakeHooks is a map-backed PeerHooks: what the cluster layer would
+// fetch from peers, minus the network.
+type fakeHooks struct {
+	mods map[string][]byte
+}
+
+func (f *fakeHooks) FetchModule(hash string) ([]byte, bool) {
+	b, ok := f.mods[hash]
+	return b, ok
+}
+
+func TestUploadBatch(t *testing.T) {
+	cl, _, _ := startServer(t, serve.Config{Workers: 2}, netserve.Config{})
+	blobs := [][]byte{
+		buildBlob(t, `int main(void){ return 11; }`),
+		buildBlob(t, `int main(void){ return 22; }`),
+		buildBlob(t, `int main(void){ return 33; }`),
+	}
+	resp, err := cl.UploadBatch(blobs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(resp.Modules) != 3 {
+		t.Fatalf("batch response %+v", resp)
+	}
+	for i, m := range resp.Modules {
+		if m.Hash != wire.Hash(blobs[i]) {
+			t.Errorf("member %d hash %q, want %q", i, m.Hash, wire.Hash(blobs[i]))
+		}
+		if m.Replaced {
+			t.Errorf("member %d reported Replaced on first upload", i)
+		}
+	}
+	// Every member is immediately runnable.
+	res, err := cl.Exec(netserve.ExecRequest{Module: resp.Modules[1].Hash, Target: "mips"})
+	if err != nil || res.Exit != 22 {
+		t.Fatalf("exec of batch member: %+v, %v", res, err)
+	}
+}
+
+// A batch with one bad member registers nothing: the client retries
+// the whole frame rather than diffing partial state.
+func TestUploadBatchAllOrNothing(t *testing.T) {
+	cl, _, _ := startServer(t, serve.Config{Workers: 1}, netserve.Config{})
+	good := buildBlob(t, `int main(void){ return 5; }`)
+	bad := append([]byte(nil), buildBlob(t, `int main(void){ return 6; }`)...)
+	bad[len(bad)-1] ^= 0x40 // corrupt a section, frame still splits
+	frame, err := wire.EncodeBatch([][]byte{good, bad})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := wire.DecodeBatch(frame); err != nil {
+		t.Fatalf("test batch must split cleanly: %v", err)
+	}
+	if _, err := cl.UploadBatch([][]byte{good, bad}); err == nil {
+		t.Fatal("half-bad batch accepted")
+	}
+	// The good member must not have been registered.
+	_, err = cl.Exec(netserve.ExecRequest{Module: wire.Hash(good), Target: "mips"})
+	if err == nil || !strings.Contains(err.Error(), "not uploaded") {
+		t.Fatalf("good member registered despite batch failure: %v", err)
+	}
+}
+
+// The peer read endpoints: module by content address, translation as
+// an OPF frame bound to its full cache key, both disabled outside
+// cluster mode.
+func TestPeerEndpoints(t *testing.T) {
+	clSolo, _, _ := startServer(t, serve.Config{Workers: 1}, netserve.Config{})
+	if _, err := clSolo.PeerModule("deadbeef", "test"); err == nil {
+		t.Fatal("peer endpoint reachable outside cluster mode")
+	}
+
+	cl, _, srv := startServer(t, serve.Config{Workers: 1}, netserve.Config{Peer: &fakeHooks{}})
+	blob := buildBlob(t, `int main(void){ return 9; }`)
+	up, err := cl.Upload(blob)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := cl.PeerModule(up.Hash, "test")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, blob) {
+		t.Error("peer module fetch returned different bytes")
+	}
+	if _, err := cl.PeerModule("0000", "test"); err == nil {
+		t.Error("unknown module served")
+	}
+
+	// Two execs warm the cache and give the entry a hit count, so Hot
+	// exposes its full key — the identity a real peer would probe.
+	for i := 0; i < 2; i++ {
+		if _, err := cl.Exec(netserve.ExecRequest{Module: up.Hash, Target: "mips"}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	hot := srv.Cache().Hot(1)
+	if len(hot) != 1 {
+		t.Fatalf("no hot entry after execs: %v", hot)
+	}
+	key := hot[0].Key
+
+	frame, err := cl.PeerTranslation(up.Hash, "mips", key, "test")
+	if err != nil {
+		t.Fatal(err)
+	}
+	gotKey, payload, err := wire.DecodePeerFrame(frame)
+	if err != nil || gotKey != key {
+		t.Fatalf("frame decode: key %q err %v", gotKey, err)
+	}
+	if _, err := wire.DecodeProgram(payload); err != nil {
+		t.Fatalf("payload is not an OWP program: %v", err)
+	}
+
+	// Key/path disagreement is refused in both directions.
+	if _, err := cl.PeerTranslation(up.Hash, "sparc", key, "test"); err == nil {
+		t.Error("key for mips served under a sparc path")
+	}
+	if _, err := cl.PeerTranslation("badhash", "mips", key, "test"); err == nil {
+		t.Error("key served under a mismatched module path")
+	}
+	if _, err := cl.PeerTranslation(up.Hash, "mips", "", "test"); err == nil {
+		t.Error("missing key accepted")
+	}
+	if _, err := cl.PeerTranslation(up.Hash, "mips", "k1|garbage", "test"); err == nil {
+		t.Error("malformed key accepted")
+	}
+}
+
+// The replication push path: an honest frame is admitted through the
+// verifier gate on the receiving node; a tampered one is refused and
+// nothing becomes visible.
+func TestPeerPush(t *testing.T) {
+	clA, _, srvA := startServer(t, serve.Config{Workers: 1}, netserve.Config{Peer: &fakeHooks{}})
+	clB, _, srvB := startServer(t, serve.Config{Workers: 1}, netserve.Config{Peer: &fakeHooks{}})
+
+	blob := buildBlob(t, `int main(void){ return 3; }`)
+	up, err := clA.Upload(blob)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 2; i++ {
+		if _, err := clA.Exec(netserve.ExecRequest{Module: up.Hash, Target: "mips"}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	key := srvA.Cache().Hot(1)[0].Key
+	prog, ok := srvA.Cache().Peek(key)
+	if !ok {
+		t.Fatal("source cache lost the entry")
+	}
+	payload, err := wire.EncodeProgram(prog)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if err := clB.PushPeerTranslation(up.Hash, "mips", key, payload, "node-a"); err != nil {
+		t.Fatalf("honest push refused: %v", err)
+	}
+	if _, ok := srvB.Cache().Peek(key); !ok {
+		t.Error("pushed translation not visible on receiver")
+	}
+
+	// Tampered payload: flip bytes inside the program encoding. The
+	// OPF frame is re-framed honestly (the pusher controls framing),
+	// so only the verifier stands between the payload and the cache.
+	clC, _, srvC := startServer(t, serve.Config{Workers: 1}, netserve.Config{Peer: &fakeHooks{}})
+	bad := append([]byte(nil), payload...)
+	bad[len(bad)/2] ^= 0xff
+	if err := clC.PushPeerTranslation(up.Hash, "mips", key, bad, "node-a"); err == nil {
+		t.Fatal("tampered push accepted")
+	}
+	if _, ok := srvC.Cache().Peek(key); ok {
+		t.Error("tampered push visible on receiver")
+	}
+}
+
+// Exec on a node that never saw the upload: cluster mode fetches the
+// module from peers by content address; a peer serving wrong bytes
+// under the name is discarded.
+func TestExecFetchesModuleViaPeers(t *testing.T) {
+	blob := buildBlob(t, `int main(void){ return 44; }`)
+	hash := wire.Hash(blob)
+	hooks := &fakeHooks{mods: map[string][]byte{hash: blob}}
+	cl, _, _ := startServer(t, serve.Config{Workers: 1}, netserve.Config{Peer: hooks})
+
+	res, err := cl.Exec(netserve.ExecRequest{Module: hash, Target: "mips", Check: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Status != "ok" || res.Exit != 44 || res.Parity == nil || !*res.Parity {
+		t.Fatalf("peer-fetched module exec: %+v", res)
+	}
+	// Second exec uses the registered copy (no second fetch needed,
+	// and the warm cache serves the translation).
+	res, err = cl.Exec(netserve.ExecRequest{Module: hash, Target: "mips"})
+	if err != nil || !res.Cached {
+		t.Fatalf("repeat exec not warm: %+v, %v", res, err)
+	}
+
+	// A lying peer: the blob under the name decodes but hashes
+	// differently. The node must refuse to register it.
+	other := buildBlob(t, `int main(void){ return 55; }`)
+	lying := &fakeHooks{mods: map[string][]byte{hash: other}}
+	cl2, _, _ := startServer(t, serve.Config{Workers: 1}, netserve.Config{Peer: lying})
+	_, err = cl2.Exec(netserve.ExecRequest{Module: hash, Target: "mips"})
+	if err == nil || !strings.Contains(err.Error(), "not uploaded") {
+		t.Fatalf("content-address mismatch not refused: %v", err)
+	}
+}

@@ -19,10 +19,11 @@ import (
 
 // StageNames lists the pipeline stages with latency histograms, in
 // reporting order: wire decode (uploads), queue wait (admission to
-// dequeue), the translate stage (cache lookup through admission), SFI
+// dequeue), the translate stage (cache lookup through admission), the
+// cluster peer probe within it (when a peer source is wired), SFI
 // verification alone, and job run time (dequeue to completion, queue
 // excluded).
-var StageNames = []string{"decode", "queue_wait", "translate", "verify", "run"}
+var StageNames = []string{"decode", "queue_wait", "translate", "peer_fetch", "verify", "run"}
 
 // TargetCounters is the per-machine section: job and instruction
 // counters by expansion category (the live form of the paper's
@@ -61,6 +62,7 @@ type Metrics struct {
 	Decode    trace.Histogram // wire decode, recorded by the upload path
 	QueueWait trace.Histogram // submit to dequeue
 	Translate trace.Histogram // the translate stage (cache call), per job
+	PeerFetch trace.Histogram // cluster peer probe within the translate stage
 	Verify    trace.Histogram // SFI verification, when the stage ran one
 	Run       trace.Histogram // dequeue to completion (queue wait excluded)
 
@@ -141,8 +143,37 @@ type Snapshot struct {
 	// means a verifier bug; alert on any increase.
 	CacheDisagreements uint64 `json:"cache_disagreements"`
 
+	// Cluster peer-fill counters (zero outside cluster mode; the JSON
+	// fields are omitted so single-node snapshots are unchanged).
+	CachePeerHits        uint64 `json:"cache_peer_hits,omitempty"`
+	CachePeerQuarantines uint64 `json:"cache_peer_quarantines,omitempty"`
+	CacheSpotChecks      uint64 `json:"cache_spot_checks,omitempty"`
+	CacheSpotCheckFails  uint64 `json:"cache_spot_check_fails,omitempty"`
+
 	Stages  map[string]StageSnapshot `json:"stages"`
 	Targets []TargetSnapshot         `json:"targets"`
+
+	// Cluster, when the server runs as a cluster member, carries the
+	// membership view and per-peer protocol counters.
+	Cluster *ClusterSnapshot `json:"cluster,omitempty"`
+}
+
+// PeerStats is one peer's protocol counters as seen from this node.
+type PeerStats struct {
+	Peer        string `json:"peer"`
+	Hits        uint64 `json:"hits"`        // translations admitted from this peer
+	Quarantines uint64 `json:"quarantines"` // candidates from this peer the gate refused
+	Errors      uint64 `json:"errors"`      // transport/protocol failures probing this peer
+	Pushes      uint64 `json:"pushes"`      // hot-entry replications sent to this peer
+}
+
+// ClusterSnapshot is the cluster section of a Snapshot: pure data, so
+// the cluster package can fill it without this package importing it.
+type ClusterSnapshot struct {
+	Self      string      `json:"self"`
+	Members   []string    `json:"members"`
+	Failovers uint64      `json:"failovers"` // exec requests re-routed after a member failure
+	Peers     []PeerStats `json:"peers,omitempty"`
 }
 
 // Snapshot copies the live counters (without the cache section).
@@ -161,6 +192,7 @@ func (m *Metrics) Snapshot() Snapshot {
 			"decode":     stageSnap(&m.Decode),
 			"queue_wait": stageSnap(&m.QueueWait),
 			"translate":  stageSnap(&m.Translate),
+			"peer_fetch": stageSnap(&m.PeerFetch),
 			"verify":     stageSnap(&m.Verify),
 			"run":        stageSnap(&m.Run),
 		},
@@ -191,10 +223,10 @@ func (m *Metrics) Snapshot() Snapshot {
 }
 
 // HitRate is the fraction of cache lookups served without a
-// translation (memory hits, disk hits, and coalesced waits), or 0
-// with no lookups.
+// translation (memory hits, disk hits, peer fills, and coalesced
+// waits), or 0 with no lookups.
 func (s Snapshot) HitRate() float64 {
-	warm := s.CacheHits + s.CacheCoalesced + s.CacheDiskHits
+	warm := s.CacheHits + s.CacheCoalesced + s.CacheDiskHits + s.CachePeerHits
 	total := warm + s.CacheMisses
 	if total == 0 {
 		return 0
@@ -228,7 +260,22 @@ func (s Snapshot) Text() string {
 	w("cache_disk_writes", s.CacheDiskWrites)
 	w("cache_disk_quarantines", s.CacheDiskQuarantines)
 	w("cache_disagreements", s.CacheDisagreements)
+	if s.Cluster != nil || s.CachePeerHits+s.CachePeerQuarantines+s.CacheSpotChecks > 0 {
+		w("cache_peer_hits", s.CachePeerHits)
+		w("cache_peer_quarantines", s.CachePeerQuarantines)
+		w("cache_spot_checks", s.CacheSpotChecks)
+		w("cache_spot_check_fails", s.CacheSpotCheckFails)
+	}
 	w("cache_hit_rate", fmt.Sprintf("%.2f", s.HitRate()))
+	if s.Cluster != nil {
+		w("cluster_self", s.Cluster.Self)
+		w("cluster_members", len(s.Cluster.Members))
+		w("cluster_failovers", s.Cluster.Failovers)
+		for _, p := range s.Cluster.Peers {
+			fmt.Fprintf(&b, "cluster_peer %-14s hits=%d quarantines=%d errors=%d pushes=%d\n",
+				p.Peer, p.Hits, p.Quarantines, p.Errors, p.Pushes)
+		}
+	}
 	for _, name := range stageOrder(s.Stages) {
 		st := s.Stages[name]
 		fmt.Fprintf(&b, "stage_%-12s count=%d p50=%.0fus p95=%.0fus p99=%.0fus\n",

@@ -119,7 +119,7 @@ func TestTextStageAndTargetLines(t *testing.T) {
 			stageIdx = append(stageIdx, strings.Fields(l)[0])
 		}
 	}
-	want := []string{"stage_decode", "stage_queue_wait", "stage_translate", "stage_verify", "stage_run"}
+	want := []string{"stage_decode", "stage_queue_wait", "stage_translate", "stage_peer_fetch", "stage_verify", "stage_run"}
 	if len(stageIdx) != len(want) {
 		t.Fatalf("stage lines %v, want %v", stageIdx, want)
 	}
@@ -220,5 +220,61 @@ func TestConcurrentUpdates(t *testing.T) {
 	}
 	if x86.Jobs != 8000 || x86.Run.Count != 8000 {
 		t.Fatalf("x86 target snapshot %+v", x86)
+	}
+}
+
+// The cluster section: absent (and JSON-omitted) on single-node
+// snapshots, rendered with per-peer counters in Text and as labelled
+// Prometheus families when present.
+func TestClusterSection(t *testing.T) {
+	var m Metrics
+	solo := m.Snapshot()
+	blob, err := json.Marshal(solo)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(string(blob), "cluster") || strings.Contains(string(blob), "cache_peer_hits") {
+		t.Errorf("single-node snapshot leaks cluster fields: %s", blob)
+	}
+	if strings.Contains(solo.Text(), "cluster_") {
+		t.Errorf("single-node text leaks cluster lines:\n%s", solo.Text())
+	}
+
+	s := m.Snapshot()
+	s.CachePeerHits = 3
+	s.CachePeerQuarantines = 1
+	s.Cluster = &ClusterSnapshot{
+		Self:      "http://a:1",
+		Members:   []string{"http://a:1", "http://b:2", "http://c:3"},
+		Failovers: 2,
+		Peers: []PeerStats{
+			{Peer: "http://b:2", Hits: 3, Quarantines: 1, Errors: 0, Pushes: 4},
+			{Peer: "http://c:3", Hits: 0, Quarantines: 0, Errors: 2, Pushes: 0},
+		},
+	}
+	text := s.Text()
+	for _, want := range []string{
+		"cache_peer_hits    3",
+		"cluster_failovers  2",
+		"cluster_members    3",
+		"cluster_peer http://b:2     hits=3 quarantines=1 errors=0 pushes=4",
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("text missing %q:\n%s", want, text)
+		}
+	}
+	prom := s.Prom()
+	for _, want := range []string{
+		"# TYPE omni_cluster_peer_hits_total counter",
+		`omni_cluster_peer_hits_total{peer="http://b:2"} 3`,
+		`omni_cluster_peer_quarantines_total{peer="http://b:2"} 1`,
+		`omni_cluster_peer_errors_total{peer="http://c:3"} 2`,
+		"omni_cluster_failovers_total 2",
+		"omni_cache_peer_hits_total 3",
+		"omni_cache_peer_quarantines_total 1",
+	} {
+		if !strings.Contains(prom, want) {
+			t.Errorf("prom missing %q", want)
+		}
 	}
 }

@@ -46,6 +46,32 @@ func (s Snapshot) Prom() string {
 	counter("cache_disk_quarantines_total", "Disk entries quarantined after failing re-verification.", s.CacheDiskQuarantines)
 	counter("cache_disagreements_total", "Dual-gate admissions where the two SFI verifiers split the verdict.", s.CacheDisagreements)
 
+	// Cluster peer-fill counters: totals always (they are part of the
+	// cache contract), per-peer series only when running clustered.
+	counter("cache_peer_hits_total", "Translations admitted from cluster peers (re-verified on arrival).", s.CachePeerHits)
+	counter("cache_peer_quarantines_total", "Peer candidates refused by the admission gate or spot check.", s.CachePeerQuarantines)
+	counter("cache_spot_checks_total", "Peer admissions sampled for retranslation equality.", s.CacheSpotChecks)
+	counter("cache_spot_check_fails_total", "Spot checks where the peer program was not the local translation.", s.CacheSpotCheckFails)
+	if c := s.Cluster; c != nil {
+		counter("cluster_failovers_total", "Exec requests re-routed after a member failure.", c.Failovers)
+		fmt.Fprintf(&b, "# HELP omni_cluster_peer_hits_total Peer-fill admissions by supplying peer.\n# TYPE omni_cluster_peer_hits_total counter\n")
+		for _, p := range c.Peers {
+			fmt.Fprintf(&b, "omni_cluster_peer_hits_total{peer=%q} %d\n", p.Peer, p.Hits)
+		}
+		fmt.Fprintf(&b, "# HELP omni_cluster_peer_quarantines_total Peer candidates quarantined by supplying peer.\n# TYPE omni_cluster_peer_quarantines_total counter\n")
+		for _, p := range c.Peers {
+			fmt.Fprintf(&b, "omni_cluster_peer_quarantines_total{peer=%q} %d\n", p.Peer, p.Quarantines)
+		}
+		fmt.Fprintf(&b, "# HELP omni_cluster_peer_errors_total Transport or protocol failures probing a peer.\n# TYPE omni_cluster_peer_errors_total counter\n")
+		for _, p := range c.Peers {
+			fmt.Fprintf(&b, "omni_cluster_peer_errors_total{peer=%q} %d\n", p.Peer, p.Errors)
+		}
+		fmt.Fprintf(&b, "# HELP omni_cluster_peer_pushes_total Hot-entry replications sent to a peer.\n# TYPE omni_cluster_peer_pushes_total counter\n")
+		for _, p := range c.Peers {
+			fmt.Fprintf(&b, "omni_cluster_peer_pushes_total{peer=%q} %d\n", p.Peer, p.Pushes)
+		}
+	}
+
 	// Stage latency histograms share one metric family with a stage
 	// label, cumulative buckets in seconds.
 	fmt.Fprintf(&b, "# HELP omni_stage_latency_seconds Pipeline stage latency.\n# TYPE omni_stage_latency_seconds histogram\n")

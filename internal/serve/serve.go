@@ -135,6 +135,10 @@ type Server struct {
 	tasks  chan task
 	wg     sync.WaitGroup
 
+	// cluster, when set, supplies the cluster section of Snapshot
+	// (see SetClusterSnapshot).
+	cluster func() metrics.ClusterSnapshot
+
 	// closeMu serializes Submit sends against Close's channel close:
 	// Submit holds it shared around the send, Close holds it exclusive
 	// while flipping closed — so no send can race the close, and
@@ -277,8 +281,22 @@ func (s *Server) Snapshot() metrics.Snapshot {
 	snap.CacheDiskWrites = cs.DiskWrites
 	snap.CacheDiskQuarantines = cs.DiskQuarantines
 	snap.CacheDisagreements = cs.Disagreements
+	snap.CachePeerHits = cs.PeerHits
+	snap.CachePeerQuarantines = cs.PeerQuarantines
+	snap.CacheSpotChecks = cs.SpotChecks
+	snap.CacheSpotCheckFails = cs.SpotCheckFails
+	if s.cluster != nil {
+		cl := s.cluster()
+		snap.Cluster = &cl
+	}
 	return snap
 }
+
+// SetClusterSnapshot installs the provider for the cluster section of
+// Snapshot — the cluster layer registers itself here so /v1/metrics
+// reports membership and per-peer counters without this package
+// importing it.
+func (s *Server) SetClusterSnapshot(fn func() metrics.ClusterSnapshot) { s.cluster = fn }
 
 func (s *Server) worker() {
 	defer s.wg.Done()
@@ -387,6 +405,9 @@ func (s *Server) execute(j Job, tr *trace.Trace) (r Result) {
 		s.met.Translate.Observe(csp.End())
 		if vsp := csp.Find("verify"); vsp != nil {
 			s.met.Verify.Observe(vsp.Dur())
+		}
+		if psp := csp.Find("peer_fetch"); psp != nil {
+			s.met.PeerFetch.Observe(psp.Dur())
 		}
 		if err == nil && !r.Cached {
 			s.met.Translations.Add(1)

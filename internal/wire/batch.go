@@ -1,0 +1,119 @@
+// Batch codec: the OMB frame packs several OMW module blobs into one
+// request so a client warming a cluster node (or omniload seeding its
+// workload mix) pays one HTTP round trip, not one per module. The
+// frame is deliberately thin — a checksummed length table over opaque
+// member blobs — because each member is a complete OMW encoding that
+// carries its own section checksums and strict validation; the batch
+// layer adds framing, not trust.
+//
+// DecodeBatch is zero-copy: the returned blobs are subslices of the
+// input buffer, so splitting an N-module batch performs no per-module
+// allocation or byte copying (ROADMAP item 1's open end). Callers that
+// outlive the request buffer must copy — wire.DecodeModule already
+// copies the sections it keeps, so the normal decode pipeline is safe.
+
+package wire
+
+import (
+	"fmt"
+	"hash/crc32"
+)
+
+// BatchMagic opens every OMB frame. Like the module magic, the
+// trailing byte is the major version in ASCII.
+const BatchMagic = "OMB1"
+
+// MaxBatchModules bounds the member count before the length table is
+// trusted.
+const MaxBatchModules = 256
+
+// MaxBatchBytes caps a whole frame: the module registry would refuse
+// more anyway, and the decoder must bound allocation before parsing.
+const MaxBatchBytes = 64 << 20
+
+// batchHeaderSize is magic + version + count + table crc32.
+const batchHeaderSize = 4 + 4 + 4 + 4
+
+// EncodeBatch frames blobs into one OMB buffer. Members are opaque
+// here (they are validated as OMW modules when decoded individually),
+// but the frame limits still apply.
+func EncodeBatch(blobs [][]byte) ([]byte, error) {
+	if len(blobs) == 0 {
+		return nil, fmt.Errorf("%w: empty batch", ErrCorrupt)
+	}
+	if len(blobs) > MaxBatchModules {
+		return nil, fmt.Errorf("%w: %d modules in batch (max %d)", ErrTooLarge, len(blobs), MaxBatchModules)
+	}
+	total := batchHeaderSize + 4*len(blobs)
+	for i, b := range blobs {
+		if len(b) == 0 {
+			return nil, fmt.Errorf("%w: batch member %d is empty", ErrCorrupt, i)
+		}
+		if len(b) > MaxModuleBytes {
+			return nil, fmt.Errorf("%w: batch member %d is %d bytes (max %d)", ErrTooLarge, i, len(b), MaxModuleBytes)
+		}
+		total += len(b)
+	}
+	if total > MaxBatchBytes {
+		return nil, fmt.Errorf("%w: batch frame %d bytes (max %d)", ErrTooLarge, total, MaxBatchBytes)
+	}
+	out := make([]byte, 0, total)
+	out = append(out, BatchMagic...)
+	out = appendU32(out, Version)
+	out = appendU32(out, uint32(len(blobs)))
+	table := make([]byte, 0, 4*len(blobs))
+	for _, b := range blobs {
+		table = appendU32(table, uint32(len(b)))
+	}
+	out = appendU32(out, crc32.ChecksumIEEE(table))
+	out = append(out, table...)
+	for _, b := range blobs {
+		out = append(out, b...)
+	}
+	return out, nil
+}
+
+// DecodeBatch splits an OMB frame into its member blobs. The returned
+// slices alias data — no member is copied or re-allocated; decoding
+// the members as modules is the caller's (already-copying) business.
+// The frame is strict: exact magic and version, checksummed length
+// table, lengths summing exactly to the frame end.
+func DecodeBatch(data []byte) ([][]byte, error) {
+	if len(data) > MaxBatchBytes {
+		return nil, fmt.Errorf("%w: batch frame is %d bytes (max %d)", ErrTooLarge, len(data), MaxBatchBytes)
+	}
+	if len(data) < batchHeaderSize || string(data[:4]) != BatchMagic {
+		return nil, ErrBadMagic
+	}
+	if v := getU32(data[4:]); v != Version {
+		return nil, fmt.Errorf("%w: %d (have %d)", ErrBadVersion, v, Version)
+	}
+	n := int(getU32(data[8:]))
+	if n <= 0 || n > MaxBatchModules {
+		return nil, fmt.Errorf("%w: %d modules in batch (max %d)", ErrTooLarge, n, MaxBatchModules)
+	}
+	if len(data) < batchHeaderSize+4*n {
+		return nil, fmt.Errorf("%w: batch table truncated", ErrCorrupt)
+	}
+	table := data[batchHeaderSize : batchHeaderSize+4*n]
+	if got := crc32.ChecksumIEEE(table); got != getU32(data[12:]) {
+		return nil, fmt.Errorf("%w: batch table checksum mismatch", ErrCorrupt)
+	}
+	blobs := make([][]byte, n)
+	off := batchHeaderSize + 4*n
+	for i := 0; i < n; i++ {
+		ln := int(getU32(table[4*i:]))
+		if ln <= 0 || ln > MaxModuleBytes {
+			return nil, fmt.Errorf("%w: batch member %d length %d", ErrCorrupt, i, ln)
+		}
+		if ln > len(data)-off {
+			return nil, fmt.Errorf("%w: batch member %d overruns frame", ErrCorrupt, i)
+		}
+		blobs[i] = data[off : off+ln : off+ln]
+		off += ln
+	}
+	if off != len(data) {
+		return nil, fmt.Errorf("%w: %d trailing bytes after batch", ErrCorrupt, len(data)-off)
+	}
+	return blobs, nil
+}

@@ -1,0 +1,334 @@
+package wire_test
+
+import (
+	"bytes"
+	"fmt"
+	"os"
+	"path/filepath"
+	"reflect"
+	"strconv"
+	"strings"
+	"testing"
+
+	"omniware/internal/ovm"
+	"omniware/internal/wire"
+)
+
+func testModules(t testing.TB) [][]byte {
+	t.Helper()
+	var blobs [][]byte
+	for i := 0; i < 3; i++ {
+		mod := &ovm.Module{
+			Text:     []ovm.Inst{{Op: ovm.HALT}, {Op: ovm.HALT}},
+			Data:     bytes.Repeat([]byte{byte(i + 1)}, 8*(i+1)),
+			BSSSize:  uint32(16 * (i + 1)),
+			Entry:    0,
+			DataBase: 0x10000000,
+		}
+		blob, err := wire.EncodeModule(mod)
+		if err != nil {
+			t.Fatal(err)
+		}
+		blobs = append(blobs, blob)
+	}
+	return blobs
+}
+
+func TestBatchRoundTrip(t *testing.T) {
+	blobs := testModules(t)
+	frame, err := wire.EncodeBatch(blobs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := wire.DecodeBatch(frame)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(blobs) {
+		t.Fatalf("decoded %d members, want %d", len(got), len(blobs))
+	}
+	for i := range got {
+		if !bytes.Equal(got[i], blobs[i]) {
+			t.Errorf("member %d bytes differ", i)
+		}
+		if _, err := wire.DecodeModule(got[i]); err != nil {
+			t.Errorf("member %d does not decode as a module: %v", i, err)
+		}
+	}
+}
+
+// TestBatchZeroCopy pins the decode contract ROADMAP item 1 asked
+// for: splitting a batch allocates the slice headers and nothing else
+// — every member aliases the frame buffer.
+func TestBatchZeroCopy(t *testing.T) {
+	blobs := testModules(t)
+	frame, err := wire.EncodeBatch(blobs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := wire.DecodeBatch(frame)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pristine := append([]byte(nil), frame...)
+	for i, b := range got {
+		if len(b) == 0 {
+			t.Fatalf("member %d empty", i)
+		}
+		// Aliasing check: writing through the member must show up in
+		// the frame buffer.
+		b[0] ^= 0xff
+		if bytes.Equal(frame, pristine) {
+			t.Errorf("member %d does not alias the frame buffer", i)
+		}
+		b[0] ^= 0xff
+	}
+	allocs := testing.AllocsPerRun(100, func() {
+		if _, err := wire.DecodeBatch(frame); err != nil {
+			t.Fatal(err)
+		}
+	})
+	// One allocation: the [][]byte header slice. No per-member copies.
+	if allocs > 1 {
+		t.Errorf("DecodeBatch allocates %.0f times per frame, want <= 1", allocs)
+	}
+}
+
+func TestBatchRejects(t *testing.T) {
+	blobs := testModules(t)
+	frame, err := wire.EncodeBatch(blobs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	flip := func(off int, bit byte) []byte {
+		b := append([]byte(nil), frame...)
+		b[off] ^= bit
+		return b
+	}
+	cases := map[string][]byte{
+		"empty":           nil,
+		"magic-only":      []byte(wire.BatchMagic),
+		"bad-magic":       flip(0, 0x20),
+		"future-version":  flip(4, 0x40),
+		"zero-count":      flip(8, byte(len(blobs))), // 3 ^ 3 = 0
+		"huge-count":      flip(9, 0x7f),
+		"bad-table-crc":   flip(12, 0x01),
+		"truncated":       frame[:len(frame)/2],
+		"trailing-byte":   append(append([]byte(nil), frame...), 0),
+		"oversized-frame": make([]byte, wire.MaxBatchBytes+1),
+	}
+	for name, data := range cases {
+		if _, err := wire.DecodeBatch(data); err == nil {
+			t.Errorf("%s: corrupt batch accepted", name)
+		}
+	}
+	if _, err := wire.EncodeBatch(nil); err == nil {
+		t.Error("EncodeBatch accepted an empty batch")
+	}
+	if _, err := wire.EncodeBatch([][]byte{{}}); err == nil {
+		t.Error("EncodeBatch accepted an empty member")
+	}
+}
+
+func TestPeerFrameRoundTrip(t *testing.T) {
+	const key = "k1|deadbeef|mips|00000000.00000000.00000000.00000000|sfi=true"
+	payload := []byte("opaque owp bytes")
+	frame, err := wire.EncodePeerFrame(key, payload)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gotKey, gotPay, err := wire.DecodePeerFrame(frame)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gotKey != key || !bytes.Equal(gotPay, payload) {
+		t.Fatalf("round trip lost data: key %q payload %q", gotKey, gotPay)
+	}
+}
+
+func TestPeerFrameRejects(t *testing.T) {
+	frame, err := wire.EncodePeerFrame("k1|aa|mips|x|sfi=true", []byte("payload"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	flip := func(off int, bit byte) []byte {
+		b := append([]byte(nil), frame...)
+		b[off] ^= bit
+		return b
+	}
+	cases := map[string][]byte{
+		"empty":         nil,
+		"bad-magic":     flip(0, 0x20),
+		"bad-version":   flip(4, 0x01),
+		"bad-crc":       flip(16, 0x01),
+		"key-flip":      flip(20, 0x01), // body starts at 20
+		"payload-flip":  flip(len(frame)-1, 0x01),
+		"truncated":     frame[:len(frame)-1],
+		"trailing-byte": append(append([]byte(nil), frame...), 0),
+	}
+	for name, data := range cases {
+		if _, _, err := wire.DecodePeerFrame(data); err == nil {
+			t.Errorf("%s: corrupt peer frame accepted", name)
+		}
+	}
+	if _, err := wire.EncodePeerFrame("", nil); err == nil {
+		t.Error("EncodePeerFrame accepted an empty key")
+	}
+}
+
+// The batch decoder faces the same untrusted network bytes as the
+// module decoder, so it gets the same fuzz treatment: any input must
+// either error or yield members whose re-framing is the identity.
+func FuzzDecodeBatch(f *testing.F) {
+	for _, s := range batchSeeds(f) {
+		f.Add(s.data)
+	}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		blobs, err := wire.DecodeBatch(data)
+		if err != nil {
+			return
+		}
+		frame, err := wire.EncodeBatch(blobs)
+		if err != nil {
+			t.Fatalf("decoded batch fails to re-encode: %v", err)
+		}
+		again, err := wire.DecodeBatch(frame)
+		if err != nil {
+			t.Fatalf("canonical re-framing fails to decode: %v", err)
+		}
+		if !reflect.DeepEqual(again, blobs) {
+			t.Fatal("decode/encode/decode is not a fixed point")
+		}
+	})
+}
+
+// FuzzDecodePeerFrame covers the cluster peer envelope with the same
+// contract.
+func FuzzDecodePeerFrame(f *testing.F) {
+	if frame, err := wire.EncodePeerFrame("k1|seed", []byte("payload")); err == nil {
+		f.Add(frame)
+	}
+	f.Add([]byte(wire.PeerMagic))
+	f.Add([]byte{})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		key, payload, err := wire.DecodePeerFrame(data)
+		if err != nil {
+			return
+		}
+		frame, err := wire.EncodePeerFrame(key, payload)
+		if err != nil {
+			t.Fatalf("decoded frame fails to re-encode: %v", err)
+		}
+		k2, p2, err := wire.DecodePeerFrame(frame)
+		if err != nil || k2 != key || !bytes.Equal(p2, payload) {
+			t.Fatalf("decode/encode/decode not a fixed point: %v", err)
+		}
+	})
+}
+
+const batchCorpusDir = "testdata/fuzz/FuzzDecodeBatch"
+
+// buildBatchSeeds mirrors buildSeeds for the batch frame: one valid
+// frame plus near-misses for each validation layer.
+func buildBatchSeeds(t testing.TB) []seed {
+	valid, err := wire.EncodeBatch(testModules(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	flip := func(off int, bit byte) []byte {
+		b := append([]byte(nil), valid...)
+		b[off] ^= bit
+		return b
+	}
+	return []seed{
+		{"valid", valid, true},
+		{"empty", nil, false},
+		{"magic-only", []byte(wire.BatchMagic), false},
+		{"bad-magic", flip(0, 0x20), false},
+		{"future-version", flip(4, 0x40), false},
+		{"bad-table-crc", flip(12, 0x01), false},
+		// A corrupt member still splits — the batch layer is framing,
+		// not trust; the member's own OMW checksums reject it at module
+		// decode. The seed pins that layering.
+		{"member-flip", flip(len(valid)-1, 0x80), true},
+		{"truncated", valid[:len(valid)/2], false},
+		{"trailing-byte", append(append([]byte(nil), valid...), 0), false},
+	}
+}
+
+// batchCorpusSeeds reads (regenerating under -regen-corpus) the
+// checked-in batch corpus.
+func batchCorpusSeeds(t testing.TB) []seed {
+	if *regenCorpus {
+		if err := os.MkdirAll(batchCorpusDir, 0o755); err != nil {
+			t.Fatal(err)
+		}
+		for _, s := range buildBatchSeeds(t) {
+			body := fmt.Sprintf("go test fuzz v1\n[]byte(%q)\n", s.data)
+			if err := os.WriteFile(filepath.Join(batchCorpusDir, "seed-"+s.name), []byte(body), 0o644); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	names, err := filepath.Glob(filepath.Join(batchCorpusDir, "seed-*"))
+	if err != nil || len(names) == 0 {
+		t.Fatalf("batch seed corpus missing under %s (err=%v); regenerate with -regen-corpus", batchCorpusDir, err)
+	}
+	want := buildBatchSeeds(t)
+	byName := map[string]seed{}
+	for _, s := range want {
+		byName["seed-"+s.name] = s
+	}
+	var out []seed
+	for _, name := range names {
+		raw, err := os.ReadFile(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		lines := strings.SplitN(string(raw), "\n", 3)
+		if len(lines) < 2 || lines[0] != "go test fuzz v1" {
+			t.Fatalf("%s: not a go fuzz corpus file", name)
+		}
+		quoted := strings.TrimSuffix(strings.TrimPrefix(lines[1], "[]byte("), ")")
+		decoded, err := strconv.Unquote(quoted)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		s, ok := byName[filepath.Base(name)]
+		if !ok {
+			t.Fatalf("%s: unknown corpus entry", name)
+		}
+		s.data = []byte(decoded)
+		out = append(out, s)
+	}
+	return out
+}
+
+func batchSeeds(t testing.TB) []seed { return batchCorpusSeeds(t) }
+
+// TestBatchSeedCorpus is the plain-`go test` regression pass over the
+// checked-in batch corpus, pinning each seed's designed verdict and
+// the canonical bytes of the valid frame.
+func TestBatchSeedCorpus(t *testing.T) {
+	seeds := batchCorpusSeeds(t)
+	if len(seeds) != len(buildBatchSeeds(t)) {
+		t.Fatalf("batch corpus has %d entries, want %d; regenerate with -regen-corpus", len(seeds), len(buildBatchSeeds(t)))
+	}
+	for _, s := range seeds {
+		_, err := wire.DecodeBatch(s.data)
+		if s.valid && err != nil {
+			t.Errorf("seed %s: %v", s.name, err)
+		}
+		if !s.valid && err == nil {
+			t.Errorf("seed %s: corrupt input accepted", s.name)
+		}
+		if s.name == "valid" {
+			for _, w := range buildBatchSeeds(t) {
+				if w.name == "valid" && !bytes.Equal(s.data, w.data) {
+					t.Error("checked-in valid batch seed no longer matches the canonical encoding; " +
+						"the frame format changed without a version bump — regenerate with -regen-corpus and bump Version")
+				}
+			}
+		}
+	}
+}

@@ -1,0 +1,79 @@
+// Peer frame codec: the OPF envelope wraps one wire-encoded (OWP)
+// translation for transfer between cluster peers. The envelope binds
+// the payload to the full cache key it was filed under, so a confused
+// or malicious peer answering with some *other* translation is caught
+// by a string compare before any expensive work — and a frame that
+// passes is still nothing more than candidate bytes: the receiving
+// cache re-runs the SFI verifier on the decoded program before
+// admission, exactly as it does for the disk tier. The envelope is
+// integrity plumbing; the verifier is the trust boundary.
+
+package wire
+
+import (
+	"fmt"
+	"hash/crc32"
+)
+
+// PeerMagic opens every OPF frame.
+const PeerMagic = "OPF1"
+
+// MaxPeerKeyLen bounds the embedded cache key (matches the disk
+// store's key limit).
+const MaxPeerKeyLen = 4096
+
+// MaxPeerFrameBytes caps a whole frame before any field is trusted.
+const MaxPeerFrameBytes = 256 << 20
+
+// peerHeaderSize is magic + version + keyLen + payLen + frame crc32.
+const peerHeaderSize = 4 + 4 + 4 + 4 + 4
+
+// EncodePeerFrame wraps an OWP payload and the cache key it answers.
+func EncodePeerFrame(key string, payload []byte) ([]byte, error) {
+	if len(key) == 0 || len(key) > MaxPeerKeyLen {
+		return nil, fmt.Errorf("%w: peer frame key length %d", ErrTooLarge, len(key))
+	}
+	total := peerHeaderSize + len(key) + len(payload)
+	if total > MaxPeerFrameBytes {
+		return nil, fmt.Errorf("%w: peer frame %d bytes (max %d)", ErrTooLarge, total, MaxPeerFrameBytes)
+	}
+	body := make([]byte, 0, len(key)+len(payload))
+	body = append(body, key...)
+	body = append(body, payload...)
+	out := make([]byte, 0, total)
+	out = append(out, PeerMagic...)
+	out = appendU32(out, Version)
+	out = appendU32(out, uint32(len(key)))
+	out = appendU32(out, uint32(len(payload)))
+	out = appendU32(out, crc32.ChecksumIEEE(body))
+	return append(out, body...), nil
+}
+
+// DecodePeerFrame splits a frame back into key and payload. The
+// payload aliases data; it is UNVERIFIED — callers must decode it
+// with DecodeProgram and then pass the program through the SFI
+// verifier before it can be served.
+func DecodePeerFrame(data []byte) (key string, payload []byte, err error) {
+	if len(data) > MaxPeerFrameBytes {
+		return "", nil, fmt.Errorf("%w: peer frame is %d bytes (max %d)", ErrTooLarge, len(data), MaxPeerFrameBytes)
+	}
+	if len(data) < peerHeaderSize || string(data[:4]) != PeerMagic {
+		return "", nil, ErrBadMagic
+	}
+	if v := getU32(data[4:]); v != Version {
+		return "", nil, fmt.Errorf("%w: %d (have %d)", ErrBadVersion, v, Version)
+	}
+	keyLen := int(getU32(data[8:]))
+	payLen := int(getU32(data[12:]))
+	if keyLen <= 0 || keyLen > MaxPeerKeyLen {
+		return "", nil, fmt.Errorf("%w: peer frame key length %d", ErrCorrupt, keyLen)
+	}
+	body := data[peerHeaderSize:]
+	if payLen < 0 || keyLen+payLen != len(body) {
+		return "", nil, fmt.Errorf("%w: peer frame body is %d bytes, header promises %d", ErrCorrupt, len(body), keyLen+payLen)
+	}
+	if got := crc32.ChecksumIEEE(body); got != getU32(data[16:]) {
+		return "", nil, fmt.Errorf("%w: peer frame checksum mismatch", ErrCorrupt)
+	}
+	return string(body[:keyLen]), body[keyLen:], nil
+}
