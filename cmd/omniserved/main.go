@@ -12,7 +12,8 @@
 //	           [-deadline-ms n] [-max-deadline-ms n]
 //	           [-debug-addr host:port]
 //	           [-cluster-self URL -cluster-members URL,URL,...]
-//	           [-cluster-fanout n] [-cluster-hot-k n] [-cluster-replicate-ms n]
+//	           [-cluster-secret s] [-cluster-fanout n] [-cluster-hot-k n]
+//	           [-cluster-replicate-ms n]
 //
 // With -cluster-members (a static member list shared by every node,
 // including this node's own -cluster-self URL), the daemon joins an
@@ -20,6 +21,10 @@
 // owners over GET /v1/peer/translation before retranslating, every
 // arriving artifact is re-verified locally before admission, and hot
 // translations are pushed to their owners each replication round.
+// Cluster mode requires a shared peer-auth secret — the same value on
+// every member, via -cluster-secret or the OMNI_CLUSTER_SECRET
+// environment variable (preferred: the environment keeps it out of
+// process listings) — which gates every /v1/peer/* request.
 //
 // The daemon prints "listening on ADDR" to stderr once the socket is
 // bound (pass -addr 127.0.0.1:0 to let the kernel pick a free port —
@@ -78,6 +83,8 @@ func run(args []string, stderr *os.File) int {
 	debugAddr := fs.String("debug-addr", "", "pprof listener address (empty = disabled)")
 	clusterSelf := fs.String("cluster-self", "", "this node's base URL as peers reach it (e.g. http://10.0.0.1:8080)")
 	clusterMembers := fs.String("cluster-members", "", "comma-separated member base URLs, including self")
+	clusterSecret := fs.String("cluster-secret", os.Getenv("OMNI_CLUSTER_SECRET"),
+		"shared peer-auth secret, same on every member (default $OMNI_CLUSTER_SECRET); required in cluster mode")
 	clusterFanout := fs.Int("cluster-fanout", 0, "ring owners per module (0 = default 2)")
 	clusterHotK := fs.Int("cluster-hot-k", 0, "hot translations replicated per round (0 = default)")
 	clusterReplicateMs := fs.Int("cluster-replicate-ms", 0, "hot-module replication interval (0 = default, <0 = off)")
@@ -109,6 +116,10 @@ func run(args []string, stderr *os.File) int {
 	// re-verified locally) and the HTTP layer's peer endpoint backend.
 	var peers *cluster.Peers
 	if *clusterMembers != "" {
+		if *clusterSecret == "" {
+			logf("cluster mode requires -cluster-secret (or OMNI_CLUSTER_SECRET): the same shared peer-auth secret on every member")
+			return serve.ExitInfra
+		}
 		var members []string
 		for _, m := range strings.Split(*clusterMembers, ",") {
 			if m = strings.TrimSpace(m); m != "" {
@@ -123,6 +134,7 @@ func run(args []string, stderr *os.File) int {
 		peers, err = cluster.New(cluster.Config{
 			Self:           *clusterSelf,
 			Members:        members,
+			Secret:         *clusterSecret,
 			Fanout:         *clusterFanout,
 			HotK:           *clusterHotK,
 			ReplicateEvery: replicate,
@@ -161,6 +173,7 @@ func run(args []string, stderr *os.File) int {
 		// Assigned only when non-nil: a typed nil in the interface field
 		// would enable the peer endpoints with no backend behind them.
 		netCfg.Peer = peers
+		netCfg.PeerAuth = *clusterSecret
 	}
 	h, err := netserve.New(netCfg)
 	if err != nil {

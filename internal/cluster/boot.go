@@ -1,6 +1,8 @@
 package cluster
 
 import (
+	"crypto/rand"
+	"encoding/hex"
 	"fmt"
 	"net"
 	"net/http"
@@ -29,7 +31,11 @@ type BootConfig struct {
 	Burst              float64 // per-client burst allowance
 	Verify             mcache.VerifyMode
 	PeerSpotCheckEvery int
-	Logf               func(format string, args ...any)
+	// Secret is the shared peer-auth secret every node is configured
+	// with; empty generates a random one (the members are all in this
+	// process, so nobody else needs to know it).
+	Secret string
+	Logf   func(format string, args ...any)
 }
 
 // Node is one member of an in-process cluster.
@@ -98,6 +104,13 @@ func BootLocal(cfg BootConfig) (*Local, error) {
 	if cfg.Nodes <= 0 {
 		cfg.Nodes = 3
 	}
+	if cfg.Secret == "" {
+		var b [16]byte
+		if _, err := rand.Read(b[:]); err != nil {
+			return nil, fmt.Errorf("cluster: generating peer secret: %w", err)
+		}
+		cfg.Secret = hex.EncodeToString(b[:])
+	}
 	liss := make([]net.Listener, 0, cfg.Nodes)
 	members := make([]string, 0, cfg.Nodes)
 	fail := func(err error) (*Local, error) {
@@ -120,6 +133,7 @@ func BootLocal(cfg BootConfig) (*Local, error) {
 		peers, err := New(Config{
 			Self:           members[i],
 			Members:        members,
+			Secret:         cfg.Secret,
 			Fanout:         cfg.Fanout,
 			HotK:           cfg.HotK,
 			ReplicateEvery: cfg.ReplicateEvery,
@@ -140,11 +154,12 @@ func BootLocal(cfg BootConfig) (*Local, error) {
 		srv := serve.New(serve.Config{Workers: cfg.Workers, QueueCap: cfg.QueueCap, Cache: cache})
 		srv.SetClusterSnapshot(peers.Snapshot)
 		h, err := netserve.New(netserve.Config{
-			Server: srv,
-			Peer:   peers,
-			Rate:   cfg.Rate,
-			Burst:  cfg.Burst,
-			Logf:   cfg.Logf,
+			Server:   srv,
+			Peer:     peers,
+			PeerAuth: cfg.Secret,
+			Rate:     cfg.Rate,
+			Burst:    cfg.Burst,
+			Logf:     cfg.Logf,
 		})
 		if err != nil {
 			srv.Close()

@@ -5,10 +5,18 @@ import (
 	"fmt"
 	"net/http"
 	"sync/atomic"
+	"time"
 
 	"omniware/internal/netserve"
 	"omniware/internal/wire"
 )
+
+// DefaultClientTimeout bounds each per-node HTTP call when
+// ClientConfig.HTTP is nil: generous enough for the longest exec a
+// default server allows (60s deadline plus queueing), but finite — a
+// hung member must become a failover to the next one, not a caller
+// stuck forever.
+const DefaultClientTimeout = 2 * time.Minute
 
 // ClientConfig describes a cluster from the outside: the member
 // addresses (the same list the nodes were configured with) and the
@@ -18,7 +26,7 @@ type ClientConfig struct {
 	Addrs  []string
 	Fanout int // owners tried before spilling to the rest (default 2)
 	Vnodes int
-	HTTP   *http.Client
+	HTTP   *http.Client         // per-node HTTP client (default: DefaultClientTimeout-bounded)
 	Retry  netserve.RetryPolicy // per-node shed-retry policy
 }
 
@@ -40,6 +48,9 @@ func NewClient(cfg ClientConfig) (*Client, error) {
 	}
 	if cfg.Fanout <= 0 {
 		cfg.Fanout = 2
+	}
+	if cfg.HTTP == nil {
+		cfg.HTTP = &http.Client{Timeout: DefaultClientTimeout}
 	}
 	return &Client{cfg: cfg, ring: NewRing(cfg.Addrs, cfg.Vnodes)}, nil
 }
@@ -89,6 +100,9 @@ func failoverWorthy(err error) bool {
 // Upload sends a module to its ring owners (each owner gets a copy,
 // so single-node loss does not lose the module), failing over past
 // dead owners. It succeeds if at least one owner accepted the module.
+// A deterministic refusal (4xx misuse — corrupt or oversized module)
+// would be the same on every member, so it is returned immediately,
+// not retried around the ring or counted as a failover.
 func (c *Client) Upload(blob []byte) (*netserve.UploadResponse, error) {
 	hash := wire.Hash(blob)
 	var out *netserve.UploadResponse
@@ -100,6 +114,9 @@ func (c *Client) Upload(blob []byte) (*netserve.UploadResponse, error) {
 		}
 		resp, err := c.Node(addr).Upload(blob)
 		if err != nil {
+			if !failoverWorthy(err) {
+				return nil, err
+			}
 			lastErr = err
 			c.failovers.Add(1)
 			continue

@@ -16,12 +16,24 @@ import (
 	"omniware/internal/wire"
 )
 
+// DefaultPeerTimeout bounds every peer-to-peer HTTP call when
+// Config.HTTP is nil. Peer fetches run inside the cache's singleflight
+// on the exec path, so a hung (not merely dead) peer must fail fast —
+// an unbounded call there would wedge the translating worker and every
+// coalesced waiter behind it.
+const DefaultPeerTimeout = 5 * time.Second
+
 // Config describes one node's view of the cluster. Self must appear
 // in Members; every node must be configured with the same Members
 // list (membership is static — there is no gossip or discovery).
 type Config struct {
 	Self    string   // this node's advertised base URL
 	Members []string // all nodes' base URLs, including Self
+	// Secret is the shared peer-auth secret (required): every member
+	// must be configured with the same value, and every /v1/peer/*
+	// request carries it. Without it any client reachable on the
+	// listener could push translations or scrape peer state.
+	Secret string
 	// Fanout is how many owners each module hash has on the ring
 	// (default 2): the nodes an exec routes to, a miss peer-fills
 	// from, and replication pushes to.
@@ -34,7 +46,7 @@ type Config struct {
 	// still works.
 	ReplicateEvery time.Duration
 	Vnodes         int          // ring points per member (default DefaultVnodes)
-	HTTP           *http.Client // peer HTTP client (default http.DefaultClient)
+	HTTP           *http.Client // peer HTTP client (default: DefaultPeerTimeout-bounded)
 	Logf           func(format string, args ...any)
 }
 
@@ -60,9 +72,12 @@ type Peers struct {
 
 	mu    sync.Mutex
 	cache *mcache.Cache // bound by Start
-	// pushed remembers (key, peer) pairs already replicated so each
-	// hot entry is offered to an owner once, not once per tick.
-	pushed map[string]bool
+	// pushed remembers when each (key, peer) pair was last replicated
+	// so a hot entry is offered to an owner once per pushedTTL, not
+	// once per tick. Entries expire (a peer that restarted and lost
+	// its cache gets re-offered) and the map is capped at pushedMax so
+	// a long-running node's memory stays bounded.
+	pushed map[string]time.Time
 
 	stop    chan struct{}
 	stopped sync.Once
@@ -74,6 +89,12 @@ type Peers struct {
 func New(cfg Config) (*Peers, error) {
 	if cfg.Self == "" {
 		return nil, errors.New("cluster: Config.Self is required")
+	}
+	if cfg.Secret == "" {
+		return nil, errors.New("cluster: Config.Secret is required (the shared peer-auth secret; every member must use the same value)")
+	}
+	if cfg.HTTP == nil {
+		cfg.HTTP = &http.Client{Timeout: DefaultPeerTimeout}
 	}
 	if cfg.Fanout <= 0 {
 		cfg.Fanout = 2
@@ -104,7 +125,7 @@ func New(cfg Config) (*Peers, error) {
 		cfg:    cfg,
 		ring:   ring,
 		stats:  stats,
-		pushed: map[string]bool{},
+		pushed: map[string]time.Time{},
 		stop:   make(chan struct{}),
 	}, nil
 }
@@ -122,7 +143,7 @@ func (p *Peers) Owners(modHash string) []string {
 }
 
 func (p *Peers) client(peer string) *netserve.Client {
-	return &netserve.Client{Base: peer, HTTP: p.cfg.HTTP}
+	return &netserve.Client{Base: peer, HTTP: p.cfg.HTTP, PeerAuth: p.cfg.Secret}
 }
 
 // isMiss reports whether err is a clean 404 — the peer is healthy but
@@ -264,8 +285,9 @@ func (p *Peers) Close() {
 }
 
 // ReplicateOnce pushes this node's hottest translations to their ring
-// owners (once per (entry, owner) pair; refused or failed pushes are
-// retried on a later round). Returns the number of successful pushes.
+// owners (once per (entry, owner) pair per pushedTTL; refused or
+// failed pushes are retried on a later round). Returns the number of
+// successful pushes.
 // The receiver re-verifies before admission, so replication spreads
 // warmth, never trust.
 func (p *Peers) ReplicateOnce() int {
@@ -313,16 +335,47 @@ func (p *Peers) ReplicateOnce() int {
 	return pushes
 }
 
+// pushedTTL is how long a successful push suppresses re-offering the
+// same entry to the same owner; after it a hot entry is pushed again,
+// which revives owners that restarted with a cold cache (the receiver
+// acknowledges pushes it already holds without re-verifying).
+const pushedTTL = 5 * time.Minute
+
+// pushedMax caps the suppression map. Far above HotK × members for any
+// sane config; hitting it drops the oldest records, which only costs
+// an early re-offer.
+const pushedMax = 4096
+
 func (p *Peers) alreadyPushed(key, peer string) bool {
 	p.mu.Lock()
 	defer p.mu.Unlock()
-	return p.pushed[key+"\x00"+peer]
+	t, ok := p.pushed[key+"\x00"+peer]
+	return ok && time.Since(t) < pushedTTL
 }
 
 func (p *Peers) markPushed(key, peer string) {
 	p.mu.Lock()
 	defer p.mu.Unlock()
-	p.pushed[key+"\x00"+peer] = true
+	now := time.Now()
+	p.pushed[key+"\x00"+peer] = now
+	if len(p.pushed) <= pushedMax {
+		return
+	}
+	for k, t := range p.pushed {
+		if now.Sub(t) >= pushedTTL {
+			delete(p.pushed, k)
+		}
+	}
+	for len(p.pushed) > pushedMax {
+		var oldestK string
+		var oldestT time.Time
+		for k, t := range p.pushed {
+			if oldestK == "" || t.Before(oldestT) {
+				oldestK, oldestT = k, t
+			}
+		}
+		delete(p.pushed, oldestK)
+	}
 }
 
 // Snapshot returns the cluster section of the node's metrics: ring

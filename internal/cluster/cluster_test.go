@@ -246,6 +246,7 @@ func TestAdversarialPeers(t *testing.T) {
 				peers, err := cluster.New(cluster.Config{
 					Self:           self,
 					Members:        []string{self, evil.URL},
+					Secret:         "test-peer-secret",
 					Fanout:         2,
 					ReplicateEvery: -1,
 					Logf:           t.Logf,

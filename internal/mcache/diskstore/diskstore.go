@@ -124,6 +124,14 @@ func (s *Store) Put(key string, prog *target.Program) error {
 	return nil
 }
 
+// Has reports whether an entry for key exists, without reading or
+// validating it — the cheap existence probe the cache uses to avoid
+// replacing an already-persisted entry from a replication push.
+func (s *Store) Has(key string) bool {
+	_, err := os.Stat(s.entryPath(key))
+	return err == nil
+}
+
 // Get reads the entry for key back. It returns ErrNotFound for absent
 // keys and an ErrCorrupt-wrapped error for anything that fails
 // integrity or decoding — the caller decides whether to quarantine.

@@ -99,6 +99,13 @@ func (c *Cache) spotCheck(sp *trace.Span, got *target.Program, retranslate retra
 	}
 	ssp := sp.Child("spot_check")
 	defer ssp.End()
+	return c.correspond(ssp, got, retranslate)
+}
+
+// correspond is the correspondence check itself: retranslate locally
+// and demand instruction-for-instruction equality. Run on every
+// replication push (AdmitKeyed) and on sampled peer fills (spotCheck).
+func (c *Cache) correspond(sp *trace.Span, got *target.Program, retranslate retranslateFn) error {
 	c.ctr.peerSpotChecks.Add(1)
 	local, err := retranslate()
 	if err != nil {
@@ -109,7 +116,7 @@ func (c *Cache) spotCheck(sp *trace.Span, got *target.Program, retranslate retra
 	}
 	if !reflect.DeepEqual(local.Code, got.Code) {
 		c.ctr.peerSpotCheckFails.Add(1)
-		ssp.Set("mismatch", true)
+		sp.Set("mismatch", true)
 		return fmt.Errorf("mcache: spot check: peer translation differs from local retranslation (%d vs %d insts)",
 			len(got.Code), len(local.Code))
 	}
@@ -147,7 +154,18 @@ func (c *Cache) Peek(key string) (*target.Program, bool) {
 // so the admission gate checks it against the right policy; a key that
 // does not parse, names an unknown machine, or carries a program the
 // verifier refuses is rejected outright.
-func (c *Cache) AdmitKeyed(k string, prog *target.Program) error {
+//
+// Pushes are unsolicited, so containment alone is not enough: when
+// retranslate is non-nil the correspondence check runs on EVERY push
+// (not sampled like the fetch path) — a sandboxed-but-semantically-
+// wrong program is refused, counted, and never installed. Callers that
+// cannot produce a retranslate function (no module at hand) should
+// refuse the push instead of passing nil.
+//
+// The disk tier is written only when it has no entry for the key yet:
+// a push must never replace a translation this node already verified
+// and persisted.
+func (c *Cache) AdmitKeyed(k string, prog *target.Program, retranslate func() (*target.Program, error)) error {
 	mach, si, opt, err := ParseKey(k)
 	if err != nil {
 		return err
@@ -158,12 +176,20 @@ func (c *Cache) AdmitKeyed(k string, prog *target.Program) error {
 	if err := c.admit(nil, prog, mach, si); err != nil {
 		return err
 	}
+	if retranslate != nil {
+		if err := c.correspond(nil, prog, retranslate); err != nil {
+			c.ctr.peerQuarantines.Add(1)
+			return err
+		}
+	}
 	sh := c.shardFor(k)
 	sh.mu.Lock()
 	keep := c.insertLocked(sh, k, prog)
 	sh.mu.Unlock()
 	c.evict(keep)
-	c.writeThrough(nil, k, prog)
+	if c.disk == nil || !c.disk.Has(k) {
+		c.writeThrough(nil, k, prog)
+	}
 	return nil
 }
 

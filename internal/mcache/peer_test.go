@@ -1,12 +1,14 @@
 package mcache_test
 
 import (
+	"reflect"
 	"strings"
 	"sync"
 	"testing"
 
 	"omniware/internal/core"
 	"omniware/internal/mcache"
+	"omniware/internal/mcache/diskstore"
 	"omniware/internal/target"
 	"omniware/internal/trace"
 	"omniware/internal/translate"
@@ -254,7 +256,8 @@ func TestParseKeyRoundTrip(t *testing.T) {
 // TestPeekAndAdmitKeyed covers the peer-serving read and the
 // replication-push write: Peek exposes what is stored without
 // verifying or touching recency; AdmitKeyed re-verifies a pushed
-// program against the policy its key encodes.
+// program against the policy its key encodes and, when a retranslate
+// function is supplied, demands correspondence on every push.
 func TestPeekAndAdmitKeyed(t *testing.T) {
 	mod := buildMod(t, prog1)
 	m := target.MIPSMachine()
@@ -265,16 +268,22 @@ func TestPeekAndAdmitKeyed(t *testing.T) {
 		t.Fatal(err)
 	}
 	k := mcache.Key(mod, m, si, opt)
+	retranslate := func() (*target.Program, error) {
+		return translate.Translate(mod, m, si, opt)
+	}
 
 	c := mcache.New(0)
 	if _, ok := c.Peek(k); ok {
 		t.Fatal("Peek hit on an empty cache")
 	}
-	if err := c.AdmitKeyed(k, prog); err != nil {
+	if err := c.AdmitKeyed(k, prog, retranslate); err != nil {
 		t.Fatalf("honest push rejected: %v", err)
 	}
 	if got, ok := c.Peek(k); !ok || got != prog {
 		t.Error("Peek does not see the pushed entry")
+	}
+	if s := c.Stats(); s.SpotChecks != 1 || s.SpotCheckFails != 0 {
+		t.Errorf("push correspondence not checked: %+v", s)
 	}
 
 	tampered, err := translate.Translate(mod, m, si, opt)
@@ -283,15 +292,98 @@ func TestPeekAndAdmitKeyed(t *testing.T) {
 	}
 	stripSandboxMask(t, tampered, m)
 	c2 := mcache.New(0)
-	err = c2.AdmitKeyed(k, tampered)
+	err = c2.AdmitKeyed(k, tampered, retranslate)
 	if err == nil || !strings.Contains(err.Error(), "admission rejected") {
 		t.Fatalf("tampered push admitted: %v", err)
 	}
 	if _, ok := c2.Peek(k); ok {
 		t.Error("tampered push visible via Peek")
 	}
-	if err := c2.AdmitKeyed("not-a-key", prog); err == nil {
+	if err := c2.AdmitKeyed("not-a-key", prog, retranslate); err == nil {
 		t.Error("unparseable key accepted")
+	}
+}
+
+// TestAdmitKeyedCorrespondence: a pushed program that PASSES the SFI
+// gate (it is contained) but is not the translation of the module its
+// key names must be refused by the push-path correspondence check —
+// this runs on every push, not sampled like the fetch path.
+func TestAdmitKeyedCorrespondence(t *testing.T) {
+	mod := buildMod(t, prog1)
+	m := target.MIPSMachine()
+	si := core.SegInfoFor(mod, core.RunConfig{})
+	opt := translate.Paper(true)
+
+	// Translated without scheduling: contained, but not the code the
+	// scheduled identity names.
+	unsched := opt
+	unsched.Schedule = false
+	wrong, err := translate.Translate(mod, m, si, unsched)
+	if err != nil {
+		t.Fatal(err)
+	}
+	k := mcache.Key(mod, m, si, opt)
+	c := mcache.NewWith(mcache.Config{Logf: t.Logf})
+	err = c.AdmitKeyed(k, wrong, func() (*target.Program, error) {
+		return translate.Translate(mod, m, si, opt)
+	})
+	if err == nil || !strings.Contains(err.Error(), "spot check") {
+		t.Fatalf("sandboxed-but-wrong push admitted: %v", err)
+	}
+	if _, ok := c.Peek(k); ok {
+		t.Error("wrong push visible via Peek")
+	}
+	s := c.Stats()
+	if s.SpotChecks != 1 || s.SpotCheckFails != 1 || s.PeerQuarantines != 1 {
+		t.Errorf("stats %+v", s)
+	}
+}
+
+// TestAdmitKeyedNeverOverwritesDisk: a push for a key the persistent
+// tier already holds must not rewrite the disk entry — a correct
+// persisted translation survives whatever a push later claims.
+func TestAdmitKeyedNeverOverwritesDisk(t *testing.T) {
+	mod := buildMod(t, prog1)
+	m := target.MIPSMachine()
+	si := core.SegInfoFor(mod, core.RunConfig{})
+	opt := translate.Paper(true)
+	prog, err := translate.Translate(mod, m, si, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	k := mcache.Key(mod, m, si, opt)
+
+	store, err := diskstore.Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := mcache.NewWith(mcache.Config{Disk: store, Logf: t.Logf})
+	if err := c.AdmitKeyed(k, prog, nil); err != nil {
+		t.Fatalf("first push rejected: %v", err)
+	}
+	if !store.Has(k) {
+		t.Fatal("first push not written through")
+	}
+
+	// A different-but-contained program pushed to a fresh cache over
+	// the same store (retranslate nil so only the disk guard stands
+	// between it and the persisted entry).
+	unsched := opt
+	unsched.Schedule = false
+	other, err := translate.Translate(mod, m, si, unsched)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c2 := mcache.NewWith(mcache.Config{Disk: store, Logf: t.Logf})
+	if err := c2.AdmitKeyed(k, other, nil); err != nil {
+		t.Fatalf("second push rejected: %v", err)
+	}
+	onDisk, err := store.Get(k)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(onDisk.Code, prog.Code) {
+		t.Error("push overwrote the persisted entry")
 	}
 }
 

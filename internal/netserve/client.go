@@ -21,6 +21,10 @@ import (
 type Client struct {
 	Base string // e.g. "http://127.0.0.1:8080"
 	HTTP *http.Client
+	// PeerAuth is the shared cluster secret sent on /v1/peer/*
+	// requests (X-Omni-Peer-Auth). Only the cluster engine needs it;
+	// the public endpoints ignore it.
+	PeerAuth string
 }
 
 // StatusError is a non-2xx response: the HTTP status plus the error

@@ -91,6 +91,12 @@ type Config struct {
 	// endpoints (serving this node's modules and verified translations
 	// to its peers) and the exec-miss module fetch through the hooks.
 	Peer PeerHooks
+	// PeerAuth is the shared cluster secret every /v1/peer/* request
+	// must present in the X-Omni-Peer-Auth header. Required whenever
+	// Peer is set: the peer surface accepts replication pushes and
+	// bypasses the per-client rate limiter, so it is never exposed
+	// unauthenticated.
+	PeerAuth string
 }
 
 // Handler is the HTTP layer. Create with New; it implements
@@ -123,6 +129,9 @@ type modEntry struct {
 func New(cfg Config) (*Handler, error) {
 	if cfg.Server == nil {
 		return nil, errors.New("netserve: Config.Server is required")
+	}
+	if cfg.Peer != nil && cfg.PeerAuth == "" {
+		return nil, errors.New("netserve: cluster mode requires Config.PeerAuth (the shared peer secret)")
 	}
 	if cfg.MaxModules <= 0 {
 		cfg.MaxModules = DefaultMaxModules
@@ -160,9 +169,9 @@ func New(cfg Config) (*Handler, error) {
 	h.mux.HandleFunc("GET /v1/trace/{id}", h.handleTraceGet)
 	h.mux.HandleFunc("GET /healthz", h.handleHealthz)
 	if cfg.Peer != nil {
-		h.mux.HandleFunc("GET /v1/peer/module/{hash}", h.handlePeerModule)
-		h.mux.HandleFunc("GET /v1/peer/translation/{hash}/{target}", h.handlePeerTranslation)
-		h.mux.HandleFunc("POST /v1/peer/translation/{hash}/{target}", h.handlePeerPush)
+		h.mux.HandleFunc("GET /v1/peer/module/{hash}", h.peerAuth(h.handlePeerModule))
+		h.mux.HandleFunc("GET /v1/peer/translation/{hash}/{target}", h.peerAuth(h.handlePeerTranslation))
+		h.mux.HandleFunc("POST /v1/peer/translation/{hash}/{target}", h.peerAuth(h.handlePeerPush))
 	}
 	return h, nil
 }

@@ -38,6 +38,9 @@ func startServer(t *testing.T, scfg serve.Config, ncfg netserve.Config) (*netser
 	if ncfg.Logf == nil {
 		ncfg.Logf = t.Logf
 	}
+	if ncfg.Peer != nil && ncfg.PeerAuth == "" {
+		ncfg.PeerAuth = testPeerSecret
+	}
 	h, err := netserve.New(ncfg)
 	if err != nil {
 		t.Fatal(err)
@@ -47,8 +50,12 @@ func startServer(t *testing.T, scfg serve.Config, ncfg netserve.Config) (*netser
 		ts.Close()
 		srv.Close()
 	})
-	return &netserve.Client{Base: ts.URL}, h, srv
+	return &netserve.Client{Base: ts.URL, PeerAuth: ncfg.PeerAuth}, h, srv
 }
+
+// testPeerSecret is the shared peer-auth secret startServer configures
+// for cluster-mode handlers (and their clients).
+const testPeerSecret = "test-peer-secret"
 
 func TestUploadAndExec(t *testing.T) {
 	cl, _, _ := startServer(t, serve.Config{Workers: 2}, netserve.Config{})

@@ -10,18 +10,28 @@
 //     key; the receiver re-runs the SFI verifier before admission
 //     (mcache's peer-fill gate), so a peer cannot inject unverified
 //     code.
-//   - Translation push lands in Cache.AdmitKeyed, the same verifier
-//     gate, so replication cannot weaken the contract either.
+//   - Translation push lands in Cache.AdmitKeyed behind the same
+//     verifier gate PLUS an unconditional correspondence check (the
+//     program must equal the local retranslation of the module), so
+//     replication cannot weaken the contract either — not even with a
+//     sandboxed-but-semantically-wrong program.
 //
-// The peer endpoints are enabled only in cluster mode (Config.Peer
-// non-nil) and bypass the per-client rate limiter: peers are a closed,
+// Trust-free is not authentication-free: every /v1/peer/* request must
+// carry the shared cluster secret (X-Omni-Peer-Auth, Config.PeerAuth),
+// checked in constant time before any work is done. The peer endpoints
+// are enabled only in cluster mode (Config.Peer non-nil) and bypass
+// the per-client rate limiter: authenticated peers are a closed,
 // configured set, and a peer probe shedding at the limiter would turn
-// one client burst into cluster-wide retranslation.
+// one client burst into cluster-wide retranslation. An outsider's
+// request fails the secret check — one hash compare, cheaper than the
+// limiter itself — before touching frame decode or the verifier.
 
 package netserve
 
 import (
 	"bytes"
+	"crypto/sha256"
+	"crypto/subtle"
 	"fmt"
 	"io"
 	"net/http"
@@ -29,12 +39,34 @@ import (
 	"time"
 
 	"omniware/internal/mcache"
+	"omniware/internal/target"
+	"omniware/internal/translate"
 	"omniware/internal/wire"
 )
 
 // PeerHeader names the requesting cluster member on peer-to-peer
 // requests, for logs and per-peer attribution on the serving side.
 const PeerHeader = "X-Omni-Peer"
+
+// PeerAuthHeader carries the shared cluster secret on peer-to-peer
+// requests; requests without the right value are refused before any
+// decoding or verification work.
+const PeerAuthHeader = "X-Omni-Peer-Auth"
+
+// peerAuth wraps a peer endpoint behind the shared cluster secret.
+// Both sides are hashed before comparison so the check is constant
+// time regardless of attacker-chosen length.
+func (h *Handler) peerAuth(next http.HandlerFunc) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		got := sha256.Sum256([]byte(r.Header.Get(PeerAuthHeader)))
+		want := sha256.Sum256([]byte(h.cfg.PeerAuth))
+		if subtle.ConstantTimeCompare(got[:], want[:]) != 1 {
+			writeError(w, http.StatusUnauthorized, "peer authentication failed")
+			return
+		}
+		next(w, r)
+	}
+}
 
 // PeerHooks is what the cluster layer provides to the HTTP handler.
 // It is defined here (and implemented by internal/cluster) so netserve
@@ -93,9 +125,14 @@ func (h *Handler) handlePeerTranslation(w http.ResponseWriter, r *http.Request) 
 }
 
 // handlePeerPush accepts a hot-entry replication push: an OPF frame
-// whose program is admitted through the cache's verifier gate. A
-// refusal is the pusher's problem to count; the receiving cache's
-// Rejected counter records it locally too.
+// whose program is admitted through the cache's verifier gate AND the
+// retranslation correspondence check — the module must be available
+// here (registered, or peer-fetched by content address) so the push
+// can be proved to be the translation of the module it claims, not
+// merely a contained program. A push for a key this node already holds
+// is acknowledged without re-admitting: an existing verified entry is
+// never replaced by a push. A refusal is the pusher's problem to
+// count; the receiving cache's counters record it locally too.
 func (h *Handler) handlePeerPush(w http.ResponseWriter, r *http.Request) {
 	if h.draining.Load() {
 		writeError(w, http.StatusServiceUnavailable, "draining")
@@ -111,8 +148,13 @@ func (h *Handler) handlePeerPush(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, "decoding frame: %v", err)
 		return
 	}
-	if err := checkPeerKey(key, r.PathValue("hash"), r.PathValue("target")); err != nil {
+	hash := r.PathValue("hash")
+	if err := checkPeerKey(key, hash, r.PathValue("target")); err != nil {
 		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	if _, ok := h.srv.Cache().Peek(key); ok {
+		writeJSON(w, http.StatusOK, map[string]bool{"admitted": true})
 		return
 	}
 	prog, err := wire.DecodeProgram(payload)
@@ -120,7 +162,26 @@ func (h *Handler) handlePeerPush(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, "decoding program: %v", err)
 		return
 	}
-	if err := h.srv.Cache().AdmitKeyed(key, prog); err != nil {
+	h.mu.Lock()
+	ent := h.mods[hash]
+	h.mu.Unlock()
+	if ent.mod == nil && h.cfg.Peer != nil {
+		ent = h.fetchModuleViaPeers(hash)
+	}
+	if ent.mod == nil {
+		writeError(w, http.StatusUnprocessableEntity,
+			"module %s not available here; push correspondence cannot be checked", hash)
+		return
+	}
+	mach, si, opt, err := mcache.ParseKey(key)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	retranslate := func() (*target.Program, error) {
+		return translate.Translate(ent.mod, mach, si, opt)
+	}
+	if err := h.srv.Cache().AdmitKeyed(key, prog, retranslate); err != nil {
 		h.cfg.Logf("netserve: push from %s refused: %v", r.Header.Get(PeerHeader), err)
 		writeError(w, http.StatusUnprocessableEntity, "admission refused: %v", err)
 		return
@@ -270,6 +331,7 @@ func (c *Client) PushPeerTranslation(hash, targetName, key string, payload []byt
 	}
 	req.Header.Set("Content-Type", "application/octet-stream")
 	req.Header.Set(PeerHeader, from)
+	req.Header.Set(PeerAuthHeader, c.PeerAuth)
 	return c.do(req, nil)
 }
 
@@ -283,6 +345,7 @@ func (c *Client) rawGet(u, from string, limit int64) ([]byte, error) {
 	if from != "" {
 		req.Header.Set(PeerHeader, from)
 	}
+	req.Header.Set(PeerAuthHeader, c.PeerAuth)
 	resp, err := c.http().Do(req)
 	if err != nil {
 		return nil, err

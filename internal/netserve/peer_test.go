@@ -2,6 +2,8 @@ package netserve_test
 
 import (
 	"bytes"
+	"errors"
+	"net/http"
 	"strings"
 	"testing"
 
@@ -141,13 +143,18 @@ func TestPeerEndpoints(t *testing.T) {
 }
 
 // The replication push path: an honest frame is admitted through the
-// verifier gate on the receiving node; a tampered one is refused and
-// nothing becomes visible.
+// verifier gate AND the correspondence check on the receiving node
+// (which peer-fetches the module if it never saw the upload); a
+// tampered one is refused and nothing becomes visible, and a receiver
+// that cannot obtain the module refuses the push outright.
 func TestPeerPush(t *testing.T) {
-	clA, _, srvA := startServer(t, serve.Config{Workers: 1}, netserve.Config{Peer: &fakeHooks{}})
-	clB, _, srvB := startServer(t, serve.Config{Workers: 1}, netserve.Config{Peer: &fakeHooks{}})
-
 	blob := buildBlob(t, `int main(void){ return 3; }`)
+	hash := wire.Hash(blob)
+	withMod := func() *fakeHooks { return &fakeHooks{mods: map[string][]byte{hash: blob}} }
+
+	clA, _, srvA := startServer(t, serve.Config{Workers: 1}, netserve.Config{Peer: &fakeHooks{}})
+	clB, _, srvB := startServer(t, serve.Config{Workers: 1}, netserve.Config{Peer: withMod()})
+
 	up, err := clA.Upload(blob)
 	if err != nil {
 		t.Fatal(err)
@@ -177,7 +184,7 @@ func TestPeerPush(t *testing.T) {
 	// Tampered payload: flip bytes inside the program encoding. The
 	// OPF frame is re-framed honestly (the pusher controls framing),
 	// so only the verifier stands between the payload and the cache.
-	clC, _, srvC := startServer(t, serve.Config{Workers: 1}, netserve.Config{Peer: &fakeHooks{}})
+	clC, _, srvC := startServer(t, serve.Config{Workers: 1}, netserve.Config{Peer: withMod()})
 	bad := append([]byte(nil), payload...)
 	bad[len(bad)/2] ^= 0xff
 	if err := clC.PushPeerTranslation(up.Hash, "mips", key, bad, "node-a"); err == nil {
@@ -185,6 +192,61 @@ func TestPeerPush(t *testing.T) {
 	}
 	if _, ok := srvC.Cache().Peek(key); ok {
 		t.Error("tampered push visible on receiver")
+	}
+
+	// A receiver that cannot obtain the module (not registered, peers
+	// don't have it) refuses even an honest push: without the module
+	// there is no correspondence check, and an unchecked push is an
+	// injection vector.
+	clD, _, srvD := startServer(t, serve.Config{Workers: 1}, netserve.Config{Peer: &fakeHooks{}})
+	if err := clD.PushPeerTranslation(up.Hash, "mips", key, payload, "node-a"); err == nil ||
+		!strings.Contains(err.Error(), "correspondence") {
+		t.Fatalf("push without module not refused: %v", err)
+	}
+	if _, ok := srvD.Cache().Peek(key); ok {
+		t.Error("uncheckable push visible on receiver")
+	}
+}
+
+// Every /v1/peer/* endpoint requires the shared cluster secret: a
+// request with a missing or wrong secret is refused with 401 before
+// any decoding or verification work, and a handler cannot even be
+// built in cluster mode without one.
+func TestPeerAuthRequired(t *testing.T) {
+	bare := serve.New(serve.Config{Workers: 1})
+	defer bare.Close()
+	if _, err := netserve.New(netserve.Config{Server: bare, Peer: &fakeHooks{}}); err == nil {
+		t.Fatal("cluster-mode handler built without PeerAuth")
+	}
+
+	cl, _, srv := startServer(t, serve.Config{Workers: 1}, netserve.Config{Peer: &fakeHooks{}})
+	blob := buildBlob(t, `int main(void){ return 8; }`)
+	up, err := cl.Upload(blob)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 2; i++ {
+		if _, err := cl.Exec(netserve.ExecRequest{Module: up.Hash, Target: "mips"}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	key := srv.Cache().Hot(1)[0].Key
+
+	for _, secret := range []string{"", "wrong-secret"} {
+		bad := &netserve.Client{Base: cl.Base, PeerAuth: secret}
+		is401 := func(err error) bool {
+			var se *netserve.StatusError
+			return errors.As(err, &se) && se.Code == http.StatusUnauthorized
+		}
+		if _, err := bad.PeerModule(up.Hash, "x"); !is401(err) {
+			t.Errorf("PeerModule with secret %q: %v, want 401", secret, err)
+		}
+		if _, err := bad.PeerTranslation(up.Hash, "mips", key, "x"); !is401(err) {
+			t.Errorf("PeerTranslation with secret %q: %v, want 401", secret, err)
+		}
+		if err := bad.PushPeerTranslation(up.Hash, "mips", key, []byte("junk"), "x"); !is401(err) {
+			t.Errorf("PushPeerTranslation with secret %q: %v, want 401", secret, err)
+		}
 	}
 }
 
