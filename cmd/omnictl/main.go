@@ -10,6 +10,7 @@
 //	omnictl metrics -addr URL [-text|-prom]
 //	omnictl bench -addr URL [-duration 10s] [-json]
 //	omnictl trace -addr URL ID          (or -recent [-n N])
+//	omnictl top -addr URL [-interval 2s] [-count N] [-plain]
 //	omnictl health -addr URL
 //	omnictl cluster status -addrs URL,URL,...
 //	omnictl cluster ring -addrs URL,URL,... [-fanout n] [HASH ...]
@@ -35,7 +36,18 @@
 // trace renders a finished job's span tree — decode through verify,
 // translate, cache and execute, with per-stage durations — plus the
 // dynamic instruction attribution and the module's sandbox-overhead
-// percentage; -json prints the raw trace instead.
+// percentage; -json prints the raw trace instead. When a job
+// peer-filled from another cluster member, the origin's tree carries
+// the remote node's own spans, each annotated with its node address.
+//
+// top is the live fleet dashboard: it polls one node's
+// /v1/cluster/metrics fan-out (any member aggregates the whole
+// cluster) and refreshes a terminal view of fleet jobs/sec, stage
+// latency quantiles over the interval, per-target sandbox overhead,
+// per-peer quarantine and failover attribution, and the slowest
+// traces fleet-wide. -plain suppresses the screen clearing (one
+// snapshot block per interval — what the CI smoke asserts on), and
+// -count bounds the refreshes.
 //
 // upload and exec print the server's JSON response on stdout, so
 // scripts can pipe them into a JSON tool (the CI smoke test does).
@@ -62,6 +74,7 @@ import (
 	"omniware/internal/core"
 	"omniware/internal/load"
 	"omniware/internal/netserve"
+	"omniware/internal/scope"
 	"omniware/internal/serve"
 	"omniware/internal/wire"
 )
@@ -71,7 +84,7 @@ func main() {
 }
 
 func usage(stderr io.Writer) int {
-	fmt.Fprintln(stderr, "usage: omnictl {build|upload|exec|metrics|bench|trace|health|cluster} [flags]")
+	fmt.Fprintln(stderr, "usage: omnictl {build|upload|exec|metrics|bench|trace|top|health|cluster} [flags]")
 	return serve.ExitInfra
 }
 
@@ -96,6 +109,8 @@ func run(args []string, stdout, stderr io.Writer) int {
 		return cmdTrace(rest, stdout, stderr)
 	case "health":
 		return cmdHealth(rest, stdout, stderr)
+	case "top":
+		return cmdTop(rest, stdout, stderr)
 	case "cluster":
 		return cmdCluster(rest, stdout, stderr)
 	default:
@@ -320,6 +335,45 @@ func cmdTrace(args []string, stdout, stderr io.Writer) int {
 		return serve.ExitOK
 	}
 	fmt.Fprint(stdout, tr.Render())
+	return serve.ExitOK
+}
+
+// cmdTop is the refreshing fleet dashboard. Every interval it asks
+// one node for the fleet-merged view (the node fans out to its
+// members) and renders rates and interval quantiles against the
+// previous sample. The first frame has no interval to subtract, so it
+// shows lifetime numbers and says so.
+func cmdTop(args []string, stdout, stderr io.Writer) int {
+	fs, addr := newFlagSet("top", stderr)
+	interval := fs.Duration("interval", 2*time.Second, "refresh period")
+	count := fs.Int("count", 0, "stop after N frames (0 = run until interrupted)")
+	plain := fs.Bool("plain", false, "no screen clearing: print each frame as a block (for CI and logs)")
+	if err := fs.Parse(args); err != nil {
+		return serve.ExitInfra
+	}
+	if *interval <= 0 {
+		fmt.Fprintln(stderr, "omnictl top: -interval must be positive")
+		return serve.ExitInfra
+	}
+	cl := &netserve.Client{Base: *addr}
+	var prev *scope.Fleet
+	for frame := 0; *count <= 0 || frame < *count; frame++ {
+		if frame > 0 {
+			time.Sleep(*interval)
+		}
+		cur, err := cl.ClusterMetrics()
+		if err != nil {
+			return fail(stderr, err)
+		}
+		if !*plain {
+			fmt.Fprint(stdout, "\x1b[2J\x1b[H") // clear screen, home cursor
+		}
+		fmt.Fprint(stdout, scope.RenderTop(cur, prev, *interval))
+		if *plain {
+			fmt.Fprintln(stdout)
+		}
+		prev = cur
+	}
 	return serve.ExitOK
 }
 

@@ -66,7 +66,7 @@ func TestRunThenValidate(t *testing.T) {
 	}
 
 	// Corrupt the artifact; strict validation must notice.
-	data = bytes.Replace(data, []byte(`"schema": "omniload/v1"`), []byte(`"schema": "omniload/v9"`), 1)
+	data = bytes.Replace(data, []byte(`"schema": "`+load.Schema+`"`), []byte(`"schema": "omniload/v9"`), 1)
 	bad := filepath.Join(t.TempDir(), "BAD.json")
 	writeFile(t, bad, data)
 	if code := run([]string{"validate", bad}, &stdout, &stderr); code != serve.ExitInfra {

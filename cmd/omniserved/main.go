@@ -35,7 +35,9 @@
 //
 // Endpoints (see internal/netserve): POST /v1/modules, POST /v1/exec,
 // GET /v1/metrics, GET /v1/trace/{id}, GET /v1/trace/recent,
-// GET /healthz. omnictl is the matching client.
+// GET /v1/trace/slow, GET /v1/cluster/metrics (any node aggregates
+// the fleet — omnictl top's data source), GET /healthz. omnictl is
+// the matching client.
 //
 // -debug-addr binds a second, operator-only listener serving the
 // net/http/pprof endpoints (/debug/pprof/...) — kept off the public

@@ -1,11 +1,11 @@
 package main
 
 import (
-	"bufio"
 	"os"
 	"os/exec"
 	"regexp"
 	"strings"
+	"sync"
 	"syscall"
 	"testing"
 	"time"
@@ -32,11 +32,43 @@ func TestMain(m *testing.M) {
 
 var listenRE = regexp.MustCompile(`listening on (\S+)`)
 
+// logBuf captures the daemon's stderr. Handing the subprocess a
+// Writer (rather than racing a scanner against StderrPipe, which
+// cmd.Wait closes with data still buffered) makes Wait itself the
+// flush barrier: exec's copy goroutine is finished before Wait
+// returns, so the last log lines — the drain messages the tests
+// assert on — are never lost.
+type logBuf struct {
+	mu     sync.Mutex
+	b      strings.Builder
+	addrCh chan string
+}
+
+func (l *logBuf) Write(p []byte) (int, error) {
+	l.mu.Lock()
+	l.b.Write(p)
+	s := l.b.String()
+	l.mu.Unlock()
+	if m := listenRE.FindStringSubmatch(s); m != nil {
+		select {
+		case l.addrCh <- m[1]:
+		default:
+		}
+	}
+	return len(p), nil
+}
+
+func (l *logBuf) String() string {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.b.String()
+}
+
 // daemon is one running omniserved subprocess.
 type daemon struct {
 	cmd    *exec.Cmd
 	addr   string
-	stderr *strings.Builder
+	stderr *logBuf
 	waitCh chan error
 }
 
@@ -47,31 +79,14 @@ func startDaemon(t *testing.T, extraArgs ...string) *daemon {
 	args := append([]string{"-addr", "127.0.0.1:0"}, extraArgs...)
 	cmd := exec.Command(os.Args[0], args...)
 	cmd.Env = append(os.Environ(), smokeEnv+"=1")
-	pipe, err := cmd.StderrPipe()
-	if err != nil {
-		t.Fatal(err)
-	}
+	d := &daemon{cmd: cmd, stderr: &logBuf{addrCh: make(chan string, 1)}, waitCh: make(chan error, 1)}
+	cmd.Stderr = d.stderr
 	if err := cmd.Start(); err != nil {
 		t.Fatal(err)
 	}
-	d := &daemon{cmd: cmd, stderr: &strings.Builder{}, waitCh: make(chan error, 1)}
-	addrCh := make(chan string, 1)
-	go func() {
-		sc := bufio.NewScanner(pipe)
-		for sc.Scan() {
-			line := sc.Text()
-			d.stderr.WriteString(line + "\n")
-			if m := listenRE.FindStringSubmatch(line); m != nil {
-				select {
-				case addrCh <- m[1]:
-				default:
-				}
-			}
-		}
-	}()
 	go func() { d.waitCh <- cmd.Wait() }()
 	select {
-	case d.addr = <-addrCh:
+	case d.addr = <-d.stderr.addrCh:
 	case err := <-d.waitCh:
 		t.Fatalf("daemon exited before listening: %v\n%s", err, d.stderr)
 	case <-time.After(10 * time.Second):

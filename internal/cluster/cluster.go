@@ -13,6 +13,7 @@ import (
 	"omniware/internal/netserve"
 	"omniware/internal/serve/metrics"
 	"omniware/internal/target"
+	"omniware/internal/trace"
 	"omniware/internal/wire"
 )
 
@@ -51,12 +52,46 @@ type Config struct {
 }
 
 // peerCounters is one remote member's attribution, updated lock-free
-// from the serving hot path.
+// from the serving hot path. reasons is built once at New with every
+// quarantine reason pre-registered, so updates are pure atomic adds
+// (no map writes) and the metrics exposition always shows the full
+// label set, zeros included.
 type peerCounters struct {
 	hits        atomic.Uint64
 	quarantines atomic.Uint64
 	errors      atomic.Uint64
 	pushes      atomic.Uint64
+	reasons     map[string]*atomic.Uint64
+	// lastContact is the unix-nano time this peer last answered
+	// anything — including a clean miss; 0 means never.
+	lastContact atomic.Int64
+}
+
+func newPeerCounters() *peerCounters {
+	pc := &peerCounters{reasons: map[string]*atomic.Uint64{}}
+	for _, r := range mcache.QuarantineReasons {
+		pc.reasons[r] = &atomic.Uint64{}
+	}
+	return pc
+}
+
+// touch records that the peer answered (success or clean miss).
+func (pc *peerCounters) touch() {
+	if pc != nil {
+		pc.lastContact.Store(time.Now().UnixNano())
+	}
+}
+
+// quarantine counts one refusal under its reason; unknown reasons
+// still count in the total so nothing is lost off the closed set.
+func (pc *peerCounters) quarantine(reason string) {
+	if pc == nil {
+		return
+	}
+	pc.quarantines.Add(1)
+	if ctr, ok := pc.reasons[reason]; ok {
+		ctr.Add(1)
+	}
 }
 
 // Peers is a node's cluster engine: it implements mcache.PeerSource
@@ -115,7 +150,7 @@ func New(cfg Config) (*Peers, error) {
 		if m == cfg.Self {
 			self = true
 		} else {
-			stats[m] = &peerCounters{}
+			stats[m] = newPeerCounters()
 		}
 	}
 	if !self {
@@ -136,6 +171,10 @@ func (p *Peers) Ring() *Ring { return p.ring }
 
 // Self returns this node's advertised address.
 func (p *Peers) Self() string { return p.cfg.Self }
+
+// Members returns the full static membership, including self — the
+// set the fleet aggregation endpoint fans out over.
+func (p *Peers) Members() []string { return p.ring.Members() }
 
 // Owners returns the failover-ordered owner set for a module hash.
 func (p *Peers) Owners(modHash string) []string {
@@ -161,7 +200,7 @@ func isMiss(err error) bool {
 // A frame that fails to decode, binds a different key, or carries an
 // undecodable program never reaches the cache; it is quarantined here
 // with the same per-peer attribution.
-func (p *Peers) Fetch(key string) []mcache.PeerCandidate {
+func (p *Peers) Fetch(key string, org mcache.PeerOrigin) []mcache.PeerCandidate {
 	modHash, err := mcache.KeyModuleHash(key)
 	if err != nil {
 		return nil
@@ -176,29 +215,37 @@ func (p *Peers) Fetch(key string) []mcache.PeerCandidate {
 			continue
 		}
 		st := p.stats[peer]
-		frame, err := p.client(peer).PeerTranslation(modHash, mach.Name, key, p.cfg.Self)
+		frame, remote, err := p.client(peer).PeerTranslation(modHash, mach.Name, key, p.cfg.Self, org)
 		if err != nil {
 			if !isMiss(err) {
 				st.errors.Add(1)
 				p.failovers.Add(1)
 				p.cfg.Logf("cluster: peer %s translation fetch failed: %v", peer, err)
+				continue
 			}
+			st.touch() // a clean miss is still a live peer
 			continue
 		}
+		st.touch()
 		gotKey, payload, err := wire.DecodePeerFrame(frame)
+		reason := mcache.QuarantineFrame
 		if err == nil && gotKey != key {
+			reason = mcache.QuarantineKeyMismatch
 			err = fmt.Errorf("frame bound to key %q, asked for %q", gotKey, key)
 		}
 		var prog *target.Program
 		if err == nil {
 			prog, err = wire.DecodeProgram(payload)
+			if err != nil {
+				reason = mcache.QuarantineFrame
+			}
 		}
 		if err != nil {
-			st.quarantines.Add(1)
-			p.cfg.Logf("cluster: peer %s served a bad translation frame (quarantined): %v", peer, err)
+			st.quarantine(reason)
+			p.cfg.Logf("cluster: peer %s served a bad translation frame (quarantined, %s): %v", peer, reason, err)
 			continue
 		}
-		cands = append(cands, mcache.PeerCandidate{Prog: prog, Peer: peer})
+		cands = append(cands, mcache.PeerCandidate{Prog: prog, Peer: peer, Remote: remote})
 	}
 	return cands
 }
@@ -212,20 +259,21 @@ func (p *Peers) Admitted(key, peer string) {
 }
 
 // Quarantined implements mcache.PeerSource: a peer candidate failed
-// the local admission gate (verifier refusal or spot-check mismatch).
-func (p *Peers) Quarantined(key, peer string, err error) {
-	if st := p.stats[peer]; st != nil {
-		st.quarantines.Add(1)
-	}
-	p.cfg.Logf("cluster: translation from peer %s for %s quarantined: %v", peer, key, err)
+// the local admission gate (verifier refusal or spot-check mismatch);
+// reason is one of the mcache.Quarantine* constants.
+func (p *Peers) Quarantined(key, peer, reason string, err error) {
+	p.stats[peer].quarantine(reason)
+	p.cfg.Logf("cluster: translation from peer %s for %s quarantined (%s): %v", peer, key, reason, err)
 }
 
 // FetchModule implements netserve.PeerHooks: pull a module's
 // canonical bytes from whichever member has it, owners first. The
 // content address is checked here (and again by the registering
 // handler); a peer serving different bytes under the name is
-// quarantined and the next member is tried.
-func (p *Peers) FetchModule(hash string) ([]byte, bool) {
+// quarantined and the next member is tried. The serving peer's span
+// subtree and address come back with the blob so the origin can
+// stitch the remote work into its own trace.
+func (p *Peers) FetchModule(hash string, org mcache.PeerOrigin) ([]byte, *trace.Span, string, bool) {
 	tried := map[string]bool{p.cfg.Self: true}
 	order := append(p.Owners(hash), p.ring.Members()...)
 	for _, peer := range order {
@@ -234,23 +282,26 @@ func (p *Peers) FetchModule(hash string) ([]byte, bool) {
 		}
 		tried[peer] = true
 		st := p.stats[peer]
-		blob, err := p.client(peer).PeerModule(hash, p.cfg.Self)
+		blob, remote, err := p.client(peer).PeerModule(hash, p.cfg.Self, org)
 		if err != nil {
 			if !isMiss(err) {
 				st.errors.Add(1)
 				p.failovers.Add(1)
 				p.cfg.Logf("cluster: peer %s module fetch failed: %v", peer, err)
+				continue
 			}
+			st.touch() // a clean miss is still a live peer
 			continue
 		}
+		st.touch()
 		if got := wire.Hash(blob); got != hash {
-			st.quarantines.Add(1)
-			p.cfg.Logf("cluster: peer %s served module %s under name %s (quarantined)", peer, got, hash)
+			st.quarantine(mcache.QuarantineHash)
+			p.cfg.Logf("cluster: peer %s served module %s under name %s (quarantined, %s)", peer, got, hash, mcache.QuarantineHash)
 			continue
 		}
-		return blob, true
+		return blob, remote, peer, true
 	}
-	return nil, false
+	return nil, nil, "", false
 }
 
 // Start binds the engine to the node's cache and, unless disabled,
@@ -392,12 +443,22 @@ func (p *Peers) Snapshot() metrics.ClusterSnapshot {
 		if st == nil { // self
 			continue
 		}
+		byReason := make(map[string]uint64, len(st.reasons))
+		for r, ctr := range st.reasons {
+			byReason[r] = ctr.Load()
+		}
+		staleness := int64(-1)
+		if lc := st.lastContact.Load(); lc != 0 {
+			staleness = time.Since(time.Unix(0, lc)).Milliseconds()
+		}
 		snap.Peers = append(snap.Peers, metrics.PeerStats{
-			Peer:        m,
-			Hits:        st.hits.Load(),
-			Quarantines: st.quarantines.Load(),
-			Errors:      st.errors.Load(),
-			Pushes:      st.pushes.Load(),
+			Peer:                m,
+			Hits:                st.hits.Load(),
+			Quarantines:         st.quarantines.Load(),
+			QuarantinesByReason: byReason,
+			Errors:              st.errors.Load(),
+			Pushes:              st.pushes.Load(),
+			StalenessMs:         staleness,
 		})
 	}
 	return snap

@@ -4,6 +4,7 @@ import (
 	"errors"
 	"net/http"
 	"net/http/httptest"
+	"reflect"
 	"strings"
 	"testing"
 
@@ -15,6 +16,7 @@ import (
 	"omniware/internal/ovm"
 	"omniware/internal/serve/metrics"
 	"omniware/internal/target"
+	"omniware/internal/trace"
 	"omniware/internal/translate"
 	"omniware/internal/wire"
 )
@@ -83,12 +85,17 @@ func TestPeerFillAcrossNodes(t *testing.T) {
 	blob := buildAndEncode(t)
 	hash := wire.Hash(blob)
 
-	// Upload via node 0 only; warm the first ring owner.
-	if _, err := l.Client(2).Node(l.Nodes[0].Addr).Upload(blob); err != nil {
-		t.Fatal(err)
-	}
+	// Upload via the first ring owner only, then warm it with one
+	// exec. Uploading to the owner itself keeps the warm translation
+	// local and deterministic: the OTHER owner holds no module bytes,
+	// so it cannot answer the warm node's probe with an owner fill
+	// (§13) — which it otherwise would whenever the upload node
+	// happened to land on the ring as the second owner.
 	owners := l.Nodes[0].Peers.Owners(hash)
 	warm := nodeByAddr(t, l, owners[0])
+	if _, err := l.Client(2).Node(warm.Addr).Upload(blob); err != nil {
+		t.Fatal(err)
+	}
 	warmRes, err := l.Client(2).Node(warm.Addr).Exec(netserve.ExecRequest{Module: hash, Target: "mips"})
 	if err != nil {
 		t.Fatal(err)
@@ -206,27 +213,29 @@ func TestAdversarialPeers(t *testing.T) {
 		return f
 	}
 
-	// Each case maps the requested key to the evil server's response.
+	// Each case maps the requested key to the evil server's response;
+	// reason is the quarantine label the refusal must land under.
 	cases := []struct {
 		name string
 		body func(t *testing.T, key string) []byte
 		// cacheQuarantine: the candidate reached the cache's admission
 		// gate (frame was well-formed) and was refused there.
 		cacheQuarantine bool
+		reason          string
 	}{
 		{"corrupted", func(t *testing.T, key string) []byte {
 			return []byte("OPF1 this is not a frame at all....")
-		}, false},
+		}, false, mcache.QuarantineFrame},
 		{"truncated", func(t *testing.T, key string) []byte {
 			f := frameFor(t, key, tamperedBytes)
 			return f[:len(f)/2]
-		}, false},
+		}, false, mcache.QuarantineFrame},
 		{"wrong-key", func(t *testing.T, key string) []byte {
 			return frameFor(t, key+"-other", tamperedBytes)
-		}, false},
+		}, false, mcache.QuarantineKeyMismatch},
 		{"unverifiable", func(t *testing.T, key string) []byte {
 			return frameFor(t, key, tamperedBytes)
-		}, true},
+		}, true, mcache.QuarantineVerifier},
 	}
 
 	for _, mode := range []mcache.VerifyMode{mcache.VerifyCheck, mcache.VerifyBoth} {
@@ -286,8 +295,23 @@ func TestAdversarialPeers(t *testing.T) {
 				if q := snap.Peers[0].Quarantines; q != 1 {
 					t.Errorf("per-peer quarantines = %d, want 1", q)
 				}
+				if got := snap.Peers[0].QuarantinesByReason[tc.reason]; got != 1 {
+					t.Errorf("quarantines under reason %q = %d, want 1 (map %v)",
+						tc.reason, got, snap.Peers[0].QuarantinesByReason)
+				}
+				var reasonTotal uint64
+				for _, v := range snap.Peers[0].QuarantinesByReason {
+					reasonTotal += v
+				}
+				if reasonTotal != snap.Peers[0].Quarantines {
+					t.Errorf("reason-split sum %d != total quarantines %d",
+						reasonTotal, snap.Peers[0].Quarantines)
+				}
 				if h := snap.Peers[0].Hits; h != 0 {
 					t.Errorf("per-peer hits = %d, want 0", h)
+				}
+				if snap.Peers[0].StalenessMs < 0 {
+					t.Error("peer answered (with garbage) but staleness says never contacted")
 				}
 			})
 		}
@@ -367,6 +391,144 @@ func hasSandboxMask(prog *target.Program, m *target.Machine) bool {
 		}
 	}
 	return false
+}
+
+// The omniscope acceptance path: an exec on a cold non-owner stitches
+// the remote owner's own spans — node-annotated cache, translate and
+// verify work — into ONE trace fetchable by id from the origin, and
+// /v1/cluster/metrics on any node reports fleet-summed histograms
+// equal bucket-wise to the sum of the members' local snapshots.
+func TestStitchedTraceAndFleetMetrics(t *testing.T) {
+	l := bootCluster(t, 3, mcache.VerifyCheck)
+	blob := buildAndEncode(t)
+	hash := wire.Hash(blob)
+
+	// Register the module on EVERY node but translate nowhere: the
+	// owner's first translation happens inside its peer-serve fill.
+	for _, n := range l.Nodes {
+		if _, err := l.Client(2).Node(n.Addr).Upload(blob); err != nil {
+			t.Fatal(err)
+		}
+	}
+	owners := l.Nodes[0].Peers.Owners(hash)
+	isOwner := map[string]bool{}
+	for _, o := range owners {
+		isOwner[o] = true
+	}
+	var origin *cluster.Node
+	for _, n := range l.Nodes {
+		if !isOwner[n.Addr] {
+			origin = n
+		}
+	}
+	if origin == nil {
+		t.Fatal("no non-owner node with 3 nodes and fanout 2")
+	}
+
+	cl := l.Client(2).Node(origin.Addr)
+	res, err := cl.Exec(netserve.ExecRequest{Module: hash, Target: "mips", Trace: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Status != "ok" {
+		t.Fatalf("exec: %+v", res)
+	}
+	if !res.Cached {
+		t.Error("cold non-owner exec was not peer-filled")
+	}
+
+	// The stitched tree must be fetchable BY ID from the origin — not
+	// only inline in the exec response.
+	tr, err := cl.Trace(res.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	remote := tr.Root.Find("peer_serve")
+	if remote == nil {
+		t.Fatalf("no remote peer_serve subtree in stitched trace:\n%s", tr.Render())
+	}
+	nodeAttr := func(s *trace.Span) string {
+		for _, a := range s.Attrs {
+			if a.Key == "node" {
+				return a.Val
+			}
+		}
+		return ""
+	}
+	owner := nodeAttr(remote)
+	if !isOwner[owner] {
+		t.Errorf("remote subtree annotated node=%q, want one of the owners %v", owner, owners)
+	}
+	for _, name := range []string{"cache", "translate", "verify"} {
+		s := remote.Find(name)
+		if s == nil {
+			t.Errorf("remote subtree missing the owner's %s span:\n%s", name, tr.Render())
+			continue
+		}
+		if nodeAttr(s) != owner {
+			t.Errorf("remote %s span not annotated with node=%s", name, owner)
+		}
+	}
+	om, err := cl.Metrics()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if om.Translations != 0 {
+		t.Errorf("origin translated %d times, want 0 (the owner fill did the work)", om.Translations)
+	}
+
+	// Fleet aggregation: every node's fan-out equals the bucket-wise
+	// sum of the three locals.
+	var want metrics.Snapshot
+	for i, n := range l.Nodes {
+		s, err := l.Client(2).Node(n.Addr).Metrics()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if i == 0 {
+			want = *s
+		} else {
+			want = metrics.MergeSnapshots(want, *s)
+		}
+	}
+	if want.Translations == 0 || want.JobsRun == 0 {
+		t.Fatalf("fleet locals show no work: %+v", want)
+	}
+	for _, n := range l.Nodes {
+		fleet, err := l.Client(2).Node(n.Addr).ClusterMetrics()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(fleet.Nodes) != 3 {
+			t.Fatalf("fleet from %s has %d node reports, want 3", n.Addr, len(fleet.Nodes))
+		}
+		for _, nr := range fleet.Nodes {
+			if nr.Err != "" {
+				t.Errorf("node %s reported error %q", nr.Node, nr.Err)
+			}
+		}
+		got := fleet.Fleet
+		if got == nil {
+			t.Fatal("fleet view has no merged snapshot")
+		}
+		if got.JobsRun != want.JobsRun || got.Translations != want.Translations ||
+			got.CachePeerHits != want.CachePeerHits {
+			t.Errorf("fleet counters from %s: run=%d translations=%d peer_hits=%d, want %d/%d/%d",
+				n.Addr, got.JobsRun, got.Translations, got.CachePeerHits,
+				want.JobsRun, want.Translations, want.CachePeerHits)
+		}
+		for name, ws := range want.Stages {
+			gs, ok := got.Stages[name]
+			if !ok {
+				t.Errorf("fleet from %s missing stage %q", n.Addr, name)
+				continue
+			}
+			if gs.Hist.Count != ws.Hist.Count || !reflect.DeepEqual(gs.Hist.Counts, ws.Hist.Counts) {
+				t.Errorf("stage %q fleet hist != bucket-wise sum of locals (got count=%d, want %d)",
+					name, gs.Hist.Count, ws.Hist.Count)
+			}
+		}
+	}
 }
 
 // The cluster client survives node death: with the module on both

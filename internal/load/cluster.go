@@ -11,7 +11,6 @@ import (
 	"omniware/internal/cluster"
 	"omniware/internal/netserve"
 	"omniware/internal/serve/metrics"
-	"omniware/internal/trace"
 )
 
 // client is the slice of netserve.Client the generator needs; the
@@ -34,98 +33,26 @@ func (c clusterClient) ExecRetry(r netserve.ExecRequest, pol netserve.RetryPolic
 	return c.cl.ExecWithPolicy(r, pol)
 }
 
-// sumSnapshots folds the per-node metrics snapshots into one
-// fleet-wide snapshot carrying exactly what Delta consumes: the
-// monotonic counters, per-target instruction attribution, and the raw
-// stage histogram buckets. Quantiles are recomputed downstream from
-// the summed buckets, never averaged.
-func sumSnapshots(snaps []*metrics.Snapshot) metrics.Snapshot {
-	var out metrics.Snapshot
-	out.Stages = map[string]metrics.StageSnapshot{}
-	targets := map[string]*metrics.TargetSnapshot{}
-	var targetOrder []string
-	for _, s := range snaps {
-		out.JobsSubmitted += s.JobsSubmitted
-		out.JobsRun += s.JobsRun
-		out.JobsFailed += s.JobsFailed
-		out.FaultsContained += s.FaultsContained
-		out.Timeouts += s.Timeouts
-		out.Translations += s.Translations
-		out.SimInsts += s.SimInsts
-		out.SimCycles += s.SimCycles
-		out.CacheHits += s.CacheHits
-		out.CacheCoalesced += s.CacheCoalesced
-		out.CacheMisses += s.CacheMisses
-		out.CacheDiskHits += s.CacheDiskHits
-		out.CachePeerHits += s.CachePeerHits
-		out.CachePeerQuarantines += s.CachePeerQuarantines
-		out.CacheSpotChecks += s.CacheSpotChecks
-		out.CacheSpotCheckFails += s.CacheSpotCheckFails
-		for name, st := range s.Stages {
-			prev := out.Stages[name]
-			out.Stages[name] = metrics.StageSnapshot{
-				Count: prev.Count + st.Count,
-				Hist:  addHist(prev.Hist, st.Hist),
-			}
-		}
-		for _, ts := range s.Targets {
-			agg, ok := targets[ts.Target]
-			if !ok {
-				cp := ts
-				targets[ts.Target] = &cp
-				targetOrder = append(targetOrder, ts.Target)
-				continue
-			}
-			agg.Jobs += ts.Jobs
-			agg.Insts += ts.Insts
-			agg.AppInsts += ts.AppInsts
-			agg.Sandbox += ts.Sandbox
-			agg.Sched += ts.Sched
-			for k, v := range ts.Counts {
-				if agg.Counts == nil {
-					agg.Counts = map[string]uint64{}
-				}
-				agg.Counts[k] += v
-			}
-		}
-	}
-	for _, name := range targetOrder {
-		out.Targets = append(out.Targets, *targets[name])
-	}
-	return out
-}
-
-func addHist(a, b trace.HistSnapshot) trace.HistSnapshot {
-	if len(a.Counts) == 0 {
-		return b
-	}
-	out := trace.HistSnapshot{
-		Count:  a.Count + b.Count,
-		SumNs:  a.SumNs + b.SumNs,
-		Counts: append([]uint64(nil), a.Counts...),
-	}
-	for i, c := range b.Counts {
-		if i < len(out.Counts) {
-			out.Counts[i] += c
-		} else {
-			out.Counts = append(out.Counts, c)
-		}
-	}
-	return out
-}
-
-// FleetMetrics snapshots every member and sums — the fleet-wide view
-// the cluster-mode server delta (and omnictl cluster metrics) uses.
+// FleetMetrics snapshots every member and merges (counters sum,
+// histogram buckets add, quantiles recomputed from merged buckets, the
+// cluster sections fold peer-wise) — the fleet-wide view the
+// cluster-mode server delta (and omnictl cluster metrics) uses. The
+// bucket arithmetic lives in metrics.MergeSnapshots, the same fold the
+// /v1/cluster/metrics fan-out uses, so the two views can never
+// disagree.
 func FleetMetrics(addrs []string) (*metrics.Snapshot, error) {
-	snaps := make([]*metrics.Snapshot, 0, len(addrs))
-	for _, a := range addrs {
+	var sum metrics.Snapshot
+	for i, a := range addrs {
 		s, err := (&netserve.Client{Base: a}).Metrics()
 		if err != nil {
 			return nil, fmt.Errorf("load: metrics from %s: %w", a, err)
 		}
-		snaps = append(snaps, s)
+		if i == 0 {
+			sum = *s
+		} else {
+			sum = metrics.MergeSnapshots(sum, *s)
+		}
 	}
-	sum := sumSnapshots(snaps)
 	return &sum, nil
 }
 

@@ -27,8 +27,15 @@ import (
 
 // Schema identifies the report layout. Bump it when a field changes
 // meaning; consumers (CI validation, the omnictl formatter) refuse
-// versions they do not know.
-const Schema = "omniload/v1"
+// versions they do not know. v2 added the cluster peer-health section
+// (per-peer quarantine attribution with reasons, fleet failover
+// counts) to ServerDelta.
+const Schema = "omniload/v2"
+
+// SchemaV1 is the previous layout — a strict subset of v2 — still
+// accepted by Validate so checked-in BENCH artifacts from earlier
+// runs keep validating.
+const SchemaV1 = "omniload/v1"
 
 // Report is one load run, serialized as BENCH_<n>.json.
 type Report struct {
@@ -135,12 +142,32 @@ type ServerDelta struct {
 	CachePeerHits        uint64 `json:"cache_peer_hits,omitempty"`
 	CachePeerQuarantines uint64 `json:"cache_peer_quarantines,omitempty"`
 
+	// ClusterFailovers counts server-side peer abandonments during the
+	// run (peer fetches that faulted and fell through to the next
+	// owner), summed over members. Distinct from Load.Failovers, which
+	// is the routing client's own abandonment count.
+	ClusterFailovers uint64 `json:"cluster_failovers,omitempty"`
+	// PeerHealth is the per-peer interval attribution, merged over
+	// members: how each peer behaved as a translation source during
+	// the run, with quarantines split by refusal reason.
+	PeerHealth []PeerDelta `json:"peer_health,omitempty"`
+
 	AppInsts     uint64  `json:"app_insts"`
 	SandboxInsts uint64  `json:"sandbox_insts"`
 	SchedInsts   uint64  `json:"sched_insts"`
 	SandboxPct   float64 `json:"sandbox_pct"`
 
 	Stages map[string]StageDelta `json:"stages"`
+}
+
+// PeerDelta is one peer's interval attribution in a cluster run.
+type PeerDelta struct {
+	Peer                string            `json:"peer"`
+	Hits                uint64            `json:"hits"`
+	Quarantines         uint64            `json:"quarantines"`
+	QuarantinesByReason map[string]uint64 `json:"quarantines_by_reason,omitempty"`
+	Errors              uint64            `json:"errors"`
+	Pushes              uint64            `json:"pushes"`
 }
 
 // AllocStat is one testing.Benchmark measurement of a host-lifecycle
@@ -209,6 +236,37 @@ func Delta(before, after metrics.Snapshot) ServerDelta {
 			Count: ls.Count, P50Us: ls.P50Us, P95Us: ls.P95Us, P99Us: ls.P99Us, MeanUs: ls.MeanUs,
 		}
 	}
+	if after.Cluster != nil {
+		var beforeC metrics.ClusterSnapshot
+		if before.Cluster != nil {
+			beforeC = *before.Cluster
+		}
+		d.ClusterFailovers = sub(after.Cluster.Failovers, beforeC.Failovers)
+		prevPeers := map[string]metrics.PeerStats{}
+		for _, p := range beforeC.Peers {
+			prevPeers[p.Peer] = p
+		}
+		for _, p := range after.Cluster.Peers {
+			q := prevPeers[p.Peer]
+			pd := PeerDelta{
+				Peer:        p.Peer,
+				Hits:        sub(p.Hits, q.Hits),
+				Quarantines: sub(p.Quarantines, q.Quarantines),
+				Errors:      sub(p.Errors, q.Errors),
+				Pushes:      sub(p.Pushes, q.Pushes),
+			}
+			for reason, v := range p.QuarantinesByReason {
+				if dv := sub(v, q.QuarantinesByReason[reason]); dv > 0 {
+					if pd.QuarantinesByReason == nil {
+						pd.QuarantinesByReason = map[string]uint64{}
+					}
+					pd.QuarantinesByReason[reason] = dv
+				}
+			}
+			d.PeerHealth = append(d.PeerHealth, pd)
+		}
+		sort.Slice(d.PeerHealth, func(i, j int) bool { return d.PeerHealth[i].Peer < d.PeerHealth[j].Peer })
+	}
 	return d
 }
 
@@ -221,8 +279,8 @@ func Delta(before, after metrics.Snapshot) ServerDelta {
 func Validate(r *Report) error {
 	var errs []string
 	bad := func(format string, args ...any) { errs = append(errs, fmt.Sprintf(format, args...)) }
-	if r.Schema != Schema {
-		bad("schema %q, want %q", r.Schema, Schema)
+	if r.Schema != Schema && r.Schema != SchemaV1 {
+		bad("schema %q, want %q (or legacy %q)", r.Schema, Schema, SchemaV1)
 	}
 	if r.Load.Jobs == 0 {
 		bad("no jobs recorded")
@@ -262,6 +320,23 @@ func Validate(r *Report) error {
 			bad("malformed alloc stat %+v", a)
 		}
 	}
+	seenPeer := map[string]bool{}
+	for _, p := range r.Server.PeerHealth {
+		if p.Peer == "" {
+			bad("peer_health entry with empty peer address")
+		}
+		if seenPeer[p.Peer] {
+			bad("peer_health lists %s twice", p.Peer)
+		}
+		seenPeer[p.Peer] = true
+		var byReason uint64
+		for _, v := range p.QuarantinesByReason {
+			byReason += v
+		}
+		if byReason > p.Quarantines {
+			bad("peer %s reason-split quarantines %d exceed total %d", p.Peer, byReason, p.Quarantines)
+		}
+	}
 	if len(errs) > 0 {
 		return fmt.Errorf("load: invalid report: %s", strings.Join(errs, "; "))
 	}
@@ -280,8 +355,17 @@ func Format(r *Report) string {
 	fmt.Fprintf(&b, "  cache        warm=%d cold=%d hit_rate=%.2f\n",
 		r.Load.Warm, r.Load.Cold, r.Server.HitRate)
 	if r.Config.Nodes > 0 {
-		fmt.Fprintf(&b, "  cluster      nodes=%d peer_hits=%d peer_quarantines=%d failovers=%d\n",
-			r.Config.Nodes, r.Server.CachePeerHits, r.Server.CachePeerQuarantines, r.Load.Failovers)
+		fmt.Fprintf(&b, "  cluster      nodes=%d peer_hits=%d peer_quarantines=%d failovers=%d cluster_failovers=%d\n",
+			r.Config.Nodes, r.Server.CachePeerHits, r.Server.CachePeerQuarantines,
+			r.Load.Failovers, r.Server.ClusterFailovers)
+		for _, p := range r.Server.PeerHealth {
+			line := fmt.Sprintf("  peer         %s hits=%d quarantines=%d errors=%d pushes=%d",
+				p.Peer, p.Hits, p.Quarantines, p.Errors, p.Pushes)
+			for _, reason := range sortedKeys(p.QuarantinesByReason) {
+				line += fmt.Sprintf(" %s=%d", reason, p.QuarantinesByReason[reason])
+			}
+			b.WriteString(line + "\n")
+		}
 	}
 	fmt.Fprintf(&b, "  latency      p50=%.0fus p95=%.0fus p99=%.0fus\n",
 		r.Load.Latency.P50Us, r.Load.Latency.P95Us, r.Load.Latency.P99Us)
@@ -297,6 +381,15 @@ func Format(r *Report) string {
 			a.Name, a.AllocsPerOp, a.BytesPerOp, a.NsPerOp)
 	}
 	return b.String()
+}
+
+func sortedKeys(m map[string]uint64) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
 }
 
 // FormatServer renders just the server-side interval — shared by the

@@ -305,6 +305,20 @@ func (c *Cache) Translate(mod *ovm.Module, mach *target.Machine, si translate.Se
 // phase split, SFI verification, write-through) are recorded as
 // children of sp. A nil sp records nothing and costs nothing.
 func (c *Cache) TranslateTraced(sp *trace.Span, mod *ovm.Module, mach *target.Machine, si translate.SegInfo, opt translate.Options) (*target.Program, bool, error) {
+	return c.translateTraced(sp, mod, mach, si, opt, true)
+}
+
+// TranslateNoPeer is TranslateTraced with the peer tier disabled for
+// this lookup: memory, coalescing, disk and local translation only.
+// It exists for the peer-serving path — a node filling a probe FROM a
+// peer must not probe its own peers in turn (the ring would recurse),
+// so the on-demand owner fill translates locally and lets replication
+// spread the result.
+func (c *Cache) TranslateNoPeer(sp *trace.Span, mod *ovm.Module, mach *target.Machine, si translate.SegInfo, opt translate.Options) (*target.Program, bool, error) {
+	return c.translateTraced(sp, mod, mach, si, opt, false)
+}
+
+func (c *Cache) translateTraced(sp *trace.Span, mod *ovm.Module, mach *target.Machine, si translate.SegInfo, opt translate.Options, usePeer bool) (*target.Program, bool, error) {
 	if !opt.SFI {
 		return nil, false, ErrUnsandboxed
 	}
@@ -346,7 +360,7 @@ func (c *Cache) TranslateTraced(sp *trace.Span, mod *ovm.Module, mach *target.Ma
 	warm := fromDisk
 	if fromDisk {
 		sp.Set("result", "disk")
-	} else if c.peer != nil {
+	} else if usePeer && c.peer != nil {
 		retranslate := func() (*target.Program, error) {
 			return translate.Translate(mod, mach, si, opt)
 		}

@@ -29,6 +29,40 @@ import (
 type PeerCandidate struct {
 	Prog *target.Program
 	Peer string // peer identity, for attribution
+	// Remote, when the peer returned one, is the serving node's own
+	// span subtree for this probe (what the remote did: cache tier hit,
+	// on-demand translation, verification). The cache grafts it under
+	// the local peer_fetch span so the origin's trace is the stitched
+	// cross-node tree.
+	Remote *trace.Span
+}
+
+// PeerOrigin is the originating request context a peer probe carries
+// across the node boundary: the trace (job) ID the probe works for and
+// the origin's HTTP request ID. The remote side records its own span
+// tree under the trace parent and echoes the request ID, so a remote
+// failure names a request that actually exists — on the origin.
+type PeerOrigin struct {
+	TraceID   string
+	RequestID string
+}
+
+// Quarantine reasons: the closed label set for per-reason quarantine
+// attribution, shared by the cache's admission verdicts, the cluster
+// engine's transport-level verdicts, and the metrics exposition (which
+// pre-registers every reason so a zero series is visible, not absent).
+const (
+	QuarantineFrame          = "frame"            // peer frame failed to decode
+	QuarantineKeyMismatch    = "key-mismatch"     // frame bound to a different cache key
+	QuarantineHash           = "hash"             // module bytes hash to a different content address
+	QuarantineVerifier       = "verifier-refusal" // SFI admission gate refused the program
+	QuarantineCorrespondence = "correspondence"   // retranslation equality (spot check or push) failed
+)
+
+// QuarantineReasons lists every reason above, in exposition order.
+var QuarantineReasons = []string{
+	QuarantineFrame, QuarantineKeyMismatch, QuarantineHash,
+	QuarantineVerifier, QuarantineCorrespondence,
 }
 
 // PeerSource is the cluster hook: on a memory+disk miss the cache asks
@@ -38,13 +72,14 @@ type PeerCandidate struct {
 // miss; transport errors are the source's business (they look like a
 // miss here).
 type PeerSource interface {
-	Fetch(key string) []PeerCandidate
+	Fetch(key string, org PeerOrigin) []PeerCandidate
 	// Admitted reports that peer's candidate for key passed
 	// verification and was installed.
 	Admitted(key, peer string)
 	// Quarantined reports that peer's candidate for key was refused by
-	// the admission gate (or the integrity spot check).
-	Quarantined(key, peer string, err error)
+	// the admission gate (or the integrity spot check); reason is one
+	// of the Quarantine* constants.
+	Quarantined(key, peer, reason string, err error)
 }
 
 // loadFromPeer probes the peer source after a memory and disk miss.
@@ -55,25 +90,29 @@ type PeerSource interface {
 func (c *Cache) loadFromPeer(sp *trace.Span, k string, retranslate retranslateFn, mach *target.Machine, si translate.SegInfo) (*target.Program, bool) {
 	psp := sp.Child("peer_fetch")
 	defer psp.End()
-	cands := c.peer.Fetch(k)
+	org := PeerOrigin{TraceID: psp.TraceID(), RequestID: psp.RequestID()}
+	cands := c.peer.Fetch(k, org)
 	psp.Set("candidates", len(cands))
 	for _, cand := range cands {
 		if cand.Prog == nil {
 			continue
 		}
 		err := c.admit(psp, cand.Prog, mach, si)
+		reason := QuarantineVerifier
 		if err == nil {
+			reason = QuarantineCorrespondence
 			err = c.spotCheck(psp, cand.Prog, retranslate)
 		}
 		if err != nil {
 			c.ctr.peerQuarantines.Add(1)
-			c.peer.Quarantined(k, cand.Peer, err)
-			c.logf("mcache: peer %s candidate for %q quarantined: %v", cand.Peer, k, err)
+			c.peer.Quarantined(k, cand.Peer, reason, err)
+			c.logf("mcache: peer %s candidate for %q quarantined (%s): %v", cand.Peer, k, reason, err)
 			continue
 		}
 		c.ctr.peerHits.Add(1)
 		c.peer.Admitted(k, cand.Peer)
 		psp.Set("peer", cand.Peer)
+		psp.AttachRemote(cand.Remote, cand.Peer)
 		return cand.Prog, true
 	}
 	return nil, false
@@ -130,22 +169,30 @@ func (c *Cache) correspond(sp *trace.Span, got *target.Program, retranslate retr
 // accounting, and no recency touch, so a scan by peers cannot distort
 // the local LRU.
 func (c *Cache) Peek(key string) (*target.Program, bool) {
+	prog, _, ok := c.PeekTier(key)
+	return prog, ok
+}
+
+// PeekTier is Peek plus the tier that satisfied it ("memory" or
+// "disk") — peer-serving handlers annotate their remote span with it so
+// the origin's stitched trace shows where the bytes actually lived.
+func (c *Cache) PeekTier(key string) (*target.Program, string, bool) {
 	sh := c.shardFor(key)
 	sh.mu.Lock()
 	if el, ok := sh.byKey[key]; ok {
 		prog := el.Value.(*entry).prog
 		sh.mu.Unlock()
-		return prog, true
+		return prog, "memory", true
 	}
 	sh.mu.Unlock()
 	if c.disk == nil {
-		return nil, false
+		return nil, "", false
 	}
 	prog, err := c.disk.Get(key)
 	if err != nil {
-		return nil, false
+		return nil, "", false
 	}
-	return prog, true
+	return prog, "disk", true
 }
 
 // AdmitKeyed verifies and installs a translation under an explicit

@@ -20,12 +20,14 @@ type fakePeers struct {
 	mu          sync.Mutex
 	cands       map[string][]mcache.PeerCandidate
 	admitted    []string // "key@peer"
-	quarantined []string
+	quarantined []string // "key@peer/reason"
+	origins     []mcache.PeerOrigin
 }
 
-func (f *fakePeers) Fetch(key string) []mcache.PeerCandidate {
+func (f *fakePeers) Fetch(key string, org mcache.PeerOrigin) []mcache.PeerCandidate {
 	f.mu.Lock()
 	defer f.mu.Unlock()
+	f.origins = append(f.origins, org)
 	return f.cands[key]
 }
 
@@ -35,10 +37,10 @@ func (f *fakePeers) Admitted(key, peer string) {
 	f.admitted = append(f.admitted, key+"@"+peer)
 }
 
-func (f *fakePeers) Quarantined(key, peer string, err error) {
+func (f *fakePeers) Quarantined(key, peer, reason string, err error) {
 	f.mu.Lock()
 	defer f.mu.Unlock()
-	f.quarantined = append(f.quarantined, key+"@"+peer)
+	f.quarantined = append(f.quarantined, key+"@"+peer+"/"+reason)
 }
 
 func stripSandboxMask(t *testing.T, prog *target.Program, m *target.Machine) {
@@ -96,6 +98,9 @@ func TestPeerFill(t *testing.T) {
 	if sp.Find("peer_fetch") == nil {
 		t.Error("no peer_fetch span recorded")
 	}
+	if len(peers.origins) != 1 || peers.origins[0].TraceID != "t1" {
+		t.Errorf("peer probe origin not propagated: %+v", peers.origins)
+	}
 	if sp.Find("translate") != nil {
 		t.Error("translate span recorded on a peer fill")
 	}
@@ -143,7 +148,7 @@ func TestPeerQuarantine(t *testing.T) {
 			if s.PeerQuarantines != 1 || s.PeerHits != 0 || s.Misses != 1 {
 				t.Errorf("stats %+v", s)
 			}
-			if len(peers.quarantined) != 1 || peers.quarantined[0] != k+"@evil" {
+			if len(peers.quarantined) != 1 || peers.quarantined[0] != k+"@evil/"+mcache.QuarantineVerifier {
 				t.Errorf("quarantine attribution %v", peers.quarantined)
 			}
 		})

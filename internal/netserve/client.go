@@ -11,6 +11,7 @@ import (
 	"strconv"
 	"time"
 
+	"omniware/internal/scope"
 	"omniware/internal/serve/metrics"
 	"omniware/internal/trace"
 )
@@ -247,6 +248,34 @@ func (c *Client) RecentTraces(n int) ([]TraceSummary, error) {
 		return nil, err
 	}
 	return out, nil
+}
+
+// SlowTraces lists the K slowest traces a node ever finished, slowest
+// first.
+func (c *Client) SlowTraces() ([]scope.Exemplar, error) {
+	req, err := http.NewRequest(http.MethodGet, c.Base+"/v1/trace/slow", nil)
+	if err != nil {
+		return nil, err
+	}
+	var out []scope.Exemplar
+	if err := c.do(req, &out); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// ClusterMetrics fetches the fleet-merged view from one node's
+// /v1/cluster/metrics fan-out.
+func (c *Client) ClusterMetrics() (*scope.Fleet, error) {
+	req, err := http.NewRequest(http.MethodGet, c.Base+"/v1/cluster/metrics", nil)
+	if err != nil {
+		return nil, err
+	}
+	var out scope.Fleet
+	if err := c.do(req, &out); err != nil {
+		return nil, err
+	}
+	return &out, nil
 }
 
 // Health probes /healthz; nil means the server is up and not

@@ -1,0 +1,108 @@
+// Fleet observability endpoints: the slow-trace exemplar listing and
+// the cluster-wide metrics fan-out. Any node answers /v1/cluster/
+// metrics by querying every member's public /v1/metrics and /v1/trace/
+// slow concurrently under a bounded per-node timeout, merging what
+// answers (counters sum, histograms add bucket-wise, quantiles
+// recomputed from merged buckets) and reporting what didn't by name —
+// a down node changes the numbers, never silently the denominator.
+
+package netserve
+
+import (
+	"net/http"
+	"sync"
+	"time"
+
+	"omniware/internal/scope"
+	"omniware/internal/trace"
+)
+
+// FleetTimeout bounds each member query during a cluster-metrics
+// fan-out. Shorter than the peer-fetch timeout: aggregation is a read
+// an operator is waiting on, and a slow member is itself a finding.
+const FleetTimeout = 2 * time.Second
+
+// slowExemplars renders the server's slow-trace store as exemplar
+// summaries, slowest first.
+func (h *Handler) slowExemplars() []scope.Exemplar {
+	slow := h.srv.Slow().List()
+	out := make([]scope.Exemplar, 0, len(slow))
+	for _, tr := range slow {
+		out = append(out, exemplarOf(tr))
+	}
+	return out
+}
+
+func exemplarOf(tr *trace.Trace) scope.Exemplar {
+	return scope.Exemplar{
+		ID:         tr.ID,
+		Kind:       tr.Kind,
+		Target:     tr.Target,
+		Status:     tr.Status,
+		DurUs:      tr.Duration().Microseconds(),
+		Insts:      tr.Insts,
+		SandboxPct: tr.SandboxPct(),
+	}
+}
+
+// handleTraceSlow lists the K slowest traces this node ever finished —
+// exemplars that survive ring churn; the full trees remain fetchable
+// by id from /v1/trace/{id}.
+func (h *Handler) handleTraceSlow(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, h.slowExemplars())
+}
+
+// handleClusterMetrics fans out to the cluster and returns the merged
+// fleet view. Without a cluster it degrades to a fleet of one — the
+// local snapshot under the same shape, so omnictl top works against a
+// single node too.
+func (h *Handler) handleClusterMetrics(w http.ResponseWriter, r *http.Request) {
+	self, members := "local", []string(nil)
+	if h.cfg.Peer != nil {
+		self = h.cfg.Peer.Self()
+		members = h.cfg.Peer.Members()
+	}
+	reports := make([]scope.NodeReport, 0, len(members)+1)
+	// Self is served in-process: no HTTP hop, cannot time out.
+	selfSnap := h.srv.Snapshot()
+	reports = append(reports, scope.NodeReport{
+		Node:    self,
+		Metrics: &selfSnap,
+		Slow:    h.slowExemplars(),
+	})
+	var mu sync.Mutex
+	var wg sync.WaitGroup
+	for _, m := range members {
+		if m == self {
+			continue
+		}
+		wg.Add(1)
+		go func(member string) {
+			defer wg.Done()
+			nr := queryMember(member)
+			mu.Lock()
+			reports = append(reports, nr)
+			mu.Unlock()
+		}(m)
+	}
+	wg.Wait()
+	writeJSON(w, http.StatusOK, scope.MergeFleet(self, reports, scope.DefaultSlowK))
+}
+
+// queryMember collects one remote member's snapshot and slow
+// exemplars under the fan-out timeout. The metrics call is the load-
+// bearing one; a failed slow-trace listing only costs exemplars.
+func queryMember(member string) scope.NodeReport {
+	c := &Client{Base: member, HTTP: &http.Client{Timeout: FleetTimeout}}
+	nr := scope.NodeReport{Node: member}
+	snap, err := c.Metrics()
+	if err != nil {
+		nr.Err = err.Error()
+		return nr
+	}
+	nr.Metrics = snap
+	if slow, err := c.SlowTraces(); err == nil {
+		nr.Slow = slow
+	}
+	return nr
+}

@@ -12,7 +12,11 @@
 //	                        Prometheus text format when Accept asks for
 //	                        "text/plain; version=0.0.4"
 //	GET  /v1/trace/recent   summaries of recent finished job traces
-//	GET  /v1/trace/{id}     one job's full span tree by job ID
+//	GET  /v1/trace/slow     the K slowest traces this node ever served
+//	GET  /v1/trace/{id}     one job's full span tree by job ID (stitched
+//	                        across nodes when the job peer-filled)
+//	GET  /v1/cluster/metrics fleet fan-out: per-node + merged counters,
+//	                        histograms, peer health and slow exemplars
 //	GET  /healthz           liveness ("ok", or "draining" with 503)
 //
 // Every response — success or refusal — carries an X-Omni-Request-Id
@@ -52,6 +56,7 @@ import (
 	"time"
 
 	"omniware/internal/core"
+	"omniware/internal/mcache"
 	"omniware/internal/ovm"
 	"omniware/internal/serve"
 	"omniware/internal/target"
@@ -166,7 +171,9 @@ func New(cfg Config) (*Handler, error) {
 	h.mux.HandleFunc("POST /v1/exec", h.handleExec)
 	h.mux.HandleFunc("GET /v1/metrics", h.handleMetrics)
 	h.mux.HandleFunc("GET /v1/trace/recent", h.handleTraceRecent)
+	h.mux.HandleFunc("GET /v1/trace/slow", h.handleTraceSlow)
 	h.mux.HandleFunc("GET /v1/trace/{id}", h.handleTraceGet)
+	h.mux.HandleFunc("GET /v1/cluster/metrics", h.handleClusterMetrics)
 	h.mux.HandleFunc("GET /healthz", h.handleHealthz)
 	if cfg.Peer != nil {
 		h.mux.HandleFunc("GET /v1/peer/module/{hash}", h.peerAuth(h.handlePeerModule))
@@ -178,8 +185,18 @@ func New(cfg Config) (*Handler, error) {
 
 func (h *Handler) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 	// Stamp the request ID before any handler can write: refusals (429,
-	// 400, 5xx) carry it just like successes.
-	w.Header().Set(RequestIDHeader, fmt.Sprintf("r%d", h.reqSeq.Add(1)))
+	// 400, 5xx) carry it just like successes. Peer-to-peer requests
+	// forward the ORIGINATING request's id instead of minting a fresh
+	// one, so a remote failure names a request that exists — on the
+	// origin node, where the operator is looking.
+	rid := ""
+	if strings.HasPrefix(r.URL.Path, "/v1/peer/") {
+		rid = r.Header.Get(RequestIDHeader)
+	}
+	if rid == "" {
+		rid = fmt.Sprintf("r%d", h.reqSeq.Add(1))
+	}
+	w.Header().Set(RequestIDHeader, rid)
 	h.mux.ServeHTTP(w, r)
 }
 
@@ -191,9 +208,13 @@ func (h *Handler) SetDraining(v bool) { h.draining.Store(v) }
 // Draining reports drain mode.
 func (h *Handler) Draining() bool { return h.draining.Load() }
 
-// apiError is the uniform JSON error body.
+// apiError is the uniform JSON error body. RequestID echoes the
+// response's X-Omni-Request-Id — on peer endpoints that is the
+// origin's forwarded id, so the body a cluster client reads back names
+// a request the origin can actually find in its own logs.
 type apiError struct {
-	Error string `json:"error"`
+	Error     string `json:"error"`
+	RequestID string `json:"request_id,omitempty"`
 }
 
 func writeJSON(w http.ResponseWriter, status int, v any) {
@@ -205,7 +226,10 @@ func writeJSON(w http.ResponseWriter, status int, v any) {
 }
 
 func writeError(w http.ResponseWriter, status int, format string, args ...any) {
-	writeJSON(w, status, apiError{Error: fmt.Sprintf(format, args...)})
+	writeJSON(w, status, apiError{
+		Error:     fmt.Sprintf(format, args...),
+		RequestID: w.Header().Get(RequestIDHeader),
+	})
 }
 
 // clientKey identifies a client for rate limiting: the remote host
@@ -362,25 +386,37 @@ func (h *Handler) handleExec(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, "decoding request: %v", err)
 		return
 	}
+	mach := target.ByName(req.Target)
+	if mach == nil {
+		writeError(w, http.StatusBadRequest, "unknown target %q", req.Target)
+		return
+	}
+
+	// Dash-separated: job IDs double as /v1/trace/{id} path segments.
+	// Minted before the module fetch so a cluster fetch can carry the
+	// job's trace identity to the serving peer.
+	id := fmt.Sprintf("exec-%d-%s-%s", h.jobSeq.Add(1), req.Module[:min(8, len(req.Module))], mach.Name)
+	rid := w.Header().Get(RequestIDHeader)
+
 	h.mu.Lock()
 	ent := h.mods[req.Module]
 	h.mu.Unlock()
+	var mfDur time.Duration
+	var mfRemote *trace.Span
+	var mfPeer string
 	if ent.mod == nil && h.cfg.Peer != nil {
 		// Cluster mode: the module may have been uploaded through
 		// another member. Fetching it by content address is trust-free
 		// — the hash of the canonical re-encoding must match the name.
-		ent = h.fetchModuleViaPeers(req.Module)
+		fetchStart := time.Now()
+		ent, mfRemote, mfPeer = h.fetchModuleViaPeers(req.Module, mcache.PeerOrigin{TraceID: id, RequestID: rid})
+		mfDur = time.Since(fetchStart)
 	}
 	if ent.mod == nil {
 		writeError(w, http.StatusNotFound, "module %q not uploaded", req.Module)
 		return
 	}
 	mod := ent.mod
-	mach := target.ByName(req.Target)
-	if mach == nil {
-		writeError(w, http.StatusBadRequest, "unknown target %q", req.Target)
-		return
-	}
 	deadline := h.cfg.Deadline
 	if req.DeadlineMs > 0 {
 		deadline = time.Duration(req.DeadlineMs) * time.Millisecond
@@ -390,18 +426,20 @@ func (h *Handler) handleExec(w http.ResponseWriter, r *http.Request) {
 	}
 	sfi := req.SFI == nil || *req.SFI
 
-	// Dash-separated: job IDs double as /v1/trace/{id} path segments.
-	id := fmt.Sprintf("exec-%d-%s-%s", h.jobSeq.Add(1), req.Module[:min(8, len(req.Module))], mach.Name)
 	job := serve.Job{
-		ID:       id,
-		Mod:      mod,
-		Machine:  mach,
-		Opt:      translate.Paper(sfi),
-		Heap:     req.Heap,
-		Stack:    req.Stack,
-		MaxSteps: req.MaxSteps,
-		Timeout:  deadline,
-		Decode:   ent.decode,
+		ID:                id,
+		Mod:               mod,
+		Machine:           mach,
+		Opt:               translate.Paper(sfi),
+		Heap:              req.Heap,
+		Stack:             req.Stack,
+		MaxSteps:          req.MaxSteps,
+		Timeout:           deadline,
+		Decode:            ent.decode,
+		RequestID:         rid,
+		ModuleFetch:       mfDur,
+		ModuleFetchRemote: mfRemote,
+		ModuleFetchPeer:   mfPeer,
 	}
 	ch, ok := h.srv.TrySubmit(job)
 	if !ok {
@@ -558,6 +596,15 @@ func (h *Handler) handleTraceRecent(w http.ResponseWriter, r *http.Request) {
 func (h *Handler) handleTraceGet(w http.ResponseWriter, r *http.Request) {
 	id := r.PathValue("id")
 	tr := h.srv.Traces().Get(id)
+	if tr == nil {
+		// A slow exemplar can outlive the recency ring; still servable.
+		for _, s := range h.srv.Slow().List() {
+			if s.ID == id {
+				tr = s
+				break
+			}
+		}
+	}
 	if tr == nil {
 		writeError(w, http.StatusNotFound, "no trace for job %q (evicted or never run)", id)
 		return

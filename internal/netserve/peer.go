@@ -39,7 +39,9 @@ import (
 	"time"
 
 	"omniware/internal/mcache"
+	"omniware/internal/scope"
 	"omniware/internal/target"
+	"omniware/internal/trace"
 	"omniware/internal/translate"
 	"omniware/internal/wire"
 )
@@ -73,22 +75,60 @@ func (h *Handler) peerAuth(next http.HandlerFunc) http.HandlerFunc {
 // does not import the cluster package.
 type PeerHooks interface {
 	// FetchModule asks the cluster for a module blob by content hash,
-	// returning the canonical OMW bytes from whichever peer has it.
-	// The caller re-verifies the hash; implementations only transport.
-	FetchModule(hash string) ([]byte, bool)
+	// returning the canonical OMW bytes from whichever peer has it,
+	// that peer's span subtree for the serve (when returned), and the
+	// peer's address. The caller re-verifies the hash; implementations
+	// only transport. org is the originating trace/request identity,
+	// forwarded on the wire for cross-node stitching.
+	FetchModule(hash string, org mcache.PeerOrigin) (blob []byte, remote *trace.Span, peer string, ok bool)
+	// Self is this node's advertised address; Members the full static
+	// membership (including self) — what the fleet aggregation
+	// endpoint fans out over.
+	Self() string
+	Members() []string
+}
+
+// peerServeTrace opens the serving side of a cross-node probe: a local
+// trace, recorded in this node's own ring, carrying the origin's
+// forwarded request id and trace id as annotations. Its root span is
+// what the response's X-Omni-Trace-Spans header ships back.
+func (h *Handler) peerServeTrace(kind string, r *http.Request) *trace.Trace {
+	tr := trace.New(fmt.Sprintf("peer-%d", h.jobSeq.Add(1)), kind)
+	tr.SetRequestID(r.Header.Get(RequestIDHeader))
+	if parent := scope.ParseParent(r.Header.Get(scope.TraceParentHeader)); parent.TraceID != "" {
+		tr.Root.Set("origin_trace", parent.TraceID)
+	}
+	if from := r.Header.Get(PeerHeader); from != "" {
+		tr.Root.Set("from", from)
+	}
+	return tr
+}
+
+// finishPeerServe closes and records the serving-side trace and, when
+// the subtree fits the header cap, attaches it to the response.
+func (h *Handler) finishPeerServe(w http.ResponseWriter, tr *trace.Trace, status string) {
+	tr.Finish(status)
+	h.srv.Traces().Add(tr)
+	if enc, err := scope.EncodeSpans(tr.Root); err == nil {
+		w.Header().Set(scope.TraceSpansHeader, enc)
+	}
 }
 
 // handlePeerModule serves the canonical OMW encoding of a registered
 // module to a cluster peer.
 func (h *Handler) handlePeerModule(w http.ResponseWriter, r *http.Request) {
+	tr := h.peerServeTrace("peer_module", r)
 	hash := r.PathValue("hash")
 	h.mu.Lock()
 	ent := h.mods[hash]
 	h.mu.Unlock()
 	if ent.blob == nil {
+		h.finishPeerServe(w, tr, "miss")
 		writeError(w, http.StatusNotFound, "module %q not registered here", hash)
 		return
 	}
+	tr.Root.Set("bytes", len(ent.blob))
+	h.finishPeerServe(w, tr, "ok")
 	w.Header().Set("Content-Type", "application/octet-stream")
 	_, _ = w.Write(ent.blob)
 }
@@ -99,27 +139,69 @@ func (h *Handler) handlePeerModule(w http.ResponseWriter, r *http.Request) {
 // segment shape, options) and is authoritative — but it must agree
 // with the path, so a confused client can't file a translation under
 // the wrong identity.
+//
+// Owner fill: when the cache has no entry but the module is registered
+// here, the owner translates on demand through the cache's no-peer
+// path (TranslateNoPeer — memory, coalescing, disk and local
+// translation, but never a recursive peer probe) instead of refusing.
+// The ring routes a module's requests to its owners, so the owner
+// doing the one translation is exactly the paper's economics; the
+// probing node still re-verifies on arrival. A module this node does
+// not hold is still a clean 404 — an owner fill never triggers its own
+// module fetch, which would turn one probe into a cluster-wide chase.
 func (h *Handler) handlePeerTranslation(w http.ResponseWriter, r *http.Request) {
 	key := r.URL.Query().Get("key")
-	if err := checkPeerKey(key, r.PathValue("hash"), r.PathValue("target")); err != nil {
+	hash := r.PathValue("hash")
+	if err := checkPeerKey(key, hash, r.PathValue("target")); err != nil {
 		writeError(w, http.StatusBadRequest, "%v", err)
 		return
 	}
-	prog, ok := h.srv.Cache().Peek(key)
+	tr := h.peerServeTrace("peer_serve", r)
+	sp := tr.Root
+	pk := sp.Child("cache_peek")
+	prog, tier, ok := h.srv.Cache().PeekTier(key)
+	pk.End()
+	if ok {
+		pk.Set("tier", tier)
+	} else if mach, si, opt, err := mcache.ParseKey(key); err == nil {
+		h.mu.Lock()
+		ent := h.mods[hash]
+		h.mu.Unlock()
+		if ent.mod != nil {
+			csp := sp.Child("cache")
+			p2, warm, terr := h.srv.Cache().TranslateNoPeer(csp, ent.mod, mach, si, opt)
+			h.srv.Metrics().Translate.Observe(csp.End())
+			if vsp := csp.Find("verify"); vsp != nil {
+				h.srv.Metrics().Verify.Observe(vsp.Dur())
+			}
+			if terr != nil {
+				h.cfg.Logf("netserve: owner fill for %q failed: %v", key, terr)
+			} else {
+				prog, ok = p2, true
+				if !warm {
+					h.srv.Metrics().Translations.Add(1)
+				}
+			}
+		}
+	}
 	if !ok {
+		h.finishPeerServe(w, tr, "miss")
 		writeError(w, http.StatusNotFound, "no translation for key here")
 		return
 	}
 	payload, err := wire.EncodeProgram(prog)
 	if err != nil {
+		h.finishPeerServe(w, tr, "error")
 		writeError(w, http.StatusInternalServerError, "encoding translation: %v", err)
 		return
 	}
 	frame, err := wire.EncodePeerFrame(key, payload)
 	if err != nil {
+		h.finishPeerServe(w, tr, "error")
 		writeError(w, http.StatusInternalServerError, "framing translation: %v", err)
 		return
 	}
+	h.finishPeerServe(w, tr, "ok")
 	w.Header().Set("Content-Type", "application/octet-stream")
 	_, _ = w.Write(frame)
 }
@@ -166,7 +248,8 @@ func (h *Handler) handlePeerPush(w http.ResponseWriter, r *http.Request) {
 	ent := h.mods[hash]
 	h.mu.Unlock()
 	if ent.mod == nil && h.cfg.Peer != nil {
-		ent = h.fetchModuleViaPeers(hash)
+		ent, _, _ = h.fetchModuleViaPeers(hash,
+			mcache.PeerOrigin{RequestID: r.Header.Get(RequestIDHeader)})
 	}
 	if ent.mod == nil {
 		writeError(w, http.StatusUnprocessableEntity,
@@ -216,23 +299,24 @@ func checkPeerKey(key, hash, targetName string) error {
 // does not, verifying the content address before registering it. Any
 // mismatch — undecodable, or hash of the canonical re-encoding not the
 // requested name — is discarded; a peer cannot plant a module under a
-// false identity.
-func (h *Handler) fetchModuleViaPeers(hash string) modEntry {
-	blob, ok := h.cfg.Peer.FetchModule(hash)
+// false identity. The supplying peer's span subtree and address come
+// back alongside so the caller can stitch the fetch into its trace.
+func (h *Handler) fetchModuleViaPeers(hash string, org mcache.PeerOrigin) (modEntry, *trace.Span, string) {
+	blob, remote, peer, ok := h.cfg.Peer.FetchModule(hash, org)
 	if !ok {
-		return modEntry{}
+		return modEntry{}, nil, ""
 	}
 	decodeStart := time.Now()
 	mod, canon, gotHash, err := decodeCanonical(blob)
 	decodeDur := time.Since(decodeStart)
 	if err != nil || gotHash != hash {
 		h.cfg.Logf("netserve: peer module fetch for %s: bad blob (err=%v, hash=%s)", hash, err, gotHash)
-		return modEntry{}
+		return modEntry{}, nil, ""
 	}
 	h.srv.Metrics().Decode.Observe(decodeDur)
 	ent := modEntry{mod: mod, blob: canon, decode: decodeDur}
 	h.register(ent, hash)
-	return ent
+	return ent, remote, peer
 }
 
 // BatchUploadResponse lists the per-member results of a batch upload,
@@ -303,18 +387,22 @@ func (c *Client) UploadBatch(blobs [][]byte) (*BatchUploadResponse, error) {
 	return &out, nil
 }
 
-// PeerModule fetches a module's canonical OMW bytes from a peer. The
-// caller owns hash verification.
-func (c *Client) PeerModule(hash, from string) ([]byte, error) {
-	return c.rawGet(c.Base+"/v1/peer/module/"+url.PathEscape(hash), from, int64(wire.MaxModuleBytes))
+// PeerModule fetches a module's canonical OMW bytes from a peer,
+// forwarding the originating trace/request identity and returning the
+// peer's span subtree when it sent one. The caller owns hash
+// verification.
+func (c *Client) PeerModule(hash, from string, org mcache.PeerOrigin) ([]byte, *trace.Span, error) {
+	return c.rawGet(c.Base+"/v1/peer/module/"+url.PathEscape(hash), from, org, int64(wire.MaxModuleBytes))
 }
 
 // PeerTranslation fetches one translation as a raw OPF frame from a
-// peer. The caller decodes and — critically — re-verifies it.
-func (c *Client) PeerTranslation(hash, targetName, key, from string) ([]byte, error) {
+// peer, forwarding the originating trace/request identity. The caller
+// decodes and — critically — re-verifies it; the returned span subtree
+// is the serving node's own record of the fill.
+func (c *Client) PeerTranslation(hash, targetName, key, from string, org mcache.PeerOrigin) ([]byte, *trace.Span, error) {
 	u := c.Base + "/v1/peer/translation/" + url.PathEscape(hash) + "/" + url.PathEscape(targetName) +
 		"?key=" + url.QueryEscape(key)
-	return c.rawGet(u, from, wire.MaxPeerFrameBytes)
+	return c.rawGet(u, from, org, wire.MaxPeerFrameBytes)
 }
 
 // PushPeerTranslation replicates one translation to a peer as an OPF
@@ -336,30 +424,40 @@ func (c *Client) PushPeerTranslation(hash, targetName, key string, payload []byt
 }
 
 // rawGet fetches an octet-stream body, converting non-2xx into
-// *StatusError like do.
-func (c *Client) rawGet(u, from string, limit int64) ([]byte, error) {
+// *StatusError like do. The origin's request id is forwarded (so the
+// remote error body names it, not a freshly minted remote id) along
+// with the trace-parent header; the serving node's span subtree, when
+// present and well-formed, is decoded from the response.
+func (c *Client) rawGet(u, from string, org mcache.PeerOrigin, limit int64) ([]byte, *trace.Span, error) {
 	req, err := http.NewRequest(http.MethodGet, u, nil)
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 	if from != "" {
 		req.Header.Set(PeerHeader, from)
 	}
 	req.Header.Set(PeerAuthHeader, c.PeerAuth)
+	if org.RequestID != "" {
+		req.Header.Set(RequestIDHeader, org.RequestID)
+	}
+	if p := scope.EncodeParent(org.TraceID, org.RequestID); p != "" {
+		req.Header.Set(scope.TraceParentHeader, p)
+	}
 	resp, err := c.http().Do(req)
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 	defer resp.Body.Close()
 	body, err := io.ReadAll(io.LimitReader(resp.Body, limit+1))
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 	if resp.StatusCode/100 != 2 {
-		return nil, statusErrorFrom(resp, body)
+		return nil, nil, statusErrorFrom(resp, body)
 	}
 	if int64(len(body)) > limit {
-		return nil, fmt.Errorf("netserve: peer response exceeds %d bytes", limit)
+		return nil, nil, fmt.Errorf("netserve: peer response exceeds %d bytes", limit)
 	}
-	return body, nil
+	remote, _ := scope.DecodeSpans(resp.Header.Get(scope.TraceSpansHeader))
+	return body, remote, nil
 }

@@ -2,13 +2,16 @@ package netserve_test
 
 import (
 	"bytes"
+	"encoding/json"
 	"errors"
 	"net/http"
 	"strings"
 	"testing"
 
+	"omniware/internal/mcache"
 	"omniware/internal/netserve"
 	"omniware/internal/serve"
+	"omniware/internal/trace"
 	"omniware/internal/wire"
 )
 
@@ -18,10 +21,17 @@ type fakeHooks struct {
 	mods map[string][]byte
 }
 
-func (f *fakeHooks) FetchModule(hash string) ([]byte, bool) {
+func (f *fakeHooks) FetchModule(hash string, org mcache.PeerOrigin) ([]byte, *trace.Span, string, bool) {
 	b, ok := f.mods[hash]
-	return b, ok
+	return b, nil, "fake-peer", ok
 }
+
+func (f *fakeHooks) Self() string      { return "fake-self" }
+func (f *fakeHooks) Members() []string { return nil }
+
+// noOrg is the empty peer origin used where the test is not about
+// trace propagation.
+var noOrg mcache.PeerOrigin
 
 func TestUploadBatch(t *testing.T) {
 	cl, _, _ := startServer(t, serve.Config{Workers: 2}, netserve.Config{})
@@ -81,7 +91,7 @@ func TestUploadBatchAllOrNothing(t *testing.T) {
 // cluster mode.
 func TestPeerEndpoints(t *testing.T) {
 	clSolo, _, _ := startServer(t, serve.Config{Workers: 1}, netserve.Config{})
-	if _, err := clSolo.PeerModule("deadbeef", "test"); err == nil {
+	if _, _, err := clSolo.PeerModule("deadbeef", "test", noOrg); err == nil {
 		t.Fatal("peer endpoint reachable outside cluster mode")
 	}
 
@@ -91,14 +101,14 @@ func TestPeerEndpoints(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	got, err := cl.PeerModule(up.Hash, "test")
+	got, _, err := cl.PeerModule(up.Hash, "test", noOrg)
 	if err != nil {
 		t.Fatal(err)
 	}
 	if !bytes.Equal(got, blob) {
 		t.Error("peer module fetch returned different bytes")
 	}
-	if _, err := cl.PeerModule("0000", "test"); err == nil {
+	if _, _, err := cl.PeerModule("0000", "test", noOrg); err == nil {
 		t.Error("unknown module served")
 	}
 
@@ -115,7 +125,7 @@ func TestPeerEndpoints(t *testing.T) {
 	}
 	key := hot[0].Key
 
-	frame, err := cl.PeerTranslation(up.Hash, "mips", key, "test")
+	frame, _, err := cl.PeerTranslation(up.Hash, "mips", key, "test", noOrg)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -128,16 +138,16 @@ func TestPeerEndpoints(t *testing.T) {
 	}
 
 	// Key/path disagreement is refused in both directions.
-	if _, err := cl.PeerTranslation(up.Hash, "sparc", key, "test"); err == nil {
+	if _, _, err := cl.PeerTranslation(up.Hash, "sparc", key, "test", noOrg); err == nil {
 		t.Error("key for mips served under a sparc path")
 	}
-	if _, err := cl.PeerTranslation("badhash", "mips", key, "test"); err == nil {
+	if _, _, err := cl.PeerTranslation("badhash", "mips", key, "test", noOrg); err == nil {
 		t.Error("key served under a mismatched module path")
 	}
-	if _, err := cl.PeerTranslation(up.Hash, "mips", "", "test"); err == nil {
+	if _, _, err := cl.PeerTranslation(up.Hash, "mips", "", "test", noOrg); err == nil {
 		t.Error("missing key accepted")
 	}
-	if _, err := cl.PeerTranslation(up.Hash, "mips", "k1|garbage", "test"); err == nil {
+	if _, _, err := cl.PeerTranslation(up.Hash, "mips", "k1|garbage", "test", noOrg); err == nil {
 		t.Error("malformed key accepted")
 	}
 }
@@ -238,10 +248,10 @@ func TestPeerAuthRequired(t *testing.T) {
 			var se *netserve.StatusError
 			return errors.As(err, &se) && se.Code == http.StatusUnauthorized
 		}
-		if _, err := bad.PeerModule(up.Hash, "x"); !is401(err) {
+		if _, _, err := bad.PeerModule(up.Hash, "x", noOrg); !is401(err) {
 			t.Errorf("PeerModule with secret %q: %v, want 401", secret, err)
 		}
-		if _, err := bad.PeerTranslation(up.Hash, "mips", key, "x"); !is401(err) {
+		if _, _, err := bad.PeerTranslation(up.Hash, "mips", key, "x", noOrg); !is401(err) {
 			t.Errorf("PeerTranslation with secret %q: %v, want 401", secret, err)
 		}
 		if err := bad.PushPeerTranslation(up.Hash, "mips", key, []byte("junk"), "x"); !is401(err) {
@@ -281,5 +291,72 @@ func TestExecFetchesModuleViaPeers(t *testing.T) {
 	_, err = cl2.Exec(netserve.ExecRequest{Module: hash, Target: "mips"})
 	if err == nil || !strings.Contains(err.Error(), "not uploaded") {
 		t.Fatalf("content-address mismatch not refused: %v", err)
+	}
+}
+
+// Peer endpoints forward the ORIGINATING request id instead of minting
+// a fresh one: the inbound X-Omni-Request-Id is echoed on the response
+// header and in error bodies, so a remote failure names a request the
+// origin operator can actually find. Non-peer endpoints keep minting.
+func TestPeerRequestIDForwarding(t *testing.T) {
+	cl, _, _ := startServer(t, serve.Config{Workers: 1}, netserve.Config{Peer: &fakeHooks{}})
+
+	get := func(path, rid string) *http.Response {
+		t.Helper()
+		req, err := http.NewRequest(http.MethodGet, cl.Base+path, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		req.Header.Set(netserve.PeerAuthHeader, testPeerSecret)
+		if rid != "" {
+			req.Header.Set(netserve.RequestIDHeader, rid)
+		}
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return resp
+	}
+
+	// A peer miss (404): the forwarded id comes back in the header AND
+	// the JSON error body.
+	resp := get("/v1/peer/module/ffff", "origin-req-7")
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("peer miss status %d", resp.StatusCode)
+	}
+	if got := resp.Header.Get(netserve.RequestIDHeader); got != "origin-req-7" {
+		t.Errorf("response header id %q, want the forwarded origin-req-7", got)
+	}
+	var body struct {
+		Error     string `json:"error"`
+		RequestID string `json:"request_id"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&body); err != nil {
+		t.Fatal(err)
+	}
+	if body.RequestID != "origin-req-7" {
+		t.Errorf("error body request_id %q, want origin-req-7", body.RequestID)
+	}
+
+	// Without an inbound id even a peer endpoint mints one — responses
+	// are never unattributed.
+	resp2 := get("/v1/peer/module/ffff", "")
+	resp2.Body.Close()
+	if resp2.Header.Get(netserve.RequestIDHeader) == "" {
+		t.Error("peer response without inbound id has no request id")
+	}
+
+	// Non-peer endpoints mint their own id: a client-supplied header
+	// must NOT leak into the public surface's attribution.
+	req, _ := http.NewRequest(http.MethodGet, cl.Base+"/v1/metrics", nil)
+	req.Header.Set(netserve.RequestIDHeader, "spoofed-id")
+	resp3, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp3.Body.Close()
+	if got := resp3.Header.Get(netserve.RequestIDHeader); got == "spoofed-id" || got == "" {
+		t.Errorf("public endpoint request id %q, want a freshly minted one", got)
 	}
 }

@@ -1,0 +1,156 @@
+package scope
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"omniware/internal/serve/metrics"
+	"omniware/internal/trace"
+)
+
+func TestParentRoundTrip(t *testing.T) {
+	cases := []struct {
+		tid, rid string
+	}{
+		{"exec-1-abc-mips", "req-42"},
+		{"exec-1", ""},
+		{"", "req-9"},
+	}
+	for _, c := range cases {
+		v := EncodeParent(c.tid, c.rid)
+		if v == "" {
+			t.Fatalf("EncodeParent(%q, %q) empty", c.tid, c.rid)
+		}
+		p := ParseParent(v)
+		if p.TraceID != c.tid || p.RequestID != c.rid {
+			t.Errorf("round trip (%q, %q) -> %+v", c.tid, c.rid, p)
+		}
+	}
+	if EncodeParent("", "") != "" {
+		t.Error("nothing to propagate should encode empty")
+	}
+	// Malformed and empty values are decoration, never errors.
+	if p := ParseParent(""); p != (Parent{}) {
+		t.Errorf("empty header parsed to %+v", p)
+	}
+	if p := ParseParent("just-a-trace-id"); p.TraceID != "just-a-trace-id" || p.RequestID != "" {
+		t.Errorf("no-separator header parsed to %+v", p)
+	}
+}
+
+func TestSpansRoundTrip(t *testing.T) {
+	tr := trace.New("peer-7", "peer_serve")
+	tr.Root.Set("from", "http://origin:1")
+	tr.Root.Child("cache").Set("result", "hit").End()
+	tr.Root.Child("verify").End()
+	tr.Finish("ok")
+
+	enc, err := EncodeSpans(tr.Root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sp, err := DecodeSpans(enc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sp.Name != "peer_serve" || len(sp.Children) != 2 {
+		t.Fatalf("decoded tree lost shape: %+v", sp)
+	}
+	c := sp.Find("cache")
+	if c == nil || len(c.Attrs) != 1 || c.Attrs[0].Val != "hit" {
+		t.Fatalf("decoded tree lost attrs: %+v", c)
+	}
+	if c.DurNs != tr.Root.Children[0].DurNs {
+		t.Errorf("duration changed across the wire: %d != %d", c.DurNs, tr.Root.Children[0].DurNs)
+	}
+}
+
+// Stitching is best-effort decoration: oversized, empty, and corrupt
+// header values are refused with an error, never a panic or a bogus
+// tree.
+func TestSpansRefusal(t *testing.T) {
+	if _, err := EncodeSpans(nil); err == nil {
+		t.Error("nil span encoded")
+	}
+	// A tree whose encoding exceeds the header cap is refused at encode
+	// time (the server just omits the header).
+	big := trace.New("big", "peer_serve")
+	for i := 0; i < 4000; i++ {
+		big.Root.Child("span-with-a-reasonably-long-name").Set("key", "value-padding-padding").End()
+	}
+	big.Finish("ok")
+	if _, err := EncodeSpans(big.Root); err == nil {
+		t.Error("oversized subtree encoded under the header cap")
+	}
+	if _, err := DecodeSpans(""); err == nil {
+		t.Error("empty header decoded")
+	}
+	if _, err := DecodeSpans(strings.Repeat("A", MaxSpansHeaderBytes+1)); err == nil {
+		t.Error("oversized header decoded")
+	}
+	if _, err := DecodeSpans("!!!not-base64!!!"); err == nil {
+		t.Error("non-base64 header decoded")
+	}
+	if _, err := DecodeSpans("bm90LWpzb24"); err == nil { // "not-json"
+		t.Error("non-JSON header decoded")
+	}
+}
+
+func snapWith(jobs uint64, stage string, d time.Duration) *metrics.Snapshot {
+	var h trace.Histogram
+	h.Observe(d)
+	hs := h.Snapshot()
+	return &metrics.Snapshot{
+		JobsRun: jobs,
+		Stages: map[string]metrics.StageSnapshot{
+			stage: {Count: hs.Count, Hist: hs},
+		},
+	}
+}
+
+func TestMergeFleet(t *testing.T) {
+	reports := []NodeReport{
+		{Node: "http://a:1", Metrics: snapWith(3, "execute", time.Millisecond),
+			Slow: []Exemplar{{ID: "t-slow", DurUs: 900}, {ID: "t-mid", DurUs: 500}}},
+		{Node: "http://b:1", Err: "context deadline exceeded"},
+		{Node: "http://c:1", Metrics: snapWith(5, "execute", 2*time.Millisecond),
+			Slow: []Exemplar{{ID: "t-slowest", DurUs: 1200}}},
+	}
+	f := MergeFleet("http://a:1", reports, 2)
+	if f.Origin != "http://a:1" || len(f.Nodes) != 3 {
+		t.Fatalf("fleet shape: %+v", f)
+	}
+	// The down node stays in the report with its error — never silently
+	// dropped from the denominator.
+	if f.Nodes[1].Err == "" {
+		t.Error("failed node lost its error")
+	}
+	if f.Fleet == nil || f.Fleet.JobsRun != 8 {
+		t.Fatalf("merged jobs_run = %+v, want 8", f.Fleet)
+	}
+	st := f.Fleet.Stages["execute"]
+	if st.Hist.Count != 2 {
+		t.Errorf("merged execute hist count %d, want 2", st.Hist.Count)
+	}
+	// Exemplars: node-stamped, slowest first, capped at slowK=2.
+	if len(f.Slow) != 2 {
+		t.Fatalf("exemplar cap ignored: %d retained", len(f.Slow))
+	}
+	if f.Slow[0].ID != "t-slowest" || f.Slow[0].Node != "http://c:1" {
+		t.Errorf("Slow[0] = %+v, want t-slowest stamped with its node", f.Slow[0])
+	}
+	if f.Slow[1].ID != "t-slow" || f.Slow[1].Node != "http://a:1" {
+		t.Errorf("Slow[1] = %+v", f.Slow[1])
+	}
+	// The input reports were not mutated by the stamping.
+	if reports[0].Slow[0].Node != "" {
+		t.Error("MergeFleet mutated the input exemplars")
+	}
+
+	// All nodes down: no merged snapshot, but every report survives.
+	down := MergeFleet("x", []NodeReport{{Node: "a", Err: "boom"}}, 0)
+	if down.Fleet != nil || len(down.Nodes) != 1 {
+		t.Fatalf("all-down fleet: %+v", down)
+	}
+}

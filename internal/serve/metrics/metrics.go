@@ -165,6 +165,15 @@ type PeerStats struct {
 	Quarantines uint64 `json:"quarantines"` // candidates from this peer the gate refused
 	Errors      uint64 `json:"errors"`      // transport/protocol failures probing this peer
 	Pushes      uint64 `json:"pushes"`      // hot-entry replications sent to this peer
+
+	// QuarantinesByReason splits Quarantines by the closed reason set
+	// (mcache.QuarantineReasons). Every reason is pre-registered at
+	// zero so a scraper sees the full label set from the first scrape.
+	QuarantinesByReason map[string]uint64 `json:"quarantines_by_reason,omitempty"`
+
+	// StalenessMs is how long ago this peer last answered anything
+	// (including a clean miss); -1 means never contacted.
+	StalenessMs int64 `json:"staleness_ms"`
 }
 
 // ClusterSnapshot is the cluster section of a Snapshot: pure data, so
@@ -222,6 +231,153 @@ func (m *Metrics) Snapshot() Snapshot {
 	return s
 }
 
+// MergeSnapshots adds two snapshots counter-wise — the fleet
+// aggregation primitive behind /v1/cluster/metrics and omniload's
+// multi-node reports. Counters and gauges sum; stage and per-target
+// histograms merge bucket-wise (HistSnapshot.Add) with quantiles
+// recomputed from the merged buckets, never averaged; cluster sections
+// merge per peer address. The inputs are not mutated.
+func MergeSnapshots(a, b Snapshot) Snapshot {
+	out := a
+	out.JobsSubmitted += b.JobsSubmitted
+	out.JobsRun += b.JobsRun
+	out.JobsFailed += b.JobsFailed
+	out.FaultsContained += b.FaultsContained
+	out.Timeouts += b.Timeouts
+	out.Translations += b.Translations
+	out.SimInsts += b.SimInsts
+	out.SimCycles += b.SimCycles
+	out.QueueDepth += b.QueueDepth
+	out.CacheHits += b.CacheHits
+	out.CacheCoalesced += b.CacheCoalesced
+	out.CacheMisses += b.CacheMisses
+	out.CacheEvictions += b.CacheEvictions
+	out.CacheRejected += b.CacheRejected
+	out.CacheEntries += b.CacheEntries
+	out.CacheBytes += b.CacheBytes
+	out.CacheDiskHits += b.CacheDiskHits
+	out.CacheDiskWrites += b.CacheDiskWrites
+	out.CacheDiskQuarantines += b.CacheDiskQuarantines
+	out.CacheDisagreements += b.CacheDisagreements
+	out.CachePeerHits += b.CachePeerHits
+	out.CachePeerQuarantines += b.CachePeerQuarantines
+	out.CacheSpotChecks += b.CacheSpotChecks
+	out.CacheSpotCheckFails += b.CacheSpotCheckFails
+
+	out.Stages = map[string]StageSnapshot{}
+	for n, st := range a.Stages {
+		out.Stages[n] = st
+	}
+	for n, st := range b.Stages {
+		out.Stages[n] = mergeStage(out.Stages[n], st)
+	}
+
+	out.Targets = nil
+	byName := map[string]int{}
+	for _, set := range [][]TargetSnapshot{a.Targets, b.Targets} {
+		for _, ts := range set {
+			i, ok := byName[ts.Target]
+			if !ok {
+				byName[ts.Target] = len(out.Targets)
+				cp := ts
+				cp.Counts = map[string]uint64{}
+				for k, v := range ts.Counts {
+					cp.Counts[k] = v
+				}
+				out.Targets = append(out.Targets, cp)
+				continue
+			}
+			t := &out.Targets[i]
+			t.Jobs += ts.Jobs
+			t.Insts += ts.Insts
+			t.AppInsts += ts.AppInsts
+			t.Sandbox += ts.Sandbox
+			t.Sched += ts.Sched
+			for k, v := range ts.Counts {
+				t.Counts[k] += v
+			}
+			t.Run = mergeStage(t.Run, ts.Run)
+			if t.Insts > 0 {
+				t.SandboxPct = 100 * float64(t.Sandbox) / float64(t.Insts)
+			}
+		}
+	}
+	sort.Slice(out.Targets, func(i, j int) bool { return out.Targets[i].Target < out.Targets[j].Target })
+
+	out.Cluster = mergeCluster(a.Cluster, b.Cluster)
+	return out
+}
+
+// mergeStage merges two stage summaries: counts sum, histograms add
+// bucket-wise, and the quantiles are recomputed from the merged
+// buckets.
+func mergeStage(a, b StageSnapshot) StageSnapshot {
+	h := a.Hist.Add(b.Hist)
+	us := func(d time.Duration) float64 { return float64(d.Nanoseconds()) / 1e3 }
+	return StageSnapshot{
+		Count: a.Count + b.Count,
+		P50Us: us(h.P50()),
+		P95Us: us(h.P95()),
+		P99Us: us(h.P99()),
+		Hist:  h,
+	}
+}
+
+// mergeCluster merges two cluster sections per peer address: counters
+// sum, reason splits merge key-wise, and staleness keeps the freshest
+// (smallest non-negative) contact age. Self keeps the first non-empty
+// value (the fan-out origin); members union.
+func mergeCluster(a, b *ClusterSnapshot) *ClusterSnapshot {
+	if a == nil && b == nil {
+		return nil
+	}
+	out := &ClusterSnapshot{}
+	members := map[string]bool{}
+	byPeer := map[string]int{}
+	for _, cs := range []*ClusterSnapshot{a, b} {
+		if cs == nil {
+			continue
+		}
+		if out.Self == "" {
+			out.Self = cs.Self
+		}
+		out.Failovers += cs.Failovers
+		for _, m := range cs.Members {
+			members[m] = true
+		}
+		for _, p := range cs.Peers {
+			i, ok := byPeer[p.Peer]
+			if !ok {
+				byPeer[p.Peer] = len(out.Peers)
+				cp := p
+				cp.QuarantinesByReason = map[string]uint64{}
+				for k, v := range p.QuarantinesByReason {
+					cp.QuarantinesByReason[k] = v
+				}
+				out.Peers = append(out.Peers, cp)
+				continue
+			}
+			q := &out.Peers[i]
+			q.Hits += p.Hits
+			q.Quarantines += p.Quarantines
+			q.Errors += p.Errors
+			q.Pushes += p.Pushes
+			for k, v := range p.QuarantinesByReason {
+				q.QuarantinesByReason[k] += v
+			}
+			if q.StalenessMs < 0 || (p.StalenessMs >= 0 && p.StalenessMs < q.StalenessMs) {
+				q.StalenessMs = p.StalenessMs
+			}
+		}
+	}
+	for m := range members {
+		out.Members = append(out.Members, m)
+	}
+	sort.Strings(out.Members)
+	sort.Slice(out.Peers, func(i, j int) bool { return out.Peers[i].Peer < out.Peers[j].Peer })
+	return out
+}
+
 // HitRate is the fraction of cache lookups served without a
 // translation (memory hits, disk hits, peer fills, and coalesced
 // waits), or 0 with no lookups.
@@ -272,8 +428,8 @@ func (s Snapshot) Text() string {
 		w("cluster_members", len(s.Cluster.Members))
 		w("cluster_failovers", s.Cluster.Failovers)
 		for _, p := range s.Cluster.Peers {
-			fmt.Fprintf(&b, "cluster_peer %-14s hits=%d quarantines=%d errors=%d pushes=%d\n",
-				p.Peer, p.Hits, p.Quarantines, p.Errors, p.Pushes)
+			fmt.Fprintf(&b, "cluster_peer %-14s hits=%d quarantines=%d errors=%d pushes=%d staleness_ms=%d\n",
+				p.Peer, p.Hits, p.Quarantines, p.Errors, p.Pushes, p.StalenessMs)
 		}
 	}
 	for _, name := range stageOrder(s.Stages) {

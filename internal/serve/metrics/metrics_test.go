@@ -8,6 +8,7 @@ import (
 	"time"
 
 	"omniware/internal/target"
+	"omniware/internal/trace"
 )
 
 func TestSnapshotCopiesCounters(t *testing.T) {
@@ -276,5 +277,112 @@ func TestClusterSection(t *testing.T) {
 		if !strings.Contains(prom, want) {
 			t.Errorf("prom missing %q", want)
 		}
+	}
+}
+
+// MergeSnapshots is the fleet aggregation primitive: counters sum,
+// stage histograms add bucket-wise with quantiles recomputed (never
+// averaged), targets merge by name, and the cluster sections fold
+// per peer address with reason splits merged key-wise and staleness
+// keeping the freshest contact.
+func TestMergeSnapshots(t *testing.T) {
+	stage := func(d time.Duration, n int) StageSnapshot {
+		var h trace.Histogram
+		for i := 0; i < n; i++ {
+			h.Observe(d)
+		}
+		hs := h.Snapshot()
+		us := func(d time.Duration) float64 { return float64(d.Nanoseconds()) / 1e3 }
+		return StageSnapshot{Count: hs.Count, P50Us: us(hs.P50()), Hist: hs}
+	}
+	a := Snapshot{
+		JobsRun: 3, Translations: 2, CachePeerHits: 1, QueueDepth: 2,
+		Stages: map[string]StageSnapshot{
+			"translate": stage(time.Millisecond, 2),
+			"verify":    stage(100*time.Microsecond, 1),
+		},
+		Cluster: &ClusterSnapshot{
+			Self: "http://a:1", Members: []string{"http://a:1", "http://b:1"}, Failovers: 1,
+			Peers: []PeerStats{{
+				Peer: "http://b:1", Hits: 4, Quarantines: 2,
+				QuarantinesByReason: map[string]uint64{"hash": 1, "frame": 1},
+				StalenessMs:         250,
+			}},
+		},
+	}
+	b := Snapshot{
+		JobsRun: 5, Translations: 1, QueueDepth: 1,
+		Stages: map[string]StageSnapshot{
+			"translate": stage(4*time.Millisecond, 3),
+			"decode":    stage(time.Microsecond, 2),
+		},
+		Cluster: &ClusterSnapshot{
+			Self: "http://b:1", Members: []string{"http://b:1", "http://c:1"}, Failovers: 2,
+			Peers: []PeerStats{
+				{Peer: "http://b:1", Hits: 1, Quarantines: 1,
+					QuarantinesByReason: map[string]uint64{"hash": 1}, StalenessMs: 10},
+				{Peer: "http://c:1", Errors: 3, StalenessMs: -1},
+			},
+		},
+	}
+
+	m := MergeSnapshots(a, b)
+	if m.JobsRun != 8 || m.Translations != 3 || m.CachePeerHits != 1 || m.QueueDepth != 3 {
+		t.Fatalf("counters: %+v", m)
+	}
+	// Stage union: shared stages merge, one-sided stages survive.
+	tr2 := m.Stages["translate"]
+	if tr2.Count != 5 || tr2.Hist.Count != 5 {
+		t.Fatalf("translate merged count %d/%d, want 5", tr2.Count, tr2.Hist.Count)
+	}
+	// The merged p95 must come from the merged buckets: ranks 3–5 of
+	// the five samples sit in the 4ms bucket, so p95 lands there — not
+	// at any average of the two locals' quantiles.
+	if p95 := time.Duration(tr2.P95Us*1e3) * time.Nanosecond; p95 <= 2*time.Millisecond {
+		t.Errorf("merged p95 %v looks averaged, want in the 4ms bucket", p95)
+	}
+	if m.Stages["verify"].Count != 1 || m.Stages["decode"].Count != 2 {
+		t.Errorf("one-sided stages lost: %+v", m.Stages)
+	}
+
+	c := m.Cluster
+	if c == nil {
+		t.Fatal("cluster section dropped")
+	}
+	if c.Self != "http://a:1" || c.Failovers != 3 {
+		t.Errorf("cluster self/failovers: %+v", c)
+	}
+	if len(c.Members) != 3 {
+		t.Errorf("members union: %v", c.Members)
+	}
+	if len(c.Peers) != 2 {
+		t.Fatalf("peers: %+v", c.Peers)
+	}
+	pb := c.Peers[0] // sorted by address: b before c
+	if pb.Peer != "http://b:1" || pb.Hits != 5 || pb.Quarantines != 3 {
+		t.Errorf("peer b fold: %+v", pb)
+	}
+	if pb.QuarantinesByReason["hash"] != 2 || pb.QuarantinesByReason["frame"] != 1 {
+		t.Errorf("reason split fold: %+v", pb.QuarantinesByReason)
+	}
+	if pb.StalenessMs != 10 {
+		t.Errorf("staleness %d, want the freshest contact 10", pb.StalenessMs)
+	}
+	if c.Peers[1].StalenessMs != -1 {
+		t.Errorf("never-contacted peer staleness %d, want -1", c.Peers[1].StalenessMs)
+	}
+
+	// The inputs were not mutated by the fold.
+	if a.Cluster.Peers[0].Hits != 4 || a.Cluster.Peers[0].QuarantinesByReason["hash"] != 1 {
+		t.Error("MergeSnapshots mutated an input")
+	}
+	if len(a.Stages) != 2 || a.Stages["translate"].Count != 2 {
+		t.Error("MergeSnapshots mutated input stages")
+	}
+
+	// Merging with a zero snapshot is the identity on every counter.
+	id := MergeSnapshots(a, Snapshot{})
+	if id.JobsRun != a.JobsRun || id.Stages["translate"].Count != 2 || id.Cluster.Failovers != 1 {
+		t.Errorf("identity merge changed values: %+v", id)
 	}
 }

@@ -58,9 +58,19 @@ func (s Snapshot) Prom() string {
 		for _, p := range c.Peers {
 			fmt.Fprintf(&b, "omni_cluster_peer_hits_total{peer=%q} %d\n", p.Peer, p.Hits)
 		}
-		fmt.Fprintf(&b, "# HELP omni_cluster_peer_quarantines_total Peer candidates quarantined by supplying peer.\n# TYPE omni_cluster_peer_quarantines_total counter\n")
+		// Quarantines carry the reason label when the split is known
+		// (every reason pre-registered at zero); a snapshot without the
+		// split falls back to the reason-blind per-peer series.
+		fmt.Fprintf(&b, "# HELP omni_cluster_peer_quarantines_total Peer candidates quarantined by supplying peer and reason.\n# TYPE omni_cluster_peer_quarantines_total counter\n")
 		for _, p := range c.Peers {
-			fmt.Fprintf(&b, "omni_cluster_peer_quarantines_total{peer=%q} %d\n", p.Peer, p.Quarantines)
+			if len(p.QuarantinesByReason) == 0 {
+				fmt.Fprintf(&b, "omni_cluster_peer_quarantines_total{peer=%q} %d\n", p.Peer, p.Quarantines)
+				continue
+			}
+			for _, reason := range catOrder(p.QuarantinesByReason) {
+				fmt.Fprintf(&b, "omni_cluster_peer_quarantines_total{peer=%q,reason=%q} %d\n",
+					p.Peer, reason, p.QuarantinesByReason[reason])
+			}
 		}
 		fmt.Fprintf(&b, "# HELP omni_cluster_peer_errors_total Transport or protocol failures probing a peer.\n# TYPE omni_cluster_peer_errors_total counter\n")
 		for _, p := range c.Peers {
@@ -69,6 +79,10 @@ func (s Snapshot) Prom() string {
 		fmt.Fprintf(&b, "# HELP omni_cluster_peer_pushes_total Hot-entry replications sent to a peer.\n# TYPE omni_cluster_peer_pushes_total counter\n")
 		for _, p := range c.Peers {
 			fmt.Fprintf(&b, "omni_cluster_peer_pushes_total{peer=%q} %d\n", p.Peer, p.Pushes)
+		}
+		fmt.Fprintf(&b, "# HELP omni_cluster_peer_staleness_ms Milliseconds since a peer last answered; -1 means never.\n# TYPE omni_cluster_peer_staleness_ms gauge\n")
+		for _, p := range c.Peers {
+			fmt.Fprintf(&b, "omni_cluster_peer_staleness_ms{peer=%q} %d\n", p.Peer, p.StalenessMs)
 		}
 	}
 

@@ -64,6 +64,21 @@ type Job struct {
 	// the job trace as a backdated "decode" span so the rendered tree
 	// covers the full pipeline the job logically passed through.
 	Decode time.Duration
+
+	// RequestID is the originating HTTP request id; it rides the trace
+	// (trace.Trace.SetRequestID) so cross-node peer probes forward the
+	// origin's id instead of minting one per hop.
+	RequestID string
+
+	// ModuleFetch, when nonzero, is the time the network layer spent
+	// pulling the module from a cluster peer before admission; like
+	// Decode it becomes a backdated span. ModuleFetchRemote, when the
+	// peer returned one, is that node's own span subtree for the fetch,
+	// grafted under the backdated span with ModuleFetchPeer as its node
+	// annotation.
+	ModuleFetch       time.Duration
+	ModuleFetchRemote *trace.Span
+	ModuleFetchPeer   string
 }
 
 // Result is one job's outcome. Err reports job-level failure
@@ -103,6 +118,7 @@ type Config struct {
 	Cache    *mcache.Cache    // shared translation cache (default mcache.New(0))
 	Metrics  *metrics.Metrics // counter set (default fresh)
 	TraceCap int              // recent-trace ring capacity (default trace.DefaultRecorderCap)
+	SlowCap  int              // slow-trace exemplar retention (default trace.DefaultTopKCap)
 }
 
 type task struct {
@@ -132,6 +148,7 @@ type Server struct {
 	cache  *mcache.Cache
 	met    *metrics.Metrics
 	traces *trace.Recorder
+	slow   *trace.TopK
 	tasks  chan task
 	wg     sync.WaitGroup
 
@@ -165,6 +182,7 @@ func New(cfg Config) *Server {
 		cache:  cfg.Cache,
 		met:    cfg.Metrics,
 		traces: trace.NewRecorder(cfg.TraceCap),
+		slow:   trace.NewTopK(cfg.SlowCap),
 		tasks:  make(chan task, cfg.QueueCap),
 	}
 	for i := 0; i < cfg.Workers; i++ {
@@ -198,11 +216,19 @@ func (s *Server) Submit(j Job) <-chan Result {
 // covers queue wait as well as execution.
 func (s *Server) newTrace(j Job) *trace.Trace {
 	tr := trace.New(j.ID, "job")
+	tr.SetRequestID(j.RequestID)
 	if j.Machine != nil {
 		tr.Target = j.Machine.Name
 	}
 	if j.Decode > 0 {
 		tr.Root.ChildSpan("decode", 0, j.Decode).Set("at", "upload")
+	}
+	if j.ModuleFetch > 0 {
+		msp := tr.Root.ChildSpan("module_fetch", 0, j.ModuleFetch)
+		if j.ModuleFetchPeer != "" {
+			msp.Set("peer", j.ModuleFetchPeer)
+		}
+		msp.AttachRemote(j.ModuleFetchRemote, j.ModuleFetchPeer)
 	}
 	return tr
 }
@@ -266,6 +292,10 @@ func (s *Server) Metrics() *metrics.Metrics { return s.met }
 // Traces returns the ring of recent finished job traces.
 func (s *Server) Traces() *trace.Recorder { return s.traces }
 
+// Slow returns the slow-trace exemplar store: the K slowest finished
+// traces this server ever produced, surviving arbitrary ring churn.
+func (s *Server) Slow() *trace.TopK { return s.slow }
+
 // Snapshot merges the server counters with the cache's.
 func (s *Server) Snapshot() metrics.Snapshot {
 	snap := s.met.Snapshot()
@@ -328,6 +358,7 @@ func (s *Server) worker() {
 		}
 		t.tr.Finish(status)
 		s.traces.Add(t.tr)
+		s.slow.Add(t.tr)
 		r.Trace = t.tr
 		s.met.QueueDepth.Add(-1)
 		t.ch <- r

@@ -92,6 +92,28 @@ func (s HistSnapshot) Sub(prev HistSnapshot) HistSnapshot {
 	return d
 }
 
+// Add returns the bucket-wise sum of two snapshots — the fleet
+// aggregation primitive: histograms from different nodes merge by
+// adding counts per bucket, and quantiles are recomputed from the
+// merged buckets, never averaged. Add and Sub round-trip exactly:
+// a.Add(b).Sub(b) == a for any snapshots with full bucket slices.
+func (s HistSnapshot) Add(other HistSnapshot) HistSnapshot {
+	out := HistSnapshot{
+		Count:  s.Count + other.Count,
+		SumNs:  s.SumNs + other.SumNs,
+		Counts: make([]uint64, NumBuckets+1),
+	}
+	for i := range out.Counts {
+		if i < len(s.Counts) {
+			out.Counts[i] += s.Counts[i]
+		}
+		if i < len(other.Counts) {
+			out.Counts[i] += other.Counts[i]
+		}
+	}
+	return out
+}
+
 // Quantile estimates the q-th quantile (0 < q <= 1) by linear
 // interpolation within the bucket holding the target rank. Defined
 // edge behaviour, pinned by tests:

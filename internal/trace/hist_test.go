@@ -1,6 +1,7 @@
 package trace
 
 import (
+	"math/rand"
 	"sync"
 	"testing"
 	"time"
@@ -159,5 +160,61 @@ func TestHistogramConcurrent(t *testing.T) {
 	}
 	if sum != 8000 {
 		t.Fatalf("bucket sum %d, want 8000", sum)
+	}
+}
+
+func histEqual(a, b HistSnapshot) bool {
+	if a.Count != b.Count || a.SumNs != b.SumNs || len(a.Counts) != len(b.Counts) {
+		return false
+	}
+	for i := range a.Counts {
+		if a.Counts[i] != b.Counts[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// Add and Sub are exact inverses on full bucket slices, and Add is
+// commutative — the algebra both the fleet merge (locals summed
+// bucket-wise in any order) and the omniload interval delta
+// (after.Sub(before)) rely on. Property-tested over seeded random
+// histograms so the claim covers empty, sparse and overflow-heavy
+// shapes, not just hand-picked cases.
+func TestHistAddSubRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	randSnap := func() HistSnapshot {
+		var h Histogram
+		for i, n := 0, rng.Intn(200); i < n; i++ {
+			// Spread from sub-microsecond to past the overflow bound.
+			h.Observe(time.Duration(rng.Int63n(int64(40 * time.Second))))
+		}
+		return h.Snapshot()
+	}
+	for trial := 0; trial < 64; trial++ {
+		a, b := randSnap(), randSnap()
+		sum := a.Add(b)
+		if got := sum.Sub(b); !histEqual(got, a) {
+			t.Fatalf("trial %d: a.Add(b).Sub(b) != a\n got %+v\nwant %+v", trial, got, a)
+		}
+		if got := sum.Sub(a); !histEqual(got, b) {
+			t.Fatalf("trial %d: a.Add(b).Sub(a) != b\n got %+v\nwant %+v", trial, got, b)
+		}
+		if got := b.Add(a); !histEqual(got, sum) {
+			t.Fatalf("trial %d: Add not commutative", trial)
+		}
+		var total uint64
+		for _, c := range sum.Counts {
+			total += c
+		}
+		if total != sum.Count {
+			t.Fatalf("trial %d: merged bucket sum %d != count %d", trial, total, sum.Count)
+		}
+	}
+	// The identity element: merging with a zero-value snapshot (nil
+	// Counts, as an idle node reports) changes nothing bucket-wise.
+	a := randSnap()
+	if got := a.Add(HistSnapshot{}); !histEqual(got, a) {
+		t.Fatalf("a.Add(zero) != a: %+v", got)
 	}
 }

@@ -1,0 +1,100 @@
+package trace
+
+import (
+	"sort"
+	"sync"
+)
+
+// TopK retains the K slowest finished traces ever Added — the
+// slow-trace exemplar store behind /v1/trace/slow and the fleet
+// aggregation endpoint. Unlike the Recorder's recency ring, admission
+// here is by duration: a trace displaces the current fastest member
+// only if it is slower, so the K worst cases survive arbitrarily long
+// runs in bounded memory. Safe for concurrent use; Add only finished
+// traces (readers access them without synchronization).
+type TopK struct {
+	mu  sync.Mutex
+	cap int
+	// min-heap on duration: buf[0] is the fastest retained trace, the
+	// first to be displaced.
+	buf []*Trace
+}
+
+// DefaultTopKCap is the retention when NewTopK is given a non-positive
+// capacity.
+const DefaultTopKCap = 32
+
+// NewTopK returns a store retaining the capacity slowest traces.
+func NewTopK(capacity int) *TopK {
+	if capacity <= 0 {
+		capacity = DefaultTopKCap
+	}
+	return &TopK{cap: capacity}
+}
+
+// Add offers a finished trace; it is retained iff it is among the K
+// slowest seen. Nil traces are ignored.
+func (k *TopK) Add(t *Trace) {
+	if t == nil {
+		return
+	}
+	d := t.Duration()
+	k.mu.Lock()
+	defer k.mu.Unlock()
+	if len(k.buf) < k.cap {
+		k.buf = append(k.buf, t)
+		k.up(len(k.buf) - 1)
+		return
+	}
+	if d <= k.buf[0].Duration() {
+		return
+	}
+	k.buf[0] = t
+	k.down(0)
+}
+
+// List returns the retained traces, slowest first.
+func (k *TopK) List() []*Trace {
+	k.mu.Lock()
+	out := append([]*Trace(nil), k.buf...)
+	k.mu.Unlock()
+	sort.Slice(out, func(i, j int) bool { return out[i].Duration() > out[j].Duration() })
+	return out
+}
+
+// Len reports how many traces are retained.
+func (k *TopK) Len() int {
+	k.mu.Lock()
+	defer k.mu.Unlock()
+	return len(k.buf)
+}
+
+func (k *TopK) up(i int) {
+	for i > 0 {
+		p := (i - 1) / 2
+		if k.buf[p].Duration() <= k.buf[i].Duration() {
+			return
+		}
+		k.buf[p], k.buf[i] = k.buf[i], k.buf[p]
+		i = p
+	}
+}
+
+func (k *TopK) down(i int) {
+	n := len(k.buf)
+	for {
+		l, r := 2*i+1, 2*i+2
+		small := i
+		if l < n && k.buf[l].Duration() < k.buf[small].Duration() {
+			small = l
+		}
+		if r < n && k.buf[r].Duration() < k.buf[small].Duration() {
+			small = r
+		}
+		if small == i {
+			return
+		}
+		k.buf[i], k.buf[small] = k.buf[small], k.buf[i]
+		i = small
+	}
+}

@@ -1,0 +1,76 @@
+package trace
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+)
+
+func mkTrace(id string, d time.Duration) *Trace {
+	tr := New(id, "exec")
+	tr.Root.DurNs = int64(d)
+	tr.Status = "ok"
+	return tr
+}
+
+// Admission is by duration, not recency: the K slowest traces ever
+// offered survive, everything faster is dropped regardless of order.
+func TestTopKRetention(t *testing.T) {
+	k := NewTopK(3)
+	k.Add(mkTrace("a", 5*time.Millisecond))
+	k.Add(mkTrace("b", time.Millisecond))
+	k.Add(mkTrace("c", 3*time.Millisecond))
+	k.Add(mkTrace("d", 2*time.Millisecond)) // displaces b
+	k.Add(mkTrace("e", 500*time.Microsecond))
+	k.Add(nil) // ignored
+
+	if k.Len() != 3 {
+		t.Fatalf("retained %d, want 3", k.Len())
+	}
+	list := k.List()
+	want := []string{"a", "c", "d"} // slowest first
+	for i, id := range want {
+		if list[i].ID != id {
+			t.Fatalf("List[%d] = %s, want %s (full: %v)", i, list[i].ID, id, traceIDs(list))
+		}
+	}
+	if NewTopK(0).cap != DefaultTopKCap {
+		t.Errorf("non-positive capacity did not default")
+	}
+}
+
+// Concurrent offers: run under -race, and the heap must still retain
+// exactly the slowest overall.
+func TestTopKConcurrent(t *testing.T) {
+	k := NewTopK(8)
+	var wg sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				// Unique duration per trace: g*1000+i microseconds.
+				k.Add(mkTrace(fmt.Sprintf("g%d-%d", g, i), time.Duration(g*1000+i)*time.Microsecond))
+				if i%50 == 0 {
+					k.List()
+					k.Len()
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	if k.Len() != 8 {
+		t.Fatalf("retained %d, want 8", k.Len())
+	}
+	list := k.List()
+	// The slowest 8 offered were g3 i=192..199.
+	if list[0].ID != "g3-199" {
+		t.Fatalf("slowest retained is %s, want g3-199", list[0].ID)
+	}
+	for _, tr := range list {
+		if tr.Duration() < time.Duration(3192)*time.Microsecond {
+			t.Errorf("retained %s (%v) is not among the 8 slowest", tr.ID, tr.Duration())
+		}
+	}
+}

@@ -42,6 +42,31 @@ type Span struct {
 
 	origin time.Time // trace origin, for offset computation
 	began  time.Time // when this span started
+
+	// traceID/reqID are the owning trace's identity, inherited by every
+	// child — how deep pipeline layers (the cache's peer probe) learn
+	// which trace and originating request they are working for without
+	// threading extra parameters through every call.
+	traceID string
+	reqID   string
+}
+
+// TraceID returns the owning trace's ID ("" for detached spans).
+// Nil-safe.
+func (s *Span) TraceID() string {
+	if s == nil {
+		return ""
+	}
+	return s.traceID
+}
+
+// RequestID returns the originating request ID threaded onto the
+// owning trace, or "". Nil-safe.
+func (s *Span) RequestID() string {
+	if s == nil {
+		return ""
+	}
+	return s.reqID
 }
 
 // Child starts a sub-span now. Safe on a nil receiver (returns nil).
@@ -54,6 +79,8 @@ func (s *Span) Child(name string) *Span {
 		origin:  s.origin,
 		began:   time.Now(),
 		StartNs: time.Since(s.origin).Nanoseconds(),
+		traceID: s.traceID,
+		reqID:   s.reqID,
 	}
 	s.Children = append(s.Children, c)
 	return c
@@ -71,9 +98,37 @@ func (s *Span) ChildSpan(name string, start, dur time.Duration) *Span {
 		origin:  s.origin,
 		StartNs: start.Nanoseconds(),
 		DurNs:   clampDur(dur).Nanoseconds(),
+		traceID: s.traceID,
+		reqID:   s.reqID,
 	}
 	s.Children = append(s.Children, c)
 	return c
+}
+
+// AttachRemote grafts a span subtree produced on another node under s:
+// every remote span is annotated with node=<node>, and the subtree's
+// offsets are shifted so its root starts where s starts — clocks on
+// different machines are not comparable, but durations are, and the
+// shift keeps JSON consumers from seeing offsets from a foreign
+// monotonic clock. The remote tree must be finished (it came off the
+// wire); s keeps ownership after the call. Nil-safe in both arguments.
+func (s *Span) AttachRemote(remote *Span, node string) {
+	if s == nil || remote == nil {
+		return
+	}
+	shift := s.StartNs - remote.StartNs
+	var walk func(*Span)
+	walk = func(r *Span) {
+		r.StartNs += shift
+		if node != "" {
+			r.Attrs = append(r.Attrs, Attr{Key: "node", Val: node})
+		}
+		for _, c := range r.Children {
+			walk(c)
+		}
+	}
+	walk(remote)
+	s.Children = append(s.Children, remote)
 }
 
 // End closes the span and returns its duration. Durations are clamped
@@ -159,8 +214,20 @@ func New(id, kind string) *Trace {
 		ID:    id,
 		Kind:  kind,
 		Begin: now,
-		Root:  &Span{Name: kind, origin: now, began: now},
+		Root:  &Span{Name: kind, origin: now, began: now, traceID: id},
 	}
+}
+
+// SetRequestID threads the originating HTTP request ID onto the trace:
+// spans created from the root after this call inherit it (Span.
+// RequestID), which is how the peer-fetch path forwards the origin's
+// X-Omni-Request-Id instead of minting a new one per hop. Call it
+// before building the span tree. Nil-safe.
+func (t *Trace) SetRequestID(rid string) {
+	if t == nil || t.Root == nil {
+		return
+	}
+	t.Root.reqID = rid
 }
 
 // Finish sets the final status and closes the root span. Nil-safe.

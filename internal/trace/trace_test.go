@@ -4,6 +4,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"strings"
+	"sync"
 	"testing"
 	"time"
 )
@@ -212,5 +213,116 @@ func TestRecorderConcurrent(t *testing.T) {
 	}
 	if r.Len() != 16 {
 		t.Fatalf("ring holds %d, want 16", r.Len())
+	}
+}
+
+// AttachRemote grafts a subtree recorded on another node: every remote
+// span gains a node annotation, the subtree is shifted to start where
+// the local span starts (foreign monotonic clocks are meaningless
+// here), and relative offsets and durations inside the subtree are
+// preserved.
+func TestAttachRemote(t *testing.T) {
+	local := New("exec-1", "exec")
+	pf := local.Root.Child("peer_fetch")
+
+	remote := New("peer-1", "peer_serve")
+	remote.Root.Child("cache").Set("result", "hit").End()
+	remote.Root.Child("verify").End()
+	remote.Finish("ok")
+	// Simulate the foreign clock: displace the whole remote tree by an
+	// offset no local span could have.
+	var displace func(*Span)
+	displace = func(s *Span) {
+		s.StartNs += 1e15
+		for _, c := range s.Children {
+			displace(c)
+		}
+	}
+	displace(remote.Root)
+	cacheRel := remote.Root.Find("cache").StartNs - remote.Root.StartNs
+	verifyDur := remote.Root.Find("verify").DurNs
+
+	pf.AttachRemote(remote.Root, "http://owner:1")
+	pf.End()
+	local.Finish("ok")
+
+	got := local.Root.Find("peer_serve")
+	if got == nil {
+		t.Fatalf("remote subtree not reachable from the local root:\n%s", local.Render())
+	}
+	if got.StartNs != pf.StartNs {
+		t.Errorf("remote root starts at %d, want the local span's %d", got.StartNs, pf.StartNs)
+	}
+	if rel := got.Find("cache").StartNs - got.StartNs; rel != cacheRel {
+		t.Errorf("relative offset inside subtree changed: %d, want %d", rel, cacheRel)
+	}
+	if d := got.Find("verify").DurNs; d != verifyDur {
+		t.Errorf("remote duration changed across attach: %d, want %d", d, verifyDur)
+	}
+	nodeOf := func(s *Span) string {
+		for _, a := range s.Attrs {
+			if a.Key == "node" {
+				return a.Val
+			}
+		}
+		return ""
+	}
+	for _, name := range []string{"peer_serve", "cache", "verify"} {
+		if n := nodeOf(got.Find(name)); n != "http://owner:1" {
+			t.Errorf("remote span %s annotated node=%q, want the peer address", name, n)
+		}
+	}
+	// The local spans must NOT be node-annotated: the annotation is how
+	// a renderer tells foreign work apart.
+	if n := nodeOf(pf); n != "" {
+		t.Errorf("local span gained a node attr: %q", n)
+	}
+	// Nil-safety both ways.
+	var nilSpan *Span
+	nilSpan.AttachRemote(remote.Root, "x")
+	before := len(pf.Children)
+	pf.AttachRemote(nil, "x")
+	if len(pf.Children) != before {
+		t.Error("attaching a nil subtree changed the tree")
+	}
+}
+
+// The trace ring under concurrent eviction churn: a capacity far
+// smaller than the add volume forces every Add to evict while other
+// goroutines Get and iterate. Run under -race in CI; the assertions
+// pin map/ring consistency after the churn.
+func TestRecorderEvictionRace(t *testing.T) {
+	r := NewRecorder(4)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 500; i++ {
+				id := fmt.Sprintf("g%d-%d", g, i)
+				tr := New(id, "exec")
+				tr.Finish("ok")
+				r.Add(tr)
+				r.Get(id) // may or may not still be resident
+				for _, got := range r.Recent(0) {
+					if got == nil {
+						t.Error("Recent returned a nil trace")
+						return
+					}
+				}
+				r.Len()
+			}
+		}(g)
+	}
+	wg.Wait()
+	if r.Len() != 4 {
+		t.Fatalf("ring holds %d after churn, want 4", r.Len())
+	}
+	// Every retained trace is still reachable by ID — the byID map and
+	// the ring agree after ~4000 concurrent evictions.
+	for _, tr := range r.Recent(0) {
+		if r.Get(tr.ID) != tr {
+			t.Errorf("retained trace %s not reachable by ID", tr.ID)
+		}
 	}
 }
