@@ -7,6 +7,7 @@
 //	omnictl build -o mod.omw src.c [src2.c ...]
 //	omnictl upload -addr URL mod.omw
 //	omnictl exec -addr URL -module HASH -target mips [-check] [flags]
+//	omnictl audit -addr URL HASH [-json]
 //	omnictl metrics -addr URL [-text|-prom]
 //	omnictl bench -addr URL [-duration 10s] [-json]
 //	omnictl trace -addr URL ID          (or -recent [-n N])
@@ -32,6 +33,12 @@
 // jobs run, cache hit rate over the window, sandbox-overhead
 // percentage, and per-stage latency quantiles computed from histogram
 // bucket deltas, not lifetime aggregates.
+//
+// audit fetches the daemon's static-analysis report for an uploaded
+// module — worst-case stack depth (or the recursion cycle that defeats
+// it), per-target static cycle bounds, the host-call capability
+// manifest, and the per-function call-graph summary — rendered as a
+// table, or raw with -json.
 //
 // trace renders a finished job's span tree — decode through verify,
 // translate, cache and execute, with per-stage durations — plus the
@@ -66,6 +73,7 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"sort"
 	"strings"
 	"time"
 
@@ -84,7 +92,7 @@ func main() {
 }
 
 func usage(stderr io.Writer) int {
-	fmt.Fprintln(stderr, "usage: omnictl {build|upload|exec|metrics|bench|trace|top|health|cluster} [flags]")
+	fmt.Fprintln(stderr, "usage: omnictl {build|upload|exec|audit|metrics|bench|trace|top|health|cluster} [flags]")
 	return serve.ExitInfra
 }
 
@@ -101,6 +109,8 @@ func run(args []string, stdout, stderr io.Writer) int {
 		return cmdUpload(rest, stdout, stderr)
 	case "exec":
 		return cmdExec(rest, stdout, stderr)
+	case "audit":
+		return cmdAudit(rest, stdout, stderr)
 	case "metrics":
 		return cmdMetrics(rest, stdout, stderr)
 	case "bench":
@@ -233,6 +243,72 @@ func cmdExec(args []string, stdout, stderr io.Writer) int {
 		return serve.ExitInfra
 	case resp.Status != "ok":
 		return serve.ExitFaults
+	}
+	return serve.ExitOK
+}
+
+// cmdAudit fetches and renders the static-analysis report the daemon
+// holds (or derives on demand) for an uploaded module.
+func cmdAudit(args []string, stdout, stderr io.Writer) int {
+	fs, addr := newFlagSet("audit", stderr)
+	raw := fs.Bool("json", false, "print the raw report JSON instead of the rendering")
+	if err := fs.Parse(args); err != nil {
+		return serve.ExitInfra
+	}
+	if fs.NArg() != 1 {
+		fmt.Fprintln(stderr, "omnictl audit: exactly one module hash")
+		return serve.ExitInfra
+	}
+	cl := &netserve.Client{Base: *addr}
+	rep, err := cl.Audit(fs.Arg(0))
+	if err != nil {
+		return fail(stderr, err)
+	}
+	if *raw {
+		printJSON(stdout, rep)
+		return serve.ExitOK
+	}
+	fmt.Fprintf(stdout, "module  %s\n", rep.Hash)
+	fmt.Fprintf(stdout, "digest  %s\n", rep.Digest())
+	fmt.Fprintf(stdout, "insts   %d across %d functions, %d call edges\n",
+		rep.Insts, len(rep.Functions), len(rep.Calls))
+	if rep.Stack.Bounded {
+		fmt.Fprintf(stdout, "stack   bounded: %d bytes worst case\n", rep.Stack.Bytes)
+	} else {
+		fmt.Fprintf(stdout, "stack   UNBOUNDED (%s)", rep.Stack.Reason)
+		if len(rep.Stack.Cycle) > 0 {
+			fmt.Fprintf(stdout, ": %s", strings.Join(rep.Stack.Cycle, " -> "))
+		}
+		fmt.Fprintln(stdout)
+	}
+	fmt.Fprintf(stdout, "capabilities %s\n", strings.Join(rep.Capabilities, " "))
+	targets := make([]string, 0, len(rep.Cost))
+	for t := range rep.Cost {
+		targets = append(targets, t)
+	}
+	sort.Strings(targets)
+	for _, t := range targets {
+		c := rep.Cost[t]
+		ti := rep.Targets[t]
+		if c.Bounded {
+			fmt.Fprintf(stdout, "cost    %-6s <= %d cycles (%d native insts, %d blocks)\n",
+				t, c.Cycles, ti.Insts, ti.Blocks)
+		} else {
+			fmt.Fprintf(stdout, "cost    %-6s unbounded (%s; %d native insts, %d blocks)\n",
+				t, c.Reason, ti.Insts, ti.Blocks)
+		}
+	}
+	fmt.Fprintf(stdout, "%-20s %6s %10s %10s  %s\n", "function", "insts", "frame", "stack", "syscalls")
+	for _, f := range rep.Functions {
+		frame, stack := fmt.Sprintf("%d", f.FrameBytes), fmt.Sprintf("%d", f.StackBytes)
+		if f.FrameBytes < 0 {
+			frame = "?"
+		}
+		if f.StackBytes < 0 {
+			stack = "?"
+		}
+		fmt.Fprintf(stdout, "%-20s %6d %10s %10s  %s\n",
+			f.Name, f.Insts, frame, stack, strings.Join(f.Syscalls, " "))
 	}
 	return serve.ExitOK
 }

@@ -155,3 +155,49 @@ func TestInfraErrorsExitTwo(t *testing.T) {
 		t.Errorf("junk upload exit %d, stderr %q", code, stderr)
 	}
 }
+
+// The audit subcommand renders the daemon's static-analysis report:
+// stack proof, capability manifest, per-target cost bounds. A
+// recursive module is reported with its cycle named.
+func TestAuditCommand(t *testing.T) {
+	addr := testServer(t)
+	src := writeSrc(t, `
+int dig(int n) { if (n == 0) return 1; return dig(n - 1) * 2; }
+int main(void) { _print_int(dig(5)); return 0; }
+`)
+	omw := filepath.Join(t.TempDir(), "rec.omw")
+	if code, _, stderr := runCtl(t, "build", "-o", omw, src); code != 0 {
+		t.Fatalf("build: %s", stderr)
+	}
+	code, out, _ := runCtl(t, "upload", "-addr", addr, omw)
+	if code != 0 {
+		t.Fatal(out)
+	}
+	var up netserve.UploadResponse
+	if err := json.Unmarshal([]byte(out), &up); err != nil {
+		t.Fatal(err)
+	}
+	code, out, stderr := runCtl(t, "audit", "-addr", addr, up.Hash)
+	if code != 0 {
+		t.Fatalf("audit exit %d: %s", code, stderr)
+	}
+	for _, want := range []string{"UNBOUNDED", "dig -> dig", "print_int", "cost    mips", "digest"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("audit rendering missing %q:\n%s", want, out)
+		}
+	}
+	code, out, _ = runCtl(t, "audit", "-addr", addr, "-json", up.Hash)
+	if code != 0 {
+		t.Fatal(out)
+	}
+	var rep map[string]any
+	if err := json.Unmarshal([]byte(out), &rep); err != nil {
+		t.Fatalf("audit -json output: %v\n%s", err, out)
+	}
+	if rep["hash"] != up.Hash {
+		t.Fatalf("report names %v, want %s", rep["hash"], up.Hash)
+	}
+	if code, _, _ := runCtl(t, "audit", "-addr", addr, "cafebabe"); code != 2 {
+		t.Error("audit of unknown hash not an infra error")
+	}
+}

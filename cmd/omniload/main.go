@@ -14,6 +14,7 @@
 //	             [-mode closed|open] [-jobs N] [-seed N]
 //	             [-clients N] [-rate R] [-mix W=w,...] [-targets T=w,...]
 //	             [-scale N] [-deadline-ms N] [-prewarm] [-check] [-no-sfi]
+//	             [-audit off|warn|enforce]
 //	             [-allocs] [-out BENCH.json] [-quiet]
 //	omniload validate [-strict] BENCH.json
 //
@@ -46,6 +47,7 @@ import (
 	"time"
 
 	"omniware/internal/load"
+	"omniware/internal/netserve"
 	"omniware/internal/serve"
 )
 
@@ -131,6 +133,8 @@ func cmdRun(args []string, stdout, stderr io.Writer) int {
 	out := fs.String("out", "", "write the JSON report here (e.g. BENCH_0.json)")
 	workers := fs.Int("workers", 0, "in-process server workers (0 = GOMAXPROCS)")
 	queueCap := fs.Int("queue", 0, "in-process server admission queue cap (0 = default)")
+	auditMode := fs.String("audit", netserve.AuditOff,
+		"in-process server admission audit: off, warn or enforce (warn measures audit-on overhead without gating)")
 	quiet := fs.Bool("quiet", false, "suppress the human-readable summary")
 	if err := fs.Parse(args); err != nil {
 		return serve.ExitInfra
@@ -175,9 +179,17 @@ func cmdRun(args []string, stdout, stderr io.Writer) int {
 		Prewarm:    *prewarm,
 		Check:      *check,
 	}
+	if *auditMode != netserve.AuditOff {
+		cfg.Audit = *auditMode
+	}
+	bootOpts := load.BootOpts{
+		Workers:  *workers,
+		QueueCap: *queueCap,
+		Audit:    netserve.AuditConfig{Mode: *auditMode},
+	}
 	switch {
 	case *clusterN > 0:
-		b, err := load.BootCluster(*clusterN, load.BootOpts{Workers: *workers, QueueCap: *queueCap})
+		b, err := load.BootCluster(*clusterN, bootOpts)
 		if err != nil {
 			return fail(stderr, err)
 		}
@@ -186,7 +198,7 @@ func cmdRun(args []string, stdout, stderr io.Writer) int {
 		fmt.Fprintf(stderr, "omniload: booted in-process %d-node cluster at %s\n",
 			*clusterN, strings.Join(b.Addrs, " "))
 	case cfg.Addr == "" && len(cfg.Addrs) == 0:
-		b, err := load.Boot(load.BootOpts{Workers: *workers, QueueCap: *queueCap})
+		b, err := load.Boot(bootOpts)
 		if err != nil {
 			return fail(stderr, err)
 		}

@@ -10,6 +10,9 @@
 //	           [-cache-mb n] [-cache-dir path]
 //	           [-rate r] [-burst n] [-max-modules n]
 //	           [-deadline-ms n] [-max-deadline-ms n]
+//	           [-audit off|warn|enforce]
+//	           [-audit-max-stack bytes] [-audit-max-cost cycles]
+//	           [-audit-caps name,name,...]
 //	           [-debug-addr host:port]
 //	           [-cluster-self URL -cluster-members URL,URL,...]
 //	           [-cluster-secret s] [-cluster-fanout n] [-cluster-hot-k n]
@@ -82,6 +85,10 @@ func run(args []string, stderr *os.File) int {
 	maxModules := fs.Int("max-modules", netserve.DefaultMaxModules, "uploaded-module registry capacity")
 	deadlineMs := fs.Int("deadline-ms", int(netserve.DefaultDeadline/time.Millisecond), "default per-request deadline")
 	maxDeadlineMs := fs.Int("max-deadline-ms", int(netserve.DefaultMaxDeadline/time.Millisecond), "cap on client-requested deadlines")
+	auditMode := fs.String("audit", netserve.AuditOff, "admission-time static-analysis gate: off, warn or enforce")
+	auditMaxStack := fs.Int64("audit-max-stack", 0, "cap on the proven worst-case stack depth in bytes (0 = no cap)")
+	auditMaxCost := fs.Uint64("audit-max-cost", 0, "cap on the whole-module static cycle bound per target (0 = no cap)")
+	auditCaps := fs.String("audit-caps", "", "comma-separated host-call allow-list (empty = unrestricted)")
 	debugAddr := fs.String("debug-addr", "", "pprof listener address (empty = disabled)")
 	clusterSelf := fs.String("cluster-self", "", "this node's base URL as peers reach it (e.g. http://10.0.0.1:8080)")
 	clusterMembers := fs.String("cluster-members", "", "comma-separated member base URLs, including self")
@@ -169,7 +176,23 @@ func run(args []string, stderr *os.File) int {
 		Burst:       *burst,
 		Deadline:    time.Duration(*deadlineMs) * time.Millisecond,
 		MaxDeadline: time.Duration(*maxDeadlineMs) * time.Millisecond,
-		Logf:        logf,
+		Audit: netserve.AuditConfig{
+			Mode:          *auditMode,
+			MaxStackBytes: *auditMaxStack,
+			MaxCostCycles: *auditMaxCost,
+		},
+		Logf: logf,
+	}
+	if *auditCaps != "" {
+		for _, c := range strings.Split(*auditCaps, ",") {
+			if c = strings.TrimSpace(c); c != "" {
+				netCfg.Audit.Capabilities = append(netCfg.Audit.Capabilities, c)
+			}
+		}
+	}
+	if netCfg.Audit.Mode != netserve.AuditOff {
+		logf("audit gate: mode=%s max-stack=%d max-cost=%d caps=%v",
+			netCfg.Audit.Mode, netCfg.Audit.MaxStackBytes, netCfg.Audit.MaxCostCycles, netCfg.Audit.Capabilities)
 	}
 	if peers != nil {
 		// Assigned only when non-nil: a typed nil in the interface field

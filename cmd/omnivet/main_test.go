@@ -1,0 +1,57 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+// vet runs the driver against the testdata module and returns exit
+// code plus both streams.
+func vet(t *testing.T, patterns ...string) (int, string, string) {
+	t.Helper()
+	var stdout, stderr strings.Builder
+	code := runIn("testdata/mod", patterns, &stdout, &stderr)
+	return code, stdout.String(), stderr.String()
+}
+
+func TestFindsViolations(t *testing.T) {
+	code, out, errs := vet(t, "./...")
+	if code != 1 {
+		t.Fatalf("exit = %d, want 1\nstdout:\n%s\nstderr:\n%s", code, out, errs)
+	}
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != 5 {
+		t.Fatalf("got %d findings, want 5:\n%s", len(lines), out)
+	}
+	for _, want := range []string{
+		"string-matching on error text",
+		"errors.Is",
+		"core.ErrBudget",
+		"non-atomic use of metrics counter metrics.Metrics.JobsRun",
+		"non-atomic use of metrics counter metrics.Metrics.Counts",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("findings missing %q:\n%s", want, out)
+		}
+	}
+	// Two error-text findings, three counter findings; all in bad.go.
+	if n := strings.Count(out, "string-matching"); n != 2 {
+		t.Errorf("string-matching findings = %d, want 2:\n%s", n, out)
+	}
+	if n := strings.Count(out, "non-atomic"); n != 3 {
+		t.Errorf("non-atomic findings = %d, want 3:\n%s", n, out)
+	}
+	if strings.Contains(out, "metrics.go") {
+		t.Errorf("legal access forms in the metrics stub were flagged:\n%s", out)
+	}
+}
+
+func TestCleanPackagePasses(t *testing.T) {
+	code, out, errs := vet(t, "./internal/serve/metrics")
+	if code != 0 {
+		t.Fatalf("exit = %d, want 0\nstdout:\n%s\nstderr:\n%s", code, out, errs)
+	}
+	if out != "" {
+		t.Fatalf("unexpected findings:\n%s", out)
+	}
+}

@@ -1,0 +1,3 @@
+module omniware
+
+go 1.22

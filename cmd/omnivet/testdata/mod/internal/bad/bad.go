@@ -1,0 +1,39 @@
+// Package bad collects one instance of every violation omnivet
+// reports, plus nearby legal forms that must stay unflagged.
+package bad
+
+import (
+	"errors"
+	"strings"
+
+	"omniware/internal/serve/metrics"
+)
+
+var errBudget = errors.New("budget exhausted")
+
+// MatchByText has both error-text matching violations.
+func MatchByText(err error) bool {
+	if strings.Contains(err.Error(), "budget") { // want: string-matching
+		return true
+	}
+	if err.Error() == "interrupted" { // want: string-matching
+		return true
+	}
+	// Legal: identity comparison and matching on plain strings.
+	if errors.Is(err, errBudget) {
+		return true
+	}
+	return strings.Contains("haystack", "needle")
+}
+
+// CounterMisuse has the non-atomic counter uses.
+func CounterMisuse(m *metrics.Metrics) uint64 {
+	v := m.JobsRun // want: non-atomic (copies the counter)
+	load := m.Counts[1].Load
+	for _, c := range m.Counts { // want: non-atomic (copies the array)
+		_ = c
+	}
+	// Legal: atomic method calls.
+	m.JobsRun.Add(1)
+	return v.Load() + load()
+}

@@ -1,0 +1,223 @@
+package audit
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"omniware/internal/cc"
+	"omniware/internal/core"
+	"omniware/internal/coretest"
+)
+
+func compile(t *testing.T, src string) *Report {
+	t.Helper()
+	mod, err := core.BuildC([]core.SourceFile{{Name: "p.c", Src: src}}, cc.Options{OptLevel: 2})
+	if err != nil {
+		t.Fatalf("compile: %v", err)
+	}
+	rep, err := Analyze(mod)
+	if err != nil {
+		t.Fatalf("analyze: %v", err)
+	}
+	return rep
+}
+
+// A loop-free, recursion-free call chain: the stack bound must be
+// finite and the cost bound must exist on every target.
+const chainSrc = `
+int leaf(int x) { return x + 1; }
+int mid(int x) { int buf[8]; buf[0] = x; return leaf(buf[0]) + 2; }
+int top(int x) { int buf[16]; buf[1] = x; return mid(buf[1]); }
+int main(void) { _print_int(top(3)); return 0; }
+`
+
+func TestChainBounded(t *testing.T) {
+	rep := compile(t, chainSrc)
+	if !rep.Stack.Bounded {
+		t.Fatalf("stack unbounded: reason=%q cycle=%v", rep.Stack.Reason, rep.Stack.Cycle)
+	}
+	if rep.Stack.Bytes <= 0 {
+		t.Fatalf("stack bound %d, want > 0", rep.Stack.Bytes)
+	}
+	for name, c := range rep.Cost {
+		if !c.Bounded {
+			t.Errorf("%s: cost unbounded (%s), want bounded", name, c.Reason)
+		} else if c.Cycles == 0 {
+			t.Errorf("%s: zero cost bound", name)
+		}
+	}
+	found := false
+	for _, c := range rep.Capabilities {
+		if c == "print_int" {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("capabilities %v missing print_int", rep.Capabilities)
+	}
+}
+
+func TestRecursionNamed(t *testing.T) {
+	rep := compile(t, `
+int fib(int n) { return n < 2 ? n : fib(n - 1) + fib(n - 2); }
+int main(void) { return fib(10); }
+`)
+	if rep.Stack.Bounded {
+		t.Fatalf("recursive module reported bounded stack %d", rep.Stack.Bytes)
+	}
+	if rep.Stack.Reason != ReasonRecursion {
+		t.Fatalf("reason %q, want %q", rep.Stack.Reason, ReasonRecursion)
+	}
+	if !containsName(rep.Stack.Cycle, "fib") {
+		t.Fatalf("cycle %v does not name fib", rep.Stack.Cycle)
+	}
+	vs := rep.Violations(Limits{})
+	if len(vs) != 1 || vs[0].Reason != ReasonRecursion {
+		t.Fatalf("violations %v, want exactly one recursion", vs)
+	}
+	if !strings.Contains(vs[0].Detail, "fib") {
+		t.Fatalf("violation detail %q does not name the cycle", vs[0].Detail)
+	}
+}
+
+func TestMutualRecursion(t *testing.T) {
+	rep := compile(t, `
+int odd(int n);
+int even(int n) { return n == 0 ? 1 : odd(n - 1); }
+int odd(int n) { return n == 0 ? 0 : even(n - 1); }
+int main(void) { return even(9); }
+`)
+	if rep.Stack.Bounded || rep.Stack.Reason != ReasonRecursion {
+		t.Fatalf("stack = %+v, want recursion", rep.Stack)
+	}
+	if !containsName(rep.Stack.Cycle, "even") || !containsName(rep.Stack.Cycle, "odd") {
+		t.Fatalf("cycle %v does not name even and odd", rep.Stack.Cycle)
+	}
+}
+
+func TestLoopCostUnboundedStackBounded(t *testing.T) {
+	rep := compile(t, `
+int main(void) {
+	int i, s = 0;
+	for (i = 0; i < 100; i++) s += i;
+	return s & 0xff;
+}
+`)
+	if !rep.Stack.Bounded {
+		t.Fatalf("stack = %+v, want bounded", rep.Stack)
+	}
+	for name, c := range rep.Cost {
+		if c.Bounded {
+			t.Errorf("%s: looping program reported bounded cost %d", name, c.Cycles)
+		}
+	}
+	// Without a cost cap, loops are not a violation.
+	if vs := rep.Violations(Limits{MaxStackBytes: 1 << 20}); len(vs) != 0 {
+		t.Fatalf("violations %v, want none", vs)
+	}
+	// With a cost cap, they are.
+	vs := rep.Violations(Limits{MaxCostCycles: 1000})
+	if len(vs) == 0 || vs[0].Reason != ReasonCost {
+		t.Fatalf("violations %v, want cost", vs)
+	}
+}
+
+func TestIndirectCallBounded(t *testing.T) {
+	rep := compile(t, `
+int inc(int x) { return x + 1; }
+int dec(int x) { return x - 1; }
+int (*table[2])(int) = { inc, dec };
+int main(void) { return table[0](table[1](5)); }
+`)
+	if len(rep.AddressTaken) < 2 {
+		t.Fatalf("address-taken %v, want at least inc and dec", rep.AddressTaken)
+	}
+	indirect := 0
+	for _, e := range rep.Calls {
+		if e.Indirect && !e.Tail {
+			indirect++
+		}
+	}
+	if indirect == 0 {
+		t.Fatalf("no indirect call edges in %v", rep.Calls)
+	}
+	if !rep.Stack.Bounded {
+		t.Fatalf("stack = %+v, want bounded (indirect targets are leaf functions)", rep.Stack)
+	}
+}
+
+func TestStackCapViolation(t *testing.T) {
+	rep := compile(t, chainSrc)
+	vs := rep.Violations(Limits{MaxStackBytes: 8})
+	if len(vs) != 1 || vs[0].Reason != ReasonStack {
+		t.Fatalf("violations %v, want one stack violation", vs)
+	}
+	if !strings.Contains(vs[0].Detail, "exceeds cap 8") {
+		t.Fatalf("detail %q does not state the cap", vs[0].Detail)
+	}
+}
+
+func TestCapabilityGate(t *testing.T) {
+	rep := compile(t, `int main(void) { _putc('x'); return 0; }`)
+	if vs := rep.Violations(Limits{Capabilities: rep.Capabilities}); len(vs) != 0 {
+		t.Fatalf("violations %v under exact allow-list, want none", vs)
+	}
+	vs := rep.Violations(Limits{Capabilities: []string{"exit"}})
+	if len(vs) != 1 || vs[0].Reason != ReasonCapability {
+		t.Fatalf("violations %v, want one capability violation", vs)
+	}
+	if !strings.Contains(vs[0].Detail, "putc") {
+		t.Fatalf("detail %q does not name putc", vs[0].Detail)
+	}
+}
+
+// Every example module gets a deterministic report on all four targets:
+// two runs produce byte-identical canonical JSON.
+func TestExamplesDeterministic(t *testing.T) {
+	for _, c := range coretest.ExampleCases() {
+		c := c
+		t.Run(c.Name, func(t *testing.T) {
+			mod, err := core.BuildC(c.Files, c.Opts)
+			if err != nil {
+				t.Fatalf("compile: %v", err)
+			}
+			r1, err := Analyze(mod)
+			if err != nil {
+				t.Fatalf("analyze: %v", err)
+			}
+			r2, err := Analyze(mod)
+			if err != nil {
+				t.Fatalf("analyze again: %v", err)
+			}
+			b1, _ := json.Marshal(r1)
+			b2, _ := json.Marshal(r2)
+			if string(b1) != string(b2) {
+				t.Fatalf("report not deterministic:\n%s\n%s", b1, b2)
+			}
+			if r1.Digest() != r2.Digest() {
+				t.Fatalf("digest not deterministic")
+			}
+			if len(r1.Targets) != 4 {
+				t.Fatalf("targets %v, want 4", r1.Targets)
+			}
+			for name, ti := range r1.Targets {
+				if ti.Insts == 0 || ti.Blocks == 0 {
+					t.Errorf("%s: empty target info %+v", name, ti)
+				}
+			}
+			if len(r1.Functions) == 0 || len(r1.Capabilities) == 0 {
+				t.Fatalf("empty report: %d functions, %d capabilities", len(r1.Functions), len(r1.Capabilities))
+			}
+		})
+	}
+}
+
+func containsName(names []string, want string) bool {
+	for _, n := range names {
+		if n == want {
+			return true
+		}
+	}
+	return false
+}

@@ -31,6 +31,8 @@ type BootConfig struct {
 	Burst              float64 // per-client burst allowance
 	Verify             mcache.VerifyMode
 	PeerSpotCheckEvery int
+	// Audit is every node's admission-gate policy (zero value = off).
+	Audit netserve.AuditConfig
 	// Secret is the shared peer-auth secret every node is configured
 	// with; empty generates a random one (the members are all in this
 	// process, so nobody else needs to know it).
@@ -159,6 +161,7 @@ func BootLocal(cfg BootConfig) (*Local, error) {
 			PeerAuth: cfg.Secret,
 			Rate:     cfg.Rate,
 			Burst:    cfg.Burst,
+			Audit:    cfg.Audit,
 			Logf:     cfg.Logf,
 		})
 		if err != nil {

@@ -271,9 +271,10 @@ func (p *Peers) Quarantined(key, peer, reason string, err error) {
 // content address is checked here (and again by the registering
 // handler); a peer serving different bytes under the name is
 // quarantined and the next member is tried. The serving peer's span
-// subtree and address come back with the blob so the origin can
-// stitch the remote work into its own trace.
-func (p *Peers) FetchModule(hash string, org mcache.PeerOrigin) ([]byte, *trace.Span, string, bool) {
+// subtree, address, and advertised audit digest come back with the
+// blob — the digest is advisory only; the registering handler
+// re-derives the audit and compares.
+func (p *Peers) FetchModule(hash string, org mcache.PeerOrigin) ([]byte, *trace.Span, string, string, bool) {
 	tried := map[string]bool{p.cfg.Self: true}
 	order := append(p.Owners(hash), p.ring.Members()...)
 	for _, peer := range order {
@@ -282,7 +283,7 @@ func (p *Peers) FetchModule(hash string, org mcache.PeerOrigin) ([]byte, *trace.
 		}
 		tried[peer] = true
 		st := p.stats[peer]
-		blob, remote, err := p.client(peer).PeerModule(hash, p.cfg.Self, org)
+		blob, remote, digest, err := p.client(peer).PeerModule(hash, p.cfg.Self, org)
 		if err != nil {
 			if !isMiss(err) {
 				st.errors.Add(1)
@@ -299,9 +300,9 @@ func (p *Peers) FetchModule(hash string, org mcache.PeerOrigin) ([]byte, *trace.
 			p.cfg.Logf("cluster: peer %s served module %s under name %s (quarantined, %s)", peer, got, hash, mcache.QuarantineHash)
 			continue
 		}
-		return blob, remote, peer, true
+		return blob, remote, peer, digest, true
 	}
-	return nil, nil, "", false
+	return nil, nil, "", "", false
 }
 
 // Start binds the engine to the node's cache and, unless disabled,

@@ -48,6 +48,43 @@ const (
 	NumSyscalls   = 10
 )
 
+// syscallNames indexes the host API by number; these names are the
+// capability vocabulary the audit manifest and admission allow-lists
+// speak, so they are part of the wire format and must stay stable.
+var syscallNames = [NumSyscalls]string{
+	SysExit:       "exit",
+	SysPutc:       "putc",
+	SysPuts:       "puts",
+	SysPrintInt:   "print_int",
+	SysPrintUint:  "print_uint",
+	SysSbrk:       "sbrk",
+	SysClock:      "clock",
+	SysPrintFlt:   "print_flt",
+	SysWrite:      "write",
+	SysSetHandler: "set_handler",
+}
+
+// SyscallName names syscall num for reports and manifests. Unknown
+// numbers (statically present in a module but refused at run time)
+// render as "sys?N".
+func SyscallName(num int) string {
+	if num >= 0 && num < NumSyscalls {
+		return syscallNames[num]
+	}
+	return fmt.Sprintf("sys?%d", num)
+}
+
+// SyscallByName inverts SyscallName for admission allow-lists;
+// ok is false for names outside the host API.
+func SyscallByName(name string) (int, bool) {
+	for i, n := range syscallNames {
+		if n == name {
+			return i, true
+		}
+	}
+	return 0, false
+}
+
 // CPU is the register-file view a syscall needs, implemented by the
 // interpreter and by each target simulator (which maps OmniVM register
 // numbers to its own state).

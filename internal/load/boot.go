@@ -27,7 +27,11 @@ type Booted struct {
 type BootOpts struct {
 	Workers  int
 	QueueCap int
-	Logf     func(format string, args ...any)
+	// Audit is the admission-gate policy every booted node runs with
+	// (zero value = off) — how a load run measures audit-on admission
+	// overhead against the same workload.
+	Audit netserve.AuditConfig
+	Logf  func(format string, args ...any)
 }
 
 // Boot starts the instance. The per-client rate limiter is opened
@@ -42,6 +46,7 @@ func Boot(opts BootOpts) (*Booted, error) {
 		Server: pool,
 		Rate:   1e9,
 		Burst:  1e9,
+		Audit:  opts.Audit,
 		Logf:   opts.Logf,
 	})
 	if err != nil {

@@ -76,6 +76,7 @@ func BootCluster(n int, opts BootOpts) (*BootedCluster, error) {
 		QueueCap: opts.QueueCap,
 		Rate:     1e9,
 		Burst:    1e9,
+		Audit:    opts.Audit,
 		Logf:     opts.Logf,
 	})
 	if err != nil {

@@ -54,6 +54,11 @@ type Config struct {
 	Prewarm    bool // run one untimed job per distinct (workload, target) first
 	Check      bool // interpreter parity check on every job (CI smoke)
 
+	// Audit records the server's admission-gate mode in the report's
+	// config section ("" when off). Informational: the gate itself is
+	// a server-side setting (BootOpts.Audit for in-process boots).
+	Audit string
+
 	RetryMax   int           // retry budget per job on 429/503 (default 16)
 	RetryDelay time.Duration // backoff cap (default 250ms; server hint honored below it)
 }
@@ -220,6 +225,14 @@ func Run(cfg Config) (*Report, error) {
 		snapshot = ncl.Metrics
 	}
 
+	// Snapshot before the uploads: admission (wire decode, the audit
+	// gate) happens here, ahead of the serving interval the main
+	// delta describes, so the audit section needs its own baseline.
+	setup, err := snapshot()
+	if err != nil {
+		return nil, fmt.Errorf("load: metrics at setup: %w", err)
+	}
+
 	// Upload each workload the schedule actually uses.
 	hashes := map[string]string{}
 	for _, s := range specs {
@@ -282,6 +295,7 @@ func Run(cfg Config) (*Report, error) {
 			SFI:        !cfg.NoSFI,
 			Prewarm:    cfg.Prewarm,
 			DeadlineMs: cfg.DeadlineMs,
+			Audit:      cfg.Audit,
 			Workloads:  cfg.Workloads,
 			Targets:    cfg.Targets,
 		},
@@ -302,6 +316,18 @@ func Run(cfg Config) (*Report, error) {
 			ColdLatency: latStats(st.coldLat.Snapshot()),
 		},
 		Server: Delta(*before, *after),
+	}
+	// The main server delta starts after the uploads and prewarm so
+	// translations/stage quantiles describe the serving phase only —
+	// but the admission audit runs at upload time, inside that
+	// excluded window. Graft the audit section (counters and the
+	// audit stage) from a whole-run delta instead.
+	ad := Delta(*setup, *after)
+	r.Server.AuditPass = ad.AuditPass
+	r.Server.AuditWarns = ad.AuditWarns
+	r.Server.AuditRejects = ad.AuditRejects
+	if st, ok := ad.Stages["audit"]; ok {
+		r.Server.Stages["audit"] = st
 	}
 	if cfg.Mode == "closed" {
 		r.Config.Clients = cfg.Clients

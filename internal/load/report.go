@@ -27,15 +27,20 @@ import (
 
 // Schema identifies the report layout. Bump it when a field changes
 // meaning; consumers (CI validation, the omnictl formatter) refuse
-// versions they do not know. v2 added the cluster peer-health section
-// (per-peer quarantine attribution with reasons, fleet failover
-// counts) to ServerDelta.
-const Schema = "omniload/v2"
+// versions they do not know. v3 added the admission-audit section
+// (gate mode in the config, pass/warn/reject interval counters in
+// the server delta).
+const Schema = "omniload/v3"
 
-// SchemaV1 is the previous layout — a strict subset of v2 — still
-// accepted by Validate so checked-in BENCH artifacts from earlier
-// runs keep validating.
-const SchemaV1 = "omniload/v1"
+// SchemaV2 and SchemaV1 are the previous layouts — strict subsets of
+// v3 — still accepted by Validate so checked-in BENCH artifacts from
+// earlier runs keep validating. v2 added the cluster peer-health
+// section (per-peer quarantine attribution with reasons, fleet
+// failover counts) to ServerDelta.
+const (
+	SchemaV2 = "omniload/v2"
+	SchemaV1 = "omniload/v1"
+)
 
 // Report is one load run, serialized as BENCH_<n>.json.
 type Report struct {
@@ -58,6 +63,7 @@ type ConfigSummary struct {
 	SFI        bool               `json:"sfi"`
 	Prewarm    bool               `json:"prewarm"`
 	DeadlineMs int                `json:"deadline_ms,omitempty"`
+	Audit      string             `json:"audit,omitempty"` // admission-gate mode ("" = off)
 	Workloads  map[string]float64 `json:"workloads"`
 	Targets    map[string]float64 `json:"targets"`
 }
@@ -152,6 +158,13 @@ type ServerDelta struct {
 	// the run, with quarantines split by refusal reason.
 	PeerHealth []PeerDelta `json:"peer_health,omitempty"`
 
+	// Admission-audit interval counters (v3), summed over members:
+	// how the static-analysis gate ruled on the run's uploads, with
+	// warn/reject splits by reason. All zero when the gate is off.
+	AuditPass    uint64            `json:"audit_pass,omitempty"`
+	AuditWarns   map[string]uint64 `json:"audit_warns,omitempty"`
+	AuditRejects map[string]uint64 `json:"audit_rejects,omitempty"`
+
 	AppInsts     uint64  `json:"app_insts"`
 	SandboxInsts uint64  `json:"sandbox_insts"`
 	SchedInsts   uint64  `json:"sched_insts"`
@@ -208,6 +221,24 @@ func Delta(before, after metrics.Snapshot) ServerDelta {
 
 		CachePeerHits:        sub(after.CachePeerHits, before.CachePeerHits),
 		CachePeerQuarantines: sub(after.CachePeerQuarantines, before.CachePeerQuarantines),
+
+		AuditPass: sub(after.AuditPass, before.AuditPass),
+	}
+	for reason, v := range after.AuditWarns {
+		if dv := sub(v, before.AuditWarns[reason]); dv > 0 {
+			if d.AuditWarns == nil {
+				d.AuditWarns = map[string]uint64{}
+			}
+			d.AuditWarns[reason] = dv
+		}
+	}
+	for reason, v := range after.AuditRejects {
+		if dv := sub(v, before.AuditRejects[reason]); dv > 0 {
+			if d.AuditRejects == nil {
+				d.AuditRejects = map[string]uint64{}
+			}
+			d.AuditRejects[reason] = dv
+		}
 	}
 	warm := d.CacheHits + d.CacheCoalesced + d.CacheDiskHits + d.CachePeerHits
 	if total := warm + d.CacheMisses; total > 0 {
@@ -279,8 +310,8 @@ func Delta(before, after metrics.Snapshot) ServerDelta {
 func Validate(r *Report) error {
 	var errs []string
 	bad := func(format string, args ...any) { errs = append(errs, fmt.Sprintf(format, args...)) }
-	if r.Schema != Schema && r.Schema != SchemaV1 {
-		bad("schema %q, want %q (or legacy %q)", r.Schema, Schema, SchemaV1)
+	if r.Schema != Schema && r.Schema != SchemaV2 && r.Schema != SchemaV1 {
+		bad("schema %q, want %q (or legacy %q, %q)", r.Schema, Schema, SchemaV2, SchemaV1)
 	}
 	if r.Load.Jobs == 0 {
 		bad("no jobs recorded")
@@ -375,6 +406,16 @@ func Format(r *Report) string {
 	}
 	fmt.Fprintf(&b, "  sandbox      %.2f%% of %d insts\n", r.Server.SandboxPct,
 		r.Server.AppInsts+r.Server.SandboxInsts+r.Server.SchedInsts)
+	if r.Config.Audit != "" {
+		line := fmt.Sprintf("  audit        mode=%s pass=%d", r.Config.Audit, r.Server.AuditPass)
+		for _, reason := range sortedKeys(r.Server.AuditWarns) {
+			line += fmt.Sprintf(" warn_%s=%d", reason, r.Server.AuditWarns[reason])
+		}
+		for _, reason := range sortedKeys(r.Server.AuditRejects) {
+			line += fmt.Sprintf(" reject_%s=%d", reason, r.Server.AuditRejects[reason])
+		}
+		b.WriteString(line + "\n")
+	}
 	b.WriteString(FormatServer(r.Server))
 	for _, a := range r.Allocs {
 		fmt.Fprintf(&b, "  allocs       %-22s %d allocs/op  %d B/op  %d ns/op\n",

@@ -1,0 +1,115 @@
+package diskstore
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io/fs"
+	"os"
+	"path/filepath"
+)
+
+// Audit entries live beside translations, keyed by module hash: the
+// canonical JSON of an audit.Report under the same tamper-evident
+// envelope as programs (magic, key echo, payload checksum). Like a
+// translation, a stored audit is never trusted on read-back —
+// internal/mcache re-derives the report from the module and compares;
+// a mismatch quarantines the stored blob and keeps the derived one.
+const (
+	auditMagic = "OWA1"
+	auditsDir  = "audits"
+)
+
+func (s *Store) auditPath(key string) string {
+	return filepath.Join(s.root, auditsDir, fileName(key))
+}
+
+// PutAudit persists the canonical audit blob for key (a module hash).
+func (s *Store) PutAudit(key string, blob []byte) error {
+	if len(key) == 0 || len(key) > maxKeyLen {
+		return fmt.Errorf("diskstore: audit key length %d out of range", len(key))
+	}
+	sum := sha256.Sum256(blob)
+	buf := make([]byte, 0, len(auditMagic)+4+len(key)+len(sum)+4+len(blob))
+	buf = append(buf, auditMagic...)
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(len(key)))
+	buf = append(buf, key...)
+	buf = append(buf, sum[:]...)
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(len(blob)))
+	buf = append(buf, blob...)
+
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	dir := filepath.Join(s.root, auditsDir)
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return fmt.Errorf("diskstore: %w", err)
+	}
+	tmp, err := os.CreateTemp(dir, ".put-*")
+	if err != nil {
+		return fmt.Errorf("diskstore: %w", err)
+	}
+	defer os.Remove(tmp.Name())
+	if _, err := tmp.Write(buf); err != nil {
+		tmp.Close()
+		return fmt.Errorf("diskstore: %w", err)
+	}
+	if err := tmp.Close(); err != nil {
+		return fmt.Errorf("diskstore: %w", err)
+	}
+	if err := os.Rename(tmp.Name(), s.auditPath(key)); err != nil {
+		return fmt.Errorf("diskstore: %w", err)
+	}
+	return nil
+}
+
+// GetAudit reads the stored audit blob for key. ErrNotFound for absent
+// keys; ErrCorrupt-wrapped for integrity failures.
+func (s *Store) GetAudit(key string) ([]byte, error) {
+	s.mu.Lock()
+	raw, err := os.ReadFile(s.auditPath(key))
+	s.mu.Unlock()
+	if err != nil {
+		if errors.Is(err, fs.ErrNotExist) {
+			return nil, ErrNotFound
+		}
+		return nil, fmt.Errorf("diskstore: %w", err)
+	}
+	if len(raw) < len(auditMagic)+4 || string(raw[:4]) != auditMagic {
+		return nil, fmt.Errorf("%w: bad audit magic", ErrCorrupt)
+	}
+	rest := raw[4:]
+	keyLen := int(binary.LittleEndian.Uint32(rest))
+	rest = rest[4:]
+	if keyLen <= 0 || keyLen > maxKeyLen || keyLen > len(rest)-36 {
+		return nil, fmt.Errorf("%w: audit key length %d", ErrCorrupt, keyLen)
+	}
+	if string(rest[:keyLen]) != key {
+		return nil, fmt.Errorf("%w: audit entry holds key %q", ErrCorrupt, rest[:keyLen])
+	}
+	rest = rest[keyLen:]
+	var sum [32]byte
+	copy(sum[:], rest)
+	rest = rest[32:]
+	payLen := int(binary.LittleEndian.Uint32(rest))
+	rest = rest[4:]
+	if payLen != len(rest) {
+		return nil, fmt.Errorf("%w: audit payload is %d bytes, header promises %d", ErrCorrupt, len(rest), payLen)
+	}
+	if sha256.Sum256(rest) != sum {
+		return nil, fmt.Errorf("%w: audit payload checksum mismatch", ErrCorrupt)
+	}
+	return rest, nil
+}
+
+// QuarantineAudit moves the stored audit for key aside for inspection.
+func (s *Store) QuarantineAudit(key string) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	src := s.auditPath(key)
+	dst := filepath.Join(s.root, QuarantineDir, "audit-"+fileName(key))
+	if err := os.Rename(src, dst); err != nil && !errors.Is(err, fs.ErrNotExist) {
+		return fmt.Errorf("diskstore: quarantine audit: %w", err)
+	}
+	return nil
+}

@@ -30,6 +30,7 @@ import (
 	"sync"
 	"sync/atomic"
 
+	"omniware/internal/audit"
 	"omniware/internal/mcache/diskstore"
 	"omniware/internal/ovm"
 	"omniware/internal/sfi"
@@ -116,6 +117,11 @@ type Stats struct {
 	PeerQuarantines uint64 // peer candidates refused by the admission gate or spot check
 	SpotChecks      uint64 // peer admissions sampled for retranslation equality
 	SpotCheckFails  uint64 // spot checks where the peer's program was not the local translation
+
+	Audits           uint64 // audit pipeline runs (memoization misses)
+	AuditHits        uint64 // audit reports served memoized
+	AuditDiskWrites  uint64 // audit reports written through to the persistent tier
+	AuditQuarantines uint64 // stored audits that disagreed with re-derivation and were set aside
 }
 
 // ModuleHash returns the content address of a module: the hex SHA-256
@@ -193,6 +199,8 @@ type counters struct {
 	diskHits, diskWrites, diskQuarantines atomic.Uint64
 	peerHits, peerQuarantines             atomic.Uint64
 	peerSpotChecks, peerSpotCheckFails    atomic.Uint64
+	audits, auditHits                     atomic.Uint64
+	auditDiskWrites, auditQuarantines     atomic.Uint64
 }
 
 // Cache is a content-addressed translation cache with LRU eviction by
@@ -215,6 +223,9 @@ type Cache struct {
 	spotEvery int
 	spotClock atomic.Uint64
 	logf      func(format string, args ...any)
+
+	auditMu sync.Mutex
+	audits  map[string]*audit.Report // module hash -> memoized report
 }
 
 // shardFor hashes k (FNV-1a, inlined to stay allocation-free) to its
@@ -278,6 +289,7 @@ func NewWith(cfg Config) *Cache {
 		peer:      cfg.Peer,
 		spotEvery: cfg.PeerSpotCheckEvery,
 		logf:      cfg.Logf,
+		audits:    map[string]*audit.Report{},
 	}
 	for i := range c.shards {
 		c.shards[i].byKey = map[string]*list.Element{}
@@ -596,7 +608,13 @@ func (c *Cache) Stats() Stats {
 		PeerQuarantines: c.ctr.peerQuarantines.Load(),
 		SpotChecks:      c.ctr.peerSpotChecks.Load(),
 		SpotCheckFails:  c.ctr.peerSpotCheckFails.Load(),
-		CodeBytes:       c.bytes.Load(),
+
+		Audits:           c.ctr.audits.Load(),
+		AuditHits:        c.ctr.auditHits.Load(),
+		AuditDiskWrites:  c.ctr.auditDiskWrites.Load(),
+		AuditQuarantines: c.ctr.auditQuarantines.Load(),
+
+		CodeBytes: c.bytes.Load(),
 	}
 	for i := range c.shards {
 		sh := &c.shards[i]

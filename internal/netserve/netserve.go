@@ -92,6 +92,10 @@ type Config struct {
 	Deadline       time.Duration // default per-request deadline
 	MaxDeadline    time.Duration // cap on client-requested deadlines
 	Logf           func(format string, args ...any)
+	// Audit is the admission-time static-analysis gate (see audit.go).
+	// The zero value leaves gating off; GET /v1/audit/{hash} works
+	// regardless.
+	Audit AuditConfig
 	// Peer, when non-nil, enables cluster mode: the /v1/peer/*
 	// endpoints (serving this node's modules and verified translations
 	// to its peers) and the exec-miss module fetch through the hooks.
@@ -128,6 +132,7 @@ type modEntry struct {
 	mod    *ovm.Module
 	blob   []byte
 	decode time.Duration
+	audit  time.Duration // admission-audit cost, backdated into exec traces
 }
 
 // New builds a Handler over cfg.Server.
@@ -137,6 +142,9 @@ func New(cfg Config) (*Handler, error) {
 	}
 	if cfg.Peer != nil && cfg.PeerAuth == "" {
 		return nil, errors.New("netserve: cluster mode requires Config.PeerAuth (the shared peer secret)")
+	}
+	if err := cfg.Audit.validate(); err != nil {
+		return nil, err
 	}
 	if cfg.MaxModules <= 0 {
 		cfg.MaxModules = DefaultMaxModules
@@ -169,6 +177,7 @@ func New(cfg Config) (*Handler, error) {
 	h.mux.HandleFunc("POST /v1/modules", h.handleUpload)
 	h.mux.HandleFunc("POST /v1/modules/batch", h.handleUploadBatch)
 	h.mux.HandleFunc("POST /v1/exec", h.handleExec)
+	h.mux.HandleFunc("GET /v1/audit/{hash}", h.handleAuditGet)
 	h.mux.HandleFunc("GET /v1/metrics", h.handleMetrics)
 	h.mux.HandleFunc("GET /v1/trace/recent", h.handleTraceRecent)
 	h.mux.HandleFunc("GET /v1/trace/slow", h.handleTraceSlow)
@@ -266,6 +275,10 @@ type UploadResponse struct {
 	BSSSize  uint32 `json:"bssSize"`
 	Entry    int32  `json:"entry"`
 	Replaced bool   `json:"replaced"` // an identical module was already registered
+	// Audit is the admission audit's summary — capability manifest,
+	// stack proof, report digest — present when the gate analyzed the
+	// module (warn or enforce mode).
+	Audit *AuditSummary `json:"audit,omitempty"`
 }
 
 func (h *Handler) handleUpload(w http.ResponseWriter, r *http.Request) {
@@ -285,8 +298,20 @@ func (h *Handler) handleUpload(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, "%v", err)
 		return
 	}
-	existed := h.register(modEntry{mod: mod, blob: blob, decode: decodeDur}, hash)
-	writeJSON(w, http.StatusOK, uploadResponseFor(mod, hash, existed))
+	out, err := h.runAudit(mod, hash, "module "+hash)
+	if err != nil {
+		writeError(w, http.StatusUnprocessableEntity, "%v", err)
+		return
+	}
+	if out.rejected {
+		writeError(w, http.StatusUnprocessableEntity,
+			"audit rejected module %s: %s", hash, violationText(out.violations))
+		return
+	}
+	existed := h.register(modEntry{mod: mod, blob: blob, decode: decodeDur, audit: out.dur}, hash)
+	resp := uploadResponseFor(mod, hash, existed)
+	resp.Audit = out.summary()
+	writeJSON(w, http.StatusOK, resp)
 }
 
 // decodeCanonical decodes an OMW blob strictly and returns the module
@@ -407,10 +432,17 @@ func (h *Handler) handleExec(w http.ResponseWriter, r *http.Request) {
 	if ent.mod == nil && h.cfg.Peer != nil {
 		// Cluster mode: the module may have been uploaded through
 		// another member. Fetching it by content address is trust-free
-		// — the hash of the canonical re-encoding must match the name.
+		// — the hash of the canonical re-encoding must match the name —
+		// and the audit gate applies on arrival, exactly as it would
+		// have at upload: a cold node re-derives the audit itself.
 		fetchStart := time.Now()
-		ent, mfRemote, mfPeer = h.fetchModuleViaPeers(req.Module, mcache.PeerOrigin{TraceID: id, RequestID: rid})
+		var aerr error
+		ent, mfRemote, mfPeer, aerr = h.fetchModuleViaPeers(req.Module, mcache.PeerOrigin{TraceID: id, RequestID: rid})
 		mfDur = time.Since(fetchStart)
+		if aerr != nil {
+			writeError(w, http.StatusUnprocessableEntity, "%v", aerr)
+			return
+		}
 	}
 	if ent.mod == nil {
 		writeError(w, http.StatusNotFound, "module %q not uploaded", req.Module)
@@ -436,6 +468,7 @@ func (h *Handler) handleExec(w http.ResponseWriter, r *http.Request) {
 		MaxSteps:          req.MaxSteps,
 		Timeout:           deadline,
 		Decode:            ent.decode,
+		Audit:             ent.audit,
 		RequestID:         rid,
 		ModuleFetch:       mfDur,
 		ModuleFetchRemote: mfRemote,

@@ -76,11 +76,13 @@ func (h *Handler) peerAuth(next http.HandlerFunc) http.HandlerFunc {
 type PeerHooks interface {
 	// FetchModule asks the cluster for a module blob by content hash,
 	// returning the canonical OMW bytes from whichever peer has it,
-	// that peer's span subtree for the serve (when returned), and the
-	// peer's address. The caller re-verifies the hash; implementations
-	// only transport. org is the originating trace/request identity,
-	// forwarded on the wire for cross-node stitching.
-	FetchModule(hash string, org mcache.PeerOrigin) (blob []byte, remote *trace.Span, peer string, ok bool)
+	// that peer's span subtree for the serve (when returned), the
+	// peer's address, and the audit-report digest the peer advertised
+	// ("" when it sent none). The caller re-verifies the hash and
+	// re-derives the audit; implementations only transport. org is the
+	// originating trace/request identity, forwarded on the wire for
+	// cross-node stitching.
+	FetchModule(hash string, org mcache.PeerOrigin) (blob []byte, remote *trace.Span, peer, auditDigest string, ok bool)
 	// Self is this node's advertised address; Members the full static
 	// membership (including self) — what the fleet aggregation
 	// endpoint fans out over.
@@ -129,6 +131,11 @@ func (h *Handler) handlePeerModule(w http.ResponseWriter, r *http.Request) {
 	}
 	tr.Root.Set("bytes", len(ent.blob))
 	h.finishPeerServe(w, tr, "ok")
+	// Advertise this node's audit digest when it has derived one; the
+	// receiver re-derives and compares rather than trusting it.
+	if rep, ok := h.srv.Cache().AuditByHash(hash); ok {
+		w.Header().Set(AuditDigestHeader, rep.Digest())
+	}
 	w.Header().Set("Content-Type", "application/octet-stream")
 	_, _ = w.Write(ent.blob)
 }
@@ -247,11 +254,16 @@ func (h *Handler) handlePeerPush(w http.ResponseWriter, r *http.Request) {
 	h.mu.Lock()
 	ent := h.mods[hash]
 	h.mu.Unlock()
+	var fetchErr error
 	if ent.mod == nil && h.cfg.Peer != nil {
-		ent, _, _ = h.fetchModuleViaPeers(hash,
+		ent, _, _, fetchErr = h.fetchModuleViaPeers(hash,
 			mcache.PeerOrigin{RequestID: r.Header.Get(RequestIDHeader)})
 	}
 	if ent.mod == nil {
+		if fetchErr != nil {
+			writeError(w, http.StatusUnprocessableEntity, "%v", fetchErr)
+			return
+		}
 		writeError(w, http.StatusUnprocessableEntity,
 			"module %s not available here; push correspondence cannot be checked", hash)
 		return
@@ -296,27 +308,50 @@ func checkPeerKey(key, hash, targetName string) error {
 }
 
 // fetchModuleViaPeers pulls a module the cluster knows but this node
-// does not, verifying the content address before registering it. Any
-// mismatch — undecodable, or hash of the canonical re-encoding not the
-// requested name — is discarded; a peer cannot plant a module under a
-// false identity. The supplying peer's span subtree and address come
-// back alongside so the caller can stitch the fetch into its trace.
-func (h *Handler) fetchModuleViaPeers(hash string, org mcache.PeerOrigin) (modEntry, *trace.Span, string) {
-	blob, remote, peer, ok := h.cfg.Peer.FetchModule(hash, org)
+// does not, verifying the content address and re-deriving the
+// admission audit before registering it. Any mismatch — undecodable,
+// or hash of the canonical re-encoding not the requested name — is
+// discarded; a peer cannot plant a module under a false identity. A
+// non-nil error is the audit gate refusing the module: peer fill is
+// just upload by another road, so a module the gate would have
+// rejected at upload is rejected on arrival too, before it can be
+// registered or served. The supplying peer's span subtree and address
+// come back alongside so the caller can stitch the fetch into its
+// trace.
+func (h *Handler) fetchModuleViaPeers(hash string, org mcache.PeerOrigin) (modEntry, *trace.Span, string, error) {
+	blob, remote, peer, peerDigest, ok := h.cfg.Peer.FetchModule(hash, org)
 	if !ok {
-		return modEntry{}, nil, ""
+		return modEntry{}, nil, "", nil
 	}
 	decodeStart := time.Now()
 	mod, canon, gotHash, err := decodeCanonical(blob)
 	decodeDur := time.Since(decodeStart)
 	if err != nil || gotHash != hash {
 		h.cfg.Logf("netserve: peer module fetch for %s: bad blob (err=%v, hash=%s)", hash, err, gotHash)
-		return modEntry{}, nil, ""
+		return modEntry{}, nil, "", nil
 	}
 	h.srv.Metrics().Decode.Observe(decodeDur)
-	ent := modEntry{mod: mod, blob: canon, decode: decodeDur}
+	out, aerr := h.runAudit(mod, hash, "peer-filled module "+hash)
+	if aerr != nil {
+		return modEntry{}, nil, "", aerr
+	}
+	if out.rejected {
+		h.cfg.Logf("netserve: audit rejected peer-filled module %s from %s: %s",
+			hash, peer, violationText(out.violations))
+		return modEntry{}, nil, "", fmt.Errorf(
+			"audit rejected peer-filled module %s: %s", hash, violationText(out.violations))
+	}
+	if out.rep != nil && peerDigest != "" && peerDigest != out.rep.Digest() {
+		// The peer's advertised digest disagrees with the local
+		// derivation. The local report is the authority (it gated the
+		// admission above); the divergence is worth an operator's eye —
+		// it means the fleet's analyzers disagree, or the peer lied.
+		h.cfg.Logf("netserve: peer %s advertised audit digest %s for %s; local derivation is %s",
+			peer, peerDigest, hash, out.rep.Digest())
+	}
+	ent := modEntry{mod: mod, blob: canon, decode: decodeDur, audit: out.dur}
 	h.register(ent, hash)
-	return ent, remote, peer
+	return ent, remote, peer, nil
 }
 
 // BatchUploadResponse lists the per-member results of a batch upload,
@@ -358,12 +393,31 @@ func (h *Handler) handleUploadBatch(w http.ResponseWriter, r *http.Request) {
 	}
 	decodeDur := time.Since(decodeStart)
 	h.srv.Metrics().Decode.Observe(decodeDur)
+	// The audit gate keeps the all-or-nothing contract: every member is
+	// audited before any is registered, and one enforce-mode rejection
+	// refuses the whole batch, naming the member.
+	outs := make([]auditOutcome, len(ents))
+	for i := range ents {
+		out, err := h.runAudit(ents[i].mod, hashes[i], fmt.Sprintf("batch member %d (%s)", i, hashes[i]))
+		if err != nil {
+			writeError(w, http.StatusUnprocessableEntity, "batch member %d: %v", i, err)
+			return
+		}
+		if out.rejected {
+			writeError(w, http.StatusUnprocessableEntity,
+				"batch member %d: audit rejected module %s: %s", i, hashes[i], violationText(out.violations))
+			return
+		}
+		outs[i] = out
+	}
 	resp := BatchUploadResponse{Modules: make([]UploadResponse, len(blobs))}
 	for i := range ents {
 		// Each member carries the batch's decode cost share.
 		ents[i].decode = decodeDur / time.Duration(len(ents))
+		ents[i].audit = outs[i].dur
 		existed := h.register(ents[i], hashes[i])
 		resp.Modules[i] = uploadResponseFor(ents[i].mod, hashes[i], existed)
+		resp.Modules[i].Audit = outs[i].summary()
 	}
 	writeJSON(w, http.StatusOK, resp)
 }
@@ -389,10 +443,15 @@ func (c *Client) UploadBatch(blobs [][]byte) (*BatchUploadResponse, error) {
 
 // PeerModule fetches a module's canonical OMW bytes from a peer,
 // forwarding the originating trace/request identity and returning the
-// peer's span subtree when it sent one. The caller owns hash
-// verification.
-func (c *Client) PeerModule(hash, from string, org mcache.PeerOrigin) ([]byte, *trace.Span, error) {
-	return c.rawGet(c.Base+"/v1/peer/module/"+url.PathEscape(hash), from, org, int64(wire.MaxModuleBytes))
+// peer's span subtree when it sent one plus the audit digest it
+// advertised ("" when none). The caller owns hash verification and
+// audit re-derivation.
+func (c *Client) PeerModule(hash, from string, org mcache.PeerOrigin) ([]byte, *trace.Span, string, error) {
+	body, remote, hdr, err := c.rawGet(c.Base+"/v1/peer/module/"+url.PathEscape(hash), from, org, int64(wire.MaxModuleBytes))
+	if err != nil {
+		return nil, nil, "", err
+	}
+	return body, remote, hdr.Get(AuditDigestHeader), nil
 }
 
 // PeerTranslation fetches one translation as a raw OPF frame from a
@@ -402,7 +461,8 @@ func (c *Client) PeerModule(hash, from string, org mcache.PeerOrigin) ([]byte, *
 func (c *Client) PeerTranslation(hash, targetName, key, from string, org mcache.PeerOrigin) ([]byte, *trace.Span, error) {
 	u := c.Base + "/v1/peer/translation/" + url.PathEscape(hash) + "/" + url.PathEscape(targetName) +
 		"?key=" + url.QueryEscape(key)
-	return c.rawGet(u, from, org, wire.MaxPeerFrameBytes)
+	body, remote, _, err := c.rawGet(u, from, org, wire.MaxPeerFrameBytes)
+	return body, remote, err
 }
 
 // PushPeerTranslation replicates one translation to a peer as an OPF
@@ -427,11 +487,12 @@ func (c *Client) PushPeerTranslation(hash, targetName, key string, payload []byt
 // *StatusError like do. The origin's request id is forwarded (so the
 // remote error body names it, not a freshly minted remote id) along
 // with the trace-parent header; the serving node's span subtree, when
-// present and well-formed, is decoded from the response.
-func (c *Client) rawGet(u, from string, org mcache.PeerOrigin, limit int64) ([]byte, *trace.Span, error) {
+// present and well-formed, is decoded from the response, whose full
+// header set rides back for callers that read more (audit digest).
+func (c *Client) rawGet(u, from string, org mcache.PeerOrigin, limit int64) ([]byte, *trace.Span, http.Header, error) {
 	req, err := http.NewRequest(http.MethodGet, u, nil)
 	if err != nil {
-		return nil, nil, err
+		return nil, nil, nil, err
 	}
 	if from != "" {
 		req.Header.Set(PeerHeader, from)
@@ -445,19 +506,19 @@ func (c *Client) rawGet(u, from string, org mcache.PeerOrigin, limit int64) ([]b
 	}
 	resp, err := c.http().Do(req)
 	if err != nil {
-		return nil, nil, err
+		return nil, nil, nil, err
 	}
 	defer resp.Body.Close()
 	body, err := io.ReadAll(io.LimitReader(resp.Body, limit+1))
 	if err != nil {
-		return nil, nil, err
+		return nil, nil, nil, err
 	}
 	if resp.StatusCode/100 != 2 {
-		return nil, nil, statusErrorFrom(resp, body)
+		return nil, nil, nil, statusErrorFrom(resp, body)
 	}
 	if int64(len(body)) > limit {
-		return nil, nil, fmt.Errorf("netserve: peer response exceeds %d bytes", limit)
+		return nil, nil, nil, fmt.Errorf("netserve: peer response exceeds %d bytes", limit)
 	}
 	remote, _ := scope.DecodeSpans(resp.Header.Get(scope.TraceSpansHeader))
-	return body, remote, nil
+	return body, remote, resp.Header, nil
 }

@@ -21,9 +21,9 @@ type fakeHooks struct {
 	mods map[string][]byte
 }
 
-func (f *fakeHooks) FetchModule(hash string, org mcache.PeerOrigin) ([]byte, *trace.Span, string, bool) {
+func (f *fakeHooks) FetchModule(hash string, org mcache.PeerOrigin) ([]byte, *trace.Span, string, string, bool) {
 	b, ok := f.mods[hash]
-	return b, nil, "fake-peer", ok
+	return b, nil, "fake-peer", "", ok
 }
 
 func (f *fakeHooks) Self() string      { return "fake-self" }
@@ -91,7 +91,7 @@ func TestUploadBatchAllOrNothing(t *testing.T) {
 // cluster mode.
 func TestPeerEndpoints(t *testing.T) {
 	clSolo, _, _ := startServer(t, serve.Config{Workers: 1}, netserve.Config{})
-	if _, _, err := clSolo.PeerModule("deadbeef", "test", noOrg); err == nil {
+	if _, _, _, err := clSolo.PeerModule("deadbeef", "test", noOrg); err == nil {
 		t.Fatal("peer endpoint reachable outside cluster mode")
 	}
 
@@ -101,14 +101,14 @@ func TestPeerEndpoints(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	got, _, err := cl.PeerModule(up.Hash, "test", noOrg)
+	got, _, _, err := cl.PeerModule(up.Hash, "test", noOrg)
 	if err != nil {
 		t.Fatal(err)
 	}
 	if !bytes.Equal(got, blob) {
 		t.Error("peer module fetch returned different bytes")
 	}
-	if _, _, err := cl.PeerModule("0000", "test", noOrg); err == nil {
+	if _, _, _, err := cl.PeerModule("0000", "test", noOrg); err == nil {
 		t.Error("unknown module served")
 	}
 
@@ -248,7 +248,7 @@ func TestPeerAuthRequired(t *testing.T) {
 			var se *netserve.StatusError
 			return errors.As(err, &se) && se.Code == http.StatusUnauthorized
 		}
-		if _, _, err := bad.PeerModule(up.Hash, "x", noOrg); !is401(err) {
+		if _, _, _, err := bad.PeerModule(up.Hash, "x", noOrg); !is401(err) {
 			t.Errorf("PeerModule with secret %q: %v, want 401", secret, err)
 		}
 		if _, _, err := bad.PeerTranslation(up.Hash, "mips", key, "x", noOrg); !is401(err) {

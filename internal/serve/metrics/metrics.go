@@ -18,12 +18,21 @@ import (
 )
 
 // StageNames lists the pipeline stages with latency histograms, in
-// reporting order: wire decode (uploads), queue wait (admission to
+// reporting order: wire decode (uploads), static audit (admission-time
+// analysis, recorded by the upload path), queue wait (admission to
 // dequeue), the translate stage (cache lookup through admission), the
 // cluster peer probe within it (when a peer source is wired), SFI
 // verification alone, and job run time (dequeue to completion, queue
 // excluded).
-var StageNames = []string{"decode", "queue_wait", "translate", "peer_fetch", "verify", "run"}
+var StageNames = []string{"decode", "audit", "queue_wait", "translate", "peer_fetch", "verify", "run"}
+
+// AuditReasons is the closed set of audit-gate failure reasons
+// (mirrors audit.GateReasons without the import). Outcome counters are
+// pre-registered at zero for every reason in both the JSON snapshot
+// and the Prometheus rendering, matching the quarantine-reason
+// convention, so scrapers see the full label set from the first
+// scrape.
+var AuditReasons = []string{"stack", "cost", "capability", "recursion"}
 
 // TargetCounters is the per-machine section: job and instruction
 // counters by expansion category (the live form of the paper's
@@ -60,13 +69,45 @@ type Metrics struct {
 
 	// Stage latency histograms (see StageNames).
 	Decode    trace.Histogram // wire decode, recorded by the upload path
+	Audit     trace.Histogram // static audit, recorded by the upload path
 	QueueWait trace.Histogram // submit to dequeue
 	Translate trace.Histogram // the translate stage (cache call), per job
 	PeerFetch trace.Histogram // cluster peer probe within the translate stage
 	Verify    trace.Histogram // SFI verification, when the stage ran one
 	Run       trace.Histogram // dequeue to completion (queue wait excluded)
 
+	// Audit-gate outcomes: passes, and warn/reject splits indexed by
+	// AuditReasons position.
+	AuditPass    atomic.Uint64
+	auditWarns   [4]atomic.Uint64
+	auditRejects [4]atomic.Uint64
+
 	targets [4]TargetCounters // indexed by target.Arch
+}
+
+// AuditWarn counts one warn-mode audit violation for reason (an
+// AuditReasons member; anything else is dropped rather than growing
+// the closed label set).
+func (m *Metrics) AuditWarn(reason string) {
+	if i := auditReasonIndex(reason); i >= 0 {
+		m.auditWarns[i].Add(1)
+	}
+}
+
+// AuditReject counts one enforce-mode audit rejection for reason.
+func (m *Metrics) AuditReject(reason string) {
+	if i := auditReasonIndex(reason); i >= 0 {
+		m.auditRejects[i].Add(1)
+	}
+}
+
+func auditReasonIndex(reason string) int {
+	for i, r := range AuditReasons {
+		if r == reason {
+			return i
+		}
+	}
+	return -1
 }
 
 // Target returns the per-machine counter section for arch.
@@ -150,6 +191,18 @@ type Snapshot struct {
 	CacheSpotChecks      uint64 `json:"cache_spot_checks,omitempty"`
 	CacheSpotCheckFails  uint64 `json:"cache_spot_check_fails,omitempty"`
 
+	// Audit pipeline counters (the cache's memoized derivations) and
+	// gate outcomes. The warn/reject maps carry every AuditReasons key,
+	// pre-registered at zero.
+	CacheAudits           uint64 `json:"cache_audits"`
+	CacheAuditHits        uint64 `json:"cache_audit_hits"`
+	CacheAuditDiskWrites  uint64 `json:"cache_audit_disk_writes"`
+	CacheAuditQuarantines uint64 `json:"cache_audit_quarantines"`
+
+	AuditPass    uint64            `json:"audit_pass"`
+	AuditWarns   map[string]uint64 `json:"audit_warns"`
+	AuditRejects map[string]uint64 `json:"audit_rejects"`
+
 	Stages  map[string]StageSnapshot `json:"stages"`
 	Targets []TargetSnapshot         `json:"targets"`
 
@@ -197,14 +250,22 @@ func (m *Metrics) Snapshot() Snapshot {
 		SimInsts:        m.SimInsts.Load(),
 		SimCycles:       m.SimCycles.Load(),
 		QueueDepth:      m.QueueDepth.Load(),
+		AuditPass:       m.AuditPass.Load(),
+		AuditWarns:      map[string]uint64{},
+		AuditRejects:    map[string]uint64{},
 		Stages: map[string]StageSnapshot{
 			"decode":     stageSnap(&m.Decode),
+			"audit":      stageSnap(&m.Audit),
 			"queue_wait": stageSnap(&m.QueueWait),
 			"translate":  stageSnap(&m.Translate),
 			"peer_fetch": stageSnap(&m.PeerFetch),
 			"verify":     stageSnap(&m.Verify),
 			"run":        stageSnap(&m.Run),
 		},
+	}
+	for i, r := range AuditReasons {
+		s.AuditWarns[r] = m.auditWarns[i].Load()
+		s.AuditRejects[r] = m.auditRejects[i].Load()
 	}
 	for a := range m.targets {
 		tc := &m.targets[a]
@@ -263,6 +324,13 @@ func MergeSnapshots(a, b Snapshot) Snapshot {
 	out.CachePeerQuarantines += b.CachePeerQuarantines
 	out.CacheSpotChecks += b.CacheSpotChecks
 	out.CacheSpotCheckFails += b.CacheSpotCheckFails
+	out.CacheAudits += b.CacheAudits
+	out.CacheAuditHits += b.CacheAuditHits
+	out.CacheAuditDiskWrites += b.CacheAuditDiskWrites
+	out.CacheAuditQuarantines += b.CacheAuditQuarantines
+	out.AuditPass += b.AuditPass
+	out.AuditWarns = mergeReasons(a.AuditWarns, b.AuditWarns)
+	out.AuditRejects = mergeReasons(a.AuditRejects, b.AuditRejects)
 
 	out.Stages = map[string]StageSnapshot{}
 	for n, st := range a.Stages {
@@ -305,6 +373,22 @@ func MergeSnapshots(a, b Snapshot) Snapshot {
 	sort.Slice(out.Targets, func(i, j int) bool { return out.Targets[i].Target < out.Targets[j].Target })
 
 	out.Cluster = mergeCluster(a.Cluster, b.Cluster)
+	return out
+}
+
+// mergeReasons sums two reason-split maps key-wise, preserving the
+// pre-registered zero keys; nil in, nil out (hand-built snapshots).
+func mergeReasons(a, b map[string]uint64) map[string]uint64 {
+	if a == nil && b == nil {
+		return nil
+	}
+	out := map[string]uint64{}
+	for k, v := range a {
+		out[k] += v
+	}
+	for k, v := range b {
+		out[k] += v
+	}
 	return out
 }
 
@@ -416,6 +500,16 @@ func (s Snapshot) Text() string {
 	w("cache_disk_writes", s.CacheDiskWrites)
 	w("cache_disk_quarantines", s.CacheDiskQuarantines)
 	w("cache_disagreements", s.CacheDisagreements)
+	w("cache_audits", s.CacheAudits)
+	w("cache_audit_hits", s.CacheAuditHits)
+	w("cache_audit_quarantines", s.CacheAuditQuarantines)
+	w("audit_pass", s.AuditPass)
+	for _, r := range AuditReasons {
+		w("audit_warn_"+r, s.AuditWarns[r])
+	}
+	for _, r := range AuditReasons {
+		w("audit_reject_"+r, s.AuditRejects[r])
+	}
 	if s.Cluster != nil || s.CachePeerHits+s.CachePeerQuarantines+s.CacheSpotChecks > 0 {
 		w("cache_peer_hits", s.CachePeerHits)
 		w("cache_peer_quarantines", s.CachePeerQuarantines)

@@ -76,7 +76,12 @@ func TestTextFormat(t *testing.T) {
 		"cache_hits", "cache_coalesced", "cache_misses", "cache_evictions",
 		"cache_rejected", "cache_entries", "cache_bytes",
 		"cache_disk_hits", "cache_disk_writes", "cache_disk_quarantines",
-		"cache_disagreements", "cache_hit_rate",
+		"cache_disagreements",
+		"cache_audits", "cache_audit_hits", "cache_audit_quarantines",
+		"audit_pass",
+		"audit_warn_stack", "audit_warn_cost", "audit_warn_capability", "audit_warn_recursion",
+		"audit_reject_stack", "audit_reject_cost", "audit_reject_capability", "audit_reject_recursion",
+		"cache_hit_rate",
 	}
 	if len(lines) != len(wantOrder) {
 		t.Fatalf("%d lines, want %d:\n%s", len(lines), len(wantOrder), text)
@@ -120,7 +125,7 @@ func TestTextStageAndTargetLines(t *testing.T) {
 			stageIdx = append(stageIdx, strings.Fields(l)[0])
 		}
 	}
-	want := []string{"stage_decode", "stage_queue_wait", "stage_translate", "stage_peer_fetch", "stage_verify", "stage_run"}
+	want := []string{"stage_decode", "stage_audit", "stage_queue_wait", "stage_translate", "stage_peer_fetch", "stage_verify", "stage_run"}
 	if len(stageIdx) != len(want) {
 		t.Fatalf("stage lines %v, want %v", stageIdx, want)
 	}

@@ -46,6 +46,22 @@ func (s Snapshot) Prom() string {
 	counter("cache_disk_quarantines_total", "Disk entries quarantined after failing re-verification.", s.CacheDiskQuarantines)
 	counter("cache_disagreements_total", "Dual-gate admissions where the two SFI verifiers split the verdict.", s.CacheDisagreements)
 
+	// Audit pipeline and gate outcomes. The reason label set is closed
+	// (AuditReasons) and every series is pre-registered at zero.
+	counter("cache_audits_total", "Audit pipeline runs (memoization misses).", s.CacheAudits)
+	counter("cache_audit_hits_total", "Audit reports served memoized.", s.CacheAuditHits)
+	counter("cache_audit_disk_writes_total", "Audit reports written through to the persistent tier.", s.CacheAuditDiskWrites)
+	counter("cache_audit_quarantines_total", "Stored audits that disagreed with re-derivation and were set aside.", s.CacheAuditQuarantines)
+	counter("audit_pass_total", "Uploads the audit gate admitted without violation.", s.AuditPass)
+	fmt.Fprintf(&b, "# HELP omni_audit_warns_total Warn-mode audit violations by reason.\n# TYPE omni_audit_warns_total counter\n")
+	for _, r := range AuditReasons {
+		fmt.Fprintf(&b, "omni_audit_warns_total{reason=%q} %d\n", r, s.AuditWarns[r])
+	}
+	fmt.Fprintf(&b, "# HELP omni_audit_rejects_total Enforce-mode audit rejections by reason.\n# TYPE omni_audit_rejects_total counter\n")
+	for _, r := range AuditReasons {
+		fmt.Fprintf(&b, "omni_audit_rejects_total{reason=%q} %d\n", r, s.AuditRejects[r])
+	}
+
 	// Cluster peer-fill counters: totals always (they are part of the
 	// cache contract), per-peer series only when running clustered.
 	counter("cache_peer_hits_total", "Translations admitted from cluster peers (re-verified on arrival).", s.CachePeerHits)

@@ -134,3 +134,53 @@ func TestPromTargetAttribution(t *testing.T) {
 		t.Errorf("idle mips jobs = %q, want 0", got)
 	}
 }
+
+// Every audit outcome series is pre-registered at zero — in the JSON
+// snapshot (reason maps carry all keys) and in the Prometheus
+// rendering — so the first scrape of a fresh daemon already shows the
+// full closed label set, matching the quarantine-reason convention.
+func TestPromAuditPreRegistered(t *testing.T) {
+	var m Metrics
+	s := m.Snapshot()
+	for _, r := range AuditReasons {
+		if v, ok := s.AuditWarns[r]; !ok || v != 0 {
+			t.Errorf("AuditWarns[%q] = %d, %v; want pre-registered 0", r, v, ok)
+		}
+		if v, ok := s.AuditRejects[r]; !ok || v != 0 {
+			t.Errorf("AuditRejects[%q] = %d, %v; want pre-registered 0", r, v, ok)
+		}
+	}
+	lines := promLines(t, s.Prom())
+	for _, series := range []string{
+		"omni_audit_pass_total",
+		"omni_cache_audits_total",
+		"omni_cache_audit_hits_total",
+		"omni_cache_audit_disk_writes_total",
+		"omni_cache_audit_quarantines_total",
+	} {
+		if v, ok := lines[series]; !ok || v != "0" {
+			t.Errorf("%s = %q, %v; want pre-registered 0", series, v, ok)
+		}
+	}
+	for _, r := range AuditReasons {
+		for _, fam := range []string{"omni_audit_warns_total", "omni_audit_rejects_total"} {
+			series := fam + `{reason="` + r + `"}`
+			if v, ok := lines[series]; !ok || v != "0" {
+				t.Errorf("%s = %q, %v; want pre-registered 0", series, v, ok)
+			}
+		}
+	}
+
+	// Counting keeps the closed set: an unknown reason is dropped, a
+	// known one lands on its series.
+	m.AuditReject("stack")
+	m.AuditReject("made-up")
+	m.AuditWarn("cost")
+	s = m.Snapshot()
+	if s.AuditRejects["stack"] != 1 || s.AuditWarns["cost"] != 1 {
+		t.Errorf("counts = %v / %v, want stack reject 1, cost warn 1", s.AuditRejects, s.AuditWarns)
+	}
+	if len(s.AuditRejects) != len(AuditReasons) {
+		t.Errorf("reject label set grew: %v", s.AuditRejects)
+	}
+}

@@ -65,6 +65,11 @@ type Job struct {
 	// covers the full pipeline the job logically passed through.
 	Decode time.Duration
 
+	// Audit, when nonzero, is the admission-time static-analysis cost
+	// already paid for this module (at upload or peer fill, in the
+	// network layer); like Decode it becomes a backdated span.
+	Audit time.Duration
+
 	// RequestID is the originating HTTP request id; it rides the trace
 	// (trace.Trace.SetRequestID) so cross-node peer probes forward the
 	// origin's id instead of minting one per hop.
@@ -222,6 +227,9 @@ func (s *Server) newTrace(j Job) *trace.Trace {
 	}
 	if j.Decode > 0 {
 		tr.Root.ChildSpan("decode", 0, j.Decode).Set("at", "upload")
+	}
+	if j.Audit > 0 {
+		tr.Root.ChildSpan("audit", 0, j.Audit).Set("at", "upload")
 	}
 	if j.ModuleFetch > 0 {
 		msp := tr.Root.ChildSpan("module_fetch", 0, j.ModuleFetch)

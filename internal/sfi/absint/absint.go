@@ -208,6 +208,7 @@ type verifier struct {
 	estab    map[target.Reg]bool   // provably loaded by the entry stub
 	stubEnd  int
 
+	cfg     *CFG
 	leaders []bool // any non-fall-through entry point
 	o2nDest []bool // entered via the omni-to-native map (pinned state)
 }
@@ -235,7 +236,9 @@ func (v *verifier) run() []sfi.Violation {
 	}
 	pin(m.GP, v.p.GPValue)
 
-	v.findLeaders()
+	v.cfg = BuildCFG(prog, m)
+	v.leaders = v.cfg.Leaders
+	v.o2nDest = v.cfg.O2NDest
 	v.scanStub()
 
 	// Fixpoint over per-instruction entry states.
@@ -268,13 +271,14 @@ func (v *verifier) run() []sfi.Violation {
 	}
 
 	iters := 0
+	sbuf := make([]int32, 0, 2)
 	for len(work) > 0 {
 		i := work[len(work)-1]
 		work = work[:len(work)-1]
 		onWork[i] = false
 		iters++
 		out := v.transfer(in[i], &prog.Code[i], int(i))
-		for _, s := range v.succs(int(i)) {
+		for _, s := range v.cfg.Succs(int(i), sbuf[:0]) {
 			if s < 0 || int(s) >= n {
 				continue
 			}
@@ -344,68 +348,6 @@ func (v *verifier) run() []sfi.Violation {
 		v.st.Blocks = blocks
 		v.st.Iterations = iters
 	}
-	return out
-}
-
-// findLeaders marks every instruction control can reach other than by
-// falling through: direct branch/jump targets and every entry of the
-// omni-to-native map (indirect branches and exception delivery land
-// only on those).
-func (v *verifier) findLeaders() {
-	n := len(v.prog.Code)
-	v.leaders = make([]bool, n)
-	v.o2nDest = make([]bool, n)
-	mark := func(t int32) {
-		if t >= 0 && int(t) < n {
-			v.leaders[t] = true
-		}
-	}
-	if int(v.prog.Entry) < n {
-		v.leaders[v.prog.Entry] = true
-	}
-	for i := range v.prog.Code {
-		in := &v.prog.Code[i]
-		if in.Op.IsBranch() || in.Op == target.J || in.Op == target.Jal {
-			mark(in.Target)
-		}
-	}
-	for _, t := range v.prog.OmniToNative {
-		if t >= 0 && int(t) < n {
-			v.leaders[t] = true
-			v.o2nDest[t] = true
-		}
-	}
-}
-
-// succs returns instruction i's successor indices. Fall-through edges
-// are universal — even after an unconditional transfer — which is the
-// shadow state unreachable code is verified under (mirroring the elder
-// verifier's linear scan, so dead code cannot become a disagreement
-// between the two). Delay-slot machines transfer after the slot
-// executes, so the branch-target edge leaves the slot, not the branch.
-func (v *verifier) succs(i int) []int32 {
-	code := v.prog.Code
-	out := make([]int32, 0, 2)
-	if i+1 < len(code) {
-		out = append(out, int32(i+1))
-	}
-	directTarget := func(in *target.Inst) (int32, bool) {
-		if in.Op.IsBranch() || in.Op == target.J || in.Op == target.Jal {
-			return in.Target, true
-		}
-		return 0, false
-	}
-	if v.m.HasDelaySlot {
-		if i > 0 {
-			if t, ok := directTarget(&code[i-1]); ok {
-				out = append(out, t)
-			}
-		}
-	} else if t, ok := directTarget(&code[i]); ok {
-		out = append(out, t)
-	}
-	// Jr/Jalr successors are the omni-to-native entries; their states
-	// are pinned to the stub state, so no explicit edges are needed.
 	return out
 }
 

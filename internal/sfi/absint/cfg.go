@@ -1,0 +1,111 @@
+package absint
+
+import (
+	"omniware/internal/target"
+)
+
+// CFG is the control-flow structure the abstract interpreter runs
+// over, exported so other whole-program analyses (the admission-time
+// auditor in internal/audit) share exactly the graph the verifier
+// proves on — same leader set, same delay-slot edge discipline, same
+// omni-to-native pinning — instead of growing a subtly different one.
+//
+// The graph is implicit: nodes are instruction indices, and Succs
+// enumerates edges. Three facts are precomputed:
+//
+//   - Leaders marks every instruction control can reach other than by
+//     falling through: direct branch/jump targets, the program entry,
+//     and every omni-to-native map entry.
+//   - O2NDest marks the subset entered through the omni-to-native map.
+//     Indirect branches and exception delivery land only on those, so
+//     an analysis may pin their entry states (the verifier pins them to
+//     the stub state).
+//   - DelaySlot records whether the machine transfers after the slot
+//     executes, which moves the branch-target edge from the branch to
+//     the instruction after it.
+type CFG struct {
+	Code      []target.Inst
+	Entry     int32
+	DelaySlot bool
+	Leaders   []bool
+	O2NDest   []bool
+}
+
+// BuildCFG computes the control-flow structure of prog on m.
+func BuildCFG(prog *target.Program, m *target.Machine) *CFG {
+	n := len(prog.Code)
+	g := &CFG{
+		Code:      prog.Code,
+		Entry:     prog.Entry,
+		DelaySlot: m.HasDelaySlot,
+		Leaders:   make([]bool, n),
+		O2NDest:   make([]bool, n),
+	}
+	mark := func(t int32) {
+		if t >= 0 && int(t) < n {
+			g.Leaders[t] = true
+		}
+	}
+	if int(prog.Entry) < n {
+		mark(prog.Entry)
+	}
+	for i := range prog.Code {
+		in := &prog.Code[i]
+		if in.Op.IsBranch() || in.Op == target.J || in.Op == target.Jal {
+			mark(in.Target)
+		}
+	}
+	for _, t := range prog.OmniToNative {
+		if t >= 0 && int(t) < n {
+			g.Leaders[t] = true
+			g.O2NDest[t] = true
+		}
+	}
+	return g
+}
+
+// directTarget returns the statically known transfer target of in, if
+// it has one.
+func directTarget(in *target.Inst) (int32, bool) {
+	if in.Op.IsBranch() || in.Op == target.J || in.Op == target.Jal {
+		return in.Target, true
+	}
+	return 0, false
+}
+
+// Succs appends instruction i's successor indices to buf and returns
+// it. Fall-through edges are universal — even after an unconditional
+// transfer — which is the shadow state unreachable code is analyzed
+// under (mirroring the elder verifier's linear scan, so dead code
+// cannot become a disagreement between the two verifiers). Delay-slot
+// machines transfer after the slot executes, so the branch-target edge
+// leaves the slot, not the branch. Jr/Jalr successors are the
+// omni-to-native entries (see O2NDest); no explicit edges are emitted
+// for them.
+func (g *CFG) Succs(i int, buf []int32) []int32 {
+	if i+1 < len(g.Code) {
+		buf = append(buf, int32(i+1))
+	}
+	if g.DelaySlot {
+		if i > 0 {
+			if t, ok := directTarget(&g.Code[i-1]); ok {
+				buf = append(buf, t)
+			}
+		}
+	} else if t, ok := directTarget(&g.Code[i]); ok {
+		buf = append(buf, t)
+	}
+	return buf
+}
+
+// Blocks counts the fact boundaries (leaders) in the program — the
+// number the verifier reports in Stats.Blocks.
+func (g *CFG) Blocks() int {
+	n := 0
+	for _, l := range g.Leaders {
+		if l {
+			n++
+		}
+	}
+	return n
+}
